@@ -1,0 +1,168 @@
+//! Criterion performance benches over the whole stack, plus reduced-size
+//! versions of each paper experiment so `cargo bench --workspace` touches
+//! every table/figure path (the full-size regenerations live in the
+//! `src/bin/` binaries).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use issa_bti::{BtiParams, StressCondition, TrapSet};
+use issa_circuit::netlist::Netlist;
+use issa_circuit::tran::{transient, Integrator, TranParams};
+use issa_circuit::waveform::Waveform;
+use issa_core::montecarlo::{build_sample, run_mc, McConfig};
+use issa_core::netlist::{SaInstance, SaKind};
+use issa_core::probe::ProbeOptions;
+use issa_core::spec::offset_spec;
+use issa_core::workload::{ReadSequence, Workload};
+use issa_num::matrix::DMatrix;
+use issa_num::rng::SeedSequence;
+use issa_ptm45::Environment;
+use std::hint::black_box;
+
+fn smoke_cfg(kind: SaKind, seq: ReadSequence, time: f64, samples: usize) -> McConfig {
+    McConfig::smoke(
+        kind,
+        Workload::new(0.8, seq),
+        Environment::nominal(),
+        time,
+        samples,
+    )
+}
+
+/// Core numerical kernel: LU factor+solve at MNA size.
+fn bench_lu_solve(c: &mut Criterion) {
+    let n = 16;
+    let mut a = DMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = ((i * 31 + j * 17) % 13) as f64 - 6.0;
+        }
+        a[(i, i)] += 50.0;
+    }
+    let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    c.bench_function("lu_solve_16x16", |bench| {
+        bench.iter(|| black_box(&a).solve(black_box(&b)).unwrap())
+    });
+}
+
+/// Transient engine throughput on an RC testbench.
+fn bench_transient_rc(c: &mut Criterion) {
+    let mut n = Netlist::new();
+    let vin = n.node("in");
+    let out = n.node("out");
+    n.vsource(vin, Netlist::GROUND, Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 1e-9, 3e-9));
+    n.resistor(vin, out, 1e3);
+    n.capacitor(out, Netlist::GROUND, 1e-12);
+    for (name, integ) in [
+        ("transient_rc_be", Integrator::BackwardEuler),
+        ("transient_rc_trap", Integrator::Trapezoidal),
+    ] {
+        let params = TranParams::new(10e-9, 1e-11).record_all().integrator(integ);
+        c.bench_function(name, |bench| {
+            bench.iter(|| transient(black_box(&n), black_box(&params)).unwrap())
+        });
+    }
+}
+
+/// One SA regeneration transient (the inner loop of everything).
+fn bench_sa_sense(c: &mut Criterion) {
+    let sa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+    let opts = ProbeOptions::fast();
+    let mut group = c.benchmark_group("sense");
+    group.sample_size(20);
+    group.bench_function("sa_sense_50mv", |bench| {
+        bench.iter(|| black_box(&sa).sense(black_box(50e-3), &opts).unwrap())
+    });
+    group.finish();
+}
+
+/// Full offset binary search for one instance.
+fn bench_offset_search(c: &mut Criterion) {
+    let sa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+    let opts = ProbeOptions::fast();
+    let mut group = c.benchmark_group("offset");
+    group.sample_size(10);
+    group.bench_function("offset_binary_search", |bench| {
+        bench.iter(|| black_box(&sa).offset_voltage(&opts).unwrap())
+    });
+    group.finish();
+}
+
+/// BTI trap-set sampling and evaluation.
+fn bench_bti(c: &mut Criterion) {
+    let params = BtiParams::default_45nm();
+    let area = 17.8 * 45e-9 * 45e-9;
+    let stress = StressCondition::new(0.4, 1.0, 25.0);
+    let mut rng = SeedSequence::root(3).rng();
+    let traps = TrapSet::sample(&params, area, &mut rng);
+    c.bench_function("bti_sample_trapset", |bench| {
+        bench.iter_batched(
+            || SeedSequence::root(9).rng(),
+            |mut rng| TrapSet::sample(black_box(&params), black_box(area), &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("bti_delta_vth_expected", |bench| {
+        bench.iter(|| params.delta_vth_expected(black_box(&traps), &stress, black_box(1e8)))
+    });
+}
+
+/// Aged-sample construction (mismatch + traps + stress, no circuits).
+fn bench_build_sample(c: &mut Criterion) {
+    let cfg = smoke_cfg(SaKind::Issa, ReadSequence::AllZeros, 1e8, 4);
+    c.bench_function("mc_build_sample", |bench| {
+        bench.iter(|| build_sample(black_box(&cfg), black_box(2)))
+    });
+}
+
+/// The Eq. 3 spec solve.
+fn bench_spec_solver(c: &mut Criterion) {
+    c.bench_function("offset_spec_eq3", |bench| {
+        bench.iter(|| offset_spec(black_box(17e-3), black_box(15e-3), black_box(1e-9)))
+    });
+}
+
+/// Reduced-size versions of each paper experiment (2 samples per corner,
+/// one representative corner per table/figure).
+fn bench_experiments_reduced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments_reduced");
+    group.sample_size(10);
+    group.bench_function("table2_corner_80r0", |bench| {
+        let cfg = smoke_cfg(SaKind::Nssa, ReadSequence::AllZeros, 1e8, 2);
+        bench.iter(|| run_mc(black_box(&cfg)).unwrap())
+    });
+    group.bench_function("table3_corner_80r0_hi_vdd", |bench| {
+        let cfg = McConfig {
+            env: Environment::nominal().with_vdd_factor(1.1),
+            ..smoke_cfg(SaKind::Nssa, ReadSequence::AllZeros, 1e8, 2)
+        };
+        bench.iter(|| run_mc(black_box(&cfg)).unwrap())
+    });
+    group.bench_function("table4_corner_80r0_125c", |bench| {
+        let cfg = McConfig {
+            env: Environment::nominal().with_temp_c(125.0),
+            ..smoke_cfg(SaKind::Nssa, ReadSequence::AllZeros, 1e8, 2)
+        };
+        bench.iter(|| run_mc(black_box(&cfg)).unwrap())
+    });
+    group.bench_function("fig7_point_issa_125c", |bench| {
+        let cfg = McConfig {
+            env: Environment::nominal().with_temp_c(125.0),
+            ..smoke_cfg(SaKind::Issa, ReadSequence::AllZeros, 1e8, 2)
+        };
+        bench.iter(|| run_mc(black_box(&cfg)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lu_solve,
+    bench_transient_rc,
+    bench_sa_sense,
+    bench_offset_search,
+    bench_bti,
+    bench_build_sample,
+    bench_spec_solver,
+    bench_experiments_reduced,
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Ablation of the scheme's one design knob: the counter width N (the
+//! inputs swap every 2^(N−1) reads). The paper chooses N = 8 as a case
+//! study; this sweep shows why almost any width works for ordinary read
+//! streams — and where the degenerate widths fail.
+//!
+//! For each width the binary reports: residual internal imbalance for an
+//! all-zeros stream and for an *alternating* stream (which aliases with
+//! N = 1), the resulting Mdown/MdownBar duty gap, the expected aged ΔVth
+//! differential, and the control block's area/energy cost.
+//!
+//! ```sh
+//! cargo run --release -p issa-bench --bin ablate_switch_period
+//! ```
+
+use issa_bti::{BtiParams, StressCondition, TrapSet};
+use issa_core::netlist::{SaDevice, SaKind, SaSizing};
+use issa_core::overhead::{counter_toggles_per_read, overhead, OverheadModel};
+use issa_core::stress::{compile_workload, device_duty, StressModel};
+use issa_core::workload::{ReadSequence, Workload};
+use issa_num::rng::SeedSequence;
+
+/// Mean expected ΔVth of a latch pull-down at the given duty (200 trap-set
+/// draws, 10⁸ s, 25 °C).
+fn mean_dvth(duty: f64) -> f64 {
+    let bti = BtiParams::default_45nm();
+    let area = SaDevice::Mdown.gate_area(&SaSizing::paper());
+    let stress = StressCondition::new(duty, 1.0, 25.0);
+    let root = SeedSequence::root(42);
+    let mut total = 0.0;
+    for i in 0..200 {
+        let mut rng = root.child(i).rng();
+        let traps = TrapSet::sample(&bti, area, &mut rng);
+        total += bti.delta_vth_expected(&traps, &stress, 1e8);
+    }
+    total / 200.0
+}
+
+/// Residual internal zero-fraction imbalance |az − 0.5| for a sequence
+/// pushed through an N-bit control.
+fn imbalance(bits: u8, seq: ReadSequence) -> f64 {
+    let cw = compile_workload(Workload::new(0.8, seq), SaKind::Issa, bits);
+    (cw.internal_zero_fraction - 0.5).abs()
+}
+
+fn main() {
+    println!("ablation: ISSA counter width N (swap period 2^(N-1) reads)\n");
+    println!(
+        "{:>3} {:>8} {:>12} {:>12} {:>11} {:>13} {:>13} {:>13}",
+        "N", "period", "imbal(r0)", "imbal(alt)", "duty gap", "E[dVth] diff", "ctl devices", "toggles/read"
+    );
+
+    let model = StressModel::default();
+    for bits in 1u8..=10 {
+        let imbal_r0 = imbalance(bits, ReadSequence::AllZeros);
+        let imbal_alt = imbalance(bits, ReadSequence::Alternating);
+        let cw = compile_workload(
+            Workload::new(0.8, ReadSequence::AllZeros),
+            SaKind::Issa,
+            bits,
+        );
+        let duty_gap = (device_duty(&model, &cw, SaDevice::Mdown)
+            - device_duty(&model, &cw, SaDevice::MdownBar))
+        .abs();
+        let d_hi = mean_dvth(device_duty(&model, &cw, SaDevice::Mdown));
+        let d_lo = mean_dvth(device_duty(&model, &cw, SaDevice::MdownBar));
+        let report = overhead(
+            &OverheadModel {
+                counter_bits: bits,
+                ..OverheadModel::default()
+            },
+            &SaSizing::paper(),
+        );
+        println!(
+            "{:>3} {:>8} {:>12.4} {:>12.4} {:>11.4} {:>10.2} mV {:>13} {:>13.3}",
+            bits,
+            1u64 << (bits - 1),
+            imbal_r0,
+            imbal_alt,
+            duty_gap,
+            (d_hi - d_lo).abs() * 1e3,
+            report.control_transistors,
+            counter_toggles_per_read(bits),
+        );
+    }
+
+    println!("\nreading: any N balances a constant stream (imbal(r0) = 0);");
+    println!("N = 1 aliases with an alternating stream (imbal(alt) = 0.5 -> no mitigation);");
+    println!("larger N costs control area linearly while toggles/read saturate at 2.");
+    println!("the paper's N = 8 sits comfortably past all aliasing at negligible cost.");
+}

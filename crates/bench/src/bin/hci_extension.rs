@@ -1,0 +1,46 @@
+//! Extension experiment: stacking Hot Carrier Injection on top of BTI —
+//! the paper names HCI as another mechanism but evaluates only BTI. Two
+//! questions: (a) does HCI change the ISSA's advantage? (b) does the
+//! scheme's internal balancing also balance HCI?
+//!
+//! ```sh
+//! cargo run --release -p issa-bench --bin hci_extension [--samples N]
+//! ```
+
+use issa_bench::BenchArgs;
+use issa_core::montecarlo::{run_mc, HciConfig, McConfig};
+use issa_core::netlist::SaKind;
+use issa_core::workload::{ReadSequence, Workload};
+use issa_ptm45::Environment;
+
+fn main() {
+    let args = BenchArgs::parse(80);
+    let env = Environment::nominal();
+    println!("BTI vs BTI+HCI at 25 C / 1.0 V, workload 80r0, t = 1e8 s, 1 GHz read rate\n");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10}",
+        "scheme", "model", "mu [mV]", "sig [mV]", "spec [mV]"
+    );
+    for kind in [SaKind::Nssa, SaKind::Issa] {
+        for (label, hci) in [("BTI", None), ("BTI+HCI", Some(HciConfig::default()))] {
+            let cfg = McConfig {
+                hci,
+                delay_samples: 0,
+                ..args.config(kind, Workload::new(0.8, ReadSequence::AllZeros), env, 1e8)
+            };
+            let r = run_mc(&cfg).expect("corner runs");
+            println!(
+                "{:>8} {:>10} {:>10.2} {:>10.2} {:>10.1}",
+                kind.name(),
+                label,
+                r.mu * 1e3,
+                r.sigma * 1e3,
+                r.spec * 1e3
+            );
+        }
+    }
+    println!("\nreading: HCI adds a deterministic, data-driven shift on the conducting");
+    println!("NMOS. For the NSSA under 80r0 it lands on the same side BTI already");
+    println!("stressed (the shifts compound); the ISSA's switching splits the events");
+    println!("50/50, so HCI stays balanced too and the spec gap widens slightly.");
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Table II** (workload impact on offset voltage and delay
+//! at nominal Vdd / 25 °C) and prints the **Fig. 4** distribution view of
+//! the same corners.
+//!
+//! ```sh
+//! cargo run --release -p issa-bench --bin table2_workload [--samples N] [--paper-probes]
+//! ```
+
+use issa_bench::{csv_row, paper, print_table_header, print_table_row, render_distribution_strip, write_csv, BenchArgs, CSV_HEADER};
+
+fn main() {
+    let args = BenchArgs::parse(400);
+    println!("Table II: workload impact on offset voltage and delay");
+    println!("corners at 25 C / 1.0 V; (P) = paper value; absolute numbers differ, shapes should match\n");
+    print_table_header("-");
+
+    let mut strips = Vec::new();
+    let mut csv = Vec::new();
+    for spec in paper::table2() {
+        let r = spec.run(&args);
+        print_table_row(&spec, "-", &r);
+        csv.push(csv_row(&spec, "-", &r));
+        strips.push(render_distribution_strip(
+            &format!("{} {} t={}", spec.kind.name(), spec.label, spec.time_label()),
+            &r,
+            220.0,
+        ));
+    }
+
+    println!("\nFig. 4 view: offset distributions, mean 'x' and +/-6 sigma whiskers, axis -220..220 mV");
+    for strip in strips {
+        println!("{strip}");
+    }
+
+    let path = write_csv("table2.csv", CSV_HEADER, &csv);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Table III** (supply-voltage impact at 25 °C, t = 10⁸ s)
+//! and prints the **Fig. 5** distribution view of the same corners.
+//!
+//! ```sh
+//! cargo run --release -p issa-bench --bin table3_voltage [--samples N] [--paper-probes]
+//! ```
+
+use issa_bench::{csv_row, paper, print_table_header, print_table_row, render_distribution_strip, write_csv, BenchArgs, CSV_HEADER};
+
+fn main() {
+    let args = BenchArgs::parse(400);
+    println!("Table III: supply-voltage impact on offset voltage and delay");
+    println!("corners at 25 C, Vdd in {{0.9, 1.1}} V; (P) = paper value\n");
+    print_table_header("vdd");
+
+    let mut strips = Vec::new();
+    let mut csv = Vec::new();
+    for spec in paper::table3() {
+        let r = spec.run(&args);
+        let vdd = format!("{:+.0}%", (spec.env.vdd - 1.0) * 100.0);
+        print_table_row(&spec, &vdd, &r);
+        csv.push(csv_row(&spec, &vdd, &r));
+        strips.push(render_distribution_strip(
+            &format!("{} {} {}", spec.kind.name(), spec.label, vdd),
+            &r,
+            220.0,
+        ));
+    }
+
+    println!("\nFig. 5 view: offset distributions at t=1e8s, mean 'x' and +/-6 sigma whiskers, axis -220..220 mV");
+    for strip in strips {
+        println!("{strip}");
+    }
+
+    let path = write_csv("table3.csv", CSV_HEADER, &csv);
+    println!("\nwrote {}", path.display());
+}

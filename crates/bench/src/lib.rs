@@ -1,0 +1,319 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each binary in `src/bin/` reproduces one artifact, printing the paper's
+//! numbers next to the measured ones:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1_truth` | Table I — control-logic truth table |
+//! | `table2_workload` | Table II + Fig. 4 — workload impact at 25 °C / 1 V |
+//! | `table3_voltage` | Table III + Fig. 5 — supply-voltage impact |
+//! | `table4_temperature` | Table IV + Fig. 6 — temperature impact |
+//! | `fig7_delay_aging` | Fig. 7 — delay vs stress time at 125 °C |
+//! | `overhead` | Section IV-C — area/energy overhead accounting |
+//! | `ablate_switch_period` | counter width N vs residual imbalance (design choice: N = 8) |
+//! | `ablate_idle_stress` | idle-stress weight vs distribution shape |
+//! | `ablate_swing_policy` | fixed vs spec-provisioned delay swing |
+//! | `ablate_integrator` | time-step/integrator convergence of the probes |
+//! | `lifetime_extension` | offset-budget lifetime, NSSA vs ISSA (paper's conclusion) |
+//! | `hci_extension` | BTI + Hot Carrier Injection stacking |
+//!
+//! All Monte Carlo binaries accept `--samples N`, `--seed S`, and
+//! `--paper-probes` (slow, fine-grained probes instead of the default fast
+//! profile). Absolute millivolts/picoseconds differ from the paper (the
+//! substrate is an analytic device model, not the authors' BSIM4 deck);
+//! the comparisons to check are the *shapes*: signs and ordering of μ,
+//! σ growth, spec ordering, and the Fig. 7 crossover.
+
+pub mod paper;
+
+use issa_core::montecarlo::{run_mc, McConfig, McResult};
+use issa_core::netlist::SaKind;
+use issa_core::probe::ProbeOptions;
+use issa_core::workload::{ReadSequence, Workload};
+use issa_ptm45::Environment;
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchArgs {
+    /// Monte Carlo samples per corner.
+    pub samples: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Use the paper-fidelity probe profile (slower).
+    pub paper_probes: bool,
+}
+
+impl BenchArgs {
+    /// Parses `--samples N`, `--seed S`, `--paper-probes` from the process
+    /// arguments; unknown arguments abort with a usage message.
+    pub fn parse(default_samples: usize) -> Self {
+        let mut args = BenchArgs {
+            samples: default_samples,
+            seed: 0x1554_2017,
+            paper_probes: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--samples" => {
+                    args.samples = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--samples needs a positive integer"));
+                }
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--paper-probes" => args.paper_probes = true,
+                other => usage(&format!("unknown argument '{other}'")),
+            }
+        }
+        args
+    }
+
+    /// Probe options selected by the flags.
+    pub fn probe(&self) -> ProbeOptions {
+        if self.paper_probes {
+            ProbeOptions::default()
+        } else {
+            ProbeOptions::fast()
+        }
+    }
+
+    /// Builds the Monte Carlo configuration for one corner.
+    pub fn config(
+        &self,
+        kind: SaKind,
+        workload: Workload,
+        env: Environment,
+        time: f64,
+    ) -> McConfig {
+        McConfig {
+            samples: self.samples,
+            seed: self.seed,
+            probe: self.probe(),
+            delay_samples: 16.min(self.samples),
+            ..McConfig::paper(kind, workload, env, time)
+        }
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: <bin> [--samples N] [--seed S] [--paper-probes]");
+    std::process::exit(2)
+}
+
+/// One experiment corner: scheme, workload, environment, stress time, and
+/// the paper's reported numbers for the row.
+#[derive(Debug, Clone)]
+pub struct CornerSpec {
+    /// Row label as printed in the paper (e.g. `"80r0"`, `"80%"`, `"-"`).
+    pub label: &'static str,
+    /// SA variant.
+    pub kind: SaKind,
+    /// Read-value mix.
+    pub sequence: ReadSequence,
+    /// Activation rate.
+    pub activation: f64,
+    /// Stress time \[s\].
+    pub time: f64,
+    /// Environment.
+    pub env: Environment,
+    /// Paper row: (μ mV, σ mV, spec mV, delay ps).
+    pub paper: [f64; 4],
+}
+
+impl CornerSpec {
+    /// Runs this corner under `args`.
+    pub fn run(&self, args: &BenchArgs) -> McResult {
+        let cfg = args.config(
+            self.kind,
+            Workload::new(self.activation, self.sequence),
+            self.env,
+            self.time,
+        );
+        run_mc(&cfg).unwrap_or_else(|e| {
+            panic!("corner '{}' failed: {e}", self.label);
+        })
+    }
+
+    /// Extra row qualifier (time column).
+    pub fn time_label(&self) -> String {
+        if self.time == 0.0 {
+            "0".into()
+        } else {
+            format!("{:.0e}", self.time)
+        }
+    }
+}
+
+/// Prints the comparison header for a table experiment.
+pub fn print_table_header(extra_col: &str) {
+    println!(
+        "{:<6} {:>6} {:<7} {:>7} | {:>8} {:>8} {:>9} {:>9} | {:>8} {:>8} {:>9} {:>9}",
+        "scheme", "time", "wkld", extra_col, "mu(P)", "sig(P)", "spec(P)", "delay(P)", "mu", "sig",
+        "spec", "delay"
+    );
+    println!("{}", "-".repeat(116));
+}
+
+/// Prints one comparison row: paper values `(P)` next to measured ones.
+pub fn print_table_row(spec: &CornerSpec, extra: &str, r: &McResult) {
+    println!(
+        "{:<6} {:>6} {:<7} {:>7} | {:>8.2} {:>8.2} {:>9.1} {:>9.1} | {:>8.2} {:>8.2} {:>9.1} {:>9.2}",
+        spec.kind.name(),
+        spec.time_label(),
+        spec.label,
+        extra,
+        spec.paper[0],
+        spec.paper[1],
+        spec.paper[2],
+        spec.paper[3],
+        r.mu * 1e3,
+        r.sigma * 1e3,
+        r.spec * 1e3,
+        r.mean_delay * 1e12
+    );
+}
+
+/// Renders a Fig. 4/5/6-style distribution strip: mean marker and ±6 σ
+/// whiskers on a millivolt axis.
+pub fn render_distribution_strip(label: &str, r: &McResult, axis_mv: f64) -> String {
+    const WIDTH: usize = 81; // odd so zero sits on a column
+    let to_col = |mv: f64| -> usize {
+        let frac = ((mv + axis_mv) / (2.0 * axis_mv)).clamp(0.0, 1.0);
+        (frac * (WIDTH - 1) as f64).round() as usize
+    };
+    let mut strip = vec![' '; WIDTH];
+    strip[to_col(0.0)] = '|';
+    let lo = to_col(r.mu * 1e3 - 6.0 * r.sigma * 1e3);
+    let hi = to_col(r.mu * 1e3 + 6.0 * r.sigma * 1e3);
+    for cell in strip.iter_mut().take(hi + 1).skip(lo) {
+        if *cell == ' ' {
+            *cell = '-';
+        }
+    }
+    strip[lo] = '[';
+    strip[hi] = ']';
+    strip[to_col(r.mu * 1e3)] = 'x';
+    format!("{label:>14} {}", strip.into_iter().collect::<String>())
+}
+
+/// The shared experiment seed / corner helpers used by several binaries.
+pub fn nominal() -> Environment {
+    Environment::nominal()
+}
+
+/// Writes experiment rows as CSV under `results/` (created on demand), so
+/// downstream analysis does not have to scrape the console tables.
+/// Returns the path written.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment binaries have no recovery path).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBuf {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut body = String::with_capacity(rows.len() * 64 + header.len() + 1);
+    body.push_str(header);
+    body.push('\n');
+    for row in rows {
+        body.push_str(row);
+        body.push('\n');
+    }
+    std::fs::write(&path, body).expect("write csv");
+    path
+}
+
+/// Formats one corner's measurement as a CSV row matching
+/// [`CSV_HEADER`].
+pub fn csv_row(spec: &CornerSpec, extra: &str, r: &McResult) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{:.3}",
+        spec.kind.name(),
+        spec.time_label(),
+        spec.label,
+        extra,
+        spec.paper[0],
+        spec.paper[1],
+        spec.paper[2],
+        spec.paper[3],
+        r.mu * 1e3,
+        r.sigma * 1e3,
+        r.spec * 1e3,
+        r.mean_delay * 1e12,
+        r.ks_sqrt_n,
+    )
+}
+
+/// Column names for [`csv_row`].
+pub const CSV_HEADER: &str = "scheme,time_s,workload,extra,mu_paper_mv,sigma_paper_mv,spec_paper_mv,delay_paper_ps,mu_mv,sigma_mv,spec_mv,delay_ps,ks_sqrt_n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_spec_time_labels() {
+        let spec = CornerSpec {
+            label: "80r0",
+            kind: SaKind::Nssa,
+            sequence: ReadSequence::AllZeros,
+            activation: 0.8,
+            time: 1e8,
+            env: Environment::nominal(),
+            paper: [17.3, 15.7, 111.5, 14.3],
+        };
+        assert_eq!(spec.time_label(), "1e8");
+        let fresh = CornerSpec { time: 0.0, ..spec };
+        assert_eq!(fresh.time_label(), "0");
+    }
+
+    #[test]
+    fn distribution_strip_centers_mean() {
+        let r = McResult {
+            offsets: vec![0.0],
+            delays: vec![],
+            mu: 0.0,
+            sigma: 10e-3,
+            spec: 61e-3,
+            mean_delay: f64::NAN,
+            ks_sqrt_n: 0.5,
+        };
+        let strip = render_distribution_strip("test", &r, 220.0);
+        // Zero marker and mean marker coincide at the center column.
+        assert!(strip.contains('x'));
+        assert!(strip.contains('['));
+        assert!(strip.contains(']'));
+        let x_pos = strip.find('x').unwrap();
+        let open = strip.find('[').unwrap();
+        let close = strip.find(']').unwrap();
+        assert!(open < x_pos && x_pos < close);
+    }
+
+    #[test]
+    fn smoke_corner_runs() {
+        let args = BenchArgs {
+            samples: 3,
+            seed: 7,
+            paper_probes: false,
+        };
+        let spec = CornerSpec {
+            label: "80r0",
+            kind: SaKind::Nssa,
+            sequence: ReadSequence::AllZeros,
+            activation: 0.8,
+            time: 0.0,
+            env: Environment::nominal(),
+            paper: [0.1, 14.8, 90.2, 13.6],
+        };
+        let r = spec.run(&args);
+        assert_eq!(r.offsets.len(), 3);
+    }
+}

@@ -1,0 +1,599 @@
+//! Atomistic Bias Temperature Instability (BTI) aging model.
+//!
+//! Implements the capture/emission trap model the paper builds on (Kaczer
+//! et al.; the paper's Eq. 1–2): each MOSFET carries a population of gate
+//! oxide defects. A defect that has *captured* a charge contributes a small
+//! threshold-voltage shift; capture happens under gate stress with time
+//! constant τc, emission (recovery) during relaxation with time constant
+//! τe. The device's total ΔVth is the sum over occupied traps.
+//!
+//! # The duty-cycled (AC) closed form
+//!
+//! The paper's Eq. 1–2 give per-phase capture/emission probabilities. For a
+//! workload that switches much faster than the trap time constants — always
+//! true here: reads are nanoseconds, lifetimes are years — the two-state
+//! Markov chain under a stress duty factor α averages to
+//!
+//! ```text
+//! dp/dt = (1 − p)·α/τc − p·(1 − α)/τe
+//! p(t)  = p∞ · (1 − exp(−t/τ_eff))
+//! p∞    = (α/τc) / (α/τc + (1 − α)/τe)
+//! 1/τ_eff = α/τc + (1 − α)/τe
+//! ```
+//!
+//! which is the exact long-time limit of iterating Eq. 1–2 over stress and
+//! relaxation phases.
+//!
+//! # Temperature and voltage acceleration
+//!
+//! Capture/emission time constants follow an Arrhenius law with activation
+//! energy [`BtiParams::ea_tau`]; the effective per-trap impact carries an
+//! additional Arrhenius factor ([`BtiParams::ea_amplitude`], standing in
+//! for thermally activated defect generation) and an exponential gate
+//! overdrive factor ([`BtiParams::gamma_v`]) — the standard empirical BTI
+//! voltage-acceleration form.
+//!
+//! # Statistics
+//!
+//! Trap count is Poisson in gate area; per-trap impact is exponentially
+//! distributed with mean inversely proportional to gate area (small devices
+//! age noisier). Evaluation offers the smooth occupancy-weighted *expected*
+//! shift and a Bernoulli-*sampled* shift; the latter reproduces the growth
+//! of offset-distribution spread with stress time seen in the paper's
+//! Table II.
+//!
+//! # Example
+//!
+//! ```
+//! use issa_bti::{BtiParams, StressCondition, TrapSet};
+//! use issa_num::rng::SeedSequence;
+//!
+//! let params = BtiParams::default_45nm();
+//! let area = 17.8 * 45e-9 * 45e-9; // a W/L = 17.8 latch pull-down
+//! let mut rng = SeedSequence::root(7).rng();
+//! let traps = TrapSet::sample(&params, area, &mut rng);
+//!
+//! let stress = StressCondition { duty: 0.5, v_stress: 1.0, temp_c: 25.0 };
+//! let young = params.delta_vth_expected(&traps, &stress, 1e4);
+//! let old = params.delta_vth_expected(&traps, &stress, 1e8);
+//! assert!(old > young); // aging is monotone in time
+//! ```
+
+pub mod hci;
+
+use issa_num::rng::{exponential, log_uniform, poisson};
+use rand::Rng;
+
+/// Boltzmann constant \[eV/K\].
+const K_B_EV: f64 = 8.617_333_262e-5;
+
+/// Stress seen by one transistor over its lifetime, already averaged over
+/// the workload: the fraction of time the gate is stressed, the stress
+/// voltage magnitude, and the temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressCondition {
+    /// Fraction of time under gate stress, in `[0, 1]`.
+    pub duty: f64,
+    /// Stress |Vgs| magnitude \[V\] (the gate overdrive driving capture).
+    pub v_stress: f64,
+    /// Junction temperature \[°C\].
+    pub temp_c: f64,
+}
+
+impl StressCondition {
+    /// Creates a stress condition, validating the duty factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is outside `[0, 1]` or `v_stress` is negative.
+    pub fn new(duty: f64, v_stress: f64, temp_c: f64) -> Self {
+        assert!((0.0..=1.0).contains(&duty), "duty must be in [0,1], got {duty}");
+        assert!(v_stress >= 0.0, "stress voltage must be non-negative");
+        Self {
+            duty,
+            v_stress,
+            temp_c,
+        }
+    }
+
+    /// Absolute temperature \[K\].
+    pub fn temp_k(&self) -> f64 {
+        self.temp_c + 273.15
+    }
+}
+
+/// One gate-oxide defect: reference-condition time constants (log10
+/// seconds) and its threshold-voltage impact when occupied \[V\].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trap {
+    /// log10 of the capture time constant at reference conditions \[log10 s\].
+    pub log10_tau_c: f64,
+    /// log10 of the emission time constant at reference conditions \[log10 s\].
+    pub log10_tau_e: f64,
+    /// ΔVth contributed when the trap is occupied \[V\].
+    pub impact: f64,
+}
+
+/// The defect population of one transistor.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrapSet {
+    traps: Vec<Trap>,
+}
+
+impl TrapSet {
+    /// Samples a trap population for a device of the given gate `area`
+    /// \[m²\] at *reference* stress conditions: Poisson count, log-uniform
+    /// CET positions, exponential impacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area` is not positive.
+    pub fn sample<R: Rng + ?Sized>(params: &BtiParams, area: f64, rng: &mut R) -> Self {
+        Self::sample_with_density_factor(params, area, 1.0, rng)
+    }
+
+    /// Samples the trap population a device accumulates under `stress`:
+    /// the defect density is multiplied by the temperature/overdrive
+    /// amplitude factor ([`BtiParams::amplitude_factor`]), modelling
+    /// thermally/field-activated defect generation. This is what makes the
+    /// *mean* shift scale with the acceleration while the device-to-device
+    /// spread grows only with its square root — the σ signature of the
+    /// paper's hot corners (Table IV: σ grows ~20 % while μ grows ~4.5×).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area` is not positive.
+    pub fn sample_accelerated<R: Rng + ?Sized>(
+        params: &BtiParams,
+        area: f64,
+        stress: &StressCondition,
+        rng: &mut R,
+    ) -> Self {
+        Self::sample_with_density_factor(params, area, params.amplitude_factor(stress), rng)
+    }
+
+    fn sample_with_density_factor<R: Rng + ?Sized>(
+        params: &BtiParams,
+        area: f64,
+        density_factor: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(area > 0.0, "gate area must be positive");
+        let mean_count = params.trap_density * area * density_factor;
+        let count = poisson(rng, mean_count);
+        let mean_impact = params.impact_eta / area;
+        let traps = (0..count)
+            .map(|_| {
+                let log10_tau_c = log_uniform(
+                    rng,
+                    10f64.powf(params.log10_tau_c_min),
+                    10f64.powf(params.log10_tau_c_max),
+                )
+                .log10();
+                let offset = params.log10_tau_e_offset_min
+                    + rng.gen::<f64>()
+                        * (params.log10_tau_e_offset_max - params.log10_tau_e_offset_min);
+                Trap {
+                    log10_tau_c,
+                    log10_tau_e: log10_tau_c + offset,
+                    impact: exponential(rng, mean_impact),
+                }
+            })
+            .collect();
+        Self { traps }
+    }
+
+    /// Builds a trap set from explicit traps (tests, ablations).
+    pub fn from_traps(traps: Vec<Trap>) -> Self {
+        Self { traps }
+    }
+
+    /// Number of defects.
+    pub fn len(&self) -> usize {
+        self.traps.len()
+    }
+
+    /// True if the device has no defects.
+    pub fn is_empty(&self) -> bool {
+        self.traps.is_empty()
+    }
+
+    /// The traps.
+    pub fn traps(&self) -> &[Trap] {
+        &self.traps
+    }
+}
+
+/// Calibration parameters of the atomistic BTI model.
+///
+/// Reference conditions for the time constants and amplitudes are
+/// [`BtiParams::temp_ref_c`] / [`BtiParams::v_ref`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BtiParams {
+    /// Mean defect density per gate area \[1/m²\].
+    pub trap_density: f64,
+    /// Per-trap impact scale \[V·m²\]: mean single-trap ΔVth of a device
+    /// with area A is `impact_eta / A`.
+    pub impact_eta: f64,
+    /// log10 bounds of the capture-time distribution at reference
+    /// conditions \[log10 s\].
+    pub log10_tau_c_min: f64,
+    /// Upper bound, see `log10_tau_c_min`.
+    pub log10_tau_c_max: f64,
+    /// Emission times are *correlated* with capture times —
+    /// `log10 τe = log10 τc + offset` with the offset uniform in
+    /// `[log10_tau_e_offset_min, log10_tau_e_offset_max]`. This is the
+    /// measured CET-map structure (capture and emission energies of one
+    /// defect are linked) and is what gives the occupancy its strong duty-
+    /// factor dependence: a trap with τe ≈ τc reaches p∞ ≈ α, while
+    /// independent τe would let most traps saturate regardless of
+    /// workload.
+    pub log10_tau_e_offset_min: f64,
+    /// Upper bound, see `log10_tau_e_offset_min`.
+    pub log10_tau_e_offset_max: f64,
+    /// Arrhenius activation energy of the capture/emission time constants
+    /// \[eV\]; higher temperature shortens both.
+    pub ea_tau: f64,
+    /// Arrhenius activation energy of the effective impact amplitude
+    /// \[eV\] (thermally activated defect generation).
+    pub ea_amplitude: f64,
+    /// Exponential voltage-acceleration coefficient of the amplitude
+    /// \[1/V\].
+    pub gamma_v: f64,
+    /// Capture-time acceleration with overdrive \[decades/V\]: stress above
+    /// `v_ref` shifts the CET map toward faster capture.
+    pub gamma_v_tau: f64,
+    /// Reference stress voltage \[V\].
+    pub v_ref: f64,
+    /// Reference temperature \[°C\].
+    pub temp_ref_c: f64,
+}
+
+impl BtiParams {
+    /// Default calibration for the 45 nm HP cards in `issa-ptm45`,
+    /// anchored (see `issa-core::calib`) so that a latch pull-down stressed
+    /// at duty 0.4 for 10⁸ s at 25 °C/1 V accumulates a mean ΔVth of
+    /// roughly 10–20 mV, rising ~4–5× at 125 °C — the paper's Table II/IV
+    /// operating points.
+    pub fn default_45nm() -> Self {
+        Self {
+            trap_density: 2.5e15,        // ~90 traps on a W/L=17.8 gate
+            impact_eta: 3.2e-17,         // mean ~0.89 mV/trap at that size
+            log10_tau_c_min: 2.0,
+            log10_tau_c_max: 14.0,
+            log10_tau_e_offset_min: -1.0,
+            log10_tau_e_offset_max: 2.0,
+            ea_tau: 0.65,
+            ea_amplitude: 0.13,
+            gamma_v: 4.0,
+            gamma_v_tau: 6.0,
+            v_ref: 1.0,
+            temp_ref_c: 25.0,
+        }
+    }
+
+    /// Arrhenius acceleration of the time constants at `temp_c` relative
+    /// to the reference temperature (> 1 when hotter: traps respond
+    /// faster).
+    pub fn tau_acceleration(&self, temp_c: f64) -> f64 {
+        let t = temp_c + 273.15;
+        let t_ref = self.temp_ref_c + 273.15;
+        (self.ea_tau / K_B_EV * (1.0 / t_ref - 1.0 / t)).exp()
+    }
+
+    /// Amplitude factor from temperature and overdrive (1 at reference
+    /// conditions).
+    pub fn amplitude_factor(&self, stress: &StressCondition) -> f64 {
+        let t = stress.temp_k();
+        let t_ref = self.temp_ref_c + 273.15;
+        let arrhenius = (self.ea_amplitude / K_B_EV * (1.0 / t_ref - 1.0 / t)).exp();
+        let voltage = (self.gamma_v * (stress.v_stress - self.v_ref)).exp();
+        arrhenius * voltage
+    }
+
+    /// Occupancy probability of one trap after `time` seconds under
+    /// `stress` (the duty-cycled closed form; see the crate docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is negative.
+    pub fn occupancy(&self, trap: &Trap, stress: &StressCondition, time: f64) -> f64 {
+        assert!(time >= 0.0, "time must be non-negative");
+        if stress.duty == 0.0 || time == 0.0 {
+            return 0.0;
+        }
+        let accel = self.tau_acceleration(stress.temp_c);
+        // Overdrive shifts capture to faster time constants.
+        let v_shift = 10f64.powf(self.gamma_v_tau * (stress.v_stress - self.v_ref));
+        let tau_c = 10f64.powf(trap.log10_tau_c) / (accel * v_shift);
+        let tau_e = 10f64.powf(trap.log10_tau_e) / accel;
+
+        let r_c = stress.duty / tau_c;
+        let r_e = (1.0 - stress.duty) / tau_e;
+        let p_inf = r_c / (r_c + r_e);
+        let tau_eff = 1.0 / (r_c + r_e);
+        -p_inf * (-(time / tau_eff)).exp_m1()
+    }
+
+    /// Expected (occupancy-weighted) threshold shift of a device \[V\].
+    ///
+    /// Temperature/overdrive amplitude acceleration enters through the
+    /// trap *population* ([`TrapSet::sample_accelerated`]), not here.
+    pub fn delta_vth_expected(&self, traps: &TrapSet, stress: &StressCondition, time: f64) -> f64 {
+        traps
+            .traps()
+            .iter()
+            .map(|t| self.occupancy(t, stress, time) * t.impact)
+            .sum::<f64>()
+    }
+
+    /// Sampled threshold shift: each trap is occupied with its occupancy
+    /// probability (Bernoulli draw). This is the evaluation mode Monte
+    /// Carlo uses; its device-to-device spread grows with stress time.
+    pub fn delta_vth_sampled<R: Rng + ?Sized>(
+        &self,
+        traps: &TrapSet,
+        stress: &StressCondition,
+        time: f64,
+        rng: &mut R,
+    ) -> f64 {
+        traps
+            .traps()
+            .iter()
+            .filter(|t| rng.gen::<f64>() < self.occupancy(t, stress, time))
+            .map(|t| t.impact)
+            .sum::<f64>()
+    }
+
+    /// Remaining occupancy of a trap `t_relax` seconds after stress is
+    /// removed entirely (pure emission), starting from occupancy `p0`.
+    ///
+    /// This is the paper's Eq. 2 viewed from an occupied trap.
+    pub fn occupancy_after_relax(
+        &self,
+        trap: &Trap,
+        temp_c: f64,
+        p0: f64,
+        t_relax: f64,
+    ) -> f64 {
+        assert!((0.0..=1.0).contains(&p0), "initial occupancy must be a probability");
+        assert!(t_relax >= 0.0, "relaxation time must be non-negative");
+        let accel = self.tau_acceleration(temp_c);
+        let tau_e = 10f64.powf(trap.log10_tau_e) / accel;
+        p0 * (-(t_relax / tau_e)).exp()
+    }
+}
+
+impl Default for BtiParams {
+    fn default() -> Self {
+        Self::default_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use issa_num::rng::SeedSequence;
+    use issa_num::stats::RunningStats;
+
+    const AREA: f64 = 17.8 * 45e-9 * 45e-9;
+
+    fn fixed_trap() -> Trap {
+        Trap {
+            log10_tau_c: 4.0,
+            log10_tau_e: 5.0,
+            impact: 1e-3,
+        }
+    }
+
+    #[test]
+    fn occupancy_is_probability_and_monotone_in_time() {
+        let p = BtiParams::default_45nm();
+        let stress = StressCondition::new(0.5, 1.0, 25.0);
+        let trap = fixed_trap();
+        let mut prev = 0.0;
+        for &t in &[0.0, 1.0, 1e2, 1e4, 1e6, 1e8, 1e10] {
+            let occ = p.occupancy(&trap, &stress, t);
+            assert!((0.0..=1.0).contains(&occ), "occ {occ} at t={t}");
+            assert!(occ >= prev, "occupancy must be monotone in time");
+            prev = occ;
+        }
+    }
+
+    #[test]
+    fn no_stress_no_aging() {
+        let p = BtiParams::default_45nm();
+        let stress = StressCondition::new(0.0, 1.0, 25.0);
+        assert_eq!(p.occupancy(&fixed_trap(), &stress, 1e8), 0.0);
+    }
+
+    #[test]
+    fn full_duty_saturates_to_one() {
+        let p = BtiParams::default_45nm();
+        let stress = StressCondition::new(1.0, 1.0, 25.0);
+        let occ = p.occupancy(&fixed_trap(), &stress, 1e12);
+        assert!((occ - 1.0).abs() < 1e-9, "occ = {occ}");
+    }
+
+    #[test]
+    fn higher_duty_higher_occupancy() {
+        let p = BtiParams::default_45nm();
+        let trap = fixed_trap();
+        let lo = p.occupancy(&trap, &StressCondition::new(0.2, 1.0, 25.0), 1e8);
+        let hi = p.occupancy(&trap, &StressCondition::new(0.8, 1.0, 25.0), 1e8);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn temperature_accelerates_aging() {
+        let p = BtiParams::default_45nm();
+        assert!(p.tau_acceleration(125.0) > 100.0);
+        assert!((p.tau_acceleration(25.0) - 1.0).abs() < 1e-12);
+        assert!(p.tau_acceleration(-40.0) < 1.0);
+
+        // With the population sampled per stress condition, both the
+        // occupancy shift and the activated density raise the hot shift.
+        let root = SeedSequence::root(1);
+        let mean_at = |temp: f64| {
+            let stress = StressCondition::new(0.5, 1.0, temp);
+            let mut total = 0.0;
+            for i in 0..100 {
+                let mut rng = root.child(i).rng();
+                let traps = TrapSet::sample_accelerated(&p, AREA, &stress, &mut rng);
+                total += p.delta_vth_expected(&traps, &stress, 1e8);
+            }
+            total / 100.0
+        };
+        let cold = mean_at(25.0);
+        let hot = mean_at(125.0);
+        assert!(hot > 2.0 * cold, "hot {hot:e} vs cold {cold:e}");
+    }
+
+    #[test]
+    fn overdrive_accelerates_aging() {
+        let p = BtiParams::default_45nm();
+        let root = SeedSequence::root(2);
+        let mean_at = |v: f64| {
+            let stress = StressCondition::new(0.5, v, 25.0);
+            let mut total = 0.0;
+            for i in 0..100 {
+                let mut rng = root.child(i).rng();
+                let traps = TrapSet::sample_accelerated(&p, AREA, &stress, &mut rng);
+                total += p.delta_vth_expected(&traps, &stress, 1e8);
+            }
+            total / 100.0
+        };
+        let low = mean_at(0.9);
+        let nom = mean_at(1.0);
+        let high = mean_at(1.1);
+        assert!(low < nom && nom < high, "{low:e} {nom:e} {high:e}");
+    }
+
+    #[test]
+    fn expected_shift_magnitude_in_calibrated_range() {
+        // Mean over many devices: 10⁸ s at duty 0.4, 25 °C should land in
+        // the low tens of millivolts (Table II anchor).
+        let p = BtiParams::default_45nm();
+        let stress = StressCondition::new(0.4, 1.0, 25.0);
+        let root = SeedSequence::root(3);
+        let mut stats = RunningStats::new();
+        for i in 0..200 {
+            let mut rng = root.child(i).rng();
+            let traps = TrapSet::sample(&p, AREA, &mut rng);
+            stats.push(p.delta_vth_expected(&traps, &stress, 1e8));
+        }
+        let mean = stats.mean();
+        assert!(
+            mean > 2e-3 && mean < 60e-3,
+            "mean ΔVth = {:.2} mV out of calibration band",
+            mean * 1e3
+        );
+    }
+
+    #[test]
+    fn sampled_shift_converges_to_expected_in_mean() {
+        let p = BtiParams::default_45nm();
+        let stress = StressCondition::new(0.5, 1.0, 25.0);
+        let mut rng = SeedSequence::root(4).rng();
+        let traps = TrapSet::sample(&p, AREA, &mut rng);
+        let expected = p.delta_vth_expected(&traps, &stress, 1e8);
+        let mut stats = RunningStats::new();
+        for _ in 0..800 {
+            stats.push(p.delta_vth_sampled(&traps, &stress, 1e8, &mut rng));
+        }
+        assert!(
+            (stats.mean() - expected).abs() < 0.1 * expected.max(1e-4),
+            "sampled mean {:.3e} vs expected {:.3e}",
+            stats.mean(),
+            expected
+        );
+        // Bernoulli sampling adds spread.
+        assert!(stats.sample_std() > 0.0);
+    }
+
+    #[test]
+    fn sampled_spread_grows_with_time() {
+        // The paper's Table II: σ of the offset distribution grows with
+        // aging. At the device level: sampled ΔVth spread grows with time.
+        let p = BtiParams::default_45nm();
+        let stress = StressCondition::new(0.5, 1.0, 25.0);
+        let root = SeedSequence::root(5);
+        let spread_at = |time: f64| {
+            let mut stats = RunningStats::new();
+            for i in 0..300 {
+                let mut rng = root.child(i).rng();
+                let traps = TrapSet::sample(&p, AREA, &mut rng);
+                stats.push(p.delta_vth_sampled(&traps, &stress, time, &mut rng));
+            }
+            stats.sample_std()
+        };
+        let young = spread_at(1e2);
+        let old = spread_at(1e8);
+        assert!(old > young, "σ must grow with aging: {young:e} vs {old:e}");
+    }
+
+    #[test]
+    fn smaller_devices_age_noisier() {
+        let p = BtiParams::default_45nm();
+        let stress = StressCondition::new(0.5, 1.0, 25.0);
+        let root = SeedSequence::root(6);
+        let rel_spread = |area: f64| {
+            let mut stats = RunningStats::new();
+            for i in 0..300 {
+                let mut rng = root.child(i).rng();
+                let traps = TrapSet::sample(&p, area, &mut rng);
+                stats.push(p.delta_vth_expected(&traps, &stress, 1e8));
+            }
+            stats.sample_std() / stats.mean()
+        };
+        let small = rel_spread(AREA / 4.0);
+        let large = rel_spread(AREA * 4.0);
+        assert!(small > large, "small-device σ/µ {small} vs large {large}");
+    }
+
+    #[test]
+    fn relaxation_decays_occupancy() {
+        let p = BtiParams::default_45nm();
+        let trap = fixed_trap();
+        let p1 = p.occupancy_after_relax(&trap, 25.0, 0.8, 0.0);
+        assert_eq!(p1, 0.8);
+        let p2 = p.occupancy_after_relax(&trap, 25.0, 0.8, 1e5);
+        let p3 = p.occupancy_after_relax(&trap, 25.0, 0.8, 1e7);
+        assert!(p2 < p1 && p3 < p2);
+        // Hot relaxation is faster.
+        let p2_hot = p.occupancy_after_relax(&trap, 125.0, 0.8, 1e5);
+        assert!(p2_hot < p2);
+    }
+
+    #[test]
+    fn trap_count_scales_with_area() {
+        let p = BtiParams::default_45nm();
+        let root = SeedSequence::root(7);
+        let mean_count = |area: f64| {
+            let mut total = 0usize;
+            for i in 0..200 {
+                let mut rng = root.child(i).rng();
+                total += TrapSet::sample(&p, area, &mut rng).len();
+            }
+            total as f64 / 200.0
+        };
+        let small = mean_count(AREA);
+        let large = mean_count(2.0 * AREA);
+        assert!((large / small - 2.0).abs() < 0.2, "{small} vs {large}");
+    }
+
+    #[test]
+    fn empty_trap_set_never_ages() {
+        let p = BtiParams::default_45nm();
+        let stress = StressCondition::new(1.0, 1.2, 125.0);
+        let set = TrapSet::default();
+        assert!(set.is_empty());
+        assert_eq!(p.delta_vth_expected(&set, &stress, 1e9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty must be in [0,1]")]
+    fn rejects_bad_duty() {
+        StressCondition::new(1.5, 1.0, 25.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! DC operating-point analysis with gmin stepping.
+
+use crate::netlist::Netlist;
+use crate::newton::{NewtonOpts, NewtonWorkspace};
+use crate::CircuitError;
+
+/// Parameters for a DC operating-point solve.
+#[derive(Debug, Clone)]
+pub struct DcParams {
+    /// Initial guess for the node voltages, `(node_name, volts)` pairs;
+    /// everything else starts at 0 V.
+    pub initial_guess: Vec<(String, f64)>,
+    /// gmin continuation ladder, largest first; the final solve always runs
+    /// with gmin = 0.
+    pub gmin_ladder: Vec<f64>,
+    /// Newton iteration budget per ladder rung.
+    pub max_iter: usize,
+}
+
+impl Default for DcParams {
+    fn default() -> Self {
+        Self {
+            initial_guess: Vec::new(),
+            gmin_ladder: vec![1e-3, 1e-5, 1e-7, 1e-9, 1e-12],
+            max_iter: 200,
+        }
+    }
+}
+
+/// The solved DC operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    names: Vec<String>,
+    voltages: Vec<f64>,
+    branch_currents: Vec<f64>,
+}
+
+impl DcSolution {
+    /// Voltage of node `name`, if it exists.
+    pub fn voltage(&self, name: &str) -> Option<f64> {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Some(0.0);
+        }
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.voltages[i])
+    }
+
+    /// All node voltages as `(name, volts)` pairs.
+    pub fn voltages(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.voltages.iter().copied())
+    }
+
+    /// Branch current of the `i`-th voltage source (insertion order);
+    /// positive current flows out of the positive terminal through the
+    /// external circuit back into the negative terminal... i.e. the MNA
+    /// branch current flows from `p` through the *source* to `n`.
+    pub fn source_current(&self, i: usize) -> Option<f64> {
+        self.branch_currents.get(i).copied()
+    }
+
+    /// The raw unknown vector (node voltages then branch currents).
+    pub fn raw(&self) -> Vec<f64> {
+        let mut v = self.voltages.clone();
+        v.extend_from_slice(&self.branch_currents);
+        v
+    }
+}
+
+/// Solves the DC operating point of `netlist`.
+///
+/// Capacitors are open circuits in DC. Convergence is helped along by gmin
+/// stepping: a shunt conductance from every node to ground is swept from
+/// `gmin_ladder[0]` down to zero, each rung warm-starting the next.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Singular`] for structurally defective circuits
+/// (floating nodes with no DC path) and [`CircuitError::NonConvergence`]
+/// if Newton fails on the final (gmin = 0) rung.
+///
+/// # Example
+///
+/// ```
+/// use issa_circuit::netlist::Netlist;
+/// use issa_circuit::waveform::Waveform;
+/// use issa_circuit::dc::{dc_operating_point, DcParams};
+///
+/// # fn main() -> Result<(), issa_circuit::CircuitError> {
+/// let mut n = Netlist::new();
+/// let a = n.node("a");
+/// let b = n.node("b");
+/// n.vsource(a, Netlist::GROUND, Waveform::dc(2.0));
+/// n.resistor(a, b, 1e3);
+/// n.resistor(b, Netlist::GROUND, 1e3);
+/// let op = dc_operating_point(&n, &DcParams::default())?;
+/// assert!((op.voltage("b").unwrap() - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dc_operating_point(
+    netlist: &Netlist,
+    params: &DcParams,
+) -> Result<DcSolution, CircuitError> {
+    let n = netlist.unknown_count();
+    if n == 0 {
+        return Ok(DcSolution {
+            names: Vec::new(),
+            voltages: Vec::new(),
+            branch_currents: Vec::new(),
+        });
+    }
+    let mut x = vec![0.0; n];
+    for (name, v) in &params.initial_guess {
+        if let Some(id) = netlist.find_node(name) {
+            if let Some(i) = id.unknown_index() {
+                x[i] = *v;
+            }
+        }
+    }
+
+    let mut ws = NewtonWorkspace::new(n);
+    let opts = NewtonOpts {
+        max_iter: params.max_iter,
+        ..NewtonOpts::default()
+    };
+
+    let mut ladder: Vec<f64> = params.gmin_ladder.clone();
+    ladder.push(0.0);
+    let mut last_err = None;
+    for &gmin in &ladder {
+        let result = ws.solve(
+            netlist,
+            &mut x,
+            0.0,
+            |x, st| {
+                if gmin > 0.0 {
+                    for node in netlist.node_ids() {
+                        st.add_gmin(x, node, gmin);
+                    }
+                }
+            },
+            opts,
+        );
+        if let Err(e) = result {
+            // Intermediate rungs may fail; only the final one is fatal.
+            if gmin == 0.0 {
+                return Err(e);
+            }
+            last_err = Some(e);
+        }
+    }
+    let _ = last_err;
+
+    let node_count = netlist.node_count();
+    Ok(DcSolution {
+        names: netlist.node_ids().map(|id| netlist.node_name(id).to_owned()).collect(),
+        voltages: x[..node_count].to_vec(),
+        branch_currents: x[node_count..].to_vec(),
+    })
+}
+
+/// Sweeps the DC value of the `source_index`-th voltage source (insertion
+/// order) over `values`, returning `(value, solution)` pairs. Each solve
+/// warm-starts from the previous solution, which keeps Newton on the same
+/// branch of multivalued characteristics (e.g. an inverter VTC).
+///
+/// # Errors
+///
+/// Propagates the first failing operating-point solve.
+///
+/// # Panics
+///
+/// Panics if `source_index` is out of range.
+pub fn dc_sweep(
+    netlist: &Netlist,
+    source_index: usize,
+    values: &[f64],
+    params: &DcParams,
+) -> Result<Vec<(f64, DcSolution)>, CircuitError> {
+    assert!(
+        source_index < netlist.vsource_count(),
+        "source index {source_index} out of range"
+    );
+    let mut results = Vec::with_capacity(values.len());
+    let mut sweep_params = params.clone();
+    for &value in values {
+        let mut net = netlist.clone();
+        let mut seen = 0;
+        for e in net.elements_mut() {
+            if let crate::element::Element::VSource(v) = e {
+                if seen == source_index {
+                    v.waveform = crate::waveform::Waveform::dc(value);
+                    break;
+                }
+                seen += 1;
+            }
+        }
+        let op = dc_operating_point(&net, &sweep_params)?;
+        // Warm-start the next point from this solution.
+        sweep_params.initial_guess = op
+            .voltages()
+            .map(|(name, volts)| (name.to_owned(), volts))
+            .collect();
+        results.push((value, op));
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::{MosParams, MosPolarity};
+    use crate::waveform::Waveform;
+
+    fn nmos(beta: f64) -> MosParams {
+        MosParams {
+            polarity: MosPolarity::Nmos,
+            vth0: 0.45,
+            beta,
+            n: 1.3,
+            vt: 0.02585,
+            lambda: 0.1,
+            theta: 0.2,
+            gamma: 0.2,
+            phi: 0.8,
+            cgs: 0.0,
+            cgd: 0.0,
+            cdb: 0.0,
+            csb: 0.0,
+            delta_vth: 0.0,
+        }
+    }
+
+    fn pmos(beta: f64) -> MosParams {
+        MosParams {
+            polarity: MosPolarity::Pmos,
+            ..nmos(beta)
+        }
+    }
+
+    #[test]
+    fn voltage_divider() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        let b = n.node("b");
+        n.vsource(a, Netlist::GROUND, Waveform::dc(3.0));
+        n.resistor(a, b, 2e3);
+        n.resistor(b, Netlist::GROUND, 1e3);
+        let op = dc_operating_point(&n, &DcParams::default()).unwrap();
+        assert!((op.voltage("a").unwrap() - 3.0).abs() < 1e-9);
+        assert!((op.voltage("b").unwrap() - 1.0).abs() < 1e-9);
+        // Source current: 3V across 3k → 1 mA flowing p→through source→n,
+        // i.e. the MNA branch current is −1 mA (current exits the + terminal
+        // into the circuit).
+        assert!((op.source_current(0).unwrap() + 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        n.isource(a, Netlist::GROUND, Waveform::dc(1e-3));
+        n.resistor(a, Netlist::GROUND, 1e3);
+        let op = dc_operating_point(&n, &DcParams::default()).unwrap();
+        assert!((op.voltage("a").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floating_node_is_singular_or_zero() {
+        // A node connected only through a capacitor has no DC path; gmin
+        // stepping pins it near zero on intermediate rungs but the final
+        // gmin=0 solve must report the structural singularity.
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        let b = n.node("b");
+        n.vsource(a, Netlist::GROUND, Waveform::dc(1.0));
+        n.capacitor(a, b, 1e-15);
+        let err = dc_operating_point(&n, &DcParams::default()).unwrap_err();
+        assert!(matches!(err, CircuitError::Singular { .. }), "{err}");
+    }
+
+    #[test]
+    fn cmos_inverter_rails() {
+        let vdd = 1.0;
+        for (vin, expect_high) in [(0.0, true), (1.0, false)] {
+            let mut n = Netlist::new();
+            let vdd_n = n.node("vdd");
+            let in_n = n.node("in");
+            let out_n = n.node("out");
+            n.vsource(vdd_n, Netlist::GROUND, Waveform::dc(vdd));
+            n.vsource(in_n, Netlist::GROUND, Waveform::dc(vin));
+            n.mosfet("MP", out_n, in_n, vdd_n, vdd_n, pmos(2e-3));
+            n.mosfet("MN", out_n, in_n, Netlist::GROUND, Netlist::GROUND, nmos(1e-3));
+            let op = dc_operating_point(&n, &DcParams::default()).unwrap();
+            let vout = op.voltage("out").unwrap();
+            if expect_high {
+                assert!(vout > 0.95 * vdd, "vin={vin}: vout={vout}");
+            } else {
+                assert!(vout < 0.05 * vdd, "vin={vin}: vout={vout}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverter_transfer_is_monotone_decreasing() {
+        let vdd = 1.0;
+        let mut prev = f64::INFINITY;
+        for i in 0..=10 {
+            let vin = vdd * i as f64 / 10.0;
+            let mut n = Netlist::new();
+            let vdd_n = n.node("vdd");
+            let in_n = n.node("in");
+            let out_n = n.node("out");
+            n.vsource(vdd_n, Netlist::GROUND, Waveform::dc(vdd));
+            n.vsource(in_n, Netlist::GROUND, Waveform::dc(vin));
+            n.mosfet("MP", out_n, in_n, vdd_n, vdd_n, pmos(2e-3));
+            n.mosfet("MN", out_n, in_n, Netlist::GROUND, Netlist::GROUND, nmos(1e-3));
+            let op = dc_operating_point(&n, &DcParams::default()).unwrap();
+            let vout = op.voltage("out").unwrap();
+            assert!(vout < prev + 1e-9, "VTC not monotone at vin={vin}");
+            prev = vout;
+        }
+    }
+
+    #[test]
+    fn dc_sweep_traces_inverter_vtc() {
+        let vdd = 1.0;
+        let mut n = Netlist::new();
+        let vdd_n = n.node("vdd");
+        let in_n = n.node("in");
+        let out_n = n.node("out");
+        n.vsource(vdd_n, Netlist::GROUND, Waveform::dc(vdd));
+        n.vsource(in_n, Netlist::GROUND, Waveform::dc(0.0));
+        n.mosfet("MP", out_n, in_n, vdd_n, vdd_n, pmos(2e-3));
+        n.mosfet("MN", out_n, in_n, Netlist::GROUND, Netlist::GROUND, nmos(1e-3));
+
+        let values: Vec<f64> = (0..=20).map(|i| vdd * i as f64 / 20.0).collect();
+        // Source index 1 is the input (insertion order).
+        let vtc = dc_sweep(&n, 1, &values, &DcParams::default()).unwrap();
+        assert_eq!(vtc.len(), values.len());
+        // Monotone decreasing, rail to rail.
+        let outs: Vec<f64> = vtc.iter().map(|(_, op)| op.voltage("out").unwrap()).collect();
+        assert!(outs[0] > 0.95 * vdd);
+        assert!(outs[20] < 0.05 * vdd);
+        for w in outs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "VTC must be monotone");
+        }
+        // Gain region exists: somewhere the slope exceeds 1 in magnitude.
+        let max_gain = outs
+            .windows(2)
+            .map(|w| (w[0] - w[1]) / (vdd / 20.0))
+            .fold(0.0f64, f64::max);
+        assert!(max_gain > 1.0, "max |gain| = {max_gain}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dc_sweep_checks_source_index() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        n.vsource(a, Netlist::GROUND, Waveform::dc(1.0));
+        n.resistor(a, Netlist::GROUND, 1.0);
+        let _ = dc_sweep(&n, 1, &[0.0], &DcParams::default());
+    }
+
+    #[test]
+    fn empty_netlist_is_trivial() {
+        let n = Netlist::new();
+        let op = dc_operating_point(&n, &DcParams::default()).unwrap();
+        assert_eq!(op.voltages().count(), 0);
+    }
+
+    #[test]
+    fn ground_voltage_queryable() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        n.vsource(a, Netlist::GROUND, Waveform::dc(1.0));
+        n.resistor(a, Netlist::GROUND, 1.0);
+        let op = dc_operating_point(&n, &DcParams::default()).unwrap();
+        assert_eq!(op.voltage("gnd"), Some(0.0));
+        assert_eq!(op.voltage("0"), Some(0.0));
+        assert_eq!(op.voltage("nope"), None);
+    }
+}

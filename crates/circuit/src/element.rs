@@ -1,0 +1,131 @@
+//! Circuit elements and their MNA stamps.
+
+use crate::mosfet::MosParams;
+use crate::netlist::NodeId;
+use crate::stamp::Stamper;
+use crate::waveform::Waveform;
+
+/// A linear resistor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resistor {
+    /// First terminal.
+    pub a: NodeId,
+    /// Second terminal.
+    pub b: NodeId,
+    /// Resistance \[Ω\].
+    pub ohms: f64,
+}
+
+/// A linear capacitor (handled by the transient engine as a reactive
+/// branch; contributes nothing to the static stamp).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capacitor {
+    /// First terminal.
+    pub a: NodeId,
+    /// Second terminal.
+    pub b: NodeId,
+    /// Capacitance \[F\].
+    pub farads: f64,
+}
+
+/// An ideal voltage source with an extra MNA branch-current unknown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VSource {
+    /// Positive terminal.
+    pub p: NodeId,
+    /// Negative terminal.
+    pub n: NodeId,
+    /// Output waveform.
+    pub waveform: Waveform,
+    /// Index among voltage sources (fixes the branch-current unknown slot).
+    pub branch: usize,
+}
+
+/// An ideal current source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ISource {
+    /// Current flows into this node...
+    pub p: NodeId,
+    /// ...and out of this one.
+    pub n: NodeId,
+    /// Output waveform \[A\].
+    pub waveform: Waveform,
+}
+
+/// A MOSFET instance: terminals plus model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mosfet {
+    /// Instance name (used by stress extraction and aging injection).
+    pub name: String,
+    /// Drain terminal.
+    pub d: NodeId,
+    /// Gate terminal.
+    pub g: NodeId,
+    /// Source terminal.
+    pub s: NodeId,
+    /// Bulk terminal.
+    pub b: NodeId,
+    /// Electrical model parameters.
+    pub params: MosParams,
+}
+
+/// Any circuit element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Linear resistor.
+    Resistor(Resistor),
+    /// Linear capacitor.
+    Capacitor(Capacitor),
+    /// Ideal voltage source.
+    VSource(VSource),
+    /// Ideal current source.
+    ISource(ISource),
+    /// MOSFET.
+    Mosfet(Mosfet),
+}
+
+impl Element {
+    /// Adds this element's *static* (non-reactive) contribution to the
+    /// Newton system: conductive currents into the residual and their
+    /// derivatives into the Jacobian. Capacitors stamp nothing here — the
+    /// transient engine owns all reactive branches.
+    pub(crate) fn stamp_static(&self, x: &[f64], time: f64, st: &mut Stamper<'_>) {
+        match self {
+            Element::Resistor(r) => {
+                let g = 1.0 / r.ohms;
+                let va = st.voltage(x, r.a);
+                let vb = st.voltage(x, r.b);
+                let i = g * (va - vb);
+                st.add_current(r.a, r.b, i);
+                st.add_conductance(r.a, r.b, g);
+            }
+            Element::Capacitor(_) => {}
+            Element::VSource(v) => {
+                let i_br = x[st.branch_index(v.branch)];
+                // Branch current flows out of p, through the source, into n.
+                st.add_current(v.p, v.n, i_br);
+                st.add_branch_coupling(v.p, v.n, v.branch);
+                // Branch equation: v_p − v_n = V(t).
+                st.set_branch_equation(v.branch, st.voltage(x, v.p) - st.voltage(x, v.n) - v.waveform.eval(time));
+            }
+            Element::ISource(i) => {
+                let val = i.waveform.eval(time);
+                // Pushes current INTO p: subtracts from p's KCL residual.
+                st.add_current(i.p, i.n, -val);
+            }
+            Element::Mosfet(m) => {
+                let vd = st.voltage(x, m.d);
+                let vg = st.voltage(x, m.g);
+                let vs = st.voltage(x, m.s);
+                let vb = st.voltage(x, m.b);
+                let (id, dd, dg, ds, db) = m.params.ids_derivs(vd, vg, vs, vb);
+                // Drain current flows d → s through the channel.
+                st.add_current(m.d, m.s, id);
+                st.add_jacobian_pair(m.d, m.s, m.d, dd);
+                st.add_jacobian_pair(m.d, m.s, m.g, dg);
+                st.add_jacobian_pair(m.d, m.s, m.s, ds);
+                st.add_jacobian_pair(m.d, m.s, m.b, db);
+            }
+        }
+    }
+}

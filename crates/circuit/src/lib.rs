@@ -1,0 +1,111 @@
+//! A small dense-MNA nonlinear circuit simulator.
+//!
+//! This crate is the workspace's substitute for the commercial analog
+//! simulator (Spectre) used in the paper's evaluation. It is sized for the
+//! circuits that evaluation actually touches — sense-amplifier cells of a
+//! dozen nodes — and favours robustness and auditability over generality:
+//!
+//! - **Modified nodal analysis** with a dense Jacobian ([`issa_num::matrix`]),
+//!   node voltages plus one branch current per voltage source;
+//! - **Newton–Raphson** per solve with voltage-step damping;
+//! - **DC operating point** with gmin stepping ([`dc`]);
+//! - **Transient analysis** with backward-Euler or trapezoidal integration
+//!   and user-settable initial conditions ([`tran`]), mirroring SPICE `UIC`;
+//! - An **EKV-flavoured MOSFET** model ([`mosfet`]): single smooth equation
+//!   covering subthreshold, triode and saturation, with body effect, channel
+//!   length modulation, mobility reduction, and a `delta_vth` hook through
+//!   which process variation and BTI aging are injected;
+//! - Waveform sources (DC, pulse, PWL) and waveform capture with
+//!   threshold-crossing measurements ([`trace`]).
+//!
+//! # Example: RC step response
+//!
+//! ```
+//! use issa_circuit::netlist::Netlist;
+//! use issa_circuit::waveform::Waveform;
+//! use issa_circuit::tran::{TranParams, transient};
+//!
+//! # fn main() -> Result<(), issa_circuit::CircuitError> {
+//! let mut n = Netlist::new();
+//! let vin = n.node("in");
+//! let vout = n.node("out");
+//! n.vsource(vin, Netlist::GROUND, Waveform::dc(1.0));
+//! n.resistor(vin, vout, 1e3);
+//! n.capacitor(vout, Netlist::GROUND, 1e-9);
+//!
+//! let params = TranParams::new(10e-6, 1e-8).record_all();
+//! let trace = transient(&n, &params)?;
+//! let v_end = trace.final_value("out").unwrap();
+//! assert!((v_end - 1.0).abs() < 1e-3); // fully charged after 10 RC
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dc;
+mod newton;
+pub mod element;
+pub mod mosfet;
+pub mod netlist;
+pub mod smallsignal;
+pub mod stamp;
+pub mod trace;
+pub mod tran;
+pub mod waveform;
+
+pub use dc::{dc_operating_point, dc_sweep, DcParams};
+pub use element::Element;
+pub use mosfet::{MosParams, MosPolarity};
+pub use netlist::{Netlist, NodeId};
+pub use trace::{CrossDirection, Trace};
+pub use tran::{transient, Integrator, TranParams};
+pub use waveform::Waveform;
+
+use std::fmt;
+
+/// Errors produced by circuit analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// The MNA Jacobian went singular (usually a floating node or a loop of
+    /// ideal voltage sources).
+    Singular {
+        /// Description of where the singularity arose.
+        context: String,
+    },
+    /// Newton iteration failed to converge.
+    NonConvergence {
+        /// Simulated time at which convergence failed (0 for DC).
+        time: f64,
+        /// Iterations spent before giving up.
+        iterations: usize,
+        /// Residual infinity norm at the last iterate.
+        residual: f64,
+    },
+    /// An analysis parameter was invalid (non-positive time step, etc.).
+    InvalidParameter {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::Singular { context } => {
+                write!(f, "singular MNA system: {context}")
+            }
+            CircuitError::NonConvergence {
+                time,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "newton failed to converge at t={time:e}s after {iterations} iterations (residual {residual:e})"
+            ),
+            CircuitError::InvalidParameter { message } => {
+                write!(f, "invalid analysis parameter: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}

@@ -1,0 +1,362 @@
+//! EKV-flavoured MOSFET model.
+//!
+//! A single smooth drain-current equation covering subthreshold, triode and
+//! saturation — chosen so that the Newton loop converges from any latch
+//! state (a hard-switched square-law model has derivative discontinuities
+//! exactly where the sense amplifier's metastable trajectories live).
+//!
+//! The drain current for an NMOS, all voltages bulk-referenced, is
+//!
+//! ```text
+//! Id = Is · (qf² − qr²) · (1 + λ·Vds) / (1 + θ·Vov)
+//! qf = ln(1 + exp((Vp − Vsb) / (2·vt)))      (forward inversion charge)
+//! qr = ln(1 + exp((Vp − Vdb) / (2·vt)))      (reverse inversion charge)
+//! Vp = (Vgb − Vth) / n                        (pinch-off voltage)
+//! Vth = Vth0 + ΔVth + γ·(√(φ + Vsb) − √φ)     (body effect)
+//! Is = 2·n·β·vt²
+//! ```
+//!
+//! `ΔVth` is the hook through which time-zero variability (process
+//! mismatch) and time-dependent variability (BTI) enter: both are additive
+//! threshold shifts per the atomistic trap model.
+//!
+//! PMOS devices evaluate the same equations on negated terminal voltages.
+//!
+//! Jacobian entries are obtained by central finite differences on the
+//! current equation; for these smooth single-expression models that is as
+//! robust as analytic derivatives and removes an entire class of
+//! sign/chain-rule bugs. The cost (six extra evaluations per device per
+//! Newton iteration) is irrelevant at MNA sizes of ~15 unknowns.
+
+/// Channel polarity of a MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosPolarity {
+    /// N-channel: conducts with gate high, suffers PBTI under positive gate stress.
+    Nmos,
+    /// P-channel: conducts with gate low, suffers NBTI under negative gate stress.
+    Pmos,
+}
+
+impl MosPolarity {
+    /// `+1.0` for NMOS, `−1.0` for PMOS: the sign applied to terminal
+    /// voltages so both polarities share one current equation.
+    pub fn sign(self) -> f64 {
+        match self {
+            MosPolarity::Nmos => 1.0,
+            MosPolarity::Pmos => -1.0,
+        }
+    }
+}
+
+/// Electrical parameters of one MOSFET instance (model card already scaled
+/// by geometry — `beta` includes W/L).
+///
+/// Construct via a technology library such as `issa-ptm45` rather than by
+/// hand; see that crate's `DeviceCard`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosParams {
+    /// Channel polarity.
+    pub polarity: MosPolarity,
+    /// Zero-bias threshold voltage magnitude \[V\] (positive for both polarities).
+    pub vth0: f64,
+    /// Transconductance factor β = µ·Cox·W/L \[A/V²\].
+    pub beta: f64,
+    /// Subthreshold slope factor n (≥ 1).
+    pub n: f64,
+    /// Thermal voltage kT/q \[V\] at the simulation temperature.
+    pub vt: f64,
+    /// Channel-length modulation λ \[1/V\].
+    pub lambda: f64,
+    /// Mobility-reduction / velocity-saturation coefficient θ \[1/V\].
+    pub theta: f64,
+    /// Body-effect coefficient γ \[√V\].
+    pub gamma: f64,
+    /// Surface potential 2φF \[V\].
+    pub phi: f64,
+    /// Gate–source capacitance \[F\] (treated as bias-independent).
+    pub cgs: f64,
+    /// Gate–drain capacitance \[F\].
+    pub cgd: f64,
+    /// Drain–bulk junction capacitance \[F\].
+    pub cdb: f64,
+    /// Source–bulk junction capacitance \[F\].
+    pub csb: f64,
+    /// Additive threshold shift \[V\]: mismatch + BTI aging. Positive values
+    /// weaken the device (higher |Vth|) for either polarity.
+    pub delta_vth: f64,
+}
+
+impl MosParams {
+    /// Smoothed √(φ + v): differentiable for all `v`, matching √(φ+v) when
+    /// the argument is comfortably positive.
+    fn sqrt_smooth(z: f64) -> f64 {
+        const DELTA: f64 = 1e-8;
+        (0.5 * (z + (z * z + DELTA).sqrt())).sqrt()
+    }
+
+    /// Numerically safe ln(1 + eˣ).
+    fn softplus(x: f64) -> f64 {
+        if x > 40.0 {
+            x
+        } else if x < -40.0 {
+            x.exp()
+        } else {
+            x.exp().ln_1p()
+        }
+    }
+
+    /// Drain current \[A\] flowing into the drain terminal, given absolute
+    /// terminal voltages (drain, gate, source, bulk).
+    ///
+    /// For NMOS the result is positive when the channel conducts from drain
+    /// to source (`vd > vs`); the PMOS mirror keeps the same terminal sign
+    /// convention, so a conducting PMOS with `vd < vs` returns a negative
+    /// drain current.
+    pub fn ids(&self, vd: f64, vg: f64, vs: f64, vb: f64) -> f64 {
+        let s = self.polarity.sign();
+        let (vd, vg, vs, vb) = (s * vd, s * vg, s * vs, s * vb);
+
+        let vsb = vs - vb;
+        let vdb = vd - vb;
+        let vgb = vg - vb;
+
+        let vth = self.vth0
+            + self.delta_vth
+            + self.gamma * (Self::sqrt_smooth(self.phi + vsb) - self.phi.sqrt());
+        let vp = (vgb - vth) / self.n;
+
+        let two_vt = 2.0 * self.vt;
+        let qf = Self::softplus((vp - vsb) / two_vt);
+        let qr = Self::softplus((vp - vdb) / two_vt);
+
+        let is = 2.0 * self.n * self.beta * self.vt * self.vt;
+        let vds = vd - vs;
+        // Channel-length modulation acts on the magnitude of conduction and
+        // only in the direction of actual current flow; the (1 + λ·|vds|)
+        // form keeps Id antisymmetric under drain/source exchange.
+        let clm = 1.0 + self.lambda * vds.abs();
+        // Mobility reduction by the effective overdrive (2·vt·qf is the
+        // forward-channel overdrive in the EKV normalization).
+        let vov = two_vt * qf.max(qr);
+        let mobility = 1.0 / (1.0 + self.theta * vov);
+
+        let id = is * (qf * qf - qr * qr) * clm * mobility;
+        s * id
+    }
+
+    /// Drain current and its partial derivatives with respect to the
+    /// absolute terminal voltages: `(id, d/dvd, d/dvg, d/dvs, d/dvb)`.
+    ///
+    /// Derivatives are central differences with a 10 µV step — far below
+    /// any voltage scale in the model but far above f64 noise on
+    /// millivolt-to-volt signals.
+    pub fn ids_derivs(&self, vd: f64, vg: f64, vs: f64, vb: f64) -> (f64, f64, f64, f64, f64) {
+        const H: f64 = 1e-5;
+        let id = self.ids(vd, vg, vs, vb);
+        let dd = (self.ids(vd + H, vg, vs, vb) - self.ids(vd - H, vg, vs, vb)) / (2.0 * H);
+        let dg = (self.ids(vd, vg + H, vs, vb) - self.ids(vd, vg - H, vs, vb)) / (2.0 * H);
+        let ds = (self.ids(vd, vg, vs + H, vb) - self.ids(vd, vg, vs - H, vb)) / (2.0 * H);
+        let db = (self.ids(vd, vg, vs, vb + H) - self.ids(vd, vg, vs, vb - H)) / (2.0 * H);
+        (id, dd, dg, ds, db)
+    }
+
+    /// Effective threshold voltage magnitude at a given source–bulk reverse
+    /// bias (in the device's own polarity frame), including `delta_vth`.
+    pub fn vth_at(&self, vsb: f64) -> f64 {
+        self.vth0
+            + self.delta_vth
+            + self.gamma * (Self::sqrt_smooth(self.phi + vsb) - self.phi.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 45nm-ish NMOS for model unit tests (the calibrated cards live in
+    /// `issa-ptm45`; these values only need to be plausible).
+    fn nmos() -> MosParams {
+        MosParams {
+            polarity: MosPolarity::Nmos,
+            vth0: 0.45,
+            beta: 1e-3,
+            n: 1.3,
+            vt: 0.02585,
+            lambda: 0.1,
+            theta: 0.3,
+            gamma: 0.3,
+            phi: 0.8,
+            cgs: 1e-16,
+            cgd: 1e-16,
+            cdb: 1e-16,
+            csb: 1e-16,
+            delta_vth: 0.0,
+        }
+    }
+
+    fn pmos() -> MosParams {
+        MosParams {
+            polarity: MosPolarity::Pmos,
+            ..nmos()
+        }
+    }
+
+    #[test]
+    fn off_device_leaks_little() {
+        let m = nmos();
+        let off = m.ids(1.0, 0.0, 0.0, 0.0);
+        let on = m.ids(1.0, 1.0, 0.0, 0.0);
+        assert!(off > 0.0, "subthreshold leakage should be positive: {off:e}");
+        assert!(off < 1e-9, "off current too high: {off:e}");
+        assert!(on > 1e-5, "on current too low: {on:e}");
+        assert!(on / off > 1e4, "on/off ratio too small");
+    }
+
+    #[test]
+    fn current_is_zero_at_vds_zero() {
+        let m = nmos();
+        assert_eq!(m.ids(0.5, 1.0, 0.5, 0.0).abs(), 0.0);
+    }
+
+    #[test]
+    fn current_reverses_with_vds_sign() {
+        // With γ = 0 the EKV core is exactly antisymmetric under
+        // drain/source exchange.
+        let m = MosParams { gamma: 0.0, ..nmos() };
+        let fwd = m.ids(0.6, 1.0, 0.4, 0.0);
+        let rev = m.ids(0.4, 1.0, 0.6, 0.0);
+        assert!(
+            (fwd + rev).abs() < 1e-12 * fwd.abs().max(1e-12),
+            "fwd={fwd:e} rev={rev:e}"
+        );
+        assert!(fwd > 0.0);
+
+        // With body effect, source-referenced Vth makes the reversal only
+        // approximate — but the sign must still flip.
+        let mb = nmos();
+        let fwd_b = mb.ids(0.6, 1.0, 0.4, 0.0);
+        let rev_b = mb.ids(0.4, 1.0, 0.6, 0.0);
+        assert!(fwd_b > 0.0 && rev_b < 0.0);
+    }
+
+    #[test]
+    fn saturation_current_increases_with_vgs() {
+        let m = nmos();
+        let mut last = 0.0;
+        for i in 0..10 {
+            let vg = 0.3 + 0.08 * i as f64;
+            let id = m.ids(1.0, vg, 0.0, 0.0);
+            assert!(id > last, "Id must increase with Vgs (vg={vg})");
+            last = id;
+        }
+    }
+
+    #[test]
+    fn triode_current_increases_with_vds() {
+        let m = nmos();
+        let mut last = 0.0;
+        for i in 1..20 {
+            let vd = 0.05 * i as f64;
+            let id = m.ids(vd, 1.0, 0.0, 0.0);
+            assert!(id > last, "Id must be monotone in Vds (vd={vd})");
+            last = id;
+        }
+    }
+
+    #[test]
+    fn body_effect_raises_threshold() {
+        let m = nmos();
+        let id_no_bias = m.ids(1.0, 0.6, 0.0, 0.0);
+        // Reverse body bias (source above bulk) weakens the device.
+        let id_rbb = m.ids(1.0, 0.6, 0.2, 0.0) /* vgs now 0.4 */;
+        let id_same_vgs_rbb = m.ids(1.2, 0.8, 0.2, 0.0); // vgs=0.6, vds=1.0, vsb=0.2
+        assert!(id_same_vgs_rbb < id_no_bias, "body effect should reduce current");
+        assert!(id_rbb < id_no_bias);
+        assert!(m.vth_at(0.5) > m.vth_at(0.0));
+    }
+
+    #[test]
+    fn delta_vth_weakens_device() {
+        let fresh = nmos();
+        let mut aged = nmos();
+        aged.delta_vth = 0.05;
+        assert!(aged.ids(1.0, 0.7, 0.0, 0.0) < fresh.ids(1.0, 0.7, 0.0, 0.0));
+        assert!((aged.vth_at(0.0) - fresh.vth_at(0.0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let n = nmos();
+        let p = pmos();
+        // PMOS conducting: gate low, source at 1V, drain at 0V.
+        let ip = p.ids(0.0, 0.0, 1.0, 1.0);
+        let in_ = n.ids(1.0, 1.0, 0.0, 0.0);
+        assert!((ip + in_).abs() < 1e-18, "PMOS should mirror NMOS: {ip:e} vs {in_:e}");
+        assert!(ip < 0.0, "conducting PMOS drain current is negative");
+    }
+
+    #[test]
+    fn pmos_delta_vth_also_weakens() {
+        let fresh = pmos();
+        let mut aged = pmos();
+        aged.delta_vth = 0.05;
+        assert!(aged.ids(0.0, 0.0, 1.0, 1.0).abs() < fresh.ids(0.0, 0.0, 1.0, 1.0).abs());
+    }
+
+    #[test]
+    fn derivatives_match_secants() {
+        let m = nmos();
+        let (vd, vg, vs, vb) = (0.7, 0.9, 0.1, 0.0);
+        let (_, dd, dg, ds, db) = m.ids_derivs(vd, vg, vs, vb);
+        let h = 1e-3;
+        let sd = (m.ids(vd + h, vg, vs, vb) - m.ids(vd - h, vg, vs, vb)) / (2.0 * h);
+        let sg = (m.ids(vd, vg + h, vs, vb) - m.ids(vd, vg - h, vs, vb)) / (2.0 * h);
+        let ss = (m.ids(vd, vg, vs + h, vb) - m.ids(vd, vg, vs - h, vb)) / (2.0 * h);
+        let sb = (m.ids(vd, vg, vs, vb + h) - m.ids(vd, vg, vs, vb - h)) / (2.0 * h);
+        for (a, b) in [(dd, sd), (dg, sg), (ds, ss), (db, sb)] {
+            assert!((a - b).abs() <= 1e-3 * a.abs().max(1e-9), "{a:e} vs {b:e}");
+        }
+    }
+
+    #[test]
+    fn continuity_across_threshold() {
+        // Sweep Vgs through Vth in fine steps: current and its slope must
+        // change smoothly (no region-boundary kinks).
+        let m = nmos();
+        let mut prev_id = m.ids(1.0, 0.0, 0.0, 0.0);
+        let mut prev_slope: Option<f64> = None;
+        let dv = 1e-3;
+        let mut vg = 0.0;
+        while vg < 1.0 {
+            vg += dv;
+            let id = m.ids(1.0, vg, 0.0, 0.0);
+            let slope = (id - prev_id) / dv;
+            if let Some(ps) = prev_slope {
+                // Second difference bounded: slope changes gradually.
+                assert!(
+                    (slope - ps).abs() < 0.1 * slope.abs().max(1e-6),
+                    "kink at vg={vg}: slope {ps:e} -> {slope:e}"
+                );
+            }
+            prev_slope = Some(slope);
+            prev_id = id;
+        }
+    }
+
+    #[test]
+    fn softplus_extremes() {
+        assert_eq!(MosParams::softplus(100.0), 100.0);
+        assert!(MosParams::softplus(-100.0) < 1e-40);
+        assert!((MosParams::softplus(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_smooth_matches_sqrt_when_positive() {
+        for z in [0.1, 0.5, 1.0, 2.0] {
+            assert!((MosParams::sqrt_smooth(z) - z.sqrt()).abs() < 1e-4);
+        }
+        // And stays finite/real for negative arguments.
+        assert!(MosParams::sqrt_smooth(-1.0).is_finite());
+        assert!(MosParams::sqrt_smooth(-1.0) >= 0.0);
+    }
+}

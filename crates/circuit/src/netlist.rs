@@ -1,0 +1,356 @@
+//! Netlist construction: nodes, elements, and the MNA unknown layout.
+
+use crate::element::{Capacitor, Element, ISource, Mosfet, Resistor, VSource};
+use crate::mosfet::MosParams;
+use crate::waveform::Waveform;
+use std::collections::HashMap;
+
+/// Identifier of a circuit node.
+///
+/// `NodeId(0)` is always ground; [`Netlist::node`] mints the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// True if this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Index of this node among the MNA unknowns, or `None` for ground.
+    pub(crate) fn unknown_index(self) -> Option<usize> {
+        self.0.checked_sub(1)
+    }
+}
+
+/// A flattened reactive (capacitive) branch used by the transient engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReactiveBranch {
+    /// Positive node.
+    pub a: NodeId,
+    /// Negative node.
+    pub b: NodeId,
+    /// Capacitance \[F\].
+    pub capacitance: f64,
+}
+
+/// A circuit under construction: named nodes plus a list of elements.
+///
+/// # Example
+///
+/// ```
+/// use issa_circuit::netlist::Netlist;
+/// use issa_circuit::waveform::Waveform;
+///
+/// let mut n = Netlist::new();
+/// let a = n.node("a");
+/// n.vsource(a, Netlist::GROUND, Waveform::dc(1.0));
+/// n.resistor(a, Netlist::GROUND, 50.0);
+/// assert_eq!(n.node_count(), 1);   // excluding ground
+/// assert_eq!(n.unknown_count(), 2); // node voltage + source branch current
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    node_names: Vec<String>,
+    by_name: HashMap<String, NodeId>,
+    elements: Vec<Element>,
+    vsource_count: usize,
+}
+
+impl Netlist {
+    /// The ground (reference) node, fixed at 0 V.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the node named `name`, creating it on first use.
+    ///
+    /// Node names are case-sensitive; `"0"` and `"gnd"` map to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Self::GROUND;
+        }
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len() + 1);
+        self.node_names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing node by name without creating it.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Some(Self::GROUND);
+        }
+        self.by_name.get(name).copied()
+    }
+
+    /// Name of a node (`"gnd"` for ground).
+    pub fn node_name(&self, id: NodeId) -> &str {
+        match id.0 {
+            0 => "gnd",
+            i => &self.node_names[i - 1],
+        }
+    }
+
+    /// Number of non-ground nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of MNA unknowns: node voltages plus voltage-source branch
+    /// currents.
+    pub fn unknown_count(&self) -> usize {
+        self.node_count() + self.vsource_count
+    }
+
+    /// Number of voltage sources.
+    pub fn vsource_count(&self) -> usize {
+        self.vsource_count
+    }
+
+    /// All elements, in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Mutable access to the elements (used to inject per-sample `ΔVth`
+    /// into MOSFETs during Monte Carlo runs).
+    pub fn elements_mut(&mut self) -> &mut [Element] {
+        &mut self.elements
+    }
+
+    /// Iterates over all node ids, ground excluded.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (1..=self.node_names.len()).map(NodeId)
+    }
+
+    /// Adds a resistor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not positive and finite.
+    pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> &mut Self {
+        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
+        self.elements.push(Element::Resistor(Resistor { a, b, ohms }));
+        self
+    }
+
+    /// Adds a capacitor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is not positive and finite.
+    pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> &mut Self {
+        assert!(farads > 0.0 && farads.is_finite(), "capacitance must be positive");
+        self.elements.push(Element::Capacitor(Capacitor { a, b, farads }));
+        self
+    }
+
+    /// Adds an ideal voltage source driving `p` relative to `n`.
+    pub fn vsource(&mut self, p: NodeId, n: NodeId, waveform: Waveform) -> &mut Self {
+        let branch = self.vsource_count;
+        self.vsource_count += 1;
+        self.elements.push(Element::VSource(VSource {
+            p,
+            n,
+            waveform,
+            branch,
+        }));
+        self
+    }
+
+    /// Adds an ideal current source pushing current into `p` and out of `n`.
+    pub fn isource(&mut self, p: NodeId, n: NodeId, waveform: Waveform) -> &mut Self {
+        self.elements.push(Element::ISource(ISource { p, n, waveform }));
+        self
+    }
+
+    /// Adds a MOSFET with the given terminal connections and model
+    /// parameters. Returns the element index, which can later be used with
+    /// [`Netlist::mosfet_mut`] to adjust `delta_vth`.
+    pub fn mosfet(
+        &mut self,
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        b: NodeId,
+        params: MosParams,
+    ) -> usize {
+        self.elements.push(Element::Mosfet(Mosfet {
+            name: name.to_owned(),
+            d,
+            g,
+            s,
+            b,
+            params,
+        }));
+        self.elements.len() - 1
+    }
+
+    /// Mutable access to the MOSFET at element index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or not a MOSFET.
+    pub fn mosfet_mut(&mut self, idx: usize) -> &mut Mosfet {
+        match &mut self.elements[idx] {
+            Element::Mosfet(m) => m,
+            other => panic!("element {idx} is not a MOSFET: {other:?}"),
+        }
+    }
+
+    /// Finds a MOSFET element index by instance name.
+    pub fn find_mosfet(&self, name: &str) -> Option<usize> {
+        self.elements.iter().position(
+            |e| matches!(e, Element::Mosfet(m) if m.name == name),
+        )
+    }
+
+    /// Iterates over `(element_index, &Mosfet)` pairs.
+    pub fn mosfets(&self) -> impl Iterator<Item = (usize, &Mosfet)> {
+        self.elements.iter().enumerate().filter_map(|(i, e)| match e {
+            Element::Mosfet(m) => Some((i, m)),
+            _ => None,
+        })
+    }
+
+    /// Flattens every capacitive branch in the circuit: explicit capacitors
+    /// plus the four parasitic capacitances of each MOSFET.
+    ///
+    /// Branches with zero capacitance are omitted.
+    pub fn reactive_branches(&self) -> Vec<ReactiveBranch> {
+        let mut out = Vec::new();
+        let mut push = |a: NodeId, b: NodeId, c: f64| {
+            if c > 0.0 && a != b {
+                out.push(ReactiveBranch { a, b, capacitance: c });
+            }
+        };
+        for e in &self.elements {
+            match e {
+                Element::Capacitor(c) => push(c.a, c.b, c.farads),
+                Element::Mosfet(m) => {
+                    push(m.g, m.s, m.params.cgs);
+                    push(m.g, m.d, m.params.cgd);
+                    push(m.d, m.b, m.params.cdb);
+                    push(m.s, m.b, m.params.csb);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::{MosParams, MosPolarity};
+
+    fn test_params() -> MosParams {
+        MosParams {
+            polarity: MosPolarity::Nmos,
+            vth0: 0.4,
+            beta: 1e-3,
+            n: 1.3,
+            vt: 0.02585,
+            lambda: 0.1,
+            theta: 0.0,
+            gamma: 0.0,
+            phi: 0.8,
+            cgs: 1e-16,
+            cgd: 2e-16,
+            cdb: 3e-16,
+            csb: 0.0,
+            delta_vth: 0.0,
+        }
+    }
+
+    #[test]
+    fn node_interning() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        let a2 = n.node("a");
+        let b = n.node("b");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(n.node_count(), 2);
+        assert_eq!(n.node_name(a), "a");
+        assert_eq!(n.find_node("b"), Some(b));
+        assert_eq!(n.find_node("zzz"), None);
+    }
+
+    #[test]
+    fn ground_aliases() {
+        let mut n = Netlist::new();
+        assert_eq!(n.node("0"), Netlist::GROUND);
+        assert_eq!(n.node("gnd"), Netlist::GROUND);
+        assert_eq!(n.node("GND"), Netlist::GROUND);
+        assert!(Netlist::GROUND.is_ground());
+        assert_eq!(n.node_name(Netlist::GROUND), "gnd");
+        assert_eq!(n.node_count(), 0);
+    }
+
+    #[test]
+    fn unknown_layout_counts_sources() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        let b = n.node("b");
+        n.vsource(a, Netlist::GROUND, Waveform::dc(1.0));
+        n.vsource(b, Netlist::GROUND, Waveform::dc(2.0));
+        n.resistor(a, b, 1.0);
+        assert_eq!(n.unknown_count(), 4);
+        assert_eq!(n.vsource_count(), 2);
+    }
+
+    #[test]
+    fn mosfet_lookup_and_mutation() {
+        let mut n = Netlist::new();
+        let d = n.node("d");
+        let g = n.node("g");
+        let idx = n.mosfet("M1", d, g, Netlist::GROUND, Netlist::GROUND, test_params());
+        assert_eq!(n.find_mosfet("M1"), Some(idx));
+        assert_eq!(n.find_mosfet("M2"), None);
+        n.mosfet_mut(idx).params.delta_vth = 0.03;
+        assert_eq!(n.mosfets().count(), 1);
+        let (_, m) = n.mosfets().next().unwrap();
+        assert_eq!(m.params.delta_vth, 0.03);
+    }
+
+    #[test]
+    fn reactive_branches_include_parasitics() {
+        let mut n = Netlist::new();
+        let d = n.node("d");
+        let g = n.node("g");
+        n.capacitor(d, Netlist::GROUND, 1e-15);
+        n.mosfet("M1", d, g, Netlist::GROUND, Netlist::GROUND, test_params());
+        let branches = n.reactive_branches();
+        // Explicit cap + cgs + cgd + cdb (csb = 0 omitted; s==b for csb anyway).
+        assert_eq!(branches.len(), 4);
+        let total: f64 = branches.iter().map(|b| b.capacitance).sum();
+        assert!((total - (1e-15 + 1e-16 + 2e-16 + 3e-16)).abs() < 1e-30);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn rejects_zero_resistor() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        n.resistor(a, Netlist::GROUND, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a MOSFET")]
+    fn mosfet_mut_type_checks() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        n.resistor(a, Netlist::GROUND, 1.0);
+        n.mosfet_mut(0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The damped Newton–Raphson iteration shared by DC and transient solves.
+
+use crate::netlist::Netlist;
+use crate::stamp::Stamper;
+use crate::CircuitError;
+use issa_num::matrix::DMatrix;
+
+/// Convergence / damping knobs for one Newton solve.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NewtonOpts {
+    /// Maximum iterations before declaring non-convergence.
+    pub max_iter: usize,
+    /// Convergence threshold on the update infinity norm.
+    pub dx_tol: f64,
+    /// Largest allowed per-iteration voltage move; bigger updates are
+    /// scaled down (classic SPICE-style damping that keeps the MOSFET
+    /// exponentials from overflowing).
+    pub max_step: f64,
+}
+
+impl Default for NewtonOpts {
+    fn default() -> Self {
+        Self {
+            max_iter: 100,
+            dx_tol: 1e-9,
+            max_step: 0.3,
+        }
+    }
+}
+
+/// Workspace reused across Newton solves to avoid reallocating the
+/// Jacobian every timestep.
+#[derive(Debug)]
+pub(crate) struct NewtonWorkspace {
+    jacobian: DMatrix,
+    residual: Vec<f64>,
+    delta: Vec<f64>,
+}
+
+impl NewtonWorkspace {
+    pub fn new(n: usize) -> Self {
+        Self {
+            jacobian: DMatrix::zeros(n, n),
+            residual: vec![0.0; n],
+            delta: vec![0.0; n],
+        }
+    }
+
+    /// Runs damped Newton on the system assembled by `netlist` (static
+    /// stamps at `time`) plus `extra` (reactive stamps, gmin, ...).
+    ///
+    /// On success returns the number of iterations used; `x` holds the
+    /// solution. On failure `x` holds the last iterate.
+    pub fn solve<F>(
+        &mut self,
+        netlist: &Netlist,
+        x: &mut [f64],
+        time: f64,
+        mut extra: F,
+        opts: NewtonOpts,
+    ) -> Result<usize, CircuitError>
+    where
+        F: FnMut(&[f64], &mut Stamper<'_>),
+    {
+        let n = netlist.unknown_count();
+        assert_eq!(x.len(), n, "state vector length mismatch");
+        let node_count = netlist.node_count();
+
+        for iter in 0..opts.max_iter {
+            self.jacobian.fill_zero();
+            self.residual.iter_mut().for_each(|v| *v = 0.0);
+            {
+                let mut st = Stamper::new(&mut self.jacobian, &mut self.residual, node_count);
+                for e in netlist.elements() {
+                    e.stamp_static(x, time, &mut st);
+                }
+                extra(x, &mut st);
+            }
+
+            let lu = self.jacobian.lu().map_err(|e| CircuitError::Singular {
+                context: format!("newton iteration {iter} at t={time:e}: {e}"),
+            })?;
+            // Solve J·Δ = −F.
+            for v in &mut self.residual {
+                *v = -*v;
+            }
+            lu.solve_into(&self.residual, &mut self.delta);
+
+            // Damping: cap the largest voltage move.
+            let max_dv = self.delta[..node_count]
+                .iter()
+                .fold(0.0f64, |m, d| m.max(d.abs()));
+            let scale = if max_dv > opts.max_step {
+                opts.max_step / max_dv
+            } else {
+                1.0
+            };
+            let mut max_dx = 0.0f64;
+            for (xi, di) in x.iter_mut().zip(&self.delta) {
+                let step = scale * di;
+                *xi += step;
+                max_dx = max_dx.max(step.abs());
+            }
+
+            if !max_dx.is_finite() {
+                return Err(CircuitError::NonConvergence {
+                    time,
+                    iterations: iter + 1,
+                    residual: f64::INFINITY,
+                });
+            }
+            if max_dx < opts.dx_tol && scale == 1.0 {
+                return Ok(iter + 1);
+            }
+        }
+
+        let res_norm = self
+            .residual
+            .iter()
+            .fold(0.0f64, |m, r| m.max(r.abs()));
+        Err(CircuitError::NonConvergence {
+            time,
+            iterations: opts.max_iter,
+            residual: res_norm,
+        })
+    }
+}

@@ -1,0 +1,255 @@
+//! Small-signal linearization and natural-mode (pole) extraction.
+//!
+//! Linearizing the MNA system at an operating point `x₀` gives
+//!
+//! ```text
+//! C · dẋ + J · dx = 0
+//! ```
+//!
+//! where `J` is the static Jacobian (conductances, with voltage sources
+//! nulled by their branch equations) and `C` stamps the reactive branches.
+//! Natural modes are `exp(λt)` with `(J + λC)·v = 0`.
+//!
+//! For a latch in its amplify phase there is exactly one **positive** λ —
+//! the regenerative mode. Its reciprocal is the regeneration time constant
+//! τ that sets both the sensing delay (`t ≈ τ·ln(V_final/V_initial)`) and
+//! the metastability window; aging shifts it. [`dominant_mode`] extracts
+//! the dominant (largest `1/|λ|`) mode by power iteration on `J⁻¹C`, which
+//! for the enabled latch is the regenerative mode because every parasitic
+//! pole is an order of magnitude faster.
+
+use crate::netlist::Netlist;
+use crate::stamp::Stamper;
+use crate::CircuitError;
+use issa_num::matrix::DMatrix;
+
+/// The linearized small-signal system at an operating point.
+#[derive(Debug, Clone)]
+pub struct Linearized {
+    /// Static Jacobian J (conductances + source constraints).
+    pub jacobian: DMatrix,
+    /// Capacitance matrix C (reactive branch stamps; zero rows for source
+    /// branch currents).
+    pub capacitance: DMatrix,
+}
+
+/// Linearizes `netlist` at the unknown vector `x0` (node voltages then
+/// branch currents), with sources evaluated at time `t`.
+///
+/// # Panics
+///
+/// Panics if `x0` has the wrong length.
+pub fn linearize(netlist: &Netlist, x0: &[f64], t: f64) -> Linearized {
+    let n = netlist.unknown_count();
+    assert_eq!(x0.len(), n, "operating point length mismatch");
+    let node_count = netlist.node_count();
+
+    let mut jacobian = DMatrix::zeros(n, n);
+    let mut residual = vec![0.0; n];
+    {
+        let mut st = Stamper::new(&mut jacobian, &mut residual, node_count);
+        for e in netlist.elements() {
+            e.stamp_static(x0, t, &mut st);
+        }
+    }
+
+    let mut capacitance = DMatrix::zeros(n, n);
+    for b in netlist.reactive_branches() {
+        let ia = b.a.unknown_index();
+        let ib = b.b.unknown_index();
+        if let Some(i) = ia {
+            capacitance.add(i, i, b.capacitance);
+        }
+        if let Some(j) = ib {
+            capacitance.add(j, j, b.capacitance);
+        }
+        if let (Some(i), Some(j)) = (ia, ib) {
+            capacitance.add(i, j, -b.capacitance);
+            capacitance.add(j, i, -b.capacitance);
+        }
+    }
+
+    Linearized {
+        jacobian,
+        capacitance,
+    }
+}
+
+/// The dominant natural mode of the linearized system \[1/s\].
+///
+/// Positive = regenerative (exponentially growing — a latch amplifying),
+/// negative = decaying (an ordinary settling circuit). The associated time
+/// constant is `1/|λ|`.
+///
+/// Uses power iteration on `A = J⁻¹·C`: eigenpairs of `A` are `µ = −1/λ`,
+/// so the largest-|µ| mode is the *slowest* natural mode — for an enabled
+/// latch, the regeneration mode.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Singular`] if `J` cannot be factored and
+/// [`CircuitError::NonConvergence`] if the iteration does not settle
+/// (e.g. two equally slow complex modes).
+pub fn dominant_mode(lin: &Linearized) -> Result<f64, CircuitError> {
+    let n = lin.jacobian.rows();
+    let lu = lin.jacobian.lu().map_err(|e| CircuitError::Singular {
+        context: format!("small-signal jacobian: {e}"),
+    })?;
+
+    // Power iteration on A·v = J⁻¹(C·v).
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.3).collect();
+    let mut mu_prev = 0.0;
+    let mut tmp = vec![0.0; n];
+    for iter in 0..500 {
+        let cv = lin.capacitance.mul_vec(&v);
+        lu.solve_into(&cv, &mut tmp);
+        // Rayleigh-style estimate: µ = (v·Av)/(v·v).
+        let num: f64 = v.iter().zip(&tmp).map(|(a, b)| a * b).sum();
+        let den: f64 = v.iter().map(|a| a * a).sum();
+        let mu = num / den;
+        let norm = tmp.iter().map(|a| a * a).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            // C·v landed in the nullspace: restart from a shifted vector.
+            v.iter_mut().enumerate().for_each(|(i, x)| *x = 1.0 / (i + 1) as f64);
+            continue;
+        }
+        for (vi, ti) in v.iter_mut().zip(&tmp) {
+            *vi = ti / norm;
+        }
+        if iter > 3 && (mu - mu_prev).abs() <= 1e-10 * mu.abs().max(1e-30) {
+            return Ok(-1.0 / mu);
+        }
+        mu_prev = mu;
+    }
+    Err(CircuitError::NonConvergence {
+        time: 0.0,
+        iterations: 500,
+        residual: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::{MosParams, MosPolarity};
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn rc_pole_matches_analytic() {
+        // R to ground + C: single pole at λ = −1/RC.
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        n.resistor(a, Netlist::GROUND, 1e3);
+        n.capacitor(a, Netlist::GROUND, 1e-9);
+        let lin = linearize(&n, &[0.0], 0.0);
+        let lambda = dominant_mode(&lin).unwrap();
+        let expect = -1.0 / (1e3 * 1e-9);
+        assert!(
+            ((lambda - expect) / expect).abs() < 1e-6,
+            "{lambda:e} vs {expect:e}"
+        );
+    }
+
+    #[test]
+    fn two_pole_circuit_returns_slowest() {
+        // Two independent RC sections: 1 µs and 10 ns poles.
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        let b = n.node("b");
+        n.resistor(a, Netlist::GROUND, 1e3);
+        n.capacitor(a, Netlist::GROUND, 1e-9); // tau = 1 µs
+        n.resistor(b, Netlist::GROUND, 1e1);
+        n.capacitor(b, Netlist::GROUND, 1e-9); // tau = 10 ns
+        let lin = linearize(&n, &[0.0, 0.0], 0.0);
+        let lambda = dominant_mode(&lin).unwrap();
+        assert!(((-1.0 / lambda) - 1e-6).abs() < 1e-9, "tau {}", -1.0 / lambda);
+    }
+
+    #[test]
+    fn source_nulling_through_branch_rows() {
+        // Voltage divider driving a cap through R: pole set by R2||R1 · C.
+        let mut n = Netlist::new();
+        let top = n.node("top");
+        let mid = n.node("mid");
+        n.vsource(top, Netlist::GROUND, Waveform::dc(1.0));
+        n.resistor(top, mid, 1e3);
+        n.resistor(mid, Netlist::GROUND, 1e3);
+        n.capacitor(mid, Netlist::GROUND, 1e-9);
+        // OP: mid = 0.5 V; branch current −0.5 mA.
+        let lin = linearize(&n, &[1.0, 0.5, -0.5e-3], 0.0);
+        let lambda = dominant_mode(&lin).unwrap();
+        let r_eff = 500.0; // 1k || 1k with the source shorted
+        let expect = -1.0 / (r_eff * 1e-9);
+        assert!(
+            ((lambda - expect) / expect).abs() < 1e-6,
+            "{lambda:e} vs {expect:e}"
+        );
+    }
+
+    #[test]
+    fn cross_coupled_latch_has_positive_mode() {
+        // A balanced cross-coupled inverter pair at mid-rail: the
+        // regeneration mode must come out positive (unstable).
+        fn nmos() -> MosParams {
+            MosParams {
+                polarity: MosPolarity::Nmos,
+                vth0: 0.45,
+                beta: 1e-3,
+                n: 1.3,
+                vt: 0.02585,
+                lambda: 0.1,
+                theta: 0.2,
+                gamma: 0.0,
+                phi: 0.85,
+                cgs: 1e-16,
+                cgd: 1e-16,
+                cdb: 1e-16,
+                csb: 0.0,
+                delta_vth: 0.0,
+            }
+        }
+        fn pmos() -> MosParams {
+            MosParams {
+                polarity: MosPolarity::Pmos,
+                beta: 2e-3,
+                ..nmos()
+            }
+        }
+        let mut n = Netlist::new();
+        let vdd = n.node("vdd");
+        let s = n.node("s");
+        let sbar = n.node("sbar");
+        n.vsource(vdd, Netlist::GROUND, Waveform::dc(1.0));
+        n.mosfet("MPA", sbar, s, vdd, vdd, pmos());
+        n.mosfet("MNA", sbar, s, Netlist::GROUND, Netlist::GROUND, nmos());
+        n.mosfet("MPB", s, sbar, vdd, vdd, pmos());
+        n.mosfet("MNB", s, sbar, Netlist::GROUND, Netlist::GROUND, nmos());
+        n.capacitor(s, Netlist::GROUND, 1e-15);
+        n.capacitor(sbar, Netlist::GROUND, 1e-15);
+
+        // Metastable OP: both internal nodes at the inverter threshold.
+        // Solve DC from a symmetric guess; symmetry keeps Newton on the
+        // saddle.
+        let op = crate::dc::dc_operating_point(
+            &n,
+            &crate::dc::DcParams {
+                initial_guess: vec![
+                    ("vdd".into(), 1.0),
+                    ("s".into(), 0.45),
+                    ("sbar".into(), 0.45),
+                ],
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s_v = op.voltage("s").unwrap();
+        let sbar_v = op.voltage("sbar").unwrap();
+        assert!((s_v - sbar_v).abs() < 1e-6, "OP must be metastable: {s_v} vs {sbar_v}");
+
+        let lin = linearize(&n, &op.raw(), 0.0);
+        let lambda = dominant_mode(&lin).unwrap();
+        assert!(lambda > 0.0, "latch mode must be regenerative: {lambda:e}");
+        let tau = 1.0 / lambda;
+        assert!(tau > 1e-14 && tau < 1e-10, "tau = {tau:e}");
+    }
+}

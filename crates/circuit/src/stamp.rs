@@ -1,0 +1,191 @@
+//! The MNA assembly workspace shared by DC and transient analyses.
+//!
+//! Unknown vector layout: the first `node_count` entries are non-ground
+//! node voltages (in [`NodeId`] order); the remaining entries are voltage-
+//! source branch currents (in source insertion order).
+//!
+//! The Newton system solved each iteration is `J · Δx = −F(x)`, where
+//! `F_i` is the sum of currents *leaving* node `i` (KCL residual) for node
+//! rows, and the source voltage constraint for branch rows.
+
+use crate::netlist::NodeId;
+use issa_num::matrix::DMatrix;
+
+/// Assembly workspace: Jacobian, residual, and the unknown-layout helpers
+/// elements use to stamp themselves.
+#[derive(Debug)]
+pub struct Stamper<'a> {
+    jacobian: &'a mut DMatrix,
+    residual: &'a mut [f64],
+    node_count: usize,
+}
+
+impl<'a> Stamper<'a> {
+    /// Wraps a Jacobian/residual pair for one Newton iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions are inconsistent.
+    pub fn new(jacobian: &'a mut DMatrix, residual: &'a mut [f64], node_count: usize) -> Self {
+        assert_eq!(jacobian.rows(), residual.len(), "jacobian/residual mismatch");
+        assert!(node_count <= residual.len(), "node count exceeds system size");
+        Self {
+            jacobian,
+            residual,
+            node_count,
+        }
+    }
+
+    /// Voltage of `node` in the unknown vector `x` (0 for ground).
+    #[inline]
+    pub fn voltage(&self, x: &[f64], node: NodeId) -> f64 {
+        match node.unknown_index() {
+            Some(i) => x[i],
+            None => 0.0,
+        }
+    }
+
+    /// Unknown-vector index of voltage-source branch `branch`.
+    #[inline]
+    pub fn branch_index(&self, branch: usize) -> usize {
+        self.node_count + branch
+    }
+
+    /// Adds a current `i` flowing from node `a` to node `b` through an
+    /// element: `+i` into `a`'s KCL residual, `−i` into `b`'s.
+    #[inline]
+    pub fn add_current(&mut self, a: NodeId, b: NodeId, i: f64) {
+        if let Some(ia) = a.unknown_index() {
+            self.residual[ia] += i;
+        }
+        if let Some(ib) = b.unknown_index() {
+            self.residual[ib] -= i;
+        }
+    }
+
+    /// Stamps a two-terminal conductance `g` between `a` and `b` into the
+    /// Jacobian (the four-point pattern).
+    #[inline]
+    pub fn add_conductance(&mut self, a: NodeId, b: NodeId, g: f64) {
+        let ia = a.unknown_index();
+        let ib = b.unknown_index();
+        if let Some(i) = ia {
+            self.jacobian.add(i, i, g);
+        }
+        if let Some(j) = ib {
+            self.jacobian.add(j, j, g);
+        }
+        if let (Some(i), Some(j)) = (ia, ib) {
+            self.jacobian.add(i, j, -g);
+            self.jacobian.add(j, i, -g);
+        }
+    }
+
+    /// Stamps the derivative `di/dv(wrt)` of a current flowing `from → to`
+    /// into the Jacobian rows of `from` and `to`.
+    #[inline]
+    pub fn add_jacobian_pair(&mut self, from: NodeId, to: NodeId, wrt: NodeId, didv: f64) {
+        if let Some(col) = wrt.unknown_index() {
+            if let Some(row) = from.unknown_index() {
+                self.jacobian.add(row, col, didv);
+            }
+            if let Some(row) = to.unknown_index() {
+                self.jacobian.add(row, col, -didv);
+            }
+        }
+    }
+
+    /// Stamps the coupling between a voltage source's branch current and
+    /// its terminal KCL rows (and the transposed entries of the branch
+    /// equation's voltage dependence).
+    #[inline]
+    pub fn add_branch_coupling(&mut self, p: NodeId, n: NodeId, branch: usize) {
+        let br = self.branch_index(branch);
+        if let Some(ip) = p.unknown_index() {
+            self.jacobian.add(ip, br, 1.0); // d(KCL_p)/d(i_branch)
+            self.jacobian.add(br, ip, 1.0); // d(v_p − v_n − V)/d(v_p)
+        }
+        if let Some(in_) = n.unknown_index() {
+            self.jacobian.add(in_, br, -1.0);
+            self.jacobian.add(br, in_, -1.0);
+        }
+    }
+
+    /// Sets the residual of a voltage source's branch equation.
+    #[inline]
+    pub fn set_branch_equation(&mut self, branch: usize, value: f64) {
+        let br = self.branch_index(branch);
+        self.residual[br] += value;
+    }
+
+    /// Adds a conductance from `node` to ground on both residual and
+    /// Jacobian — the gmin helper used by the DC solver.
+    pub fn add_gmin(&mut self, x: &[f64], node: NodeId, gmin: f64) {
+        if let Some(i) = node.unknown_index() {
+            self.residual[i] += gmin * x[i];
+            self.jacobian.add(i, i, gmin);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn ground_rows_are_skipped() {
+        let mut j = DMatrix::zeros(2, 2);
+        let mut f = vec![0.0; 2];
+        let mut st = Stamper::new(&mut j, &mut f, 2);
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        st.add_current(a, Netlist::GROUND, 1.5);
+        st.add_conductance(a, Netlist::GROUND, 2.0);
+        assert_eq!(f, vec![1.5, 0.0]);
+        assert_eq!(j[(0, 0)], 2.0);
+        assert_eq!(j[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn conductance_four_point_pattern() {
+        let mut j = DMatrix::zeros(2, 2);
+        let mut f = vec![0.0; 2];
+        let mut st = Stamper::new(&mut j, &mut f, 2);
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        let b = n.node("b");
+        st.add_conductance(a, b, 3.0);
+        assert_eq!(j[(0, 0)], 3.0);
+        assert_eq!(j[(1, 1)], 3.0);
+        assert_eq!(j[(0, 1)], -3.0);
+        assert_eq!(j[(1, 0)], -3.0);
+    }
+
+    #[test]
+    fn branch_coupling_symmetry() {
+        // 1 node + 1 branch.
+        let mut j = DMatrix::zeros(2, 2);
+        let mut f = vec![0.0; 2];
+        let mut st = Stamper::new(&mut j, &mut f, 1);
+        let mut n = Netlist::new();
+        let p = n.node("p");
+        st.add_branch_coupling(p, Netlist::GROUND, 0);
+        st.set_branch_equation(0, -0.7);
+        assert_eq!(j[(0, 1)], 1.0);
+        assert_eq!(j[(1, 0)], 1.0);
+        assert_eq!(f[1], -0.7);
+    }
+
+    #[test]
+    fn voltage_of_ground_is_zero() {
+        let mut j = DMatrix::zeros(1, 1);
+        let mut f = vec![0.0; 1];
+        let st = Stamper::new(&mut j, &mut f, 1);
+        let x = [0.42];
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        assert_eq!(st.voltage(&x, a), 0.42);
+        assert_eq!(st.voltage(&x, Netlist::GROUND), 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Captured waveforms and `.measure`-style post-processing.
+
+/// Direction of a threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossDirection {
+    /// Signal passes the threshold going up.
+    Rising,
+    /// Signal passes the threshold going down.
+    Falling,
+    /// Either direction.
+    Either,
+}
+
+/// A set of signals sampled on a common time axis, produced by
+/// [`crate::tran::transient`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    time: Vec<f64>,
+    names: Vec<String>,
+    data: Vec<Vec<f64>>,
+}
+
+impl Trace {
+    /// Creates an empty trace for the given signal names.
+    pub(crate) fn new(names: Vec<String>) -> Self {
+        let n = names.len();
+        Self {
+            time: Vec::new(),
+            names,
+            data: vec![Vec::new(); n],
+        }
+    }
+
+    /// Appends one sample row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the signal count.
+    pub(crate) fn push(&mut self, t: f64, values: &[f64]) {
+        assert_eq!(values.len(), self.data.len(), "sample width mismatch");
+        self.time.push(t);
+        for (col, v) in self.data.iter_mut().zip(values) {
+            col.push(*v);
+        }
+    }
+
+    /// The time axis.
+    pub fn time(&self) -> &[f64] {
+        &self.time
+    }
+
+    /// Signal names in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Samples of the signal called `name`.
+    pub fn signal(&self, name: &str) -> Option<&[f64]> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.data[i].as_slice())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Linearly interpolated value of `name` at time `t` (clamped to the
+    /// recorded range).
+    pub fn value_at(&self, name: &str, t: f64) -> Option<f64> {
+        let ys = self.signal(name)?;
+        if self.time.is_empty() {
+            return None;
+        }
+        if t <= self.time[0] {
+            return Some(ys[0]);
+        }
+        let last = self.time.len() - 1;
+        if t >= self.time[last] {
+            return Some(ys[last]);
+        }
+        let idx = self.time.partition_point(|&ti| ti <= t);
+        let (t0, t1) = (self.time[idx - 1], self.time[idx]);
+        let (y0, y1) = (ys[idx - 1], ys[idx]);
+        if t1 == t0 {
+            return Some(y1);
+        }
+        Some(y0 + (y1 - y0) * (t - t0) / (t1 - t0))
+    }
+
+    /// Last recorded value of `name`.
+    pub fn final_value(&self, name: &str) -> Option<f64> {
+        self.signal(name).and_then(|ys| ys.last().copied())
+    }
+
+    /// Time at which `name` first crosses `threshold` in the given
+    /// direction at or after `t_after`, linearly interpolated between
+    /// samples.
+    pub fn crossing_time(
+        &self,
+        name: &str,
+        threshold: f64,
+        direction: CrossDirection,
+        t_after: f64,
+    ) -> Option<f64> {
+        let ys = self.signal(name)?;
+        for i in 1..self.time.len() {
+            let (t0, t1) = (self.time[i - 1], self.time[i]);
+            if t1 < t_after {
+                continue;
+            }
+            let (y0, y1) = (ys[i - 1], ys[i]);
+            let rising = y0 < threshold && y1 >= threshold;
+            let falling = y0 > threshold && y1 <= threshold;
+            let hit = match direction {
+                CrossDirection::Rising => rising,
+                CrossDirection::Falling => falling,
+                CrossDirection::Either => rising || falling,
+            };
+            if hit {
+                let frac = if y1 == y0 { 0.0 } else { (threshold - y0) / (y1 - y0) };
+                let tc = t0 + frac * (t1 - t0);
+                if tc >= t_after {
+                    return Some(tc);
+                }
+            }
+        }
+        None
+    }
+
+    /// Delay from `from`'s crossing of `from_threshold` to `to`'s crossing
+    /// of `to_threshold` (both first crossings at/after `t_after`).
+    ///
+    /// Returns `None` if either crossing never happens.
+    pub fn delay(
+        &self,
+        from: (&str, f64, CrossDirection),
+        to: (&str, f64, CrossDirection),
+        t_after: f64,
+    ) -> Option<f64> {
+        let t0 = self.crossing_time(from.0, from.1, from.2, t_after)?;
+        let t1 = self.crossing_time(to.0, to.1, to.2, t0)?;
+        Some(t1 - t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_trace() -> Trace {
+        // a: ramp 0→1 over 1s; b: delayed ramp starting at 0.5s.
+        let mut tr = Trace::new(vec!["a".into(), "b".into()]);
+        for i in 0..=10 {
+            let t = i as f64 / 10.0;
+            tr.push(t, &[t, (t - 0.5).max(0.0)]);
+        }
+        tr
+    }
+
+    #[test]
+    fn signal_lookup() {
+        let tr = ramp_trace();
+        assert_eq!(tr.len(), 11);
+        assert!(tr.signal("a").is_some());
+        assert!(tr.signal("zz").is_none());
+        assert_eq!(tr.final_value("a"), Some(1.0));
+    }
+
+    #[test]
+    fn value_at_interpolates_and_clamps() {
+        let tr = ramp_trace();
+        assert!((tr.value_at("a", 0.55).unwrap() - 0.55).abs() < 1e-12);
+        assert_eq!(tr.value_at("a", -1.0), Some(0.0));
+        assert_eq!(tr.value_at("a", 99.0), Some(1.0));
+    }
+
+    #[test]
+    fn crossing_time_rising() {
+        let tr = ramp_trace();
+        let t = tr.crossing_time("a", 0.25, CrossDirection::Rising, 0.0).unwrap();
+        assert!((t - 0.25).abs() < 1e-12);
+        // After the crossing there is no second one.
+        assert_eq!(tr.crossing_time("a", 0.25, CrossDirection::Rising, 0.3), None);
+    }
+
+    #[test]
+    fn crossing_time_falling_absent_on_ramp() {
+        let tr = ramp_trace();
+        assert_eq!(tr.crossing_time("a", 0.5, CrossDirection::Falling, 0.0), None);
+        assert!(tr
+            .crossing_time("a", 0.5, CrossDirection::Either, 0.0)
+            .is_some());
+    }
+
+    #[test]
+    fn delay_between_signals() {
+        let tr = ramp_trace();
+        // a crosses 0.2 at t=0.2; b crosses 0.2 at t=0.7.
+        let d = tr
+            .delay(
+                ("a", 0.2, CrossDirection::Rising),
+                ("b", 0.2, CrossDirection::Rising),
+                0.0,
+            )
+            .unwrap();
+        assert!((d - 0.5).abs() < 1e-12, "delay = {d}");
+    }
+
+    #[test]
+    fn falling_crossing_detected() {
+        let mut tr = Trace::new(vec!["x".into()]);
+        tr.push(0.0, &[1.0]);
+        tr.push(1.0, &[0.0]);
+        let t = tr.crossing_time("x", 0.5, CrossDirection::Falling, 0.0).unwrap();
+        assert!((t - 0.5).abs() < 1e-12);
+    }
+}

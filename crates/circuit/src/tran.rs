@@ -1,0 +1,516 @@
+//! Transient analysis with fixed base step, adaptive step-splitting on
+//! Newton failure, and backward-Euler or trapezoidal integration.
+
+use crate::netlist::{Netlist, NodeId, ReactiveBranch};
+use crate::newton::{NewtonOpts, NewtonWorkspace};
+use crate::trace::Trace;
+use crate::CircuitError;
+
+/// Numerical integration method for the reactive branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// Backward Euler: L-stable, first-order, slightly lossy — the robust
+    /// default for latch regeneration.
+    #[default]
+    BackwardEuler,
+    /// Trapezoidal: second-order, energy-preserving; the first step of a
+    /// run is still taken with backward Euler to bootstrap the branch
+    /// current history.
+    Trapezoidal,
+}
+
+/// Which signals to record.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum RecordSpec {
+    /// Record every node voltage.
+    #[default]
+    All,
+    /// Record only the named nodes.
+    Nodes(Vec<String>),
+}
+
+/// Parameters of a transient run.
+#[derive(Debug, Clone)]
+pub struct TranParams {
+    /// Stop time \[s\].
+    pub t_stop: f64,
+    /// Base time step \[s\]; halved (recursively, up to
+    /// [`TranParams::max_step_splits`]) when Newton fails to converge.
+    pub dt: f64,
+    /// Integration method.
+    pub integrator: Integrator,
+    /// Initial node voltages, `(name, volts)`; unnamed nodes start at 0 V.
+    /// This is SPICE `UIC` semantics: no DC operating point is computed.
+    pub ics: Vec<(String, f64)>,
+    /// Signals to record.
+    pub record: RecordSpec,
+    /// Newton iteration budget per step.
+    pub max_newton: usize,
+    /// Maximum recursive halvings of `dt` when a step fails.
+    pub max_step_splits: u32,
+}
+
+impl TranParams {
+    /// Creates transient parameters with the given stop time and base step,
+    /// backward-Euler integration, zero initial conditions, and no recorded
+    /// signals.
+    pub fn new(t_stop: f64, dt: f64) -> Self {
+        Self {
+            t_stop,
+            dt,
+            integrator: Integrator::default(),
+            ics: Vec::new(),
+            record: RecordSpec::Nodes(Vec::new()),
+            max_newton: 60,
+            max_step_splits: 10,
+        }
+    }
+
+    /// Records every node voltage.
+    pub fn record_all(mut self) -> Self {
+        self.record = RecordSpec::All;
+        self
+    }
+
+    /// Records the named nodes.
+    pub fn record_nodes<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.record = RecordSpec::Nodes(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Sets an initial condition on a node.
+    pub fn ic(mut self, name: &str, volts: f64) -> Self {
+        self.ics.push((name.to_owned(), volts));
+        self
+    }
+
+    /// Selects the integration method.
+    pub fn integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
+        self
+    }
+}
+
+/// Per-branch companion-model history.
+#[derive(Debug, Clone, Copy, Default)]
+struct BranchState {
+    v_prev: f64,
+    i_prev: f64,
+}
+
+/// Runs a transient analysis.
+///
+/// Starts from user initial conditions (`UIC`): node voltages are set from
+/// [`TranParams::ics`], capacitor histories are initialized consistently,
+/// and the first Newton solve happens at `t = dt`.
+///
+/// # Errors
+///
+/// - [`CircuitError::InvalidParameter`] for non-positive `dt`/`t_stop` or
+///   an unknown node name in `ics`/`record`;
+/// - [`CircuitError::Singular`] / [`CircuitError::NonConvergence`] from the
+///   Newton solver if step splitting bottoms out.
+pub fn transient(netlist: &Netlist, params: &TranParams) -> Result<Trace, CircuitError> {
+    if !(params.dt > 0.0) || !params.dt.is_finite() {
+        return Err(CircuitError::InvalidParameter {
+            message: format!("time step must be positive, got {}", params.dt),
+        });
+    }
+    if !(params.t_stop > 0.0) || !params.t_stop.is_finite() {
+        return Err(CircuitError::InvalidParameter {
+            message: format!("stop time must be positive, got {}", params.t_stop),
+        });
+    }
+
+    let n = netlist.unknown_count();
+
+    // Resolve recorded nodes.
+    let recorded: Vec<(String, NodeId)> = match &params.record {
+        RecordSpec::All => netlist
+            .node_ids()
+            .map(|id| (netlist.node_name(id).to_owned(), id))
+            .collect(),
+        RecordSpec::Nodes(names) => {
+            let mut v = Vec::with_capacity(names.len());
+            for name in names {
+                let id = netlist.find_node(name).ok_or_else(|| CircuitError::InvalidParameter {
+                    message: format!("recorded node '{name}' does not exist"),
+                })?;
+                v.push((name.clone(), id));
+            }
+            v
+        }
+    };
+
+    // Initial state from ICs.
+    let mut x = vec![0.0; n];
+    for (name, volts) in &params.ics {
+        let id = netlist.find_node(name).ok_or_else(|| CircuitError::InvalidParameter {
+            message: format!("IC node '{name}' does not exist"),
+        })?;
+        if let Some(i) = id.unknown_index() {
+            x[i] = *volts;
+        }
+    }
+
+    let branches = netlist.reactive_branches();
+    let volt = |x: &[f64], id: NodeId| -> f64 {
+        match id.unknown_index() {
+            Some(i) => x[i],
+            None => 0.0,
+        }
+    };
+    let mut states: Vec<BranchState> = branches
+        .iter()
+        .map(|b| BranchState {
+            v_prev: volt(&x, b.a) - volt(&x, b.b),
+            i_prev: 0.0,
+        })
+        .collect();
+
+    let mut ws = NewtonWorkspace::new(n);
+    let opts = NewtonOpts {
+        max_iter: params.max_newton,
+        ..NewtonOpts::default()
+    };
+
+    let mut trace = Trace::new(recorded.iter().map(|(name, _)| name.clone()).collect());
+    let mut sample = vec![0.0; recorded.len()];
+    let record = |trace: &mut Trace, t: f64, x: &[f64], sample: &mut Vec<f64>| {
+        for (slot, (_, id)) in sample.iter_mut().zip(&recorded) {
+            *slot = volt(x, *id);
+        }
+        trace.push(t, sample);
+    };
+    record(&mut trace, 0.0, &x, &mut sample);
+
+    let mut t = 0.0;
+    let mut first_step = true;
+    let n_steps = (params.t_stop / params.dt).ceil() as u64;
+    for step in 1..=n_steps {
+        let t_target = (step as f64 * params.dt).min(params.t_stop);
+        if t_target <= t {
+            continue;
+        }
+        advance(
+            netlist,
+            &branches,
+            &mut states,
+            &mut x,
+            &mut ws,
+            opts,
+            t,
+            t_target,
+            params.integrator,
+            first_step,
+            params.max_step_splits,
+        )?;
+        first_step = false;
+        t = t_target;
+        record(&mut trace, t, &x, &mut sample);
+    }
+
+    Ok(trace)
+}
+
+/// Advances the solution from `t0` to `t1`, recursively splitting the step
+/// on Newton failure.
+#[allow(clippy::too_many_arguments)]
+fn advance(
+    netlist: &Netlist,
+    branches: &[ReactiveBranch],
+    states: &mut [BranchState],
+    x: &mut [f64],
+    ws: &mut NewtonWorkspace,
+    opts: NewtonOpts,
+    t0: f64,
+    t1: f64,
+    integrator: Integrator,
+    first_step: bool,
+    splits_left: u32,
+) -> Result<(), CircuitError> {
+    let h = t1 - t0;
+    debug_assert!(h > 0.0);
+
+    let x_backup = x.to_vec();
+    let states_backup = states.to_vec();
+
+    // The first step of a run uses BE regardless, to bootstrap i_prev.
+    let use_trap = matches!(integrator, Integrator::Trapezoidal) && !first_step;
+
+    let volt = |x: &[f64], id: NodeId| -> f64 {
+        match id.unknown_index() {
+            Some(i) => x[i],
+            None => 0.0,
+        }
+    };
+
+    let solve_result = ws.solve(
+        netlist,
+        x,
+        t1,
+        |x, st| {
+            for (b, s) in branches.iter().zip(states.iter()) {
+                let vab = volt(x, b.a) - volt(x, b.b);
+                let (geq, i) = if use_trap {
+                    let g = 2.0 * b.capacitance / h;
+                    (g, g * (vab - s.v_prev) - s.i_prev)
+                } else {
+                    let g = b.capacitance / h;
+                    (g, g * (vab - s.v_prev))
+                };
+                st.add_current(b.a, b.b, i);
+                st.add_conductance(b.a, b.b, geq);
+            }
+        },
+        opts,
+    );
+
+    match solve_result {
+        Ok(_) => {
+            // Commit branch history.
+            for (b, s) in branches.iter().zip(states.iter_mut()) {
+                let vab = volt(x, b.a) - volt(x, b.b);
+                let i = if use_trap {
+                    let g = 2.0 * b.capacitance / h;
+                    g * (vab - s.v_prev) - s.i_prev
+                } else {
+                    let g = b.capacitance / h;
+                    g * (vab - s.v_prev)
+                };
+                s.v_prev = vab;
+                s.i_prev = i;
+            }
+            Ok(())
+        }
+        Err(e) => {
+            if splits_left == 0 {
+                return Err(e);
+            }
+            // Roll back and take two half steps.
+            x.copy_from_slice(&x_backup);
+            states.copy_from_slice(&states_backup);
+            let tm = 0.5 * (t0 + t1);
+            advance(
+                netlist, branches, states, x, ws, opts, t0, tm, integrator, first_step,
+                splits_left - 1,
+            )?;
+            advance(
+                netlist, branches, states, x, ws, opts, tm, t1, integrator, false,
+                splits_left - 1,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::{MosParams, MosPolarity};
+    use crate::trace::CrossDirection;
+    use crate::waveform::Waveform;
+
+    fn nmos(beta: f64) -> MosParams {
+        MosParams {
+            polarity: MosPolarity::Nmos,
+            vth0: 0.45,
+            beta,
+            n: 1.3,
+            vt: 0.02585,
+            lambda: 0.1,
+            theta: 0.2,
+            gamma: 0.2,
+            phi: 0.8,
+            cgs: 1e-16,
+            cgd: 1e-16,
+            cdb: 1e-16,
+            csb: 1e-16,
+            delta_vth: 0.0,
+        }
+    }
+
+    fn pmos(beta: f64) -> MosParams {
+        MosParams {
+            polarity: MosPolarity::Pmos,
+            ..nmos(beta)
+        }
+    }
+
+    #[test]
+    fn rc_charge_matches_analytic() {
+        let mut n = Netlist::new();
+        let vin = n.node("in");
+        let out = n.node("out");
+        n.vsource(vin, Netlist::GROUND, Waveform::dc(1.0));
+        n.resistor(vin, out, 1e3);
+        n.capacitor(out, Netlist::GROUND, 1e-9); // tau = 1 µs
+
+        let params = TranParams::new(3e-6, 5e-9).record_all();
+        let tr = transient(&n, &params).unwrap();
+        for &t in &[0.5e-6, 1e-6, 2e-6, 3e-6] {
+            let got = tr.value_at("out", t).unwrap();
+            let want = 1.0 - (-t / 1e-6).exp();
+            assert!((got - want).abs() < 5e-3, "t={t:e}: got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn trapezoidal_beats_backward_euler_on_rc() {
+        let build = || {
+            let mut n = Netlist::new();
+            let vin = n.node("in");
+            let out = n.node("out");
+            n.vsource(vin, Netlist::GROUND, Waveform::dc(1.0));
+            n.resistor(vin, out, 1e3);
+            n.capacitor(out, Netlist::GROUND, 1e-9);
+            n
+        };
+        let err_at = |integ: Integrator| {
+            let params = TranParams::new(1e-6, 2e-8).record_all().integrator(integ);
+            let tr = transient(&build(), &params).unwrap();
+            let got = tr.value_at("out", 1e-6).unwrap();
+            let want = 1.0 - (-1.0f64).exp();
+            (got - want).abs()
+        };
+        let be = err_at(Integrator::BackwardEuler);
+        let trap = err_at(Integrator::Trapezoidal);
+        assert!(trap < be, "trap {trap:e} should beat BE {be:e}");
+    }
+
+    #[test]
+    fn initial_conditions_respected() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        n.capacitor(a, Netlist::GROUND, 1e-9);
+        n.resistor(a, Netlist::GROUND, 1e3);
+        let params = TranParams::new(1e-6, 1e-8).record_all().ic("a", 1.0);
+        let tr = transient(&n, &params).unwrap();
+        assert_eq!(tr.signal("a").unwrap()[0], 1.0);
+        // Discharges toward zero with tau = 1 µs.
+        let got = tr.value_at("a", 1e-6).unwrap();
+        assert!((got - (-1.0f64).exp()).abs() < 5e-3, "got {got}");
+    }
+
+    #[test]
+    fn inverter_switches_with_pulse_input() {
+        let mut n = Netlist::new();
+        let vdd = n.node("vdd");
+        let vin = n.node("in");
+        let out = n.node("out");
+        n.vsource(vdd, Netlist::GROUND, Waveform::dc(1.0));
+        n.vsource(
+            vin,
+            Netlist::GROUND,
+            Waveform::step(0.0, 1.0, 100e-12, 20e-12),
+        );
+        n.mosfet("MP", out, vin, vdd, vdd, pmos(2e-3));
+        n.mosfet("MN", out, vin, Netlist::GROUND, Netlist::GROUND, nmos(1e-3));
+        n.capacitor(out, Netlist::GROUND, 1e-15);
+
+        let params = TranParams::new(500e-12, 1e-12)
+            .record_all()
+            .ic("out", 1.0)
+            .ic("vdd", 1.0);
+        let tr = transient(&n, &params).unwrap();
+        // Output starts high, ends low after the input steps up.
+        assert!(tr.signal("out").unwrap()[0] > 0.9);
+        assert!(tr.final_value("out").unwrap() < 0.05);
+        let t_fall = tr
+            .crossing_time("out", 0.5, CrossDirection::Falling, 0.0)
+            .unwrap();
+        assert!(t_fall > 100e-12 && t_fall < 300e-12, "t_fall = {t_fall:e}");
+    }
+
+    #[test]
+    fn cross_coupled_latch_regenerates() {
+        // The core dynamic of the sense amplifier: two cross-coupled
+        // inverters amplify a small initial imbalance to full rails.
+        let mut n = Netlist::new();
+        let vdd = n.node("vdd");
+        let s = n.node("s");
+        let sbar = n.node("sbar");
+        n.vsource(vdd, Netlist::GROUND, Waveform::dc(1.0));
+        // Inverter A: input s, output sbar.
+        n.mosfet("MPA", sbar, s, vdd, vdd, pmos(2e-3));
+        n.mosfet("MNA", sbar, s, Netlist::GROUND, Netlist::GROUND, nmos(1e-3));
+        // Inverter B: input sbar, output s.
+        n.mosfet("MPB", s, sbar, vdd, vdd, pmos(2e-3));
+        n.mosfet("MNB", s, sbar, Netlist::GROUND, Netlist::GROUND, nmos(1e-3));
+        n.capacitor(s, Netlist::GROUND, 1e-15);
+        n.capacitor(sbar, Netlist::GROUND, 1e-15);
+
+        let params = TranParams::new(2e-9, 1e-12)
+            .record_all()
+            .ic("vdd", 1.0)
+            .ic("s", 0.52) // 40 mV of imbalance around mid-rail
+            .ic("sbar", 0.48);
+        let tr = transient(&n, &params).unwrap();
+        assert!(tr.final_value("s").unwrap() > 0.95, "s should win");
+        assert!(tr.final_value("sbar").unwrap() < 0.05, "sbar should lose");
+
+        // Mirror-image imbalance resolves the other way.
+        let params2 = TranParams::new(2e-9, 1e-12)
+            .record_all()
+            .ic("vdd", 1.0)
+            .ic("s", 0.48)
+            .ic("sbar", 0.52);
+        let tr2 = transient(&n, &params2).unwrap();
+        assert!(tr2.final_value("s").unwrap() < 0.05);
+        assert!(tr2.final_value("sbar").unwrap() > 0.95);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        n.resistor(a, Netlist::GROUND, 1.0);
+        assert!(matches!(
+            transient(&n, &TranParams::new(1e-9, 0.0)),
+            Err(CircuitError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            transient(&n, &TranParams::new(-1.0, 1e-12)),
+            Err(CircuitError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            transient(&n, &TranParams::new(1e-9, 1e-12).ic("nope", 1.0)),
+            Err(CircuitError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            transient(&n, &TranParams::new(1e-9, 1e-12).record_nodes(["nope"])),
+            Err(CircuitError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn record_subset_only() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        let b = n.node("b");
+        n.vsource(a, Netlist::GROUND, Waveform::dc(1.0));
+        n.resistor(a, b, 1e3);
+        n.capacitor(b, Netlist::GROUND, 1e-12);
+        let tr = transient(&n, &TranParams::new(1e-9, 1e-11).record_nodes(["b"])).unwrap();
+        assert_eq!(tr.names(), &["b".to_string()]);
+        assert!(tr.signal("a").is_none());
+    }
+
+    #[test]
+    fn pwl_source_tracks_waveform() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        n.vsource(
+            a,
+            Netlist::GROUND,
+            Waveform::pwl(vec![(0.0, 0.0), (1e-9, 1.0), (2e-9, 0.25)]),
+        );
+        n.resistor(a, Netlist::GROUND, 1e3);
+        let tr = transient(&n, &TranParams::new(2e-9, 1e-11).record_all()).unwrap();
+        assert!((tr.value_at("a", 0.5e-9).unwrap() - 0.5).abs() < 1e-6);
+        assert!((tr.value_at("a", 2e-9).unwrap() - 0.25).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,184 @@
+//! Time-domain source waveforms: DC, pulse, and piecewise-linear.
+
+use issa_num::interp::PiecewiseLinear;
+
+/// A source waveform evaluated as a function of simulation time.
+///
+/// # Example
+///
+/// ```
+/// use issa_circuit::waveform::Waveform;
+///
+/// let clk = Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 2e-9, 5e-9);
+/// assert_eq!(clk.eval(0.0), 0.0);          // before delay
+/// assert!((clk.eval(1.05e-9) - 0.5).abs() < 1e-12); // mid-rise
+/// assert_eq!(clk.eval(2e-9), 1.0);          // high phase
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE-style periodic pulse.
+    Pulse {
+        /// Initial (low-phase) value.
+        v0: f64,
+        /// Pulsed (high-phase) value.
+        v1: f64,
+        /// Delay before the first rising edge starts.
+        delay: f64,
+        /// Rise time (0 → treated as one femtosecond to stay continuous).
+        rise: f64,
+        /// Fall time (same 0 handling).
+        fall: f64,
+        /// Width of the high phase (after the rise completes).
+        width: f64,
+        /// Period; `f64::INFINITY` for a single pulse.
+        period: f64,
+    },
+    /// Piecewise-linear waveform, clamped outside its breakpoints.
+    Pwl(PiecewiseLinear),
+}
+
+/// Minimum edge time substituted for zero rise/fall, keeping sources
+/// continuous for the integrator.
+const MIN_EDGE: f64 = 1e-15;
+
+impl Waveform {
+    /// Constant waveform.
+    pub fn dc(value: f64) -> Self {
+        Waveform::Dc(value)
+    }
+
+    /// Periodic pulse; see the field docs on [`Waveform::Pulse`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width`, `rise`, `fall` or `delay` is negative, or the
+    /// period is not larger than `rise + width + fall` (unless infinite).
+    pub fn pulse(v0: f64, v1: f64, delay: f64, rise: f64, fall: f64, width: f64, period: f64) -> Self {
+        assert!(delay >= 0.0 && rise >= 0.0 && fall >= 0.0 && width >= 0.0, "pulse timings must be non-negative");
+        assert!(
+            period.is_infinite() || period >= rise + width + fall,
+            "pulse period shorter than one pulse"
+        );
+        Waveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        }
+    }
+
+    /// One-shot step from `v0` to `v1` at `t_step` over `t_edge` seconds.
+    pub fn step(v0: f64, v1: f64, t_step: f64, t_edge: f64) -> Self {
+        Waveform::pulse(v0, v1, t_step, t_edge, t_edge, f64::INFINITY, f64::INFINITY)
+    }
+
+    /// Piecewise-linear waveform from `(time, value)` breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the breakpoints are empty or out of order (delegates to
+    /// [`PiecewiseLinear::new`]).
+    pub fn pwl(points: Vec<(f64, f64)>) -> Self {
+        Waveform::Pwl(PiecewiseLinear::new(points).expect("invalid PWL breakpoints"))
+    }
+
+    /// Evaluates the waveform at time `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v0;
+                }
+                let rise = rise.max(MIN_EDGE);
+                let fall = fall.max(MIN_EDGE);
+                let mut tau = t - delay;
+                if period.is_finite() {
+                    tau %= period;
+                }
+                if tau < rise {
+                    v0 + (v1 - v0) * tau / rise
+                } else if tau < rise + width {
+                    *v1
+                } else if tau < rise + width + fall {
+                    v1 + (v0 - v1) * (tau - rise - width) / fall
+                } else {
+                    *v0
+                }
+            }
+            Waveform::Pwl(pwl) => pwl.eval(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::dc(1.5);
+        assert_eq!(w.eval(0.0), 1.5);
+        assert_eq!(w.eval(1e9), 1.5);
+    }
+
+    #[test]
+    fn pulse_phases() {
+        let w = Waveform::pulse(0.0, 2.0, 1.0, 0.5, 0.25, 1.0, 4.0);
+        assert_eq!(w.eval(0.5), 0.0); // before delay
+        assert!((w.eval(1.25) - 1.0).abs() < 1e-12); // mid rise
+        assert_eq!(w.eval(2.0), 2.0); // high
+        assert!((w.eval(2.625) - 1.0).abs() < 1e-12); // mid fall
+        assert_eq!(w.eval(3.0), 0.0); // low again
+        // Periodicity: one full period later.
+        assert!((w.eval(5.25) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_edge_pulse_still_evaluable() {
+        let w = Waveform::pulse(0.0, 1.0, 0.0, 0.0, 0.0, 1.0, f64::INFINITY);
+        assert_eq!(w.eval(0.5), 1.0);
+        assert_eq!(w.eval(2.0), 0.0);
+    }
+
+    #[test]
+    fn step_waveform() {
+        let w = Waveform::step(0.2, 1.0, 1e-9, 0.1e-9);
+        assert_eq!(w.eval(0.0), 0.2);
+        assert_eq!(w.eval(2e-9), 1.0);
+        assert!((w.eval(1.05e-9) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_pulse_never_repeats() {
+        let w = Waveform::pulse(0.0, 1.0, 0.0, 0.1, 0.1, 0.5, f64::INFINITY);
+        assert_eq!(w.eval(100.0), 0.0);
+    }
+
+    #[test]
+    fn pwl_clamps() {
+        let w = Waveform::pwl(vec![(0.0, 0.0), (1.0, 3.0)]);
+        assert_eq!(w.eval(-1.0), 0.0);
+        assert_eq!(w.eval(0.5), 1.5);
+        assert_eq!(w.eval(9.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period shorter")]
+    fn pulse_rejects_too_short_period() {
+        Waveform::pulse(0.0, 1.0, 0.0, 1.0, 1.0, 1.0, 2.0);
+    }
+}

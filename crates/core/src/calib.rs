@@ -1,0 +1,80 @@
+//! Calibration constants, each tied to the paper value it anchors.
+//!
+//! The reproduction cannot match the paper's absolute numbers (different
+//! device model, different BTI parameter extraction), so each constant
+//! below is chosen to put one *fresh-device* or *aged-device* figure of
+//! merit in the paper's ballpark; the experiments then check that the
+//! *relative* behaviour (who wins, orderings, crossovers) reproduces.
+
+/// Pelgrom mismatch coefficient A_VT \[V·m\].
+///
+/// Anchor: the fresh NSSA offset distribution has σ ≈ 14.8 mV (Table II,
+/// row 1). The latch offset is dominated by the Vth mismatch of the
+/// cross-coupled pairs; with the Fig. 1 sizings this coefficient lands the
+/// simulated fresh σ in the 13–17 mV band.
+pub const A_VT: f64 = 1.92e-9; // 1.92 mV·µm
+
+/// Fraction of an *active read cycle* spent in the amplify/hold phase
+/// (SAenable high); the rest is precharge/pass.
+///
+/// Anchor: a 50/50 split of the read cycle is the conventional SRAM
+/// timing assumption; the paper's workload definitions ("80 % of the time
+/// a read operation is performed") multiply this.
+pub const AMPLIFY_FRACTION: f64 = 0.5;
+
+/// Effective gate-stress weight of the pass/idle phase on the latch NMOS
+/// devices (whose gates sit at the precharged-high internal nodes while
+/// their common source floats up through the off footer).
+///
+/// Anchor: with full-weight idle stress the workload dependence of the
+/// mean shift washes out (both latch NMOS would be stressed ~100 % of the
+/// time), flattening the Table II μ column. Physically the weight is
+/// small: the floating common-source node climbs to roughly Vdd − Vth,
+/// leaving only a residual oxide field. 0.05 keeps a trace of symmetric
+/// idle stress without diluting the read-phase differential.
+pub const IDLE_GATE_STRESS: f64 = 0.05;
+
+/// Differential bitline swing used for sensing-delay measurements \[V\].
+///
+/// Anchor: the paper's delay experiment senses a healthy developed
+/// bitline; 100 mV is the standard design-point swing for latch-type SAs
+/// (≈ the 6 σ offset spec of Table II).
+pub const DELAY_PROBE_SWING: f64 = 0.1;
+
+/// Target failure rate for the offset-voltage specification.
+///
+/// Anchor: the paper assumes fr = 10⁻⁹, which for a zero-mean normal
+/// distribution gives Voffset = 6.1 σ (Section II-C).
+pub const FAILURE_RATE: f64 = 1e-9;
+
+/// Default Monte Carlo sample count.
+///
+/// Anchor: "for each Monte Carlo simulation 400 iterations are performed"
+/// (Section IV-A).
+pub const MC_SAMPLES: usize = 400;
+
+/// Default ISSA counter width.
+///
+/// Anchor: "an 8-bit counter is used ... the inputs of the SA are swapped
+/// each 128 reads" (Section IV-A).
+pub const COUNTER_BITS: u8 = 8;
+
+/// Paper stress time for the aged columns of Tables II–IV \[s\].
+pub const PAPER_STRESS_TIME: f64 = 1e8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_physical() {
+        assert!(A_VT > 0.0 && A_VT < 1e-7);
+        assert!((0.0..=1.0).contains(&AMPLIFY_FRACTION));
+        assert!((0.0..=1.0).contains(&IDLE_GATE_STRESS));
+        assert!(DELAY_PROBE_SWING > 0.0 && DELAY_PROBE_SWING < 1.0);
+        assert!(FAILURE_RATE > 0.0 && FAILURE_RATE < 1e-3);
+        assert_eq!(MC_SAMPLES, 400);
+        assert_eq!(COUNTER_BITS, 8);
+        assert_eq!(PAPER_STRESS_TIME, 1e8);
+    }
+}

@@ -1,0 +1,150 @@
+//! Regeneration-mode analysis of a sense amplifier instance.
+//!
+//! The sensing delay the paper measures is, to first order,
+//! `t ≈ τ · ln(V_resolve / V_in)` where τ is the latch's regeneration time
+//! constant — the reciprocal of the one *positive* natural mode the
+//! enabled latch has at its metastable operating point. This module
+//! extracts τ by small-signal analysis ([`issa_circuit::smallsignal`]),
+//! giving an analytic handle on why aging and temperature slow the SA:
+//! both reduce the cross-coupled pair's transconductance, and
+//! `τ = C_node / g_m,loop`.
+
+use crate::netlist::SaInstance;
+use crate::probe::ProbeOptions;
+use crate::SaError;
+use issa_circuit::dc::{dc_operating_point, DcParams};
+use issa_circuit::smallsignal::{dominant_mode, linearize};
+use issa_circuit::waveform::Waveform;
+
+impl SaInstance {
+    /// Regeneration time constant τ \[s\] of the enabled latch at its
+    /// (near-)metastable operating point.
+    ///
+    /// Builds the SA with SAenable held high and both bitlines at the
+    /// metastability-balancing input (the measured offset), solves the DC
+    /// saddle point from a symmetric mid-rail guess, and extracts the
+    /// dominant natural mode.
+    ///
+    /// # Errors
+    ///
+    /// - [`SaError::Circuit`] if the DC solve or mode extraction fails;
+    /// - [`SaError::Unresolved`] if the solver slid off the saddle into a
+    ///   stable state (strongly asymmetric instances) — in that case the
+    ///   extracted mode would be a settling mode, not regeneration.
+    pub fn regeneration_tau(&self, opts: &ProbeOptions) -> Result<f64, SaError> {
+        // Balance the latch at its own offset so the saddle exists at
+        // mid-rail even for aged instances.
+        let offset = self.offset_voltage(opts)?;
+        let drive = crate::probe::DriveSpec::offset_probe(
+            -offset,
+            &self.env,
+            opts.t_enable,
+            opts.edge,
+        );
+        let mut net = self.build_netlist(&drive);
+        // Hold the enables in the amplify state for the DC solve.
+        let vdd = self.env.vdd;
+        for e in net.elements_mut() {
+            if let issa_circuit::element::Element::VSource(v) = e {
+                // Waveforms evaluated at t >> enable time are already in
+                // the amplify state; replace with their settled DC values.
+                let settled = v.waveform.eval(1.0);
+                v.waveform = Waveform::dc(settled);
+            }
+        }
+
+        let mid = 0.5 * vdd;
+        let op = dc_operating_point(
+            &net,
+            &DcParams {
+                initial_guess: vec![
+                    ("vdd".into(), vdd),
+                    ("bl".into(), drive.bl.eval(0.0)),
+                    ("blbar".into(), drive.blbar.eval(0.0)),
+                    ("s".into(), mid),
+                    ("sbar".into(), mid),
+                    ("ntop".into(), vdd),
+                    ("nbot".into(), 0.0),
+                    ("saen".into(), vdd),
+                ],
+                ..DcParams::default()
+            },
+        )?;
+
+        // Verify we are on the saddle, not in a resolved corner.
+        let s = op.voltage("s").expect("s exists");
+        let sbar = op.voltage("sbar").expect("sbar exists");
+        if (s - sbar).abs() > 0.2 * vdd {
+            return Err(SaError::Unresolved {
+                differential: s - sbar,
+            });
+        }
+
+        let lin = linearize(&net, &op.raw(), 1.0);
+        let lambda = dominant_mode(&lin)?;
+        if lambda <= 0.0 {
+            return Err(SaError::Unresolved {
+                differential: s - sbar,
+            });
+        }
+        Ok(1.0 / lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{SaDevice, SaKind};
+    use issa_ptm45::Environment;
+
+    fn opts() -> ProbeOptions {
+        ProbeOptions::fast()
+    }
+
+    #[test]
+    fn fresh_latch_tau_is_picoseconds() {
+        let sa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+        let tau = sa.regeneration_tau(&opts()).unwrap();
+        assert!(tau > 0.1e-12 && tau < 50e-12, "tau = {tau:e}");
+    }
+
+    #[test]
+    fn tau_grows_with_temperature() {
+        let cold = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+        let hot = SaInstance::fresh(SaKind::Nssa, Environment::nominal().with_temp_c(125.0));
+        let tau_cold = cold.regeneration_tau(&opts()).unwrap();
+        let tau_hot = hot.regeneration_tau(&opts()).unwrap();
+        assert!(tau_hot > tau_cold, "hot {tau_hot:e} vs cold {tau_cold:e}");
+    }
+
+    #[test]
+    fn tau_grows_with_symmetric_aging() {
+        let fresh = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+        let mut aged = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+        for d in [
+            SaDevice::Mdown,
+            SaDevice::MdownBar,
+            SaDevice::Mup,
+            SaDevice::MupBar,
+        ] {
+            aged.set_delta_vth(d, 40e-3);
+        }
+        let tau_fresh = fresh.regeneration_tau(&opts()).unwrap();
+        let tau_aged = aged.regeneration_tau(&opts()).unwrap();
+        assert!(
+            tau_aged > tau_fresh,
+            "aged {tau_aged:e} vs fresh {tau_fresh:e}"
+        );
+    }
+
+    #[test]
+    fn issa_tau_close_to_nssa() {
+        // The crossed pair only adds junction load; τ should be within a
+        // modest factor.
+        let nssa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+        let issa = SaInstance::fresh(SaKind::Issa, Environment::nominal());
+        let tn = nssa.regeneration_tau(&opts()).unwrap();
+        let ti = issa.regeneration_tau(&opts()).unwrap();
+        assert!(ti > 0.8 * tn && ti < 1.6 * tn, "{tn:e} vs {ti:e}");
+    }
+}

@@ -1,0 +1,478 @@
+//! Circuit-level netlists of the two sense amplifiers.
+//!
+//! [`SaKind::Nssa`] is the standard latch-type SA of the paper's Fig. 1:
+//! a PMOS header (`Mtop`, gated by `SAenablebar`), a cross-coupled
+//! inverter pair (`Mup`/`MupBar`, `Mdown`/`MdownBar`) over a shared NMOS
+//! footer (`Mbottom`, gated by `SAenable`), PMOS pass transistors
+//! connecting the bitlines to the internal nodes S/SBar during the pass
+//! phase, 1 fF caps on the internal nodes, and output inverters producing
+//! `Out`/`Outbar`.
+//!
+//! [`SaKind::Issa`] is the paper's Fig. 2: the pass pair is doubled into a
+//! *straight* pair M1/M2 (BL→S, BLBar→SBar, enabled by `SAenableA`) and a
+//! *crossed* pair M3/M4 (BLBar→S, BL→SBar, enabled by `SAenableB`), so the
+//! control logic can swap the SA's inputs periodically.
+//!
+//! Every transistor's threshold can be shifted individually through
+//! [`SaInstance::set_delta_vth`] — the injection point for both time-zero
+//! mismatch and BTI aging.
+
+use crate::probe::DriveSpec;
+use issa_circuit::mosfet::MosPolarity;
+use issa_circuit::netlist::Netlist;
+use issa_circuit::waveform::Waveform;
+use issa_ptm45::{DeviceCard, Environment};
+
+/// Which sense amplifier to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SaKind {
+    /// Non-switching (standard latch-type) SA — the paper's Fig. 1.
+    Nssa,
+    /// Input-switching SA with the crossed pass pair — the paper's Fig. 2.
+    Issa,
+}
+
+impl SaKind {
+    /// Short display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SaKind::Nssa => "NSSA",
+            SaKind::Issa => "ISSA",
+        }
+    }
+}
+
+/// W/L sizing of the SA, defaulting to the paper's Fig. 1 annotations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaSizing {
+    /// PMOS header W/L.
+    pub mtop: f64,
+    /// Pass transistor W/L (each of Mpass/MpassBar, and M1–M4 for ISSA).
+    pub mpass: f64,
+    /// Latch pull-up PMOS W/L.
+    pub mup: f64,
+    /// Latch pull-down NMOS W/L.
+    pub mdown: f64,
+    /// NMOS footer W/L.
+    pub mbottom: f64,
+    /// Output inverter PMOS W/L.
+    pub out_inv_p: f64,
+    /// Output inverter NMOS W/L.
+    pub out_inv_n: f64,
+    /// Explicit capacitance on each internal node S/SBar \[F\].
+    pub node_cap: f64,
+    /// Load capacitance on each output \[F\].
+    pub out_load: f64,
+}
+
+impl SaSizing {
+    /// The paper's Fig. 1 sizing: header 10, pass 5, pull-up 5, pull-down
+    /// 17.8, footer 15.5, output inverter 5/2.5, 1 fF internal node caps.
+    pub fn paper() -> Self {
+        Self {
+            mtop: 10.0,
+            mpass: 5.0,
+            mup: 5.0,
+            mdown: 17.8,
+            mbottom: 15.5,
+            out_inv_p: 5.0,
+            out_inv_n: 2.5,
+            node_cap: 1e-15,
+            out_load: 0.5e-15,
+        }
+    }
+}
+
+impl Default for SaSizing {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Every transistor role in either SA variant.
+///
+/// The discriminants index the per-device ΔVth table of [`SaInstance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum SaDevice {
+    /// PMOS header, gate = SAenablebar.
+    Mtop = 0,
+    /// NMOS footer, gate = SAenable.
+    Mbottom = 1,
+    /// Latch pull-up PMOS on the S side (gate = SBar).
+    Mup = 2,
+    /// Latch pull-up PMOS on the SBar side (gate = S).
+    MupBar = 3,
+    /// Latch pull-down NMOS on the S side (gate = SBar).
+    Mdown = 4,
+    /// Latch pull-down NMOS on the SBar side (gate = S).
+    MdownBar = 5,
+    /// NSSA pass PMOS, BL → S.
+    Mpass = 6,
+    /// NSSA pass PMOS, BLBar → SBar.
+    MpassBar = 7,
+    /// ISSA straight pass PMOS, BL → S (gate = SAenableA).
+    M1 = 8,
+    /// ISSA straight pass PMOS, BLBar → SBar (gate = SAenableA).
+    M2 = 9,
+    /// ISSA crossed pass PMOS, BLBar → S (gate = SAenableB).
+    M3 = 10,
+    /// ISSA crossed pass PMOS, BL → SBar (gate = SAenableB).
+    M4 = 11,
+    /// `Out` inverter PMOS (input = SBar).
+    OutInvP = 12,
+    /// `Out` inverter NMOS (input = SBar).
+    OutInvN = 13,
+    /// `Outbar` inverter PMOS (input = S).
+    OutbarInvP = 14,
+    /// `Outbar` inverter NMOS (input = S).
+    OutbarInvN = 15,
+}
+
+/// Number of device roles (size of the ΔVth table).
+pub const SA_DEVICE_COUNT: usize = 16;
+
+impl SaDevice {
+    /// All roles present in an NSSA.
+    pub const NSSA: [SaDevice; 12] = [
+        SaDevice::Mtop,
+        SaDevice::Mbottom,
+        SaDevice::Mup,
+        SaDevice::MupBar,
+        SaDevice::Mdown,
+        SaDevice::MdownBar,
+        SaDevice::Mpass,
+        SaDevice::MpassBar,
+        SaDevice::OutInvP,
+        SaDevice::OutInvN,
+        SaDevice::OutbarInvP,
+        SaDevice::OutbarInvN,
+    ];
+
+    /// All roles present in an ISSA.
+    pub const ISSA: [SaDevice; 14] = [
+        SaDevice::Mtop,
+        SaDevice::Mbottom,
+        SaDevice::Mup,
+        SaDevice::MupBar,
+        SaDevice::Mdown,
+        SaDevice::MdownBar,
+        SaDevice::M1,
+        SaDevice::M2,
+        SaDevice::M3,
+        SaDevice::M4,
+        SaDevice::OutInvP,
+        SaDevice::OutInvN,
+        SaDevice::OutbarInvP,
+        SaDevice::OutbarInvN,
+    ];
+
+    /// Roles present in the given SA kind.
+    pub fn roles_of(kind: SaKind) -> &'static [SaDevice] {
+        match kind {
+            SaKind::Nssa => &Self::NSSA,
+            SaKind::Issa => &Self::ISSA,
+        }
+    }
+
+    /// Channel polarity of this role.
+    pub fn polarity(self) -> MosPolarity {
+        match self {
+            SaDevice::Mbottom
+            | SaDevice::Mdown
+            | SaDevice::MdownBar
+            | SaDevice::OutInvN
+            | SaDevice::OutbarInvN => MosPolarity::Nmos,
+            _ => MosPolarity::Pmos,
+        }
+    }
+
+    /// W/L of this role under `sizing`.
+    pub fn w_over_l(self, sizing: &SaSizing) -> f64 {
+        match self {
+            SaDevice::Mtop => sizing.mtop,
+            SaDevice::Mbottom => sizing.mbottom,
+            SaDevice::Mup | SaDevice::MupBar => sizing.mup,
+            SaDevice::Mdown | SaDevice::MdownBar => sizing.mdown,
+            SaDevice::Mpass
+            | SaDevice::MpassBar
+            | SaDevice::M1
+            | SaDevice::M2
+            | SaDevice::M3
+            | SaDevice::M4 => sizing.mpass,
+            SaDevice::OutInvP | SaDevice::OutbarInvP => sizing.out_inv_p,
+            SaDevice::OutInvN | SaDevice::OutbarInvN => sizing.out_inv_n,
+        }
+    }
+
+    /// Gate area of this role \[m²\] (drives mismatch and trap statistics).
+    pub fn gate_area(self, sizing: &SaSizing) -> f64 {
+        self.w_over_l(sizing) * issa_ptm45::L_NOMINAL * issa_ptm45::L_NOMINAL
+    }
+
+    /// Instance name used in netlists and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SaDevice::Mtop => "Mtop",
+            SaDevice::Mbottom => "Mbottom",
+            SaDevice::Mup => "Mup",
+            SaDevice::MupBar => "MupBar",
+            SaDevice::Mdown => "Mdown",
+            SaDevice::MdownBar => "MdownBar",
+            SaDevice::Mpass => "Mpass",
+            SaDevice::MpassBar => "MpassBar",
+            SaDevice::M1 => "M1",
+            SaDevice::M2 => "M2",
+            SaDevice::M3 => "M3",
+            SaDevice::M4 => "M4",
+            SaDevice::OutInvP => "OutInvP",
+            SaDevice::OutInvN => "OutInvN",
+            SaDevice::OutbarInvP => "OutbarInvP",
+            SaDevice::OutbarInvN => "OutbarInvN",
+        }
+    }
+}
+
+/// One concrete sense amplifier: kind, sizing, environment, per-device
+/// threshold shifts, and (for the ISSA) the current switch state.
+///
+/// Building the circuit netlist is cheap; a fresh netlist is constructed
+/// for every probe from this description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaInstance {
+    /// Which SA variant.
+    pub kind: SaKind,
+    /// Device sizing.
+    pub sizing: SaSizing,
+    /// Operating environment.
+    pub env: Environment,
+    /// ISSA only: whether the control's `Switch` signal is high (crossed
+    /// pass pair active). Ignored for the NSSA.
+    pub switch_state: bool,
+    deltas: [f64; SA_DEVICE_COUNT],
+}
+
+impl SaInstance {
+    /// A fresh instance: paper sizing, zero mismatch, zero aging.
+    pub fn fresh(kind: SaKind, env: Environment) -> Self {
+        Self {
+            kind,
+            sizing: SaSizing::paper(),
+            env,
+            switch_state: false,
+            deltas: [0.0; SA_DEVICE_COUNT],
+        }
+    }
+
+    /// Sets the threshold shift of one device \[V\] (mismatch + aging;
+    /// positive weakens the device for either polarity).
+    pub fn set_delta_vth(&mut self, device: SaDevice, delta: f64) -> &mut Self {
+        self.deltas[device as usize] = delta;
+        self
+    }
+
+    /// Adds to the threshold shift of one device \[V\].
+    pub fn add_delta_vth(&mut self, device: SaDevice, delta: f64) -> &mut Self {
+        self.deltas[device as usize] += delta;
+        self
+    }
+
+    /// Threshold shift of one device \[V\].
+    pub fn delta_vth(&self, device: SaDevice) -> f64 {
+        self.deltas[device as usize]
+    }
+
+    /// Clears every threshold shift.
+    pub fn clear_deltas(&mut self) -> &mut Self {
+        self.deltas = [0.0; SA_DEVICE_COUNT];
+        self
+    }
+
+    /// The device roles this instance actually contains.
+    pub fn devices(&self) -> &'static [SaDevice] {
+        SaDevice::roles_of(self.kind)
+    }
+
+    fn params_for(&self, device: SaDevice) -> issa_circuit::mosfet::MosParams {
+        let card = match device.polarity() {
+            MosPolarity::Nmos => DeviceCard::nmos_hp(),
+            MosPolarity::Pmos => DeviceCard::pmos_hp(),
+        };
+        let mut p = card.sized(device.w_over_l(&self.sizing), &self.env);
+        p.delta_vth = self.deltas[device as usize];
+        p
+    }
+
+    /// Builds the circuit netlist for this instance under the given drive
+    /// waveforms. Node names: `vdd`, `bl`, `blbar`, `s`, `sbar`, `ntop`,
+    /// `nbot`, `out`, `outbar`, `saen`, `saenbar` (+ `saen_a`/`saen_b` for
+    /// the ISSA).
+    pub(crate) fn build_netlist(&self, drive: &DriveSpec) -> Netlist {
+        let vdd_v = self.env.vdd;
+        let mut n = Netlist::new();
+        let vdd = n.node("vdd");
+        let bl = n.node("bl");
+        let blbar = n.node("blbar");
+        let s = n.node("s");
+        let sbar = n.node("sbar");
+        let ntop = n.node("ntop");
+        let nbot = n.node("nbot");
+        let out = n.node("out");
+        let outbar = n.node("outbar");
+        let saen = n.node("saen");
+        let saenbar = n.node("saenbar");
+        let gnd = Netlist::GROUND;
+
+        // Supplies and drives.
+        n.vsource(vdd, gnd, Waveform::dc(vdd_v));
+        n.vsource(bl, gnd, drive.bl.clone());
+        n.vsource(blbar, gnd, drive.blbar.clone());
+        // SAenable rises at t_enable; SAenablebar is its complement.
+        let en = Waveform::step(0.0, vdd_v, drive.t_enable, drive.edge);
+        let en_bar = Waveform::step(vdd_v, 0.0, drive.t_enable, drive.edge);
+        n.vsource(saen, gnd, en.clone());
+        n.vsource(saenbar, gnd, en_bar);
+
+        // Header, footer, and the cross-coupled pair.
+        n.mosfet("Mtop", ntop, saenbar, vdd, vdd, self.params_for(SaDevice::Mtop));
+        n.mosfet("Mbottom", nbot, saen, gnd, gnd, self.params_for(SaDevice::Mbottom));
+        n.mosfet("Mup", s, sbar, ntop, vdd, self.params_for(SaDevice::Mup));
+        n.mosfet("MupBar", sbar, s, ntop, vdd, self.params_for(SaDevice::MupBar));
+        n.mosfet("Mdown", s, sbar, nbot, gnd, self.params_for(SaDevice::Mdown));
+        n.mosfet("MdownBar", sbar, s, nbot, gnd, self.params_for(SaDevice::MdownBar));
+
+        // Pass transistors (PMOS, active-low gates).
+        match self.kind {
+            SaKind::Nssa => {
+                n.mosfet("Mpass", s, saen, bl, vdd, self.params_for(SaDevice::Mpass));
+                n.mosfet(
+                    "MpassBar",
+                    sbar,
+                    saen,
+                    blbar,
+                    vdd,
+                    self.params_for(SaDevice::MpassBar),
+                );
+            }
+            SaKind::Issa => {
+                let saen_a = n.node("saen_a");
+                let saen_b = n.node("saen_b");
+                // Table I: with Switch low, SAenableA follows SAenable and
+                // SAenableB is held high; with Switch high, vice versa.
+                let (wave_a, wave_b) = if self.switch_state {
+                    (Waveform::dc(vdd_v), en)
+                } else {
+                    (en, Waveform::dc(vdd_v))
+                };
+                n.vsource(saen_a, gnd, wave_a);
+                n.vsource(saen_b, gnd, wave_b);
+                n.mosfet("M1", s, saen_a, bl, vdd, self.params_for(SaDevice::M1));
+                n.mosfet("M2", sbar, saen_a, blbar, vdd, self.params_for(SaDevice::M2));
+                n.mosfet("M3", s, saen_b, blbar, vdd, self.params_for(SaDevice::M3));
+                n.mosfet("M4", sbar, saen_b, bl, vdd, self.params_for(SaDevice::M4));
+            }
+        }
+
+        // Internal node capacitances (the 1 fF caps of Fig. 1/2).
+        n.capacitor(s, gnd, self.sizing.node_cap);
+        n.capacitor(sbar, gnd, self.sizing.node_cap);
+
+        // Output inverters: Out = inv(SBar), Outbar = inv(S).
+        n.mosfet("OutInvP", out, sbar, vdd, vdd, self.params_for(SaDevice::OutInvP));
+        n.mosfet("OutInvN", out, sbar, gnd, gnd, self.params_for(SaDevice::OutInvN));
+        n.mosfet(
+            "OutbarInvP",
+            outbar,
+            s,
+            vdd,
+            vdd,
+            self.params_for(SaDevice::OutbarInvP),
+        );
+        n.mosfet(
+            "OutbarInvN",
+            outbar,
+            s,
+            gnd,
+            gnd,
+            self.params_for(SaDevice::OutbarInvN),
+        );
+        n.capacitor(out, gnd, self.sizing.out_load);
+        n.capacitor(outbar, gnd, self.sizing.out_load);
+
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::DriveSpec;
+
+    #[test]
+    fn device_tables_are_consistent() {
+        for d in SaDevice::NSSA {
+            assert!(d.w_over_l(&SaSizing::paper()) > 0.0);
+            assert!(!d.name().is_empty());
+        }
+        // ISSA swaps the two NSSA pass devices for M1..M4.
+        assert!(!SaDevice::ISSA.contains(&SaDevice::Mpass));
+        assert!(SaDevice::ISSA.contains(&SaDevice::M3));
+        assert_eq!(SaDevice::NSSA.len() + 2, SaDevice::ISSA.len());
+    }
+
+    #[test]
+    fn polarity_assignment() {
+        use issa_circuit::mosfet::MosPolarity::*;
+        assert_eq!(SaDevice::Mdown.polarity(), Nmos);
+        assert_eq!(SaDevice::Mbottom.polarity(), Nmos);
+        assert_eq!(SaDevice::Mup.polarity(), Pmos);
+        assert_eq!(SaDevice::Mtop.polarity(), Pmos);
+        assert_eq!(SaDevice::M3.polarity(), Pmos);
+        assert_eq!(SaDevice::OutInvN.polarity(), Nmos);
+    }
+
+    #[test]
+    fn paper_sizing_values() {
+        let s = SaSizing::paper();
+        assert_eq!(s.mdown, 17.8);
+        assert_eq!(s.mbottom, 15.5);
+        assert_eq!(s.mtop, 10.0);
+        assert_eq!(s.node_cap, 1e-15);
+    }
+
+    #[test]
+    fn delta_vth_roundtrip() {
+        let mut sa = SaInstance::fresh(SaKind::Nssa, issa_ptm45::Environment::nominal());
+        sa.set_delta_vth(SaDevice::Mdown, 0.02);
+        sa.add_delta_vth(SaDevice::Mdown, 0.01);
+        assert!((sa.delta_vth(SaDevice::Mdown) - 0.03).abs() < 1e-15);
+        sa.clear_deltas();
+        assert_eq!(sa.delta_vth(SaDevice::Mdown), 0.0);
+    }
+
+    #[test]
+    fn netlist_shapes() {
+        let env = issa_ptm45::Environment::nominal();
+        let drive = DriveSpec::offset_probe(0.0, &env, 5e-12, 1e-12);
+        let nssa = SaInstance::fresh(SaKind::Nssa, env).build_netlist(&drive);
+        let issa = SaInstance::fresh(SaKind::Issa, env).build_netlist(&drive);
+        assert_eq!(nssa.mosfets().count(), 12);
+        assert_eq!(issa.mosfets().count(), 14);
+        // ISSA has two extra enable sources.
+        assert_eq!(issa.vsource_count(), nssa.vsource_count() + 2);
+        assert!(nssa.find_node("s").is_some());
+        assert!(issa.find_node("saen_b").is_some());
+    }
+
+    #[test]
+    fn delta_propagates_into_params() {
+        let env = issa_ptm45::Environment::nominal();
+        let mut sa = SaInstance::fresh(SaKind::Nssa, env);
+        sa.set_delta_vth(SaDevice::MupBar, 0.05);
+        let drive = DriveSpec::offset_probe(0.0, &env, 5e-12, 1e-12);
+        let net = sa.build_netlist(&drive);
+        let idx = net.find_mosfet("MupBar").unwrap();
+        let (_, m) = net.mosfets().find(|(i, _)| *i == idx).unwrap();
+        assert_eq!(m.params.delta_vth, 0.05);
+    }
+}

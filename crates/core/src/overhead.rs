@@ -1,0 +1,213 @@
+//! Area and energy overhead accounting (paper Section IV-C).
+//!
+//! The paper argues the scheme's overheads are negligible: two extra pass
+//! transistors per SA, one counter and three gates shared by many columns,
+//! and counter switching energy only during reads. This module puts
+//! numbers on that argument with explicit, documented assumptions:
+//!
+//! - transistor area is counted in **width units** (sum of W/L — at fixed
+//!   channel length, area is proportional to width);
+//! - a toggle flip-flop costs 16 transistors, a NAND 4, an inverter 2;
+//!   control transistors are assumed minimum-size (W/L = 2);
+//! - a 6T SRAM cell costs 6 minimum-ish devices (W/L = 1.5 each) — used
+//!   to put the SA overhead in proportion to a whole column, mirroring the
+//!   paper's "the area of a memory is mainly dominated by the cell matrix"
+//!   argument;
+//! - an N-bit ripple counter toggles 2 − 2^{1−N} bits per read on average
+//!   (bit k toggles every 2^k reads).
+
+use crate::netlist::{SaDevice, SaKind, SaSizing};
+
+/// Transistor count of one toggle flip-flop.
+const TFF_TRANSISTORS: usize = 16;
+/// Transistor count of a two-input NAND.
+const NAND_TRANSISTORS: usize = 4;
+/// Transistor count of an inverter.
+const INV_TRANSISTORS: usize = 2;
+/// Assumed W/L of control-logic transistors.
+const CONTROL_W_OVER_L: f64 = 2.0;
+/// Assumed W/L-equivalent of one 6T SRAM cell (6 near-minimum devices).
+const CELL_WIDTH_UNITS: f64 = 6.0 * 1.5;
+
+/// Deployment parameters of the scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    /// Counter width N.
+    pub counter_bits: u8,
+    /// Number of SA columns sharing one control block (the paper: the
+    /// counter and gates "can be shared by multiple columns of SAs").
+    pub columns_sharing: usize,
+    /// Rows per column (cell-matrix context for the area fractions).
+    pub rows: usize,
+    /// Energy per control-transistor toggle \[J\] (~1 fJ at 45 nm).
+    pub energy_per_toggle: f64,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        Self {
+            counter_bits: crate::calib::COUNTER_BITS,
+            columns_sharing: 64,
+            rows: 256,
+            energy_per_toggle: 1e-15,
+        }
+    }
+}
+
+/// Computed overheads of the ISSA versus the NSSA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadReport {
+    /// NSSA area in width units (sum of W/L).
+    pub nssa_width_units: f64,
+    /// ISSA area in width units, *excluding* the shared control.
+    pub issa_width_units: f64,
+    /// Control-block transistor count (counter + 3 gates).
+    pub control_transistors: usize,
+    /// Control-block area in width units.
+    pub control_width_units: f64,
+    /// Per-column area overhead of the scheme relative to the NSSA SA
+    /// (extra pass pair + amortized control share).
+    pub sa_area_overhead: f64,
+    /// Same overhead relative to a whole column (cells + SA) — the
+    /// paper's "very marginal" number.
+    pub column_area_overhead: f64,
+    /// Mean counter bit-toggles per read.
+    pub toggles_per_read: f64,
+    /// Mean control energy per read, amortized per column \[J\].
+    pub energy_per_read_per_column: f64,
+}
+
+/// Sum of W/L over all devices of an SA variant.
+pub fn sa_width_units(kind: SaKind, sizing: &SaSizing) -> f64 {
+    SaDevice::roles_of(kind)
+        .iter()
+        .map(|d| d.w_over_l(sizing))
+        .sum()
+}
+
+/// Mean number of counter bits toggling per read for an N-bit ripple
+/// counter: `Σ_{k=0}^{N−1} 2^{−k} = 2 − 2^{1−N}`.
+pub fn counter_toggles_per_read(bits: u8) -> f64 {
+    2.0 - (2.0f64).powi(1 - bits as i32)
+}
+
+/// Computes the overhead report for the given deployment.
+///
+/// # Panics
+///
+/// Panics if `columns_sharing` or `rows` is zero.
+pub fn overhead(model: &OverheadModel, sizing: &SaSizing) -> OverheadReport {
+    assert!(model.columns_sharing > 0, "need at least one column");
+    assert!(model.rows > 0, "need at least one row");
+
+    let nssa = sa_width_units(SaKind::Nssa, sizing);
+    let issa = sa_width_units(SaKind::Issa, sizing);
+
+    let control_transistors = model.counter_bits as usize * TFF_TRANSISTORS
+        + 2 * NAND_TRANSISTORS
+        + INV_TRANSISTORS;
+    let control_width_units = control_transistors as f64 * CONTROL_W_OVER_L;
+    let control_share = control_width_units / model.columns_sharing as f64;
+
+    let extra_per_column = (issa - nssa) + control_share;
+    let sa_area_overhead = extra_per_column / nssa;
+    let column_width_units = model.rows as f64 * CELL_WIDTH_UNITS + nssa;
+    let column_area_overhead = extra_per_column / column_width_units;
+
+    let toggles = counter_toggles_per_read(model.counter_bits);
+    let energy_per_read_per_column =
+        toggles * model.energy_per_toggle / model.columns_sharing as f64;
+
+    OverheadReport {
+        nssa_width_units: nssa,
+        issa_width_units: issa,
+        control_transistors,
+        control_width_units,
+        sa_area_overhead,
+        column_area_overhead,
+        toggles_per_read: toggles,
+        energy_per_read_per_column,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issa_adds_exactly_the_crossed_pair() {
+        let sizing = SaSizing::paper();
+        let nssa = sa_width_units(SaKind::Nssa, &sizing);
+        let issa = sa_width_units(SaKind::Issa, &sizing);
+        // M1..M4 replace Mpass/MpassBar: net +2 pass devices.
+        assert!((issa - nssa - 2.0 * sizing.mpass).abs() < 1e-9);
+    }
+
+    #[test]
+    fn toggles_converge_to_two() {
+        assert!((counter_toggles_per_read(1) - 1.0).abs() < 1e-12);
+        assert!((counter_toggles_per_read(2) - 1.5).abs() < 1e-12);
+        assert!((counter_toggles_per_read(8) - (2.0 - 1.0 / 128.0)).abs() < 1e-12);
+        assert!(counter_toggles_per_read(20) < 2.0);
+    }
+
+    #[test]
+    fn paper_deployment_overheads_are_marginal() {
+        let report = overhead(&OverheadModel::default(), &SaSizing::paper());
+        // "one counter and three extra gates": 8 TFFs + 2 NANDs + 1 INV.
+        assert_eq!(report.control_transistors, 8 * 16 + 2 * 4 + 2);
+        // Per-SA overhead: noticeable but small (two pass devices +
+        // amortized control).
+        assert!(report.sa_area_overhead > 0.0);
+        assert!(report.sa_area_overhead < 0.35, "{}", report.sa_area_overhead);
+        // Relative to a whole column the overhead is well under 1 %.
+        assert!(
+            report.column_area_overhead < 0.01,
+            "{}",
+            report.column_area_overhead
+        );
+        // Energy: a couple of toggles shared by 64 columns.
+        assert!(report.energy_per_read_per_column < 1e-16);
+    }
+
+    #[test]
+    fn sharing_more_columns_shrinks_overhead() {
+        let sizing = SaSizing::paper();
+        let few = overhead(
+            &OverheadModel {
+                columns_sharing: 4,
+                ..OverheadModel::default()
+            },
+            &sizing,
+        );
+        let many = overhead(
+            &OverheadModel {
+                columns_sharing: 256,
+                ..OverheadModel::default()
+            },
+            &sizing,
+        );
+        assert!(many.sa_area_overhead < few.sa_area_overhead);
+        assert!(many.energy_per_read_per_column < few.energy_per_read_per_column);
+    }
+
+    #[test]
+    fn wider_counter_costs_more_control_area() {
+        let sizing = SaSizing::paper();
+        let narrow = overhead(
+            &OverheadModel {
+                counter_bits: 4,
+                ..OverheadModel::default()
+            },
+            &sizing,
+        );
+        let wide = overhead(
+            &OverheadModel {
+                counter_bits: 12,
+                ..OverheadModel::default()
+            },
+            &sizing,
+        );
+        assert!(wide.control_width_units > narrow.control_width_units);
+    }
+}

@@ -1,0 +1,505 @@
+//! Offset-voltage and sensing-delay measurements.
+//!
+//! Both measurements follow the paper's method:
+//!
+//! - **Offset voltage** (Section II-C): "the offset voltage of one
+//!   specific sample is determined using a binary search on its inputs".
+//!   Each binary-search probe is a regeneration transient: the bitlines
+//!   hold a differential `vin`, the internal nodes start precharged to the
+//!   bitline values, SAenable rises, and the latch resolves one way or the
+//!   other. The offset is the `vin` at which the decision flips.
+//!
+//! - **Sensing delay** (Section IV-A): "the time between the activation of
+//!   the SA (when SAenable rises to 50 % of Vdd) and when the result is
+//!   produced at the output (when Out or Outbar rises to 50 % of Vdd)".
+//!
+//! # Sign convention
+//!
+//! `vin = V(BL) − V(BLBar)`; a positive input resolves internal state 1
+//! (`S` high). The reported offset is **positive when the SA is biased
+//! toward resolving 1** — the bias an all-zeros read history produces
+//! (aged `Mdown`/`MupBar`), matching the positive μ the paper reports for
+//! the `r0` workloads.
+
+use crate::netlist::SaInstance;
+use crate::SaError;
+use issa_circuit::trace::CrossDirection;
+use issa_circuit::tran::{transient, TranParams};
+use issa_circuit::waveform::Waveform;
+use issa_ptm45::Environment;
+
+/// Resolved decision of one sense operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenseOutcome {
+    /// Internal state 0 (`S` low): the SA read a 0.
+    Zero,
+    /// Internal state 1 (`S` high): the SA read a 1.
+    One,
+}
+
+/// Timing and search parameters of the measurement probes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeOptions {
+    /// Time at which SAenable rises \[s\].
+    pub t_enable: f64,
+    /// Simulated window after the enable edge \[s\].
+    pub window: f64,
+    /// Transient base step \[s\].
+    pub dt: f64,
+    /// Enable edge (rise/fall) time \[s\].
+    pub edge: f64,
+    /// Half-width of the offset binary-search bracket \[V\].
+    pub vin_max: f64,
+    /// Termination tolerance of the offset search \[V\].
+    pub offset_tol: f64,
+    /// Fraction of Vdd the internal differential must exceed for
+    /// [`SaInstance::sense`] to call the operation resolved.
+    pub resolve_fraction: f64,
+    /// Bitline develop interval for delay probes \[s\].
+    pub t_develop: f64,
+    /// Settle interval between the end of bitline develop and the enable
+    /// edge \[s\]: the pass transistors need a few RC constants to
+    /// propagate the developed differential onto the internal nodes
+    /// (~5 ps per τ at 125 °C).
+    pub t_settle: f64,
+    /// Developed bitline swing for delay probes \[V\].
+    pub swing: f64,
+}
+
+impl Default for ProbeOptions {
+    fn default() -> Self {
+        Self {
+            t_enable: 5e-12,
+            window: 45e-12,
+            dt: 0.1e-12,
+            edge: 1e-12,
+            vin_max: 0.3,
+            offset_tol: 5e-5,
+            resolve_fraction: 0.6,
+            t_develop: 10e-12,
+            t_settle: 25e-12,
+            swing: crate::calib::DELAY_PROBE_SWING,
+        }
+    }
+}
+
+impl ProbeOptions {
+    /// A coarser, ~4× faster profile for tests and smoke runs: looser
+    /// offset tolerance and a larger time step.
+    pub fn fast() -> Self {
+        Self {
+            dt: 0.25e-12,
+            window: 35e-12,
+            offset_tol: 2e-4,
+            ..Self::default()
+        }
+    }
+}
+
+/// Window multiplier for delay probes and `sense()`: heavily aged hot
+/// instances sensing against their bias can be many times slower than a
+/// fresh SA, and the measurement must not clip the output crossing.
+const SLOW_WINDOW_SCALE: f64 = 8.0;
+
+/// The source waveforms of one probe (crate-internal).
+#[derive(Debug, Clone)]
+pub(crate) struct DriveSpec {
+    pub bl: Waveform,
+    pub blbar: Waveform,
+    pub t_enable: f64,
+    pub edge: f64,
+}
+
+impl DriveSpec {
+    /// Offset probe: both bitlines held at DC, the lower one dropped by
+    /// |vin| below Vdd (matching how a real bitline differential looks —
+    /// one line stays precharged, the other dips).
+    pub(crate) fn offset_probe(vin: f64, env: &Environment, t_enable: f64, edge: f64) -> Self {
+        let vdd = env.vdd;
+        let v_bl = vdd + vin.min(0.0);
+        let v_blbar = vdd - vin.max(0.0);
+        Self {
+            bl: Waveform::dc(v_bl),
+            blbar: Waveform::dc(v_blbar),
+            t_enable,
+            edge,
+        }
+    }
+
+    /// Delay probe: the losing bitline ramps down by `swing` during the
+    /// develop interval before the enable edge.
+    pub(crate) fn delay_probe(
+        read_value: bool,
+        swing: f64,
+        env: &Environment,
+        opts: &ProbeOptions,
+    ) -> Self {
+        let vdd = env.vdd;
+        let t0 = 1e-12;
+        let t1 = t0 + opts.t_develop;
+        let ramp = Waveform::pwl(vec![(0.0, vdd), (t0, vdd), (t1, vdd - swing)]);
+        let flat = Waveform::dc(vdd);
+        let (bl, blbar) = if read_value {
+            // Reading a 1: BLBar discharges.
+            (flat, ramp)
+        } else {
+            (ramp, flat)
+        };
+        Self {
+            bl,
+            blbar,
+            // Enable after the differential has developed on the bitlines
+            // AND settled through the pass transistors onto S/SBar.
+            t_enable: t1 + opts.t_settle.max(opts.t_enable),
+            edge: opts.edge,
+        }
+    }
+}
+
+impl SaInstance {
+    /// Runs one sense transient and returns the final internal
+    /// differential `V(S) − V(SBar)` \[V\].
+    fn regenerate(
+        &self,
+        drive: &DriveSpec,
+        opts: &ProbeOptions,
+        window_scale: f64,
+    ) -> Result<f64, SaError> {
+        let net = self.build_netlist(drive);
+        let vdd = self.env.vdd;
+        let v_bl = drive.bl.eval(0.0);
+        let v_blbar = drive.blbar.eval(0.0);
+        // With the ISSA's crossed pair active, the pass phase connects BL
+        // to SBar and BLBar to S; the precharge ICs must match.
+        let crossed = self.kind == crate::netlist::SaKind::Issa && self.switch_state;
+        let (s_ic, sbar_ic) = if crossed { (v_blbar, v_bl) } else { (v_bl, v_blbar) };
+        let params = TranParams::new(drive.t_enable + window_scale * opts.window, opts.dt)
+            .record_nodes(["s", "sbar"])
+            .ic("vdd", vdd)
+            .ic("bl", v_bl)
+            .ic("blbar", v_blbar)
+            .ic("s", s_ic)
+            .ic("sbar", sbar_ic)
+            .ic("ntop", vdd)
+            .ic("nbot", vdd)
+            .ic("saenbar", vdd);
+        let trace = transient(&net, &params)?;
+        let s = trace.final_value("s").expect("s recorded");
+        let sbar = trace.final_value("sbar").expect("sbar recorded");
+        Ok(s - sbar)
+    }
+
+    /// Senses the differential input `vin = V(BL) − V(BLBar)` \[V\].
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::Unresolved`] if the internal differential does not reach
+    /// `resolve_fraction · Vdd` by the end of the window, or a circuit
+    /// error if the simulation fails.
+    pub fn sense(&self, vin: f64, opts: &ProbeOptions) -> Result<SenseOutcome, SaError> {
+        let drive = DriveSpec::offset_probe(vin, &self.env, opts.t_enable, opts.edge);
+        // Small-margin inputs regenerate slowly; give sense() the same
+        // extended window as the delay probe so a legitimate read is not
+        // reported metastable. (The offset binary search keeps the short
+        // window — it only needs the sign of the differential.)
+        let diff = self.regenerate(&drive, opts, SLOW_WINDOW_SCALE)?;
+        if diff.abs() < opts.resolve_fraction * self.env.vdd {
+            return Err(SaError::Unresolved { differential: diff });
+        }
+        Ok(if diff > 0.0 {
+            SenseOutcome::One
+        } else {
+            SenseOutcome::Zero
+        })
+    }
+
+    /// Measures this instance's input-referred offset voltage \[V\] by
+    /// binary search on the input differential (the paper's method).
+    ///
+    /// See the module docs for the sign convention.
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::OffsetOutOfRange`] if the decision does not flip within
+    /// `±vin_max`, or a circuit error if a probe fails.
+    pub fn offset_voltage(&self, opts: &ProbeOptions) -> Result<f64, SaError> {
+        // Decision at a given vin; near the metastable point resolution is
+        // slow, so classify by the sign of the final differential.
+        let decide = |vin: f64| -> Result<bool, SaError> {
+            let drive = DriveSpec::offset_probe(vin, &self.env, opts.t_enable, opts.edge);
+            Ok(self.regenerate(&drive, opts, 1.0)? > 0.0)
+        };
+
+        let mut lo = -opts.vin_max;
+        let mut hi = opts.vin_max;
+        let d_lo = decide(lo)?;
+        let d_hi = decide(hi)?;
+        if d_lo == d_hi {
+            return Err(SaError::OffsetOutOfRange {
+                vin_max: opts.vin_max,
+            });
+        }
+        while hi - lo > opts.offset_tol {
+            let mid = 0.5 * (lo + hi);
+            if decide(mid)? == d_lo {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Flip point of vin; positive offset = biased toward One.
+        Ok(-0.5 * (lo + hi))
+    }
+
+    /// Measures the sensing delay for a read of `read_value` \[s\]: from
+    /// SAenable's 50 % rising crossing to the rising 50 % crossing of the
+    /// output that goes high (`Out` for a 1, `Outbar` for a 0).
+    ///
+    /// # Errors
+    ///
+    /// [`SaError::MissingCrossing`] if an expected transition never
+    /// happens (e.g. the SA mis-senses the developed differential), or a
+    /// circuit error.
+    pub fn sensing_delay(&self, read_value: bool, opts: &ProbeOptions) -> Result<f64, SaError> {
+        let drive = DriveSpec::delay_probe(read_value, opts.swing, &self.env, opts);
+        let net = self.build_netlist(&drive);
+        let vdd = self.env.vdd;
+        // Heavily aged instances sensing against their bias can be several
+        // times slower than a fresh SA; give the delay probe extra room so
+        // the output crossing is not clipped by the window.
+        let params = TranParams::new(drive.t_enable + SLOW_WINDOW_SCALE * opts.window, opts.dt)
+            .record_nodes(["s", "sbar", "out", "outbar", "saen"])
+            .ic("vdd", vdd)
+            .ic("bl", vdd)
+            .ic("blbar", vdd)
+            .ic("s", vdd)
+            .ic("sbar", vdd)
+            .ic("ntop", vdd)
+            .ic("nbot", vdd)
+            .ic("saenbar", vdd);
+        let trace = transient(&net, &params)?;
+
+        let t_en = trace
+            .crossing_time("saen", 0.5 * vdd, CrossDirection::Rising, 0.0)
+            .ok_or_else(|| SaError::MissingCrossing {
+                signal: "saen".into(),
+            })?;
+        // With the crossed pair active the SA resolves the complement, so
+        // the opposite output goes high (the control logic re-inverts the
+        // value downstream).
+        let crossed = self.kind == crate::netlist::SaKind::Issa && self.switch_state;
+        let out_signal = if read_value ^ crossed { "out" } else { "outbar" };
+        let t_out = trace
+            .crossing_time(out_signal, 0.5 * vdd, CrossDirection::Rising, t_en)
+            .ok_or_else(|| SaError::MissingCrossing {
+                signal: out_signal.into(),
+            })?;
+        Ok(t_out - t_en)
+    }
+
+    /// Runs the delay-probe transient and returns the full waveform trace
+    /// (`s`, `sbar`, `out`, `outbar`, `saen`, `bl`, `blbar`) — for
+    /// plotting, debugging, and the waveform examples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit simulation errors.
+    pub fn delay_waveforms(
+        &self,
+        read_value: bool,
+        opts: &ProbeOptions,
+    ) -> Result<issa_circuit::trace::Trace, SaError> {
+        let drive = DriveSpec::delay_probe(read_value, opts.swing, &self.env, opts);
+        let net = self.build_netlist(&drive);
+        let vdd = self.env.vdd;
+        let params = TranParams::new(drive.t_enable + SLOW_WINDOW_SCALE * opts.window, opts.dt)
+            .record_nodes(["s", "sbar", "out", "outbar", "saen", "bl", "blbar"])
+            .ic("vdd", vdd)
+            .ic("bl", vdd)
+            .ic("blbar", vdd)
+            .ic("s", vdd)
+            .ic("sbar", vdd)
+            .ic("ntop", vdd)
+            .ic("nbot", vdd)
+            .ic("saenbar", vdd);
+        Ok(transient(&net, &params)?)
+    }
+
+    /// Unweighted mean sensing delay over a read-0 and a read-1 \[s\].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SaInstance::sensing_delay`] errors.
+    pub fn sensing_delay_mean(&self, opts: &ProbeOptions) -> Result<f64, SaError> {
+        self.sensing_delay_weighted(0.5, opts)
+    }
+
+    /// Workload-weighted mean sensing delay \[s\]:
+    /// `zero_fraction · delay(read 0) + (1 − zero_fraction) · delay(read 1)`.
+    ///
+    /// This is the per-corner delay the paper's tables report: under the
+    /// `80r0` workload the reads *are* zeros, so the delay that matters is
+    /// the read-0 delay — the direction the aging fights. Pass the
+    /// *internal* zero fraction of the compiled workload (0.5 for any
+    /// ISSA workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zero_fraction` is outside `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SaInstance::sensing_delay`] errors.
+    pub fn sensing_delay_weighted(
+        &self,
+        zero_fraction: f64,
+        opts: &ProbeOptions,
+    ) -> Result<f64, SaError> {
+        assert!(
+            (0.0..=1.0).contains(&zero_fraction),
+            "zero fraction must be in [0,1]"
+        );
+        let d0 = if zero_fraction > 0.0 {
+            self.sensing_delay(false, opts)?
+        } else {
+            0.0
+        };
+        let d1 = if zero_fraction < 1.0 {
+            self.sensing_delay(true, opts)?
+        } else {
+            0.0
+        };
+        Ok(zero_fraction * d0 + (1.0 - zero_fraction) * d1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{SaDevice, SaKind};
+
+    fn opts() -> ProbeOptions {
+        ProbeOptions::fast()
+    }
+
+    #[test]
+    fn fresh_nssa_senses_both_directions() {
+        let sa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+        assert_eq!(sa.sense(50e-3, &opts()).unwrap(), SenseOutcome::One);
+        assert_eq!(sa.sense(-50e-3, &opts()).unwrap(), SenseOutcome::Zero);
+    }
+
+    #[test]
+    fn fresh_issa_senses_both_directions() {
+        let sa = SaInstance::fresh(SaKind::Issa, Environment::nominal());
+        assert_eq!(sa.sense(50e-3, &opts()).unwrap(), SenseOutcome::One);
+        assert_eq!(sa.sense(-50e-3, &opts()).unwrap(), SenseOutcome::Zero);
+    }
+
+    #[test]
+    fn issa_switch_state_inverts_decision() {
+        // With the crossed pair active, BL drives SBar: the same external
+        // input resolves the opposite internal state — this is why the
+        // control logic must invert the read value.
+        let mut sa = SaInstance::fresh(SaKind::Issa, Environment::nominal());
+        sa.switch_state = true;
+        assert_eq!(sa.sense(50e-3, &opts()).unwrap(), SenseOutcome::Zero);
+        assert_eq!(sa.sense(-50e-3, &opts()).unwrap(), SenseOutcome::One);
+    }
+
+    #[test]
+    fn fresh_offset_is_sub_millivolt() {
+        for kind in [SaKind::Nssa, SaKind::Issa] {
+            let sa = SaInstance::fresh(kind, Environment::nominal());
+            let off = sa.offset_voltage(&opts()).unwrap();
+            assert!(off.abs() < 1e-3, "{kind:?} fresh offset {off}");
+        }
+    }
+
+    #[test]
+    fn weak_mdown_biases_toward_one() {
+        // Aging Mdown (the r0 stress victim) must shift the offset
+        // positive — the paper's Table II sign for 80r0.
+        let mut sa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+        sa.set_delta_vth(SaDevice::Mdown, 0.03);
+        sa.set_delta_vth(SaDevice::MupBar, 0.03);
+        let off = sa.offset_voltage(&opts()).unwrap();
+        assert!(off > 5e-3, "offset {off} should be clearly positive");
+    }
+
+    #[test]
+    fn weak_mdownbar_biases_toward_zero() {
+        let mut sa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+        sa.set_delta_vth(SaDevice::MdownBar, 0.03);
+        sa.set_delta_vth(SaDevice::Mup, 0.03);
+        let off = sa.offset_voltage(&opts()).unwrap();
+        assert!(off < -5e-3, "offset {off} should be clearly negative");
+    }
+
+    #[test]
+    fn symmetric_aging_cancels() {
+        let mut sa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+        for d in [SaDevice::Mdown, SaDevice::MdownBar, SaDevice::Mup, SaDevice::MupBar] {
+            sa.set_delta_vth(d, 0.03);
+        }
+        let off = sa.offset_voltage(&opts()).unwrap();
+        assert!(off.abs() < 1e-3, "balanced aging offset {off}");
+    }
+
+    #[test]
+    fn sensing_delay_is_picoseconds() {
+        let sa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+        let d = sa.sensing_delay_mean(&opts()).unwrap();
+        assert!(d > 1e-12 && d < 60e-12, "delay {d:e}");
+    }
+
+    #[test]
+    fn delay_grows_at_low_vdd() {
+        let nom = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+        let low = SaInstance::fresh(
+            SaKind::Nssa,
+            Environment::nominal().with_vdd_factor(0.9),
+        );
+        let d_nom = nom.sensing_delay_mean(&opts()).unwrap();
+        let d_low = low.sensing_delay_mean(&opts()).unwrap();
+        assert!(d_low > d_nom, "low-Vdd delay {d_low:e} vs nominal {d_nom:e}");
+    }
+
+    #[test]
+    fn delay_grows_with_temperature() {
+        let cold = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+        let hot = SaInstance::fresh(
+            SaKind::Nssa,
+            Environment::nominal().with_temp_c(125.0),
+        );
+        let d_cold = cold.sensing_delay_mean(&opts()).unwrap();
+        let d_hot = hot.sensing_delay_mean(&opts()).unwrap();
+        assert!(d_hot > d_cold, "hot delay {d_hot:e} vs cold {d_cold:e}");
+    }
+
+    #[test]
+    fn issa_delay_overhead_is_small() {
+        // Table II: NSSA 13.6 ps vs ISSA 13.9 ps at t=0 — the extra pass
+        // pair costs only a little junction capacitance.
+        let nssa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+        let issa = SaInstance::fresh(SaKind::Issa, Environment::nominal());
+        let d_n = nssa.sensing_delay_mean(&opts()).unwrap();
+        let d_i = issa.sensing_delay_mean(&opts()).unwrap();
+        assert!(d_i >= d_n * 0.98, "ISSA should not be faster fresh");
+        assert!(d_i < d_n * 1.25, "ISSA overhead too large: {d_n:e} -> {d_i:e}");
+    }
+
+    #[test]
+    fn gross_failure_reports_out_of_range() {
+        let mut sa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+        // Kill one side completely.
+        sa.set_delta_vth(SaDevice::Mdown, 1.5);
+        sa.set_delta_vth(SaDevice::MupBar, 1.5);
+        let mut o = opts();
+        o.vin_max = 0.05;
+        match sa.offset_voltage(&o) {
+            Err(SaError::OffsetOutOfRange { .. }) => {}
+            other => panic!("expected OffsetOutOfRange, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The offset-voltage specification solver (paper Eq. 3).
+//!
+//! Given the Monte Carlo offset distribution `N(μ, σ)` and a target
+//! failure rate `fr`, the specification `V_offset` is the smallest
+//! symmetric input range `[−V, +V]` that covers all but `fr` of the
+//! distribution:
+//!
+//! ```text
+//! Φ((V − μ)/σ) − Φ((−V − μ)/σ) = 1 − fr
+//! ```
+//!
+//! For μ = 0 and `fr = 10⁻⁹` this gives `V ≈ 6.1 σ`, the "roughly 6σ"
+//! anchor the paper quotes. A shifted mean inflates the spec by roughly
+//! |μ| — which is exactly why the unbalanced workloads hurt and the ISSA's
+//! mean-centering helps.
+
+use issa_num::roots::{brent, Bracket};
+use issa_num::special::norm_cdf;
+
+/// Solves Eq. 3 for the offset-voltage specification \[V\].
+///
+/// # Panics
+///
+/// Panics if `sigma` is not positive or `fr` is outside (0, 1).
+///
+/// # Example
+///
+/// ```
+/// use issa_core::spec::offset_spec;
+/// // Zero-mean: fr = 1e-9 → ~6.1 σ.
+/// let v = offset_spec(0.0, 15e-3, 1e-9);
+/// assert!((v / 15e-3 - 6.109).abs() < 0.01);
+/// ```
+pub fn offset_spec(mu: f64, sigma: f64, fr: f64) -> f64 {
+    assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive");
+    assert!(fr > 0.0 && fr < 1.0, "failure rate must be in (0,1)");
+
+    let coverage = |v: f64| {
+        norm_cdf((v - mu) / sigma) - norm_cdf((-v - mu) / sigma) - (1.0 - fr)
+    };
+    // Coverage is 0 (negative target) at V=0 and → fr > 0 as V → ∞;
+    // monotone increasing in V, so any bracket [0, big] works.
+    let hi = mu.abs() + 12.0 * sigma;
+    brent(coverage, Bracket::new(0.0, hi), 1e-9 * sigma, 200)
+        .expect("spec equation is monotone and bracketed")
+}
+
+/// The σ multiplier the spec corresponds to for a centered distribution:
+/// `offset_spec(0, σ, fr) / σ`. For `fr = 1e-9` this is ≈ 6.109.
+pub fn sigma_multiplier(fr: f64) -> f64 {
+    offset_spec(0.0, 1.0, fr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_mean_matches_paper_six_one_sigma() {
+        // Paper Section II-C: fr = 1e-9 → V = 6.1 σ.
+        let mult = sigma_multiplier(1e-9);
+        assert!((mult - 6.109).abs() < 0.005, "multiplier {mult}");
+    }
+
+    #[test]
+    fn spec_scales_linearly_with_sigma() {
+        let a = offset_spec(0.0, 10e-3, 1e-9);
+        let b = offset_spec(0.0, 20e-3, 1e-9);
+        assert!((b / a - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_shift_inflates_spec_by_about_mu() {
+        let base = offset_spec(0.0, 15e-3, 1e-9);
+        let shifted = offset_spec(17e-3, 15e-3, 1e-9);
+        assert!(shifted > base + 10e-3, "shift must inflate the spec");
+        assert!(shifted < base + 17e-3 + 1e-3, "but by no more than ~|mu|");
+    }
+
+    #[test]
+    fn spec_is_symmetric_in_mu() {
+        let plus = offset_spec(17e-3, 15e-3, 1e-9);
+        let minus = offset_spec(-17e-3, 15e-3, 1e-9);
+        assert!((plus - minus).abs() < 1e-9);
+    }
+
+    #[test]
+    fn looser_failure_rate_smaller_spec() {
+        let tight = offset_spec(0.0, 15e-3, 1e-9);
+        let loose = offset_spec(0.0, 15e-3, 1e-3);
+        assert!(loose < tight);
+        // 1e-3 ↔ ~3.29 σ.
+        assert!((loose / 15e-3 - 3.29).abs() < 0.01);
+    }
+
+    #[test]
+    fn coverage_identity_holds_at_solution() {
+        let (mu, sigma, fr) = (5e-3, 12e-3, 1e-9);
+        let v = offset_spec(mu, sigma, fr);
+        let covered = norm_cdf((v - mu) / sigma) - norm_cdf((-v - mu) / sigma);
+        assert!(((1.0 - covered) / fr - 1.0).abs() < 1e-3, "residual fr mismatch");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn rejects_zero_sigma() {
+        offset_spec(0.0, 0.0, 1e-9);
+    }
+}

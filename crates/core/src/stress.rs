@@ -1,0 +1,431 @@
+//! Workload compilation and the per-transistor stress mapping.
+//!
+//! This is where the mitigation scheme's benefit is actually computed:
+//! a [`Workload`] is *compiled* through the SA's control behaviour into
+//! the value mix the latch's **internal** nodes see
+//! ([`compile_workload`]), and that internal mix is mapped to a BTI
+//! [`StressCondition`] for every transistor role ([`device_stress`]).
+//!
+//! For the NSSA the internal mix equals the external one. For the ISSA the
+//! read stream is pushed through the input-switching control logic
+//! (`issa-digital`), which swaps the inputs every 2^(N−1) reads — so any
+//! external mix compiles to a balanced internal mix, which is the paper's
+//! entire argument.
+//!
+//! # The stress mapping
+//!
+//! A read cycle splits into an amplify/hold phase (fraction
+//! [`crate::calib::AMPLIFY_FRACTION`], SAenable high, latch holding the
+//! read value) and a pass/precharge phase (internal nodes pulled to the
+//! precharged-high bitlines). With activation `act` and internal zero
+//! fraction `az`, the lifetime fractions are:
+//!
+//! ```text
+//! state-0 hold : act · AMPLIFY_FRACTION · az           (S low,  SBar high)
+//! state-1 hold : act · AMPLIFY_FRACTION · (1 − az)     (S high, SBar low)
+//! pass / idle  : 1 − act · AMPLIFY_FRACTION            (S = SBar = Vdd)
+//! ```
+//!
+//! Per-device gate-stress duties follow from which phase puts a full gate
+//! field on each device (the paper's observation: "when mostly zeros are
+//! read, transistors Mdown and MupBar are the most stressed"):
+//!
+//! | device | stressed during | duty |
+//! |---|---|---|
+//! | `Mdown` (NMOS, gate = SBar) | state-0 hold + (weakly) pass/idle | `act·f·az + rest·IDLE_GATE_STRESS` |
+//! | `MdownBar` | state-1 hold + pass/idle | mirror |
+//! | `MupBar` (PMOS, gate = S) | state-0 hold | `act·f·az` |
+//! | `Mup` | state-1 hold | mirror |
+//! | `Mtop`/`Mbottom` | every amplify phase | `act·f` |
+//! | `Mpass`/`MpassBar` (PMOS, gate = SAenable) | pass/idle | `rest` |
+//! | `M1`–`M4` (ISSA) | half the pass/idle time each | `rest/2` |
+//! | output inverters | mirror the latch devices they load | see source |
+//!
+//! The pass/idle stress on the latch NMOS pair is weighted by
+//! [`crate::calib::IDLE_GATE_STRESS`] because their common source floats
+//! up through the off footer, leaving only a partial oxide field. It is
+//! symmetric — it feeds the σ growth of the offset distribution, not the
+//! mean shift.
+
+use crate::calib::{AMPLIFY_FRACTION, IDLE_GATE_STRESS};
+use crate::netlist::{SaDevice, SaKind};
+use crate::workload::Workload;
+use issa_bti::StressCondition;
+use issa_digital::IssaControl;
+use issa_ptm45::Environment;
+
+/// How the workload is compiled and stress is attributed; bundles the
+/// calibration knobs so ablations can vary them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressModel {
+    /// Fraction of an active read cycle spent amplifying/holding.
+    pub amplify_fraction: f64,
+    /// Weight of the symmetric pass/idle gate stress on the latch NMOS.
+    pub idle_gate_stress: f64,
+}
+
+impl Default for StressModel {
+    fn default() -> Self {
+        Self {
+            amplify_fraction: AMPLIFY_FRACTION,
+            idle_gate_stress: IDLE_GATE_STRESS,
+        }
+    }
+}
+
+/// A workload as seen from inside the sense amplifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledWorkload {
+    /// The external workload.
+    pub workload: Workload,
+    /// Which SA consumed it.
+    pub kind: SaKind,
+    /// Fraction of reads whose *internal* resolution is state 0.
+    pub internal_zero_fraction: f64,
+}
+
+/// Compiles a workload for the given SA kind.
+///
+/// The NSSA passes the external mix through unchanged. The ISSA's mix is
+/// obtained by driving the read stream through the gate-level-verified
+/// control model ([`IssaControl`]) for four full switch periods and
+/// counting internal zeros — not by assuming the scheme works.
+pub fn compile_workload(workload: Workload, kind: SaKind, counter_bits: u8) -> CompiledWorkload {
+    let internal_zero_fraction = match kind {
+        SaKind::Nssa => workload.sequence.zero_fraction(),
+        SaKind::Issa => {
+            let mut ctl = IssaControl::new(counter_bits);
+            let switch_cycle = 2 * ctl.switch_period();
+            // The simulation window must cover the full beat between the
+            // data pattern and the switching: near-aliased bursts (run ≈
+            // switch period) decorrelate only over lcm(data, switch)
+            // reads. Random streams just need enough samples.
+            let total = match workload.sequence {
+                crate::workload::ReadSequence::Bursty { run } => {
+                    lcm(2 * run.max(1), switch_cycle).saturating_mul(2).min(1 << 21)
+                }
+                crate::workload::ReadSequence::Random { .. } => {
+                    (8 * switch_cycle).max(1 << 14)
+                }
+                _ => 8 * switch_cycle,
+            };
+            let mut zeros = 0u64;
+            for i in 0..total {
+                let external = workload.sequence.value_at(i);
+                if !ctl.internal_value(external) {
+                    zeros += 1;
+                }
+                ctl.on_read();
+            }
+            zeros as f64 / total as f64
+        }
+    };
+    CompiledWorkload {
+        workload,
+        kind,
+        internal_zero_fraction,
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+/// Gate-stress duty factor of one device role under a compiled workload.
+pub fn device_duty(model: &StressModel, cw: &CompiledWorkload, device: SaDevice) -> f64 {
+    let act = cw.workload.activation;
+    let az = cw.internal_zero_fraction;
+    let f = model.amplify_fraction;
+    let hold0 = act * f * az;
+    let hold1 = act * f * (1.0 - az);
+    let rest = 1.0 - act * f;
+    let idle = rest * model.idle_gate_stress;
+
+    match device {
+        // Latch NMOS: gate = opposite internal node.
+        SaDevice::Mdown => hold0 + idle,
+        SaDevice::MdownBar => hold1 + idle,
+        // Latch PMOS: stressed when its gate node is low.
+        SaDevice::MupBar => hold0,
+        SaDevice::Mup => hold1,
+        // Strobed devices: stressed during every amplify phase.
+        SaDevice::Mtop | SaDevice::Mbottom => act * f,
+        // NSSA pass PMOS: gate (SAenable) low throughout pass/idle.
+        SaDevice::Mpass | SaDevice::MpassBar => rest,
+        // ISSA pass pairs: each enabled half the pass/idle time.
+        SaDevice::M1 | SaDevice::M2 | SaDevice::M3 | SaDevice::M4 => 0.5 * rest,
+        // Output inverters: inputs are the internal nodes, so they mirror
+        // the latch stress pattern (sources tied to rails: full idle
+        // weight on the NMOS, none on the PMOS).
+        SaDevice::OutInvN => hold0 + rest,
+        SaDevice::OutbarInvN => hold1 + rest,
+        SaDevice::OutInvP => hold1,
+        SaDevice::OutbarInvP => hold0,
+    }
+}
+
+/// Switching activity of one device role: the mean number of hot-carrier
+/// conduction events per read. Drives the optional HCI model.
+///
+/// HCI damage needs simultaneous high current and high drain field, which
+/// in this SA happens on NMOS devices discharging a precharged node:
+/// `Mdown` conducts the regeneration transient of every read that
+/// resolves internal 0, `Mbottom` carries the tail current of every read,
+/// the pass devices conduct the precharge-restore current of every read
+/// they are enabled for, and the output-inverter NMOS discharge their
+/// output when their input rises. PMOS devices are assigned zero activity
+/// (hole-driven HCI is an order of magnitude weaker and is neglected, as
+/// in most compact aging flows).
+pub fn device_switching_activity(cw: &CompiledWorkload, device: SaDevice) -> f64 {
+    let act = cw.workload.activation;
+    let az = cw.internal_zero_fraction;
+    match device {
+        SaDevice::Mdown => act * az,
+        SaDevice::MdownBar => act * (1.0 - az),
+        SaDevice::Mbottom => act,
+        SaDevice::Mpass | SaDevice::MpassBar => act,
+        SaDevice::M1 | SaDevice::M2 | SaDevice::M3 | SaDevice::M4 => 0.5 * act,
+        SaDevice::OutInvN => act * az,
+        SaDevice::OutbarInvN => act * (1.0 - az),
+        // PMOS: neglected (see above).
+        SaDevice::Mtop
+        | SaDevice::Mup
+        | SaDevice::MupBar
+        | SaDevice::OutInvP
+        | SaDevice::OutbarInvP => 0.0,
+    }
+}
+
+/// Full BTI stress condition for one device: duty from [`device_duty`],
+/// stress voltage = Vdd (full gate swing), temperature from `env`.
+pub fn device_stress(
+    model: &StressModel,
+    cw: &CompiledWorkload,
+    device: SaDevice,
+    env: &Environment,
+) -> StressCondition {
+    StressCondition::new(device_duty(model, cw, device), env.vdd, env.temp_c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ReadSequence;
+
+    fn model() -> StressModel {
+        StressModel::default()
+    }
+
+    #[test]
+    fn nssa_passes_mix_through() {
+        for (seq, want) in [
+            (ReadSequence::AllZeros, 1.0),
+            (ReadSequence::AllOnes, 0.0),
+            (ReadSequence::Alternating, 0.5),
+        ] {
+            let cw = compile_workload(Workload::new(0.8, seq), SaKind::Nssa, 8);
+            assert_eq!(cw.internal_zero_fraction, want);
+        }
+    }
+
+    #[test]
+    fn issa_balances_any_mix() {
+        for seq in [
+            ReadSequence::AllZeros,
+            ReadSequence::AllOnes,
+            ReadSequence::Alternating,
+        ] {
+            let cw = compile_workload(Workload::new(0.8, seq), SaKind::Issa, 8);
+            assert!(
+                (cw.internal_zero_fraction - 0.5).abs() < 1e-9,
+                "{seq:?}: internal mix {}",
+                cw.internal_zero_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn issa_balances_for_any_counter_width() {
+        for bits in [1, 2, 4, 8, 12] {
+            let cw = compile_workload(
+                Workload::new(0.8, ReadSequence::AllZeros),
+                SaKind::Issa,
+                bits,
+            );
+            assert!((cw.internal_zero_fraction - 0.5).abs() < 1e-9, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn r0_stresses_mdown_and_mupbar_most() {
+        // The paper's Section III observation.
+        let cw = compile_workload(Workload::new(0.8, ReadSequence::AllZeros), SaKind::Nssa, 8);
+        let m = model();
+        assert!(device_duty(&m, &cw, SaDevice::Mdown) > device_duty(&m, &cw, SaDevice::MdownBar));
+        assert!(device_duty(&m, &cw, SaDevice::MupBar) > device_duty(&m, &cw, SaDevice::Mup));
+        // And r1 mirrors it.
+        let cw1 = compile_workload(Workload::new(0.8, ReadSequence::AllOnes), SaKind::Nssa, 8);
+        assert!(device_duty(&m, &cw1, SaDevice::MdownBar) > device_duty(&m, &cw1, SaDevice::Mdown));
+    }
+
+    #[test]
+    fn balanced_workload_is_symmetric() {
+        let cw = compile_workload(
+            Workload::new(0.8, ReadSequence::Alternating),
+            SaKind::Nssa,
+            8,
+        );
+        let m = model();
+        for (a, b) in [
+            (SaDevice::Mdown, SaDevice::MdownBar),
+            (SaDevice::Mup, SaDevice::MupBar),
+            (SaDevice::OutInvN, SaDevice::OutbarInvN),
+            (SaDevice::OutInvP, SaDevice::OutbarInvP),
+        ] {
+            assert!(
+                (device_duty(&m, &cw, a) - device_duty(&m, &cw, b)).abs() < 1e-12,
+                "{a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn issa_makes_r0_symmetric_on_the_latch() {
+        let cw = compile_workload(Workload::new(0.8, ReadSequence::AllZeros), SaKind::Issa, 8);
+        let m = model();
+        assert!(
+            (device_duty(&m, &cw, SaDevice::Mdown) - device_duty(&m, &cw, SaDevice::MdownBar))
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (device_duty(&m, &cw, SaDevice::Mup) - device_duty(&m, &cw, SaDevice::MupBar)).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn higher_activation_higher_latch_stress() {
+        let m = model();
+        let lo = compile_workload(Workload::new(0.2, ReadSequence::AllZeros), SaKind::Nssa, 8);
+        let hi = compile_workload(Workload::new(0.8, ReadSequence::AllZeros), SaKind::Nssa, 8);
+        let diff = |cw: &CompiledWorkload| {
+            device_duty(&m, cw, SaDevice::Mdown) - device_duty(&m, cw, SaDevice::MdownBar)
+        };
+        assert!(diff(&hi) > diff(&lo), "differential stress must grow with activation");
+    }
+
+    #[test]
+    fn duties_are_probabilities() {
+        let m = model();
+        for act in [0.0, 0.2, 0.8, 1.0] {
+            for seq in [
+                ReadSequence::AllZeros,
+                ReadSequence::AllOnes,
+                ReadSequence::Alternating,
+            ] {
+                for kind in [SaKind::Nssa, SaKind::Issa] {
+                    let cw = compile_workload(Workload::new(act, seq), kind, 8);
+                    for &d in SaDevice::roles_of(kind) {
+                        let duty = device_duty(&m, &cw, d);
+                        assert!(
+                            (0.0..=1.0).contains(&duty),
+                            "duty {duty} for {d:?} act={act} {seq:?} {kind:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn issa_balances_random_and_bursty_patterns() {
+        // The paper's discussion assumes "a random input pattern"; real
+        // workloads also produce long correlated runs. Both must compile
+        // to ≈50/50 internally.
+        for seq in [
+            ReadSequence::Random { p_zero: 0.9, seed: 7 },
+            ReadSequence::Random { p_zero: 0.1, seed: 8 },
+            ReadSequence::Bursty { run: 3 },
+            ReadSequence::Bursty { run: 1000 },
+        ] {
+            let cw = compile_workload(Workload::new(0.8, seq), SaKind::Issa, 8);
+            assert!(
+                (cw.internal_zero_fraction - 0.5).abs() < 0.05,
+                "{seq:?}: internal mix {}",
+                cw.internal_zero_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_run_aliasing_with_switch_period() {
+        // Worst case: data runs exactly equal to the switch period stay
+        // phase-locked to the switching and defeat the balancing (the
+        // burst analogue of the 1-bit-counter alias).
+        let period = 128; // 8-bit counter
+        let cw = compile_workload(
+            Workload::new(0.8, ReadSequence::Bursty { run: period }),
+            SaKind::Issa,
+            8,
+        );
+        assert!(
+            (cw.internal_zero_fraction - 0.5).abs() > 0.4,
+            "aliased mix should be extreme, got {}",
+            cw.internal_zero_fraction
+        );
+        // One read of offset breaks the lock.
+        let cw_off = compile_workload(
+            Workload::new(0.8, ReadSequence::Bursty { run: period + 1 }),
+            SaKind::Issa,
+            8,
+        );
+        assert!((cw_off.internal_zero_fraction - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn nssa_random_pattern_duty_tracks_bias() {
+        let cw = compile_workload(
+            Workload::new(0.8, ReadSequence::Random { p_zero: 0.9, seed: 1 }),
+            SaKind::Nssa,
+            8,
+        );
+        let m = model();
+        assert!(device_duty(&m, &cw, SaDevice::Mdown) > device_duty(&m, &cw, SaDevice::MdownBar));
+    }
+
+    #[test]
+    fn switching_activity_balances_under_issa() {
+        let nssa = compile_workload(Workload::new(0.8, ReadSequence::AllZeros), SaKind::Nssa, 8);
+        let issa = compile_workload(Workload::new(0.8, ReadSequence::AllZeros), SaKind::Issa, 8);
+        // NSSA under r0: all latch HCI lands on Mdown.
+        assert!(device_switching_activity(&nssa, SaDevice::Mdown) > 0.7);
+        assert_eq!(device_switching_activity(&nssa, SaDevice::MdownBar), 0.0);
+        // ISSA splits it evenly — the scheme also balances HCI.
+        let a = device_switching_activity(&issa, SaDevice::Mdown);
+        let b = device_switching_activity(&issa, SaDevice::MdownBar);
+        assert!((a - b).abs() < 1e-9);
+        assert!((a - 0.4).abs() < 1e-9);
+        // PMOS devices carry none.
+        assert_eq!(device_switching_activity(&nssa, SaDevice::Mup), 0.0);
+        // Footer fires every read regardless.
+        assert_eq!(device_switching_activity(&nssa, SaDevice::Mbottom), 0.8);
+    }
+
+    #[test]
+    fn stress_condition_carries_environment() {
+        let cw = compile_workload(Workload::new(0.8, ReadSequence::AllZeros), SaKind::Nssa, 8);
+        let env = Environment::nominal().with_temp_c(125.0).with_vdd_factor(1.1);
+        let s = device_stress(&StressModel::default(), &cw, SaDevice::Mdown, &env);
+        assert_eq!(s.temp_c, 125.0);
+        assert!((s.v_stress - 1.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,261 @@
+//! Empirical stress extraction: duty factors from a simulated read stream.
+//!
+//! The closed-form mapping in [`crate::stress`] assigns each transistor a
+//! gate-stress duty from the workload mix. This module derives the same
+//! quantity *independently*: it steps through an actual read stream
+//! (value sequence × control state × phase schedule), reconstructs the
+//! node voltages of every phase, and integrates per-device stress time by
+//! looking up each MOSFET's **own gate/source terminals in the netlist**.
+//! Nothing here knows the roles' names — if the Fig. 1/2 topology or the
+//! stress table in `crate::stress` had a transcription error, the two
+//! paths would disagree and the `empirical_matches_analytic` tests would
+//! catch it.
+//!
+//! The phase schedule per active read cycle is `AMPLIFY_FRACTION` of
+//! amplify (latch holding the resolved value) and the rest pass
+//! (precharged internal nodes); idle cycles are pass-like. The floating
+//! footer node `nbot` sits near `Vdd − Vth` during pass/idle, so the
+//! latch NMOS see sub-threshold gate fields there — the empirical model
+//! scores that as unstressed, matching the analytic mapping with
+//! `idle_gate_stress = 0`.
+
+use crate::calib::AMPLIFY_FRACTION;
+use crate::netlist::{SaInstance, SaKind};
+use crate::probe::DriveSpec;
+use crate::workload::Workload;
+use issa_circuit::element::Element;
+use issa_circuit::mosfet::MosPolarity;
+use issa_digital::IssaControl;
+use std::collections::HashMap;
+
+/// Node voltages of one phase of the read cycle.
+fn phase_voltages(
+    phase: Phase,
+    vdd: f64,
+    switch: bool,
+    kind: SaKind,
+) -> HashMap<&'static str, f64> {
+    let mut v = HashMap::new();
+    v.insert("vdd", vdd);
+    v.insert("gnd", 0.0);
+    v.insert("bl", vdd);
+    v.insert("blbar", vdd);
+    match phase {
+        Phase::Amplify { internal_value } => {
+            let (s, sbar) = if internal_value { (vdd, 0.0) } else { (0.0, vdd) };
+            v.insert("s", s);
+            v.insert("sbar", sbar);
+            v.insert("out", if internal_value { vdd } else { 0.0 });
+            v.insert("outbar", if internal_value { 0.0 } else { vdd });
+            v.insert("saen", vdd);
+            v.insert("saenbar", 0.0);
+            v.insert("ntop", vdd);
+            v.insert("nbot", 0.0);
+            if kind == SaKind::Issa {
+                // Amplify: both pass pairs off (Table I).
+                v.insert("saen_a", vdd);
+                v.insert("saen_b", vdd);
+            }
+        }
+        Phase::PassOrIdle => {
+            v.insert("s", vdd);
+            v.insert("sbar", vdd);
+            v.insert("out", 0.0);
+            v.insert("outbar", 0.0);
+            v.insert("saen", 0.0);
+            v.insert("saenbar", vdd);
+            v.insert("ntop", vdd);
+            // The footer is off; the latch NMOS charge their common source
+            // up to a threshold below the (precharged-high) internal nodes.
+            v.insert("nbot", vdd - 0.45);
+            if kind == SaKind::Issa {
+                let (a, b) = if switch { (vdd, 0.0) } else { (0.0, vdd) };
+                v.insert("saen_a", a);
+                v.insert("saen_b", b);
+            }
+        }
+    }
+    v
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    Amplify { internal_value: bool },
+    PassOrIdle,
+}
+
+/// Per-device empirical duty factors, keyed by instance name.
+pub type EmpiricalDuties = HashMap<String, f64>;
+
+/// Simulates `reads` read operations of `workload` through an SA of the
+/// given kind (with its control logic, for the ISSA) and integrates each
+/// transistor's gate-stress time from the phase node voltages.
+///
+/// A device counts as stressed when its oxide field is at full swing:
+/// `Vgs > 0.5·Vdd` for NMOS, `Vgs < −0.5·Vdd` for PMOS.
+///
+/// # Panics
+///
+/// Panics if `reads` is zero.
+pub fn empirical_duties(sa: &SaInstance, workload: Workload, counter_bits: u8, reads: u64) -> EmpiricalDuties {
+    assert!(reads > 0, "need at least one read");
+    let vdd = sa.env.vdd;
+    // Build the netlist once just to walk its topology; drive is irrelevant.
+    let drive = DriveSpec::offset_probe(0.0, &sa.env, 1e-12, 1e-13);
+    let net = sa.build_netlist(&drive);
+    let mosfets: Vec<(String, MosPolarity, String, String)> = net
+        .elements()
+        .iter()
+        .filter_map(|e| match e {
+            Element::Mosfet(m) => Some((
+                m.name.clone(),
+                m.params.polarity,
+                net.node_name(m.g).to_owned(),
+                net.node_name(m.s).to_owned(),
+            )),
+            _ => None,
+        })
+        .collect();
+
+    let mut control = IssaControl::new(counter_bits);
+    let mut stress_time: HashMap<String, f64> = HashMap::new();
+    let mut total_time = 0.0;
+
+    // Each read occupies one cycle; idle time is spread evenly so that the
+    // activation fraction holds: idle cycles per read = (1-act)/act.
+    let idle_per_read = if workload.activation > 0.0 {
+        (1.0 - workload.activation) / workload.activation
+    } else {
+        0.0
+    };
+
+    let accumulate = |phase: Phase, duration: f64, switch: bool, stress_time: &mut HashMap<String, f64>| {
+        let volts = phase_voltages(phase, vdd, switch, sa.kind);
+        for (name, polarity, gate, source) in &mosfets {
+            let vg = volts[gate.as_str()];
+            let vs = volts[source.as_str()];
+            let stressed = match polarity {
+                MosPolarity::Nmos => vg - vs > 0.5 * vdd,
+                MosPolarity::Pmos => vs - vg > 0.5 * vdd,
+            };
+            if stressed {
+                *stress_time.entry(name.clone()).or_insert(0.0) += duration;
+            }
+        }
+    };
+
+    for i in 0..reads {
+        let external = workload.sequence.value_at(i);
+        let internal = match sa.kind {
+            SaKind::Nssa => external,
+            SaKind::Issa => control.internal_value(external),
+        };
+        let switch = control.switch();
+        accumulate(
+            Phase::Amplify { internal_value: internal },
+            AMPLIFY_FRACTION,
+            switch,
+            &mut stress_time,
+        );
+        accumulate(
+            Phase::PassOrIdle,
+            (1.0 - AMPLIFY_FRACTION) + idle_per_read,
+            switch,
+            &mut stress_time,
+        );
+        total_time += 1.0 + idle_per_read;
+        if sa.kind == SaKind::Issa {
+            control.on_read();
+        }
+    }
+
+    mosfets
+        .into_iter()
+        .map(|(name, ..)| {
+            let t = stress_time.get(&name).copied().unwrap_or(0.0);
+            (name, t / total_time)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{SaDevice, SaKind};
+    use crate::stress::{compile_workload, device_duty, StressModel};
+    use crate::workload::ReadSequence;
+    use issa_ptm45::Environment;
+
+    /// The analytic mapping with the idle weight zeroed (the empirical
+    /// model's binary stress criterion scores the sub-threshold idle field
+    /// as unstressed).
+    fn analytic(kind: SaKind, seq: ReadSequence, device: SaDevice) -> f64 {
+        let model = StressModel {
+            idle_gate_stress: 0.0,
+            ..StressModel::default()
+        };
+        let cw = compile_workload(Workload::new(0.8, seq), kind, 8);
+        device_duty(&model, &cw, device)
+    }
+
+    fn empirical(kind: SaKind, seq: ReadSequence) -> EmpiricalDuties {
+        let sa = SaInstance::fresh(kind, Environment::nominal());
+        empirical_duties(&sa, Workload::new(0.8, seq), 8, 2048)
+    }
+
+    #[test]
+    fn empirical_matches_analytic_nssa() {
+        for seq in [
+            ReadSequence::AllZeros,
+            ReadSequence::AllOnes,
+            ReadSequence::Alternating,
+        ] {
+            let emp = empirical(SaKind::Nssa, seq);
+            for device in SaDevice::NSSA {
+                let want = analytic(SaKind::Nssa, seq, device);
+                let got = emp[device.name()];
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "{seq:?} {}: empirical {got} vs analytic {want}",
+                    device.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_matches_analytic_issa() {
+        for seq in [ReadSequence::AllZeros, ReadSequence::AllOnes] {
+            let emp = empirical(SaKind::Issa, seq);
+            for device in SaDevice::ISSA {
+                let want = analytic(SaKind::Issa, seq, device);
+                let got = emp[device.name()];
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "{seq:?} {}: empirical {got} vs analytic {want}",
+                    device.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_shows_issa_balancing_directly() {
+        let emp = empirical(SaKind::Issa, ReadSequence::AllZeros);
+        assert!((emp["Mdown"] - emp["MdownBar"]).abs() < 1e-9);
+        assert!((emp["Mup"] - emp["MupBar"]).abs() < 1e-9);
+        // While the NSSA under the same stream is lopsided.
+        let emp_n = empirical(SaKind::Nssa, ReadSequence::AllZeros);
+        assert!(emp_n["Mdown"] > emp_n["MdownBar"] + 0.3);
+    }
+
+    #[test]
+    fn duties_are_probabilities_and_pass_gates_idle_stressed() {
+        let emp = empirical(SaKind::Nssa, ReadSequence::AllZeros);
+        for (name, duty) in &emp {
+            assert!((0.0..=1.0).contains(duty), "{name}: {duty}");
+        }
+        // Pass PMOS gates sit at SAenable=0 through pass+idle: high duty.
+        assert!(emp["Mpass"] > 0.55, "Mpass duty {}", emp["Mpass"]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Time-zero variability: Pelgrom-law threshold mismatch.
+//!
+//! Local process variation gives every transistor an independent random
+//! Vth deviation with standard deviation `A_VT / √(W·L)` (Pelgrom's law).
+//! This is the paper's "time-zero variability" — the entire fresh offset
+//! distribution (Table II row 1: σ ≈ 14.8 mV) comes from here.
+
+use crate::netlist::{SaDevice, SaSizing};
+use issa_num::rng::normal;
+use rand::Rng;
+
+/// Pelgrom mismatch model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MismatchModel {
+    /// Pelgrom coefficient A_VT \[V·m\].
+    pub a_vt: f64,
+}
+
+impl MismatchModel {
+    /// The calibrated default ([`crate::calib::A_VT`]).
+    pub fn calibrated() -> Self {
+        Self {
+            a_vt: crate::calib::A_VT,
+        }
+    }
+
+    /// Mismatch standard deviation of one device role \[V\].
+    pub fn sigma_for(&self, device: SaDevice, sizing: &SaSizing) -> f64 {
+        self.a_vt / device.gate_area(sizing).sqrt()
+    }
+
+    /// Samples a signed Vth deviation for one device \[V\].
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        device: SaDevice,
+        sizing: &SaSizing,
+        rng: &mut R,
+    ) -> f64 {
+        normal(rng, 0.0, self.sigma_for(device, sizing))
+    }
+}
+
+impl Default for MismatchModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use issa_num::rng::SeedSequence;
+    use issa_num::stats::RunningStats;
+
+    #[test]
+    fn sigma_scales_inversely_with_sqrt_area() {
+        let m = MismatchModel::calibrated();
+        let sizing = SaSizing::paper();
+        let small = m.sigma_for(SaDevice::OutInvN, &sizing); // W/L = 2.5
+        let large = m.sigma_for(SaDevice::Mdown, &sizing); // W/L = 17.8
+        assert!(small > large);
+        let ratio = small / large;
+        let want = (17.8f64 / 2.5).sqrt();
+        assert!((ratio - want).abs() < 1e-9, "ratio {ratio} want {want}");
+    }
+
+    #[test]
+    fn latch_device_sigma_is_millivolts() {
+        // The fresh offset σ ≈ 15 mV comes mostly from these devices, so
+        // their individual σ must be of the same order.
+        let m = MismatchModel::calibrated();
+        let s = m.sigma_for(SaDevice::Mdown, &SaSizing::paper());
+        assert!(s > 2e-3 && s < 40e-3, "σ = {} mV", s * 1e3);
+    }
+
+    #[test]
+    fn samples_have_requested_moments() {
+        let m = MismatchModel::calibrated();
+        let sizing = SaSizing::paper();
+        let mut rng = SeedSequence::root(11).rng();
+        let mut stats = RunningStats::new();
+        for _ in 0..20_000 {
+            stats.push(m.sample(SaDevice::Mup, &sizing, &mut rng));
+        }
+        let want = m.sigma_for(SaDevice::Mup, &sizing);
+        assert!(stats.mean().abs() < 0.05 * want);
+        assert!((stats.sample_std() - want).abs() < 0.05 * want);
+    }
+}

@@ -1,0 +1,232 @@
+//! The evaluation workloads: activation rate × read sequence.
+//!
+//! Section IV-A of the paper defines six workloads named by activation
+//! rate and read mix: `80r0r1`, `80r0`, `80r1`, `20r0r1`, `20r0`, `20r1`.
+//! The number is the fraction of time the SA performs reads; the suffix is
+//! the value mix (`r0` = all zeros, `r1` = all ones, `r0r1` = 50/50).
+
+use issa_num::rng::splitmix64;
+use std::fmt;
+
+/// The read-value mix of a workload.
+///
+/// The paper evaluates the three deterministic mixes (`r0`, `r1`, `r0r1`)
+/// and notes its experiment "assumed a random input pattern" and that
+/// guardbanding loses "the correlations present in representative actual
+/// workloads". The [`ReadSequence::Random`] and [`ReadSequence::Bursty`]
+/// variants cover those two cases: i.i.d. biased reads and long
+/// correlated runs of equal values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReadSequence {
+    /// Every read returns 0 (`r0`) — maximally unbalanced.
+    AllZeros,
+    /// Every read returns 1 (`r1`) — maximally unbalanced the other way.
+    AllOnes,
+    /// Alternating 0/1 (`r0r1`) — balanced.
+    Alternating,
+    /// Independent random reads: each read is 0 with probability
+    /// `p_zero`. Stateless (read `i`'s value is a hash of `seed` and `i`),
+    /// so the sequence is reproducible and random-accessible.
+    Random {
+        /// Probability of reading a 0.
+        p_zero: f64,
+        /// Stream seed.
+        seed: u64,
+    },
+    /// Correlated bursts: `run` consecutive 0s, then `run` consecutive 1s,
+    /// repeating — the "long correlated runs" worst case for any
+    /// mitigation whose switching period could alias with the data.
+    Bursty {
+        /// Length of each equal-value run (≥ 1).
+        run: u64,
+    },
+}
+
+impl ReadSequence {
+    /// Fraction of reads that return 0 (in expectation, for `Random`).
+    pub fn zero_fraction(self) -> f64 {
+        match self {
+            ReadSequence::AllZeros => 1.0,
+            ReadSequence::AllOnes => 0.0,
+            ReadSequence::Alternating => 0.5,
+            ReadSequence::Random { p_zero, .. } => p_zero,
+            ReadSequence::Bursty { .. } => 0.5,
+        }
+    }
+
+    /// The value of the `i`-th read in the sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Bursty` run length is zero or a `Random` probability
+    /// is outside `[0, 1]`.
+    pub fn value_at(self, i: u64) -> bool {
+        match self {
+            ReadSequence::AllZeros => false,
+            ReadSequence::AllOnes => true,
+            ReadSequence::Alternating => i % 2 == 1,
+            ReadSequence::Random { p_zero, seed } => {
+                assert!((0.0..=1.0).contains(&p_zero), "p_zero must be a probability");
+                // Stateless per-index uniform draw in [0, 1).
+                let u = splitmix64(seed ^ splitmix64(i)) as f64 / (u64::MAX as f64 + 1.0);
+                u >= p_zero
+            }
+            ReadSequence::Bursty { run } => {
+                assert!(run > 0, "burst run length must be positive");
+                (i / run) % 2 == 1
+            }
+        }
+    }
+
+    /// Paper-style suffix, e.g. `"r0"`, `"r0r1"`, `"rand(0.70)"`.
+    pub fn suffix(self) -> String {
+        match self {
+            ReadSequence::AllZeros => "r0".into(),
+            ReadSequence::AllOnes => "r1".into(),
+            ReadSequence::Alternating => "r0r1".into(),
+            ReadSequence::Random { p_zero, .. } => format!("rand({p_zero:.2})"),
+            ReadSequence::Bursty { run } => format!("burst({run})"),
+        }
+    }
+}
+
+/// A workload: how often the SA reads, and what it reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Fraction of time spent performing reads, in `[0, 1]`.
+    pub activation: f64,
+    /// The read-value mix.
+    pub sequence: ReadSequence,
+}
+
+impl Workload {
+    /// Creates a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activation` is outside `[0, 1]`.
+    pub fn new(activation: f64, sequence: ReadSequence) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&activation),
+            "activation must be in [0,1], got {activation}"
+        );
+        Self {
+            activation,
+            sequence,
+        }
+    }
+
+    /// The six paper workloads, in Table II order.
+    pub fn paper_workloads() -> [Workload; 6] {
+        [
+            Workload::new(0.8, ReadSequence::Alternating), // 80r0r1
+            Workload::new(0.8, ReadSequence::AllZeros),    // 80r0
+            Workload::new(0.8, ReadSequence::AllOnes),     // 80r1
+            Workload::new(0.2, ReadSequence::Alternating), // 20r0r1
+            Workload::new(0.2, ReadSequence::AllZeros),    // 20r0
+            Workload::new(0.2, ReadSequence::AllOnes),     // 20r1
+        ]
+    }
+
+    /// Paper name, e.g. `"80r0r1"`.
+    pub fn name(&self) -> String {
+        format!("{}{}", (self.activation * 100.0).round() as u32, self.sequence.suffix())
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fractions() {
+        assert_eq!(ReadSequence::AllZeros.zero_fraction(), 1.0);
+        assert_eq!(ReadSequence::AllOnes.zero_fraction(), 0.0);
+        assert_eq!(ReadSequence::Alternating.zero_fraction(), 0.5);
+    }
+
+    #[test]
+    fn sequence_values_match_fraction() {
+        for seq in [
+            ReadSequence::AllZeros,
+            ReadSequence::AllOnes,
+            ReadSequence::Alternating,
+        ] {
+            let n = 1000u64;
+            let zeros = (0..n).filter(|&i| !seq.value_at(i)).count() as f64 / n as f64;
+            assert!((zeros - seq.zero_fraction()).abs() < 1e-9, "{seq:?}");
+        }
+    }
+
+    #[test]
+    fn paper_workload_names() {
+        let names: Vec<String> = Workload::paper_workloads()
+            .iter()
+            .map(Workload::name)
+            .collect();
+        assert_eq!(
+            names,
+            ["80r0r1", "80r0", "80r1", "20r0r1", "20r0", "20r1"]
+        );
+    }
+
+    #[test]
+    fn display_matches_name() {
+        let w = Workload::new(0.8, ReadSequence::AllZeros);
+        assert_eq!(format!("{w}"), "80r0");
+    }
+
+    #[test]
+    #[should_panic(expected = "activation must be in [0,1]")]
+    fn rejects_bad_activation() {
+        Workload::new(1.2, ReadSequence::AllZeros);
+    }
+
+    #[test]
+    fn random_sequence_matches_its_bias() {
+        let seq = ReadSequence::Random {
+            p_zero: 0.7,
+            seed: 42,
+        };
+        let n = 20_000u64;
+        let zeros = (0..n).filter(|&i| !seq.value_at(i)).count() as f64 / n as f64;
+        assert!((zeros - 0.7).abs() < 0.02, "empirical p0 = {zeros}");
+        assert_eq!(seq.zero_fraction(), 0.7);
+    }
+
+    #[test]
+    fn random_sequence_is_reproducible_and_seed_sensitive() {
+        let a = ReadSequence::Random { p_zero: 0.5, seed: 1 };
+        let b = ReadSequence::Random { p_zero: 0.5, seed: 2 };
+        let va: Vec<bool> = (0..64).map(|i| a.value_at(i)).collect();
+        let va2: Vec<bool> = (0..64).map(|i| a.value_at(i)).collect();
+        let vb: Vec<bool> = (0..64).map(|i| b.value_at(i)).collect();
+        assert_eq!(va, va2);
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn bursty_sequence_runs() {
+        let seq = ReadSequence::Bursty { run: 4 };
+        let v: Vec<u8> = (0..12).map(|i| seq.value_at(i) as u8).collect();
+        assert_eq!(v, [0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0]);
+        assert_eq!(seq.zero_fraction(), 0.5);
+        assert_eq!(seq.suffix(), "burst(4)");
+    }
+
+    #[test]
+    fn extended_suffixes() {
+        assert_eq!(
+            ReadSequence::Random { p_zero: 0.7, seed: 0 }.suffix(),
+            "rand(0.70)"
+        );
+        let w = Workload::new(0.8, ReadSequence::Bursty { run: 16 });
+        assert_eq!(w.name(), "80burst(16)");
+    }
+}

@@ -1,0 +1,249 @@
+//! The ISSA input-switching control block (the paper's Fig. 3 / Table I).
+//!
+//! Inputs: `SAenablebar` (the SA timing strobe, active-low enable of the
+//! pass phase) and `read_enable` (gates counter updates to reads only).
+//! Outputs: `SAenableA` and `SAenableB`, the active-low enables of the
+//! straight (M1/M2) and crossed (M3/M4) pass-transistor pairs, plus the
+//! read-value correction flag (a read taken while `Switch` is high returns
+//! the inverted value and must be flipped back).
+
+use crate::counter::RippleCounter;
+use crate::gates::{CompiledNet, GateKind, GateNet};
+
+/// The combinational outputs of the control block for one input state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlOutputs {
+    /// Active-low enable of the straight pass pair M1/M2.
+    pub sa_enable_a: bool,
+    /// Active-low enable of the crossed pass pair M3/M4.
+    pub sa_enable_b: bool,
+}
+
+/// Behavioural model of the control block: the N-bit read counter plus the
+/// two NAND gates of Fig. 3.
+///
+/// # Example
+///
+/// ```
+/// use issa_digital::control::IssaControl;
+///
+/// let mut ctl = IssaControl::new(8);
+/// assert!(!ctl.switch());
+/// for _ in 0..128 {
+///     ctl.on_read();
+/// }
+/// assert!(ctl.switch()); // inputs now swapped
+/// // During the pass phase (SAenablebar high) the crossed pair is enabled.
+/// let out = ctl.outputs(true);
+/// assert!(out.sa_enable_a);   // straight pair off
+/// assert!(!out.sa_enable_b);  // crossed pair on (active low)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssaControl {
+    counter: RippleCounter,
+}
+
+impl IssaControl {
+    /// Creates a control block with an N-bit counter (the paper's case
+    /// study uses N = 8: swap every 128 reads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter_bits` is zero or ≥ 64.
+    pub fn new(counter_bits: u8) -> Self {
+        Self {
+            counter: RippleCounter::new(counter_bits),
+        }
+    }
+
+    /// The `Switch` signal: MSB of the read counter.
+    pub fn switch(&self) -> bool {
+        self.counter.msb()
+    }
+
+    /// Advances the read counter — call once per read operation
+    /// (`read_enable` gating: writes and idle cycles do *not* call this).
+    pub fn on_read(&mut self) {
+        self.counter.tick();
+    }
+
+    /// Number of reads performed so far (modulo the counter range).
+    pub fn reads_seen(&self) -> u64 {
+        self.counter.value()
+    }
+
+    /// Reads between input swaps.
+    pub fn switch_period(&self) -> u64 {
+        self.counter.switch_period()
+    }
+
+    /// Combinational outputs per Table I:
+    ///
+    /// | Switch | SAenableBar | SAenableA | SAenableB |
+    /// |--------|-------------|-----------|-----------|
+    /// |   0    |      0      |     1     |     1     |
+    /// |   0    |      1      |     0     |     1     |
+    /// |   1    |      0      |     1     |     1     |
+    /// |   1    |      1      |     1     |     0     |
+    pub fn outputs(&self, sa_enable_bar: bool) -> ControlOutputs {
+        let switch = self.switch();
+        ControlOutputs {
+            sa_enable_a: !(sa_enable_bar && !switch),
+            sa_enable_b: !(sa_enable_bar && switch),
+        }
+    }
+
+    /// Corrects a raw sensed value for the current switch state: when the
+    /// inputs are crossed the SA resolves the complement, so the final
+    /// read value must be inverted back.
+    pub fn correct_output(&self, raw: bool) -> bool {
+        raw ^ self.switch()
+    }
+
+    /// The value the SA's *internal* nodes resolve to for an external bit
+    /// `value` under the current switch state. This is what determines
+    /// which latch transistors get stressed, and is the quantity the
+    /// scheme balances.
+    pub fn internal_value(&self, value: bool) -> bool {
+        value ^ self.switch()
+    }
+}
+
+/// Builds the Fig. 3 combinational portion structurally: an inverter for
+/// `SwitchBar` and the two NANDs. Inputs: `"switch"`, `"sa_enable_bar"`;
+/// outputs: `"sa_enable_a"`, `"sa_enable_b"`.
+pub fn build_control_gates() -> CompiledNet {
+    let mut net = GateNet::new();
+    let switch = net.input("switch");
+    let se_bar = net.input("sa_enable_bar");
+    let switch_bar = net.gate(GateKind::Inv, &[switch], "switch_bar");
+    net.gate(GateKind::Nand, &[se_bar, switch_bar], "sa_enable_a");
+    net.gate(GateKind::Nand, &[se_bar, switch], "sa_enable_b");
+    net.compile().expect("control network is a DAG with single drivers")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table I, rows as (switch, sa_enable_bar, A, B).
+    const TABLE_I: [(bool, bool, bool, bool); 4] = [
+        (false, false, true, true),
+        (false, true, false, true),
+        (true, false, true, true),
+        (true, true, true, false),
+    ];
+
+    #[test]
+    fn behavioural_outputs_match_table_i() {
+        for (switch, se_bar, want_a, want_b) in TABLE_I {
+            let mut ctl = IssaControl::new(2);
+            if switch {
+                // Bring the 2-bit counter's MSB high: 2 reads.
+                ctl.on_read();
+                ctl.on_read();
+            }
+            assert_eq!(ctl.switch(), switch);
+            let out = ctl.outputs(se_bar);
+            assert_eq!(out.sa_enable_a, want_a, "A at switch={switch} se_bar={se_bar}");
+            assert_eq!(out.sa_enable_b, want_b, "B at switch={switch} se_bar={se_bar}");
+        }
+    }
+
+    #[test]
+    fn gate_level_matches_behavioural() {
+        let net = build_control_gates();
+        for (switch, se_bar, want_a, want_b) in TABLE_I {
+            let st = net.eval(&[("switch", switch), ("sa_enable_bar", se_bar)]);
+            assert_eq!(st.get("sa_enable_a"), Some(want_a));
+            assert_eq!(st.get("sa_enable_b"), Some(want_b));
+        }
+        // The paper's overhead discussion: "one counter and three extra
+        // gates" — the combinational part is exactly 3 gates.
+        assert_eq!(net.gate_count(), 3);
+    }
+
+    #[test]
+    fn exactly_one_pass_pair_enabled_during_pass_phase() {
+        // Whenever SAenablebar is high (pass phase), exactly one of A/B is
+        // low (enabled); during amplification both are high (off).
+        for reads in 0..512u64 {
+            let mut ctl = IssaControl::new(8);
+            for _ in 0..reads {
+                ctl.on_read();
+            }
+            let pass = ctl.outputs(true);
+            assert_ne!(pass.sa_enable_a, pass.sa_enable_b, "after {reads} reads");
+            let amp = ctl.outputs(false);
+            assert!(amp.sa_enable_a && amp.sa_enable_b);
+        }
+    }
+
+    #[test]
+    fn switch_swaps_every_128_reads_with_8_bit_counter() {
+        let mut ctl = IssaControl::new(8);
+        assert_eq!(ctl.switch_period(), 128);
+        let mut prev = ctl.switch();
+        let mut toggle_count = 0;
+        for i in 1..=512 {
+            ctl.on_read();
+            if ctl.switch() != prev {
+                assert_eq!(i % 128, 0, "toggle at read {i}");
+                prev = ctl.switch();
+                toggle_count += 1;
+            }
+        }
+        assert_eq!(toggle_count, 4);
+    }
+
+    #[test]
+    fn output_correction_roundtrips() {
+        let mut ctl = IssaControl::new(3);
+        for _ in 0..200 {
+            for value in [false, true] {
+                // The SA senses the internal (possibly inverted) value;
+                // correction must recover the external bit.
+                let sensed = ctl.internal_value(value);
+                assert_eq!(ctl.correct_output(sensed), value);
+            }
+            ctl.on_read();
+        }
+    }
+
+    #[test]
+    fn one_bit_counter_aliases_with_alternating_data() {
+        // Degenerate case worth documenting: a 1-bit counter swaps inputs
+        // on *every* read, so an external 0,1,0,1,... pattern maps to a
+        // CONSTANT internal value — the balancing fails by aliasing. The
+        // paper's 128-read period makes such aliasing implausible for real
+        // data streams.
+        let mut ctl = IssaControl::new(1);
+        let mut internal = Vec::new();
+        for i in 0..64u64 {
+            let external = i % 2 == 1; // alternating
+            internal.push(ctl.internal_value(external));
+            ctl.on_read();
+        }
+        assert!(
+            internal.iter().all(|&v| v == internal[0]),
+            "aliased stream must be constant internally"
+        );
+    }
+
+    #[test]
+    fn any_unbalanced_stream_becomes_balanced_internally() {
+        // Feed 4 full switch periods of all-zero reads: the internal nodes
+        // must see exactly 50 % zeros and 50 % ones.
+        let mut ctl = IssaControl::new(6);
+        let period = ctl.switch_period();
+        let total = 4 * 2 * period;
+        let mut internal_ones = 0u64;
+        for _ in 0..total {
+            if ctl.internal_value(false) {
+                internal_ones += 1;
+            }
+            ctl.on_read();
+        }
+        assert_eq!(internal_ones * 2, total);
+    }
+}

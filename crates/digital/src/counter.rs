@@ -1,0 +1,176 @@
+//! The N-bit read counter of the control scheme.
+//!
+//! Modelled as a ripple counter: bit 0 toggles on every count pulse, bit
+//! k toggles on the falling edge of bit k−1. The paper uses N = 8 and
+//! takes the MSB as the `Switch` signal, so the SA inputs swap every
+//! 2^(N−1) = 128 reads.
+
+/// An N-bit ripple counter that advances once per read.
+///
+/// # Example
+///
+/// ```
+/// use issa_digital::counter::RippleCounter;
+///
+/// let mut c = RippleCounter::new(8);
+/// for _ in 0..128 {
+///     c.tick();
+/// }
+/// assert!(c.msb()); // Switch raises after 2^(N-1) reads
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RippleCounter {
+    bits: Vec<bool>,
+}
+
+impl RippleCounter {
+    /// Creates a counter of `width` bits, initialized to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or larger than 63.
+    pub fn new(width: u8) -> Self {
+        assert!(width > 0 && width < 64, "counter width must be 1..=63");
+        Self {
+            bits: vec![false; width as usize],
+        }
+    }
+
+    /// Number of bits.
+    pub fn width(&self) -> u8 {
+        self.bits.len() as u8
+    }
+
+    /// Advances the counter by one (ripple-carry semantics): each bit
+    /// toggles if all lower bits were 1 before the tick.
+    pub fn tick(&mut self) {
+        for bit in self.bits.iter_mut() {
+            *bit = !*bit;
+            if *bit {
+                // This stage did not overflow; the ripple stops here.
+                break;
+            }
+        }
+    }
+
+    /// Current count value.
+    pub fn value(&self) -> u64 {
+        self.bits
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    }
+
+    /// The most significant bit — the scheme's `Switch` signal.
+    pub fn msb(&self) -> bool {
+        *self.bits.last().expect("counter has at least one bit")
+    }
+
+    /// Bit `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Resets all bits to zero.
+    pub fn reset(&mut self) {
+        self.bits.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Number of reads between consecutive `Switch` toggles: 2^(N−1).
+    pub fn switch_period(&self) -> u64 {
+        1u64 << (self.bits.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_modular_arithmetic() {
+        let mut c = RippleCounter::new(5);
+        for i in 0..100u64 {
+            assert_eq!(c.value(), i % 32, "at tick {i}");
+            c.tick();
+        }
+    }
+
+    #[test]
+    fn msb_is_switch_with_half_period() {
+        let mut c = RippleCounter::new(8);
+        assert_eq!(c.switch_period(), 128);
+        let mut toggles = Vec::new();
+        let mut prev = c.msb();
+        for i in 1..=1024u64 {
+            c.tick();
+            if c.msb() != prev {
+                toggles.push(i);
+                prev = c.msb();
+            }
+        }
+        // Toggles at 128, 256, 384, ...
+        assert_eq!(toggles[0], 128);
+        for w in toggles.windows(2) {
+            assert_eq!(w[1] - w[0], 128);
+        }
+    }
+
+    #[test]
+    fn msb_duty_is_balanced_over_full_period() {
+        let mut c = RippleCounter::new(4);
+        let mut high = 0;
+        for _ in 0..16 {
+            if c.msb() {
+                high += 1;
+            }
+            c.tick();
+        }
+        assert_eq!(high, 8);
+    }
+
+    #[test]
+    fn reset_zeroes_the_count() {
+        let mut c = RippleCounter::new(3);
+        for _ in 0..5 {
+            c.tick();
+        }
+        assert_eq!(c.value(), 5);
+        c.reset();
+        assert_eq!(c.value(), 0);
+        assert!(!c.msb());
+    }
+
+    #[test]
+    fn single_bit_counter_toggles() {
+        let mut c = RippleCounter::new(1);
+        assert!(!c.msb());
+        c.tick();
+        assert!(c.msb());
+        c.tick();
+        assert!(!c.msb());
+        assert_eq!(c.switch_period(), 1);
+    }
+
+    #[test]
+    fn bit_accessor_matches_value() {
+        let mut c = RippleCounter::new(4);
+        for _ in 0..11 {
+            c.tick();
+        }
+        // 11 = 0b1011
+        assert!(c.bit(0));
+        assert!(c.bit(1));
+        assert!(!c.bit(2));
+        assert!(c.bit(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width must be")]
+    fn rejects_zero_width() {
+        RippleCounter::new(0);
+    }
+}

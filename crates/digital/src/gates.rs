@@ -1,0 +1,355 @@
+//! A small combinational gate-network evaluator.
+//!
+//! Used to instantiate the paper's Fig. 3 control logic structurally and
+//! check it against the behavioural model. Evaluation is event-free
+//! (levelized): gates are topologically sorted once, then evaluated in
+//! order for each input vector.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a signal (net) in a [`GateNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(usize);
+
+/// Supported gate primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Inverter (one input).
+    Inv,
+    /// Buffer (one input).
+    Buf,
+    /// Two-input NAND.
+    Nand,
+    /// Two-input NOR.
+    Nor,
+    /// Two-input AND.
+    And,
+    /// Two-input OR.
+    Or,
+    /// Two-input XOR.
+    Xor,
+}
+
+impl GateKind {
+    /// Number of inputs this gate kind takes.
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Inv | GateKind::Buf => 1,
+            _ => 2,
+        }
+    }
+
+    /// Evaluates the gate function.
+    fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            GateKind::Inv => !a,
+            GateKind::Buf => a,
+            GateKind::Nand => !(a && b),
+            GateKind::Nor => !(a || b),
+            GateKind::And => a && b,
+            GateKind::Or => a || b,
+            GateKind::Xor => a ^ b,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Gate {
+    kind: GateKind,
+    inputs: [SignalId; 2],
+    output: SignalId,
+}
+
+/// Error raised by [`GateNet::compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A signal is driven by two gates (or a gate drives a primary input).
+    MultipleDrivers {
+        /// The doubly driven signal's name.
+        signal: String,
+    },
+    /// The network contains a combinational cycle.
+    CombinationalLoop,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::MultipleDrivers { signal } => {
+                write!(f, "signal '{signal}' has multiple drivers")
+            }
+            NetError::CombinationalLoop => write!(f, "network contains a combinational loop"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A combinational gate network under construction.
+///
+/// # Example
+///
+/// ```
+/// use issa_digital::gates::{GateKind, GateNet};
+///
+/// let mut net = GateNet::new();
+/// let a = net.input("a");
+/// let b = net.input("b");
+/// let y = net.gate(GateKind::Nand, &[a, b], "y");
+/// let c = net.compile().unwrap();
+/// assert_eq!(c.eval(&[("a", true), ("b", true)]).get("y"), Some(false));
+/// assert_eq!(c.eval(&[("a", true), ("b", false)]).get("y"), Some(true));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GateNet {
+    names: Vec<String>,
+    by_name: HashMap<String, SignalId>,
+    inputs: Vec<SignalId>,
+    gates: Vec<Gate>,
+    driven: Vec<bool>,
+}
+
+impl GateNet {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn signal(&mut self, name: &str) -> SignalId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = SignalId(self.names.len());
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        self.driven.push(false);
+        id
+    }
+
+    /// Declares a primary input named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already driven by a gate.
+    pub fn input(&mut self, name: &str) -> SignalId {
+        let id = self.signal(name);
+        assert!(!self.driven[id.0], "input '{name}' already driven by a gate");
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a gate of `kind` over `inputs`, driving a new signal `output`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs does not match the gate's arity.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[SignalId], output: &str) -> SignalId {
+        assert_eq!(inputs.len(), kind.arity(), "gate arity mismatch for {kind:?}");
+        let out = self.signal(output);
+        self.driven[out.0] = true;
+        let b = if inputs.len() > 1 { inputs[1] } else { inputs[0] };
+        self.gates.push(Gate {
+            kind,
+            inputs: [inputs[0], b],
+            output: out,
+        });
+        out
+    }
+
+    /// Levelizes the network into an evaluable form.
+    ///
+    /// # Errors
+    ///
+    /// - [`NetError::MultipleDrivers`] if a signal is driven twice;
+    /// - [`NetError::CombinationalLoop`] if the gates cannot be
+    ///   topologically ordered.
+    pub fn compile(self) -> Result<CompiledNet, NetError> {
+        // Check single drivers.
+        let mut drivers = vec![0usize; self.names.len()];
+        for g in &self.gates {
+            drivers[g.output.0] += 1;
+        }
+        for (i, &count) in drivers.iter().enumerate() {
+            let is_input = self.inputs.iter().any(|s| s.0 == i);
+            if count > 1 || (count == 1 && is_input) {
+                return Err(NetError::MultipleDrivers {
+                    signal: self.names[i].clone(),
+                });
+            }
+        }
+
+        // Kahn topological sort over gates.
+        let mut order = Vec::with_capacity(self.gates.len());
+        let mut ready: Vec<bool> = vec![false; self.names.len()];
+        for &i in &self.inputs {
+            ready[i.0] = true;
+        }
+        // Undriven non-input signals default to constant false; they are
+        // ready from the start.
+        for (i, &driven) in self.driven.iter().enumerate() {
+            if !driven && !ready[i] {
+                ready[i] = true;
+            }
+        }
+        let mut remaining: Vec<usize> = (0..self.gates.len()).collect();
+        while !remaining.is_empty() {
+            let before = remaining.len();
+            remaining.retain(|&gi| {
+                let g = &self.gates[gi];
+                let deps_ready =
+                    ready[g.inputs[0].0] && (g.kind.arity() == 1 || ready[g.inputs[1].0]);
+                if deps_ready {
+                    ready[g.output.0] = true;
+                    order.push(gi);
+                    false
+                } else {
+                    true
+                }
+            });
+            if remaining.len() == before {
+                return Err(NetError::CombinationalLoop);
+            }
+        }
+
+        Ok(CompiledNet {
+            names: self.names,
+            by_name: self.by_name,
+            gates: order.into_iter().map(|gi| self.gates[gi].clone()).collect(),
+        })
+    }
+}
+
+/// A levelized, evaluable gate network produced by [`GateNet::compile`].
+#[derive(Debug, Clone)]
+pub struct CompiledNet {
+    names: Vec<String>,
+    by_name: HashMap<String, SignalId>,
+    gates: Vec<Gate>,
+}
+
+/// Evaluation result: the value of every signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetState {
+    names: Vec<String>,
+    values: Vec<bool>,
+}
+
+impl NetState {
+    /// Value of signal `name`, if it exists.
+    pub fn get(&self, name: &str) -> Option<bool> {
+        self.names.iter().position(|n| n == name).map(|i| self.values[i])
+    }
+}
+
+impl CompiledNet {
+    /// Evaluates the network for the given input assignments; unassigned
+    /// inputs default to `false`.
+    pub fn eval(&self, assignments: &[(&str, bool)]) -> NetState {
+        let mut values = vec![false; self.names.len()];
+        for (name, v) in assignments {
+            if let Some(&id) = self.by_name.get(*name) {
+                values[id.0] = *v;
+            }
+        }
+        for g in &self.gates {
+            let a = values[g.inputs[0].0];
+            let b = values[g.inputs[1].0];
+            values[g.output.0] = g.kind.eval(a, b);
+        }
+        NetState {
+            names: self.names.clone(),
+            values,
+        }
+    }
+
+    /// Number of gates (the paper's area-overhead discussion counts these).
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_truth_tables() {
+        for (kind, table) in [
+            (GateKind::Nand, [(false, false, true), (false, true, true), (true, false, true), (true, true, false)]),
+            (GateKind::Nor, [(false, false, true), (false, true, false), (true, false, false), (true, true, false)]),
+            (GateKind::And, [(false, false, false), (false, true, false), (true, false, false), (true, true, true)]),
+            (GateKind::Or, [(false, false, false), (false, true, true), (true, false, true), (true, true, true)]),
+            (GateKind::Xor, [(false, false, false), (false, true, true), (true, false, true), (true, true, false)]),
+        ] {
+            for (a, b, want) in table {
+                assert_eq!(kind.eval(a, b), want, "{kind:?}({a},{b})");
+            }
+        }
+        assert!(GateKind::Inv.eval(false, false));
+        assert!(!GateKind::Inv.eval(true, true));
+    }
+
+    #[test]
+    fn xor_from_nands_matches_xor_gate() {
+        // Classic 4-NAND XOR decomposition.
+        let mut net = GateNet::new();
+        let a = net.input("a");
+        let b = net.input("b");
+        let n1 = net.gate(GateKind::Nand, &[a, b], "n1");
+        let n2 = net.gate(GateKind::Nand, &[a, n1], "n2");
+        let n3 = net.gate(GateKind::Nand, &[b, n1], "n3");
+        net.gate(GateKind::Nand, &[n2, n3], "y");
+        let c = net.compile().unwrap();
+        for a_v in [false, true] {
+            for b_v in [false, true] {
+                let got = c.eval(&[("a", a_v), ("b", b_v)]).get("y").unwrap();
+                assert_eq!(got, a_v ^ b_v, "a={a_v} b={b_v}");
+            }
+        }
+        assert_eq!(c.gate_count(), 4);
+    }
+
+    #[test]
+    fn gates_evaluate_out_of_insertion_order() {
+        // Insert the consumer before the producer: levelization must fix it.
+        let mut net = GateNet::new();
+        let a = net.input("a");
+        let mid = net.signal("mid");
+        net.gate(GateKind::Inv, &[mid], "y");
+        net.gate(GateKind::Inv, &[a], "mid");
+        let c = net.compile().unwrap();
+        assert_eq!(c.eval(&[("a", true)]).get("y"), Some(true));
+    }
+
+    #[test]
+    fn detects_multiple_drivers() {
+        let mut net = GateNet::new();
+        let a = net.input("a");
+        net.gate(GateKind::Inv, &[a], "y");
+        net.gate(GateKind::Buf, &[a], "y");
+        assert_eq!(
+            net.compile().unwrap_err(),
+            NetError::MultipleDrivers { signal: "y".into() }
+        );
+    }
+
+    #[test]
+    fn detects_combinational_loop() {
+        let mut net = GateNet::new();
+        let x = net.signal("x");
+        let y = net.gate(GateKind::Inv, &[x], "y");
+        net.gate(GateKind::Inv, &[y], "x");
+        assert_eq!(net.compile().unwrap_err(), NetError::CombinationalLoop);
+    }
+
+    #[test]
+    fn undriven_signals_read_false() {
+        let mut net = GateNet::new();
+        let float = net.signal("float");
+        net.gate(GateKind::Inv, &[float], "y");
+        let c = net.compile().unwrap();
+        assert_eq!(c.eval(&[]).get("y"), Some(true));
+        assert_eq!(c.eval(&[]).get("float"), Some(false));
+    }
+}

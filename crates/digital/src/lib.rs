@@ -1,0 +1,26 @@
+//! Gate-level digital substrate for the ISSA control logic.
+//!
+//! The paper's mitigation scheme (its Fig. 3) is a small digital block
+//! shared by a row of sense amplifiers: an N-bit counter that advances on
+//! every read, whose most significant bit is the `Switch` signal, and two
+//! NAND gates that derive the pass-transistor enables `SAenableA` /
+//! `SAenableB` from `SAenablebar` and `Switch` (truth table: the paper's
+//! Table I).
+//!
+//! This crate provides that block twice:
+//!
+//! - behaviourally ([`counter::RippleCounter`], [`control::IssaControl`]),
+//!   which is what `issa-core` drives during workload compilation, and
+//! - structurally ([`gates::GateNet`]), a small combinational gate-network
+//!   evaluator on which the Fig. 3 gate structure is instantiated
+//!   ([`control::build_control_gates`]) and *proven equivalent* to the
+//!   behavioural model in tests — the substitution argument for not doing
+//!   transistor-level simulation of the control block.
+
+pub mod control;
+pub mod counter;
+pub mod gates;
+
+pub use control::{ControlOutputs, IssaControl};
+pub use counter::RippleCounter;
+pub use gates::{GateKind, GateNet, SignalId};

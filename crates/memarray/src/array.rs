@@ -1,0 +1,281 @@
+//! A multi-column SRAM array with a shared input-switching control block.
+//!
+//! The paper's overhead argument (Section IV-C) rests on sharing one
+//! counter and three gates across many columns. This module models that
+//! deployment behaviourally: `columns` columns each with their own
+//! bitline pair and sense amplifier, one [`IssaControl`] driving all of
+//! them, word-wide reads and writes, and per-column bookkeeping of the
+//! *internal* value mix each SA resolves — the quantity the mitigation
+//! balances and the aging models consume.
+//!
+//! Sense amplifiers are behavioural here (decision = sign of the bitline
+//! differential against a per-column offset voltage); plug the measured
+//! offsets of circuit-level `issa-core` instances into
+//! [`SramArray::set_offsets`] to study read-failure onset in an aged
+//! array.
+
+use crate::{Column, ColumnParams};
+use issa_digital::IssaControl;
+
+/// Which read scheme the array's sense amplifiers use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayScheme {
+    /// Standard sense amplifiers (no mitigation).
+    Standard,
+    /// Input-switching SAs sharing one N-bit control block.
+    InputSwitching {
+        /// Counter width N (the paper's case study: 8).
+        counter_bits: u8,
+    },
+}
+
+/// Per-column read statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Reads performed on this column.
+    pub reads: u64,
+    /// Reads whose *external* value was 0.
+    pub external_zeros: u64,
+    /// Reads whose *internal* (latch) resolution was state 0.
+    pub internal_zeros: u64,
+}
+
+impl ColumnStats {
+    /// Fraction of reads resolving internal state 0 (0.5 if no reads).
+    pub fn internal_zero_fraction(&self) -> f64 {
+        if self.reads == 0 {
+            0.5
+        } else {
+            self.internal_zeros as f64 / self.reads as f64
+        }
+    }
+}
+
+/// Result of one word-wide read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadResult {
+    /// The corrected data word.
+    pub data: Vec<bool>,
+    /// Columns whose SA mis-sensed (developed swing below its offset).
+    pub failed_columns: Vec<usize>,
+}
+
+/// An SRAM array: `columns` columns × `rows` rows, one shared control.
+#[derive(Debug, Clone)]
+pub struct SramArray {
+    columns: Vec<Column>,
+    offsets: Vec<f64>,
+    control: Option<IssaControl>,
+    stats: Vec<ColumnStats>,
+}
+
+impl SramArray {
+    /// Creates an array of `columns × rows` zeroed cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` or `rows` is zero.
+    pub fn new(rows: usize, columns: usize, params: ColumnParams, scheme: ArrayScheme) -> Self {
+        assert!(columns > 0, "array needs at least one column");
+        Self {
+            columns: (0..columns).map(|_| Column::new(rows, params)).collect(),
+            offsets: vec![0.0; columns],
+            control: match scheme {
+                ArrayScheme::Standard => None,
+                ArrayScheme::InputSwitching { counter_bits } => {
+                    Some(IssaControl::new(counter_bits))
+                }
+            },
+            stats: vec![ColumnStats::default(); columns],
+        }
+    }
+
+    /// Number of columns (word width).
+    pub fn columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.columns[0].rows()
+    }
+
+    /// Sets the per-column SA offset voltages \[V\] (e.g. measured from
+    /// aged circuit-level instances). Positive offset biases the column
+    /// toward reading 1, matching `issa-core`'s sign convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the column count.
+    pub fn set_offsets(&mut self, offsets: &[f64]) {
+        assert_eq!(offsets.len(), self.columns.len(), "one offset per column");
+        self.offsets.copy_from_slice(offsets);
+    }
+
+    /// Writes a data word into `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word width differs from the column count or `row` is
+    /// out of range.
+    pub fn write(&mut self, row: usize, word: &[bool]) {
+        assert_eq!(word.len(), self.columns.len(), "word width mismatch");
+        for (col, &bit) in self.columns.iter_mut().zip(word) {
+            col.write(row, bit);
+        }
+    }
+
+    /// Reads the word at `row` with the given bitline develop time,
+    /// through the shared control (for the input-switching scheme the
+    /// effective differential is crossed and the result re-inverted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn read(&mut self, row: usize, vdd: f64, t_develop: f64) -> ReadResult {
+        let switch = self.control.as_ref().map(|c| c.switch()).unwrap_or(false);
+        let mut data = Vec::with_capacity(self.columns.len());
+        let mut failed_columns = Vec::new();
+
+        for (idx, col) in self.columns.iter().enumerate() {
+            let v = col.develop(row, vdd, t_develop);
+            // Differential as seen by the latch: crossed when switching.
+            let diff = if switch {
+                -v.differential()
+            } else {
+                v.differential()
+            };
+            // Behavioural SA: decision biased by the column's offset.
+            let raw = diff + self.offsets[idx] > 0.0;
+            // The control re-inverts crossed reads.
+            let value = raw ^ switch;
+            let stored = col.stored(row);
+            if value != stored {
+                failed_columns.push(idx);
+            }
+
+            let s = &mut self.stats[idx];
+            s.reads += 1;
+            s.external_zeros += (!stored) as u64;
+            // Internal resolution (what stresses the latch).
+            s.internal_zeros += (!raw) as u64;
+            data.push(value);
+        }
+
+        if let Some(ctl) = &mut self.control {
+            ctl.on_read();
+        }
+        ReadResult {
+            data,
+            failed_columns,
+        }
+    }
+
+    /// Per-column statistics.
+    pub fn stats(&self) -> &[ColumnStats] {
+        &self.stats
+    }
+
+    /// The shared control's switch state (false for the standard scheme).
+    pub fn switch(&self) -> bool {
+        self.control.as_ref().map(|c| c.switch()).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(bits: &str) -> Vec<bool> {
+        bits.chars().map(|c| c == '1').collect()
+    }
+
+    fn array(scheme: ArrayScheme) -> SramArray {
+        let mut a = SramArray::new(16, 8, ColumnParams::default_45nm(), scheme);
+        a.write(0, &word("10110010"));
+        a.write(1, &word("00000000"));
+        a.write(2, &word("11111111"));
+        a
+    }
+
+    #[test]
+    fn standard_array_roundtrips() {
+        let mut a = array(ArrayScheme::Standard);
+        for row in [0usize, 1, 2] {
+            let r = a.read(row, 1.0, 40e-12);
+            assert!(r.failed_columns.is_empty());
+        }
+        assert_eq!(a.read(0, 1.0, 40e-12).data, word("10110010"));
+    }
+
+    #[test]
+    fn switching_array_roundtrips_across_switch_boundary() {
+        let mut a = array(ArrayScheme::InputSwitching { counter_bits: 2 });
+        // Period 2: reads 0,1 straight; 2,3 crossed; ...
+        for i in 0..16 {
+            let row = i % 3;
+            let r = a.read(row, 1.0, 40e-12);
+            assert!(
+                r.failed_columns.is_empty(),
+                "read {i} (switch={}) failed cols {:?}",
+                a.switch(),
+                r.failed_columns
+            );
+        }
+    }
+
+    #[test]
+    fn internal_mix_balances_only_with_switching() {
+        let run = |scheme| {
+            let mut a = array(scheme);
+            for _ in 0..256 {
+                a.read(1, 1.0, 40e-12); // all-zeros row
+            }
+            a.stats()[0].internal_zero_fraction()
+        };
+        let standard = run(ArrayScheme::Standard);
+        let switching = run(ArrayScheme::InputSwitching { counter_bits: 4 });
+        assert!((standard - 1.0).abs() < 1e-9, "standard mix {standard}");
+        assert!((switching - 0.5).abs() < 0.01, "switching mix {switching}");
+    }
+
+    #[test]
+    fn aged_offsets_cause_read_failures_at_small_swing() {
+        let mut a = array(ArrayScheme::Standard);
+        // Column 3's SA aged to +60 mV offset (biased toward 1).
+        let mut offsets = vec![0.0; 8];
+        offsets[3] = 60e-3;
+        a.set_offsets(&offsets);
+        // 30 mV swing (12 ps develop at default params): column 3 reads a
+        // stored 0 as 1.
+        let t = a.columns[0].develop_time_for_swing(30e-3);
+        let r = a.read(1, 1.0, t);
+        assert_eq!(r.failed_columns, vec![3]);
+        // 100 mV swing clears the offset.
+        let t = a.columns[0].develop_time_for_swing(100e-3);
+        let r = a.read(1, 1.0, t);
+        assert!(r.failed_columns.is_empty());
+    }
+
+    #[test]
+    fn stats_track_reads_and_external_mix() {
+        let mut a = array(ArrayScheme::Standard);
+        for _ in 0..10 {
+            a.read(2, 1.0, 40e-12); // all ones
+        }
+        for _ in 0..30 {
+            a.read(1, 1.0, 40e-12); // all zeros
+        }
+        let s = a.stats()[0];
+        assert_eq!(s.reads, 40);
+        assert_eq!(s.external_zeros, 30);
+        assert!((s.internal_zero_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "word width mismatch")]
+    fn write_checks_width() {
+        let mut a = array(ArrayScheme::Standard);
+        a.write(0, &word("101"));
+    }
+}

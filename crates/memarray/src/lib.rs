@@ -1,0 +1,313 @@
+//! Behavioural SRAM column substrate.
+//!
+//! The paper's sense amplifiers sit at the bottom of an SRAM column: a
+//! pair of bitlines precharged to Vdd, discharged by the accessed 6T cell
+//! through its access transistor, with every *unaccessed* cell on the
+//! column leaking a little into whichever bitline its stored value selects.
+//! This crate models that read path behaviourally — constant cell current
+//! into a lumped bitline capacitance — which is the standard abstraction
+//! for bitline-swing timing analysis and is exactly what the SA testbench
+//! needs: a realistic ramped differential input rather than an ideal step.
+//!
+//! The model produces both endpoint voltages ([`Column::develop`]) and
+//! piecewise-linear waveforms ([`Column::bitline_pwl`]) that can drive the
+//! circuit-level SA netlists in `issa-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use issa_memarray::{Column, ColumnParams};
+//!
+//! let mut col = Column::new(64, ColumnParams::default_45nm());
+//! col.write(3, false); // store a 0
+//! let v = col.develop(3, 1.0, 200e-12);
+//! assert!(v.bl < v.blbar); // reading a 0 discharges BL
+//! assert!((v.blbar - 1.0).abs() < 0.05);
+//! ```
+
+pub mod array;
+
+pub use array::{ArrayScheme, ColumnStats, ReadResult, SramArray};
+
+/// Electrical parameters of one column's read path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnParams {
+    /// Lumped bitline capacitance \[F\] (wire + junction of all rows).
+    pub c_bitline: f64,
+    /// Read current of the accessed cell \[A\].
+    pub i_cell: f64,
+    /// Per-cell leakage current of unaccessed cells \[A\].
+    pub i_leak: f64,
+    /// Lowest voltage the cell can pull the bitline to \[V\] (the access
+    /// transistor stops conducting near ground).
+    pub v_floor: f64,
+}
+
+impl ColumnParams {
+    /// Typical 45 nm column: 64–256 cells, ~20 fF bitline, ~50 µA cell
+    /// read current, ~1 nA leakage per cell.
+    pub fn default_45nm() -> Self {
+        Self {
+            c_bitline: 20e-15,
+            i_cell: 50e-6,
+            i_leak: 1e-9,
+            v_floor: 0.1,
+        }
+    }
+}
+
+impl Default for ColumnParams {
+    fn default() -> Self {
+        Self::default_45nm()
+    }
+}
+
+/// Bitline-pair voltages at the end of a develop interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitlineVoltages {
+    /// True bitline \[V\]. Discharged when the accessed cell stores 0.
+    pub bl: f64,
+    /// Complement bitline \[V\]. Discharged when the cell stores 1.
+    pub blbar: f64,
+}
+
+impl BitlineVoltages {
+    /// The differential input the sense amplifier sees: `bl − blbar` \[V\].
+    pub fn differential(&self) -> f64 {
+        self.bl - self.blbar
+    }
+}
+
+/// An SRAM column: a stack of 6T cells sharing one bitline pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    cells: Vec<bool>,
+    params: ColumnParams,
+}
+
+impl Column {
+    /// Creates a column of `rows` cells, all initialized to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero.
+    pub fn new(rows: usize, params: ColumnParams) -> Self {
+        assert!(rows > 0, "a column needs at least one cell");
+        Self {
+            cells: vec![false; rows],
+            params,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The column's electrical parameters.
+    pub fn params(&self) -> &ColumnParams {
+        &self.params
+    }
+
+    /// Writes `value` into the cell at `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn write(&mut self, row: usize, value: bool) {
+        self.cells[row] = value;
+    }
+
+    /// Stored value at `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn stored(&self, row: usize) -> bool {
+        self.cells[row]
+    }
+
+    /// Fills the column from an iterator of bits (for workload setup).
+    pub fn load<I: IntoIterator<Item = bool>>(&mut self, bits: I) {
+        for (cell, bit) in self.cells.iter_mut().zip(bits) {
+            *cell = bit;
+        }
+    }
+
+    /// Voltage reached by a bitline that starts at `vdd` and is discharged
+    /// by `current` for `t` seconds, floored at `v_floor`.
+    fn discharge(&self, vdd: f64, current: f64, t: f64) -> f64 {
+        (vdd - current * t / self.params.c_bitline).max(self.params.v_floor)
+    }
+
+    /// Develops the bitline differential for a read of `row`: both lines
+    /// precharged to `vdd`, then the accessed cell discharges its side
+    /// with `i_cell` while the other `rows − 1` cells leak into whichever
+    /// side their stored value selects, for `t_develop` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `t_develop` is negative.
+    pub fn develop(&self, row: usize, vdd: f64, t_develop: f64) -> BitlineVoltages {
+        assert!(t_develop >= 0.0, "develop time must be non-negative");
+        let value = self.cells[row];
+
+        // Leakage: every unaccessed cell storing 0 leaks BL down, storing 1
+        // leaks BLBar down.
+        let mut leak_bl = 0.0;
+        let mut leak_blbar = 0.0;
+        for (i, &cell) in self.cells.iter().enumerate() {
+            if i == row {
+                continue;
+            }
+            if cell {
+                leak_blbar += self.params.i_leak;
+            } else {
+                leak_bl += self.params.i_leak;
+            }
+        }
+        let (i_bl, i_blbar) = if value {
+            (leak_bl, self.params.i_cell + leak_blbar)
+        } else {
+            (self.params.i_cell + leak_bl, leak_blbar)
+        };
+        BitlineVoltages {
+            bl: self.discharge(vdd, i_bl, t_develop),
+            blbar: self.discharge(vdd, i_blbar, t_develop),
+        }
+    }
+
+    /// Time needed to develop a differential of `swing` volts on the
+    /// accessed side (ignoring leakage) \[s\]. This is the quantity a
+    /// larger offset-voltage spec inflates — the paper's "more time must
+    /// be allocated for the bitline discharge".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `swing` is negative.
+    pub fn develop_time_for_swing(&self, swing: f64) -> f64 {
+        assert!(swing >= 0.0, "swing must be non-negative");
+        swing * self.params.c_bitline / self.params.i_cell
+    }
+
+    /// Piecewise-linear `(time, volts)` waveforms for BL and BLBar over a
+    /// read of `row`: precharged at `vdd` until `t_start`, then developing
+    /// until `t_start + t_develop`, then held (the SA's pass transistors
+    /// cut off at SA-enable, so the hold shape past that point is
+    /// irrelevant).
+    ///
+    /// The returned pair is `(bl_points, blbar_points)`, directly usable
+    /// as `issa_circuit::Waveform::pwl` input.
+    pub fn bitline_pwl(
+        &self,
+        row: usize,
+        vdd: f64,
+        t_start: f64,
+        t_develop: f64,
+    ) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+        let end = self.develop(row, vdd, t_develop);
+        let t_end = t_start + t_develop;
+        let bl = vec![(0.0, vdd), (t_start, vdd), (t_end, end.bl)];
+        let blbar = vec![(0.0, vdd), (t_start, vdd), (t_end, end.blbar)];
+        (bl, blbar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column() -> Column {
+        Column::new(64, ColumnParams::default_45nm())
+    }
+
+    #[test]
+    fn reading_zero_discharges_bl() {
+        let mut col = column();
+        col.write(0, false);
+        let v = col.develop(0, 1.0, 100e-12);
+        assert!(v.bl < v.blbar);
+        assert!(v.differential() < 0.0);
+    }
+
+    #[test]
+    fn reading_one_discharges_blbar() {
+        let mut col = column();
+        col.write(0, true);
+        let v = col.develop(0, 1.0, 100e-12);
+        assert!(v.blbar < v.bl);
+        assert!(v.differential() > 0.0);
+    }
+
+    #[test]
+    fn swing_grows_linearly_then_floors() {
+        let col = column();
+        // 50 µA into 20 fF: 2.5 mV/ps.
+        let v1 = col.develop(0, 1.0, 40e-12);
+        assert!((1.0 - v1.bl - 0.1).abs() < 0.02, "100 mV swing at 40 ps, got {}", 1.0 - v1.bl);
+        // Very long develop: floored.
+        let v2 = col.develop(0, 1.0, 1e-6);
+        assert_eq!(v2.bl, col.params().v_floor);
+    }
+
+    #[test]
+    fn zero_develop_time_keeps_precharge() {
+        let col = column();
+        let v = col.develop(0, 1.0, 0.0);
+        assert_eq!(v.bl, 1.0);
+        assert_eq!(v.blbar, 1.0);
+    }
+
+    #[test]
+    fn leakage_disturbs_the_quiet_bitline() {
+        let mut col = Column::new(
+            256,
+            ColumnParams {
+                i_leak: 10e-9,
+                ..ColumnParams::default_45nm()
+            },
+        );
+        // All other cells store 1: they leak BLBar while we read a 0.
+        col.load(std::iter::once(false).chain(std::iter::repeat(true)));
+        let v = col.develop(0, 1.0, 100e-12);
+        assert!(v.blbar < 1.0, "leakage must sag BLBar: {}", v.blbar);
+        assert!(v.bl < v.blbar, "cell current still dominates");
+    }
+
+    #[test]
+    fn develop_time_for_swing_matches_develop() {
+        let col = column();
+        let t = col.develop_time_for_swing(0.1);
+        let v = col.develop(0, 1.0, t);
+        assert!((1.0 - v.bl - 0.1).abs() < 5e-3, "swing {}", 1.0 - v.bl);
+    }
+
+    #[test]
+    fn pwl_endpoints_consistent_with_develop() {
+        let mut col = column();
+        col.write(5, true);
+        let (bl, blbar) = col.bitline_pwl(5, 1.0, 50e-12, 200e-12);
+        let end = col.develop(5, 1.0, 200e-12);
+        assert_eq!(bl.last().unwrap().1, end.bl);
+        assert_eq!(blbar.last().unwrap().1, end.blbar);
+        assert_eq!(bl[0], (0.0, 1.0));
+        assert_eq!(bl[1], (50e-12, 1.0));
+        assert!((bl.last().unwrap().0 - 250e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn load_and_stored_roundtrip() {
+        let mut col = Column::new(8, ColumnParams::default_45nm());
+        col.load([true, false, true, true, false, false, true, false]);
+        assert!(col.stored(0));
+        assert!(!col.stored(1));
+        assert!(col.stored(6));
+        assert_eq!(col.rows(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn rejects_empty_column() {
+        Column::new(0, ColumnParams::default_45nm());
+    }
+}

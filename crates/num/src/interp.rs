@@ -1,0 +1,198 @@
+//! Piecewise-linear interpolation.
+//!
+//! Backs the PWL voltage sources in `issa-circuit` and the parameter sweeps
+//! in the experiment harness.
+
+/// A piecewise-linear function defined by `(x, y)` breakpoints with
+/// non-decreasing `x`, constant-extrapolated outside the breakpoint range.
+///
+/// # Example
+///
+/// ```
+/// use issa_num::interp::PiecewiseLinear;
+///
+/// let ramp = PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 1.0)]).unwrap();
+/// assert_eq!(ramp.eval(0.5), 0.5);
+/// assert_eq!(ramp.eval(-1.0), 0.0); // clamped left
+/// assert_eq!(ramp.eval(2.0), 1.0);  // clamped right
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    points: Vec<(f64, f64)>,
+}
+
+/// Error constructing a [`PiecewiseLinear`] function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PwlError {
+    /// No breakpoints were supplied.
+    Empty,
+    /// Breakpoint abscissae are not non-decreasing, or a value is NaN.
+    NotSorted {
+        /// Index of the offending breakpoint.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for PwlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PwlError::Empty => write!(f, "piecewise-linear function needs at least one point"),
+            PwlError::NotSorted { index } => {
+                write!(f, "breakpoint {index} is out of order or NaN")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PwlError {}
+
+impl PiecewiseLinear {
+    /// Creates a PWL function from breakpoints.
+    ///
+    /// Vertical segments (repeated `x`) are allowed and evaluate to the
+    /// *later* breakpoint's value at exactly that `x`, which matches SPICE
+    /// PWL source semantics for instantaneous steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PwlError::Empty`] for an empty list and
+    /// [`PwlError::NotSorted`] if `x` values decrease or any coordinate is
+    /// NaN.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self, PwlError> {
+        if points.is_empty() {
+            return Err(PwlError::Empty);
+        }
+        for (i, &(x, y)) in points.iter().enumerate() {
+            if x.is_nan() || y.is_nan() {
+                return Err(PwlError::NotSorted { index: i });
+            }
+            if i > 0 && x < points[i - 1].0 {
+                return Err(PwlError::NotSorted { index: i });
+            }
+        }
+        Ok(Self { points })
+    }
+
+    /// The breakpoints.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Evaluates the function at `x`, clamping outside the breakpoint range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        let last = pts[pts.len() - 1];
+        if x >= last.0 {
+            return last.1;
+        }
+        // Binary search for the segment containing x.
+        let idx = pts.partition_point(|&(px, _)| px <= x);
+        let (x0, y0) = pts[idx - 1];
+        let (x1, y1) = pts[idx];
+        if x1 == x0 {
+            return y1;
+        }
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// The largest breakpoint abscissa.
+    pub fn x_max(&self) -> f64 {
+        self.points[self.points.len() - 1].0
+    }
+}
+
+/// Generates `n` logarithmically spaced values from `lo` to `hi` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the bounds are not positive and ordered.
+///
+/// # Example
+///
+/// ```
+/// use issa_num::interp::logspace;
+/// let pts = logspace(1.0, 100.0, 3);
+/// assert_eq!(pts.len(), 3);
+/// assert!((pts[1] - 10.0).abs() < 1e-12);
+/// ```
+pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "logspace needs at least two points");
+    assert!(lo > 0.0 && hi > lo, "logspace needs 0 < lo < hi");
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    (0..n)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+/// Generates `n` linearly spaced values from `lo` to `hi` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_constant() {
+        let f = PiecewiseLinear::new(vec![(1.0, 5.0)]).unwrap();
+        assert_eq!(f.eval(-10.0), 5.0);
+        assert_eq!(f.eval(1.0), 5.0);
+        assert_eq!(f.eval(10.0), 5.0);
+    }
+
+    #[test]
+    fn interpolates_interior_points() {
+        let f = PiecewiseLinear::new(vec![(0.0, 0.0), (2.0, 4.0), (4.0, 0.0)]).unwrap();
+        assert_eq!(f.eval(1.0), 2.0);
+        assert_eq!(f.eval(2.0), 4.0);
+        assert_eq!(f.eval(3.0), 2.0);
+    }
+
+    #[test]
+    fn step_at_repeated_x_takes_later_value() {
+        let f = PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 0.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
+        assert_eq!(f.eval(0.999), 0.0);
+        assert_eq!(f.eval(1.0), 5.0);
+        assert_eq!(f.eval(1.001), 5.0);
+    }
+
+    #[test]
+    fn rejects_unsorted_and_nan() {
+        assert_eq!(
+            PiecewiseLinear::new(vec![(1.0, 0.0), (0.0, 0.0)]),
+            Err(PwlError::NotSorted { index: 1 })
+        );
+        assert_eq!(
+            PiecewiseLinear::new(vec![(f64::NAN, 0.0)]),
+            Err(PwlError::NotSorted { index: 0 })
+        );
+        assert_eq!(PiecewiseLinear::new(vec![]), Err(PwlError::Empty));
+    }
+
+    #[test]
+    fn logspace_endpoints_and_ratio() {
+        let pts = logspace(1e0, 1e8, 9);
+        assert!((pts[0] - 1.0).abs() < 1e-12);
+        assert!((pts[8] - 1e8).abs() < 1.0);
+        for w in pts.windows(2) {
+            assert!((w[1] / w[0] - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let pts = linspace(-1.0, 1.0, 5);
+        assert_eq!(pts, vec![-1.0, -0.5, 0.0, 0.5, 1.0]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Numerics substrate for the `issa` workspace.
+//!
+//! The circuit simulator, BTI model, and Monte Carlo analyses in the rest of
+//! the workspace need a small, auditable set of numerical tools:
+//!
+//! - [`matrix`] — dense matrices and LU decomposition with partial pivoting,
+//!   sized for modified-nodal-analysis systems of a few dozen unknowns;
+//! - [`special`] — error function, normal CDF/quantile, and related special
+//!   functions used by the offset-voltage specification solver;
+//! - [`roots`] — bracketing root finders (bisection, Brent) used for
+//!   threshold-crossing measurements and the Eq. 3 spec solve;
+//! - [`stats`] — streaming statistics, summaries, histograms, and quantiles
+//!   for Monte Carlo post-processing;
+//! - [`rng`] — deterministic seed fan-out and the sampling distributions
+//!   (normal, exponential, Poisson, log-uniform) the aging model draws from;
+//! - [`interp`] — piecewise-linear interpolation for waveforms and sweeps.
+//!
+//! Everything is implemented from scratch (no BLAS/LAPACK): the largest
+//! systems in this workspace are ~20×20, where a straightforward dense LU is
+//! both faster and easier to verify than an external dependency.
+//!
+//! # Example
+//!
+//! ```
+//! use issa_num::matrix::DMatrix;
+//!
+//! # fn main() -> Result<(), issa_num::matrix::SingularMatrixError> {
+//! let a = DMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+//! let x = a.lu()?.solve(&[3.0, 5.0]);
+//! assert!((x[0] - 0.8).abs() < 1e-12);
+//! assert!((x[1] - 1.4).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod interp;
+pub mod matrix;
+pub mod rng;
+pub mod roots;
+pub mod special;
+pub mod stats;
+
+pub use matrix::{DMatrix, Lu, SingularMatrixError};
+pub use roots::{bisect, brent, Bracket, RootError};
+pub use special::{erf, erfc, inv_norm_cdf, norm_cdf, norm_pdf};
+pub use stats::{Histogram, RunningStats, Summary};

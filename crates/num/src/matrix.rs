@@ -1,0 +1,409 @@
+//! Dense matrices and LU decomposition with partial pivoting.
+//!
+//! Modified nodal analysis of the sense-amplifier cells produces small dense
+//! systems (≈10–25 unknowns). This module provides exactly what the Newton
+//! loop in `issa-circuit` needs: a row-major dense matrix, an in-place LU
+//! factorization with partial pivoting, and forward/backward substitution.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Error returned when a factorization encounters a (numerically) singular
+/// matrix.
+///
+/// Carries the pivot column at which elimination broke down, which for MNA
+/// systems usually identifies a floating node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError {
+    /// Column index of the zero (or sub-threshold) pivot.
+    pub column: usize,
+}
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is singular at pivot column {}", self.column)
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+/// A row-major dense matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use issa_num::matrix::DMatrix;
+///
+/// let mut m = DMatrix::zeros(2, 2);
+/// m[(0, 0)] = 1.0;
+/// m[(1, 1)] = 2.0;
+/// assert_eq!(m.mul_vec(&[3.0, 4.0]), vec![3.0, 8.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMatrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "inconsistent row length");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Adds `value` to entry `(row, col)` — the MNA "stamp" primitive.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        self[(row, col)] += value;
+    }
+
+    /// Matrix–vector product `A · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// LU-factorizes a copy of `self` with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a pivot is exactly zero or
+    /// subnormal, which would make substitution meaningless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn lu(&self) -> Result<Lu, SingularMatrixError> {
+        Lu::factor(self.clone())
+    }
+
+    /// Solves `A · x = b` via a fresh LU factorization.
+    ///
+    /// Convenience wrapper over [`DMatrix::lu`] for one-shot solves; the
+    /// Newton loop keeps the [`Lu`] value instead to reuse workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the matrix is singular.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
+        Ok(self.lu()?.solve(b))
+    }
+}
+
+impl Index<(usize, usize)> for DMatrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (row, col): (usize, usize)) -> &f64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DMatrix {
+    #[inline]
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl fmt::Display for DMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>12.5e}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// LU factorization with partial pivoting, `P·A = L·U`.
+///
+/// Produced by [`DMatrix::lu`]; solves multiple right-hand sides without
+/// refactorizing.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: DMatrix,
+    /// Row permutation: `perm[i]` is the original row used at step `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Threshold below which a pivot is treated as singular.
+    const PIVOT_EPS: f64 = 1e-300;
+
+    fn factor(mut a: DMatrix) -> Result<Self, SingularMatrixError> {
+        assert_eq!(a.rows, a.cols, "LU requires a square matrix");
+        let n = a.rows;
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: largest magnitude in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_mag = a[(k, k)].abs();
+            for i in (k + 1)..n {
+                let mag = a[(i, k)].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = i;
+                }
+            }
+            if !(pivot_mag > Self::PIVOT_EPS) || !pivot_mag.is_finite() {
+                return Err(SingularMatrixError { column: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(pivot_row, j)];
+                    a[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let factor = a[(i, k)] / pivot;
+                a[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let akj = a[(k, j)];
+                        a[(i, j)] -= factor * akj;
+                    }
+                }
+            }
+        }
+
+        Ok(Self {
+            lu: a,
+            perm,
+            perm_sign: sign,
+        })
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.lu.rows
+    }
+
+    /// Solves `A · x = b` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.dim()];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solves `A · x = b` into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `x` have the wrong length.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs dimension mismatch");
+        assert_eq!(x.len(), n, "solution dimension mismatch");
+
+        // Forward substitution with permuted rhs: L·y = P·b.
+        for i in 0..n {
+            let mut sum = b[self.perm[i]];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum;
+        }
+        // Backward substitution: U·x = y.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = DMatrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.0];
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x, b.to_vec());
+    }
+
+    #[test]
+    fn known_2x2_system() {
+        let a = DMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert_close(x[0], 0.8, 1e-12);
+        assert_close(x[1], 1.4, 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // Leading zero forces a row swap; naive LU would fail.
+        let a = DMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_close(x[0], 3.0, 1e-12);
+        assert_close(x[1], 2.0, 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_reports_column() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let err = a.lu().unwrap_err();
+        assert_eq!(err.column, 1);
+        assert!(err.to_string().contains("pivot column 1"));
+    }
+
+    #[test]
+    fn determinant_matches_cofactor_expansion() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]]);
+        // det = 1*(50-48) - 2*(40-42) + 3*(32-35) = 2 + 4 - 9 = -3
+        assert_close(a.lu().unwrap().det(), -3.0, 1e-12);
+    }
+
+    #[test]
+    fn mul_vec_matches_solve_roundtrip() {
+        let a = DMatrix::from_rows(&[
+            &[4.0, -1.0, 0.5],
+            &[-1.0, 3.0, -0.2],
+            &[0.5, -0.2, 5.0],
+        ]);
+        let x_true = [1.0, -2.0, 0.25];
+        let b = a.mul_vec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert_close(*xi, *ti, 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_into_reuses_buffer() {
+        let a = DMatrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0]]);
+        let lu = a.lu().unwrap();
+        let mut x = vec![0.0; 2];
+        lu.solve_into(&[6.0, 4.0], &mut x);
+        assert_eq!(x, vec![2.0, 2.0]);
+        lu.solve_into(&[3.0, 2.0], &mut x);
+        assert_eq!(x, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn norm_inf_is_max_row_sum() {
+        let a = DMatrix::from_rows(&[&[1.0, -2.0], &[3.0, 0.5]]);
+        assert_close(a.norm_inf(), 3.5, 1e-15);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = DMatrix::identity(2);
+        let s = format!("{a}");
+        assert!(s.contains("1.00000e0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_vec_rejects_bad_length() {
+        DMatrix::identity(2).mul_vec(&[1.0]);
+    }
+}

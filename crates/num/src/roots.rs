@@ -1,0 +1,313 @@
+//! Bracketing root finders: bisection and Brent's method.
+//!
+//! Used by the offset-voltage binary search (`issa-core`) and by the
+//! offset-specification solver (paper Eq. 3), both of which have guaranteed
+//! sign-changing brackets.
+
+use std::fmt;
+
+/// Error from a root-finding routine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RootError {
+    /// `f(lo)` and `f(hi)` have the same sign — no bracket.
+    NoBracket {
+        /// Function value at the lower end.
+        f_lo: f64,
+        /// Function value at the upper end.
+        f_hi: f64,
+    },
+    /// The iteration budget was exhausted before the tolerance was met.
+    MaxIterations {
+        /// Best estimate when the budget ran out.
+        best: f64,
+    },
+}
+
+impl fmt::Display for RootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RootError::NoBracket { f_lo, f_hi } => {
+                write!(f, "interval does not bracket a root (f_lo={f_lo:e}, f_hi={f_hi:e})")
+            }
+            RootError::MaxIterations { best } => {
+                write!(f, "root finder hit the iteration limit (best estimate {best:e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+/// A sign-changing interval `[lo, hi]` known to contain a root.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bracket {
+    /// Lower end of the interval.
+    pub lo: f64,
+    /// Upper end of the interval.
+    pub hi: f64,
+}
+
+impl Bracket {
+    /// Creates a bracket, normalizing the endpoint order.
+    pub fn new(a: f64, b: f64) -> Self {
+        if a <= b {
+            Self { lo: a, hi: b }
+        } else {
+            Self { lo: b, hi: a }
+        }
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Interval midpoint.
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// Finds a root of `f` in `bracket` by bisection, to absolute tolerance
+/// `tol` on the interval width.
+///
+/// Bisection is the right tool when `f` is expensive but monotone-ish and
+/// each evaluation is itself noisy-free (e.g. a deterministic transient
+/// simulation): convergence is exactly one bit per iteration.
+///
+/// # Errors
+///
+/// - [`RootError::NoBracket`] if the endpoints do not straddle zero.
+/// - [`RootError::MaxIterations`] if `max_iter` halvings do not reach `tol`.
+///
+/// # Example
+///
+/// ```
+/// use issa_num::roots::{bisect, Bracket};
+/// let root = bisect(|x| x * x - 2.0, Bracket::new(0.0, 2.0), 1e-12, 100).unwrap();
+/// assert!((root - 2f64.sqrt()).abs() < 1e-11);
+/// ```
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    bracket: Bracket,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError> {
+    let (mut lo, mut hi) = (bracket.lo, bracket.hi);
+    let mut f_lo = f(lo);
+    let f_hi = f(hi);
+    if f_lo == 0.0 {
+        return Ok(lo);
+    }
+    if f_hi == 0.0 {
+        return Ok(hi);
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(RootError::NoBracket { f_lo, f_hi });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        if hi - lo <= tol {
+            return Ok(mid);
+        }
+        let f_mid = f(mid);
+        if f_mid == 0.0 {
+            return Ok(mid);
+        }
+        if f_mid.signum() == f_lo.signum() {
+            lo = mid;
+            f_lo = f_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(RootError::MaxIterations {
+        best: 0.5 * (lo + hi),
+    })
+}
+
+/// Finds a root of `f` in `bracket` with Brent's method (inverse quadratic
+/// interpolation + secant + bisection fallback).
+///
+/// Converges superlinearly for smooth `f`; used where the target function is
+/// cheap and smooth (the Eq. 3 spec solve).
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+///
+/// # Example
+///
+/// ```
+/// use issa_num::roots::{brent, Bracket};
+/// let root = brent(|x| x.cos() - x, Bracket::new(0.0, 1.0), 1e-14, 100).unwrap();
+/// assert!((root - 0.7390851332151607).abs() < 1e-12);
+/// ```
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    bracket: Bracket,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError> {
+    let (mut a, mut b) = (bracket.lo, bracket.hi);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NoBracket { f_lo: fa, f_hi: fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = c;
+
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() <= tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo = (3.0 * a + b) / 4.0;
+        let cond1 = !((s > lo.min(b) && s < lo.max(b)) || (s < lo.min(b) && s > lo.max(b)));
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < tol;
+        let cond5 = !mflag && (c - d).abs() < tol;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(RootError::MaxIterations { best: b })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let root = bisect(|x| x * x - 2.0, Bracket::new(0.0, 2.0), 1e-12, 200).unwrap();
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-11);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint_root() {
+        assert_eq!(bisect(|x| x, Bracket::new(0.0, 1.0), 1e-12, 10), Ok(0.0));
+        assert_eq!(bisect(|x| x - 1.0, Bracket::new(0.0, 1.0), 1e-12, 10), Ok(1.0));
+    }
+
+    #[test]
+    fn bisect_no_bracket() {
+        let err = bisect(|x| x * x + 1.0, Bracket::new(-1.0, 1.0), 1e-12, 10).unwrap_err();
+        assert!(matches!(err, RootError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn bisect_iteration_budget() {
+        let err = bisect(|x| x - 0.1234, Bracket::new(0.0, 1.0), 1e-15, 3).unwrap_err();
+        match err {
+            RootError::MaxIterations { best } => assert!((best - 0.1234).abs() < 0.2),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bisect_descending_function() {
+        // f decreasing through the root: sign bookkeeping must still work.
+        let root = bisect(|x| 1.0 - x, Bracket::new(0.0, 3.0), 1e-12, 200).unwrap();
+        assert!((root - 1.0).abs() < 1e-11);
+    }
+
+    #[test]
+    fn brent_cos_fixed_point() {
+        let root = brent(|x| x.cos() - x, Bracket::new(0.0, 1.0), 1e-14, 100).unwrap();
+        assert!((root - 0.7390851332151607).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_polynomial_with_flat_region() {
+        let root = brent(|x| (x - 1.0).powi(3), Bracket::new(0.0, 3.0), 1e-10, 500).unwrap();
+        assert!((root - 1.0).abs() < 1e-3, "root = {root}");
+    }
+
+    #[test]
+    fn brent_matches_bisect() {
+        let f = |x: f64| x.exp() - 3.0;
+        let r1 = brent(f, Bracket::new(0.0, 2.0), 1e-13, 100).unwrap();
+        let r2 = bisect(f, Bracket::new(0.0, 2.0), 1e-13, 200).unwrap();
+        assert!((r1 - r2).abs() < 1e-10);
+        assert!((r1 - 3f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bracket_normalizes_order() {
+        let b = Bracket::new(2.0, -1.0);
+        assert_eq!(b.lo, -1.0);
+        assert_eq!(b.hi, 2.0);
+        assert_eq!(b.width(), 3.0);
+        assert_eq!(b.midpoint(), 0.5);
+    }
+
+    #[test]
+    fn brent_counts_evaluations_less_than_bisect() {
+        let mut n_brent = 0;
+        let mut n_bisect = 0;
+        let _ = brent(
+            |x| {
+                n_brent += 1;
+                x.tanh() - 0.5
+            },
+            Bracket::new(0.0, 2.0),
+            1e-12,
+            100,
+        )
+        .unwrap();
+        let _ = bisect(
+            |x| {
+                n_bisect += 1;
+                x.tanh() - 0.5
+            },
+            Bracket::new(0.0, 2.0),
+            1e-12,
+            200,
+        )
+        .unwrap();
+        assert!(n_brent < n_bisect, "brent {n_brent} vs bisect {n_bisect}");
+    }
+}

@@ -1,0 +1,312 @@
+//! Special functions: error function family and normal-distribution helpers.
+//!
+//! The offset-voltage specification solver (paper Eq. 3) needs the normal
+//! CDF at ~6σ and its inverse; both are provided here with double-precision
+//! accuracy sufficient for failure rates down to 1e-15.
+
+/// Error function `erf(x)`, accurate to ~1e-15 over the full range.
+///
+/// Uses the complementary-function rational approximation of W. J. Cody
+/// (via `erfc`) for |x| ≥ 0.5 and the Maclaurin series near zero.
+///
+/// # Example
+///
+/// ```
+/// use issa_num::special::erf;
+/// assert!((erf(0.0)).abs() < 1e-15);
+/// assert!((erf(1.0) - 0.8427007929497149).abs() < 1e-12);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let ax = x.abs();
+    if ax < 2.0 {
+        return erf_small(x);
+    }
+    let v = 1.0 - erfc(ax);
+    if x < 0.0 {
+        -v
+    } else {
+        v
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Remains accurate (relative, not just absolute) deep into the tail, which
+/// is what the 1e-9 failure-rate solve needs.
+///
+/// # Example
+///
+/// ```
+/// use issa_num::special::erfc;
+/// // erfc(5) ≈ 1.537e-12, still 12 significant digits here.
+/// assert!((erfc(5.0) / 1.5374597944280349e-12 - 1.0).abs() < 1e-9);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x < 0.0 {
+        // Reflection keeps the small-|x| series inside its convergent range.
+        return 2.0 - erfc(-x);
+    }
+    if x < 2.0 {
+        // The Maclaurin series for erf is still fully convergent and
+        // cancellation-safe here (largest term ≈ 2.4 at x = 2).
+        return 1.0 - erf_small(x);
+    }
+    let x2 = x * x;
+    // Far tail (x >= 2): modified-Lentz evaluation of the continued fraction
+    // erfc(x) = e^{-x²}/√π · 1/(x + (1/2)/(x + (2/2)/(x + (3/2)/(x + …)))).
+    let mut c = 1e308;
+    let mut d = 1.0 / x;
+    let mut h = d;
+    for i in 1..200 {
+        let an = 0.5 * i as f64;
+        d = 1.0 / (x + an * d);
+        c = x + an / c;
+        let del = c * d;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x2).exp() / std::f64::consts::PI.sqrt() * h
+}
+
+/// Maclaurin-series evaluation of erf, convergent and cancellation-safe for
+/// |x| ≲ 2.5.
+fn erf_small(x: f64) -> f64 {
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    for n in 1..80 {
+        term *= -x2 / n as f64;
+        let add = term / (2 * n + 1) as f64;
+        sum += add;
+        if add.abs() < 1e-18 {
+            break;
+        }
+    }
+    sum * std::f64::consts::FRAC_2_SQRT_PI
+}
+
+/// Standard normal probability density function.
+///
+/// # Example
+///
+/// ```
+/// use issa_num::special::norm_pdf;
+/// assert!((norm_pdf(0.0) - 0.3989422804014327).abs() < 1e-15);
+/// ```
+pub fn norm_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution function Φ(x).
+///
+/// # Example
+///
+/// ```
+/// use issa_num::special::norm_cdf;
+/// assert!((norm_cdf(0.0) - 0.5).abs() < 1e-15);
+/// assert!((norm_cdf(1.96) - 0.9750021048517795).abs() < 1e-10);
+/// ```
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Upper tail of the standard normal distribution, `1 − Φ(x)`, accurate in
+/// the far tail (relative error, not absolute).
+///
+/// # Example
+///
+/// ```
+/// use issa_num::special::norm_sf;
+/// // P(Z > 6) ≈ 9.866e-10 — the paper's fr = 1e-9 regime.
+/// assert!((norm_sf(6.0) / 9.865876450377018e-10 - 1.0).abs() < 1e-6);
+/// ```
+pub fn norm_sf(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Inverse of the standard normal CDF (the quantile function Φ⁻¹).
+///
+/// Uses Acklam's rational approximation refined by two Halley steps, giving
+/// ~1e-15 relative accuracy for p in (1e-300, 1 − 1e-16).
+///
+/// # Panics
+///
+/// Panics if `p` is outside the open interval (0, 1).
+///
+/// # Example
+///
+/// ```
+/// use issa_num::special::inv_norm_cdf;
+/// assert!((inv_norm_cdf(0.975) - 1.959963984540054).abs() < 1e-9);
+/// ```
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+
+    // Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let mut x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // Two Halley refinement steps against the accurate CDF.
+    for _ in 0..2 {
+        let e = norm_cdf(x) - p;
+        let u = e / norm_pdf(x);
+        x -= u / (1.0 + x * u / 2.0);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // (x, erf(x)) reference pairs from standard tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.1, 0.1124629160182849),
+            (0.5, 0.5204998778130465),
+            (1.0, 0.8427007929497149),
+            (1.5, 0.9661051464753107),
+            (2.0, 0.9953222650189527),
+            (3.0, 0.9999779095030014),
+        ];
+        for (x, want) in cases {
+            assert!(
+                (erf(x) - want).abs() < 1e-10,
+                "erf({x}) = {} want {want}",
+                erf(x)
+            );
+            assert!((erf(-x) + want).abs() < 1e-10, "erf(-{x}) odd symmetry");
+        }
+    }
+
+    #[test]
+    fn erfc_tail_relative_accuracy() {
+        let cases = [
+            (2.0, 4.677734981063127e-3),
+            (3.0, 2.209049699858544e-5),
+            (4.0, 1.541725790028002e-8),
+            (5.0, 1.5374597944280349e-12),
+            (6.0, 2.1519736712498913e-17),
+        ];
+        for (x, want) in cases {
+            let got = erfc(x);
+            assert!(
+                (got / want - 1.0).abs() < 1e-6,
+                "erfc({x}) = {got:e} want {want:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for i in 0..100 {
+            let x = -3.0 + 0.06 * i as f64;
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn norm_cdf_symmetry() {
+        for i in 0..50 {
+            let x = 0.1 * i as f64;
+            assert!((norm_cdf(x) + norm_cdf(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn norm_sf_six_sigma() {
+        // 2 * P(Z > 6.1) should be near 1e-9: this is the paper's spec anchor
+        // ("failure rate 1e-9 leads to Voffset = 6.1 sigma").
+        let fr = 2.0 * norm_sf(6.1);
+        assert!(fr > 0.5e-9 && fr < 2.5e-9, "fr = {fr:e}");
+    }
+
+    #[test]
+    fn inv_norm_cdf_roundtrip() {
+        for &p in &[1e-12, 1e-9, 1e-4, 0.01, 0.3, 0.5, 0.7, 0.99, 1.0 - 1e-6] {
+            let x = inv_norm_cdf(p);
+            let back = norm_cdf(x);
+            assert!(
+                (back - p).abs() <= 1e-12 + 1e-9 * p,
+                "p={p:e} x={x} back={back:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn inv_norm_cdf_median_is_zero() {
+        assert!(inv_norm_cdf(0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires p in (0,1)")]
+    fn inv_norm_cdf_rejects_zero() {
+        inv_norm_cdf(0.0);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf_difference() {
+        // Trapezoidal integral of pdf over [0, 2] ≈ Φ(2) − Φ(0).
+        let n = 20_000;
+        let h = 2.0 / n as f64;
+        let mut integral = 0.0;
+        for i in 0..n {
+            let x0 = i as f64 * h;
+            integral += 0.5 * h * (norm_pdf(x0) + norm_pdf(x0 + h));
+        }
+        assert!((integral - (norm_cdf(2.0) - 0.5)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,495 @@
+//! Streaming statistics, summaries, quantiles, and histograms.
+//!
+//! Monte Carlo offset-voltage analysis produces a few hundred samples per
+//! corner; this module turns them into the μ/σ/quantile summaries reported
+//! in the paper's tables and the distribution plots of its figures.
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+///
+/// # Example
+///
+/// ```
+/// use issa_num::stats::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (divisor `n − 1`); 0 for fewer than two
+    /// observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Population variance (divisor `n`).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Smallest observation; `+∞` if empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `−∞` if empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Immutable summary of a sample: count, mean, standard deviation, extrema,
+/// and median.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (average of middle two for even counts).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or contains NaN.
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "cannot summarize an empty sample");
+        let mut stats = RunningStats::new();
+        for &x in xs {
+            assert!(!x.is_nan(), "sample contains NaN");
+            stats.push(x);
+        }
+        Self {
+            count: xs.len(),
+            mean: stats.mean(),
+            std: stats.sample_std(),
+            min: stats.min(),
+            max: stats.max(),
+            median: quantile(xs, 0.5),
+        }
+    }
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of `xs` by linear interpolation
+/// between order statistics (type-7, the R/NumPy default).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty, contains NaN, or `q` is outside [0, 1].
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample contains NaN"));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Median absolute deviation scaled to estimate σ for normal data
+/// (`MAD × 1.4826`).
+///
+/// A robust spread estimator: unlike the sample standard deviation it is
+/// insensitive to a few wild offsets (e.g. a gross SA failure in a Monte
+/// Carlo batch), which matters when the spec is extrapolated to 6.1 σ.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains NaN.
+pub fn robust_sigma(xs: &[f64]) -> f64 {
+    let med = quantile(xs, 0.5);
+    let deviations: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    // Φ⁻¹(0.75) ≈ 0.6745; 1/0.6745 ≈ 1.4826.
+    quantile(&deviations, 0.5) * 1.4826
+}
+
+/// One-sample Kolmogorov–Smirnov statistic of `xs` against the normal
+/// distribution with the sample's own mean and standard deviation
+/// (Lilliefors-style).
+///
+/// Returns the supremum distance `D` between the empirical CDF and the
+/// fitted normal CDF. As a rule of thumb the ~5 % critical value for the
+/// Lilliefors variant is `≈ 0.886/√n`, so `D·√n < 0.9` is consistent with
+/// normality — the assumption under the paper's Eq. 3 spec computation.
+///
+/// # Panics
+///
+/// Panics if `xs` has fewer than 3 points, zero spread, or contains NaN.
+pub fn ks_normal_statistic(xs: &[f64]) -> f64 {
+    assert!(xs.len() >= 3, "KS needs at least 3 samples");
+    let s = Summary::of(xs);
+    assert!(s.std > 0.0, "KS needs nonzero spread");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample contains NaN"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let z = (x - s.mean) / s.std;
+        let cdf = crate::special::norm_cdf(z);
+        let ecdf_hi = (i + 1) as f64 / n;
+        let ecdf_lo = i as f64 / n;
+        d = d.max((cdf - ecdf_lo).abs()).max((ecdf_hi - cdf).abs());
+    }
+    d
+}
+
+/// A fixed-bin histogram over a closed range, used to render the offset
+/// distribution figures.
+///
+/// # Example
+///
+/// ```
+/// use issa_num::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.extend([1.0, 1.5, 9.9, -3.0]);
+/// assert_eq!(h.counts()[0], 2); // 1.0 and 1.5 fall in [0, 2)
+/// assert_eq!(h.underflow(), 1); // -3.0
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Records many observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Total observations inside the range.
+    pub fn total_in_range(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Renders a compact ASCII bar chart, one line per bin — good enough for
+    /// terminal inspection of an offset distribution.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width) / max as usize);
+            out.push_str(&format!("{:>10.3} | {:<5} {}\n", self.bin_center(i), c, bar));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basics() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case: large mean, small variance.
+        let mut s = RunningStats::new();
+        for i in 0..1000 {
+            s.push(1e9 + (i % 2) as f64);
+        }
+        assert!((s.mean() - (1e9 + 0.5)).abs() < 1e-3);
+        assert!((s.population_variance() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_even_count_interpolates() {
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0], 0.5), 2.5);
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn robust_sigma_matches_std_for_gaussian_and_ignores_outliers() {
+        use crate::rng::{normal, SeedSequence};
+        let mut rng = SeedSequence::root(55).rng();
+        let mut xs: Vec<f64> = (0..4000).map(|_| normal(&mut rng, 0.0, 2.0)).collect();
+        let clean = robust_sigma(&xs);
+        assert!((clean - 2.0).abs() < 0.15, "robust sigma {clean}");
+        // Contaminate 1 % with wild outliers: std explodes, MAD holds.
+        for x in xs.iter_mut().take(40) {
+            *x = 1e3;
+        }
+        let contaminated = robust_sigma(&xs);
+        let std = Summary::of(&xs).std;
+        assert!((contaminated - 2.0).abs() < 0.3, "robust {contaminated}");
+        assert!(std > 50.0, "plain std should blow up: {std}");
+    }
+
+    #[test]
+    fn ks_accepts_gaussian_rejects_uniform_and_bimodal() {
+        use crate::rng::{normal, SeedSequence};
+        use rand::Rng;
+        let mut rng = SeedSequence::root(101).rng();
+        let n = 2000;
+        let gauss: Vec<f64> = (0..n).map(|_| normal(&mut rng, 1.0, 2.0)).collect();
+        let unif: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let bimodal: Vec<f64> = (0..n)
+            .map(|i| normal(&mut rng, if i % 2 == 0 { -3.0 } else { 3.0 }, 0.5))
+            .collect();
+        let sqrt_n = (n as f64).sqrt();
+        let d_gauss = ks_normal_statistic(&gauss) * sqrt_n;
+        let d_unif = ks_normal_statistic(&unif) * sqrt_n;
+        let d_bi = ks_normal_statistic(&bimodal) * sqrt_n;
+        assert!(d_gauss < 1.2, "gaussian D*sqrt(n) = {d_gauss}");
+        assert!(d_unif > 2.0, "uniform D*sqrt(n) = {d_unif}");
+        assert!(d_bi > 5.0, "bimodal D*sqrt(n) = {d_bi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 samples")]
+    fn ks_rejects_tiny_samples() {
+        ks_normal_statistic(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend((0..10).map(|i| i as f64 + 0.5));
+        assert_eq!(h.counts(), &[1; 10]);
+        assert_eq!(h.total_in_range(), 10);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        // Exact upper edge counts as overflow (half-open range).
+        h.push(10.0);
+        assert_eq!(h.overflow(), 1);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(9) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_ascii_render_has_all_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend([0.1, 0.1, 0.6]);
+        let art = h.render_ascii(20);
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.contains('#'));
+    }
+}

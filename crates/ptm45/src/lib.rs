@@ -1,0 +1,342 @@
+//! 45 nm-class high-performance MOSFET device cards.
+//!
+//! The paper simulates its sense amplifiers with the 45 nm Predictive
+//! Technology Model (PTM) high-performance SPICE card. That card is a
+//! BSIM4 deck that cannot be linked from Rust, so this crate provides the
+//! closest analytic equivalent: per-polarity [`DeviceCard`]s whose
+//! parameters are chosen to land in the right region for a 45 nm HP
+//! process (|Vth| ≈ 0.45 V, ~mA/µm drive at 1 V, ps-scale logic delays
+//! with fF loads) and whose temperature and voltage behaviour follows the
+//! standard scaling laws:
+//!
+//! - threshold voltage decreases linearly with temperature
+//!   (`dVth/dT ≈ −0.5 mV/K`),
+//! - mobility degrades as `(T/T₀)^−1.5`,
+//! - the thermal voltage `kT/q` enters the subthreshold slope directly.
+//!
+//! The experiments in `issa-core` depend on *relative* behaviour across
+//! workloads, supply voltages, and temperatures — exactly what these laws
+//! set — rather than on any BSIM4-specific curve shape.
+//!
+//! # Example
+//!
+//! ```
+//! use issa_ptm45::{DeviceCard, Environment};
+//!
+//! let env = Environment::nominal(); // 25 °C, 1.0 V
+//! let nmos = DeviceCard::nmos_hp();
+//! // Paper sizing: the latch pull-down has W/L = 17.8.
+//! let params = nmos.sized(17.8, &env);
+//! assert!(params.vth0 > 0.3 && params.vth0 < 0.6);
+//! ```
+
+use issa_circuit::mosfet::{MosParams, MosPolarity};
+
+/// Boltzmann constant over elementary charge \[V/K\].
+const K_OVER_Q: f64 = 8.617_333_262e-5;
+
+/// Nominal drawn channel length of the technology \[m\].
+pub const L_NOMINAL: f64 = 45e-9;
+
+/// Operating environment shared by every experiment: temperature and
+/// supply voltage.
+///
+/// The paper sweeps `{25, 75, 125} °C` and `{−10 %, nominal, +10 %}` of
+/// `Vdd = 1.0 V`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Environment {
+    /// Junction temperature \[°C\].
+    pub temp_c: f64,
+    /// Supply voltage \[V\].
+    pub vdd: f64,
+}
+
+impl Environment {
+    /// Nominal corner: 25 °C, 1.0 V.
+    pub fn nominal() -> Self {
+        Self {
+            temp_c: 25.0,
+            vdd: 1.0,
+        }
+    }
+
+    /// Same temperature, supply scaled by `factor` (e.g. `1.1` for +10 %).
+    pub fn with_vdd_factor(self, factor: f64) -> Self {
+        Self {
+            vdd: self.vdd * factor,
+            ..self
+        }
+    }
+
+    /// Same supply, different temperature.
+    pub fn with_temp_c(self, temp_c: f64) -> Self {
+        Self { temp_c, ..self }
+    }
+
+    /// Absolute temperature \[K\].
+    pub fn temp_k(&self) -> f64 {
+        self.temp_c + 273.15
+    }
+
+    /// Thermal voltage kT/q \[V\] at this temperature.
+    pub fn thermal_voltage(&self) -> f64 {
+        K_OVER_Q * self.temp_k()
+    }
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+/// A technology device card: polarity plus the 25 °C electrical
+/// parameters and their temperature coefficients.
+///
+/// Obtain instances from [`DeviceCard::nmos_hp`] / [`DeviceCard::pmos_hp`]
+/// and size them with [`DeviceCard::sized`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceCard {
+    /// Channel polarity.
+    pub polarity: MosPolarity,
+    /// Zero-bias threshold magnitude at 25 °C \[V\].
+    pub vth0_25c: f64,
+    /// Process transconductance µ·Cox at 25 °C \[A/V²\] (per square).
+    pub k_prime_25c: f64,
+    /// Subthreshold slope factor.
+    pub n: f64,
+    /// Channel-length modulation \[1/V\].
+    pub lambda: f64,
+    /// Mobility-reduction coefficient \[1/V\].
+    pub theta: f64,
+    /// Body-effect coefficient \[√V\].
+    pub gamma: f64,
+    /// Surface potential \[V\].
+    pub phi: f64,
+    /// Gate-oxide capacitance per area \[F/m²\].
+    pub cox_per_area: f64,
+    /// Source/drain junction capacitance per device width \[F/m\].
+    pub cj_per_width: f64,
+    /// Threshold temperature coefficient \[V/K\] (negative: |Vth| drops
+    /// as temperature rises).
+    pub vth_tempco: f64,
+    /// Mobility exponent: µ(T) = µ(T₀)·(T/T₀)^exp.
+    pub mobility_exp: f64,
+}
+
+/// Reference temperature of the card parameters \[K\].
+const T_REF_K: f64 = 298.15;
+
+impl DeviceCard {
+    /// The 45 nm high-performance NMOS card.
+    pub fn nmos_hp() -> Self {
+        Self {
+            polarity: MosPolarity::Nmos,
+            vth0_25c: 0.466,
+            k_prime_25c: 6.0e-4,
+            n: 1.35,
+            lambda: 0.15,
+            theta: 1.3,
+            gamma: 0.20,
+            phi: 0.85,
+            cox_per_area: 0.031, // ~1.1 nm EOT
+            cj_per_width: 6.0e-10,
+            vth_tempco: -5.0e-4,
+            mobility_exp: -1.5,
+        }
+    }
+
+    /// The 45 nm high-performance PMOS card.
+    pub fn pmos_hp() -> Self {
+        Self {
+            polarity: MosPolarity::Pmos,
+            vth0_25c: 0.412,
+            k_prime_25c: 3.0e-4, // hole mobility ≈ half of electron
+            n: 1.40,
+            lambda: 0.17,
+            theta: 1.0,
+            gamma: 0.20,
+            phi: 0.85,
+            cox_per_area: 0.031,
+            cj_per_width: 6.0e-10,
+            vth_tempco: -4.0e-4,
+            mobility_exp: -1.4,
+        }
+    }
+
+    /// Threshold magnitude at the given environment \[V\].
+    pub fn vth0_at(&self, env: &Environment) -> f64 {
+        self.vth0_25c + self.vth_tempco * (env.temp_k() - T_REF_K)
+    }
+
+    /// Process transconductance at the given environment \[A/V²\].
+    pub fn k_prime_at(&self, env: &Environment) -> f64 {
+        self.k_prime_25c * (env.temp_k() / T_REF_K).powf(self.mobility_exp)
+    }
+
+    /// Builds [`MosParams`] for a device of the given `w_over_l` ratio at
+    /// nominal channel length, in environment `env`.
+    ///
+    /// `delta_vth` starts at zero; Monte Carlo / aging layers add to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w_over_l` is not positive and finite.
+    pub fn sized(&self, w_over_l: f64, env: &Environment) -> MosParams {
+        self.sized_with_length(w_over_l, L_NOMINAL, env)
+    }
+
+    /// Like [`DeviceCard::sized`] but with an explicit channel length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w_over_l` or `length` is not positive and finite.
+    pub fn sized_with_length(&self, w_over_l: f64, length: f64, env: &Environment) -> MosParams {
+        assert!(
+            w_over_l > 0.0 && w_over_l.is_finite(),
+            "W/L must be positive, got {w_over_l}"
+        );
+        assert!(
+            length > 0.0 && length.is_finite(),
+            "channel length must be positive, got {length}"
+        );
+        let width = w_over_l * length;
+        let gate_cap = self.cox_per_area * width * length;
+        let junction_cap = self.cj_per_width * width;
+        MosParams {
+            polarity: self.polarity,
+            vth0: self.vth0_at(env),
+            beta: self.k_prime_at(env) * w_over_l,
+            n: self.n,
+            vt: env.thermal_voltage(),
+            lambda: self.lambda,
+            theta: self.theta,
+            gamma: self.gamma,
+            phi: self.phi,
+            // Half the gate capacitance to each of source and drain, the
+            // standard Meyer-style lumping for a digital-switching device.
+            cgs: 0.5 * gate_cap,
+            cgd: 0.5 * gate_cap,
+            cdb: junction_cap,
+            csb: junction_cap,
+            delta_vth: 0.0,
+        }
+    }
+
+    /// Active gate area of a device with this card's nominal length \[m²\].
+    /// Mismatch and trap-count statistics both scale with this.
+    pub fn gate_area(&self, w_over_l: f64) -> f64 {
+        w_over_l * L_NOMINAL * L_NOMINAL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_environment() {
+        let env = Environment::nominal();
+        assert_eq!(env.temp_c, 25.0);
+        assert_eq!(env.vdd, 1.0);
+        assert!((env.thermal_voltage() - 0.025693).abs() < 1e-5);
+    }
+
+    #[test]
+    fn environment_builders() {
+        let env = Environment::nominal().with_vdd_factor(1.1).with_temp_c(125.0);
+        assert!((env.vdd - 1.1).abs() < 1e-12);
+        assert_eq!(env.temp_c, 125.0);
+        assert!((env.temp_k() - 398.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vth_drops_with_temperature() {
+        let card = DeviceCard::nmos_hp();
+        let cold = card.vth0_at(&Environment::nominal());
+        let hot = card.vth0_at(&Environment::nominal().with_temp_c(125.0));
+        assert!(hot < cold);
+        assert!((cold - hot - 0.05).abs() < 1e-9); // 100 K × 0.5 mV/K
+    }
+
+    #[test]
+    fn mobility_drops_with_temperature() {
+        let card = DeviceCard::nmos_hp();
+        let cold = card.k_prime_at(&Environment::nominal());
+        let hot = card.k_prime_at(&Environment::nominal().with_temp_c(125.0));
+        assert!(hot < cold);
+        let ratio = hot / cold;
+        let expect = (398.15f64 / 298.15).powf(-1.5);
+        assert!((ratio - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sized_device_scales_beta_and_caps() {
+        let env = Environment::nominal();
+        let card = DeviceCard::nmos_hp();
+        let small = card.sized(5.0, &env);
+        let large = card.sized(10.0, &env);
+        assert!((large.beta / small.beta - 2.0).abs() < 1e-9);
+        assert!((large.cgs / small.cgs - 2.0).abs() < 1e-9);
+        assert!((large.cdb / small.cdb - 2.0).abs() < 1e-9);
+        assert_eq!(small.delta_vth, 0.0);
+    }
+
+    #[test]
+    fn capacitances_are_femtofarad_scale() {
+        // W/L = 17.8 at L = 45 nm → W = 0.8 µm; parasitics should land in
+        // the 0.01–2 fF range, comparable to the paper's 1 fF node caps.
+        let p = DeviceCard::nmos_hp().sized(17.8, &Environment::nominal());
+        for c in [p.cgs, p.cgd, p.cdb, p.csb] {
+            assert!(c > 1e-17 && c < 2e-15, "cap out of range: {c:e}");
+        }
+    }
+
+    #[test]
+    fn drive_current_is_realistic() {
+        // A W/L = 17.8 HP NMOS at Vgs = Vds = 1 V should deliver on the
+        // order of a milliamp — that is what slews fF nodes in picoseconds.
+        let env = Environment::nominal();
+        let p = DeviceCard::nmos_hp().sized(17.8, &env);
+        let id = p.ids(env.vdd, env.vdd, 0.0, 0.0);
+        assert!(id > 1e-4 && id < 1e-2, "Id = {id:e}");
+    }
+
+    #[test]
+    fn pmos_weaker_than_nmos_at_same_size() {
+        let env = Environment::nominal();
+        let n = DeviceCard::nmos_hp().sized(5.0, &env);
+        let p = DeviceCard::pmos_hp().sized(5.0, &env);
+        let idn = n.ids(1.0, 1.0, 0.0, 0.0);
+        let idp = p.ids(0.0, 0.0, 1.0, 1.0).abs();
+        assert!(idp < idn, "PMOS {idp:e} should be weaker than NMOS {idn:e}");
+        assert!(idp > 0.2 * idn, "but not absurdly weaker");
+    }
+
+    #[test]
+    fn hot_device_is_slower_despite_lower_vth() {
+        // Above ~0.7 V gate drive the mobility loss dominates the Vth gain
+        // (the well-known ZTC point is below that), so drive current falls
+        // with temperature — this is what makes sensing delay grow in
+        // Table IV.
+        let card = DeviceCard::nmos_hp();
+        let cold = card.sized(10.0, &Environment::nominal());
+        let hot = card.sized(10.0, &Environment::nominal().with_temp_c(125.0));
+        let id_cold = cold.ids(1.0, 1.0, 0.0, 0.0);
+        let id_hot = hot.ids(1.0, 1.0, 0.0, 0.0);
+        assert!(id_hot < id_cold, "hot {id_hot:e} vs cold {id_cold:e}");
+    }
+
+    #[test]
+    fn gate_area_matches_geometry() {
+        let card = DeviceCard::nmos_hp();
+        let area = card.gate_area(10.0);
+        assert!((area - 10.0 * 45e-9 * 45e-9).abs() < 1e-24);
+    }
+
+    #[test]
+    #[should_panic(expected = "W/L must be positive")]
+    fn rejects_nonpositive_ratio() {
+        DeviceCard::nmos_hp().sized(0.0, &Environment::nominal());
+    }
+}

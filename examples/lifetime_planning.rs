@@ -1,0 +1,57 @@
+//! Lifetime planning: instead of guardbanding for the worst case, compute
+//! how long each scheme actually survives a fixed offset budget — the
+//! paper's "mitigation schemes can even extend the lifetime" argument.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example lifetime_planning [samples]
+//! ```
+
+use issa::core::lifetime::{time_to_spec_budget, Lifetime};
+use issa::core::montecarlo::{AgingMode, McConfig};
+use issa::prelude::*;
+
+fn main() -> Result<(), SaError> {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    let env = Environment::nominal().with_temp_c(125.0);
+    println!("offset-budget lifetime at the hot corner (125 C, workload 80r0), {samples} samples\n");
+
+    let cfg = |kind| McConfig {
+        aging_mode: AgingMode::Expected,
+        probe: ProbeOptions::fast(),
+        ..McConfig::smoke(
+            kind,
+            Workload::new(0.8, ReadSequence::AllZeros),
+            env,
+            0.0,
+            samples,
+        )
+    };
+
+    println!("{:>12} {:>16} {:>16}", "budget [mV]", "NSSA lifetime", "ISSA lifetime");
+    for budget_mv in [120.0, 140.0, 160.0, 180.0] {
+        let mut row = format!("{budget_mv:>12.0}");
+        for kind in [SaKind::Nssa, SaKind::Issa] {
+            let lt = time_to_spec_budget(&cfg(kind), budget_mv * 1e-3, 1e1, 1e10, 12)
+                .expect("search runs");
+            let cell = match lt {
+                Lifetime::DeadOnArrival => "dead on arrival".to_string(),
+                Lifetime::ExceedsHorizon => "> 1e10 s".to_string(),
+                Lifetime::CrossesAt(t) => format!("{t:9.1e} s"),
+            };
+            row.push_str(&format!(" {cell:>16}"));
+        }
+        println!("{row}");
+    }
+
+    println!("\nreading: at every budget the ISSA survives longer (often by orders of");
+    println!("magnitude) because its spec grows only with the balanced sigma, not with");
+    println!("the workload-driven mean shift. A guardbanded design would instead have");
+    println!("to provision the worst budget up front, paying bitline develop time on");
+    println!("every read from day one.");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Beyond the paper's three read mixes: sweep the zero-fraction of a
+//! random read stream from 0 to 1 and watch the NSSA's mean offset shift
+//! trace out the full workload-dependence curve — while the ISSA stays
+//! pinned at zero for every mix. Also probes the correlated-burst
+//! workloads real applications produce.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example workload_explorer [samples]
+//! ```
+
+use issa::core::montecarlo::{run_mc, AgingMode, McConfig};
+use issa::prelude::*;
+
+fn corner(kind: SaKind, seq: ReadSequence, samples: usize) -> Result<f64, SaError> {
+    let cfg = McConfig {
+        aging_mode: AgingMode::Expected, // smooth curve, paired seeds
+        probe: ProbeOptions::fast(),
+        delay_samples: 0,
+        ..McConfig::smoke(
+            kind,
+            Workload::new(0.8, seq),
+            Environment::nominal(),
+            1e8,
+            samples,
+        )
+    };
+    Ok(run_mc(&cfg)?.mu)
+}
+
+fn main() -> Result<(), SaError> {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+
+    println!("mean offset shift vs workload zero-fraction (t = 1e8 s, 25 C, {samples} samples)\n");
+    println!("{:>8} {:>14} {:>14}", "p(zero)", "NSSA mu [mV]", "ISSA mu [mV]");
+    for i in 0..=6 {
+        let p_zero = i as f64 / 6.0;
+        let seq = ReadSequence::Random { p_zero, seed: 99 };
+        let nssa = corner(SaKind::Nssa, seq, samples)?;
+        let issa = corner(SaKind::Issa, seq, samples)?;
+        println!("{p_zero:>8.2} {:>14.2} {:>14.2}", nssa * 1e3, issa * 1e3);
+    }
+
+    println!("\ncorrelated bursts (run of equal values), same corner:\n");
+    println!("{:>12} {:>14} {:>14}", "burst run", "NSSA mu [mV]", "ISSA mu [mV]");
+    for run in [1u64, 16, 127, 128, 129, 4096] {
+        let seq = ReadSequence::Bursty { run };
+        let nssa = corner(SaKind::Nssa, seq, samples)?;
+        let issa = corner(SaKind::Issa, seq, samples)?;
+        println!("{run:>12} {:>14.2} {:>14.2}", nssa * 1e3, issa * 1e3);
+    }
+
+    println!("\nreading: the NSSA's shift is monotone in the mix (its sign IS the");
+    println!("dominant read value); the ISSA cancels it for every mix and for every");
+    println!("burst length except run = 128 — the pathological phase-lock with the");
+    println!("8-bit counter's 128-read switch period (see ablate_switch_period).");
+    Ok(())
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Fills the TABLE3/TABLE4/FIG7 placeholders in EXPERIMENTS.md from results/."""
+import re, sys
+
+def grab(path, start, end=None):
+    txt = open(path).read()
+    lines = txt.splitlines()
+    return lines
+
+s = open('EXPERIMENTS.md').read()
+
+def code_block(path, first, last):
+    lines = open(path).read().splitlines()
+    return "```\n" + "\n".join(lines[first:last]) + "\n```"
+
+# Table III: header at line 2.. rows..
+t3 = code_block('results/table3_voltage.txt', 3, 17)
+t4 = code_block('results/table4_temperature.txt', 3, 17)
+f7_lines = open('results/fig7_delay_aging.txt').read().splitlines()
+f7 = "```\n" + "\n".join(f7_lines) + "\n```"
+
+s = s.replace("TABLE3_PLACEHOLDER", "Measured (400 samples):\n\n" + t3 + "\n\nTABLE3_NOTES")
+s = s.replace("TABLE4_PLACEHOLDER", "Measured (400 samples):\n\n" + t4 + "\n\nTABLE4_NOTES")
+s = s.replace("FIG7_PLACEHOLDER", f7 + "\n\nFIG7_NOTES")
+open('EXPERIMENTS.md','w').write(s)
+print("filled")

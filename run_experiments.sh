@@ -1,0 +1,17 @@
+#!/bin/bash
+# Regenerates every table/figure at paper-faithful sample counts.
+set -u
+cd /root/repo
+BIN=./target/release
+for exp in table1_truth overhead ablate_switch_period ablate_integrator; do
+  echo "=== $exp ==="; $BIN/$exp 2>&1 | tee results/$exp.txt
+done
+for exp in table2_workload table3_voltage table4_temperature; do
+  echo "=== $exp ==="; $BIN/$exp 2>&1 | tee results/$exp.txt
+done
+$BIN/fig7_delay_aging 2>&1 | tee results/fig7_delay_aging.txt
+$BIN/ablate_idle_stress 2>&1 | tee results/ablate_idle_stress.txt
+$BIN/ablate_swing_policy 2>&1 | tee results/ablate_swing_policy.txt
+$BIN/hci_extension 2>&1 | tee results/hci_extension.txt
+$BIN/lifetime_extension 2>&1 | tee results/lifetime_extension.txt
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,52 @@
+//! # issa — Input-Switching Sense Amplifier
+//!
+//! A from-scratch Rust reproduction of *“Mitigation of Sense Amplifier
+//! Degradation Using Input Switching”* (Kraak et al., DATE 2017): a
+//! run-time design-for-reliability scheme that periodically swaps a
+//! latch-type sense amplifier's inputs so that any read workload becomes
+//! balanced at the latch's internal nodes, cancelling the workload-driven
+//! component of BTI aging.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`issa_core`] | the NSSA/ISSA netlists, workloads, stress mapping, Monte Carlo offset/delay analysis, Eq. 3 spec solver, overhead model |
+//! | [`issa_circuit`] | dense-MNA nonlinear transient circuit simulator |
+//! | [`issa_ptm45`] | 45 nm-class MOSFET device cards with T/V scaling |
+//! | [`issa_bti`] | atomistic capture/emission-trap BTI aging model |
+//! | [`issa_digital`] | gate-level control logic (counter + Table I NANDs) |
+//! | [`issa_memarray`] | behavioural SRAM column (bitlines, 6T cells) |
+//! | [`issa_num`] | linear algebra, special functions, statistics, RNG |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use issa::prelude::*;
+//!
+//! # fn main() -> Result<(), issa::SaError> {
+//! // A fresh standard sense amplifier at 25 °C / 1.0 V:
+//! let sa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+//! assert_eq!(sa.sense(50e-3, &ProbeOptions::default())?, SenseOutcome::One);
+//!
+//! // Its offset-voltage specification for a 15 mV Monte Carlo sigma at
+//! // the paper's 1e-9 failure-rate target:
+//! let spec = offset_spec(0.0, 15e-3, 1e-9);
+//! assert!((spec / 15e-3 - 6.1).abs() < 0.02); // the paper's "6.1 sigma"
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+pub use issa_bti as bti;
+pub use issa_circuit as circuit;
+pub use issa_core as core;
+pub use issa_digital as digital;
+pub use issa_memarray as memarray;
+pub use issa_num as num;
+pub use issa_ptm45 as ptm45;
+
+pub use issa_core::prelude;
+pub use issa_core::SaError;

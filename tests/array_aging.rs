@@ -1,0 +1,115 @@
+//! System-level integration: an 8-column SRAM array whose per-column SA
+//! offsets come from aged circuit-level Monte Carlo instances — read
+//! failures appear for the standard array at the design swing, while the
+//! input-switching array keeps reading correctly.
+
+use issa::core::montecarlo::{build_sample, McConfig};
+use issa::memarray::{ArrayScheme, ColumnParams, SramArray};
+use issa::prelude::*;
+
+const COLUMNS: usize = 8;
+
+/// Measures per-column offsets from the first `COLUMNS` aged Monte Carlo
+/// samples of the given scheme at the hot unbalanced corner.
+fn aged_offsets(kind: SaKind) -> Vec<f64> {
+    let cfg = McConfig::smoke(
+        kind,
+        Workload::new(0.8, ReadSequence::AllZeros),
+        Environment::nominal().with_temp_c(125.0),
+        1e8,
+        COLUMNS,
+    );
+    (0..COLUMNS)
+        .map(|i| {
+            build_sample(&cfg, i)
+                .offset_voltage(&cfg.probe)
+                .expect("offset measurable")
+        })
+        .collect()
+}
+
+fn build_array(scheme: ArrayScheme, offsets: &[f64]) -> SramArray {
+    let mut a = SramArray::new(32, COLUMNS, ColumnParams::default_45nm(), scheme);
+    a.set_offsets(offsets);
+    // All-zero data: the worst case for r0-aged (toward-one-biased) SAs.
+    for row in 0..32 {
+        a.write(row, &vec![false; COLUMNS]);
+    }
+    a
+}
+
+#[test]
+fn aged_nssa_array_fails_at_design_swing_issa_survives() {
+    let nssa_offsets = aged_offsets(SaKind::Nssa);
+    let issa_offsets = aged_offsets(SaKind::Issa);
+
+    // Design-point swing: the FRESH spec (~90 mV) — what a design that
+    // ignored workload-dependent aging would have provisioned.
+    let design_swing = 90e-3;
+    let params = ColumnParams::default_45nm();
+    let t_develop = issa::memarray::Column::new(1, params).develop_time_for_swing(design_swing);
+
+    let mut nssa_failures = 0usize;
+    let mut nssa = build_array(ArrayScheme::Standard, &nssa_offsets);
+    let mut issa = build_array(
+        ArrayScheme::InputSwitching { counter_bits: 4 },
+        &issa_offsets,
+    );
+    let mut issa_failures = 0usize;
+    for i in 0..64 {
+        let row = i % 32;
+        nssa_failures += nssa.read(row, 1.0, t_develop).failed_columns.len();
+        issa_failures += issa.read(row, 1.0, t_develop).failed_columns.len();
+    }
+
+    // At the hot corner the NSSA offsets (mean ~ +70 mV) are close to or
+    // above the 90 mV swing for some columns; the ISSA offsets stay
+    // centered well inside it.
+    assert!(
+        nssa_failures > 0,
+        "expected aged-NSSA read failures at the fresh design swing \
+         (offsets: {nssa_offsets:?})"
+    );
+    assert_eq!(
+        issa_failures, 0,
+        "ISSA array must survive the same swing (offsets: {issa_offsets:?})"
+    );
+}
+
+#[test]
+fn provisioning_the_aged_spec_rescues_the_nssa_array() {
+    let offsets = aged_offsets(SaKind::Nssa);
+    let worst = offsets.iter().cloned().fold(0.0f64, |m, o| m.max(o.abs()));
+    let mut a = build_array(ArrayScheme::Standard, &offsets);
+    let params = ColumnParams::default_45nm();
+    // Provision swing above the worst measured offset: reads succeed, at
+    // the cost of a longer develop time (the paper's "slower memory").
+    let t_develop =
+        issa::memarray::Column::new(1, params).develop_time_for_swing(worst + 30e-3);
+    for row in 0..32 {
+        assert!(a.read(row, 1.0, t_develop).failed_columns.is_empty());
+    }
+}
+
+#[test]
+fn shared_control_keeps_all_columns_in_lockstep() {
+    let mut a = SramArray::new(
+        8,
+        COLUMNS,
+        ColumnParams::default_45nm(),
+        ArrayScheme::InputSwitching { counter_bits: 3 },
+    );
+    for row in 0..8 {
+        a.write(row, &(0..COLUMNS).map(|c| (c + row) % 2 == 0).collect::<Vec<_>>());
+    }
+    // Push through several switch periods: the internal mix of every
+    // column converges to 0.5 together.
+    for i in 0..256 {
+        let r = a.read(i % 8, 1.0, 40e-12);
+        assert!(r.failed_columns.is_empty());
+    }
+    for (c, s) in a.stats().iter().enumerate() {
+        let mix = s.internal_zero_fraction();
+        assert!((mix - 0.5).abs() < 0.02, "column {c} internal mix {mix}");
+    }
+}

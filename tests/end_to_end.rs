@@ -1,0 +1,134 @@
+//! End-to-end integration: SRAM column → sense amplifier → control logic,
+//! crossing every workspace crate.
+
+use issa::digital::IssaControl;
+use issa::memarray::{Column, ColumnParams};
+use issa::prelude::*;
+
+fn opts() -> ProbeOptions {
+    ProbeOptions::fast()
+}
+
+/// Reads every row of a column through a (possibly aged) ISSA with its
+/// control logic running, returning the number of correct reads.
+fn read_all(column: &Column, sa: &mut SaInstance, control: &mut IssaControl, swing: f64) -> usize {
+    let t_develop = column.develop_time_for_swing(swing);
+    let mut correct = 0;
+    for row in 0..column.rows() {
+        let v = column.develop(row, sa.env.vdd, t_develop);
+        sa.switch_state = control.switch();
+        let raw = sa.sense(v.differential(), &opts()).expect("read resolves");
+        let value = control.correct_output(raw == SenseOutcome::One);
+        control.on_read();
+        correct += (value == column.stored(row)) as usize;
+    }
+    correct
+}
+
+#[test]
+fn fresh_issa_reads_a_whole_column_correctly() {
+    let mut column = Column::new(48, ColumnParams::default_45nm());
+    column.load((0..48).map(|i| (i * 7) % 5 < 2));
+    let mut sa = SaInstance::fresh(SaKind::Issa, Environment::nominal());
+    let mut control = IssaControl::new(4);
+    let correct = read_all(&column, &mut sa, &mut control, 0.1);
+    assert_eq!(correct, 48);
+}
+
+#[test]
+fn reads_remain_correct_across_a_switch_boundary() {
+    // A 3-bit counter swaps inputs every 4 reads: a 32-row sweep crosses
+    // the boundary 8 times, exercising the value-correction path hard.
+    let mut column = Column::new(32, ColumnParams::default_45nm());
+    column.load((0..32).map(|i| i % 2 == 0));
+    let mut sa = SaInstance::fresh(SaKind::Issa, Environment::nominal());
+    let mut control = IssaControl::new(3);
+    let correct = read_all(&column, &mut sa, &mut control, 0.1);
+    assert_eq!(correct, 32);
+}
+
+#[test]
+fn aged_sa_fails_at_small_swing_but_recovers_with_margin() {
+    // An SA aged well past its offset mis-reads marginal inputs — and the
+    // fix is exactly what the paper says: allocate more bitline swing.
+    let env = Environment::nominal();
+    let mut sa = SaInstance::fresh(SaKind::Nssa, env);
+    sa.set_delta_vth(SaDevice::Mdown, 60e-3);
+    sa.set_delta_vth(SaDevice::MupBar, 60e-3);
+
+    let mut column = Column::new(8, ColumnParams::default_45nm());
+    column.load([false; 8]);
+
+    // 30 mV swing < ~55 mV offset: reads of 0 resolve the wrong way.
+    let t_small = column.develop_time_for_swing(30e-3);
+    let v = column.develop(0, env.vdd, t_small);
+    let wrong = sa.sense(v.differential(), &opts()).expect("resolves");
+    assert_eq!(wrong, SenseOutcome::One, "30 mV swing must fall inside the offset");
+
+    // 150 mV swing clears the shifted offset.
+    let t_big = column.develop_time_for_swing(150e-3);
+    let v = column.develop(0, env.vdd, t_big);
+    let right = sa.sense(v.differential(), &opts()).expect("resolves");
+    assert_eq!(right, SenseOutcome::Zero);
+}
+
+#[test]
+fn environment_sweep_keeps_read_path_functional() {
+    for temp in [25.0, 75.0, 125.0] {
+        for vf in [0.9, 1.0, 1.1] {
+            let env = Environment::nominal().with_temp_c(temp).with_vdd_factor(vf);
+            let sa = SaInstance::fresh(SaKind::Nssa, env);
+            let vin = 0.1 * env.vdd;
+            assert_eq!(
+                sa.sense(vin, &opts()).unwrap(),
+                SenseOutcome::One,
+                "T={temp} vdd={vf}"
+            );
+            assert_eq!(
+                sa.sense(-vin, &opts()).unwrap(),
+                SenseOutcome::Zero,
+                "T={temp} vdd={vf}"
+            );
+            let d = sa.sensing_delay_mean(&opts()).unwrap();
+            assert!(d > 1e-12 && d < 200e-12, "delay {d:e} at T={temp} vdd={vf}");
+        }
+    }
+}
+
+#[test]
+fn offset_measurement_is_consistent_with_sensing() {
+    // If the measured offset is V, then inputs comfortably beyond ±V must
+    // resolve to the corresponding side.
+    let env = Environment::nominal();
+    let mut sa = SaInstance::fresh(SaKind::Nssa, env);
+    sa.set_delta_vth(SaDevice::Mdown, 25e-3);
+    let offset = sa.offset_voltage(&opts()).unwrap();
+    assert!(offset > 0.0);
+    let margin = 30e-3;
+    assert_eq!(
+        sa.sense(-offset - margin, &opts()).unwrap(),
+        SenseOutcome::Zero
+    );
+    assert_eq!(
+        sa.sense(-offset + margin, &opts()).unwrap(),
+        SenseOutcome::One,
+        "input inside the offset must mis-resolve toward the bias"
+    );
+}
+
+#[test]
+fn delay_waveforms_expose_the_full_transient() {
+    let sa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
+    let tr = sa.delay_waveforms(true, &opts()).unwrap();
+    for sig in ["s", "sbar", "out", "outbar", "saen", "bl", "blbar"] {
+        assert!(tr.signal(sig).is_some(), "{sig} must be recorded");
+    }
+    // The read-1 transient ends with out high and outbar low.
+    assert!(tr.final_value("out").unwrap() > 0.9);
+    assert!(tr.final_value("outbar").unwrap() < 0.1);
+    // And the bitline differential was the probe swing.
+    let t_end = *tr.time().last().unwrap();
+    let bl = tr.value_at("bl", t_end).unwrap();
+    let blbar = tr.value_at("blbar", t_end).unwrap();
+    assert!((bl - blbar - 0.1).abs() < 1e-6);
+}
