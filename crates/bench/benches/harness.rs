@@ -10,7 +10,7 @@ use issa_circuit::tran::{transient, Integrator, TranParams};
 use issa_circuit::waveform::Waveform;
 use issa_core::montecarlo::{build_sample, run_mc, McConfig};
 use issa_core::netlist::{SaInstance, SaKind};
-use issa_core::probe::ProbeOptions;
+use issa_core::probe::{OffsetSearch, ProbeOptions};
 use issa_core::spec::offset_spec;
 use issa_core::workload::{ReadSequence, Workload};
 use issa_num::matrix::DMatrix;
@@ -49,7 +49,11 @@ fn bench_transient_rc(c: &mut Criterion) {
     let mut n = Netlist::new();
     let vin = n.node("in");
     let out = n.node("out");
-    n.vsource(vin, Netlist::GROUND, Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 1e-9, 3e-9));
+    n.vsource(
+        vin,
+        Netlist::GROUND,
+        Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 1e-9, 3e-9),
+    );
     n.resistor(vin, out, 1e3);
     n.capacitor(out, Netlist::GROUND, 1e-12);
     for (name, integ) in [
@@ -83,6 +87,64 @@ fn bench_offset_search(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("offset_binary_search", |bench| {
         bench.iter(|| black_box(&sa).offset_voltage(&opts).unwrap())
+    });
+    group.finish();
+}
+
+/// Offset probing in the modes the hot-path work distinguishes: the
+/// reference profile (fresh contexts, no warm start, full windows), the
+/// fast profile cold (context reuse + early exit), and the fast profile
+/// warm-started across a batch of aged samples — the Monte Carlo inner
+/// loop exactly as `run_mc` drives it.
+fn bench_offset_probe(c: &mut Criterion) {
+    let cfg = smoke_cfg(SaKind::Nssa, ReadSequence::AllZeros, 1e8, 4);
+    let samples: Vec<SaInstance> = (0..4).map(|i| build_sample(&cfg, i)).collect();
+    let fast = ProbeOptions::fast();
+    let reference = ProbeOptions::fast().reference();
+
+    let mut group = c.benchmark_group("offset_probe");
+    group.sample_size(10);
+    group.bench_function("reference_mode", |bench| {
+        bench.iter(|| {
+            let mut search = OffsetSearch::default();
+            for sa in &samples {
+                black_box(sa.offset_voltage_with(&reference, &mut search).unwrap());
+            }
+        })
+    });
+    group.bench_function("fast_cold", |bench| {
+        bench.iter(|| {
+            for sa in &samples {
+                black_box(sa.offset_voltage(&fast).unwrap());
+            }
+        })
+    });
+    group.bench_function("fast_warm_batch", |bench| {
+        bench.iter(|| {
+            let mut search = OffsetSearch::default();
+            for sa in &samples {
+                black_box(sa.offset_voltage_with(&fast, &mut search).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+/// A small but complete Monte Carlo corner (offset + delay phases) in
+/// both probe modes — the end-to-end quantity the hot-path work targets.
+fn bench_mc_small(c: &mut Criterion) {
+    let fast = smoke_cfg(SaKind::Nssa, ReadSequence::AllZeros, 1e8, 4);
+    let reference = McConfig {
+        probe: fast.probe.reference(),
+        ..fast.clone()
+    };
+    let mut group = c.benchmark_group("mc_small");
+    group.sample_size(10);
+    group.bench_function("fast_mode", |bench| {
+        bench.iter(|| run_mc(black_box(&fast)).unwrap())
+    });
+    group.bench_function("reference_mode", |bench| {
+        bench.iter(|| run_mc(black_box(&reference)).unwrap())
     });
     group.finish();
 }
@@ -160,6 +222,8 @@ criterion_group!(
     bench_transient_rc,
     bench_sa_sense,
     bench_offset_search,
+    bench_offset_probe,
+    bench_mc_small,
     bench_bti,
     bench_build_sample,
     bench_spec_solver,

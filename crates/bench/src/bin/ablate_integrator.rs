@@ -13,7 +13,10 @@ use issa_ptm45::Environment;
 fn main() {
     let sa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
     println!("sensing delay vs probe time step (fresh NSSA, read 1)\n");
-    println!("{:>10} {:>14} {:>16}", "dt [ps]", "delay [ps]", "offset [mV]");
+    println!(
+        "{:>10} {:>14} {:>16}",
+        "dt [ps]", "delay [ps]", "offset [mV]"
+    );
     let mut reference = None;
     for dt_ps in [1.0f64, 0.5, 0.25, 0.1, 0.05] {
         let opts = ProbeOptions {

@@ -46,7 +46,14 @@ fn main() {
     println!("ablation: ISSA counter width N (swap period 2^(N-1) reads)\n");
     println!(
         "{:>3} {:>8} {:>12} {:>12} {:>11} {:>13} {:>13} {:>13}",
-        "N", "period", "imbal(r0)", "imbal(alt)", "duty gap", "E[dVth] diff", "ctl devices", "toggles/read"
+        "N",
+        "period",
+        "imbal(r0)",
+        "imbal(alt)",
+        "duty gap",
+        "E[dVth] diff",
+        "ctl devices",
+        "toggles/read"
     );
 
     let model = StressModel::default();

@@ -1,0 +1,159 @@
+//! Hot-path before/after benchmark over the Table II reproduction.
+//!
+//! Two comparisons, one artifact (`results/BENCH_hotpath.json`):
+//!
+//! 1. **reference vs fast probe mode** (in-process): fast mode enables the
+//!    warm-started offset search and early-exit transients; reference mode
+//!    disables both. Every corner's physical results must be bit-identical
+//!    — the probe-layer optimizations are exact by construction.
+//! 2. **seed baseline vs fast** (cross-build): the pre-optimization wall
+//!    time of the same experiment, measured by `scripts/bench_hotpath.sh`
+//!    on a checkout of the seed commit and passed in via
+//!    `--baseline-wall-s`. This captures the work no runtime mode can
+//!    re-enact — the finite-difference device Jacobian (9 `ids`
+//!    evaluations per device per Newton iteration), per-probe netlist
+//!    rebuilds, full re-stamping each iteration, and allocating LU.
+//!
+//! ```sh
+//! cargo run --release -p issa-bench --bin hotpath_bench [--samples N] [--baseline-wall-s S]
+//! # or, to measure the seed baseline too:
+//! scripts/bench_hotpath.sh [N]
+//! ```
+
+use issa_bench::{paper, BenchArgs};
+use issa_core::montecarlo::{run_mc, McConfig, McPerf, McResult};
+
+fn run_corners(args: &BenchArgs, reference: bool) -> (Vec<McResult>, McPerf) {
+    let mut results = Vec::new();
+    let mut total = McPerf::default();
+    for spec in paper::table2() {
+        let mut cfg: McConfig = args.config(
+            spec.kind,
+            issa_core::workload::Workload::new(spec.activation, spec.sequence),
+            spec.env,
+            spec.time,
+        );
+        if reference {
+            cfg.probe = cfg.probe.reference();
+        }
+        let r = run_mc(&cfg).unwrap_or_else(|e| panic!("corner '{}' failed: {e}", spec.label));
+        total.offset_wall_s += r.perf.offset_wall_s;
+        total.delay_wall_s += r.perf.delay_wall_s;
+        total.probes += r.perf.probes;
+        total.circuit = total.circuit.saturating_add(&r.perf.circuit);
+        results.push(r);
+    }
+    (results, total)
+}
+
+fn json_mode(p: &McPerf) -> String {
+    format!(
+        concat!(
+            "{{\"wall_s\": {:.3}, \"offset_wall_s\": {:.3}, \"delay_wall_s\": {:.3}, ",
+            "\"probes\": {}, \"transients\": {}, \"timesteps\": {}, ",
+            "\"newton_iterations\": {}, \"lu_factorizations\": {}}}"
+        ),
+        p.offset_wall_s + p.delay_wall_s,
+        p.offset_wall_s,
+        p.delay_wall_s,
+        p.probes,
+        p.circuit.transients,
+        p.circuit.timesteps,
+        p.circuit.newton_iterations,
+        p.circuit.lu_factorizations,
+    )
+}
+
+fn main() {
+    let mut args = BenchArgs {
+        samples: 40,
+        seed: 0x1554_2017,
+        paper_probes: false,
+    };
+    let mut baseline_wall_s: Option<f64> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| {
+            it.next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("error: {name} needs a number");
+                    eprintln!(
+                        "usage: hotpath_bench [--samples N] [--seed S] [--baseline-wall-s S]"
+                    );
+                    std::process::exit(2)
+                })
+        };
+        match arg.as_str() {
+            "--samples" => args.samples = num("--samples") as usize,
+            "--seed" => args.seed = num("--seed") as u64,
+            "--baseline-wall-s" => baseline_wall_s = Some(num("--baseline-wall-s")),
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                eprintln!("usage: hotpath_bench [--samples N] [--seed S] [--baseline-wall-s S]");
+                std::process::exit(2)
+            }
+        }
+    }
+    println!(
+        "hot-path benchmark: Table II reproduction, {} samples/corner, reference vs fast probes\n",
+        args.samples
+    );
+
+    let (ref_results, ref_perf) = run_corners(&args, true);
+    println!("reference  {}", ref_perf.report());
+    let (fast_results, fast_perf) = run_corners(&args, false);
+    println!("fast       {}", fast_perf.report());
+
+    // McResult equality compares the physical outputs (offsets, delays,
+    // statistics) and ignores perf — exactly the bit-identity contract.
+    let identical = ref_results == fast_results;
+    let ref_wall = ref_perf.offset_wall_s + ref_perf.delay_wall_s;
+    let fast_wall = fast_perf.offset_wall_s + fast_perf.delay_wall_s;
+    let mode_speedup = ref_wall / fast_wall;
+    println!(
+        "\nbit-identical: {identical}   mode speedup: {mode_speedup:.2}x ({ref_wall:.2}s -> {fast_wall:.2}s)"
+    );
+    let (seed_wall_json, seed_speedup_json) = match baseline_wall_s {
+        Some(seed_wall) => {
+            let speedup = seed_wall / fast_wall;
+            println!("seed baseline: {seed_wall:.2}s -> {fast_wall:.2}s = {speedup:.2}x");
+            (format!("{seed_wall:.3}"), format!("{speedup:.3}"))
+        }
+        None => ("null".into(), "null".into()),
+    };
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"table2_reproduction\",\n",
+            "  \"corners\": {},\n",
+            "  \"samples_per_corner\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"bit_identical_reference_vs_fast\": {},\n",
+            "  \"mode_speedup\": {:.3},\n",
+            "  \"before_seed_wall_s\": {},\n",
+            "  \"before_seed_speedup\": {},\n",
+            "  \"before_seed_note\": \"wall time of the seed-commit build of table2_workload at the same sample count, measured by scripts/bench_hotpath.sh; the seed has no perf counters\",\n",
+            "  \"reference_mode\": {},\n",
+            "  \"after\": {}\n",
+            "}}\n"
+        ),
+        ref_results.len(),
+        args.samples,
+        args.seed,
+        identical,
+        mode_speedup,
+        seed_wall_json,
+        seed_speedup_json,
+        json_mode(&ref_perf),
+        json_mode(&fast_perf),
+    );
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("BENCH_hotpath.json");
+    std::fs::write(&path, json).expect("write BENCH_hotpath.json");
+    println!("wrote {}", path.display());
+
+    assert!(identical, "fast-mode results diverged from reference mode");
+}

@@ -24,8 +24,14 @@ fn main() {
     };
 
     println!("lifetime until the offset spec exceeds a fixed budget");
-    println!("corner: 125 C / 1.0 V, workload 80r0, {} samples, expected-mode aging\n", args.samples);
-    println!("{:>12} {:>16} {:>16} {:>12}", "budget [mV]", "NSSA", "ISSA", "extension");
+    println!(
+        "corner: 125 C / 1.0 V, workload 80r0, {} samples, expected-mode aging\n",
+        args.samples
+    );
+    println!(
+        "{:>12} {:>16} {:>16} {:>12}",
+        "budget [mV]", "NSSA", "ISSA", "extension"
+    );
     for budget_mv in [115.0f64, 130.0, 150.0, 170.0] {
         let fmt = |lt: Lifetime| match lt {
             Lifetime::DeadOnArrival => "DOA".to_string(),

@@ -41,5 +41,7 @@ fn main() {
         one.issa_width_units,
         one.issa_width_units - one.nssa_width_units
     );
-    println!("paper: \"the area overhead is very marginal\", \"the energy overhead is also negligible\"");
+    println!(
+        "paper: \"the area overhead is very marginal\", \"the energy overhead is also negligible\""
+    );
 }

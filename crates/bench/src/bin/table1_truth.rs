@@ -11,8 +11,8 @@ use issa_digital::control::{build_control_gates, IssaControl};
 fn main() {
     println!("Table I: truth table for SAenableA and SAenableB\n");
     println!(
-        "{:>6} {:>12} | {:>12} {:>12} | {:>10} {:>10} | {}",
-        "Switch", "SAenableBar", "SAenableA(P)", "SAenableB(P)", "behav A/B", "gates A/B", "agree"
+        "{:>6} {:>12} | {:>12} {:>12} | {:>10} {:>10} | agree",
+        "Switch", "SAenableBar", "SAenableA(P)", "SAenableB(P)", "behav A/B", "gates A/B"
     );
 
     // The paper's rows, in its order.
@@ -36,8 +36,7 @@ fn main() {
             st.get("sa_enable_a").unwrap(),
             st.get("sa_enable_b").unwrap(),
         );
-        let agree =
-            behav.sa_enable_a == pa && behav.sa_enable_b == pb && ga == pa && gb == pb;
+        let agree = behav.sa_enable_a == pa && behav.sa_enable_b == pb && ga == pa && gb == pb;
         all_agree &= agree;
         println!(
             "{:>6} {:>12} | {:>12} {:>12} | {:>10} {:>10} | {}",
@@ -53,7 +52,11 @@ fn main() {
     println!(
         "\ncombinational control: {} gates (paper: \"three extra gates\"); all rows {}",
         gates.gate_count(),
-        if all_agree { "match Table I" } else { "MISMATCH" }
+        if all_agree {
+            "match Table I"
+        } else {
+            "MISMATCH"
+        }
     );
     assert!(all_agree);
 }

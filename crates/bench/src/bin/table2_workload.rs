@@ -6,7 +6,10 @@
 //! cargo run --release -p issa-bench --bin table2_workload [--samples N] [--paper-probes]
 //! ```
 
-use issa_bench::{csv_row, paper, print_table_header, print_table_row, render_distribution_strip, write_csv, BenchArgs, CSV_HEADER};
+use issa_bench::{
+    csv_row, paper, print_table_header, print_table_row, render_distribution_strip, write_csv,
+    BenchArgs, CSV_HEADER,
+};
 
 fn main() {
     let args = BenchArgs::parse(400);
@@ -16,20 +19,42 @@ fn main() {
 
     let mut strips = Vec::new();
     let mut csv = Vec::new();
+    let mut perf = Vec::new();
     for spec in paper::table2() {
         let r = spec.run(&args);
         print_table_row(&spec, "-", &r);
         csv.push(csv_row(&spec, "-", &r));
+        perf.push((
+            format!(
+                "{} {} t={}",
+                spec.kind.name(),
+                spec.label,
+                spec.time_label()
+            ),
+            r.perf,
+        ));
         strips.push(render_distribution_strip(
-            &format!("{} {} t={}", spec.kind.name(), spec.label, spec.time_label()),
+            &format!(
+                "{} {} t={}",
+                spec.kind.name(),
+                spec.label,
+                spec.time_label()
+            ),
             &r,
             220.0,
         ));
     }
 
-    println!("\nFig. 4 view: offset distributions, mean 'x' and +/-6 sigma whiskers, axis -220..220 mV");
+    println!(
+        "\nFig. 4 view: offset distributions, mean 'x' and +/-6 sigma whiskers, axis -220..220 mV"
+    );
     for strip in strips {
         println!("{strip}");
+    }
+
+    println!("\nhot-path cost per corner:");
+    for (label, p) in &perf {
+        println!("{label:>18}  {}", p.report());
     }
 
     let path = write_csv("table2.csv", CSV_HEADER, &csv);

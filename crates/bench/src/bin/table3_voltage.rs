@@ -5,7 +5,10 @@
 //! cargo run --release -p issa-bench --bin table3_voltage [--samples N] [--paper-probes]
 //! ```
 
-use issa_bench::{csv_row, paper, print_table_header, print_table_row, render_distribution_strip, write_csv, BenchArgs, CSV_HEADER};
+use issa_bench::{
+    csv_row, paper, print_table_header, print_table_row, render_distribution_strip, write_csv,
+    BenchArgs, CSV_HEADER,
+};
 
 fn main() {
     let args = BenchArgs::parse(400);

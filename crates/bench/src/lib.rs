@@ -156,8 +156,18 @@ impl CornerSpec {
 pub fn print_table_header(extra_col: &str) {
     println!(
         "{:<6} {:>6} {:<7} {:>7} | {:>8} {:>8} {:>9} {:>9} | {:>8} {:>8} {:>9} {:>9}",
-        "scheme", "time", "wkld", extra_col, "mu(P)", "sig(P)", "spec(P)", "delay(P)", "mu", "sig",
-        "spec", "delay"
+        "scheme",
+        "time",
+        "wkld",
+        extra_col,
+        "mu(P)",
+        "sig(P)",
+        "spec(P)",
+        "delay(P)",
+        "mu",
+        "sig",
+        "spec",
+        "delay"
     );
     println!("{}", "-".repeat(116));
 }
@@ -285,6 +295,7 @@ mod tests {
             spec: 61e-3,
             mean_delay: f64::NAN,
             ks_sqrt_n: 0.5,
+            perf: Default::default(),
         };
         let strip = render_distribution_strip("test", &r, 220.0);
         // Zero marker and mean marker coincide at the center column.

@@ -36,16 +36,96 @@ pub fn table2() -> Vec<CornerSpec> {
     use ReadSequence::*;
     let env = Environment::nominal();
     vec![
-        corner("-", SaKind::Nssa, Alternating, 0.8, 0.0, env, [0.1, 14.8, 90.2, 13.6]),
-        corner("80r0r1", SaKind::Nssa, Alternating, 0.8, 1e8, env, [-0.2, 16.2, 99.0, 14.2]),
-        corner("80r0", SaKind::Nssa, AllZeros, 0.8, 1e8, env, [17.3, 15.7, 111.5, 14.3]),
-        corner("80r1", SaKind::Nssa, AllOnes, 0.8, 1e8, env, [-17.2, 15.6, 110.6, 14.0]),
-        corner("20r0r1", SaKind::Nssa, Alternating, 0.2, 1e8, env, [-0.08, 15.9, 97.2, 14.1]),
-        corner("20r0", SaKind::Nssa, AllZeros, 0.2, 1e8, env, [12.8, 15.6, 106.3, 14.2]),
-        corner("20r1", SaKind::Nssa, AllOnes, 0.2, 1e8, env, [-12.7, 15.5, 105.5, 14.0]),
-        corner("-", SaKind::Issa, Alternating, 0.8, 0.0, env, [0.1, 14.7, 89.9, 13.9]),
-        corner("80%", SaKind::Issa, AllZeros, 0.8, 1e8, env, [-0.2, 16.1, 98.3, 14.5]),
-        corner("20%", SaKind::Issa, AllZeros, 0.2, 1e8, env, [-0.09, 15.8, 96.6, 14.3]),
+        corner(
+            "-",
+            SaKind::Nssa,
+            Alternating,
+            0.8,
+            0.0,
+            env,
+            [0.1, 14.8, 90.2, 13.6],
+        ),
+        corner(
+            "80r0r1",
+            SaKind::Nssa,
+            Alternating,
+            0.8,
+            1e8,
+            env,
+            [-0.2, 16.2, 99.0, 14.2],
+        ),
+        corner(
+            "80r0",
+            SaKind::Nssa,
+            AllZeros,
+            0.8,
+            1e8,
+            env,
+            [17.3, 15.7, 111.5, 14.3],
+        ),
+        corner(
+            "80r1",
+            SaKind::Nssa,
+            AllOnes,
+            0.8,
+            1e8,
+            env,
+            [-17.2, 15.6, 110.6, 14.0],
+        ),
+        corner(
+            "20r0r1",
+            SaKind::Nssa,
+            Alternating,
+            0.2,
+            1e8,
+            env,
+            [-0.08, 15.9, 97.2, 14.1],
+        ),
+        corner(
+            "20r0",
+            SaKind::Nssa,
+            AllZeros,
+            0.2,
+            1e8,
+            env,
+            [12.8, 15.6, 106.3, 14.2],
+        ),
+        corner(
+            "20r1",
+            SaKind::Nssa,
+            AllOnes,
+            0.2,
+            1e8,
+            env,
+            [-12.7, 15.5, 105.5, 14.0],
+        ),
+        corner(
+            "-",
+            SaKind::Issa,
+            Alternating,
+            0.8,
+            0.0,
+            env,
+            [0.1, 14.7, 89.9, 13.9],
+        ),
+        corner(
+            "80%",
+            SaKind::Issa,
+            AllZeros,
+            0.8,
+            1e8,
+            env,
+            [-0.2, 16.1, 98.3, 14.5],
+        ),
+        corner(
+            "20%",
+            SaKind::Issa,
+            AllZeros,
+            0.2,
+            1e8,
+            env,
+            [-0.09, 15.8, 96.6, 14.3],
+        ),
     ]
 }
 
@@ -55,18 +135,114 @@ pub fn table3() -> Vec<CornerSpec> {
     let lo = Environment::nominal().with_vdd_factor(0.9);
     let hi = Environment::nominal().with_vdd_factor(1.1);
     vec![
-        corner("-", SaKind::Nssa, Alternating, 0.8, 0.0, lo, [0.1, 14.5, 88.6, 17.2]),
-        corner("-", SaKind::Nssa, Alternating, 0.8, 0.0, hi, [0.8, 15.0, 91.6, 11.3]),
-        corner("80r0r1", SaKind::Nssa, Alternating, 0.8, 1e8, lo, [0.1, 14.6, 89.3, 17.6]),
-        corner("80r0r1", SaKind::Nssa, Alternating, 0.8, 1e8, hi, [-0.07, 16.6, 101.5, 12.0]),
-        corner("80r0", SaKind::Nssa, AllZeros, 0.8, 1e8, lo, [10.5, 14.7, 98.5, 17.7]),
-        corner("80r0", SaKind::Nssa, AllZeros, 0.8, 1e8, hi, [27.3, 16.2, 124.4, 12.2]),
-        corner("80r1", SaKind::Nssa, AllOnes, 0.8, 1e8, lo, [-10.3, 14.7, 98.2, 17.3]),
-        corner("80r1", SaKind::Nssa, AllOnes, 0.8, 1e8, hi, [-27.0, 15.6, 120.4, 11.9]),
-        corner("-", SaKind::Issa, Alternating, 0.8, 0.0, lo, [0.1, 14.5, 88.5, 17.4]),
-        corner("-", SaKind::Issa, Alternating, 0.8, 0.0, hi, [0.08, 14.9, 91.1, 11.6]),
-        corner("80%", SaKind::Issa, AllZeros, 0.8, 1e8, lo, [0.1, 14.6, 89.0, 17.8]),
-        corner("80%", SaKind::Issa, AllZeros, 0.8, 1e8, hi, [-0.07, 16.5, 100.7, 12.3]),
+        corner(
+            "-",
+            SaKind::Nssa,
+            Alternating,
+            0.8,
+            0.0,
+            lo,
+            [0.1, 14.5, 88.6, 17.2],
+        ),
+        corner(
+            "-",
+            SaKind::Nssa,
+            Alternating,
+            0.8,
+            0.0,
+            hi,
+            [0.8, 15.0, 91.6, 11.3],
+        ),
+        corner(
+            "80r0r1",
+            SaKind::Nssa,
+            Alternating,
+            0.8,
+            1e8,
+            lo,
+            [0.1, 14.6, 89.3, 17.6],
+        ),
+        corner(
+            "80r0r1",
+            SaKind::Nssa,
+            Alternating,
+            0.8,
+            1e8,
+            hi,
+            [-0.07, 16.6, 101.5, 12.0],
+        ),
+        corner(
+            "80r0",
+            SaKind::Nssa,
+            AllZeros,
+            0.8,
+            1e8,
+            lo,
+            [10.5, 14.7, 98.5, 17.7],
+        ),
+        corner(
+            "80r0",
+            SaKind::Nssa,
+            AllZeros,
+            0.8,
+            1e8,
+            hi,
+            [27.3, 16.2, 124.4, 12.2],
+        ),
+        corner(
+            "80r1",
+            SaKind::Nssa,
+            AllOnes,
+            0.8,
+            1e8,
+            lo,
+            [-10.3, 14.7, 98.2, 17.3],
+        ),
+        corner(
+            "80r1",
+            SaKind::Nssa,
+            AllOnes,
+            0.8,
+            1e8,
+            hi,
+            [-27.0, 15.6, 120.4, 11.9],
+        ),
+        corner(
+            "-",
+            SaKind::Issa,
+            Alternating,
+            0.8,
+            0.0,
+            lo,
+            [0.1, 14.5, 88.5, 17.4],
+        ),
+        corner(
+            "-",
+            SaKind::Issa,
+            Alternating,
+            0.8,
+            0.0,
+            hi,
+            [0.08, 14.9, 91.1, 11.6],
+        ),
+        corner(
+            "80%",
+            SaKind::Issa,
+            AllZeros,
+            0.8,
+            1e8,
+            lo,
+            [0.1, 14.6, 89.0, 17.8],
+        ),
+        corner(
+            "80%",
+            SaKind::Issa,
+            AllZeros,
+            0.8,
+            1e8,
+            hi,
+            [-0.07, 16.5, 100.7, 12.3],
+        ),
     ]
 }
 
@@ -76,18 +252,114 @@ pub fn table4() -> Vec<CornerSpec> {
     let t75 = Environment::nominal().with_temp_c(75.0);
     let t125 = Environment::nominal().with_temp_c(125.0);
     vec![
-        corner("-", SaKind::Nssa, Alternating, 0.8, 0.0, t75, [0.09, 15.1, 92.2, 17.1]),
-        corner("-", SaKind::Nssa, Alternating, 0.8, 0.0, t125, [0.08, 15.3, 93.6, 21.3]),
-        corner("80r0r1", SaKind::Nssa, Alternating, 0.8, 1e8, t75, [-0.03, 17.6, 107.3, 19.2]),
-        corner("80r0r1", SaKind::Nssa, Alternating, 0.8, 1e8, t125, [0.2, 18.8, 114.9, 25.7]),
-        corner("80r0", SaKind::Nssa, AllZeros, 0.8, 1e8, t75, [45.0, 16.8, 145.6, 19.9]),
-        corner("80r0", SaKind::Nssa, AllZeros, 0.8, 1e8, t125, [79.1, 17.9, 186.5, 29.0]),
-        corner("80r1", SaKind::Nssa, AllOnes, 0.8, 1e8, t75, [-44.2, 16.3, 142.0, 18.3]),
-        corner("80r1", SaKind::Nssa, AllOnes, 0.8, 1e8, t125, [-76.8, 17.0, 178.6, 23.5]),
-        corner("-", SaKind::Issa, Alternating, 0.8, 0.0, t75, [0.08, 15.0, 91.6, 17.5]),
-        corner("-", SaKind::Issa, Alternating, 0.8, 0.0, t125, [0.08, 15.2, 92.9, 21.7]),
-        corner("80%", SaKind::Issa, AllZeros, 0.8, 1e8, t75, [-0.02, 17.4, 106.3, 19.5]),
-        corner("80%", SaKind::Issa, AllZeros, 0.8, 1e8, t125, [0.2, 18.6, 113.9, 26.0]),
+        corner(
+            "-",
+            SaKind::Nssa,
+            Alternating,
+            0.8,
+            0.0,
+            t75,
+            [0.09, 15.1, 92.2, 17.1],
+        ),
+        corner(
+            "-",
+            SaKind::Nssa,
+            Alternating,
+            0.8,
+            0.0,
+            t125,
+            [0.08, 15.3, 93.6, 21.3],
+        ),
+        corner(
+            "80r0r1",
+            SaKind::Nssa,
+            Alternating,
+            0.8,
+            1e8,
+            t75,
+            [-0.03, 17.6, 107.3, 19.2],
+        ),
+        corner(
+            "80r0r1",
+            SaKind::Nssa,
+            Alternating,
+            0.8,
+            1e8,
+            t125,
+            [0.2, 18.8, 114.9, 25.7],
+        ),
+        corner(
+            "80r0",
+            SaKind::Nssa,
+            AllZeros,
+            0.8,
+            1e8,
+            t75,
+            [45.0, 16.8, 145.6, 19.9],
+        ),
+        corner(
+            "80r0",
+            SaKind::Nssa,
+            AllZeros,
+            0.8,
+            1e8,
+            t125,
+            [79.1, 17.9, 186.5, 29.0],
+        ),
+        corner(
+            "80r1",
+            SaKind::Nssa,
+            AllOnes,
+            0.8,
+            1e8,
+            t75,
+            [-44.2, 16.3, 142.0, 18.3],
+        ),
+        corner(
+            "80r1",
+            SaKind::Nssa,
+            AllOnes,
+            0.8,
+            1e8,
+            t125,
+            [-76.8, 17.0, 178.6, 23.5],
+        ),
+        corner(
+            "-",
+            SaKind::Issa,
+            Alternating,
+            0.8,
+            0.0,
+            t75,
+            [0.08, 15.0, 91.6, 17.5],
+        ),
+        corner(
+            "-",
+            SaKind::Issa,
+            Alternating,
+            0.8,
+            0.0,
+            t125,
+            [0.08, 15.2, 92.9, 21.7],
+        ),
+        corner(
+            "80%",
+            SaKind::Issa,
+            AllZeros,
+            0.8,
+            1e8,
+            t75,
+            [-0.02, 17.4, 106.3, 19.5],
+        ),
+        corner(
+            "80%",
+            SaKind::Issa,
+            AllZeros,
+            0.8,
+            1e8,
+            t125,
+            [0.2, 18.6, 113.9, 26.0],
+        ),
     ]
 }
 

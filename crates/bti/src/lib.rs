@@ -87,7 +87,10 @@ impl StressCondition {
     ///
     /// Panics if `duty` is outside `[0, 1]` or `v_stress` is negative.
     pub fn new(duty: f64, v_stress: f64, temp_c: f64) -> Self {
-        assert!((0.0..=1.0).contains(&duty), "duty must be in [0,1], got {duty}");
+        assert!(
+            (0.0..=1.0).contains(&duty),
+            "duty must be in [0,1], got {duty}"
+        );
         assert!(v_stress >= 0.0, "stress voltage must be non-negative");
         Self {
             duty,
@@ -257,8 +260,8 @@ impl BtiParams {
     /// operating points.
     pub fn default_45nm() -> Self {
         Self {
-            trap_density: 2.5e15,        // ~90 traps on a W/L=17.8 gate
-            impact_eta: 3.2e-17,         // mean ~0.89 mV/trap at that size
+            trap_density: 2.5e15, // ~90 traps on a W/L=17.8 gate
+            impact_eta: 3.2e-17,  // mean ~0.89 mV/trap at that size
             log10_tau_c_min: 2.0,
             log10_tau_c_max: 14.0,
             log10_tau_e_offset_min: -1.0,
@@ -349,14 +352,11 @@ impl BtiParams {
     /// removed entirely (pure emission), starting from occupancy `p0`.
     ///
     /// This is the paper's Eq. 2 viewed from an occupied trap.
-    pub fn occupancy_after_relax(
-        &self,
-        trap: &Trap,
-        temp_c: f64,
-        p0: f64,
-        t_relax: f64,
-    ) -> f64 {
-        assert!((0.0..=1.0).contains(&p0), "initial occupancy must be a probability");
+    pub fn occupancy_after_relax(&self, trap: &Trap, temp_c: f64, p0: f64, t_relax: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&p0),
+            "initial occupancy must be a probability"
+        );
         assert!(t_relax >= 0.0, "relaxation time must be non-negative");
         let accel = self.tau_acceleration(temp_c);
         let tau_e = 10f64.powf(trap.log10_tau_e) / accel;

@@ -133,14 +133,27 @@ pub fn dc_operating_point(
     ladder.push(0.0);
     let mut last_err = None;
     for &gmin in &ladder {
+        // The gmin shunt splits across the two stamp closures: its
+        // conductance is constant for a given rung (so it lives in the
+        // cached base Jacobian, keyed by the rung value), while its
+        // residual current depends on the iterate.
         let result = ws.solve(
             netlist,
             &mut x,
             0.0,
+            gmin,
+            |st| {
+                if gmin > 0.0 {
+                    for node in netlist.node_ids() {
+                        st.add_conductance(node, Netlist::GROUND, gmin);
+                    }
+                }
+            },
             |x, st| {
                 if gmin > 0.0 {
                     for node in netlist.node_ids() {
-                        st.add_gmin(x, node, gmin);
+                        let i = gmin * st.voltage(x, node);
+                        st.add_current(node, Netlist::GROUND, i);
                     }
                 }
             },
@@ -149,16 +162,21 @@ pub fn dc_operating_point(
         if let Err(e) = result {
             // Intermediate rungs may fail; only the final one is fatal.
             if gmin == 0.0 {
+                ws.counts.flush(false);
                 return Err(e);
             }
             last_err = Some(e);
         }
     }
     let _ = last_err;
+    ws.counts.flush(false);
 
     let node_count = netlist.node_count();
     Ok(DcSolution {
-        names: netlist.node_ids().map(|id| netlist.node_name(id).to_owned()).collect(),
+        names: netlist
+            .node_ids()
+            .map(|id| netlist.node_name(id).to_owned())
+            .collect(),
         voltages: x[..node_count].to_vec(),
         branch_currents: x[node_count..].to_vec(),
     })
@@ -295,7 +313,14 @@ mod tests {
             n.vsource(vdd_n, Netlist::GROUND, Waveform::dc(vdd));
             n.vsource(in_n, Netlist::GROUND, Waveform::dc(vin));
             n.mosfet("MP", out_n, in_n, vdd_n, vdd_n, pmos(2e-3));
-            n.mosfet("MN", out_n, in_n, Netlist::GROUND, Netlist::GROUND, nmos(1e-3));
+            n.mosfet(
+                "MN",
+                out_n,
+                in_n,
+                Netlist::GROUND,
+                Netlist::GROUND,
+                nmos(1e-3),
+            );
             let op = dc_operating_point(&n, &DcParams::default()).unwrap();
             let vout = op.voltage("out").unwrap();
             if expect_high {
@@ -319,7 +344,14 @@ mod tests {
             n.vsource(vdd_n, Netlist::GROUND, Waveform::dc(vdd));
             n.vsource(in_n, Netlist::GROUND, Waveform::dc(vin));
             n.mosfet("MP", out_n, in_n, vdd_n, vdd_n, pmos(2e-3));
-            n.mosfet("MN", out_n, in_n, Netlist::GROUND, Netlist::GROUND, nmos(1e-3));
+            n.mosfet(
+                "MN",
+                out_n,
+                in_n,
+                Netlist::GROUND,
+                Netlist::GROUND,
+                nmos(1e-3),
+            );
             let op = dc_operating_point(&n, &DcParams::default()).unwrap();
             let vout = op.voltage("out").unwrap();
             assert!(vout < prev + 1e-9, "VTC not monotone at vin={vin}");
@@ -337,14 +369,24 @@ mod tests {
         n.vsource(vdd_n, Netlist::GROUND, Waveform::dc(vdd));
         n.vsource(in_n, Netlist::GROUND, Waveform::dc(0.0));
         n.mosfet("MP", out_n, in_n, vdd_n, vdd_n, pmos(2e-3));
-        n.mosfet("MN", out_n, in_n, Netlist::GROUND, Netlist::GROUND, nmos(1e-3));
+        n.mosfet(
+            "MN",
+            out_n,
+            in_n,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            nmos(1e-3),
+        );
 
         let values: Vec<f64> = (0..=20).map(|i| vdd * i as f64 / 20.0).collect();
         // Source index 1 is the input (insertion order).
         let vtc = dc_sweep(&n, 1, &values, &DcParams::default()).unwrap();
         assert_eq!(vtc.len(), values.len());
         // Monotone decreasing, rail to rail.
-        let outs: Vec<f64> = vtc.iter().map(|(_, op)| op.voltage("out").unwrap()).collect();
+        let outs: Vec<f64> = vtc
+            .iter()
+            .map(|(_, op)| op.voltage("out").unwrap())
+            .collect();
         assert!(outs[0] > 0.95 * vdd);
         assert!(outs[20] < 0.05 * vdd);
         for w in outs.windows(2) {

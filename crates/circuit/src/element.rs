@@ -85,28 +85,42 @@ pub enum Element {
 }
 
 impl Element {
-    /// Adds this element's *static* (non-reactive) contribution to the
-    /// Newton system: conductive currents into the residual and their
-    /// derivatives into the Jacobian. Capacitors stamp nothing here — the
-    /// transient engine owns all reactive branches.
-    pub(crate) fn stamp_static(&self, x: &[f64], time: f64, st: &mut Stamper<'_>) {
+    /// Adds this element's *constant* Jacobian contribution — the entries
+    /// that depend on neither the iterate `x` nor the simulated time:
+    /// resistor conductances and voltage-source branch couplings. The
+    /// Newton solver caches these in a base matrix and restores them with
+    /// one `memcpy` per iteration instead of restamping.
+    pub(crate) fn stamp_constant(&self, st: &mut Stamper<'_>) {
+        match self {
+            Element::Resistor(r) => st.add_conductance(r.a, r.b, 1.0 / r.ohms),
+            Element::VSource(v) => st.add_branch_coupling(v.p, v.n, v.branch),
+            Element::Capacitor(_) | Element::ISource(_) | Element::Mosfet(_) => {}
+        }
+    }
+
+    /// Adds this element's per-iteration contribution: every residual term
+    /// (all of which depend on `x` or `time`) plus the nonlinear MOSFET
+    /// Jacobian derivatives. Together with [`Element::stamp_constant`] this
+    /// assembles the same system as a monolithic stamp. Capacitors stamp
+    /// nothing here — the transient engine owns all reactive branches.
+    pub(crate) fn stamp_varying(&self, x: &[f64], time: f64, st: &mut Stamper<'_>) {
         match self {
             Element::Resistor(r) => {
                 let g = 1.0 / r.ohms;
                 let va = st.voltage(x, r.a);
                 let vb = st.voltage(x, r.b);
-                let i = g * (va - vb);
-                st.add_current(r.a, r.b, i);
-                st.add_conductance(r.a, r.b, g);
+                st.add_current(r.a, r.b, g * (va - vb));
             }
             Element::Capacitor(_) => {}
             Element::VSource(v) => {
                 let i_br = x[st.branch_index(v.branch)];
                 // Branch current flows out of p, through the source, into n.
                 st.add_current(v.p, v.n, i_br);
-                st.add_branch_coupling(v.p, v.n, v.branch);
                 // Branch equation: v_p − v_n = V(t).
-                st.set_branch_equation(v.branch, st.voltage(x, v.p) - st.voltage(x, v.n) - v.waveform.eval(time));
+                st.set_branch_equation(
+                    v.branch,
+                    st.voltage(x, v.p) - st.voltage(x, v.n) - v.waveform.eval(time),
+                );
             }
             Element::ISource(i) => {
                 let val = i.waveform.eval(time);
@@ -127,5 +141,13 @@ impl Element {
                 st.add_jacobian_pair(m.d, m.s, m.b, db);
             }
         }
+    }
+
+    /// Adds this element's full *static* (non-reactive) contribution in one
+    /// go — constant plus varying parts. Used by consumers that assemble a
+    /// single system (small-signal linearization) rather than iterating.
+    pub(crate) fn stamp_static(&self, x: &[f64], time: f64, st: &mut Stamper<'_>) {
+        self.stamp_constant(st);
+        self.stamp_varying(x, time, st);
     }
 }

@@ -42,10 +42,11 @@
 //! ```
 
 pub mod dc;
-mod newton;
 pub mod element;
 pub mod mosfet;
 pub mod netlist;
+mod newton;
+pub mod perf;
 pub mod smallsignal;
 pub mod stamp;
 pub mod trace;
@@ -56,8 +57,9 @@ pub use dc::{dc_operating_point, dc_sweep, DcParams};
 pub use element::Element;
 pub use mosfet::{MosParams, MosPolarity};
 pub use netlist::{Netlist, NodeId};
+pub use perf::PerfSnapshot;
 pub use trace::{CrossDirection, Trace};
-pub use tran::{transient, Integrator, TranParams};
+pub use tran::{transient, Integrator, StopWhen, TranContext, TranParams};
 pub use waveform::Waveform;
 
 use std::fmt;

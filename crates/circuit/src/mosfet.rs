@@ -22,11 +22,16 @@
 //!
 //! PMOS devices evaluate the same equations on negated terminal voltages.
 //!
-//! Jacobian entries are obtained by central finite differences on the
-//! current equation; for these smooth single-expression models that is as
-//! robust as analytic derivatives and removes an entire class of
-//! sign/chain-rule bugs. The cost (six extra evaluations per device per
-//! Newton iteration) is irrelevant at MNA sizes of ~15 unknowns.
+//! Jacobian entries are analytic. Device evaluation is the single hottest
+//! operation in the whole Monte Carlo pipeline (every Newton iteration of
+//! every probe transient stamps every MOSFET), and the finite-difference
+//! Jacobian used previously cost nine full `ids` evaluations per device
+//! per iteration; the closed form costs about one. The expression has two
+//! formal kinks — `|vds|` at zero and `max(qf, qr)` in the mobility term —
+//! but both enter only through factors multiplied by `qf² − qr²`, which
+//! vanishes exactly where the kinks sit (`vds = 0 ⇒ qf = qr`), so the
+//! analytic Jacobian is continuous everywhere. A regression test checks it
+//! against central finite differences across all operating regions.
 
 /// Channel polarity of a MOSFET.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -144,20 +149,104 @@ impl MosParams {
         s * id
     }
 
+    /// `d/dz sqrt_smooth(z)`.
+    fn sqrt_smooth_deriv(z: f64) -> f64 {
+        const DELTA: f64 = 1e-8;
+        let root = (z * z + DELTA).sqrt();
+        0.25 * (1.0 + z / root) / Self::sqrt_smooth(z)
+    }
+
+    /// softplus and its derivative (the logistic sigmoid), sharing the one
+    /// `exp` between them. The branches mirror [`Self::softplus`] exactly
+    /// so the returned value is bit-identical to it.
+    fn softplus_pair(x: f64) -> (f64, f64) {
+        if x > 40.0 {
+            (x, 1.0)
+        } else if x < -40.0 {
+            let e = x.exp();
+            (e, e)
+        } else {
+            let e = x.exp();
+            (e.ln_1p(), e / (1.0 + e))
+        }
+    }
+
     /// Drain current and its partial derivatives with respect to the
     /// absolute terminal voltages: `(id, d/dvd, d/dvg, d/dvs, d/dvb)`.
     ///
-    /// Derivatives are central differences with a 10 µV step — far below
-    /// any voltage scale in the model but far above f64 noise on
-    /// millivolt-to-volt signals.
+    /// Because the model depends on terminal *differences* only, the
+    /// polarity sign cancels in the derivatives (`∂(s·Id)/∂v = ∂Id/∂(s·v)`
+    /// with `s² = 1`), so the partials are returned in the absolute frame
+    /// for both polarities.
     pub fn ids_derivs(&self, vd: f64, vg: f64, vs: f64, vb: f64) -> (f64, f64, f64, f64, f64) {
-        const H: f64 = 1e-5;
-        let id = self.ids(vd, vg, vs, vb);
-        let dd = (self.ids(vd + H, vg, vs, vb) - self.ids(vd - H, vg, vs, vb)) / (2.0 * H);
-        let dg = (self.ids(vd, vg + H, vs, vb) - self.ids(vd, vg - H, vs, vb)) / (2.0 * H);
-        let ds = (self.ids(vd, vg, vs + H, vb) - self.ids(vd, vg, vs - H, vb)) / (2.0 * H);
-        let db = (self.ids(vd, vg, vs, vb + H) - self.ids(vd, vg, vs, vb - H)) / (2.0 * H);
-        (id, dd, dg, ds, db)
+        let s = self.polarity.sign();
+        let (vd, vg, vs, vb) = (s * vd, s * vg, s * vs, s * vb);
+
+        let vsb = vs - vb;
+        let vdb = vd - vb;
+        let vgb = vg - vb;
+
+        let ss = Self::sqrt_smooth(self.phi + vsb);
+        let ss_d = Self::sqrt_smooth_deriv(self.phi + vsb);
+        let vth = self.vth0 + self.delta_vth + self.gamma * (ss - self.phi.sqrt());
+        let vp = (vgb - vth) / self.n;
+        // dvth/dvs = γ·S′, dvth/dvb = −γ·S′ (vsb = vs − vb).
+        let dvth_dvs = self.gamma * ss_d;
+        let dvp_dvg = 1.0 / self.n;
+        let dvp_dvs = -dvth_dvs / self.n;
+        let dvp_dvb = (dvth_dvs - 1.0) / self.n;
+
+        let two_vt = 2.0 * self.vt;
+        let (qf, sig_f) = Self::softplus_pair((vp - vsb) / two_vt);
+        let (qr, sig_r) = Self::softplus_pair((vp - vdb) / two_vt);
+        // Chain through u = (vp − vsb)/2vt and w = (vp − vdb)/2vt.
+        let dqf_dvd = 0.0;
+        let dqf_dvg = sig_f * dvp_dvg / two_vt;
+        let dqf_dvs = sig_f * (dvp_dvs - 1.0) / two_vt;
+        let dqf_dvb = sig_f * (dvp_dvb + 1.0) / two_vt;
+        let dqr_dvd = -sig_r / two_vt;
+        let dqr_dvg = sig_r * dvp_dvg / two_vt;
+        let dqr_dvs = sig_r * dvp_dvs / two_vt;
+        let dqr_dvb = sig_r * (dvp_dvb + 1.0) / two_vt;
+
+        let is = 2.0 * self.n * self.beta * self.vt * self.vt;
+        let vds = vd - vs;
+        let clm = 1.0 + self.lambda * vds.abs();
+        let sgn_vds = if vds > 0.0 {
+            1.0
+        } else if vds < 0.0 {
+            -1.0
+        } else {
+            0.0
+        };
+        let a = qf * qf - qr * qr;
+        let (qm, dqm_dvd, dqm_dvg, dqm_dvs, dqm_dvb) = if qf >= qr {
+            (qf, dqf_dvd, dqf_dvg, dqf_dvs, dqf_dvb)
+        } else {
+            (qr, dqr_dvd, dqr_dvg, dqr_dvs, dqr_dvb)
+        };
+        let vov = two_vt * qm;
+        let mobility = 1.0 / (1.0 + self.theta * vov);
+        // dmob/dx = −mob²·θ·2vt·dqm/dx.
+        let mob_fac = -mobility * mobility * self.theta * two_vt;
+
+        let id = is * a * clm * mobility;
+        let deriv = |da: f64, dclm: f64, dqm: f64| {
+            is * (da * clm * mobility + a * dclm * mobility + a * clm * mob_fac * dqm)
+        };
+        let dd = deriv(
+            2.0 * (qf * dqf_dvd - qr * dqr_dvd),
+            self.lambda * sgn_vds,
+            dqm_dvd,
+        );
+        let dg = deriv(2.0 * (qf * dqf_dvg - qr * dqr_dvg), 0.0, dqm_dvg);
+        let ds = deriv(
+            2.0 * (qf * dqf_dvs - qr * dqr_dvs),
+            -self.lambda * sgn_vds,
+            dqm_dvs,
+        );
+        let db = deriv(2.0 * (qf * dqf_dvb - qr * dqr_dvb), 0.0, dqm_dvb);
+        (s * id, dd, dg, ds, db)
     }
 
     /// Effective threshold voltage magnitude at a given source–bulk reverse
@@ -206,7 +295,10 @@ mod tests {
         let m = nmos();
         let off = m.ids(1.0, 0.0, 0.0, 0.0);
         let on = m.ids(1.0, 1.0, 0.0, 0.0);
-        assert!(off > 0.0, "subthreshold leakage should be positive: {off:e}");
+        assert!(
+            off > 0.0,
+            "subthreshold leakage should be positive: {off:e}"
+        );
         assert!(off < 1e-9, "off current too high: {off:e}");
         assert!(on > 1e-5, "on current too low: {on:e}");
         assert!(on / off > 1e4, "on/off ratio too small");
@@ -222,7 +314,10 @@ mod tests {
     fn current_reverses_with_vds_sign() {
         // With γ = 0 the EKV core is exactly antisymmetric under
         // drain/source exchange.
-        let m = MosParams { gamma: 0.0, ..nmos() };
+        let m = MosParams {
+            gamma: 0.0,
+            ..nmos()
+        };
         let fwd = m.ids(0.6, 1.0, 0.4, 0.0);
         let rev = m.ids(0.4, 1.0, 0.6, 0.0);
         assert!(
@@ -270,7 +365,10 @@ mod tests {
         // Reverse body bias (source above bulk) weakens the device.
         let id_rbb = m.ids(1.0, 0.6, 0.2, 0.0) /* vgs now 0.4 */;
         let id_same_vgs_rbb = m.ids(1.2, 0.8, 0.2, 0.0); // vgs=0.6, vds=1.0, vsb=0.2
-        assert!(id_same_vgs_rbb < id_no_bias, "body effect should reduce current");
+        assert!(
+            id_same_vgs_rbb < id_no_bias,
+            "body effect should reduce current"
+        );
         assert!(id_rbb < id_no_bias);
         assert!(m.vth_at(0.5) > m.vth_at(0.0));
     }
@@ -291,7 +389,10 @@ mod tests {
         // PMOS conducting: gate low, source at 1V, drain at 0V.
         let ip = p.ids(0.0, 0.0, 1.0, 1.0);
         let in_ = n.ids(1.0, 1.0, 0.0, 0.0);
-        assert!((ip + in_).abs() < 1e-18, "PMOS should mirror NMOS: {ip:e} vs {in_:e}");
+        assert!(
+            (ip + in_).abs() < 1e-18,
+            "PMOS should mirror NMOS: {ip:e} vs {in_:e}"
+        );
         assert!(ip < 0.0, "conducting PMOS drain current is negative");
     }
 
@@ -315,6 +416,45 @@ mod tests {
         let sb = (m.ids(vd, vg, vs, vb + h) - m.ids(vd, vg, vs, vb - h)) / (2.0 * h);
         for (a, b) in [(dd, sd), (dg, sg), (ds, ss), (db, sb)] {
             assert!((a - b).abs() <= 1e-3 * a.abs().max(1e-9), "{a:e} vs {b:e}");
+        }
+    }
+
+    /// The analytic Jacobian must agree with central finite differences on
+    /// the same current equation in every operating region — including the
+    /// near-symmetric `vds ≈ 0` points where the `|vds|` and `max(qf, qr)`
+    /// branch selections switch — and the returned current must be
+    /// bit-identical to [`MosParams::ids`].
+    #[test]
+    fn analytic_derivatives_match_finite_differences_everywhere() {
+        const H: f64 = 1e-6;
+        for m in [nmos(), pmos()] {
+            for &(vd, vg, vs, vb) in &[
+                (1.0, 1.0, 0.0, 0.0),    // strong inversion, saturation
+                (0.05, 1.0, 0.0, 0.0),   // deep triode
+                (1.0, 0.2, 0.0, 0.0),    // subthreshold
+                (0.5, 0.8, 0.5, 0.0),    // vds = 0 (symmetric point)
+                (0.5001, 0.8, 0.5, 0.0), // just off symmetric, forward
+                (0.4999, 0.8, 0.5, 0.0), // just off symmetric, reverse
+                (0.3, 1.0, 0.6, 0.0),    // reverse conduction
+                (1.0, 0.7, 0.3, 0.0),    // body-biased
+            ] {
+                let (id, dd, dg, ds, db) = m.ids_derivs(vd, vg, vs, vb);
+                assert_eq!(id.to_bits(), m.ids(vd, vg, vs, vb).to_bits());
+                let fd = [
+                    (m.ids(vd + H, vg, vs, vb) - m.ids(vd - H, vg, vs, vb)) / (2.0 * H),
+                    (m.ids(vd, vg + H, vs, vb) - m.ids(vd, vg - H, vs, vb)) / (2.0 * H),
+                    (m.ids(vd, vg, vs + H, vb) - m.ids(vd, vg, vs - H, vb)) / (2.0 * H),
+                    (m.ids(vd, vg, vs, vb + H) - m.ids(vd, vg, vs, vb - H)) / (2.0 * H),
+                ];
+                let scale = fd.iter().fold(1e-12f64, |acc, d| acc.max(d.abs()));
+                for (an, num) in [dd, dg, ds, db].into_iter().zip(fd) {
+                    assert!(
+                        (an - num).abs() <= 1e-4 * scale,
+                        "bias ({vd},{vg},{vs},{vb}) {:?}: analytic {an:e} vs fd {num:e}",
+                        m.polarity
+                    );
+                }
+            }
         }
     }
 

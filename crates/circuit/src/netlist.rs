@@ -125,6 +125,27 @@ impl Netlist {
         &mut self.elements
     }
 
+    /// Replaces the waveform of the voltage source with branch index
+    /// `branch` (insertion order). This is the supported way to re-drive a
+    /// circuit between repeated transients on a reused
+    /// [`crate::tran::TranContext`]: waveforms are evaluated per timestep,
+    /// so the mutation never invalidates cached constant structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no voltage source has that branch index.
+    pub fn set_vsource_waveform(&mut self, branch: usize, waveform: Waveform) {
+        for e in &mut self.elements {
+            if let Element::VSource(v) = e {
+                if v.branch == branch {
+                    v.waveform = waveform;
+                    return;
+                }
+            }
+        }
+        panic!("no voltage source with branch index {branch}");
+    }
+
     /// Iterates over all node ids, ground excluded.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         (1..=self.node_names.len()).map(NodeId)
@@ -136,8 +157,12 @@ impl Netlist {
     ///
     /// Panics if `ohms` is not positive and finite.
     pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> &mut Self {
-        assert!(ohms > 0.0 && ohms.is_finite(), "resistance must be positive");
-        self.elements.push(Element::Resistor(Resistor { a, b, ohms }));
+        assert!(
+            ohms > 0.0 && ohms.is_finite(),
+            "resistance must be positive"
+        );
+        self.elements
+            .push(Element::Resistor(Resistor { a, b, ohms }));
         self
     }
 
@@ -147,8 +172,12 @@ impl Netlist {
     ///
     /// Panics if `farads` is not positive and finite.
     pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> &mut Self {
-        assert!(farads > 0.0 && farads.is_finite(), "capacitance must be positive");
-        self.elements.push(Element::Capacitor(Capacitor { a, b, farads }));
+        assert!(
+            farads > 0.0 && farads.is_finite(),
+            "capacitance must be positive"
+        );
+        self.elements
+            .push(Element::Capacitor(Capacitor { a, b, farads }));
         self
     }
 
@@ -167,7 +196,8 @@ impl Netlist {
 
     /// Adds an ideal current source pushing current into `p` and out of `n`.
     pub fn isource(&mut self, p: NodeId, n: NodeId, waveform: Waveform) -> &mut Self {
-        self.elements.push(Element::ISource(ISource { p, n, waveform }));
+        self.elements
+            .push(Element::ISource(ISource { p, n, waveform }));
         self
     }
 
@@ -208,17 +238,20 @@ impl Netlist {
 
     /// Finds a MOSFET element index by instance name.
     pub fn find_mosfet(&self, name: &str) -> Option<usize> {
-        self.elements.iter().position(
-            |e| matches!(e, Element::Mosfet(m) if m.name == name),
-        )
+        self.elements
+            .iter()
+            .position(|e| matches!(e, Element::Mosfet(m) if m.name == name))
     }
 
     /// Iterates over `(element_index, &Mosfet)` pairs.
     pub fn mosfets(&self) -> impl Iterator<Item = (usize, &Mosfet)> {
-        self.elements.iter().enumerate().filter_map(|(i, e)| match e {
-            Element::Mosfet(m) => Some((i, m)),
-            _ => None,
-        })
+        self.elements
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                Element::Mosfet(m) => Some((i, m)),
+                _ => None,
+            })
     }
 
     /// Flattens every capacitive branch in the circuit: explicit capacitors
@@ -229,7 +262,11 @@ impl Netlist {
         let mut out = Vec::new();
         let mut push = |a: NodeId, b: NodeId, c: f64| {
             if c > 0.0 && a != b {
-                out.push(ReactiveBranch { a, b, capacitance: c });
+                out.push(ReactiveBranch {
+                    a,
+                    b,
+                    capacitance: c,
+                });
             }
         };
         for e in &self.elements {

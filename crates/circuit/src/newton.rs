@@ -1,6 +1,17 @@
 //! The damped Newton–Raphson iteration shared by DC and transient solves.
+//!
+//! The Jacobian is assembled in two parts. Entries that depend on neither
+//! the iterate nor the time — resistor conductances, voltage-source branch
+//! couplings, and whatever the caller's `constant_extra` closure stamps
+//! (reactive companion conductances, gmin) — are built once into a cached
+//! *base* matrix, keyed by a caller-chosen `f64`. Each iteration then
+//! restores the base with a single `memcpy` and stamps only the varying
+//! part (residuals and MOSFET derivatives) on top. Factorization happens
+//! in place via [`DMatrix::factor_into`], so the iteration allocates
+//! nothing.
 
 use crate::netlist::Netlist;
+use crate::perf::LocalCounts;
 use crate::stamp::Stamper;
 use crate::CircuitError;
 use issa_num::matrix::DMatrix;
@@ -28,63 +39,120 @@ impl Default for NewtonOpts {
     }
 }
 
-/// Workspace reused across Newton solves to avoid reallocating the
-/// Jacobian every timestep.
+/// Workspace reused across Newton solves: Jacobian, cached constant base,
+/// residual/update vectors, and the LU pivot permutation — none of which
+/// are reallocated between solves.
+///
+/// A workspace is tied to one netlist's *constant* structure: reuse it
+/// across solves only while the resistors, source topology, and the
+/// constant stamps identified by `base_key` are unchanged. Mutating
+/// waveforms between solves is fine (waveform evaluation is a varying
+/// stamp); changing element values or topology requires a fresh workspace
+/// or an [`invalidate_base`](Self::invalidate_base) call.
 #[derive(Debug)]
 pub(crate) struct NewtonWorkspace {
     jacobian: DMatrix,
+    base: DMatrix,
+    /// Bit pattern of the `base_key` the cached base was built for, or
+    /// `None` when the cache is empty.
+    base_key: Option<u64>,
     residual: Vec<f64>,
     delta: Vec<f64>,
+    perm: Vec<usize>,
+    /// Hot-path counters accumulated locally; callers flush them to the
+    /// global perf counters once per analysis.
+    pub counts: LocalCounts,
 }
 
 impl NewtonWorkspace {
     pub fn new(n: usize) -> Self {
         Self {
             jacobian: DMatrix::zeros(n, n),
+            base: DMatrix::zeros(n, n),
+            base_key: None,
             residual: vec![0.0; n],
             delta: vec![0.0; n],
+            perm: Vec::with_capacity(n),
+            counts: LocalCounts::default(),
         }
     }
 
+    /// Drops the cached base Jacobian. Call after mutating the netlist's
+    /// constant structure (element values or topology) between solves.
+    #[allow(dead_code)]
+    pub fn invalidate_base(&mut self) {
+        self.base_key = None;
+    }
+
     /// Runs damped Newton on the system assembled by `netlist` (static
-    /// stamps at `time`) plus `extra` (reactive stamps, gmin, ...).
+    /// stamps at `time`) plus the two extra closures: `constant_extra`
+    /// stamps Jacobian-only contributions that are fixed for a given
+    /// `base_key` (reactive companion conductances keyed by the step size,
+    /// gmin keyed by the ladder rung); `varying_extra` stamps per-iterate
+    /// contributions (companion currents, gmin residuals).
+    ///
+    /// The caller must choose `base_key` so that equal keys imply equal
+    /// `constant_extra` output — e.g. the transient engine encodes both
+    /// the step size and the integration method in the key's sign.
     ///
     /// On success returns the number of iterations used; `x` holds the
     /// solution. On failure `x` holds the last iterate.
-    pub fn solve<F>(
+    #[allow(clippy::too_many_arguments)] // one call site per analysis; a params struct would only rename the arguments
+    pub fn solve<C, V>(
         &mut self,
         netlist: &Netlist,
         x: &mut [f64],
         time: f64,
-        mut extra: F,
+        base_key: f64,
+        mut constant_extra: C,
+        mut varying_extra: V,
         opts: NewtonOpts,
     ) -> Result<usize, CircuitError>
     where
-        F: FnMut(&[f64], &mut Stamper<'_>),
+        C: FnMut(&mut Stamper<'_>),
+        V: FnMut(&[f64], &mut Stamper<'_>),
     {
         let n = netlist.unknown_count();
         assert_eq!(x.len(), n, "state vector length mismatch");
         let node_count = netlist.node_count();
 
+        if self.base_key != Some(base_key.to_bits()) {
+            self.base.fill_zero();
+            self.residual.iter_mut().for_each(|v| *v = 0.0);
+            {
+                let mut st = Stamper::new(&mut self.base, &mut self.residual, node_count);
+                for e in netlist.elements() {
+                    e.stamp_constant(&mut st);
+                }
+                constant_extra(&mut st);
+            }
+            self.base_key = Some(base_key.to_bits());
+        }
+
         for iter in 0..opts.max_iter {
-            self.jacobian.fill_zero();
+            self.jacobian.copy_from(&self.base);
             self.residual.iter_mut().for_each(|v| *v = 0.0);
             {
                 let mut st = Stamper::new(&mut self.jacobian, &mut self.residual, node_count);
                 for e in netlist.elements() {
-                    e.stamp_static(x, time, &mut st);
+                    e.stamp_varying(x, time, &mut st);
                 }
-                extra(x, &mut st);
+                varying_extra(x, &mut st);
             }
 
-            let lu = self.jacobian.lu().map_err(|e| CircuitError::Singular {
-                context: format!("newton iteration {iter} at t={time:e}: {e}"),
-            })?;
+            self.counts.newton_iterations += 1;
+            self.counts.lu_factorizations += 1;
+            self.jacobian
+                .factor_into(&mut self.perm)
+                .map_err(|e| CircuitError::Singular {
+                    context: format!("newton iteration {iter} at t={time:e}: {e}"),
+                })?;
             // Solve J·Δ = −F.
             for v in &mut self.residual {
                 *v = -*v;
             }
-            lu.solve_into(&self.residual, &mut self.delta);
+            self.jacobian
+                .solve_factored(&self.perm, &self.residual, &mut self.delta);
 
             // Damping: cap the largest voltage move.
             let max_dv = self.delta[..node_count]
@@ -114,10 +182,7 @@ impl NewtonWorkspace {
             }
         }
 
-        let res_norm = self
-            .residual
-            .iter()
-            .fold(0.0f64, |m, r| m.max(r.abs()));
+        let res_norm = self.residual.iter().fold(0.0f64, |m, r| m.max(r.abs()));
         Err(CircuitError::NonConvergence {
             time,
             iterations: opts.max_iter,

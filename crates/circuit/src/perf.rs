@@ -1,0 +1,134 @@
+//! Lightweight global performance counters for the simulation hot path.
+//!
+//! The Monte Carlo layer runs hundreds of thousands of Newton iterations;
+//! these counters make the cost structure observable (how many transients,
+//! timesteps, Newton iterations, and LU factorizations a phase consumed)
+//! without perturbing it. Within one transient the counts are accumulated
+//! in plain integers and flushed with a handful of relaxed atomic adds at
+//! the end, so the per-iteration overhead is zero.
+//!
+//! Counters are process-global and monotone. Consumers take a
+//! [`snapshot`] before and after a region and subtract
+//! ([`PerfSnapshot::delta_since`]); that works from any number of threads
+//! because every worker flushes into the same atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TRANSIENTS: AtomicU64 = AtomicU64::new(0);
+static TIMESTEPS: AtomicU64 = AtomicU64::new(0);
+static NEWTON_ITERATIONS: AtomicU64 = AtomicU64::new(0);
+static LU_FACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of the global hot-path counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfSnapshot {
+    /// Completed transient analyses.
+    pub transients: u64,
+    /// Accepted integration timesteps (including split sub-steps).
+    pub timesteps: u64,
+    /// Newton–Raphson iterations across all solves.
+    pub newton_iterations: u64,
+    /// LU factorizations (one per Newton iteration that assembled a
+    /// Jacobian, including iterations of failed solves).
+    pub lu_factorizations: u64,
+}
+
+impl PerfSnapshot {
+    /// Counter increments between `earlier` and `self`.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &PerfSnapshot) -> PerfSnapshot {
+        PerfSnapshot {
+            transients: self.transients - earlier.transients,
+            timesteps: self.timesteps - earlier.timesteps,
+            newton_iterations: self.newton_iterations - earlier.newton_iterations,
+            lu_factorizations: self.lu_factorizations - earlier.lu_factorizations,
+        }
+    }
+
+    /// Element-wise sum, for aggregating per-phase deltas.
+    #[must_use]
+    pub fn saturating_add(&self, other: &PerfSnapshot) -> PerfSnapshot {
+        PerfSnapshot {
+            transients: self.transients.saturating_add(other.transients),
+            timesteps: self.timesteps.saturating_add(other.timesteps),
+            newton_iterations: self
+                .newton_iterations
+                .saturating_add(other.newton_iterations),
+            lu_factorizations: self
+                .lu_factorizations
+                .saturating_add(other.lu_factorizations),
+        }
+    }
+}
+
+/// Reads the current global counter values.
+pub fn snapshot() -> PerfSnapshot {
+    PerfSnapshot {
+        transients: TRANSIENTS.load(Ordering::Relaxed),
+        timesteps: TIMESTEPS.load(Ordering::Relaxed),
+        newton_iterations: NEWTON_ITERATIONS.load(Ordering::Relaxed),
+        lu_factorizations: LU_FACTORIZATIONS.load(Ordering::Relaxed),
+    }
+}
+
+/// Locally accumulated counts, flushed to the globals in one shot.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LocalCounts {
+    pub timesteps: u64,
+    pub newton_iterations: u64,
+    pub lu_factorizations: u64,
+}
+
+impl LocalCounts {
+    /// Flushes the accumulated counts (plus one completed transient if
+    /// `transient` is set) into the global counters.
+    pub fn flush(&self, transient: bool) {
+        if transient {
+            TRANSIENTS.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.timesteps > 0 {
+            TIMESTEPS.fetch_add(self.timesteps, Ordering::Relaxed);
+        }
+        if self.newton_iterations > 0 {
+            NEWTON_ITERATIONS.fetch_add(self.newton_iterations, Ordering::Relaxed);
+        }
+        if self.lu_factorizations > 0 {
+            LU_FACTORIZATIONS.fetch_add(self.lu_factorizations, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_and_delta_roundtrip() {
+        let before = snapshot();
+        LocalCounts {
+            timesteps: 7,
+            newton_iterations: 21,
+            lu_factorizations: 21,
+        }
+        .flush(true);
+        let d = snapshot().delta_since(&before);
+        // Other tests may run concurrently, so counts are lower bounds.
+        assert!(d.transients >= 1);
+        assert!(d.timesteps >= 7);
+        assert!(d.newton_iterations >= 21);
+        assert!(d.lu_factorizations >= 21);
+    }
+
+    #[test]
+    fn saturating_add_sums_fields() {
+        let a = PerfSnapshot {
+            transients: 1,
+            timesteps: 2,
+            newton_iterations: 3,
+            lu_factorizations: 4,
+        };
+        let b = a.saturating_add(&a);
+        assert_eq!(b.timesteps, 4);
+        assert_eq!(b.lu_factorizations, 8);
+    }
+}

@@ -110,7 +110,9 @@ pub fn dominant_mode(lin: &Linearized) -> Result<f64, CircuitError> {
         let norm = tmp.iter().map(|a| a * a).sum::<f64>().sqrt();
         if norm == 0.0 {
             // C·v landed in the nullspace: restart from a shifted vector.
-            v.iter_mut().enumerate().for_each(|(i, x)| *x = 1.0 / (i + 1) as f64);
+            v.iter_mut()
+                .enumerate()
+                .for_each(|(i, x)| *x = 1.0 / (i + 1) as f64);
             continue;
         }
         for (vi, ti) in v.iter_mut().zip(&tmp) {
@@ -162,7 +164,11 @@ mod tests {
         n.capacitor(b, Netlist::GROUND, 1e-9); // tau = 10 ns
         let lin = linearize(&n, &[0.0, 0.0], 0.0);
         let lambda = dominant_mode(&lin).unwrap();
-        assert!(((-1.0 / lambda) - 1e-6).abs() < 1e-9, "tau {}", -1.0 / lambda);
+        assert!(
+            ((-1.0 / lambda) - 1e-6).abs() < 1e-9,
+            "tau {}",
+            -1.0 / lambda
+        );
     }
 
     #[test]
@@ -244,7 +250,10 @@ mod tests {
         .unwrap();
         let s_v = op.voltage("s").unwrap();
         let sbar_v = op.voltage("sbar").unwrap();
-        assert!((s_v - sbar_v).abs() < 1e-6, "OP must be metastable: {s_v} vs {sbar_v}");
+        assert!(
+            (s_v - sbar_v).abs() < 1e-6,
+            "OP must be metastable: {s_v} vs {sbar_v}"
+        );
 
         let lin = linearize(&n, &op.raw(), 0.0);
         let lambda = dominant_mode(&lin).unwrap();

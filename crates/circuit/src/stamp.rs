@@ -27,8 +27,15 @@ impl<'a> Stamper<'a> {
     ///
     /// Panics if the dimensions are inconsistent.
     pub fn new(jacobian: &'a mut DMatrix, residual: &'a mut [f64], node_count: usize) -> Self {
-        assert_eq!(jacobian.rows(), residual.len(), "jacobian/residual mismatch");
-        assert!(node_count <= residual.len(), "node count exceeds system size");
+        assert_eq!(
+            jacobian.rows(),
+            residual.len(),
+            "jacobian/residual mismatch"
+        );
+        assert!(
+            node_count <= residual.len(),
+            "node count exceeds system size"
+        );
         Self {
             jacobian,
             residual,

@@ -13,7 +13,7 @@ pub enum CrossDirection {
 
 /// A set of signals sampled on a common time axis, produced by
 /// [`crate::tran::transient`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     time: Vec<f64>,
     names: Vec<String>,
@@ -29,6 +29,19 @@ impl Trace {
             names,
             data: vec![Vec::new(); n],
         }
+    }
+
+    /// Empties the trace and rebinds it to a new signal-name set, keeping
+    /// the sample buffers' capacity. This is what lets a reused transient
+    /// context append thousands of probe runs without reallocating.
+    pub(crate) fn reset(&mut self, names: Vec<String>) {
+        self.time.clear();
+        self.data.truncate(names.len());
+        for col in &mut self.data {
+            col.clear();
+        }
+        self.data.resize_with(names.len(), Vec::new);
+        self.names = names;
     }
 
     /// Appends one sample row.
@@ -125,7 +138,11 @@ impl Trace {
                 CrossDirection::Either => rising || falling,
             };
             if hit {
-                let frac = if y1 == y0 { 0.0 } else { (threshold - y0) / (y1 - y0) };
+                let frac = if y1 == y0 {
+                    0.0
+                } else {
+                    (threshold - y0) / (y1 - y0)
+                };
                 let tc = t0 + frac * (t1 - t0);
                 if tc >= t_after {
                     return Some(tc);
@@ -185,16 +202,24 @@ mod tests {
     #[test]
     fn crossing_time_rising() {
         let tr = ramp_trace();
-        let t = tr.crossing_time("a", 0.25, CrossDirection::Rising, 0.0).unwrap();
+        let t = tr
+            .crossing_time("a", 0.25, CrossDirection::Rising, 0.0)
+            .unwrap();
         assert!((t - 0.25).abs() < 1e-12);
         // After the crossing there is no second one.
-        assert_eq!(tr.crossing_time("a", 0.25, CrossDirection::Rising, 0.3), None);
+        assert_eq!(
+            tr.crossing_time("a", 0.25, CrossDirection::Rising, 0.3),
+            None
+        );
     }
 
     #[test]
     fn crossing_time_falling_absent_on_ramp() {
         let tr = ramp_trace();
-        assert_eq!(tr.crossing_time("a", 0.5, CrossDirection::Falling, 0.0), None);
+        assert_eq!(
+            tr.crossing_time("a", 0.5, CrossDirection::Falling, 0.0),
+            None
+        );
         assert!(tr
             .crossing_time("a", 0.5, CrossDirection::Either, 0.0)
             .is_some());
@@ -219,7 +244,9 @@ mod tests {
         let mut tr = Trace::new(vec!["x".into()]);
         tr.push(0.0, &[1.0]);
         tr.push(1.0, &[0.0]);
-        let t = tr.crossing_time("x", 0.5, CrossDirection::Falling, 0.0).unwrap();
+        let t = tr
+            .crossing_time("x", 0.5, CrossDirection::Falling, 0.0)
+            .unwrap();
         assert!((t - 0.5).abs() < 1e-12);
     }
 }

@@ -1,5 +1,7 @@
 //! Transient analysis with fixed base step, adaptive step-splitting on
-//! Newton failure, and backward-Euler or trapezoidal integration.
+//! Newton failure, backward-Euler or trapezoidal integration, optional
+//! early-exit criteria, and a reusable context for repeated runs on the
+//! same circuit.
 
 use crate::netlist::{Netlist, NodeId, ReactiveBranch};
 use crate::newton::{NewtonOpts, NewtonWorkspace};
@@ -29,6 +31,44 @@ pub enum RecordSpec {
     Nodes(Vec<String>),
 }
 
+/// Early-exit criterion: stop the run as soon as the simulated state
+/// answers the question being asked, instead of integrating to `t_stop`.
+///
+/// The trace produced by an early-exited run is a prefix of the full run's
+/// trace (the triggering sample is kept), so crossing-time measurements on
+/// signals that resolve before the exit are unchanged.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum StopWhen {
+    /// No early exit: integrate to `t_stop`.
+    #[default]
+    AtStop,
+    /// Stop once `|V(a) − V(b)| ≥ threshold` at an accepted base step.
+    /// Intended for regeneration probes, where the differential grows
+    /// monotonically once it passes the resolve threshold — the sign at
+    /// exit equals the sign at `t_stop`.
+    DiffExceeds {
+        /// First node name.
+        a: String,
+        /// Second node name.
+        b: String,
+        /// Absolute differential-voltage threshold \[V\].
+        threshold: f64,
+    },
+    /// Stop at the first accepted base step whose interval contains a
+    /// rising crossing of `level` on `node` with interpolated crossing
+    /// time ≥ `after` — the same pair-selection rule as
+    /// [`Trace::crossing_time`], so the measured crossing is identical to
+    /// the full run's. The bracketing sample is recorded before stopping.
+    RisesThrough {
+        /// Node name to watch.
+        node: String,
+        /// Rising threshold \[V\].
+        level: f64,
+        /// Ignore crossings before this time \[s\].
+        after: f64,
+    },
+}
+
 /// Parameters of a transient run.
 #[derive(Debug, Clone)]
 pub struct TranParams {
@@ -44,6 +84,8 @@ pub struct TranParams {
     pub ics: Vec<(String, f64)>,
     /// Signals to record.
     pub record: RecordSpec,
+    /// Early-exit criterion.
+    pub stop: StopWhen,
     /// Newton iteration budget per step.
     pub max_newton: usize,
     /// Maximum recursive halvings of `dt` when a step fails.
@@ -61,6 +103,7 @@ impl TranParams {
             integrator: Integrator::default(),
             ics: Vec::new(),
             record: RecordSpec::Nodes(Vec::new()),
+            stop: StopWhen::AtStop,
             max_newton: 60,
             max_step_splits: 10,
         }
@@ -93,6 +136,12 @@ impl TranParams {
         self.integrator = integrator;
         self
     }
+
+    /// Sets the early-exit criterion.
+    pub fn stop_when(mut self, stop: StopWhen) -> Self {
+        self.stop = stop;
+        self
+    }
 }
 
 /// Per-branch companion-model history.
@@ -102,119 +151,284 @@ struct BranchState {
     i_prev: f64,
 }
 
-/// Runs a transient analysis.
+/// Resolved early-exit check, tracking crossing state between base steps.
+enum StopCheck {
+    Never,
+    Diff {
+        a: NodeId,
+        b: NodeId,
+        threshold: f64,
+    },
+    Rise {
+        node: NodeId,
+        level: f64,
+        after: f64,
+        y_prev: f64,
+        t_prev: f64,
+    },
+}
+
+impl StopCheck {
+    /// Whether to stop after the accepted base step ending at `(t, x)`.
+    fn triggered(&mut self, x: &[f64], t: f64) -> bool {
+        match self {
+            StopCheck::Never => false,
+            StopCheck::Diff { a, b, threshold } => (volt(x, *a) - volt(x, *b)).abs() >= *threshold,
+            StopCheck::Rise {
+                node,
+                level,
+                after,
+                y_prev,
+                t_prev,
+            } => {
+                let y = volt(x, *node);
+                // Mirror Trace::crossing_time's pair selection: only pairs
+                // whose end time has reached `after` count, and the
+                // interpolated crossing itself must lie at/after it.
+                let mut hit = false;
+                if t >= *after && *y_prev < *level && y >= *level {
+                    let frac = if y == *y_prev {
+                        0.0
+                    } else {
+                        (*level - *y_prev) / (y - *y_prev)
+                    };
+                    hit = *t_prev + frac * (t - *t_prev) >= *after;
+                }
+                *y_prev = y;
+                *t_prev = t;
+                hit
+            }
+        }
+    }
+}
+
+#[inline]
+fn volt(x: &[f64], id: NodeId) -> f64 {
+    match id.unknown_index() {
+        Some(i) => x[i],
+        None => 0.0,
+    }
+}
+
+/// Reusable transient-analysis context: Newton workspace (with its cached
+/// base Jacobian), branch list, state vectors, and output trace, all kept
+/// alive between runs so that repeated transients on the same circuit —
+/// the Monte Carlo probe loop — allocate nothing after the first.
 ///
-/// Starts from user initial conditions (`UIC`): node voltages are set from
-/// [`TranParams::ics`], capacitor histories are initialized consistently,
-/// and the first Newton solve happens at `t = dt`.
+/// A context is tied to the netlist it was built from: reuse it only while
+/// the topology and element *values* are unchanged. Mutating source
+/// waveforms between runs is explicitly supported (that is the point);
+/// after changing element values, call [`TranContext::invalidate`].
+#[derive(Debug)]
+pub struct TranContext {
+    n: usize,
+    branches: Vec<ReactiveBranch>,
+    states: Vec<BranchState>,
+    ws: NewtonWorkspace,
+    x: Vec<f64>,
+    sample: Vec<f64>,
+    trace: Trace,
+}
+
+impl TranContext {
+    /// Builds a context sized for `netlist`.
+    pub fn new(netlist: &Netlist) -> Self {
+        let n = netlist.unknown_count();
+        let branches = netlist.reactive_branches();
+        let states = Vec::with_capacity(branches.len());
+        Self {
+            n,
+            branches,
+            states,
+            ws: NewtonWorkspace::new(n),
+            x: vec![0.0; n],
+            sample: Vec::new(),
+            trace: Trace::new(Vec::new()),
+        }
+    }
+
+    /// Drops cached constant structure (the base Jacobian). Call after
+    /// mutating element values of the underlying netlist.
+    pub fn invalidate(&mut self) {
+        self.ws.invalidate_base();
+    }
+
+    /// The trace produced by the most recent [`TranContext::run`].
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Runs a transient analysis, reusing every buffer from previous runs.
+    ///
+    /// Starts from user initial conditions (`UIC`): node voltages are set
+    /// from [`TranParams::ics`], capacitor histories are initialized
+    /// consistently, and the first Newton solve happens at `t = dt`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CircuitError::InvalidParameter`] for non-positive `dt`/`t_stop`
+    ///   or an unknown node name in `ics`/`record`/`stop`;
+    /// - [`CircuitError::Singular`] / [`CircuitError::NonConvergence`] from
+    ///   the Newton solver if step splitting bottoms out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `netlist` does not have the unknown count this context
+    /// was built for.
+    pub fn run(&mut self, netlist: &Netlist, params: &TranParams) -> Result<&Trace, CircuitError> {
+        if params.dt <= 0.0 || !params.dt.is_finite() {
+            return Err(CircuitError::InvalidParameter {
+                message: format!("time step must be positive, got {}", params.dt),
+            });
+        }
+        if params.t_stop <= 0.0 || !params.t_stop.is_finite() {
+            return Err(CircuitError::InvalidParameter {
+                message: format!("stop time must be positive, got {}", params.t_stop),
+            });
+        }
+        assert_eq!(
+            netlist.unknown_count(),
+            self.n,
+            "netlist does not match this context"
+        );
+
+        let find = |name: &str| -> Result<NodeId, CircuitError> {
+            netlist
+                .find_node(name)
+                .ok_or_else(|| CircuitError::InvalidParameter {
+                    message: format!("node '{name}' does not exist"),
+                })
+        };
+
+        // Resolve recorded nodes.
+        let recorded: Vec<(String, NodeId)> = match &params.record {
+            RecordSpec::All => netlist
+                .node_ids()
+                .map(|id| (netlist.node_name(id).to_owned(), id))
+                .collect(),
+            RecordSpec::Nodes(names) => {
+                let mut v = Vec::with_capacity(names.len());
+                for name in names {
+                    let id =
+                        netlist
+                            .find_node(name)
+                            .ok_or_else(|| CircuitError::InvalidParameter {
+                                message: format!("recorded node '{name}' does not exist"),
+                            })?;
+                    v.push((name.clone(), id));
+                }
+                v
+            }
+        };
+
+        // Initial state from ICs.
+        self.x.iter_mut().for_each(|v| *v = 0.0);
+        for (name, volts) in &params.ics {
+            let id = netlist
+                .find_node(name)
+                .ok_or_else(|| CircuitError::InvalidParameter {
+                    message: format!("IC node '{name}' does not exist"),
+                })?;
+            if let Some(i) = id.unknown_index() {
+                self.x[i] = *volts;
+            }
+        }
+
+        // Resolve the early-exit criterion.
+        let mut stop = match &params.stop {
+            StopWhen::AtStop => StopCheck::Never,
+            StopWhen::DiffExceeds { a, b, threshold } => StopCheck::Diff {
+                a: find(a)?,
+                b: find(b)?,
+                threshold: *threshold,
+            },
+            StopWhen::RisesThrough { node, level, after } => {
+                let id = find(node)?;
+                StopCheck::Rise {
+                    node: id,
+                    level: *level,
+                    after: *after,
+                    y_prev: volt(&self.x, id),
+                    t_prev: 0.0,
+                }
+            }
+        };
+
+        self.states.clear();
+        self.states
+            .extend(self.branches.iter().map(|b| BranchState {
+                v_prev: volt(&self.x, b.a) - volt(&self.x, b.b),
+                i_prev: 0.0,
+            }));
+
+        let opts = NewtonOpts {
+            max_iter: params.max_newton,
+            ..NewtonOpts::default()
+        };
+
+        self.trace
+            .reset(recorded.iter().map(|(name, _)| name.clone()).collect());
+        self.sample.clear();
+        self.sample.resize(recorded.len(), 0.0);
+        for (slot, (_, id)) in self.sample.iter_mut().zip(&recorded) {
+            *slot = volt(&self.x, *id);
+        }
+        self.trace.push(0.0, &self.sample);
+
+        let mut t = 0.0;
+        let mut first_step = true;
+        let n_steps = (params.t_stop / params.dt).ceil() as u64;
+        for step in 1..=n_steps {
+            let t_target = (step as f64 * params.dt).min(params.t_stop);
+            if t_target <= t {
+                continue;
+            }
+            let advanced = advance(
+                netlist,
+                &self.branches,
+                &mut self.states,
+                &mut self.x,
+                &mut self.ws,
+                opts,
+                t,
+                t_target,
+                params.integrator,
+                first_step,
+                params.max_step_splits,
+            );
+            if let Err(e) = advanced {
+                std::mem::take(&mut self.ws.counts).flush(false);
+                return Err(e);
+            }
+            first_step = false;
+            t = t_target;
+            for (slot, (_, id)) in self.sample.iter_mut().zip(&recorded) {
+                *slot = volt(&self.x, *id);
+            }
+            self.trace.push(t, &self.sample);
+            if stop.triggered(&self.x, t) {
+                break;
+            }
+        }
+
+        std::mem::take(&mut self.ws.counts).flush(true);
+        Ok(&self.trace)
+    }
+}
+
+/// Runs a one-shot transient analysis.
+///
+/// Equivalent to building a fresh [`TranContext`] and calling
+/// [`TranContext::run`] once; repeated analyses of the same circuit should
+/// reuse a context instead.
 ///
 /// # Errors
 ///
-/// - [`CircuitError::InvalidParameter`] for non-positive `dt`/`t_stop` or
-///   an unknown node name in `ics`/`record`;
-/// - [`CircuitError::Singular`] / [`CircuitError::NonConvergence`] from the
-///   Newton solver if step splitting bottoms out.
+/// See [`TranContext::run`].
 pub fn transient(netlist: &Netlist, params: &TranParams) -> Result<Trace, CircuitError> {
-    if !(params.dt > 0.0) || !params.dt.is_finite() {
-        return Err(CircuitError::InvalidParameter {
-            message: format!("time step must be positive, got {}", params.dt),
-        });
-    }
-    if !(params.t_stop > 0.0) || !params.t_stop.is_finite() {
-        return Err(CircuitError::InvalidParameter {
-            message: format!("stop time must be positive, got {}", params.t_stop),
-        });
-    }
-
-    let n = netlist.unknown_count();
-
-    // Resolve recorded nodes.
-    let recorded: Vec<(String, NodeId)> = match &params.record {
-        RecordSpec::All => netlist
-            .node_ids()
-            .map(|id| (netlist.node_name(id).to_owned(), id))
-            .collect(),
-        RecordSpec::Nodes(names) => {
-            let mut v = Vec::with_capacity(names.len());
-            for name in names {
-                let id = netlist.find_node(name).ok_or_else(|| CircuitError::InvalidParameter {
-                    message: format!("recorded node '{name}' does not exist"),
-                })?;
-                v.push((name.clone(), id));
-            }
-            v
-        }
-    };
-
-    // Initial state from ICs.
-    let mut x = vec![0.0; n];
-    for (name, volts) in &params.ics {
-        let id = netlist.find_node(name).ok_or_else(|| CircuitError::InvalidParameter {
-            message: format!("IC node '{name}' does not exist"),
-        })?;
-        if let Some(i) = id.unknown_index() {
-            x[i] = *volts;
-        }
-    }
-
-    let branches = netlist.reactive_branches();
-    let volt = |x: &[f64], id: NodeId| -> f64 {
-        match id.unknown_index() {
-            Some(i) => x[i],
-            None => 0.0,
-        }
-    };
-    let mut states: Vec<BranchState> = branches
-        .iter()
-        .map(|b| BranchState {
-            v_prev: volt(&x, b.a) - volt(&x, b.b),
-            i_prev: 0.0,
-        })
-        .collect();
-
-    let mut ws = NewtonWorkspace::new(n);
-    let opts = NewtonOpts {
-        max_iter: params.max_newton,
-        ..NewtonOpts::default()
-    };
-
-    let mut trace = Trace::new(recorded.iter().map(|(name, _)| name.clone()).collect());
-    let mut sample = vec![0.0; recorded.len()];
-    let record = |trace: &mut Trace, t: f64, x: &[f64], sample: &mut Vec<f64>| {
-        for (slot, (_, id)) in sample.iter_mut().zip(&recorded) {
-            *slot = volt(x, *id);
-        }
-        trace.push(t, sample);
-    };
-    record(&mut trace, 0.0, &x, &mut sample);
-
-    let mut t = 0.0;
-    let mut first_step = true;
-    let n_steps = (params.t_stop / params.dt).ceil() as u64;
-    for step in 1..=n_steps {
-        let t_target = (step as f64 * params.dt).min(params.t_stop);
-        if t_target <= t {
-            continue;
-        }
-        advance(
-            netlist,
-            &branches,
-            &mut states,
-            &mut x,
-            &mut ws,
-            opts,
-            t,
-            t_target,
-            params.integrator,
-            first_step,
-            params.max_step_splits,
-        )?;
-        first_step = false;
-        t = t_target;
-        record(&mut trace, t, &x, &mut sample);
-    }
-
-    Ok(trace)
+    let mut ctx = TranContext::new(netlist);
+    ctx.run(netlist, params)?;
+    Ok(ctx.trace)
 }
 
 /// Advances the solution from `t0` to `t1`, recursively splitting the step
@@ -242,29 +456,37 @@ fn advance(
     // The first step of a run uses BE regardless, to bootstrap i_prev.
     let use_trap = matches!(integrator, Integrator::Trapezoidal) && !first_step;
 
-    let volt = |x: &[f64], id: NodeId| -> f64 {
-        match id.unknown_index() {
-            Some(i) => x[i],
-            None => 0.0,
-        }
-    };
-
+    // The companion conductances depend only on (h, method), so they live
+    // in the cached base Jacobian; the sign of the key distinguishes the
+    // two methods at equal step size.
+    let base_key = if use_trap { h } else { -h };
+    let states_ro: &[BranchState] = states;
     let solve_result = ws.solve(
         netlist,
         x,
         t1,
+        base_key,
+        |st| {
+            for b in branches {
+                let geq = if use_trap {
+                    2.0 * b.capacitance / h
+                } else {
+                    b.capacitance / h
+                };
+                st.add_conductance(b.a, b.b, geq);
+            }
+        },
         |x, st| {
-            for (b, s) in branches.iter().zip(states.iter()) {
+            for (b, s) in branches.iter().zip(states_ro.iter()) {
                 let vab = volt(x, b.a) - volt(x, b.b);
-                let (geq, i) = if use_trap {
+                let i = if use_trap {
                     let g = 2.0 * b.capacitance / h;
-                    (g, g * (vab - s.v_prev) - s.i_prev)
+                    g * (vab - s.v_prev) - s.i_prev
                 } else {
                     let g = b.capacitance / h;
-                    (g, g * (vab - s.v_prev))
+                    g * (vab - s.v_prev)
                 };
                 st.add_current(b.a, b.b, i);
-                st.add_conductance(b.a, b.b, geq);
             }
         },
         opts,
@@ -272,6 +494,7 @@ fn advance(
 
     match solve_result {
         Ok(_) => {
+            ws.counts.timesteps += 1;
             // Commit branch history.
             for (b, s) in branches.iter().zip(states.iter_mut()) {
                 let vab = volt(x, b.a) - volt(x, b.b);
@@ -296,11 +519,29 @@ fn advance(
             states.copy_from_slice(&states_backup);
             let tm = 0.5 * (t0 + t1);
             advance(
-                netlist, branches, states, x, ws, opts, t0, tm, integrator, first_step,
+                netlist,
+                branches,
+                states,
+                x,
+                ws,
+                opts,
+                t0,
+                tm,
+                integrator,
+                first_step,
                 splits_left - 1,
             )?;
             advance(
-                netlist, branches, states, x, ws, opts, tm, t1, integrator, false,
+                netlist,
+                branches,
+                states,
+                x,
+                ws,
+                opts,
+                tm,
+                t1,
+                integrator,
+                false,
                 splits_left - 1,
             )
         }
@@ -338,6 +579,23 @@ mod tests {
             polarity: MosPolarity::Pmos,
             ..nmos(beta)
         }
+    }
+
+    fn latch_netlist() -> Netlist {
+        let mut n = Netlist::new();
+        let vdd = n.node("vdd");
+        let s = n.node("s");
+        let sbar = n.node("sbar");
+        n.vsource(vdd, Netlist::GROUND, Waveform::dc(1.0));
+        // Inverter A: input s, output sbar.
+        n.mosfet("MPA", sbar, s, vdd, vdd, pmos(2e-3));
+        n.mosfet("MNA", sbar, s, Netlist::GROUND, Netlist::GROUND, nmos(1e-3));
+        // Inverter B: input sbar, output s.
+        n.mosfet("MPB", s, sbar, vdd, vdd, pmos(2e-3));
+        n.mosfet("MNB", s, sbar, Netlist::GROUND, Netlist::GROUND, nmos(1e-3));
+        n.capacitor(s, Netlist::GROUND, 1e-15);
+        n.capacitor(sbar, Netlist::GROUND, 1e-15);
+        n
     }
 
     #[test]
@@ -429,20 +687,7 @@ mod tests {
     fn cross_coupled_latch_regenerates() {
         // The core dynamic of the sense amplifier: two cross-coupled
         // inverters amplify a small initial imbalance to full rails.
-        let mut n = Netlist::new();
-        let vdd = n.node("vdd");
-        let s = n.node("s");
-        let sbar = n.node("sbar");
-        n.vsource(vdd, Netlist::GROUND, Waveform::dc(1.0));
-        // Inverter A: input s, output sbar.
-        n.mosfet("MPA", sbar, s, vdd, vdd, pmos(2e-3));
-        n.mosfet("MNA", sbar, s, Netlist::GROUND, Netlist::GROUND, nmos(1e-3));
-        // Inverter B: input sbar, output s.
-        n.mosfet("MPB", s, sbar, vdd, vdd, pmos(2e-3));
-        n.mosfet("MNB", s, sbar, Netlist::GROUND, Netlist::GROUND, nmos(1e-3));
-        n.capacitor(s, Netlist::GROUND, 1e-15);
-        n.capacitor(sbar, Netlist::GROUND, 1e-15);
-
+        let n = latch_netlist();
         let params = TranParams::new(2e-9, 1e-12)
             .record_all()
             .ic("vdd", 1.0)
@@ -461,6 +706,101 @@ mod tests {
         let tr2 = transient(&n, &params2).unwrap();
         assert!(tr2.final_value("s").unwrap() < 0.05);
         assert!(tr2.final_value("sbar").unwrap() > 0.95);
+    }
+
+    #[test]
+    fn diff_exceeds_stops_early_with_same_sign() {
+        let n = latch_netlist();
+        let full = TranParams::new(2e-9, 1e-12)
+            .record_nodes(["s", "sbar"])
+            .ic("vdd", 1.0)
+            .ic("s", 0.52)
+            .ic("sbar", 0.48);
+        let early = full.clone().stop_when(StopWhen::DiffExceeds {
+            a: "s".into(),
+            b: "sbar".into(),
+            threshold: 0.6,
+        });
+        let tr_full = transient(&n, &full).unwrap();
+        let tr_early = transient(&n, &early).unwrap();
+        assert!(
+            tr_early.len() < tr_full.len() / 2,
+            "early exit should cut the run ({} vs {})",
+            tr_early.len(),
+            tr_full.len()
+        );
+        let diff_early = tr_early.final_value("s").unwrap() - tr_early.final_value("sbar").unwrap();
+        let diff_full = tr_full.final_value("s").unwrap() - tr_full.final_value("sbar").unwrap();
+        assert!(diff_early.abs() >= 0.6);
+        assert_eq!(diff_early.signum(), diff_full.signum());
+        // The early trace is a sample-for-sample prefix of the full one.
+        let k = tr_early.len();
+        assert_eq!(&tr_full.time()[..k], tr_early.time());
+        assert_eq!(
+            &tr_full.signal("s").unwrap()[..k],
+            tr_early.signal("s").unwrap()
+        );
+    }
+
+    #[test]
+    fn rises_through_preserves_crossing_time() {
+        let n = latch_netlist();
+        let full = TranParams::new(2e-9, 1e-12)
+            .record_nodes(["s", "sbar"])
+            .ic("vdd", 1.0)
+            .ic("s", 0.52)
+            .ic("sbar", 0.48);
+        let early = full.clone().stop_when(StopWhen::RisesThrough {
+            node: "s".into(),
+            level: 0.9,
+            after: 10e-12,
+        });
+        let tr_full = transient(&n, &full).unwrap();
+        let tr_early = transient(&n, &early).unwrap();
+        assert!(tr_early.len() < tr_full.len());
+        let tc_full = tr_full
+            .crossing_time("s", 0.9, CrossDirection::Rising, 10e-12)
+            .unwrap();
+        let tc_early = tr_early
+            .crossing_time("s", 0.9, CrossDirection::Rising, 10e-12)
+            .unwrap();
+        assert_eq!(tc_full.to_bits(), tc_early.to_bits());
+    }
+
+    #[test]
+    fn context_reuse_is_bit_identical_to_fresh_runs() {
+        let n = latch_netlist();
+        let mk = |s_ic: f64| {
+            TranParams::new(1e-9, 1e-12)
+                .record_nodes(["s", "sbar"])
+                .ic("vdd", 1.0)
+                .ic("s", s_ic)
+                .ic("sbar", 1.0 - s_ic)
+        };
+        let mut ctx = TranContext::new(&n);
+        for s_ic in [0.52, 0.48, 0.505] {
+            let params = mk(s_ic);
+            let fresh = transient(&n, &params).unwrap();
+            let reused = ctx.run(&n, &params).unwrap();
+            assert_eq!(&fresh, reused, "s_ic = {s_ic}");
+        }
+    }
+
+    #[test]
+    fn stop_condition_on_unknown_node_is_rejected() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        n.resistor(a, Netlist::GROUND, 1.0);
+        n.capacitor(a, Netlist::GROUND, 1e-12);
+        let params = TranParams::new(1e-9, 1e-12).stop_when(StopWhen::RisesThrough {
+            node: "nope".into(),
+            level: 0.5,
+            after: 0.0,
+        });
+        assert!(matches!(
+            transient(&n, &params),
+            Err(CircuitError::InvalidParameter { .. })
+        ));
     }
 
     #[test]
@@ -512,5 +852,20 @@ mod tests {
         let tr = transient(&n, &TranParams::new(2e-9, 1e-11).record_all()).unwrap();
         assert!((tr.value_at("a", 0.5e-9).unwrap() - 0.5).abs() < 1e-6);
         assert!((tr.value_at("a", 2e-9).unwrap() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transient_updates_perf_counters() {
+        let mut n = Netlist::new();
+        let a = n.node("a");
+        n.resistor(a, Netlist::GROUND, 1e3);
+        n.capacitor(a, Netlist::GROUND, 1e-12);
+        let before = crate::perf::snapshot();
+        transient(&n, &TranParams::new(1e-10, 1e-12).record_all().ic("a", 1.0)).unwrap();
+        let d = crate::perf::snapshot().delta_since(&before);
+        assert!(d.transients >= 1, "{d:?}");
+        assert!(d.timesteps >= 100, "{d:?}");
+        assert!(d.newton_iterations >= d.timesteps, "{d:?}");
+        assert!(d.lu_factorizations >= d.timesteps, "{d:?}");
     }
 }

@@ -55,8 +55,19 @@ impl Waveform {
     ///
     /// Panics if `width`, `rise`, `fall` or `delay` is negative, or the
     /// period is not larger than `rise + width + fall` (unless infinite).
-    pub fn pulse(v0: f64, v1: f64, delay: f64, rise: f64, fall: f64, width: f64, period: f64) -> Self {
-        assert!(delay >= 0.0 && rise >= 0.0 && fall >= 0.0 && width >= 0.0, "pulse timings must be non-negative");
+    pub fn pulse(
+        v0: f64,
+        v1: f64,
+        delay: f64,
+        rise: f64,
+        fall: f64,
+        width: f64,
+        period: f64,
+    ) -> Self {
+        assert!(
+            delay >= 0.0 && rise >= 0.0 && fall >= 0.0 && width >= 0.0,
+            "pulse timings must be non-negative"
+        );
         assert!(
             period.is_infinite() || period >= rise + width + fall,
             "pulse period shorter than one pulse"
@@ -143,7 +154,7 @@ mod tests {
         assert_eq!(w.eval(2.0), 2.0); // high
         assert!((w.eval(2.625) - 1.0).abs() < 1e-12); // mid fall
         assert_eq!(w.eval(3.0), 0.0); // low again
-        // Periodicity: one full period later.
+                                      // Periodicity: one full period later.
         assert!((w.eval(5.25) - 1.0).abs() < 1e-12);
     }
 

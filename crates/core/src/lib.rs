@@ -55,6 +55,7 @@ pub mod metastability;
 pub mod montecarlo;
 pub mod netlist;
 pub mod overhead;
+pub mod perf;
 pub mod probe;
 pub mod spec;
 pub mod stress;
@@ -63,7 +64,7 @@ pub mod variation;
 pub mod workload;
 
 pub use netlist::{SaDevice, SaInstance, SaKind, SaSizing};
-pub use probe::{ProbeOptions, SenseOutcome};
+pub use probe::{OffsetSearch, ProbeOptions, SenseOutcome};
 pub use workload::{ReadSequence, Workload};
 
 use std::fmt;
@@ -72,7 +73,7 @@ use std::fmt;
 pub mod prelude {
     pub use crate::montecarlo::{AgingMode, McConfig, McResult};
     pub use crate::netlist::{SaDevice, SaInstance, SaKind, SaSizing};
-    pub use crate::probe::{ProbeOptions, SenseOutcome};
+    pub use crate::probe::{OffsetSearch, ProbeOptions, SenseOutcome};
     pub use crate::spec::offset_spec;
     pub use crate::stress::{compile_workload, device_stress, StressModel};
     pub use crate::variation::MismatchModel;
@@ -118,7 +119,10 @@ impl fmt::Display for SaError {
                 write!(f, "no decision flip within ±{vin_max} V input range")
             }
             SaError::MissingCrossing { signal } => {
-                write!(f, "signal '{signal}' never crossed its measurement threshold")
+                write!(
+                    f,
+                    "signal '{signal}' never crossed its measurement threshold"
+                )
             }
         }
     }

@@ -35,12 +35,8 @@ impl SaInstance {
         // Balance the latch at its own offset so the saddle exists at
         // mid-rail even for aged instances.
         let offset = self.offset_voltage(opts)?;
-        let drive = crate::probe::DriveSpec::offset_probe(
-            -offset,
-            &self.env,
-            opts.t_enable,
-            opts.edge,
-        );
+        let drive =
+            crate::probe::DriveSpec::offset_probe(-offset, &self.env, opts.t_enable, opts.edge);
         let mut net = self.build_netlist(&drive);
         // Hold the enables in the amplify state for the DC solve.
         let vdd = self.env.vdd;

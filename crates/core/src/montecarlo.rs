@@ -17,7 +17,7 @@
 
 use crate::calib;
 use crate::netlist::{SaInstance, SaKind, SaSizing};
-use crate::probe::ProbeOptions;
+use crate::probe::{OffsetSearch, ProbeOptions};
 use crate::spec::offset_spec;
 use crate::stress::{compile_workload, device_stress, StressModel};
 use crate::variation::MismatchModel;
@@ -154,7 +154,13 @@ impl McConfig {
 
     /// A reduced configuration for tests and smoke runs: `samples`
     /// samples, fast probes, fewer delay measurements.
-    pub fn smoke(kind: SaKind, workload: Workload, env: Environment, time: f64, samples: usize) -> Self {
+    pub fn smoke(
+        kind: SaKind,
+        workload: Workload,
+        env: Environment,
+        time: f64,
+        samples: usize,
+    ) -> Self {
         Self {
             samples,
             probe: ProbeOptions::fast(),
@@ -164,8 +170,46 @@ impl McConfig {
     }
 }
 
+/// Hot-path cost accounting of one Monte Carlo corner.
+///
+/// Counter deltas are taken from the process-global performance counters
+/// ([`issa_circuit::perf`], [`crate::perf`]) around each phase, so they
+/// include work from any *concurrent* analyses in the same process — in
+/// normal single-analysis use they are exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct McPerf {
+    /// Wall-clock time of the offset phase \[s\].
+    pub offset_wall_s: f64,
+    /// Wall-clock time of the delay phase \[s\].
+    pub delay_wall_s: f64,
+    /// Probe transients launched (offset-search probes + delay probes).
+    pub probes: u64,
+    /// Simulator-internal work counters across both phases.
+    pub circuit: issa_circuit::PerfSnapshot,
+}
+
+impl McPerf {
+    /// Formats the counters as a compact single-line report.
+    pub fn report(&self) -> String {
+        format!(
+            "probes={}  transients={}  steps={}  newton={}  lu={}  offset_wall={:.2}s  delay_wall={:.2}s",
+            self.probes,
+            self.circuit.transients,
+            self.circuit.timesteps,
+            self.circuit.newton_iterations,
+            self.circuit.lu_factorizations,
+            self.offset_wall_s,
+            self.delay_wall_s
+        )
+    }
+}
+
 /// Result of one Monte Carlo corner.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the physical results (offsets, delays, and the
+/// statistics derived from them) and ignores [`McResult::perf`] — wall
+/// times and counter splits legitimately differ between equal runs.
+#[derive(Debug, Clone)]
 pub struct McResult {
     /// Per-sample offset voltages \[V\].
     pub offsets: Vec<f64>,
@@ -185,6 +229,22 @@ pub struct McResult {
     /// Lilliefors critical value); larger values flag a corner where the
     /// 6.1 σ extrapolation is questionable.
     pub ks_sqrt_n: f64,
+    /// Hot-path cost accounting (not part of equality).
+    pub perf: McPerf,
+}
+
+impl PartialEq for McResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets
+            && self.delays == other.delays
+            && self.mu == other.mu
+            && self.sigma == other.sigma
+            && self.spec == other.spec
+            && (self.mean_delay == other.mean_delay
+                || (self.mean_delay.is_nan() && other.mean_delay.is_nan()))
+            && (self.ks_sqrt_n == other.ks_sqrt_n
+                || (self.ks_sqrt_n.is_nan() && other.ks_sqrt_n.is_nan()))
+    }
 }
 
 impl McResult {
@@ -223,7 +283,9 @@ pub fn build_sample(cfg: &McConfig, index: usize) -> SaInstance {
             TrapSet::sample_accelerated(&cfg.bti, device.gate_area(&cfg.sizing), &stress, &mut rng);
         let aged = match cfg.aging_mode {
             AgingMode::Expected => cfg.bti.delta_vth_expected(&traps, &stress, cfg.time),
-            AgingMode::Sampled => cfg.bti.delta_vth_sampled(&traps, &stress, cfg.time, &mut rng),
+            AgingMode::Sampled => cfg
+                .bti
+                .delta_vth_sampled(&traps, &stress, cfg.time, &mut rng),
         };
         let hci = cfg.hci.map_or(0.0, |h| {
             h.params.delta_vth_for_activity(
@@ -253,18 +315,28 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
     }
     .min(cfg.samples);
 
+    let mut perf = McPerf::default();
+    let probes_before = crate::perf::sense_calls();
+    let circuit_before = issa_circuit::perf::snapshot();
+    let offset_start = std::time::Instant::now();
+
     // Phase 1 — offsets. Each sample is fully determined by its index, so
     // the loop splits into independent strided shards that merge by index.
+    // Each shard threads one OffsetSearch through its samples: the search
+    // warm-starts from the previous flip cell, which changes the probe
+    // order but not the result (the flip cell on the fixed search grid is
+    // unique), so the offsets stay identical for any thread count.
     let mut offsets = vec![0.0; cfg.samples];
     let offset_shards: Vec<Result<Vec<(usize, f64)>, SaError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|shard| {
                 scope.spawn(move || {
                     let mut local = Vec::new();
+                    let mut search = OffsetSearch::default();
                     let mut i = shard;
                     while i < cfg.samples {
                         let sa = build_sample(cfg, i);
-                        local.push((i, sa.offset_voltage(&cfg.probe)?));
+                        local.push((i, sa.offset_voltage_with(&cfg.probe, &mut search)?));
                         i += threads;
                     }
                     Ok(local)
@@ -281,6 +353,7 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
             offsets[i] = offset;
         }
     }
+    perf.offset_wall_s = offset_start.elapsed().as_secs_f64();
     let summary = Summary::of(&offsets);
     // Tiny runs can produce zero spread (offsets are quantized to the
     // binary-search grid); the spec then degenerates to the |mean|.
@@ -301,6 +374,7 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
     // bitline differential onto the internal nodes more slowly, eroding
     // margin during regeneration, which the static binary search cannot
     // see.
+    let delay_start = std::time::Instant::now();
     let delay_count = cfg.delay_samples.min(cfg.samples);
     let mut delays = vec![f64::NAN; delay_count];
     if delay_count > 0 {
@@ -316,36 +390,36 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
             compile_workload(cfg.workload, cfg.kind, cfg.counter_bits).internal_zero_fraction;
         let delay_probe = &delay_probe;
         let delay_threads = threads.min(delay_count);
-        let delay_shards: Vec<Result<Vec<(usize, f64)>, SaError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..delay_threads)
-                    .map(|shard| {
-                        scope.spawn(move || {
-                            let mut local = Vec::new();
-                            let mut i = shard;
-                            while i < delay_count {
-                                let sa = build_sample(cfg, i);
-                                local.push((
-                                    i,
-                                    sa.sensing_delay_weighted(zero_fraction, delay_probe)?,
-                                ));
-                                i += delay_threads;
-                            }
-                            Ok(local)
-                        })
+        let delay_shards: Vec<Result<Vec<(usize, f64)>, SaError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..delay_threads)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        let mut i = shard;
+                        while i < delay_count {
+                            let sa = build_sample(cfg, i);
+                            local.push((i, sa.sensing_delay_weighted(zero_fraction, delay_probe)?));
+                            i += delay_threads;
+                        }
+                        Ok(local)
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("monte carlo worker panicked"))
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("monte carlo worker panicked"))
+                .collect()
+        });
         for shard in delay_shards {
             for (i, delay) in shard? {
                 delays[i] = delay;
             }
         }
     }
+
+    perf.delay_wall_s = delay_start.elapsed().as_secs_f64();
+    perf.probes = crate::perf::sense_calls() - probes_before;
+    perf.circuit = issa_circuit::perf::snapshot().delta_since(&circuit_before);
 
     let mean_delay = if delays.is_empty() {
         f64::NAN
@@ -360,6 +434,7 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
         spec,
         mean_delay,
         ks_sqrt_n,
+        perf,
     })
 }
 
@@ -407,7 +482,10 @@ mod tests {
     #[test]
     fn sample_prefix_is_stable_under_sample_count() {
         let small = smoke(SaKind::Nssa, ReadSequence::AllZeros, 1e8, 4);
-        let large = McConfig { samples: 8, ..small.clone() };
+        let large = McConfig {
+            samples: 8,
+            ..small.clone()
+        };
         let a = run_mc(&small).unwrap();
         let b = run_mc(&large).unwrap();
         assert_eq!(a.offsets[..], b.offsets[..4]);
@@ -417,8 +495,16 @@ mod tests {
     fn unbalanced_workload_shifts_nssa_mean() {
         let r0 = run_mc(&smoke(SaKind::Nssa, ReadSequence::AllZeros, 1e8, 24)).unwrap();
         let r1 = run_mc(&smoke(SaKind::Nssa, ReadSequence::AllOnes, 1e8, 24)).unwrap();
-        assert!(r0.mu > 3e-3, "r0 should shift positive: {:.2} mV", r0.mu * 1e3);
-        assert!(r1.mu < -3e-3, "r1 should shift negative: {:.2} mV", r1.mu * 1e3);
+        assert!(
+            r0.mu > 3e-3,
+            "r0 should shift positive: {:.2} mV",
+            r0.mu * 1e3
+        );
+        assert!(
+            r1.mu < -3e-3,
+            "r1 should shift negative: {:.2} mV",
+            r1.mu * 1e3
+        );
     }
 
     #[test]
@@ -456,6 +542,19 @@ mod tests {
     }
 
     #[test]
+    fn perf_counters_are_populated() {
+        let cfg = smoke(SaKind::Nssa, ReadSequence::AllZeros, 0.0, 3);
+        let r = run_mc(&cfg).unwrap();
+        assert!(r.perf.probes > 0, "no probe transients counted");
+        assert!(r.perf.circuit.transients >= r.perf.probes);
+        assert!(r.perf.circuit.newton_iterations > 0);
+        assert!(r.perf.circuit.lu_factorizations > 0);
+        assert!(r.perf.offset_wall_s > 0.0 && r.perf.delay_wall_s > 0.0);
+        let report = r.perf.report();
+        assert!(report.contains("probes=") && report.contains("newton="));
+    }
+
+    #[test]
     fn table_row_formats() {
         let r = McResult {
             offsets: vec![0.0],
@@ -465,6 +564,7 @@ mod tests {
             spec: 92e-3,
             mean_delay: 14e-12,
             ks_sqrt_n: 0.5,
+            perf: McPerf::default(),
         };
         let row = r.table_row();
         assert!(row.contains("mu="));

@@ -334,12 +334,47 @@ impl SaInstance {
         n.vsource(saenbar, gnd, en_bar);
 
         // Header, footer, and the cross-coupled pair.
-        n.mosfet("Mtop", ntop, saenbar, vdd, vdd, self.params_for(SaDevice::Mtop));
-        n.mosfet("Mbottom", nbot, saen, gnd, gnd, self.params_for(SaDevice::Mbottom));
+        n.mosfet(
+            "Mtop",
+            ntop,
+            saenbar,
+            vdd,
+            vdd,
+            self.params_for(SaDevice::Mtop),
+        );
+        n.mosfet(
+            "Mbottom",
+            nbot,
+            saen,
+            gnd,
+            gnd,
+            self.params_for(SaDevice::Mbottom),
+        );
         n.mosfet("Mup", s, sbar, ntop, vdd, self.params_for(SaDevice::Mup));
-        n.mosfet("MupBar", sbar, s, ntop, vdd, self.params_for(SaDevice::MupBar));
-        n.mosfet("Mdown", s, sbar, nbot, gnd, self.params_for(SaDevice::Mdown));
-        n.mosfet("MdownBar", sbar, s, nbot, gnd, self.params_for(SaDevice::MdownBar));
+        n.mosfet(
+            "MupBar",
+            sbar,
+            s,
+            ntop,
+            vdd,
+            self.params_for(SaDevice::MupBar),
+        );
+        n.mosfet(
+            "Mdown",
+            s,
+            sbar,
+            nbot,
+            gnd,
+            self.params_for(SaDevice::Mdown),
+        );
+        n.mosfet(
+            "MdownBar",
+            sbar,
+            s,
+            nbot,
+            gnd,
+            self.params_for(SaDevice::MdownBar),
+        );
 
         // Pass transistors (PMOS, active-low gates).
         match self.kind {
@@ -367,7 +402,14 @@ impl SaInstance {
                 n.vsource(saen_a, gnd, wave_a);
                 n.vsource(saen_b, gnd, wave_b);
                 n.mosfet("M1", s, saen_a, bl, vdd, self.params_for(SaDevice::M1));
-                n.mosfet("M2", sbar, saen_a, blbar, vdd, self.params_for(SaDevice::M2));
+                n.mosfet(
+                    "M2",
+                    sbar,
+                    saen_a,
+                    blbar,
+                    vdd,
+                    self.params_for(SaDevice::M2),
+                );
                 n.mosfet("M3", s, saen_b, blbar, vdd, self.params_for(SaDevice::M3));
                 n.mosfet("M4", sbar, saen_b, bl, vdd, self.params_for(SaDevice::M4));
             }
@@ -378,8 +420,22 @@ impl SaInstance {
         n.capacitor(sbar, gnd, self.sizing.node_cap);
 
         // Output inverters: Out = inv(SBar), Outbar = inv(S).
-        n.mosfet("OutInvP", out, sbar, vdd, vdd, self.params_for(SaDevice::OutInvP));
-        n.mosfet("OutInvN", out, sbar, gnd, gnd, self.params_for(SaDevice::OutInvN));
+        n.mosfet(
+            "OutInvP",
+            out,
+            sbar,
+            vdd,
+            vdd,
+            self.params_for(SaDevice::OutInvP),
+        );
+        n.mosfet(
+            "OutInvN",
+            out,
+            sbar,
+            gnd,
+            gnd,
+            self.params_for(SaDevice::OutInvN),
+        );
         n.mosfet(
             "OutbarInvP",
             outbar,

@@ -103,9 +103,8 @@ pub fn overhead(model: &OverheadModel, sizing: &SaSizing) -> OverheadReport {
     let nssa = sa_width_units(SaKind::Nssa, sizing);
     let issa = sa_width_units(SaKind::Issa, sizing);
 
-    let control_transistors = model.counter_bits as usize * TFF_TRANSISTORS
-        + 2 * NAND_TRANSISTORS
-        + INV_TRANSISTORS;
+    let control_transistors =
+        model.counter_bits as usize * TFF_TRANSISTORS + 2 * NAND_TRANSISTORS + INV_TRANSISTORS;
     let control_width_units = control_transistors as f64 * CONTROL_W_OVER_L;
     let control_share = control_width_units / model.columns_sharing as f64;
 
@@ -159,7 +158,11 @@ mod tests {
         // Per-SA overhead: noticeable but small (two pass devices +
         // amortized control).
         assert!(report.sa_area_overhead > 0.0);
-        assert!(report.sa_area_overhead < 0.35, "{}", report.sa_area_overhead);
+        assert!(
+            report.sa_area_overhead < 0.35,
+            "{}",
+            report.sa_area_overhead
+        );
         // Relative to a whole column the overhead is well under 1 %.
         assert!(
             report.column_area_overhead < 0.01,

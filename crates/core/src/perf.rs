@@ -1,0 +1,37 @@
+//! Measurement-level performance counters.
+//!
+//! [`issa_circuit::perf`] counts simulator-internal work (timesteps,
+//! Newton iterations, LU factorizations); this module adds the one number
+//! the Monte Carlo layer itself controls — how many *probe transients*
+//! (offset-search probes, sense operations, delay measurements) were
+//! launched. Together they let a bench report say "N probes cost M Newton
+//! iterations" and make regressions in either layer visible separately.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SENSE_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Total probe transients launched since process start (monotone).
+/// Subtract two readings to count a region, as with
+/// [`issa_circuit::perf::snapshot`].
+pub fn sense_calls() -> u64 {
+    SENSE_CALLS.load(Ordering::Relaxed)
+}
+
+/// Records one probe transient.
+pub(crate) fn record_sense_call() {
+    SENSE_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sense_calls_increment() {
+        let before = sense_calls();
+        record_sense_call();
+        record_sense_call();
+        assert!(sense_calls() >= before + 2);
+    }
+}

@@ -23,8 +23,9 @@
 
 use crate::netlist::SaInstance;
 use crate::SaError;
-use issa_circuit::trace::CrossDirection;
-use issa_circuit::tran::{transient, TranParams};
+use issa_circuit::netlist::Netlist;
+use issa_circuit::trace::{CrossDirection, Trace};
+use issa_circuit::tran::{transient, StopWhen, TranContext, TranParams};
 use issa_circuit::waveform::Waveform;
 use issa_ptm45::Environment;
 
@@ -64,6 +65,16 @@ pub struct ProbeOptions {
     pub t_settle: f64,
     /// Developed bitline swing for delay probes \[V\].
     pub swing: f64,
+    /// Warm-start the offset search from the previous sample's flip cell
+    /// (see [`OffsetSearch`]). Changes which grid points are probed but
+    /// not the result: the search grid is fixed, and the returned offset
+    /// is the unique cell where the decision flips.
+    pub warm_start: bool,
+    /// Stop probe transients as soon as the measurement is decided
+    /// (regeneration past the resolve threshold, output crossing found)
+    /// instead of integrating the full window. Decision-preserving: see
+    /// [`StopWhen`].
+    pub early_exit: bool,
 }
 
 impl Default for ProbeOptions {
@@ -79,6 +90,8 @@ impl Default for ProbeOptions {
             t_develop: 10e-12,
             t_settle: 25e-12,
             swing: crate::calib::DELAY_PROBE_SWING,
+            warm_start: true,
+            early_exit: true,
         }
     }
 }
@@ -92,6 +105,19 @@ impl ProbeOptions {
             window: 35e-12,
             offset_tol: 2e-4,
             ..Self::default()
+        }
+    }
+
+    /// The same measurement with every hot-path shortcut disabled: cold
+    /// offset searches and full-window transients. Results must be
+    /// bit-identical to the optimized path — this profile exists so tests
+    /// and benches can prove it.
+    #[must_use]
+    pub fn reference(self) -> Self {
+        Self {
+            warm_start: false,
+            early_exit: false,
+            ..self
         }
     }
 }
@@ -156,24 +182,82 @@ impl DriveSpec {
     }
 }
 
+/// Reusable per-sample probe workspace: the instance's netlist (built
+/// once per drive *shape*) plus a [`TranContext`] whose Newton workspace,
+/// cached base Jacobian, and trace buffers survive across probes. Between
+/// probes only the bitline source waveforms are swapped — a supported
+/// mutation that leaves all cached constant structure valid.
+pub(crate) struct ProbeContext {
+    net: Netlist,
+    tran: TranContext,
+}
+
+/// Branch indices of the bitline drivers in [`SaInstance::build_netlist`]
+/// insertion order (0 is the Vdd rail).
+const BL_BRANCH: usize = 1;
+const BLBAR_BRANCH: usize = 2;
+
+impl ProbeContext {
+    pub(crate) fn new(sa: &SaInstance, drive: &DriveSpec) -> Self {
+        let net = sa.build_netlist(drive);
+        let tran = TranContext::new(&net);
+        Self { net, tran }
+    }
+
+    fn set_bitlines(&mut self, bl: Waveform, blbar: Waveform) {
+        self.net.set_vsource_waveform(BL_BRANCH, bl);
+        self.net.set_vsource_waveform(BLBAR_BRANCH, blbar);
+    }
+
+    fn run(&mut self, params: &TranParams) -> Result<&Trace, SaError> {
+        crate::perf::record_sense_call();
+        Ok(self.tran.run(&self.net, params)?)
+    }
+}
+
+/// Warm-start carrier for the offset search.
+///
+/// The search happens on a fixed dyadic grid over `[−vin_max, +vin_max]`
+/// whose cell width is the largest power-of-two division of the bracket
+/// not exceeding `offset_tol`. The measured offset is determined by the
+/// unique grid cell in which the sense decision flips, so *any* probe
+/// order that brackets and bisects to that cell returns the bit-identical
+/// value — which is what makes warm-starting (and sharding samples across
+/// threads) safe. The carrier remembers the previous sample's flip cell;
+/// the next search first tries a window around it and only falls back to
+/// the full bracket when the window misses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OffsetSearch {
+    /// Lower index of the previous flip cell on the search grid.
+    center: Option<i64>,
+}
+
 impl SaInstance {
-    /// Runs one sense transient and returns the final internal
-    /// differential `V(S) − V(SBar)` \[V\].
+    /// Runs one sense transient with DC bitlines and returns the internal
+    /// differential `V(S) − V(SBar)` \[V\] at the end of the run (the full
+    /// window, or the early-exit point once the differential has passed
+    /// the resolve threshold — regeneration is monotone past it, so the
+    /// sign is the same either way).
     fn regenerate(
         &self,
-        drive: &DriveSpec,
+        ctx: &mut ProbeContext,
+        v_bl: f64,
+        v_blbar: f64,
+        t_enable: f64,
         opts: &ProbeOptions,
         window_scale: f64,
     ) -> Result<f64, SaError> {
-        let net = self.build_netlist(drive);
+        ctx.set_bitlines(Waveform::dc(v_bl), Waveform::dc(v_blbar));
         let vdd = self.env.vdd;
-        let v_bl = drive.bl.eval(0.0);
-        let v_blbar = drive.blbar.eval(0.0);
         // With the ISSA's crossed pair active, the pass phase connects BL
         // to SBar and BLBar to S; the precharge ICs must match.
         let crossed = self.kind == crate::netlist::SaKind::Issa && self.switch_state;
-        let (s_ic, sbar_ic) = if crossed { (v_blbar, v_bl) } else { (v_bl, v_blbar) };
-        let params = TranParams::new(drive.t_enable + window_scale * opts.window, opts.dt)
+        let (s_ic, sbar_ic) = if crossed {
+            (v_blbar, v_bl)
+        } else {
+            (v_bl, v_blbar)
+        };
+        let mut params = TranParams::new(t_enable + window_scale * opts.window, opts.dt)
             .record_nodes(["s", "sbar"])
             .ic("vdd", vdd)
             .ic("bl", v_bl)
@@ -183,7 +267,14 @@ impl SaInstance {
             .ic("ntop", vdd)
             .ic("nbot", vdd)
             .ic("saenbar", vdd);
-        let trace = transient(&net, &params)?;
+        if opts.early_exit {
+            params = params.stop_when(StopWhen::DiffExceeds {
+                a: "s".into(),
+                b: "sbar".into(),
+                threshold: opts.resolve_fraction * vdd,
+            });
+        }
+        let trace = ctx.run(&params)?;
         let s = trace.final_value("s").expect("s recorded");
         let sbar = trace.final_value("sbar").expect("sbar recorded");
         Ok(s - sbar)
@@ -198,11 +289,21 @@ impl SaInstance {
     /// error if the simulation fails.
     pub fn sense(&self, vin: f64, opts: &ProbeOptions) -> Result<SenseOutcome, SaError> {
         let drive = DriveSpec::offset_probe(vin, &self.env, opts.t_enable, opts.edge);
+        let mut ctx = ProbeContext::new(self, &drive);
+        let v_bl = drive.bl.eval(0.0);
+        let v_blbar = drive.blbar.eval(0.0);
         // Small-margin inputs regenerate slowly; give sense() the same
         // extended window as the delay probe so a legitimate read is not
         // reported metastable. (The offset binary search keeps the short
         // window — it only needs the sign of the differential.)
-        let diff = self.regenerate(&drive, opts, SLOW_WINDOW_SCALE)?;
+        let diff = self.regenerate(
+            &mut ctx,
+            v_bl,
+            v_blbar,
+            drive.t_enable,
+            opts,
+            SLOW_WINDOW_SCALE,
+        )?;
         if diff.abs() < opts.resolve_fraction * self.env.vdd {
             return Err(SaError::Unresolved { differential: diff });
         }
@@ -223,32 +324,104 @@ impl SaInstance {
     /// [`SaError::OffsetOutOfRange`] if the decision does not flip within
     /// `±vin_max`, or a circuit error if a probe fails.
     pub fn offset_voltage(&self, opts: &ProbeOptions) -> Result<f64, SaError> {
-        // Decision at a given vin; near the metastable point resolution is
-        // slow, so classify by the sign of the final differential.
-        let decide = |vin: f64| -> Result<bool, SaError> {
-            let drive = DriveSpec::offset_probe(vin, &self.env, opts.t_enable, opts.edge);
-            Ok(self.regenerate(&drive, opts, 1.0)? > 0.0)
+        self.offset_voltage_with(opts, &mut OffsetSearch::default())
+    }
+
+    /// [`SaInstance::offset_voltage`] with a warm-start carrier: the
+    /// Monte Carlo loop threads one [`OffsetSearch`] through consecutive
+    /// samples so each search starts near the previous flip point. The
+    /// result is independent of the carrier's state (see [`OffsetSearch`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`SaInstance::offset_voltage`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.offset_tol` or `opts.vin_max` is not positive.
+    pub fn offset_voltage_with(
+        &self,
+        opts: &ProbeOptions,
+        search: &mut OffsetSearch,
+    ) -> Result<f64, SaError> {
+        assert!(opts.offset_tol > 0.0, "offset_tol must be positive");
+        assert!(opts.vin_max > 0.0, "vin_max must be positive");
+        let drive = DriveSpec::offset_probe(0.0, &self.env, opts.t_enable, opts.edge);
+        let mut ctx = ProbeContext::new(self, &drive);
+
+        // Fixed dyadic search grid: n cells over [−vin_max, +vin_max],
+        // n the smallest power of two with cell width ≤ offset_tol.
+        let mut n: i64 = 1;
+        while 2.0 * opts.vin_max / n as f64 > opts.offset_tol {
+            n <<= 1;
+        }
+        let step = 2.0 * opts.vin_max / n as f64;
+        let grid = |i: i64| -> f64 { -opts.vin_max + i as f64 * step };
+        // Decision at grid point i; near the metastable point resolution
+        // is slow, so classify by the sign of the differential.
+        let decide = |i: i64, ctx: &mut ProbeContext| -> Result<bool, SaError> {
+            let vin = grid(i);
+            let vdd = self.env.vdd;
+            let v_bl = vdd + vin.min(0.0);
+            let v_blbar = vdd - vin.max(0.0);
+            Ok(self.regenerate(ctx, v_bl, v_blbar, opts.t_enable, opts, 1.0)? > 0.0)
         };
 
-        let mut lo = -opts.vin_max;
-        let mut hi = opts.vin_max;
-        let d_lo = decide(lo)?;
-        let d_hi = decide(hi)?;
-        if d_lo == d_hi {
-            return Err(SaError::OffsetOutOfRange {
-                vin_max: opts.vin_max,
-            });
+        // Establish a bracket [lo, hi] with d(lo) == d_lo != d(hi). The
+        // warm path first tries a ±(n/16)-cell window around the previous
+        // flip cell — for a Monte Carlo population that window (~12 % of
+        // the full bracket) almost always contains the next flip, cutting
+        // the bisection by several probes.
+        let mut bracket: Option<(i64, i64, bool)> = None;
+        if opts.warm_start {
+            if let Some(c) = search.center {
+                let half_window = (n / 16).max(1);
+                let c = c.clamp(0, n - 1);
+                let wlo = (c - half_window).max(0);
+                let whi = (c + 1 + half_window).min(n);
+                let dl = decide(wlo, &mut ctx)?;
+                let dh = decide(whi, &mut ctx)?;
+                if dl != dh {
+                    bracket = Some((wlo, whi, dl));
+                } else {
+                    // Window missed the flip: fall back to the full
+                    // bracket, reusing the window probes to pick the side.
+                    let d0 = if wlo == 0 { dl } else { decide(0, &mut ctx)? };
+                    let dn = if whi == n { dh } else { decide(n, &mut ctx)? };
+                    if d0 == dn {
+                        return Err(SaError::OffsetOutOfRange {
+                            vin_max: opts.vin_max,
+                        });
+                    }
+                    bracket = Some(if dl == d0 { (whi, n, dl) } else { (0, wlo, d0) });
+                }
+            }
         }
-        while hi - lo > opts.offset_tol {
-            let mid = 0.5 * (lo + hi);
-            if decide(mid)? == d_lo {
+        let (mut lo, mut hi, d_lo) = match bracket {
+            Some(b) => b,
+            None => {
+                let d0 = decide(0, &mut ctx)?;
+                let dn = decide(n, &mut ctx)?;
+                if d0 == dn {
+                    return Err(SaError::OffsetOutOfRange {
+                        vin_max: opts.vin_max,
+                    });
+                }
+                (0, n, d0)
+            }
+        };
+
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if decide(mid, &mut ctx)? == d_lo {
                 lo = mid;
             } else {
                 hi = mid;
             }
         }
+        search.center = Some(lo);
         // Flip point of vin; positive offset = biased toward One.
-        Ok(-0.5 * (lo + hi))
+        Ok(-0.5 * (grid(lo) + grid(hi)))
     }
 
     /// Measures the sensing delay for a read of `read_value` \[s\]: from
@@ -262,12 +435,21 @@ impl SaInstance {
     /// circuit error.
     pub fn sensing_delay(&self, read_value: bool, opts: &ProbeOptions) -> Result<f64, SaError> {
         let drive = DriveSpec::delay_probe(read_value, opts.swing, &self.env, opts);
-        let net = self.build_netlist(&drive);
+        let mut ctx = ProbeContext::new(self, &drive);
         let vdd = self.env.vdd;
+        // With the crossed pair active the SA resolves the complement, so
+        // the opposite output goes high (the control logic re-inverts the
+        // value downstream).
+        let crossed = self.kind == crate::netlist::SaKind::Issa && self.switch_state;
+        let out_signal = if read_value ^ crossed {
+            "out"
+        } else {
+            "outbar"
+        };
         // Heavily aged instances sensing against their bias can be several
         // times slower than a fresh SA; give the delay probe extra room so
         // the output crossing is not clipped by the window.
-        let params = TranParams::new(drive.t_enable + SLOW_WINDOW_SCALE * opts.window, opts.dt)
+        let mut params = TranParams::new(drive.t_enable + SLOW_WINDOW_SCALE * opts.window, opts.dt)
             .record_nodes(["s", "sbar", "out", "outbar", "saen"])
             .ic("vdd", vdd)
             .ic("bl", vdd)
@@ -277,18 +459,24 @@ impl SaInstance {
             .ic("ntop", vdd)
             .ic("nbot", vdd)
             .ic("saenbar", vdd);
-        let trace = transient(&net, &params)?;
+        if opts.early_exit {
+            // The run is over once the winning output's 50 % crossing is
+            // bracketed; the outputs start low and rise monotonically
+            // after the enable edge, so stopping there cannot skip the
+            // crossing the measurement below would have picked.
+            params = params.stop_when(StopWhen::RisesThrough {
+                node: out_signal.into(),
+                level: 0.5 * vdd,
+                after: drive.t_enable,
+            });
+        }
+        let trace = ctx.run(&params)?;
 
         let t_en = trace
             .crossing_time("saen", 0.5 * vdd, CrossDirection::Rising, 0.0)
             .ok_or_else(|| SaError::MissingCrossing {
                 signal: "saen".into(),
             })?;
-        // With the crossed pair active the SA resolves the complement, so
-        // the opposite output goes high (the control logic re-inverts the
-        // value downstream).
-        let crossed = self.kind == crate::netlist::SaKind::Issa && self.switch_state;
-        let out_signal = if read_value ^ crossed { "out" } else { "outbar" };
         let t_out = trace
             .crossing_time(out_signal, 0.5 * vdd, CrossDirection::Rising, t_en)
             .ok_or_else(|| SaError::MissingCrossing {
@@ -439,7 +627,12 @@ mod tests {
     #[test]
     fn symmetric_aging_cancels() {
         let mut sa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
-        for d in [SaDevice::Mdown, SaDevice::MdownBar, SaDevice::Mup, SaDevice::MupBar] {
+        for d in [
+            SaDevice::Mdown,
+            SaDevice::MdownBar,
+            SaDevice::Mup,
+            SaDevice::MupBar,
+        ] {
             sa.set_delta_vth(d, 0.03);
         }
         let off = sa.offset_voltage(&opts()).unwrap();
@@ -456,22 +649,19 @@ mod tests {
     #[test]
     fn delay_grows_at_low_vdd() {
         let nom = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
-        let low = SaInstance::fresh(
-            SaKind::Nssa,
-            Environment::nominal().with_vdd_factor(0.9),
-        );
+        let low = SaInstance::fresh(SaKind::Nssa, Environment::nominal().with_vdd_factor(0.9));
         let d_nom = nom.sensing_delay_mean(&opts()).unwrap();
         let d_low = low.sensing_delay_mean(&opts()).unwrap();
-        assert!(d_low > d_nom, "low-Vdd delay {d_low:e} vs nominal {d_nom:e}");
+        assert!(
+            d_low > d_nom,
+            "low-Vdd delay {d_low:e} vs nominal {d_nom:e}"
+        );
     }
 
     #[test]
     fn delay_grows_with_temperature() {
         let cold = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
-        let hot = SaInstance::fresh(
-            SaKind::Nssa,
-            Environment::nominal().with_temp_c(125.0),
-        );
+        let hot = SaInstance::fresh(SaKind::Nssa, Environment::nominal().with_temp_c(125.0));
         let d_cold = cold.sensing_delay_mean(&opts()).unwrap();
         let d_hot = hot.sensing_delay_mean(&opts()).unwrap();
         assert!(d_hot > d_cold, "hot delay {d_hot:e} vs cold {d_cold:e}");
@@ -486,7 +676,10 @@ mod tests {
         let d_n = nssa.sensing_delay_mean(&opts()).unwrap();
         let d_i = issa.sensing_delay_mean(&opts()).unwrap();
         assert!(d_i >= d_n * 0.98, "ISSA should not be faster fresh");
-        assert!(d_i < d_n * 1.25, "ISSA overhead too large: {d_n:e} -> {d_i:e}");
+        assert!(
+            d_i < d_n * 1.25,
+            "ISSA overhead too large: {d_n:e} -> {d_i:e}"
+        );
     }
 
     #[test]

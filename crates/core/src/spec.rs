@@ -35,9 +35,7 @@ pub fn offset_spec(mu: f64, sigma: f64, fr: f64) -> f64 {
     assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive");
     assert!(fr > 0.0 && fr < 1.0, "failure rate must be in (0,1)");
 
-    let coverage = |v: f64| {
-        norm_cdf((v - mu) / sigma) - norm_cdf((-v - mu) / sigma) - (1.0 - fr)
-    };
+    let coverage = |v: f64| norm_cdf((v - mu) / sigma) - norm_cdf((-v - mu) / sigma) - (1.0 - fr);
     // Coverage is 0 (negative target) at V=0 and → fr > 0 as V → ∞;
     // monotone increasing in V, so any bracket [0, big] works.
     let hi = mu.abs() + 12.0 * sigma;
@@ -98,7 +96,10 @@ mod tests {
         let (mu, sigma, fr) = (5e-3, 12e-3, 1e-9);
         let v = offset_spec(mu, sigma, fr);
         let covered = norm_cdf((v - mu) / sigma) - norm_cdf((-v - mu) / sigma);
-        assert!(((1.0 - covered) / fr - 1.0).abs() < 1e-3, "residual fr mismatch");
+        assert!(
+            ((1.0 - covered) / fr - 1.0).abs() < 1e-3,
+            "residual fr mismatch"
+        );
     }
 
     #[test]

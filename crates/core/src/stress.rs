@@ -101,12 +101,10 @@ pub fn compile_workload(workload: Workload, kind: SaKind, counter_bits: u8) -> C
             // switch period) decorrelate only over lcm(data, switch)
             // reads. Random streams just need enough samples.
             let total = match workload.sequence {
-                crate::workload::ReadSequence::Bursty { run } => {
-                    lcm(2 * run.max(1), switch_cycle).saturating_mul(2).min(1 << 21)
-                }
-                crate::workload::ReadSequence::Random { .. } => {
-                    (8 * switch_cycle).max(1 << 14)
-                }
+                crate::workload::ReadSequence::Bursty { run } => lcm(2 * run.max(1), switch_cycle)
+                    .saturating_mul(2)
+                    .min(1 << 21),
+                crate::workload::ReadSequence::Random { .. } => (8 * switch_cycle).max(1 << 14),
                 _ => 8 * switch_cycle,
             };
             let mut zeros = 0u64;
@@ -260,7 +258,10 @@ mod tests {
                 SaKind::Issa,
                 bits,
             );
-            assert!((cw.internal_zero_fraction - 0.5).abs() < 1e-9, "bits={bits}");
+            assert!(
+                (cw.internal_zero_fraction - 0.5).abs() < 1e-9,
+                "bits={bits}"
+            );
         }
     }
 
@@ -320,7 +321,10 @@ mod tests {
         let diff = |cw: &CompiledWorkload| {
             device_duty(&m, cw, SaDevice::Mdown) - device_duty(&m, cw, SaDevice::MdownBar)
         };
-        assert!(diff(&hi) > diff(&lo), "differential stress must grow with activation");
+        assert!(
+            diff(&hi) > diff(&lo),
+            "differential stress must grow with activation"
+        );
     }
 
     #[test]
@@ -352,8 +356,14 @@ mod tests {
         // workloads also produce long correlated runs. Both must compile
         // to ≈50/50 internally.
         for seq in [
-            ReadSequence::Random { p_zero: 0.9, seed: 7 },
-            ReadSequence::Random { p_zero: 0.1, seed: 8 },
+            ReadSequence::Random {
+                p_zero: 0.9,
+                seed: 7,
+            },
+            ReadSequence::Random {
+                p_zero: 0.1,
+                seed: 8,
+            },
             ReadSequence::Bursty { run: 3 },
             ReadSequence::Bursty { run: 1000 },
         ] {
@@ -394,7 +404,13 @@ mod tests {
     #[test]
     fn nssa_random_pattern_duty_tracks_bias() {
         let cw = compile_workload(
-            Workload::new(0.8, ReadSequence::Random { p_zero: 0.9, seed: 1 }),
+            Workload::new(
+                0.8,
+                ReadSequence::Random {
+                    p_zero: 0.9,
+                    seed: 1,
+                },
+            ),
             SaKind::Nssa,
             8,
         );
@@ -423,7 +439,9 @@ mod tests {
     #[test]
     fn stress_condition_carries_environment() {
         let cw = compile_workload(Workload::new(0.8, ReadSequence::AllZeros), SaKind::Nssa, 8);
-        let env = Environment::nominal().with_temp_c(125.0).with_vdd_factor(1.1);
+        let env = Environment::nominal()
+            .with_temp_c(125.0)
+            .with_vdd_factor(1.1);
         let s = device_stress(&StressModel::default(), &cw, SaDevice::Mdown, &env);
         assert_eq!(s.temp_c, 125.0);
         assert!((s.v_stress - 1.1).abs() < 1e-12);

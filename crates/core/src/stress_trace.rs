@@ -42,7 +42,11 @@ fn phase_voltages(
     v.insert("blbar", vdd);
     match phase {
         Phase::Amplify { internal_value } => {
-            let (s, sbar) = if internal_value { (vdd, 0.0) } else { (0.0, vdd) };
+            let (s, sbar) = if internal_value {
+                (vdd, 0.0)
+            } else {
+                (0.0, vdd)
+            };
             v.insert("s", s);
             v.insert("sbar", sbar);
             v.insert("out", if internal_value { vdd } else { 0.0 });
@@ -97,7 +101,12 @@ pub type EmpiricalDuties = HashMap<String, f64>;
 /// # Panics
 ///
 /// Panics if `reads` is zero.
-pub fn empirical_duties(sa: &SaInstance, workload: Workload, counter_bits: u8, reads: u64) -> EmpiricalDuties {
+pub fn empirical_duties(
+    sa: &SaInstance,
+    workload: Workload,
+    counter_bits: u8,
+    reads: u64,
+) -> EmpiricalDuties {
     assert!(reads > 0, "need at least one read");
     let vdd = sa.env.vdd;
     // Build the netlist once just to walk its topology; drive is irrelevant.
@@ -129,20 +138,21 @@ pub fn empirical_duties(sa: &SaInstance, workload: Workload, counter_bits: u8, r
         0.0
     };
 
-    let accumulate = |phase: Phase, duration: f64, switch: bool, stress_time: &mut HashMap<String, f64>| {
-        let volts = phase_voltages(phase, vdd, switch, sa.kind);
-        for (name, polarity, gate, source) in &mosfets {
-            let vg = volts[gate.as_str()];
-            let vs = volts[source.as_str()];
-            let stressed = match polarity {
-                MosPolarity::Nmos => vg - vs > 0.5 * vdd,
-                MosPolarity::Pmos => vs - vg > 0.5 * vdd,
-            };
-            if stressed {
-                *stress_time.entry(name.clone()).or_insert(0.0) += duration;
+    let accumulate =
+        |phase: Phase, duration: f64, switch: bool, stress_time: &mut HashMap<String, f64>| {
+            let volts = phase_voltages(phase, vdd, switch, sa.kind);
+            for (name, polarity, gate, source) in &mosfets {
+                let vg = volts[gate.as_str()];
+                let vs = volts[source.as_str()];
+                let stressed = match polarity {
+                    MosPolarity::Nmos => vg - vs > 0.5 * vdd,
+                    MosPolarity::Pmos => vs - vg > 0.5 * vdd,
+                };
+                if stressed {
+                    *stress_time.entry(name.clone()).or_insert(0.0) += duration;
+                }
             }
-        }
-    };
+        };
 
     for i in 0..reads {
         let external = workload.sequence.value_at(i);
@@ -152,7 +162,9 @@ pub fn empirical_duties(sa: &SaInstance, workload: Workload, counter_bits: u8, r
         };
         let switch = control.switch();
         accumulate(
-            Phase::Amplify { internal_value: internal },
+            Phase::Amplify {
+                internal_value: internal,
+            },
             AMPLIFY_FRACTION,
             switch,
             &mut stress_time,

@@ -30,12 +30,7 @@ impl MismatchModel {
     }
 
     /// Samples a signed Vth deviation for one device \[V\].
-    pub fn sample<R: Rng + ?Sized>(
-        &self,
-        device: SaDevice,
-        sizing: &SaSizing,
-        rng: &mut R,
-    ) -> f64 {
+    pub fn sample<R: Rng + ?Sized>(&self, device: SaDevice, sizing: &SaSizing, rng: &mut R) -> f64 {
         normal(rng, 0.0, self.sigma_for(device, sizing))
     }
 }

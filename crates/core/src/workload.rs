@@ -66,7 +66,10 @@ impl ReadSequence {
             ReadSequence::AllOnes => true,
             ReadSequence::Alternating => i % 2 == 1,
             ReadSequence::Random { p_zero, seed } => {
-                assert!((0.0..=1.0).contains(&p_zero), "p_zero must be a probability");
+                assert!(
+                    (0.0..=1.0).contains(&p_zero),
+                    "p_zero must be a probability"
+                );
                 // Stateless per-index uniform draw in [0, 1).
                 let u = splitmix64(seed ^ splitmix64(i)) as f64 / (u64::MAX as f64 + 1.0);
                 u >= p_zero
@@ -130,7 +133,11 @@ impl Workload {
 
     /// Paper name, e.g. `"80r0r1"`.
     pub fn name(&self) -> String {
-        format!("{}{}", (self.activation * 100.0).round() as u32, self.sequence.suffix())
+        format!(
+            "{}{}",
+            (self.activation * 100.0).round() as u32,
+            self.sequence.suffix()
+        )
     }
 }
 
@@ -170,10 +177,7 @@ mod tests {
             .iter()
             .map(Workload::name)
             .collect();
-        assert_eq!(
-            names,
-            ["80r0r1", "80r0", "80r1", "20r0r1", "20r0", "20r1"]
-        );
+        assert_eq!(names, ["80r0r1", "80r0", "80r1", "20r0r1", "20r0", "20r1"]);
     }
 
     #[test]
@@ -202,8 +206,14 @@ mod tests {
 
     #[test]
     fn random_sequence_is_reproducible_and_seed_sensitive() {
-        let a = ReadSequence::Random { p_zero: 0.5, seed: 1 };
-        let b = ReadSequence::Random { p_zero: 0.5, seed: 2 };
+        let a = ReadSequence::Random {
+            p_zero: 0.5,
+            seed: 1,
+        };
+        let b = ReadSequence::Random {
+            p_zero: 0.5,
+            seed: 2,
+        };
         let va: Vec<bool> = (0..64).map(|i| a.value_at(i)).collect();
         let va2: Vec<bool> = (0..64).map(|i| a.value_at(i)).collect();
         let vb: Vec<bool> = (0..64).map(|i| b.value_at(i)).collect();
@@ -223,7 +233,11 @@ mod tests {
     #[test]
     fn extended_suffixes() {
         assert_eq!(
-            ReadSequence::Random { p_zero: 0.7, seed: 0 }.suffix(),
+            ReadSequence::Random {
+                p_zero: 0.7,
+                seed: 0
+            }
+            .suffix(),
             "rand(0.70)"
         );
         let w = Workload::new(0.8, ReadSequence::Bursty { run: 16 });

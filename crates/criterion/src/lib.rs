@@ -1,0 +1,337 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the slice of criterion's API the workspace benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! `criterion_group!` / `criterion_main!` macros — over a simple
+//! wall-clock measurement loop (warm-up, then timed samples, reporting
+//! min/median/mean). There is no statistical regression analysis or HTML
+//! report; output is one line per benchmark, which is what the repo's
+//! perf tooling parses.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted for API
+/// compatibility; this harness always times per-batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch.
+    SmallInput,
+    /// Large inputs: one iteration per batch.
+    LargeInput,
+    /// Per-iteration setup.
+    PerIteration,
+}
+
+/// Measurement configuration and result sink.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Substring filter from the command line (`cargo bench -- <filter>`).
+    filter: Option<String>,
+    /// Samples collected per benchmark.
+    sample_size: usize,
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+    /// Warm-up time per benchmark.
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            filter: None,
+            sample_size: 20,
+            measurement: Duration::from_millis(500),
+            warm_up: Duration::from_millis(100),
+        }
+    }
+}
+
+/// One benchmark's collected timing statistics \[ns per iteration\].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+}
+
+impl Criterion {
+    /// Builds a `Criterion` configured from the process arguments: the
+    /// first free argument is a substring filter; the flags cargo-bench
+    /// forwards (`--bench`, `--exact`, ...) are accepted and ignored.
+    pub fn configure_from_args() -> Self {
+        let mut c = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--exact" | "--nocapture" | "--quiet" => {}
+                "--sample-size" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        c.sample_size = v;
+                    }
+                }
+                other if !other.starts_with('-') => c.filter = Some(other.to_owned()),
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Overrides the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark if it passes the filter.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement: self.measurement,
+            warm_up: self.warm_up,
+            stats: None,
+        };
+        f(&mut bencher);
+        match bencher.stats {
+            Some(stats) => println!(
+                "{name:<40} time: [{} {} {}]",
+                format_ns(stats.min_ns),
+                format_ns(stats.median_ns),
+                format_ns(stats.mean_ns),
+            ),
+            None => println!("{name:<40} (no measurement)"),
+        }
+        self
+    }
+
+    /// Starts a named group of benchmarks (`group/name` labels).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group sharing configuration, mirroring criterion's API.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{name}", self.name);
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion.bench_function(&label, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Times the routine: warm-up, then `sample_size` samples of a batch
+    /// sized to fill the measurement budget.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || iters == 0 {
+            black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters as f64;
+        let budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        self.stats = Some(stats_of(&mut samples));
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm-up.
+        let warm_start = Instant::now();
+        let mut warmed = false;
+        while warm_start.elapsed() < self.warm_up || !warmed {
+            let input = setup();
+            black_box(routine(input));
+            warmed = true;
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+        self.stats = Some(stats_of(&mut samples));
+    }
+}
+
+fn stats_of(samples: &mut [f64]) -> Stats {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min_ns = samples[0];
+    let median_ns = samples[samples.len() / 2];
+    let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+    Stats {
+        min_ns,
+        median_ns,
+        mean_ns,
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_stats() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 5,
+            measurement: Duration::from_millis(10),
+            warm_up: Duration::from_millis(1),
+        };
+        let mut ran = false;
+        c.bench_function("spin", |b| {
+            b.iter(|| black_box(3u64.wrapping_mul(7)));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz".into()),
+            sample_size: 5,
+            measurement: Duration::from_millis(10),
+            warm_up: Duration::from_millis(1),
+        };
+        let mut ran = false;
+        c.bench_function("spin", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(!ran, "filtered benchmark must not run");
+    }
+
+    #[test]
+    fn groups_label_and_run() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+            measurement: Duration::from_millis(5),
+            warm_up: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut count = 0;
+        group.bench_function("a", |b| {
+            b.iter_batched(|| 2, |x| x * 2, BatchSize::SmallInput);
+            count += 1;
+        });
+        group.finish();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12e3).ends_with("µs"));
+        assert!(format_ns(12e6).ends_with("ms"));
+        assert!(format_ns(12e9).ends_with('s'));
+    }
+}

@@ -88,7 +88,7 @@ impl IssaControl {
     pub fn outputs(&self, sa_enable_bar: bool) -> ControlOutputs {
         let switch = self.switch();
         ControlOutputs {
-            sa_enable_a: !(sa_enable_bar && !switch),
+            sa_enable_a: !sa_enable_bar || switch,
             sa_enable_b: !(sa_enable_bar && switch),
         }
     }
@@ -119,7 +119,8 @@ pub fn build_control_gates() -> CompiledNet {
     let switch_bar = net.gate(GateKind::Inv, &[switch], "switch_bar");
     net.gate(GateKind::Nand, &[se_bar, switch_bar], "sa_enable_a");
     net.gate(GateKind::Nand, &[se_bar, switch], "sa_enable_b");
-    net.compile().expect("control network is a DAG with single drivers")
+    net.compile()
+        .expect("control network is a DAG with single drivers")
 }
 
 #[cfg(test)]
@@ -145,8 +146,14 @@ mod tests {
             }
             assert_eq!(ctl.switch(), switch);
             let out = ctl.outputs(se_bar);
-            assert_eq!(out.sa_enable_a, want_a, "A at switch={switch} se_bar={se_bar}");
-            assert_eq!(out.sa_enable_b, want_b, "B at switch={switch} se_bar={se_bar}");
+            assert_eq!(
+                out.sa_enable_a, want_a,
+                "A at switch={switch} se_bar={se_bar}"
+            );
+            assert_eq!(
+                out.sa_enable_b, want_b,
+                "B at switch={switch} se_bar={se_bar}"
+            );
         }
     }
 

@@ -134,7 +134,10 @@ impl GateNet {
     /// Panics if the name is already driven by a gate.
     pub fn input(&mut self, name: &str) -> SignalId {
         let id = self.signal(name);
-        assert!(!self.driven[id.0], "input '{name}' already driven by a gate");
+        assert!(
+            !self.driven[id.0],
+            "input '{name}' already driven by a gate"
+        );
         self.inputs.push(id);
         id
     }
@@ -145,10 +148,18 @@ impl GateNet {
     ///
     /// Panics if the number of inputs does not match the gate's arity.
     pub fn gate(&mut self, kind: GateKind, inputs: &[SignalId], output: &str) -> SignalId {
-        assert_eq!(inputs.len(), kind.arity(), "gate arity mismatch for {kind:?}");
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "gate arity mismatch for {kind:?}"
+        );
         let out = self.signal(output);
         self.driven[out.0] = true;
-        let b = if inputs.len() > 1 { inputs[1] } else { inputs[0] };
+        let b = if inputs.len() > 1 {
+            inputs[1]
+        } else {
+            inputs[0]
+        };
         self.gates.push(Gate {
             kind,
             inputs: [inputs[0], b],
@@ -238,7 +249,10 @@ pub struct NetState {
 impl NetState {
     /// Value of signal `name`, if it exists.
     pub fn get(&self, name: &str) -> Option<bool> {
-        self.names.iter().position(|n| n == name).map(|i| self.values[i])
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.values[i])
     }
 }
 
@@ -276,11 +290,51 @@ mod tests {
     #[test]
     fn primitive_truth_tables() {
         for (kind, table) in [
-            (GateKind::Nand, [(false, false, true), (false, true, true), (true, false, true), (true, true, false)]),
-            (GateKind::Nor, [(false, false, true), (false, true, false), (true, false, false), (true, true, false)]),
-            (GateKind::And, [(false, false, false), (false, true, false), (true, false, false), (true, true, true)]),
-            (GateKind::Or, [(false, false, false), (false, true, true), (true, false, true), (true, true, true)]),
-            (GateKind::Xor, [(false, false, false), (false, true, true), (true, false, true), (true, true, false)]),
+            (
+                GateKind::Nand,
+                [
+                    (false, false, true),
+                    (false, true, true),
+                    (true, false, true),
+                    (true, true, false),
+                ],
+            ),
+            (
+                GateKind::Nor,
+                [
+                    (false, false, true),
+                    (false, true, false),
+                    (true, false, false),
+                    (true, true, false),
+                ],
+            ),
+            (
+                GateKind::And,
+                [
+                    (false, false, false),
+                    (false, true, false),
+                    (true, false, false),
+                    (true, true, true),
+                ],
+            ),
+            (
+                GateKind::Or,
+                [
+                    (false, false, false),
+                    (false, true, true),
+                    (true, false, true),
+                    (true, true, true),
+                ],
+            ),
+            (
+                GateKind::Xor,
+                [
+                    (false, false, false),
+                    (false, true, true),
+                    (true, false, true),
+                    (true, true, false),
+                ],
+            ),
         ] {
             for (a, b, want) in table {
                 assert_eq!(kind.eval(a, b), want, "{kind:?}({a},{b})");

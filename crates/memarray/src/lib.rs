@@ -29,6 +29,10 @@ pub mod array;
 
 pub use array::{ArrayScheme, ColumnStats, ReadResult, SramArray};
 
+/// Piecewise-linear `(time, volts)` waveform points, the input format of
+/// `issa_circuit::Waveform::pwl`.
+pub type Pwl = Vec<(f64, f64)>;
+
 /// Electrical parameters of one column's read path.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ColumnParams {
@@ -198,13 +202,7 @@ impl Column {
     ///
     /// The returned pair is `(bl_points, blbar_points)`, directly usable
     /// as `issa_circuit::Waveform::pwl` input.
-    pub fn bitline_pwl(
-        &self,
-        row: usize,
-        vdd: f64,
-        t_start: f64,
-        t_develop: f64,
-    ) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+    pub fn bitline_pwl(&self, row: usize, vdd: f64, t_start: f64, t_develop: f64) -> (Pwl, Pwl) {
         let end = self.develop(row, vdd, t_develop);
         let t_end = t_start + t_develop;
         let bl = vec![(0.0, vdd), (t_start, vdd), (t_end, end.bl)];
@@ -244,7 +242,11 @@ mod tests {
         let col = column();
         // 50 µA into 20 fF: 2.5 mV/ps.
         let v1 = col.develop(0, 1.0, 40e-12);
-        assert!((1.0 - v1.bl - 0.1).abs() < 0.02, "100 mV swing at 40 ps, got {}", 1.0 - v1.bl);
+        assert!(
+            (1.0 - v1.bl - 0.1).abs() < 0.02,
+            "100 mV swing at 40 ps, got {}",
+            1.0 - v1.bl
+        );
         // Very long develop: floored.
         let v2 = col.develop(0, 1.0, 1e-6);
         assert_eq!(v2.bl, col.params().v_floor);

@@ -112,13 +112,38 @@ impl DMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
-        }
+        self.mul_vec_into(x, &mut y);
         y
+    }
+
+    /// Matrix–vector product `A · x` into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        assert_eq!(y.len(), self.rows, "dimension mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// Copies every entry from `src` without reallocating.
+    ///
+    /// This is the fast path for Newton iterations that restore a cached
+    /// base Jacobian before restamping only the nonlinear entries: one
+    /// `memcpy` instead of a `fill_zero` plus a full restamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn copy_from(&mut self, src: &DMatrix) {
+        assert_eq!(self.rows, src.rows, "dimension mismatch");
+        assert_eq!(self.cols, src.cols, "dimension mismatch");
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Infinity norm (maximum absolute row sum).
@@ -150,13 +175,106 @@ impl DMatrix {
     /// Solves `A · x = b` via a fresh LU factorization.
     ///
     /// Convenience wrapper over [`DMatrix::lu`] for one-shot solves; the
-    /// Newton loop keeps the [`Lu`] value instead to reuse workspace.
+    /// Newton loop factors in place via [`DMatrix::factor_into`] instead.
     ///
     /// # Errors
     ///
     /// Returns [`SingularMatrixError`] if the matrix is singular.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
         Ok(self.lu()?.solve(b))
+    }
+
+    /// LU-factorizes `self` **in place** with partial pivoting, overwriting
+    /// the matrix with the combined L (unit lower) / U (upper) factors.
+    ///
+    /// `perm` is resized to the dimension and filled with the row
+    /// permutation (`perm[i]` = original row used at elimination step `i`).
+    /// Returns the permutation sign (for determinants).
+    ///
+    /// This is the zero-allocation hot path: the Newton loop rebuilds the
+    /// Jacobian every iteration anyway, so destroying it here costs
+    /// nothing and avoids [`DMatrix::lu`]'s clone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a pivot is exactly zero,
+    /// subnormal, or non-finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn factor_into(&mut self, perm: &mut Vec<usize>) -> Result<f64, SingularMatrixError> {
+        assert_eq!(self.rows, self.cols, "LU requires a square matrix");
+        let n = self.rows;
+        perm.clear();
+        perm.extend(0..n);
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: largest magnitude in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_mag = self[(k, k)].abs();
+            for i in (k + 1)..n {
+                let mag = self[(i, k)].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = i;
+                }
+            }
+            if pivot_mag <= Lu::PIVOT_EPS || !pivot_mag.is_finite() {
+                return Err(SingularMatrixError { column: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    self.data.swap(k * n + j, pivot_row * n + j);
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = self[(k, k)];
+            for i in (k + 1)..n {
+                let factor = self[(i, k)] / pivot;
+                self[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let akj = self[(k, j)];
+                        self[(i, j)] -= factor * akj;
+                    }
+                }
+            }
+        }
+        Ok(sign)
+    }
+
+    /// Solves `A · x = b` into `x` using factors produced by
+    /// [`DMatrix::factor_into`] (so `self` holds combined L/U, `perm` the
+    /// row permutation). No allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm`, `b`, or `x` have the wrong length.
+    pub fn solve_factored(&self, perm: &[usize], b: &[f64], x: &mut [f64]) {
+        let n = self.rows;
+        assert_eq!(perm.len(), n, "permutation dimension mismatch");
+        assert_eq!(b.len(), n, "rhs dimension mismatch");
+        assert_eq!(x.len(), n, "solution dimension mismatch");
+
+        // Forward substitution with permuted rhs: L·y = P·b.
+        for i in 0..n {
+            let mut sum = b[perm[i]];
+            for j in 0..i {
+                sum -= self[(i, j)] * x[j];
+            }
+            x[i] = sum;
+        }
+        // Backward substitution: U·x = y.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self[(i, j)] * x[j];
+            }
+            x[i] = sum / self[(i, i)];
+        }
     }
 }
 
@@ -212,47 +330,8 @@ impl Lu {
     const PIVOT_EPS: f64 = 1e-300;
 
     fn factor(mut a: DMatrix) -> Result<Self, SingularMatrixError> {
-        assert_eq!(a.rows, a.cols, "LU requires a square matrix");
-        let n = a.rows;
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
-
-        for k in 0..n {
-            // Partial pivoting: largest magnitude in column k at/below row k.
-            let mut pivot_row = k;
-            let mut pivot_mag = a[(k, k)].abs();
-            for i in (k + 1)..n {
-                let mag = a[(i, k)].abs();
-                if mag > pivot_mag {
-                    pivot_mag = mag;
-                    pivot_row = i;
-                }
-            }
-            if !(pivot_mag > Self::PIVOT_EPS) || !pivot_mag.is_finite() {
-                return Err(SingularMatrixError { column: k });
-            }
-            if pivot_row != k {
-                for j in 0..n {
-                    let tmp = a[(k, j)];
-                    a[(k, j)] = a[(pivot_row, j)];
-                    a[(pivot_row, j)] = tmp;
-                }
-                perm.swap(k, pivot_row);
-                sign = -sign;
-            }
-            let pivot = a[(k, k)];
-            for i in (k + 1)..n {
-                let factor = a[(i, k)] / pivot;
-                a[(i, k)] = factor;
-                if factor != 0.0 {
-                    for j in (k + 1)..n {
-                        let akj = a[(k, j)];
-                        a[(i, j)] -= factor * akj;
-                    }
-                }
-            }
-        }
-
+        let mut perm = Vec::new();
+        let sign = a.factor_into(&mut perm)?;
         Ok(Self {
             lu: a,
             perm,
@@ -282,26 +361,7 @@ impl Lu {
     ///
     /// Panics if `b` or `x` have the wrong length.
     pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
-        let n = self.dim();
-        assert_eq!(b.len(), n, "rhs dimension mismatch");
-        assert_eq!(x.len(), n, "solution dimension mismatch");
-
-        // Forward substitution with permuted rhs: L·y = P·b.
-        for i in 0..n {
-            let mut sum = b[self.perm[i]];
-            for j in 0..i {
-                sum -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = sum;
-        }
-        // Backward substitution: U·x = y.
-        for i in (0..n).rev() {
-            let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = sum / self.lu[(i, i)];
-        }
+        self.lu.solve_factored(&self.perm, b, x);
     }
 
     /// Determinant of the original matrix.
@@ -364,11 +424,7 @@ mod tests {
 
     #[test]
     fn mul_vec_matches_solve_roundtrip() {
-        let a = DMatrix::from_rows(&[
-            &[4.0, -1.0, 0.5],
-            &[-1.0, 3.0, -0.2],
-            &[0.5, -0.2, 5.0],
-        ]);
+        let a = DMatrix::from_rows(&[&[4.0, -1.0, 0.5], &[-1.0, 3.0, -0.2], &[0.5, -0.2, 5.0]]);
         let x_true = [1.0, -2.0, 0.25];
         let b = a.mul_vec(&x_true);
         let x = a.solve(&b).unwrap();
@@ -405,5 +461,61 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn mul_vec_rejects_bad_length() {
         DMatrix::identity(2).mul_vec(&[1.0]);
+    }
+
+    #[test]
+    fn factor_into_matches_lu() {
+        let a = DMatrix::from_rows(&[&[0.0, 2.0, 1.0], &[4.0, -1.0, 0.5], &[-1.0, 3.0, -0.2]]);
+        let b = [1.0, -2.0, 3.0];
+        let via_lu = a.solve(&b).unwrap();
+
+        let mut f = a.clone();
+        let mut perm = Vec::new();
+        let sign = f.factor_into(&mut perm).unwrap();
+        let mut x = vec![0.0; 3];
+        f.solve_factored(&perm, &b, &mut x);
+        for (xi, yi) in x.iter().zip(&via_lu) {
+            assert_close(*xi, *yi, 0.0); // bit-identical: same elimination
+        }
+        let det = sign * (0..3).map(|i| f[(i, i)]).product::<f64>();
+        assert_close(det, a.lu().unwrap().det(), 0.0);
+    }
+
+    #[test]
+    fn factor_into_reuses_perm_capacity() {
+        let mut perm = Vec::with_capacity(8);
+        for n in [2usize, 3, 2] {
+            let mut a = DMatrix::identity(n);
+            a[(0, n - 1)] = 0.5;
+            a.factor_into(&mut perm).unwrap();
+            assert_eq!(perm.len(), n);
+        }
+    }
+
+    #[test]
+    fn factor_into_rejects_singular() {
+        let mut a = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let mut perm = Vec::new();
+        assert_eq!(a.factor_into(&mut perm).unwrap_err().column, 1);
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec() {
+        let a = DMatrix::from_rows(&[&[1.0, -2.0], &[3.0, 0.5]]);
+        let x = [2.0, 4.0];
+        let mut y = vec![0.0; 2];
+        a.mul_vec_into(&x, &mut y);
+        assert_eq!(y, a.mul_vec(&x));
+    }
+
+    #[test]
+    fn copy_from_restores_entries() {
+        let base = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut work = DMatrix::zeros(2, 2);
+        work.copy_from(&base);
+        assert_eq!(work, base);
+        work[(0, 0)] = 99.0;
+        work.copy_from(&base);
+        assert_eq!(work, base);
     }
 }

@@ -214,7 +214,11 @@ mod tests {
             s.push(normal(&mut rng, 3.0, 2.0));
         }
         assert!((s.mean() - 3.0).abs() < 0.06, "mean {}", s.mean());
-        assert!((s.sample_std() - 2.0).abs() < 0.06, "std {}", s.sample_std());
+        assert!(
+            (s.sample_std() - 2.0).abs() < 0.06,
+            "std {}",
+            s.sample_std()
+        );
     }
 
     #[test]

@@ -27,10 +27,16 @@ impl fmt::Display for RootError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RootError::NoBracket { f_lo, f_hi } => {
-                write!(f, "interval does not bracket a root (f_lo={f_lo:e}, f_hi={f_hi:e})")
+                write!(
+                    f,
+                    "interval does not bracket a root (f_lo={f_lo:e}, f_hi={f_hi:e})"
+                )
             }
             RootError::MaxIterations { best } => {
-                write!(f, "root finder hit the iteration limit (best estimate {best:e})")
+                write!(
+                    f,
+                    "root finder hit the iteration limit (best estimate {best:e})"
+                )
             }
         }
     }
@@ -229,7 +235,10 @@ mod tests {
     #[test]
     fn bisect_exact_endpoint_root() {
         assert_eq!(bisect(|x| x, Bracket::new(0.0, 1.0), 1e-12, 10), Ok(0.0));
-        assert_eq!(bisect(|x| x - 1.0, Bracket::new(0.0, 1.0), 1e-12, 10), Ok(1.0));
+        assert_eq!(
+            bisect(|x| x - 1.0, Bracket::new(0.0, 1.0), 1e-12, 10),
+            Ok(1.0)
+        );
     }
 
     #[test]

@@ -155,7 +155,7 @@ pub fn inv_norm_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -238,7 +238,7 @@ mod tests {
             (2.0, 4.677734981063127e-3),
             (3.0, 2.209049699858544e-5),
             (4.0, 1.541725790028002e-8),
-            (5.0, 1.5374597944280349e-12),
+            (5.0, 1.537459794428035e-12),
             (6.0, 2.1519736712498913e-17),
         ];
         for (x, want) in cases {

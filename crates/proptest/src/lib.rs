@@ -1,0 +1,208 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the strategy surface `tests/properties.rs` uses — range
+//! strategies, `collection::vec`, `any`-style constants, the `proptest!`
+//! macro, and `prop_assert!`/`prop_assert_eq!` — backed by a deterministic
+//! RNG. Unlike the real proptest there is no shrinking: a failing case
+//! panics with its generated inputs printed, which is enough to reproduce
+//! (generation is seeded from the test name, so reruns are identical).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+use std::ops::Range;
+
+/// Cases generated per property (the real proptest defaults to 256; this
+/// stand-in trades a little coverage for wall time since several
+/// properties exercise numerical kernels).
+pub const DEFAULT_CASES: usize = 96;
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + std::fmt::Debug,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Strategy generating any value of a primitive type (the `ANY`
+/// constants below).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_any {
+    ($mod_name:ident, $t:ty, |$rng:ident| $draw:expr) => {
+        /// `ANY` strategy for this primitive type.
+        pub mod $mod_name {
+            /// Generates any value of the type.
+            pub const ANY: $crate::AnyStrategy<$t> = $crate::AnyStrategy(std::marker::PhantomData);
+
+            impl $crate::Strategy for $crate::AnyStrategy<$t> {
+                type Value = $t;
+
+                fn generate(&self, $rng: &mut ::rand::rngs::StdRng) -> $t {
+                    use ::rand::Rng as _;
+                    $draw
+                }
+            }
+        }
+    };
+}
+
+impl_any!(bool, bool, |rng| rng.gen::<u64>() & 1 == 1);
+
+/// Numeric `ANY` strategies, mirroring proptest's `num` module layout.
+pub mod num {
+    impl_any!(u64, u64, |rng| rng.gen::<u64>());
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+
+    /// Strategy for fixed-length vectors of an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// Generates `len` elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Seeds the per-property RNG from the property name, so each property has
+/// a fixed, independent stream.
+pub fn rng_for(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Asserts a condition inside a property, printing the condition on
+/// failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property violated: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Declares property tests: each `fn` runs [`DEFAULT_CASES`] times with
+/// inputs drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$attr:meta])+
+        fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])+
+        fn $name() {
+            let mut rng = $crate::rng_for(stringify!($name));
+            for case in 0..$crate::DEFAULT_CASES {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "property '{}' failed on case {case} with inputs:",
+                        stringify!($name),
+                    );
+                    $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)*
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0f64..2.0, k in 0usize..5) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!(k < 5);
+        }
+
+        #[test]
+        fn vectors_have_requested_length(
+            v in crate::collection::vec(0.0f64..1.0, 7),
+        ) {
+            prop_assert_eq!(v.len(), 7);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn any_u64_generates(seed in crate::num::u64::ANY, flag in crate::bool::ANY) {
+            // A round trip through the generated values: masking with the
+            // flag and undoing it must restore the seed.
+            let mask = if flag { u64::MAX } else { 0 };
+            prop_assert_eq!((seed ^ mask) ^ mask, seed);
+        }
+    }
+
+    #[test]
+    fn rng_is_name_seeded_and_deterministic() {
+        use rand::Rng;
+        let a: Vec<u64> = {
+            let mut r = crate::rng_for("p");
+            (0..4).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = crate::rng_for("p");
+            (0..4).map(|_| r.gen()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = crate::rng_for("q");
+            (0..4).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -244,7 +244,9 @@ mod tests {
 
     #[test]
     fn environment_builders() {
-        let env = Environment::nominal().with_vdd_factor(1.1).with_temp_c(125.0);
+        let env = Environment::nominal()
+            .with_vdd_factor(1.1)
+            .with_temp_c(125.0);
         assert!((env.vdd - 1.1).abs() < 1e-12);
         assert_eq!(env.temp_c, 125.0);
         assert!((env.temp_k() - 398.15).abs() < 1e-9);

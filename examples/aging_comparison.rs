@@ -35,12 +35,7 @@ fn main() -> Result<(), SaError> {
                 samples,
                 probe: ProbeOptions::fast(),
                 delay_samples: 0,
-                ..McConfig::paper(
-                    kind,
-                    Workload::new(0.8, ReadSequence::AllZeros),
-                    env,
-                    time,
-                )
+                ..McConfig::paper(kind, Workload::new(0.8, ReadSequence::AllZeros), env, time)
             };
             let r = run_mc(&cfg)?;
             // The spec sets the bitline swing the column must develop,
@@ -60,8 +55,16 @@ fn main() -> Result<(), SaError> {
         }
     }
 
-    let nssa_aged = specs.iter().find(|(k, t, _)| *k == SaKind::Nssa && *t > 0.0).unwrap().2;
-    let issa_aged = specs.iter().find(|(k, t, _)| *k == SaKind::Issa && *t > 0.0).unwrap().2;
+    let nssa_aged = specs
+        .iter()
+        .find(|(k, t, _)| *k == SaKind::Nssa && *t > 0.0)
+        .unwrap()
+        .2;
+    let issa_aged = specs
+        .iter()
+        .find(|(k, t, _)| *k == SaKind::Issa && *t > 0.0)
+        .unwrap()
+        .2;
     println!(
         "\naged-spec reduction from input switching: {:.1} %",
         (1.0 - issa_aged / nssa_aged) * 100.0

@@ -18,7 +18,9 @@ fn main() -> Result<(), SaError> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(24);
     let env = Environment::nominal().with_temp_c(125.0);
-    println!("offset-budget lifetime at the hot corner (125 C, workload 80r0), {samples} samples\n");
+    println!(
+        "offset-budget lifetime at the hot corner (125 C, workload 80r0), {samples} samples\n"
+    );
 
     let cfg = |kind| McConfig {
         aging_mode: AgingMode::Expected,
@@ -32,7 +34,10 @@ fn main() -> Result<(), SaError> {
         )
     };
 
-    println!("{:>12} {:>16} {:>16}", "budget [mV]", "NSSA lifetime", "ISSA lifetime");
+    println!(
+        "{:>12} {:>16} {:>16}",
+        "budget [mV]", "NSSA lifetime", "ISSA lifetime"
+    );
     for budget_mv in [120.0, 140.0, 160.0, 180.0] {
         let mut row = format!("{budget_mv:>12.0}");
         for kind in [SaKind::Nssa, SaKind::Issa] {

@@ -16,7 +16,10 @@ fn main() -> Result<(), SaError> {
     let opts = ProbeOptions::default();
 
     println!("latch regeneration time constant vs temperature (fresh NSSA):\n");
-    println!("{:>8} {:>12} {:>14} {:>16}", "T [C]", "tau [ps]", "delay [ps]", "tau*ln(Vr/Vin)");
+    println!(
+        "{:>8} {:>12} {:>14} {:>16}",
+        "T [C]", "tau [ps]", "delay [ps]", "tau*ln(Vr/Vin)"
+    );
     for temp in [25.0, 75.0, 125.0] {
         let env = Environment::nominal().with_temp_c(temp);
         let sa = SaInstance::fresh(SaKind::Nssa, env);
@@ -34,15 +37,27 @@ fn main() -> Result<(), SaError> {
     }
 
     println!("\nregeneration slows with symmetric aging (both latch NMOS + PMOS aged):\n");
-    println!("{:>12} {:>12} {:>14}", "dVth [mV]", "tau [ps]", "delay [ps]");
+    println!(
+        "{:>12} {:>12} {:>14}",
+        "dVth [mV]", "tau [ps]", "delay [ps]"
+    );
     for dvth_mv in [0.0, 20.0, 40.0, 60.0] {
         let mut sa = SaInstance::fresh(SaKind::Nssa, Environment::nominal());
-        for d in [SaDevice::Mdown, SaDevice::MdownBar, SaDevice::Mup, SaDevice::MupBar] {
+        for d in [
+            SaDevice::Mdown,
+            SaDevice::MdownBar,
+            SaDevice::Mup,
+            SaDevice::MupBar,
+        ] {
             sa.set_delta_vth(d, dvth_mv * 1e-3);
         }
         let tau = sa.regeneration_tau(&opts)?;
         let delay = sa.sensing_delay_mean(&opts)?;
-        println!("{dvth_mv:>12.0} {:>12.2} {:>14.2}", tau * 1e12, delay * 1e12);
+        println!(
+            "{dvth_mv:>12.0} {:>12.2} {:>14.2}",
+            tau * 1e12,
+            delay * 1e12
+        );
     }
 
     println!("\nreading: tau = C_node/gm_loop. Heat and aging both cut the cross-coupled");

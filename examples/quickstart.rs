@@ -48,12 +48,7 @@ fn main() -> Result<(), SaError> {
             samples: 40,
             probe: ProbeOptions::fast(),
             delay_samples: 8,
-            ..McConfig::paper(
-                kind,
-                Workload::new(0.8, ReadSequence::AllZeros),
-                env,
-                1e8,
-            )
+            ..McConfig::paper(kind, Workload::new(0.8, ReadSequence::AllZeros), env, 1e8)
         };
         let result = run_mc(&cfg)?;
         println!("{:>4}: {}", kind.name(), result.table_row());

@@ -34,13 +34,19 @@ fn main() -> Result<(), SaError> {
     let trace = sa.delay_waveforms(true, &opts)?;
     let t_end = *trace.time().last().expect("non-empty trace");
 
-    println!("read-1 sensing transient, 0 .. {:.0} ps (darker = higher voltage)\n", t_end * 1e12);
+    println!(
+        "read-1 sensing transient, 0 .. {:.0} ps (darker = higher voltage)\n",
+        t_end * 1e12
+    );
     for sig in ["bl", "blbar", "saen", "s", "sbar", "out", "outbar"] {
         println!("{}", render(sig, &trace, t_end, env.vdd));
     }
 
     let delay = sa.sensing_delay(true, &opts)?;
-    println!("\nsensing delay (SAenable 50% -> Out 50%): {:.2} ps", delay * 1e12);
+    println!(
+        "\nsensing delay (SAenable 50% -> Out 50%): {:.2} ps",
+        delay * 1e12
+    );
 
     // Show how close to metastability the latch can be driven: sweep the
     // input toward the offset and watch the final differential shrink.

@@ -36,7 +36,10 @@ fn main() -> Result<(), SaError> {
         .unwrap_or(24);
 
     println!("mean offset shift vs workload zero-fraction (t = 1e8 s, 25 C, {samples} samples)\n");
-    println!("{:>8} {:>14} {:>14}", "p(zero)", "NSSA mu [mV]", "ISSA mu [mV]");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "p(zero)", "NSSA mu [mV]", "ISSA mu [mV]"
+    );
     for i in 0..=6 {
         let p_zero = i as f64 / 6.0;
         let seq = ReadSequence::Random { p_zero, seed: 99 };
@@ -46,7 +49,10 @@ fn main() -> Result<(), SaError> {
     }
 
     println!("\ncorrelated bursts (run of equal values), same corner:\n");
-    println!("{:>12} {:>14} {:>14}", "burst run", "NSSA mu [mV]", "ISSA mu [mV]");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "burst run", "NSSA mu [mV]", "ISSA mu [mV]"
+    );
     for run in [1u64, 16, 127, 128, 129, 4096] {
         let seq = ReadSequence::Bursty { run };
         let nssa = corner(SaKind::Nssa, seq, samples)?;

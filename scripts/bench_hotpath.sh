@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Hot-path before/after benchmark with a true pre-optimization baseline.
+#
+# Checks out the seed commit (the repository's root commit) into a
+# temporary git worktree, builds its bench crate against the vendored
+# offline stand-ins for rand/proptest/criterion, times its Table II
+# reproduction, and then runs `hotpath_bench` with that wall time as the
+# `--baseline-wall-s` so results/BENCH_hotpath.json records the seed
+# speedup next to the in-process reference-vs-fast comparison.
+#
+# usage: scripts/bench_hotpath.sh [samples-per-corner]   (default 20)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SAMPLES="${1:-20}"
+SEED_COMMIT="$(git rev-list --max-parents=0 HEAD)"
+WORKTREE=".hotpath-seed"
+
+cleanup() {
+    git worktree remove --force "$WORKTREE" 2>/dev/null || true
+}
+trap cleanup EXIT
+cleanup
+
+echo "== building seed baseline ($SEED_COMMIT) =="
+git worktree add "$WORKTREE" "$SEED_COMMIT" >/dev/null
+# The build environment has no crates.io access; give the seed checkout the
+# same vendored dependency stand-ins the current tree uses.
+cp Cargo.toml "$WORKTREE/Cargo.toml"
+cp -r crates/rand crates/proptest crates/criterion "$WORKTREE/crates/"
+(cd "$WORKTREE" && cargo build --release -q -p issa-bench)
+
+echo "== timing seed table2_workload --samples $SAMPLES =="
+start=$(date +%s.%N)
+(cd "$WORKTREE" && cargo run --release -q -p issa-bench --bin table2_workload -- --samples "$SAMPLES" >/dev/null)
+end=$(date +%s.%N)
+BASELINE=$(echo "$end $start" | awk '{printf "%.3f", $1 - $2}')
+echo "seed wall time: ${BASELINE}s"
+
+echo "== running hotpath_bench =="
+cargo build --release -q -p issa-bench
+cargo run --release -q -p issa-bench --bin hotpath_bench -- \
+    --samples "$SAMPLES" --baseline-wall-s "$BASELINE"

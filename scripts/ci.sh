@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, and the tier-1 verify.
+# Run before every push; the build environment has no network, so this is
+# the whole pipeline.
+#
+# usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy --workspace -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test =="
+cargo build --release
+cargo test -q
+
+echo "CI_OK"

