@@ -38,7 +38,8 @@ fn main() {
                     1e8,
                 )
             };
-            run_mc(&cfg).expect("corner runs")
+            run_mc(&cfg)
+                .unwrap_or_else(|e| issa_bench::exit_mc_failure(&format!("idle={weight}"), &e))
         };
         let r0 = run(ReadSequence::AllZeros);
         let bal = run(ReadSequence::Alternating);

@@ -23,8 +23,12 @@ fn main() {
             dt: dt_ps * 1e-12,
             ..ProbeOptions::default()
         };
-        let delay = sa.sensing_delay(true, &opts).expect("delay probe");
-        let offset = sa.offset_voltage(&opts).expect("offset probe");
+        let delay = sa
+            .sensing_delay(true, &opts)
+            .unwrap_or_else(|e| issa_bench::exit_mc_failure(&format!("dt={dt_ps}ps delay"), &e));
+        let offset = sa
+            .offset_voltage(&opts)
+            .unwrap_or_else(|e| issa_bench::exit_mc_failure(&format!("dt={dt_ps}ps offset"), &e));
         println!(
             "{dt_ps:>10.2} {:>14.3} {:>16.4}",
             delay * 1e12,
@@ -37,7 +41,7 @@ fn main() {
     if let Some(r) = reference {
         let default = sa
             .sensing_delay(true, &ProbeOptions::default())
-            .expect("delay probe");
+            .unwrap_or_else(|e| issa_bench::exit_mc_failure("default-dt delay", &e));
         println!(
             "\ndefault dt=0.1 ps is within {:.2} % of the dt=0.05 ps reference",
             (default / r - 1.0).abs() * 100.0

@@ -32,7 +32,7 @@ fn main() {
                 delay_swing: policy,
                 ..args.config(kind, Workload::new(0.8, ReadSequence::AllZeros), env, 1e8)
             };
-            let r = run_mc(&cfg).expect("corner runs");
+            let r = run_mc(&cfg).unwrap_or_else(|e| issa_bench::exit_mc_failure(kind.name(), &e));
             println!(
                 "{:>22} {:>10} {:>14.1} {:>14.2}",
                 match policy {

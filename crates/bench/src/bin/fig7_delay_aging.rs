@@ -35,7 +35,8 @@ fn main() {
         let mut row = [0.0; 3];
         for (k, (_, kind, seq)) in series.iter().enumerate() {
             let cfg = args.config(*kind, Workload::new(0.8, *seq), env, t);
-            let r = run_mc(&cfg).expect("corner runs");
+            let r = run_mc(&cfg)
+                .unwrap_or_else(|e| issa_bench::exit_mc_failure(&format!("t={t:.0e}s"), &e));
             row[k] = r.mean_delay * 1e12;
         }
         print!("{t:>12.0e}");

@@ -28,7 +28,7 @@ fn main() {
                 delay_samples: 0,
                 ..args.config(kind, Workload::new(0.8, ReadSequence::AllZeros), env, 1e8)
             };
-            let r = run_mc(&cfg).expect("corner runs");
+            let r = run_mc(&cfg).unwrap_or_else(|e| issa_bench::exit_mc_failure(label, &e));
             println!(
                 "{:>8} {:>10} {:>10.2} {:>10.2} {:>10.1}",
                 kind.name(),

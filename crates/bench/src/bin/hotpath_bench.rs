@@ -36,7 +36,7 @@ fn run_corners(args: &BenchArgs, reference: bool) -> (Vec<McResult>, McPerf) {
         if reference {
             cfg.probe = cfg.probe.reference();
         }
-        let r = run_mc(&cfg).unwrap_or_else(|e| panic!("corner '{}' failed: {e}", spec.label));
+        let r = run_mc(&cfg).unwrap_or_else(|e| issa_bench::exit_mc_failure(spec.label, &e));
         total.offset_wall_s += r.perf.offset_wall_s;
         total.delay_wall_s += r.perf.delay_wall_s;
         total.probes += r.perf.probes;
@@ -51,7 +51,8 @@ fn json_mode(p: &McPerf) -> String {
         concat!(
             "{{\"wall_s\": {:.3}, \"offset_wall_s\": {:.3}, \"delay_wall_s\": {:.3}, ",
             "\"probes\": {}, \"transients\": {}, \"timesteps\": {}, ",
-            "\"newton_iterations\": {}, \"lu_factorizations\": {}}}"
+            "\"newton_iterations\": {}, \"lu_factorizations\": {}, ",
+            "\"recovery_attempts\": {}, \"recoveries_failed\": {}}}"
         ),
         p.offset_wall_s + p.delay_wall_s,
         p.offset_wall_s,
@@ -61,6 +62,8 @@ fn json_mode(p: &McPerf) -> String {
         p.circuit.timesteps,
         p.circuit.newton_iterations,
         p.circuit.lu_factorizations,
+        p.circuit.recovery_attempts(),
+        p.circuit.recoveries_failed,
     )
 }
 
@@ -155,5 +158,8 @@ fn main() {
     std::fs::write(&path, json).expect("write BENCH_hotpath.json");
     println!("wrote {}", path.display());
 
-    assert!(identical, "fast-mode results diverged from reference mode");
+    if !identical {
+        eprintln!("error: fast-mode results diverged from reference mode");
+        std::process::exit(1);
+    }
 }

@@ -39,9 +39,9 @@ fn main() {
             Lifetime::CrossesAt(t) => format!("{t:9.1e} s"),
         };
         let nssa = time_to_spec_budget(&cfg(SaKind::Nssa), budget_mv * 1e-3, 1e1, 1e10, 12)
-            .expect("search runs");
+            .unwrap_or_else(|e| issa_bench::exit_mc_failure("NSSA lifetime", &e));
         let issa = time_to_spec_budget(&cfg(SaKind::Issa), budget_mv * 1e-3, 1e1, 1e10, 12)
-            .expect("search runs");
+            .unwrap_or_else(|e| issa_bench::exit_mc_failure("ISSA lifetime", &e));
         let extension = match (nssa.time(), issa.time()) {
             (Some(tn), Some(ti)) => format!("{:8.1}x", ti / tn),
             (Some(_), None) => "inf".to_string(),

@@ -31,6 +31,7 @@ use issa_core::montecarlo::{run_mc, McConfig, McResult};
 use issa_core::netlist::SaKind;
 use issa_core::probe::ProbeOptions;
 use issa_core::workload::{ReadSequence, Workload};
+use issa_core::SaError;
 use issa_ptm45::Environment;
 
 /// Command-line options shared by the experiment binaries.
@@ -108,6 +109,22 @@ fn usage(message: &str) -> ! {
     std::process::exit(2)
 }
 
+/// Reports a failed analysis readably on stderr — the message, and for a
+/// [`SaError::FailureBudgetExceeded`] the full per-sample quarantine list
+/// — then exits with status 1. Experiment binaries use this instead of
+/// panicking so a dead corner produces a diagnosis, not a backtrace.
+pub fn exit_mc_failure(label: &str, e: &SaError) -> ! {
+    eprintln!("error: corner '{label}' failed: {e}");
+    if let SaError::FailureBudgetExceeded { failures, .. } = e {
+        eprintln!(
+            "hint: {} sample(s) quarantined; re-run the listed (seed, sample) pairs in isolation \
+             to reproduce",
+            failures.len()
+        );
+    }
+    std::process::exit(1)
+}
+
 /// One experiment corner: scheme, workload, environment, stress time, and
 /// the paper's reported numbers for the row.
 #[derive(Debug, Clone)]
@@ -129,7 +146,8 @@ pub struct CornerSpec {
 }
 
 impl CornerSpec {
-    /// Runs this corner under `args`.
+    /// Runs this corner under `args`; a failed run prints the failure
+    /// (including the per-sample quarantine list) and exits nonzero.
     pub fn run(&self, args: &BenchArgs) -> McResult {
         let cfg = args.config(
             self.kind,
@@ -137,9 +155,7 @@ impl CornerSpec {
             self.env,
             self.time,
         );
-        run_mc(&cfg).unwrap_or_else(|e| {
-            panic!("corner '{}' failed: {e}", self.label);
-        })
+        run_mc(&cfg).unwrap_or_else(|e| exit_mc_failure(self.label, &e))
     }
 
     /// Extra row qualifier (time column).
@@ -295,6 +311,7 @@ mod tests {
             spec: 61e-3,
             mean_delay: f64::NAN,
             ks_sqrt_n: 0.5,
+            failures: vec![],
             perf: Default::default(),
         };
         let strip = render_distribution_strip("test", &r, 220.0);

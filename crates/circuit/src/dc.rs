@@ -1,8 +1,10 @@
-//! DC operating-point analysis with gmin stepping.
+//! DC operating-point analysis with gmin stepping and, on failure,
+//! source-stepping continuation (recovery ladder rung 4).
 
 use crate::netlist::Netlist;
 use crate::newton::{NewtonOpts, NewtonWorkspace};
-use crate::CircuitError;
+use crate::recovery::RecoveryPolicy;
+use crate::{faultinject, CircuitError};
 
 /// Parameters for a DC operating-point solve.
 #[derive(Debug, Clone)]
@@ -15,6 +17,11 @@ pub struct DcParams {
     pub gmin_ladder: Vec<f64>,
     /// Newton iteration budget per ladder rung.
     pub max_iter: usize,
+    /// Recovery behaviour when the final (gmin = 0) solve fails. DC uses
+    /// only [`RecoveryPolicy::source_steps`]: every source is scaled to a
+    /// fraction of its value and walked back to 100 % in that many
+    /// warm-started increments, then the unmodified system is re-solved.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for DcParams {
@@ -23,6 +30,7 @@ impl Default for DcParams {
             initial_guess: Vec::new(),
             gmin_ladder: vec![1e-3, 1e-5, 1e-7, 1e-9, 1e-12],
             max_iter: 200,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -114,6 +122,11 @@ pub fn dc_operating_point(
             branch_currents: Vec::new(),
         });
     }
+    // DC operating points count as one base solve for fault injection:
+    // a transient (fire-once) fault fails the first rung attempted, a
+    // persistent fault defeats gmin and source stepping alike.
+    faultinject::begin_base_step();
+
     let mut x = vec![0.0; n];
     for (name, v) in &params.initial_guess {
         if let Some(id) = netlist.find_node(name) {
@@ -133,35 +146,18 @@ pub fn dc_operating_point(
     ladder.push(0.0);
     let mut last_err = None;
     for &gmin in &ladder {
-        // The gmin shunt splits across the two stamp closures: its
-        // conductance is constant for a given rung (so it lives in the
-        // cached base Jacobian, keyed by the rung value), while its
-        // residual current depends on the iterate.
-        let result = ws.solve(
-            netlist,
-            &mut x,
-            0.0,
-            gmin,
-            |st| {
-                if gmin > 0.0 {
-                    for node in netlist.node_ids() {
-                        st.add_conductance(node, Netlist::GROUND, gmin);
-                    }
-                }
-            },
-            |x, st| {
-                if gmin > 0.0 {
-                    for node in netlist.node_ids() {
-                        let i = gmin * st.voltage(x, node);
-                        st.add_current(node, Netlist::GROUND, i);
-                    }
-                }
-            },
-            opts,
-        );
+        let result = solve_rung(netlist, &mut x, &mut ws, opts, gmin);
         if let Err(e) = result {
-            // Intermediate rungs may fail; only the final one is fatal.
+            // Intermediate rungs may fail; only the final one is fatal,
+            // and even then source stepping (ladder rung 4) gets a shot.
             if gmin == 0.0 {
+                if params.recovery.source_steps > 0
+                    && source_step(netlist, &mut x, &mut ws, opts, params.recovery.source_steps)
+                        .is_ok()
+                {
+                    break;
+                }
+                ws.counts.recoveries_failed += 1;
                 ws.counts.flush(false);
                 return Err(e);
             }
@@ -180,6 +176,82 @@ pub fn dc_operating_point(
         voltages: x[..node_count].to_vec(),
         branch_currents: x[node_count..].to_vec(),
     })
+}
+
+/// One Newton solve of the DC system under a gmin shunt (`gmin == 0` is
+/// the plain system). The gmin shunt splits across the two stamp
+/// closures: its conductance is constant for a given rung (so it lives in
+/// the cached base Jacobian, keyed by the rung value), while its residual
+/// current depends on the iterate.
+fn solve_rung(
+    netlist: &Netlist,
+    x: &mut [f64],
+    ws: &mut NewtonWorkspace,
+    opts: NewtonOpts,
+    gmin: f64,
+) -> Result<usize, CircuitError> {
+    if let Some(e) = faultinject::intercept(0.0) {
+        return Err(e);
+    }
+    ws.solve(
+        netlist,
+        x,
+        0.0,
+        gmin,
+        |st| {
+            if gmin > 0.0 {
+                for node in netlist.node_ids() {
+                    st.add_conductance(node, Netlist::GROUND, gmin);
+                }
+            }
+        },
+        |x, st| {
+            if gmin > 0.0 {
+                for node in netlist.node_ids() {
+                    let i = gmin * st.voltage(x, node);
+                    st.add_current(node, Netlist::GROUND, i);
+                }
+            }
+        },
+        opts,
+    )
+}
+
+/// Source-stepping continuation (recovery ladder rung 4): restart from
+/// zero bias, scale every independent source to `k / steps` of its value,
+/// and walk `k` up to `steps`, warm-starting each solve from the last.
+/// The returned solution always comes from a final solve of the
+/// *unmodified* netlist, so acceptance implies the original system
+/// converged.
+fn source_step(
+    netlist: &Netlist,
+    x: &mut [f64],
+    ws: &mut NewtonWorkspace,
+    opts: NewtonOpts,
+    steps: u32,
+) -> Result<usize, CircuitError> {
+    ws.counts.recoveries_source += 1;
+    for v in x.iter_mut() {
+        *v = 0.0;
+    }
+    for k in 1..steps {
+        let alpha = f64::from(k) / f64::from(steps);
+        let mut net = netlist.clone();
+        for e in net.elements_mut() {
+            match e {
+                crate::element::Element::VSource(v) => {
+                    v.waveform = crate::waveform::Waveform::dc(alpha * v.waveform.eval(0.0));
+                }
+                crate::element::Element::ISource(i) => {
+                    i.waveform = crate::waveform::Waveform::dc(alpha * i.waveform.eval(0.0));
+                }
+                _ => {}
+            }
+        }
+        solve_rung(&net, x, ws, opts, 0.0)?;
+    }
+    // The 100 % step solves the original netlist itself.
+    solve_rung(netlist, x, ws, opts, 0.0)
 }
 
 /// Sweeps the DC value of the `source_index`-th voltage source (insertion

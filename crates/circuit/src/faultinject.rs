@@ -1,0 +1,300 @@
+//! Deterministic solver fault injection — the test harness for the
+//! recovery ladder ([`crate::recovery`]) and for failure-isolation layers
+//! built on top of the engine.
+//!
+//! A [`FaultPlan`] names exact *(sample, timestep)* coordinates at which
+//! the solver must pretend to fail, and how: a Newton non-convergence, a
+//! singular Jacobian, a NaN residual, or a worker panic. The plan is
+//! armed per thread with a [`FaultScope`] guard carrying the sample
+//! index; the transient and DC engines count their base solve attempts
+//! against the scope and consult it before every Newton solve. A
+//! **transient** fault fires only on the *first* solve attempt of its
+//! timestep — the recovery ladder's retry then succeeds, exercising one
+//! rung. A **persistent** fault fires on *every* attempt of its timestep
+//! — damping, halved sub-steps, and gmin solves all fail, the ladder is
+//! exhausted, and the failure propagates, exercising the caller's
+//! quarantine path.
+//!
+//! The module is compiled unconditionally and is default-off: with no
+//! scope armed (the production state) the per-step cost is one
+//! thread-local `Option` check, and the engine's behaviour is untouched.
+
+use crate::CircuitError;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// What kind of solver failure to fabricate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Newton reports non-convergence (infinite residual).
+    NonConvergence,
+    /// The MNA Jacobian reports a singular factorization.
+    Singular,
+    /// Newton reports non-convergence with a NaN residual — the shape a
+    /// numerical blow-up produces.
+    NanResidual,
+    /// The solver thread panics — exercises `catch_unwind` isolation in
+    /// the caller.
+    Panic,
+}
+
+/// One injected fault at an exact *(sample, timestep)* coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Sample index the fault belongs to (matched against the
+    /// [`FaultScope`]'s sample).
+    pub sample: usize,
+    /// Base solve ordinal within the sample's scope: transient analyses
+    /// count one per base timestep attempted (sub-steps and retries do
+    /// not advance it), DC operating points count one per solve.
+    pub timestep: u64,
+    /// Failure to fabricate.
+    pub kind: FaultKind,
+    /// `false`: fire once, on the first solve attempt of the timestep
+    /// (the ladder's retry succeeds). `true`: fire on every attempt (the
+    /// ladder is exhausted and the failure propagates).
+    pub persistent: bool,
+}
+
+/// A deterministic set of injected faults. Cheap to share: the Monte
+/// Carlo layer clones one `Arc<FaultPlan>` into every worker.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a transient fault: fires once at `(sample, timestep)`, so a
+    /// single ladder rung recovers it.
+    #[must_use]
+    pub fn transient(mut self, sample: usize, timestep: u64, kind: FaultKind) -> Self {
+        self.faults.push(FaultSpec {
+            sample,
+            timestep,
+            kind,
+            persistent: false,
+        });
+        self
+    }
+
+    /// Adds a persistent fault: fires on every solve attempt at
+    /// `(sample, timestep)`, defeating the whole ladder.
+    #[must_use]
+    pub fn persistent(mut self, sample: usize, timestep: u64, kind: FaultKind) -> Self {
+        self.faults.push(FaultSpec {
+            sample,
+            timestep,
+            kind,
+            persistent: true,
+        });
+        self
+    }
+
+    /// The injected faults.
+    #[must_use]
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// The distinct sample indices this plan targets, sorted.
+    #[must_use]
+    pub fn samples(&self) -> Vec<usize> {
+        let mut s: Vec<usize> = self.faults.iter().map(|f| f.sample).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    fn fault_at(&self, sample: usize, timestep: u64) -> Option<&FaultSpec> {
+        self.faults
+            .iter()
+            .find(|f| f.sample == sample && f.timestep == timestep)
+    }
+}
+
+struct Active {
+    plan: Arc<FaultPlan>,
+    sample: usize,
+    /// Ordinal of the base solve currently in flight (set by
+    /// [`begin_base_step`]); `None` until the first base step.
+    step: Option<u64>,
+    /// Base solves started so far in this scope.
+    started: u64,
+    /// Solve attempts consumed within the current base step.
+    attempts: u64,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Active>> = const { RefCell::new(None) };
+}
+
+/// RAII guard arming a [`FaultPlan`] for the current thread, attributed
+/// to `sample`. Dropping the guard (including during unwind) restores the
+/// previous state, so scopes nest and a panicking worker cannot leak its
+/// plan into unrelated work.
+#[derive(Debug)]
+pub struct FaultScope {
+    _private: (),
+}
+
+impl FaultScope {
+    /// Arms `plan` on this thread for `sample`. The base-step counter
+    /// starts at zero.
+    pub fn enter(plan: Arc<FaultPlan>, sample: usize) -> Self {
+        ACTIVE.with(|a| {
+            *a.borrow_mut() = Some(Active {
+                plan,
+                sample,
+                step: None,
+                started: 0,
+                attempts: 0,
+            });
+        });
+        Self { _private: () }
+    }
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| *a.borrow_mut() = None);
+    }
+}
+
+/// Marks the start of one base solve (a transient base timestep or a DC
+/// operating point). Resets the per-step attempt counter.
+pub(crate) fn begin_base_step() {
+    ACTIVE.with(|a| {
+        if let Some(active) = a.borrow_mut().as_mut() {
+            active.step = Some(active.started);
+            active.started += 1;
+            active.attempts = 0;
+        }
+    });
+}
+
+/// Consulted immediately before each Newton solve attempt. Returns the
+/// fabricated error if an armed fault fires at the current coordinate.
+///
+/// # Panics
+///
+/// Panics (deliberately) when the firing fault is [`FaultKind::Panic`].
+pub(crate) fn intercept(time: f64) -> Option<CircuitError> {
+    let fired: Option<FaultKind> = ACTIVE.with(|a| {
+        let mut borrow = a.borrow_mut();
+        let active = borrow.as_mut()?;
+        let step = active.step?;
+        let fault = *active.plan.fault_at(active.sample, step)?;
+        active.attempts += 1;
+        if fault.persistent || active.attempts == 1 {
+            Some(fault.kind)
+        } else {
+            None
+        }
+    });
+    match fired? {
+        FaultKind::NonConvergence => Some(CircuitError::NonConvergence {
+            time,
+            iterations: 0,
+            residual: f64::INFINITY,
+        }),
+        FaultKind::NanResidual => Some(CircuitError::NonConvergence {
+            time,
+            iterations: 0,
+            residual: f64::NAN,
+        }),
+        FaultKind::Singular => Some(CircuitError::Singular {
+            context: format!("injected fault at t={time:e}"),
+        }),
+        FaultKind::Panic => panic!("injected solver panic at t={time:e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_thread_never_intercepts() {
+        begin_base_step();
+        assert!(intercept(0.0).is_none());
+    }
+
+    #[test]
+    fn transient_fault_fires_exactly_once() {
+        let plan = Arc::new(FaultPlan::new().transient(3, 1, FaultKind::NonConvergence));
+        let _scope = FaultScope::enter(plan, 3);
+        begin_base_step(); // step 0: no fault
+        assert!(intercept(0.0).is_none());
+        begin_base_step(); // step 1: fault fires on the first attempt only
+        assert!(matches!(
+            intercept(1.0),
+            Some(CircuitError::NonConvergence { .. })
+        ));
+        assert!(intercept(1.0).is_none(), "retry must succeed");
+        begin_base_step(); // step 2: clean again
+        assert!(intercept(2.0).is_none());
+    }
+
+    #[test]
+    fn persistent_fault_fires_on_every_attempt() {
+        let plan = Arc::new(FaultPlan::new().persistent(0, 0, FaultKind::Singular));
+        let _scope = FaultScope::enter(plan, 0);
+        begin_base_step();
+        for _ in 0..5 {
+            assert!(matches!(
+                intercept(0.0),
+                Some(CircuitError::Singular { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn faults_are_sample_scoped() {
+        let plan = Arc::new(FaultPlan::new().transient(7, 0, FaultKind::NonConvergence));
+        {
+            let _scope = FaultScope::enter(plan.clone(), 8);
+            begin_base_step();
+            assert!(intercept(0.0).is_none(), "wrong sample must not fire");
+        }
+        let _scope = FaultScope::enter(plan, 7);
+        begin_base_step();
+        assert!(intercept(0.0).is_some());
+    }
+
+    #[test]
+    fn scope_drop_disarms() {
+        {
+            let plan = Arc::new(FaultPlan::new().persistent(0, 0, FaultKind::NonConvergence));
+            let _scope = FaultScope::enter(plan, 0);
+        }
+        begin_base_step();
+        assert!(intercept(0.0).is_none());
+    }
+
+    #[test]
+    fn nan_residual_fault_carries_nan() {
+        let plan = Arc::new(FaultPlan::new().transient(0, 0, FaultKind::NanResidual));
+        let _scope = FaultScope::enter(plan, 0);
+        begin_base_step();
+        match intercept(0.0) {
+            Some(CircuitError::NonConvergence { residual, .. }) => assert!(residual.is_nan()),
+            other => panic!("expected NaN non-convergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_reports_targeted_samples() {
+        let plan = FaultPlan::new()
+            .transient(5, 0, FaultKind::NonConvergence)
+            .persistent(2, 3, FaultKind::Singular)
+            .transient(5, 9, FaultKind::NanResidual);
+        assert_eq!(plan.samples(), vec![2, 5]);
+        assert_eq!(plan.faults().len(), 3);
+    }
+}

@@ -43,10 +43,12 @@
 
 pub mod dc;
 pub mod element;
+pub mod faultinject;
 pub mod mosfet;
 pub mod netlist;
 mod newton;
 pub mod perf;
+pub mod recovery;
 pub mod smallsignal;
 pub mod stamp;
 pub mod trace;
@@ -55,9 +57,11 @@ pub mod waveform;
 
 pub use dc::{dc_operating_point, dc_sweep, DcParams};
 pub use element::Element;
+pub use faultinject::{FaultKind, FaultPlan, FaultScope, FaultSpec};
 pub use mosfet::{MosParams, MosPolarity};
 pub use netlist::{Netlist, NodeId};
 pub use perf::PerfSnapshot;
+pub use recovery::RecoveryPolicy;
 pub use trace::{CrossDirection, Trace};
 pub use tran::{transient, Integrator, StopWhen, TranContext, TranParams};
 pub use waveform::Waveform;

@@ -11,13 +11,32 @@
 //! [`snapshot`] before and after a region and subtract
 //! ([`PerfSnapshot::delta_since`]); that works from any number of threads
 //! because every worker flushes into the same atomics.
+//!
+//! The `recoveries_*` counters make the solver recovery ladder
+//! ([`crate::recovery::RecoveryPolicy`]) observable: on a healthy run all
+//! of them stay zero, and any nonzero value is the exact count of ladder
+//! work a phase consumed. They are additionally accumulated **per
+//! thread** ([`thread_recoveries`]) so a caller that owns its worker
+//! thread — the Monte Carlo sample loop, a single-threaded test — can
+//! attribute recovery cost to one sample exactly, without interference
+//! from concurrent analyses.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static TRANSIENTS: AtomicU64 = AtomicU64::new(0);
 static TIMESTEPS: AtomicU64 = AtomicU64::new(0);
 static NEWTON_ITERATIONS: AtomicU64 = AtomicU64::new(0);
 static LU_FACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
+static RECOVERIES_DAMPED: AtomicU64 = AtomicU64::new(0);
+static RECOVERIES_DT_HALVED: AtomicU64 = AtomicU64::new(0);
+static RECOVERIES_GMIN: AtomicU64 = AtomicU64::new(0);
+static RECOVERIES_SOURCE: AtomicU64 = AtomicU64::new(0);
+static RECOVERIES_FAILED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TL_RECOVERY_ATTEMPTS: Cell<u64> = const { Cell::new(0) };
+}
 
 /// A point-in-time reading of the global hot-path counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,6 +50,21 @@ pub struct PerfSnapshot {
     /// LU factorizations (one per Newton iteration that assembled a
     /// Jacobian, including iterations of failed solves).
     pub lu_factorizations: u64,
+    /// Damped re-solve attempts (ladder rung 1): a Newton failure retried
+    /// with a reduced `max_step`.
+    pub recoveries_damped: u64,
+    /// Timestep halvings performed (ladder rung 2): each split of one step
+    /// into two half steps with state rewind counts once.
+    pub recoveries_dt_halved: u64,
+    /// gmin continuation engagements (ladder rung 3): a failed step
+    /// re-solved under a geometrically relaxed shunt conductance, accepted
+    /// only after a final gmin = 0 solve converges.
+    pub recoveries_gmin: u64,
+    /// Source-stepping continuation engagements (DC ladder rung 4).
+    pub recoveries_source: u64,
+    /// Steps (or DC solves) abandoned after the whole ladder was
+    /// exhausted — the failure propagated to the caller.
+    pub recoveries_failed: u64,
 }
 
 impl PerfSnapshot {
@@ -42,6 +76,11 @@ impl PerfSnapshot {
             timesteps: self.timesteps - earlier.timesteps,
             newton_iterations: self.newton_iterations - earlier.newton_iterations,
             lu_factorizations: self.lu_factorizations - earlier.lu_factorizations,
+            recoveries_damped: self.recoveries_damped - earlier.recoveries_damped,
+            recoveries_dt_halved: self.recoveries_dt_halved - earlier.recoveries_dt_halved,
+            recoveries_gmin: self.recoveries_gmin - earlier.recoveries_gmin,
+            recoveries_source: self.recoveries_source - earlier.recoveries_source,
+            recoveries_failed: self.recoveries_failed - earlier.recoveries_failed,
         }
     }
 
@@ -57,7 +96,30 @@ impl PerfSnapshot {
             lu_factorizations: self
                 .lu_factorizations
                 .saturating_add(other.lu_factorizations),
+            recoveries_damped: self
+                .recoveries_damped
+                .saturating_add(other.recoveries_damped),
+            recoveries_dt_halved: self
+                .recoveries_dt_halved
+                .saturating_add(other.recoveries_dt_halved),
+            recoveries_gmin: self.recoveries_gmin.saturating_add(other.recoveries_gmin),
+            recoveries_source: self
+                .recoveries_source
+                .saturating_add(other.recoveries_source),
+            recoveries_failed: self
+                .recoveries_failed
+                .saturating_add(other.recoveries_failed),
         }
+    }
+
+    /// Total recovery-ladder attempts (all rungs plus exhausted ladders).
+    #[must_use]
+    pub fn recovery_attempts(&self) -> u64 {
+        self.recoveries_damped
+            + self.recoveries_dt_halved
+            + self.recoveries_gmin
+            + self.recoveries_source
+            + self.recoveries_failed
     }
 }
 
@@ -68,7 +130,20 @@ pub fn snapshot() -> PerfSnapshot {
         timesteps: TIMESTEPS.load(Ordering::Relaxed),
         newton_iterations: NEWTON_ITERATIONS.load(Ordering::Relaxed),
         lu_factorizations: LU_FACTORIZATIONS.load(Ordering::Relaxed),
+        recoveries_damped: RECOVERIES_DAMPED.load(Ordering::Relaxed),
+        recoveries_dt_halved: RECOVERIES_DT_HALVED.load(Ordering::Relaxed),
+        recoveries_gmin: RECOVERIES_GMIN.load(Ordering::Relaxed),
+        recoveries_source: RECOVERIES_SOURCE.load(Ordering::Relaxed),
+        recoveries_failed: RECOVERIES_FAILED.load(Ordering::Relaxed),
     }
+}
+
+/// Total recovery-ladder attempts flushed **by the current thread** since
+/// it started (monotone). Subtract two readings to attribute recovery work
+/// to a region that runs entirely on this thread — exact even while other
+/// threads simulate concurrently.
+pub fn thread_recovery_attempts() -> u64 {
+    TL_RECOVERY_ATTEMPTS.with(Cell::get)
 }
 
 /// Locally accumulated counts, flushed to the globals in one shot.
@@ -77,6 +152,11 @@ pub(crate) struct LocalCounts {
     pub timesteps: u64,
     pub newton_iterations: u64,
     pub lu_factorizations: u64,
+    pub recoveries_damped: u64,
+    pub recoveries_dt_halved: u64,
+    pub recoveries_gmin: u64,
+    pub recoveries_source: u64,
+    pub recoveries_failed: u64,
 }
 
 impl LocalCounts {
@@ -95,6 +175,29 @@ impl LocalCounts {
         if self.lu_factorizations > 0 {
             LU_FACTORIZATIONS.fetch_add(self.lu_factorizations, Ordering::Relaxed);
         }
+        let recoveries = self.recoveries_damped
+            + self.recoveries_dt_halved
+            + self.recoveries_gmin
+            + self.recoveries_source
+            + self.recoveries_failed;
+        if recoveries > 0 {
+            if self.recoveries_damped > 0 {
+                RECOVERIES_DAMPED.fetch_add(self.recoveries_damped, Ordering::Relaxed);
+            }
+            if self.recoveries_dt_halved > 0 {
+                RECOVERIES_DT_HALVED.fetch_add(self.recoveries_dt_halved, Ordering::Relaxed);
+            }
+            if self.recoveries_gmin > 0 {
+                RECOVERIES_GMIN.fetch_add(self.recoveries_gmin, Ordering::Relaxed);
+            }
+            if self.recoveries_source > 0 {
+                RECOVERIES_SOURCE.fetch_add(self.recoveries_source, Ordering::Relaxed);
+            }
+            if self.recoveries_failed > 0 {
+                RECOVERIES_FAILED.fetch_add(self.recoveries_failed, Ordering::Relaxed);
+            }
+            TL_RECOVERY_ATTEMPTS.with(|c| c.set(c.get() + recoveries));
+        }
     }
 }
 
@@ -109,6 +212,7 @@ mod tests {
             timesteps: 7,
             newton_iterations: 21,
             lu_factorizations: 21,
+            ..LocalCounts::default()
         }
         .flush(true);
         let d = snapshot().delta_since(&before);
@@ -120,15 +224,47 @@ mod tests {
     }
 
     #[test]
+    fn recovery_counters_flush_globally_and_per_thread() {
+        let before = snapshot();
+        let tl_before = thread_recovery_attempts();
+        LocalCounts {
+            recoveries_damped: 2,
+            recoveries_dt_halved: 3,
+            recoveries_gmin: 1,
+            recoveries_source: 1,
+            recoveries_failed: 1,
+            ..LocalCounts::default()
+        }
+        .flush(false);
+        let d = snapshot().delta_since(&before);
+        assert!(d.recoveries_damped >= 2);
+        assert!(d.recoveries_dt_halved >= 3);
+        assert!(d.recoveries_gmin >= 1);
+        assert!(d.recoveries_source >= 1);
+        assert!(d.recoveries_failed >= 1);
+        assert!(d.recovery_attempts() >= 8);
+        // The thread-local view is exact for this thread.
+        assert_eq!(thread_recovery_attempts() - tl_before, 8);
+    }
+
+    #[test]
     fn saturating_add_sums_fields() {
         let a = PerfSnapshot {
             transients: 1,
             timesteps: 2,
             newton_iterations: 3,
             lu_factorizations: 4,
+            recoveries_damped: 5,
+            recoveries_dt_halved: 6,
+            recoveries_gmin: 7,
+            recoveries_source: 8,
+            recoveries_failed: 9,
         };
         let b = a.saturating_add(&a);
         assert_eq!(b.timesteps, 4);
         assert_eq!(b.lu_factorizations, 8);
+        assert_eq!(b.recoveries_damped, 10);
+        assert_eq!(b.recoveries_failed, 18);
+        assert_eq!(b.recovery_attempts(), 70);
     }
 }

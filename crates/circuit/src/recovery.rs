@@ -1,0 +1,153 @@
+//! The solver recovery ladder: what the engine tries, in order, when a
+//! Newton solve fails.
+//!
+//! Production SPICE engines survive million-sample Monte Carlo campaigns
+//! because a non-converged point is retried — with damping, with a smaller
+//! timestep, with gmin or source continuation — before it is declared
+//! dead. This module is the configuration of that ladder; the rungs
+//! themselves live next to the analyses that walk them
+//! ([`crate::tran`] for transient steps, [`crate::dc`] for operating
+//! points). Every rung attempt is counted in [`crate::perf`]
+//! (`recoveries_damped`, `recoveries_dt_halved`, `recoveries_gmin`,
+//! `recoveries_source`, `recoveries_failed`), so recovery cost is
+//! observable and a healthy run is provably ladder-free (all counters
+//! zero).
+//!
+//! **Decision preservation.** The ladder only engages *after* a solve has
+//! failed; a run with zero failures takes the exact code path it took
+//! before the ladder existed, and its outputs are bit-identical. When a
+//! rung does recover a step, the accepted solution is always a converged
+//! Newton solve of the *unmodified* system (damping changes only the
+//! iteration path; halved steps integrate the same interval; the gmin
+//! rung must relax its shunt fully to zero before the step is accepted).
+
+/// Configuration of the solver recovery ladder.
+///
+/// Rungs are tried in order on every Newton failure:
+///
+/// 1. **Damped re-solve** — rewind the iterate and re-run Newton with
+///    `max_step` scaled down by [`damp_scale`](Self::damp_scale) per
+///    attempt ([`damped_attempts`](Self::damped_attempts) times).
+/// 2. **Timestep halving** (transient only) — rewind the state and take
+///    two half steps, recursively, at most
+///    [`max_dt_halvings`](Self::max_dt_halvings) levels deep.
+/// 3. **gmin stepping** — stamp a shunt conductance
+///    [`gmin_start`](Self::gmin_start) from every node to ground, solve,
+///    relax it geometrically by [`gmin_decay`](Self::gmin_decay) until it
+///    falls below [`gmin_min`](Self::gmin_min), then accept the step only
+///    if a final solve at gmin = 0 converges.
+/// 4. **Source stepping** (DC only) — scale every source to a fraction of
+///    its value and walk it back to 100 % in
+///    [`source_steps`](Self::source_steps) increments, warm-starting each
+///    solve from the previous one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Rung 1: damped re-solve attempts per failed solve (0 disables).
+    pub damped_attempts: u32,
+    /// Rung 1: `max_step` multiplier applied once per damped attempt
+    /// (attempt `k` solves with `max_step · damp_scale^k`).
+    pub damp_scale: f64,
+    /// Rung 2: maximum recursive halvings of the timestep (0 disables).
+    pub max_dt_halvings: u32,
+    /// Rung 3: initial shunt conductance \[S\] (0 disables the rung).
+    pub gmin_start: f64,
+    /// Rung 3: geometric relaxation factor per gmin solve (in `(0, 1)`).
+    pub gmin_decay: f64,
+    /// Rung 3: once the shunt falls below this the ladder performs the
+    /// final gmin = 0 solve that decides acceptance.
+    pub gmin_min: f64,
+    /// Rung 4 (DC only): number of source-stepping increments (0
+    /// disables).
+    pub source_steps: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            damped_attempts: 2,
+            damp_scale: 0.25,
+            max_dt_halvings: 10,
+            gmin_start: 1e-3,
+            gmin_decay: 0.1,
+            gmin_min: 1e-12,
+            source_steps: 8,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No recovery at all: the first Newton failure propagates
+    /// immediately. Useful to prove a run never needed the ladder.
+    #[must_use]
+    pub fn off() -> Self {
+        Self {
+            damped_attempts: 0,
+            damp_scale: 0.25,
+            max_dt_halvings: 0,
+            gmin_start: 0.0,
+            gmin_decay: 0.1,
+            gmin_min: 1e-12,
+            source_steps: 0,
+        }
+    }
+
+    /// Timestep halving only — the engine's historical behaviour before
+    /// the full ladder existed. Kept as a named profile so determinism
+    /// tests can pin "ladder on, unexercised" against the pre-ladder
+    /// fast path.
+    #[must_use]
+    pub fn halving_only() -> Self {
+        Self {
+            damped_attempts: 0,
+            gmin_start: 0.0,
+            source_steps: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Whether any rung is enabled.
+    #[must_use]
+    pub fn any_enabled(&self) -> bool {
+        self.damped_attempts > 0
+            || self.max_dt_halvings > 0
+            || self.gmin_enabled()
+            || self.source_steps > 0
+    }
+
+    /// Whether the gmin rung is enabled and well-formed.
+    #[must_use]
+    pub fn gmin_enabled(&self) -> bool {
+        self.gmin_start > 0.0 && self.gmin_decay > 0.0 && self.gmin_decay < 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_every_rung() {
+        let p = RecoveryPolicy::default();
+        assert!(p.any_enabled());
+        assert!(p.gmin_enabled());
+        assert!(p.damped_attempts > 0);
+        assert!(p.max_dt_halvings > 0);
+        assert!(p.source_steps > 0);
+    }
+
+    #[test]
+    fn off_disables_every_rung() {
+        let p = RecoveryPolicy::off();
+        assert!(!p.any_enabled());
+        assert!(!p.gmin_enabled());
+    }
+
+    #[test]
+    fn halving_only_matches_the_pre_ladder_engine() {
+        let p = RecoveryPolicy::halving_only();
+        assert_eq!(p.damped_attempts, 0);
+        assert!(!p.gmin_enabled());
+        assert_eq!(p.source_steps, 0);
+        assert_eq!(p.max_dt_halvings, RecoveryPolicy::default().max_dt_halvings);
+    }
+}

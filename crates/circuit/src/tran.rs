@@ -1,12 +1,14 @@
-//! Transient analysis with fixed base step, adaptive step-splitting on
-//! Newton failure, backward-Euler or trapezoidal integration, optional
-//! early-exit criteria, and a reusable context for repeated runs on the
-//! same circuit.
+//! Transient analysis with fixed base step, a solver recovery ladder on
+//! Newton failure (damped re-solve, timestep halving with state rewind,
+//! gmin continuation — see [`crate::recovery`]), backward-Euler or
+//! trapezoidal integration, optional early-exit criteria, and a reusable
+//! context for repeated runs on the same circuit.
 
 use crate::netlist::{Netlist, NodeId, ReactiveBranch};
 use crate::newton::{NewtonOpts, NewtonWorkspace};
+use crate::recovery::RecoveryPolicy;
 use crate::trace::Trace;
-use crate::CircuitError;
+use crate::{faultinject, CircuitError};
 
 /// Numerical integration method for the reactive branches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,8 +76,9 @@ pub enum StopWhen {
 pub struct TranParams {
     /// Stop time \[s\].
     pub t_stop: f64,
-    /// Base time step \[s\]; halved (recursively, up to
-    /// [`TranParams::max_step_splits`]) when Newton fails to converge.
+    /// Base time step \[s\]; on Newton failure the recovery ladder
+    /// ([`TranParams::recovery`]) may re-solve damped, halve the step, or
+    /// engage gmin continuation.
     pub dt: f64,
     /// Integration method.
     pub integrator: Integrator,
@@ -88,8 +91,8 @@ pub struct TranParams {
     pub stop: StopWhen,
     /// Newton iteration budget per step.
     pub max_newton: usize,
-    /// Maximum recursive halvings of `dt` when a step fails.
-    pub max_step_splits: u32,
+    /// Solver recovery ladder walked when Newton fails at a step.
+    pub recovery: RecoveryPolicy,
 }
 
 impl TranParams {
@@ -105,7 +108,7 @@ impl TranParams {
             record: RecordSpec::Nodes(Vec::new()),
             stop: StopWhen::AtStop,
             max_newton: 60,
-            max_step_splits: 10,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -140,6 +143,12 @@ impl TranParams {
     /// Sets the early-exit criterion.
     pub fn stop_when(mut self, stop: StopWhen) -> Self {
         self.stop = stop;
+        self
+    }
+
+    /// Sets the solver recovery ladder.
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 }
@@ -383,6 +392,7 @@ impl TranContext {
             if t_target <= t {
                 continue;
             }
+            faultinject::begin_base_step();
             let advanced = advance(
                 netlist,
                 &self.branches,
@@ -394,7 +404,8 @@ impl TranContext {
                 t_target,
                 params.integrator,
                 first_step,
-                params.max_step_splits,
+                params.recovery.max_dt_halvings,
+                &params.recovery,
             );
             if let Err(e) = advanced {
                 std::mem::take(&mut self.ws.counts).flush(false);
@@ -431,37 +442,38 @@ pub fn transient(netlist: &Netlist, params: &TranParams) -> Result<Trace, Circui
     Ok(ctx.trace)
 }
 
-/// Advances the solution from `t0` to `t1`, recursively splitting the step
-/// on Newton failure.
+/// Runs one Newton solve of the step ending at `t1`, optionally under a
+/// gmin shunt (recovery rung 3). `gmin == 0` is the plain solve; its base
+/// Jacobian key is the historical `±h` so recovery's final relaxed solve
+/// shares the fast path's cached base.
 #[allow(clippy::too_many_arguments)]
-fn advance(
+fn solve_step(
     netlist: &Netlist,
     branches: &[ReactiveBranch],
-    states: &mut [BranchState],
+    states: &[BranchState],
     x: &mut [f64],
     ws: &mut NewtonWorkspace,
     opts: NewtonOpts,
-    t0: f64,
     t1: f64,
-    integrator: Integrator,
-    first_step: bool,
-    splits_left: u32,
-) -> Result<(), CircuitError> {
-    let h = t1 - t0;
-    debug_assert!(h > 0.0);
-
-    let x_backup = x.to_vec();
-    let states_backup = states.to_vec();
-
-    // The first step of a run uses BE regardless, to bootstrap i_prev.
-    let use_trap = matches!(integrator, Integrator::Trapezoidal) && !first_step;
-
+    h: f64,
+    use_trap: bool,
+    gmin: f64,
+) -> Result<usize, CircuitError> {
+    if let Some(e) = faultinject::intercept(t1) {
+        return Err(e);
+    }
     // The companion conductances depend only on (h, method), so they live
     // in the cached base Jacobian; the sign of the key distinguishes the
-    // two methods at equal step size.
-    let base_key = if use_trap { h } else { -h };
-    let states_ro: &[BranchState] = states;
-    let solve_result = ws.solve(
+    // two methods at equal step size. gmin solves get a bit-mixed key so
+    // equal (h, method, gmin) triples share a base without colliding with
+    // the plain ±h keys.
+    let plain_key = if use_trap { h } else { -h };
+    let base_key = if gmin == 0.0 {
+        plain_key
+    } else {
+        f64::from_bits(plain_key.to_bits().rotate_left(17) ^ gmin.to_bits() ^ 0x9E37_79B9_7F4A_7C15)
+    };
+    ws.solve(
         netlist,
         x,
         t1,
@@ -475,9 +487,14 @@ fn advance(
                 };
                 st.add_conductance(b.a, b.b, geq);
             }
+            if gmin > 0.0 {
+                for node in netlist.node_ids() {
+                    st.add_conductance(node, Netlist::GROUND, gmin);
+                }
+            }
         },
         |x, st| {
-            for (b, s) in branches.iter().zip(states_ro.iter()) {
+            for (b, s) in branches.iter().zip(states.iter()) {
                 let vab = volt(x, b.a) - volt(x, b.b);
                 let i = if use_trap {
                     let g = 2.0 * b.capacitance / h;
@@ -488,11 +505,145 @@ fn advance(
                 };
                 st.add_current(b.a, b.b, i);
             }
+            if gmin > 0.0 {
+                for node in netlist.node_ids() {
+                    let i = gmin * st.voltage(x, node);
+                    st.add_current(node, Netlist::GROUND, i);
+                }
+            }
         },
         opts,
-    );
+    )
+}
 
-    match solve_result {
+/// Advances the solution from `t0` to `t1`, walking the recovery ladder
+/// on Newton failure: damped re-solve (rung 1), recursive halving with
+/// state rewind (rung 2), gmin continuation (rung 3). On failure the
+/// state is rewound to `t0` and the *original* solver error is returned.
+#[allow(clippy::too_many_arguments)]
+fn advance(
+    netlist: &Netlist,
+    branches: &[ReactiveBranch],
+    states: &mut [BranchState],
+    x: &mut [f64],
+    ws: &mut NewtonWorkspace,
+    opts: NewtonOpts,
+    t0: f64,
+    t1: f64,
+    integrator: Integrator,
+    first_step: bool,
+    halvings_left: u32,
+    policy: &RecoveryPolicy,
+) -> Result<(), CircuitError> {
+    let h = t1 - t0;
+    debug_assert!(h > 0.0);
+
+    let x_backup = x.to_vec();
+    let states_backup = states.to_vec();
+
+    // The first step of a run uses BE regardless, to bootstrap i_prev.
+    let use_trap = matches!(integrator, Integrator::Trapezoidal) && !first_step;
+
+    let mut result = solve_step(netlist, branches, states, x, ws, opts, t1, h, use_trap, 0.0);
+
+    // Rung 1 — damped re-solve: rewind the iterate and retry with a
+    // progressively smaller max_step (classic SPICE damping escalation).
+    if result.is_err() {
+        for k in 1..=policy.damped_attempts {
+            x.copy_from_slice(&x_backup);
+            ws.counts.recoveries_damped += 1;
+            let damped = NewtonOpts {
+                max_step: opts.max_step * policy.damp_scale.powi(k as i32),
+                ..opts
+            };
+            let retry = solve_step(
+                netlist, branches, states, x, ws, damped, t1, h, use_trap, 0.0,
+            );
+            if retry.is_ok() {
+                result = retry;
+                break;
+            }
+        }
+    }
+
+    // Rung 2 — timestep halving: rewind the full state (iterate and
+    // companion histories) and integrate the interval as two half steps,
+    // each of which walks its own ladder.
+    if result.is_err() && halvings_left > 0 {
+        x.copy_from_slice(&x_backup);
+        states.copy_from_slice(&states_backup);
+        ws.counts.recoveries_dt_halved += 1;
+        let tm = 0.5 * (t0 + t1);
+        let split = advance(
+            netlist,
+            branches,
+            states,
+            x,
+            ws,
+            opts,
+            t0,
+            tm,
+            integrator,
+            first_step,
+            halvings_left - 1,
+            policy,
+        )
+        .and_then(|()| {
+            advance(
+                netlist,
+                branches,
+                states,
+                x,
+                ws,
+                opts,
+                tm,
+                t1,
+                integrator,
+                false,
+                halvings_left - 1,
+                policy,
+            )
+        });
+        match split {
+            // The half steps committed their own state; nothing left to do.
+            Ok(()) => return Ok(()),
+            Err(_) => {
+                x.copy_from_slice(&x_backup);
+                states.copy_from_slice(&states_backup);
+            }
+        }
+    }
+
+    // Rung 3 — gmin continuation: solve under a shunt conductance from
+    // every node to ground, relax it geometrically, and accept the step
+    // only if the final solve with the shunt fully removed (gmin = 0)
+    // converges — the accepted solution always satisfies the unmodified
+    // system.
+    if result.is_err() && policy.gmin_enabled() {
+        x.copy_from_slice(&x_backup);
+        ws.counts.recoveries_gmin += 1;
+        let mut gmin = policy.gmin_start;
+        let mut relaxed = true;
+        while gmin > policy.gmin_min {
+            if solve_step(
+                netlist, branches, states, x, ws, opts, t1, h, use_trap, gmin,
+            )
+            .is_err()
+            {
+                relaxed = false;
+                break;
+            }
+            gmin *= policy.gmin_decay;
+        }
+        if relaxed {
+            let finish = solve_step(netlist, branches, states, x, ws, opts, t1, h, use_trap, 0.0);
+            if finish.is_ok() {
+                result = finish;
+            }
+        }
+    }
+
+    match result {
         Ok(_) => {
             ws.counts.timesteps += 1;
             // Commit branch history.
@@ -511,39 +662,10 @@ fn advance(
             Ok(())
         }
         Err(e) => {
-            if splits_left == 0 {
-                return Err(e);
-            }
-            // Roll back and take two half steps.
+            ws.counts.recoveries_failed += 1;
             x.copy_from_slice(&x_backup);
             states.copy_from_slice(&states_backup);
-            let tm = 0.5 * (t0 + t1);
-            advance(
-                netlist,
-                branches,
-                states,
-                x,
-                ws,
-                opts,
-                t0,
-                tm,
-                integrator,
-                first_step,
-                splits_left - 1,
-            )?;
-            advance(
-                netlist,
-                branches,
-                states,
-                x,
-                ws,
-                opts,
-                tm,
-                t1,
-                integrator,
-                false,
-                splits_left - 1,
-            )
+            Err(e)
         }
     }
 }

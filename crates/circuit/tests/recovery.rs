@@ -1,0 +1,265 @@
+//! Recovery-ladder integration tests, driven rung by rung with
+//! deterministic fault injection ([`issa_circuit::faultinject`]).
+//!
+//! Each test arms a [`FaultPlan`] at an exact `(sample, timestep)`
+//! coordinate, runs an analysis that would otherwise succeed, and checks
+//! (a) whether the ladder recovered or the failure propagated, and (b) the
+//! exact number of recovery attempts via the per-thread counter
+//! ([`thread_recovery_attempts`]) — integration tests run one test per
+//! thread, so the deltas are exact even under a parallel test harness.
+
+use issa_circuit::dc::{dc_operating_point, DcParams};
+use issa_circuit::faultinject::{FaultKind, FaultPlan, FaultScope};
+use issa_circuit::netlist::Netlist;
+use issa_circuit::perf::thread_recovery_attempts;
+use issa_circuit::recovery::RecoveryPolicy;
+use issa_circuit::tran::{transient, TranParams};
+use issa_circuit::waveform::Waveform;
+use issa_circuit::CircuitError;
+use std::sync::Arc;
+
+/// RC low-pass: converges trivially on every step, so any failure is the
+/// injected one.
+fn rc_netlist() -> Netlist {
+    let mut n = Netlist::new();
+    let vin = n.node("in");
+    let out = n.node("out");
+    n.vsource(vin, Netlist::GROUND, Waveform::dc(1.0));
+    n.resistor(vin, out, 1e3);
+    n.capacitor(out, Netlist::GROUND, 1e-9); // tau = 1 us
+    n
+}
+
+fn rc_params(recovery: RecoveryPolicy) -> TranParams {
+    TranParams::new(0.5e-6, 5e-9)
+        .record_all()
+        .recovery(recovery)
+}
+
+/// A policy exposing exactly one rung, so the attempt count identifies it.
+fn only_damping() -> RecoveryPolicy {
+    RecoveryPolicy {
+        max_dt_halvings: 0,
+        gmin_start: 0.0,
+        ..RecoveryPolicy::default()
+    }
+}
+
+fn only_halving(depth: u32) -> RecoveryPolicy {
+    RecoveryPolicy {
+        damped_attempts: 0,
+        max_dt_halvings: depth,
+        gmin_start: 0.0,
+        ..RecoveryPolicy::default()
+    }
+}
+
+fn only_gmin() -> RecoveryPolicy {
+    RecoveryPolicy {
+        damped_attempts: 0,
+        max_dt_halvings: 0,
+        ..RecoveryPolicy::default()
+    }
+}
+
+#[test]
+fn zero_faults_any_policy_is_bit_identical() {
+    let n = rc_netlist();
+    let full = transient(&n, &rc_params(RecoveryPolicy::default())).unwrap();
+    let pre_ladder = transient(&n, &rc_params(RecoveryPolicy::halving_only())).unwrap();
+    let off = transient(&n, &rc_params(RecoveryPolicy::off())).unwrap();
+    assert_eq!(full, pre_ladder, "unexercised ladder changed the trace");
+    assert_eq!(full, off, "disabling recovery changed the trace");
+}
+
+#[test]
+fn damping_recovers_a_transient_fault() {
+    let n = rc_netlist();
+    let clean = transient(&n, &rc_params(only_damping())).unwrap();
+
+    let plan = Arc::new(FaultPlan::new().transient(0, 2, FaultKind::NonConvergence));
+    let before = thread_recovery_attempts();
+    let _scope = FaultScope::enter(plan, 0);
+    let tr = transient(&n, &rc_params(only_damping())).unwrap();
+    assert_eq!(
+        thread_recovery_attempts() - before,
+        1,
+        "exactly one damped re-solve expected"
+    );
+    // The damped retry converges to the same solution (within Newton
+    // tolerance) — only the iteration path differed.
+    let t_check = 0.25e-6;
+    let got = tr.value_at("out", t_check).unwrap();
+    let want = clean.value_at("out", t_check).unwrap();
+    assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+}
+
+#[test]
+fn halving_recovers_a_transient_fault() {
+    let n = rc_netlist();
+    let clean = transient(&n, &rc_params(only_halving(4))).unwrap();
+
+    let plan = Arc::new(FaultPlan::new().transient(0, 3, FaultKind::NonConvergence));
+    let before = thread_recovery_attempts();
+    let _scope = FaultScope::enter(plan, 0);
+    let tr = transient(&n, &rc_params(only_halving(4))).unwrap();
+    assert_eq!(
+        thread_recovery_attempts() - before,
+        1,
+        "exactly one halving expected (the first half step's retry succeeds)"
+    );
+    let got = tr.value_at("out", 0.25e-6).unwrap();
+    let want = clean.value_at("out", 0.25e-6).unwrap();
+    assert!((got - want).abs() < 1e-4, "got {got}, want {want}");
+}
+
+#[test]
+fn gmin_recovers_a_transient_fault() {
+    let n = rc_netlist();
+    let clean = transient(&n, &rc_params(only_gmin())).unwrap();
+
+    let plan = Arc::new(FaultPlan::new().transient(0, 1, FaultKind::NonConvergence));
+    let before = thread_recovery_attempts();
+    let _scope = FaultScope::enter(plan, 0);
+    let tr = transient(&n, &rc_params(only_gmin())).unwrap();
+    assert_eq!(
+        thread_recovery_attempts() - before,
+        1,
+        "exactly one gmin engagement expected"
+    );
+    // Acceptance required a converged gmin = 0 solve, so the committed
+    // step solves the unmodified system.
+    let got = tr.value_at("out", 0.25e-6).unwrap();
+    let want = clean.value_at("out", 0.25e-6).unwrap();
+    assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+}
+
+#[test]
+fn persistent_fault_exhausts_bounded_halving() {
+    let n = rc_netlist();
+    let depth = 3;
+    let plan = Arc::new(FaultPlan::new().persistent(0, 5, FaultKind::NonConvergence));
+    let before = thread_recovery_attempts();
+    let _scope = FaultScope::enter(plan, 0);
+    let err = transient(&n, &rc_params(only_halving(depth))).unwrap_err();
+    assert!(matches!(err, CircuitError::NonConvergence { .. }), "{err}");
+    // The recursion halves `depth` times down the first-half spine and
+    // abandons one level per unwind: depth halvings + (depth + 1) failed
+    // levels. The bound proves the ladder cannot split forever.
+    assert_eq!(
+        thread_recovery_attempts() - before,
+        u64::from(2 * depth + 1),
+        "halving depth must be bounded at {depth}"
+    );
+}
+
+#[test]
+fn recovery_off_propagates_the_first_failure() {
+    let n = rc_netlist();
+    let plan = Arc::new(FaultPlan::new().persistent(0, 0, FaultKind::Singular));
+    let before = thread_recovery_attempts();
+    let _scope = FaultScope::enter(plan, 0);
+    let err = transient(&n, &rc_params(RecoveryPolicy::off())).unwrap_err();
+    assert!(matches!(err, CircuitError::Singular { .. }), "{err}");
+    // No rungs ran; only the abandonment itself is counted.
+    assert_eq!(thread_recovery_attempts() - before, 1);
+}
+
+#[test]
+fn nan_residual_fault_propagates_as_nonconvergence() {
+    let n = rc_netlist();
+    let plan = Arc::new(FaultPlan::new().persistent(0, 0, FaultKind::NanResidual));
+    let _scope = FaultScope::enter(plan, 0);
+    match transient(&n, &rc_params(RecoveryPolicy::off())) {
+        Err(CircuitError::NonConvergence { residual, .. }) => assert!(residual.is_nan()),
+        other => panic!("expected NaN non-convergence, got {other:?}"),
+    }
+}
+
+#[test]
+fn full_ladder_rungs_engage_in_order() {
+    // Damping is tried before halving: with both enabled and a transient
+    // fault, the damped retry (attempt 2 of the step) succeeds first, so
+    // exactly one attempt is spent and it is the cheaper rung.
+    let n = rc_netlist();
+    let plan = Arc::new(FaultPlan::new().transient(0, 2, FaultKind::NonConvergence));
+    let before = thread_recovery_attempts();
+    let _scope = FaultScope::enter(plan, 0);
+    transient(&n, &rc_params(RecoveryPolicy::default())).unwrap();
+    assert_eq!(thread_recovery_attempts() - before, 1);
+}
+
+fn divider_netlist() -> Netlist {
+    let mut n = Netlist::new();
+    let a = n.node("a");
+    let b = n.node("b");
+    n.vsource(a, Netlist::GROUND, Waveform::dc(2.0));
+    n.resistor(a, b, 1e3);
+    n.resistor(b, Netlist::GROUND, 1e3);
+    n
+}
+
+#[test]
+fn dc_source_stepping_recovers_a_transient_fault() {
+    // An empty gmin ladder leaves a single (gmin = 0) solve: the injected
+    // fault kills it, and source stepping is the only rung left.
+    let params = DcParams {
+        gmin_ladder: vec![],
+        ..DcParams::default()
+    };
+    let n = divider_netlist();
+    let plan = Arc::new(FaultPlan::new().transient(0, 0, FaultKind::NonConvergence));
+    let before = thread_recovery_attempts();
+    let _scope = FaultScope::enter(plan, 0);
+    let op = dc_operating_point(&n, &params).unwrap();
+    assert_eq!(
+        thread_recovery_attempts() - before,
+        1,
+        "exactly one source-stepping engagement expected"
+    );
+    assert!((op.voltage("b").unwrap() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn dc_persistent_fault_exhausts_source_stepping() {
+    let params = DcParams {
+        gmin_ladder: vec![],
+        ..DcParams::default()
+    };
+    let n = divider_netlist();
+    let plan = Arc::new(FaultPlan::new().persistent(0, 0, FaultKind::NonConvergence));
+    let before = thread_recovery_attempts();
+    let _scope = FaultScope::enter(plan, 0);
+    let err = dc_operating_point(&n, &params).unwrap_err();
+    assert!(matches!(err, CircuitError::NonConvergence { .. }), "{err}");
+    // One source-stepping engagement plus the final abandonment.
+    assert_eq!(thread_recovery_attempts() - before, 2);
+}
+
+#[test]
+fn dc_zero_fault_ignores_the_policy() {
+    let n = divider_netlist();
+    let with = dc_operating_point(&n, &DcParams::default()).unwrap();
+    let without = dc_operating_point(
+        &n,
+        &DcParams {
+            recovery: RecoveryPolicy::off(),
+            ..DcParams::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(with, without);
+}
+
+#[test]
+fn dc_source_stepping_disabled_propagates() {
+    let params = DcParams {
+        gmin_ladder: vec![],
+        recovery: RecoveryPolicy::off(),
+        ..DcParams::default()
+    };
+    let n = divider_netlist();
+    let plan = Arc::new(FaultPlan::new().transient(0, 0, FaultKind::NonConvergence));
+    let _scope = FaultScope::enter(plan, 0);
+    assert!(dc_operating_point(&n, &params).is_err());
+}

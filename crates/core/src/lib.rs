@@ -105,6 +105,18 @@ pub enum SaError {
         /// The signal that failed to cross.
         signal: String,
     },
+    /// More Monte Carlo samples failed (after solver recovery) than
+    /// [`McConfig::max_failure_frac`](montecarlo::McConfig::max_failure_frac)
+    /// allows. Carries the full quarantine list so callers can report
+    /// exactly which samples died and why.
+    FailureBudgetExceeded {
+        /// Distinct samples that failed.
+        failed: usize,
+        /// Total samples in the run.
+        total: usize,
+        /// Every quarantined sample, in index order.
+        failures: Vec<montecarlo::SampleFailure>,
+    },
 }
 
 impl fmt::Display for SaError {
@@ -123,6 +135,20 @@ impl fmt::Display for SaError {
                     f,
                     "signal '{signal}' never crossed its measurement threshold"
                 )
+            }
+            SaError::FailureBudgetExceeded {
+                failed,
+                total,
+                failures,
+            } => {
+                write!(
+                    f,
+                    "{failed} of {total} Monte Carlo samples failed, exceeding the failure budget"
+                )?;
+                for fail in failures {
+                    write!(f, "\n  {fail}")?;
+                }
+                Ok(())
             }
         }
     }

@@ -14,6 +14,20 @@
 //! Determinism: sample `i` draws from seed-tree path `root(seed).child(i)`
 //! — results are bit-for-bit reproducible and independent of the total
 //! sample count.
+//!
+//! # Failure quarantine
+//!
+//! A sample whose probe fails — after the solver's recovery ladder
+//! ([`issa_circuit::recovery`]) is exhausted — or whose worker panics is
+//! **quarantined**, not fatal: it is recorded in [`McResult::failures`]
+//! (index, seed, corner, phase, error, recovery attempts) and the
+//! statistics are computed over the survivors. A run only errors
+//! ([`SaError::FailureBudgetExceeded`]) when the fraction of distinct
+//! failed samples exceeds [`McConfig::max_failure_frac`] — zero by
+//! default, so any quarantine is loud unless the caller opts into
+//! tolerance. Quarantine is decision-preserving for survivors: each
+//! sample is built from its own seed-tree path, so a dead neighbour
+//! cannot perturb anyone else's draw or probe.
 
 use crate::calib;
 use crate::netlist::{SaInstance, SaKind, SaSizing};
@@ -25,9 +39,13 @@ use crate::workload::Workload;
 use crate::SaError;
 use issa_bti::hci::HciParams;
 use issa_bti::{BtiParams, TrapSet};
+use issa_circuit::faultinject::{FaultPlan, FaultScope};
 use issa_num::rng::SeedSequence;
 use issa_num::stats::Summary;
 use issa_ptm45::Environment;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// How BTI ΔVth is evaluated per sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,6 +100,56 @@ impl Default for DelaySwingPolicy {
     }
 }
 
+/// Which Monte Carlo phase a quarantined sample died in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McPhase {
+    /// The offset-voltage binary search (phase 1).
+    Offset,
+    /// The sensing-delay measurement (phase 2).
+    Delay,
+}
+
+impl fmt::Display for McPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McPhase::Offset => write!(f, "offset"),
+            McPhase::Delay => write!(f, "delay"),
+        }
+    }
+}
+
+/// One quarantined Monte Carlo sample: everything needed to reproduce the
+/// failure in isolation (`build_sample(cfg, index)` under the same corner)
+/// and to see how hard the solver fought before giving up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleFailure {
+    /// Sample index within the corner.
+    pub index: usize,
+    /// Root seed of the run (sample `index` draws from
+    /// `root(seed).child(index)`).
+    pub seed: u64,
+    /// Human-readable corner label (scheme, workload, environment, stress
+    /// time).
+    pub corner: String,
+    /// Phase the sample died in.
+    pub phase: McPhase,
+    /// The error (or panic payload) that killed it.
+    pub error: String,
+    /// Solver recovery-ladder attempts spent on this sample before the
+    /// failure propagated (exact: counted per worker thread).
+    pub recovery_attempts: u64,
+}
+
+impl fmt::Display for SampleFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sample {} (seed {:#x}, {}, {} phase): {} [{} recovery attempts]",
+            self.index, self.seed, self.corner, self.phase, self.error, self.recovery_attempts
+        )
+    }
+}
+
 /// Configuration of one Monte Carlo corner.
 #[derive(Debug, Clone)]
 pub struct McConfig {
@@ -124,6 +192,15 @@ pub struct McConfig {
     /// Worker threads for the sample loop (samples are independent; the
     /// result is identical for any thread count). 0 = one per core.
     pub threads: usize,
+    /// Fraction of samples allowed to fail (after solver recovery) before
+    /// the whole run errors with [`SaError::FailureBudgetExceeded`].
+    /// Default 0: any quarantined sample fails the run.
+    pub max_failure_frac: f64,
+    /// Deterministic solver fault injection (testing only; `None` in
+    /// production). The plan is armed per sample on the worker thread, so
+    /// faults land at exact `(sample, timestep)` coordinates regardless of
+    /// thread count.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl McConfig {
@@ -149,6 +226,8 @@ impl McConfig {
             delay_swing: DelaySwingPolicy::default(),
             hci: None,
             threads: 0,
+            max_failure_frac: 0.0,
+            fault_plan: None,
         }
     }
 
@@ -189,15 +268,24 @@ pub struct McPerf {
 }
 
 impl McPerf {
-    /// Formats the counters as a compact single-line report.
+    /// Formats the counters as a compact single-line report. The
+    /// `recoveries` group (damped/dt-halved/gmin/source/failed) is all
+    /// zeros on a healthy run; anything else is the exact count of solver
+    /// recovery-ladder work the corner consumed.
     pub fn report(&self) -> String {
         format!(
-            "probes={}  transients={}  steps={}  newton={}  lu={}  offset_wall={:.2}s  delay_wall={:.2}s",
+            "probes={}  transients={}  steps={}  newton={}  lu={}  \
+             recoveries={}/{}/{}/{}/{}  offset_wall={:.2}s  delay_wall={:.2}s",
             self.probes,
             self.circuit.transients,
             self.circuit.timesteps,
             self.circuit.newton_iterations,
             self.circuit.lu_factorizations,
+            self.circuit.recoveries_damped,
+            self.circuit.recoveries_dt_halved,
+            self.circuit.recoveries_gmin,
+            self.circuit.recoveries_source,
+            self.circuit.recoveries_failed,
             self.offset_wall_s,
             self.delay_wall_s
         )
@@ -229,6 +317,9 @@ pub struct McResult {
     /// Lilliefors critical value); larger values flag a corner where the
     /// 6.1 σ extrapolation is questionable.
     pub ks_sqrt_n: f64,
+    /// Quarantined samples, ordered by (index, phase). Empty on a healthy
+    /// run; statistics above are computed over the survivors only.
+    pub failures: Vec<SampleFailure>,
     /// Hot-path cost accounting (not part of equality).
     pub perf: McPerf,
 }
@@ -244,6 +335,7 @@ impl PartialEq for McResult {
                 || (self.mean_delay.is_nan() && other.mean_delay.is_nan()))
             && (self.ks_sqrt_n == other.ks_sqrt_n
                 || (self.ks_sqrt_n.is_nan() && other.ks_sqrt_n.is_nan()))
+            && self.failures == other.failures
     }
 }
 
@@ -300,12 +392,71 @@ pub fn build_sample(cfg: &McConfig, index: usize) -> SaInstance {
     sa
 }
 
+/// Human-readable corner label for failure reports.
+fn corner_label(cfg: &McConfig) -> String {
+    format!(
+        "{:?} {:?} {}°C/{:.2}V t={:.1e}s",
+        cfg.kind, cfg.workload, cfg.env.temp_c, cfg.env.vdd, cfg.time
+    )
+}
+
+/// Best-effort string form of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+/// Runs one sample's measurement in isolation: arms the fault plan (if
+/// any), catches panics, and attributes the solver recovery attempts the
+/// sample consumed. The [`FaultScope`] guard lives *inside* the
+/// `catch_unwind` closure so its `Drop` disarms the plan even when the
+/// fault is a panic.
+fn guarded_sample<T>(
+    cfg: &McConfig,
+    index: usize,
+    phase: McPhase,
+    body: impl FnOnce() -> Result<T, SaError>,
+) -> Result<T, SampleFailure> {
+    let attempts_before = issa_circuit::perf::thread_recovery_attempts();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _scope = cfg
+            .fault_plan
+            .as_ref()
+            .map(|plan| FaultScope::enter(plan.clone(), index));
+        body()
+    }));
+    let failure = |error: String| SampleFailure {
+        index,
+        seed: cfg.seed,
+        corner: corner_label(cfg),
+        phase,
+        error,
+        recovery_attempts: issa_circuit::perf::thread_recovery_attempts() - attempts_before,
+    };
+    match outcome {
+        Ok(Ok(value)) => Ok(value),
+        Ok(Err(e)) => Err(failure(e.to_string())),
+        Err(payload) => Err(failure(format!(
+            "worker panicked: {}",
+            panic_message(&*payload)
+        ))),
+    }
+}
+
 /// Runs the full Monte Carlo corner.
 ///
 /// # Errors
 ///
-/// Propagates the first probe failure ([`SaError`]); with default probe
-/// options and calibrated models no sample should fail.
+/// Returns [`SaError::FailureBudgetExceeded`] when more than
+/// `max_failure_frac · samples` distinct samples fail (after solver
+/// recovery) or no sample survives at all; with default probe options and
+/// calibrated models no sample should fail. Individual failures below the
+/// budget are quarantined in [`McResult::failures`] instead of erroring.
 pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
     assert!(cfg.samples > 0, "need at least one sample");
     let threads = if cfg.threads == 0 {
@@ -325,35 +476,69 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
     // Each shard threads one OffsetSearch through its samples: the search
     // warm-starts from the previous flip cell, which changes the probe
     // order but not the result (the flip cell on the fixed search grid is
-    // unique), so the offsets stay identical for any thread count.
-    let mut offsets = vec![0.0; cfg.samples];
-    let offset_shards: Vec<Result<Vec<(usize, f64)>, SaError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|shard| {
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    let mut search = OffsetSearch::default();
-                    let mut i = shard;
-                    while i < cfg.samples {
-                        let sa = build_sample(cfg, i);
-                        local.push((i, sa.offset_voltage_with(&cfg.probe, &mut search)?));
-                        i += threads;
-                    }
-                    Ok(local)
+    // unique), so the offsets stay identical for any thread count — and a
+    // quarantined sample cannot perturb its shard-mates for the same
+    // reason.
+    let mut offsets_by_index: Vec<Option<f64>> = vec![None; cfg.samples];
+    let mut failures: Vec<SampleFailure> = Vec::new();
+    let offset_shards: Vec<Vec<(usize, Result<f64, SampleFailure>)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        let mut search = OffsetSearch::default();
+                        let mut i = shard;
+                        while i < cfg.samples {
+                            let r = guarded_sample(cfg, i, McPhase::Offset, || {
+                                let sa = build_sample(cfg, i);
+                                sa.offset_voltage_with(&cfg.probe, &mut search)
+                            });
+                            local.push((i, r));
+                            i += threads;
+                        }
+                        local
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("monte carlo worker panicked"))
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(shard, h)| {
+                    h.join().unwrap_or_else(|payload| {
+                        // Per-sample catch_unwind already contains sample
+                        // panics, so this is infrastructure dying outside
+                        // the guarded region; attribute it to the shard's
+                        // first index rather than aborting the run.
+                        vec![(
+                            shard,
+                            Err(SampleFailure {
+                                index: shard,
+                                seed: cfg.seed,
+                                corner: corner_label(cfg),
+                                phase: McPhase::Offset,
+                                error: format!(
+                                    "worker panicked outside sample isolation: {}",
+                                    panic_message(&*payload)
+                                ),
+                                recovery_attempts: 0,
+                            }),
+                        )]
+                    })
+                })
+                .collect()
+        });
     for shard in offset_shards {
-        for (i, offset) in shard? {
-            offsets[i] = offset;
+        for (i, r) in shard {
+            match r {
+                Ok(offset) => offsets_by_index[i] = Some(offset),
+                Err(f) => failures.push(f),
+            }
         }
     }
     perf.offset_wall_s = offset_start.elapsed().as_secs_f64();
+    check_failure_budget(cfg, &mut failures)?;
+    let offsets: Vec<f64> = offsets_by_index.iter().copied().flatten().collect();
     let summary = Summary::of(&offsets);
     // Tiny runs can produce zero spread (offsets are quantized to the
     // binary-search grid); the spec then degenerates to the |mean|.
@@ -376,7 +561,7 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
     // see.
     let delay_start = std::time::Instant::now();
     let delay_count = cfg.delay_samples.min(cfg.samples);
-    let mut delays = vec![f64::NAN; delay_count];
+    let mut delays_by_index: Vec<Option<f64>> = vec![None; delay_count];
     if delay_count > 0 {
         let swing = match cfg.delay_swing {
             DelaySwingPolicy::FixedFraction(f) => f * cfg.env.vdd,
@@ -389,30 +574,62 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
         let zero_fraction =
             compile_workload(cfg.workload, cfg.kind, cfg.counter_bits).internal_zero_fraction;
         let delay_probe = &delay_probe;
+        // Samples already quarantined in the offset phase stay dead.
+        let offset_failed: Vec<bool> = (0..delay_count)
+            .map(|i| offsets_by_index[i].is_none())
+            .collect();
+        let offset_failed = &offset_failed;
         let delay_threads = threads.min(delay_count);
-        let delay_shards: Vec<Result<Vec<(usize, f64)>, SaError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..delay_threads)
-                .map(|shard| {
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        let mut i = shard;
-                        while i < delay_count {
-                            let sa = build_sample(cfg, i);
-                            local.push((i, sa.sensing_delay_weighted(zero_fraction, delay_probe)?));
-                            i += delay_threads;
-                        }
-                        Ok(local)
+        let delay_shards: Vec<Vec<(usize, Result<f64, SampleFailure>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..delay_threads)
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            let mut i = shard;
+                            while i < delay_count {
+                                if !offset_failed[i] {
+                                    let r = guarded_sample(cfg, i, McPhase::Delay, || {
+                                        let sa = build_sample(cfg, i);
+                                        sa.sensing_delay_weighted(zero_fraction, delay_probe)
+                                    });
+                                    local.push((i, r));
+                                }
+                                i += delay_threads;
+                            }
+                            local
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("monte carlo worker panicked"))
-                .collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(shard, h)| {
+                        h.join().unwrap_or_else(|payload| {
+                            vec![(
+                                shard,
+                                Err(SampleFailure {
+                                    index: shard,
+                                    seed: cfg.seed,
+                                    corner: corner_label(cfg),
+                                    phase: McPhase::Delay,
+                                    error: format!(
+                                        "worker panicked outside sample isolation: {}",
+                                        panic_message(&*payload)
+                                    ),
+                                    recovery_attempts: 0,
+                                }),
+                            )]
+                        })
+                    })
+                    .collect()
+            });
         for shard in delay_shards {
-            for (i, delay) in shard? {
-                delays[i] = delay;
+            for (i, r) in shard {
+                match r {
+                    Ok(delay) => delays_by_index[i] = Some(delay),
+                    Err(f) => failures.push(f),
+                }
             }
         }
     }
@@ -421,6 +638,8 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
     perf.probes = crate::perf::sense_calls() - probes_before;
     perf.circuit = issa_circuit::perf::snapshot().delta_since(&circuit_before);
 
+    check_failure_budget(cfg, &mut failures)?;
+    let delays: Vec<f64> = delays_by_index.iter().copied().flatten().collect();
     let mean_delay = if delays.is_empty() {
         f64::NAN
     } else {
@@ -434,8 +653,32 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
         spec,
         mean_delay,
         ks_sqrt_n,
+        failures,
         perf,
     })
+}
+
+/// Enforces [`McConfig::max_failure_frac`]: sorts the quarantine list by
+/// (index, phase) and errors when the distinct failed samples exceed the
+/// budget — or when nobody survived at all, since no statistics exist
+/// then regardless of the budget.
+fn check_failure_budget(cfg: &McConfig, failures: &mut Vec<SampleFailure>) -> Result<(), SaError> {
+    if failures.is_empty() {
+        return Ok(());
+    }
+    failures.sort_by_key(|f| (f.index, f.phase == McPhase::Delay));
+    let mut failed_indices: Vec<usize> = failures.iter().map(|f| f.index).collect();
+    failed_indices.dedup();
+    let failed = failed_indices.len();
+    let allowed = (cfg.max_failure_frac.clamp(0.0, 1.0) * cfg.samples as f64).floor() as usize;
+    if failed > allowed || failed >= cfg.samples {
+        return Err(SaError::FailureBudgetExceeded {
+            failed,
+            total: cfg.samples,
+            failures: std::mem::take(failures),
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -564,6 +807,7 @@ mod tests {
             spec: 92e-3,
             mean_delay: 14e-12,
             ks_sqrt_n: 0.5,
+            failures: vec![],
             perf: McPerf::default(),
         };
         let row = r.table_row();

@@ -24,6 +24,7 @@
 use crate::netlist::SaInstance;
 use crate::SaError;
 use issa_circuit::netlist::Netlist;
+use issa_circuit::recovery::RecoveryPolicy;
 use issa_circuit::trace::{CrossDirection, Trace};
 use issa_circuit::tran::{transient, StopWhen, TranContext, TranParams};
 use issa_circuit::waveform::Waveform;
@@ -75,6 +76,10 @@ pub struct ProbeOptions {
     /// instead of integrating the full window. Decision-preserving: see
     /// [`StopWhen`].
     pub early_exit: bool,
+    /// Solver recovery ladder applied to every probe transient (see
+    /// [`RecoveryPolicy`]). Engages only after a Newton failure, so on a
+    /// healthy run the results are bit-identical for any policy.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ProbeOptions {
@@ -92,6 +97,7 @@ impl Default for ProbeOptions {
             swing: crate::calib::DELAY_PROBE_SWING,
             warm_start: true,
             early_exit: true,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -258,6 +264,7 @@ impl SaInstance {
             (v_bl, v_blbar)
         };
         let mut params = TranParams::new(t_enable + window_scale * opts.window, opts.dt)
+            .recovery(opts.recovery)
             .record_nodes(["s", "sbar"])
             .ic("vdd", vdd)
             .ic("bl", v_bl)
@@ -450,6 +457,7 @@ impl SaInstance {
         // times slower than a fresh SA; give the delay probe extra room so
         // the output crossing is not clipped by the window.
         let mut params = TranParams::new(drive.t_enable + SLOW_WINDOW_SCALE * opts.window, opts.dt)
+            .recovery(opts.recovery)
             .record_nodes(["s", "sbar", "out", "outbar", "saen"])
             .ic("vdd", vdd)
             .ic("bl", vdd)
@@ -501,6 +509,7 @@ impl SaInstance {
         let net = self.build_netlist(&drive);
         let vdd = self.env.vdd;
         let params = TranParams::new(drive.t_enable + SLOW_WINDOW_SCALE * opts.window, opts.dt)
+            .recovery(opts.recovery)
             .record_nodes(["s", "sbar", "out", "outbar", "saen", "bl", "blbar"])
             .ic("vdd", vdd)
             .ic("bl", vdd)

@@ -17,6 +17,30 @@ use std::ops::Range;
 /// properties exercise numerical kernels).
 pub const DEFAULT_CASES: usize = 96;
 
+/// Per-block configuration, mirroring the real proptest's
+/// `ProptestConfig`. Set it with `#![proptest_config(...)]` as the first
+/// item of a `proptest!` block; only the case count is supported.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases generated per property in the block.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: usize) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
 /// A source of generated values.
 pub trait Strategy {
     /// The generated type.
@@ -106,7 +130,7 @@ pub fn rng_for(name: &str) -> StdRng {
 
 /// Everything a property test file needs.
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
 }
 
 /// Asserts a condition inside a property, printing the condition on
@@ -132,18 +156,40 @@ macro_rules! prop_assert_eq {
     };
 }
 
-/// Declares property tests: each `fn` runs [`DEFAULT_CASES`] times with
-/// inputs drawn from the strategies after `in`.
+/// Declares property tests: each `fn` runs [`DEFAULT_CASES`] times (or the
+/// count from a leading `#![proptest_config(...)]`) with inputs drawn from
+/// the strategies after `in`.
 #[macro_export]
 macro_rules! proptest {
-    ($(
-        $(#[$attr:meta])+
-        fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
-    )*) => {$(
+    (
+        $(
+            $(#[$attr:meta])+
+            fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$attr])+
+                fn $name ( $($arg in $strategy),* ) $body
+            )*
+        }
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$attr:meta])+
+            fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {$(
         $(#[$attr])+
         fn $name() {
+            let cases = {
+                let cfg: $crate::ProptestConfig = $cfg;
+                cfg.cases
+            };
             let mut rng = $crate::rng_for(stringify!($name));
-            for case in 0..$crate::DEFAULT_CASES {
+            for case in 0..cases {
                 $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
                 let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
                     $body
@@ -185,6 +231,21 @@ mod tests {
             let mask = if flag { u64::MAX } else { 0 };
             prop_assert_eq!((seed ^ mask) ^ mask, seed);
         }
+    }
+
+    #[test]
+    fn proptest_config_limits_cases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        proptest! {
+            #![proptest_config(crate::ProptestConfig::with_cases(5))]
+            #[allow(dead_code)]
+            fn counted(_x in 0u64..10) {
+                RUNS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        counted();
+        assert_eq!(RUNS.load(Ordering::Relaxed), 5);
     }
 
     #[test]

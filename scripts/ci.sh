@@ -13,8 +13,17 @@ cargo fmt --all --check
 echo "== cargo clippy --workspace -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy (solver + MC libs, deny unwrap) =="
+# The hot-path libraries must not panic on recoverable failures: every
+# solver error has to reach the recovery ladder / quarantine instead.
+cargo clippy -p issa-circuit -p issa-core --lib -- -D warnings -D clippy::unwrap-used
+
 echo "== tier-1: cargo build --release && cargo test =="
 cargo build --release
 cargo test -q
+
+echo "== fault injection / recovery suite =="
+cargo test -q -p issa-circuit --test recovery
+cargo test -q --test fault_quarantine
 
 echo "CI_OK"

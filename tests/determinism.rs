@@ -71,6 +71,41 @@ fn fast_paths_do_not_change_results() {
 }
 
 #[test]
+fn unexercised_recovery_ladder_is_bit_identical() {
+    // The solver recovery ladder engages only after a Newton failure, so
+    // on a healthy corner the full ladder, the pre-ladder engine
+    // (timestep halving only), and no recovery at all must produce
+    // bit-identical results — at every thread count, with zero recovery
+    // work counted and nothing quarantined.
+    use issa::circuit::recovery::RecoveryPolicy;
+    for threads in [1usize, 2, 8] {
+        let run = |recovery| {
+            let mut cfg = base_cfg(8);
+            cfg.threads = threads;
+            cfg.probe.recovery = recovery;
+            run_mc(&cfg).unwrap()
+        };
+        let ladder = run(RecoveryPolicy::default());
+        let pre_ladder = run(RecoveryPolicy::halving_only());
+        let off = run(RecoveryPolicy::off());
+        assert_eq!(
+            ladder, pre_ladder,
+            "ladder vs pre-ladder diverged at {threads} threads"
+        );
+        assert_eq!(
+            ladder, off,
+            "ladder vs no-recovery diverged at {threads} threads"
+        );
+        assert!(ladder.failures.is_empty());
+        assert_eq!(
+            ladder.perf.circuit.recovery_attempts(),
+            0,
+            "healthy run must do zero recovery work"
+        );
+    }
+}
+
+#[test]
 fn seed_changes_results() {
     let a = run_mc(&base_cfg(6)).unwrap();
     let b = run_mc(&McConfig {

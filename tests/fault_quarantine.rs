@@ -1,0 +1,187 @@
+//! Monte Carlo failure quarantine under deterministic fault injection.
+//!
+//! These tests drive [`run_mc`] with a [`FaultPlan`] that makes chosen
+//! samples' solves fail at exact coordinates, and check the full
+//! quarantine contract: transient faults are absorbed by the solver
+//! recovery ladder (zero quarantined, nonzero recovery counters);
+//! persistent faults quarantine exactly the targeted samples with the
+//! statistics computed over the survivors; the failure budget
+//! (`max_failure_frac`, default 0) turns excess quarantine into
+//! [`SaError::FailureBudgetExceeded`]; and a panicking worker is caught
+//! and quarantined like any other failure.
+
+use issa::circuit::faultinject::{FaultKind, FaultPlan};
+use issa::core::montecarlo::{run_mc, McConfig, McPhase};
+use issa::prelude::*;
+use std::sync::Arc;
+
+const SAMPLES: usize = 8;
+
+fn base_cfg() -> McConfig {
+    McConfig::smoke(
+        SaKind::Nssa,
+        Workload::new(0.8, ReadSequence::AllZeros),
+        Environment::nominal(),
+        1e8,
+        SAMPLES,
+    )
+}
+
+fn with_plan(plan: FaultPlan, max_failure_frac: f64) -> McConfig {
+    McConfig {
+        fault_plan: Some(Arc::new(plan)),
+        max_failure_frac,
+        ..base_cfg()
+    }
+}
+
+#[test]
+fn transient_faults_are_recovered_not_quarantined() {
+    // 2 of 8 samples (25 % — well past the 5 % bar) take a one-shot
+    // Newton failure early in their first probe transient. The ladder
+    // must absorb every one: the run completes, nobody is quarantined,
+    // and the recovery counters show the ladder actually worked.
+    let plan = FaultPlan::new()
+        .transient(0, 2, FaultKind::NonConvergence)
+        .transient(3, 5, FaultKind::NonConvergence);
+    let r = run_mc(&with_plan(plan, 0.0)).unwrap();
+    assert!(
+        r.failures.is_empty(),
+        "recovered faults must not quarantine"
+    );
+    assert_eq!(r.offsets.len(), SAMPLES);
+    assert!(
+        r.perf.circuit.recovery_attempts() > 0,
+        "the ladder should have engaged"
+    );
+    assert_eq!(
+        r.perf.circuit.recoveries_failed, 0,
+        "no ladder should have been exhausted"
+    );
+}
+
+#[test]
+fn recovered_run_matches_the_fault_free_run() {
+    // The ladder re-solves the same system, so a recovered sample's
+    // offset is the fault-free one to within Newton tolerance — and every
+    // untargeted sample is bit-identical.
+    let clean = run_mc(&base_cfg()).unwrap();
+    let plan = FaultPlan::new().transient(2, 4, FaultKind::NonConvergence);
+    let faulted = run_mc(&with_plan(plan, 0.0)).unwrap();
+    for (i, (a, b)) in clean.offsets.iter().zip(&faulted.offsets).enumerate() {
+        if i == 2 {
+            assert!((a - b).abs() < 1e-6, "sample 2 offset moved: {a} vs {b}");
+        } else {
+            assert_eq!(a, b, "untargeted sample {i} must be bit-identical");
+        }
+    }
+}
+
+#[test]
+fn persistent_faults_quarantine_and_stats_use_survivors() {
+    let clean = run_mc(&base_cfg()).unwrap();
+    let plan = FaultPlan::new().persistent(1, 0, FaultKind::NonConvergence);
+    let r = run_mc(&with_plan(plan, 0.5)).unwrap();
+
+    assert_eq!(r.failures.len(), 1);
+    let f = &r.failures[0];
+    assert_eq!(f.index, 1);
+    assert_eq!(f.phase, McPhase::Offset);
+    assert_eq!(f.seed, base_cfg().seed);
+    assert!(f.error.contains("converge"), "error: {}", f.error);
+    assert!(f.recovery_attempts > 0, "the ladder should have fought");
+
+    // Survivor offsets are the clean run's offsets with sample 1 removed
+    // — quarantine cannot perturb anyone else's draws or probes.
+    let expected: Vec<f64> = clean
+        .offsets
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 1)
+        .map(|(_, v)| *v)
+        .collect();
+    assert_eq!(r.offsets, expected);
+    // The dead sample is skipped in the delay phase too.
+    let expected_delays: Vec<f64> = clean
+        .delays
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 1)
+        .map(|(_, v)| *v)
+        .collect();
+    assert_eq!(r.delays, expected_delays);
+    assert!(r.sigma > 0.0 && r.spec > 0.0);
+}
+
+#[test]
+fn default_budget_rejects_any_failure() {
+    let plan = FaultPlan::new().persistent(0, 0, FaultKind::NonConvergence);
+    let err = run_mc(&with_plan(plan, 0.0)).unwrap_err();
+    match err {
+        SaError::FailureBudgetExceeded {
+            failed,
+            total,
+            failures,
+        } => {
+            assert_eq!((failed, total), (1, SAMPLES));
+            assert_eq!(failures.len(), 1);
+            assert_eq!(failures[0].index, 0);
+            // The Display form carries the per-sample diagnosis.
+            let msg = SaError::FailureBudgetExceeded {
+                failed,
+                total,
+                failures,
+            }
+            .to_string();
+            assert!(msg.contains("sample 0"), "message: {msg}");
+        }
+        other => panic!("expected FailureBudgetExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn budget_is_a_fraction_of_samples() {
+    let plan = || FaultPlan::new().persistent(4, 0, FaultKind::Singular);
+    // floor(0.1 * 8) = 0 allowed: one failure exceeds it.
+    assert!(run_mc(&with_plan(plan(), 0.1)).is_err());
+    // floor(0.2 * 8) = 1 allowed: one failure is quarantined.
+    let r = run_mc(&with_plan(plan(), 0.2)).unwrap();
+    assert_eq!(r.failures.len(), 1);
+    assert!(
+        r.failures[0].error.contains("singular"),
+        "{}",
+        r.failures[0].error
+    );
+}
+
+#[test]
+fn injected_panic_is_caught_and_quarantined() {
+    let plan = FaultPlan::new().transient(2, 1, FaultKind::Panic);
+    let r = run_mc(&with_plan(plan, 0.5)).unwrap();
+    assert_eq!(r.failures.len(), 1);
+    let f = &r.failures[0];
+    assert_eq!(f.index, 2);
+    assert!(
+        f.error.contains("panicked") && f.error.contains("injected solver panic"),
+        "error: {}",
+        f.error
+    );
+    assert_eq!(r.offsets.len(), SAMPLES - 1);
+}
+
+#[test]
+fn quarantine_is_thread_count_invariant() {
+    let cfg = |threads| McConfig {
+        threads,
+        ..with_plan(
+            FaultPlan::new()
+                .persistent(1, 0, FaultKind::NonConvergence)
+                .transient(5, 3, FaultKind::NonConvergence),
+            0.5,
+        )
+    };
+    let one = run_mc(&cfg(1)).unwrap();
+    let four = run_mc(&cfg(4)).unwrap();
+    assert_eq!(one, four, "quarantined run must not depend on sharding");
+    assert_eq!(one.failures.len(), 1);
+}

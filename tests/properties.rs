@@ -1,8 +1,9 @@
 //! Property-based tests (proptest) on the workspace's algebraic layers:
 //! numerics, spec solver, workload compilation, aging model, and control
-//! logic. Circuit-level properties are covered by the deterministic
-//! integration tests (each transient is too costly for hundreds of
-//! proptest cases).
+//! logic — plus a reduced-case block of solver recovery-ladder invariants
+//! on a tiny RC transient (full circuit-level behaviour is covered by the
+//! deterministic integration tests; each transient is too costly for
+//! hundreds of proptest cases).
 
 use issa::bti::{BtiParams, StressCondition, Trap, TrapSet};
 use issa::core::spec::offset_spec;
@@ -151,5 +152,129 @@ proptest! {
         let a = TrapSet::sample(&params, area, &mut SeedSequence::root(seed).rng());
         let b = TrapSet::sample(&params, area, &mut SeedSequence::root(seed).rng());
         prop_assert_eq!(a, b);
+    }
+}
+
+/// Tiny RC low-pass (50 base steps): every solve converges trivially, so
+/// the only failures are the injected ones.
+fn ladder_netlist() -> issa::circuit::Netlist {
+    use issa::circuit::{Netlist, Waveform};
+    let mut n = Netlist::new();
+    let vin = n.node("in");
+    let out = n.node("out");
+    n.vsource(vin, Netlist::GROUND, Waveform::dc(1.0));
+    n.resistor(vin, out, 1e3);
+    n.capacitor(out, Netlist::GROUND, 1e-9);
+    n
+}
+
+fn ladder_params(recovery: issa::circuit::RecoveryPolicy) -> issa::circuit::tran::TranParams {
+    issa::circuit::tran::TranParams::new(0.25e-6, 5e-9)
+        .record_all()
+        .recovery(recovery)
+}
+
+proptest! {
+    // Each case runs real transients; a reduced case count keeps the
+    // block comparable in cost to one integration test.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ladder_halving_depth_is_bounded(depth in 0u32..5, step in 0u64..50) {
+        use issa::circuit::faultinject::{FaultKind, FaultPlan, FaultScope};
+        use issa::circuit::perf::thread_recovery_attempts;
+        use issa::circuit::{tran::transient, RecoveryPolicy};
+        use std::sync::Arc;
+
+        let policy = RecoveryPolicy {
+            damped_attempts: 0,
+            max_dt_halvings: depth,
+            gmin_start: 0.0,
+            ..RecoveryPolicy::default()
+        };
+        let n = ladder_netlist();
+        let plan = Arc::new(FaultPlan::new().persistent(0, step, FaultKind::NonConvergence));
+        let before = thread_recovery_attempts();
+        let result = {
+            let _scope = FaultScope::enter(plan, 0);
+            transient(&n, &ladder_params(policy))
+        };
+        // A persistent fault defeats every halving level: the recursion
+        // must stop after exactly `depth` splits down the first-half
+        // spine (plus one abandonment per level), never more.
+        prop_assert!(result.is_err());
+        prop_assert_eq!(
+            thread_recovery_attempts() - before,
+            u64::from(2 * depth + 1)
+        );
+    }
+
+    #[test]
+    fn ladder_gmin_accepts_only_fully_relaxed_solutions(
+        step in 0u64..50,
+        gmin_exp in -4i32..-1,
+        decay in 0.05f64..0.5,
+    ) {
+        use issa::circuit::faultinject::{FaultKind, FaultPlan, FaultScope};
+        use issa::circuit::perf::thread_recovery_attempts;
+        use issa::circuit::{tran::transient, RecoveryPolicy};
+        use std::sync::Arc;
+
+        let policy = RecoveryPolicy {
+            damped_attempts: 0,
+            max_dt_halvings: 0,
+            gmin_start: 10f64.powi(gmin_exp),
+            gmin_decay: decay,
+            ..RecoveryPolicy::default()
+        };
+        let n = ladder_netlist();
+        let clean = transient(&n, &ladder_params(policy)).unwrap();
+        let plan = Arc::new(FaultPlan::new().transient(0, step, FaultKind::NonConvergence));
+        let before = thread_recovery_attempts();
+        let tr = {
+            let _scope = FaultScope::enter(plan, 0);
+            transient(&n, &ladder_params(policy)).unwrap()
+        };
+        prop_assert_eq!(thread_recovery_attempts() - before, 1);
+        // Acceptance requires the final gmin = 0 re-solve of the
+        // *unmodified* system to converge, so the recovered trace matches
+        // the fault-free one to Newton tolerance — for any shunt size or
+        // relaxation rate.
+        let got = tr.final_value("out").unwrap();
+        let want = clean.final_value("out").unwrap();
+        prop_assert!((got - want).abs() < 1e-6, "got {}, want {}", got, want);
+    }
+
+    #[test]
+    fn ladder_counters_are_monotone(steps in 1u64..4) {
+        use issa::circuit::faultinject::{FaultKind, FaultPlan, FaultScope};
+        use issa::circuit::perf::{snapshot, thread_recovery_attempts};
+        use issa::circuit::{tran::transient, RecoveryPolicy};
+        use std::sync::Arc;
+
+        let n = ladder_netlist();
+        let mut plan = FaultPlan::new();
+        for s in 0..steps {
+            plan = plan.transient(0, s * 7, FaultKind::NonConvergence);
+        }
+        let plan = Arc::new(plan);
+        let mut last_thread = thread_recovery_attempts();
+        let mut last_global = snapshot();
+        for _ in 0..3 {
+            {
+                let _scope = FaultScope::enter(plan.clone(), 0);
+                transient(&n, &ladder_params(RecoveryPolicy::default())).unwrap();
+            }
+            // Every run adds exactly `steps` recoveries on this thread and
+            // at least that many globally — the counters never move down.
+            let thread_now = thread_recovery_attempts();
+            prop_assert_eq!(thread_now - last_thread, steps);
+            last_thread = thread_now;
+            let global_now = snapshot();
+            let d = global_now.delta_since(&last_global);
+            prop_assert!(d.recovery_attempts() >= steps);
+            prop_assert_eq!(d.recoveries_failed, 0);
+            last_global = global_now;
+        }
     }
 }
