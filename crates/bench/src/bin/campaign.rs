@@ -1,0 +1,457 @@
+//! Durable campaign driver: regenerates the paper's Monte Carlo artifacts
+//! (Tables II–IV, Fig. 7) through the checkpointing campaign engine
+//! ([`issa_core::campaign`]), so a long run survives kills, deadlines, and
+//! SIGINT/SIGTERM and resumes bit-identically.
+//!
+//! ```sh
+//! cargo run --release -p issa-bench --bin campaign -- \
+//!     [--samples N] [--seed S] [--paper-probes] [--threads T]
+//!     [--artifacts table2,table3,table4,fig7]
+//!     [--checkpoint PATH | --no-checkpoint] [--fresh] [--flush-every K]
+//!     [--deadline-s S] [--step-budget N] [--wall-budget-s S]
+//!     [--abort-after N]
+//! ```
+//!
+//! Exit status: `0` = complete, `3` = partial (deadline/interrupt; re-run
+//! the same command to resume), `1` = refused to start (untrusted or
+//! mismatched checkpoint), `2` = usage error.
+
+use issa_bench::CornerSpec;
+use issa_bench::{csv_row, paper, print_table_header, print_table_row, write_csv, CSV_HEADER};
+use issa_core::campaign::{run_campaign, CampaignCorner, CampaignOptions, CornerOutcome};
+use issa_core::montecarlo::{McConfig, McResult};
+use issa_core::netlist::SaKind;
+use issa_core::probe::ProbeOptions;
+use issa_core::workload::{ReadSequence, Workload};
+use issa_ptm45::Environment;
+use std::path::PathBuf;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+struct Args {
+    samples: usize,
+    seed: u64,
+    paper_probes: bool,
+    threads: usize,
+    artifacts: Vec<String>,
+    checkpoint: Option<PathBuf>,
+    fresh: bool,
+    flush_every: usize,
+    deadline_s: Option<f64>,
+    step_budget: Option<u64>,
+    wall_budget_s: Option<f64>,
+    abort_after: Option<usize>,
+}
+
+const ALL_ARTIFACTS: [&str; 4] = ["table2", "table3", "table4", "fig7"];
+
+fn usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: campaign [--samples N] [--seed S] [--paper-probes] [--threads T] \
+         [--artifacts LIST] [--checkpoint PATH | --no-checkpoint] [--fresh] \
+         [--flush-every K] [--deadline-s S] [--step-budget N] [--wall-budget-s S] \
+         [--abort-after N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse() -> Args {
+    let mut args = Args {
+        samples: 400,
+        seed: 0x1554_2017,
+        paper_probes: false,
+        threads: 0,
+        artifacts: ALL_ARTIFACTS.iter().map(|s| (*s).to_owned()).collect(),
+        checkpoint: Some(PathBuf::from("results/campaign.ckpt")),
+        fresh: false,
+        flush_every: 16,
+        deadline_s: None,
+        step_budget: None,
+        wall_budget_s: None,
+        abort_after: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next()
+            .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--samples" => {
+                args.samples = value(&mut it, "--samples")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--samples needs a positive integer"));
+            }
+            "--seed" => {
+                args.seed = value(&mut it, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed needs an integer"));
+            }
+            "--paper-probes" => args.paper_probes = true,
+            "--threads" => {
+                args.threads = value(&mut it, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--threads needs an integer"));
+            }
+            "--artifacts" => {
+                args.artifacts = value(&mut it, "--artifacts")
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                for a in &args.artifacts {
+                    if !ALL_ARTIFACTS.contains(&a.as_str()) {
+                        usage(&format!(
+                            "unknown artifact '{a}' (known: {})",
+                            ALL_ARTIFACTS.join(", ")
+                        ));
+                    }
+                }
+            }
+            "--checkpoint" => args.checkpoint = Some(PathBuf::from(value(&mut it, "--checkpoint"))),
+            "--no-checkpoint" => args.checkpoint = None,
+            "--fresh" => args.fresh = true,
+            "--flush-every" => {
+                args.flush_every = value(&mut it, "--flush-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--flush-every needs an integer"));
+            }
+            "--deadline-s" => {
+                args.deadline_s = Some(
+                    value(&mut it, "--deadline-s")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--deadline-s needs a number")),
+                );
+            }
+            "--step-budget" => {
+                args.step_budget = Some(
+                    value(&mut it, "--step-budget")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--step-budget needs an integer")),
+                );
+            }
+            "--wall-budget-s" => {
+                args.wall_budget_s = Some(
+                    value(&mut it, "--wall-budget-s")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--wall-budget-s needs a number")),
+                );
+            }
+            "--abort-after" => {
+                args.abort_after = Some(
+                    value(&mut it, "--abort-after")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--abort-after needs an integer")),
+                );
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if args.samples == 0 {
+        usage("--samples must be positive");
+    }
+    args
+}
+
+impl Args {
+    fn config(&self, kind: SaKind, workload: Workload, env: Environment, time: f64) -> McConfig {
+        McConfig {
+            samples: self.samples,
+            seed: self.seed,
+            probe: if self.paper_probes {
+                ProbeOptions::default()
+            } else {
+                ProbeOptions::fast()
+            },
+            delay_samples: 16.min(self.samples),
+            threads: self.threads,
+            sample_step_budget: self.step_budget,
+            sample_wall_budget_s: self.wall_budget_s,
+            ..McConfig::paper(kind, workload, env, time)
+        }
+    }
+}
+
+/// Stable, unique checkpoint key for a table corner.
+fn corner_name(artifact: &str, s: &CornerSpec) -> String {
+    format!(
+        "{artifact}/{} {} t={} {:.0}C {:.2}V",
+        s.kind.name(),
+        s.label,
+        s.time_label(),
+        s.env.temp_c,
+        s.env.vdd
+    )
+}
+
+/// One table artifact: its output CSV and the named paper corners.
+struct TableArtifact {
+    csv: &'static str,
+    title: &'static str,
+    rows: Vec<(String, CornerSpec)>,
+}
+
+const FIG7_TIMES: [f64; 6] = [0.0, 1e4, 1e5, 1e6, 1e7, 1e8];
+const FIG7_SERIES: [(&str, SaKind, ReadSequence); 3] = [
+    ("NSSA 80r0r1", SaKind::Nssa, ReadSequence::Alternating),
+    ("NSSA 80r0", SaKind::Nssa, ReadSequence::AllZeros),
+    ("ISSA 80%", SaKind::Issa, ReadSequence::AllZeros),
+];
+
+fn fig7_name(series: &str, t: f64) -> String {
+    format!("fig7/{series} t={t:.0e}")
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn main() {
+    let args = parse();
+    if args.fresh {
+        if let Some(path) = &args.checkpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    if let Some(path) = &args.checkpoint {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create checkpoint dir");
+            }
+        }
+    }
+
+    // Assemble the campaign: every selected artifact contributes named
+    // corners, all driven through one durable engine invocation.
+    let mut tables: Vec<TableArtifact> = Vec::new();
+    let mut fig7 = false;
+    for artifact in &args.artifacts {
+        match artifact.as_str() {
+            "table2" => tables.push(TableArtifact {
+                csv: "table2.csv",
+                title: "Table II: workload impact (25 C / 1.0 V)",
+                rows: paper::table2()
+                    .into_iter()
+                    .map(|s| (corner_name("table2", &s), s))
+                    .collect(),
+            }),
+            "table3" => tables.push(TableArtifact {
+                csv: "table3.csv",
+                title: "Table III: supply-voltage impact (25 C)",
+                rows: paper::table3()
+                    .into_iter()
+                    .map(|s| (corner_name("table3", &s), s))
+                    .collect(),
+            }),
+            "table4" => tables.push(TableArtifact {
+                csv: "table4.csv",
+                title: "Table IV: temperature impact (1.0 V)",
+                rows: paper::table4()
+                    .into_iter()
+                    .map(|s| (corner_name("table4", &s), s))
+                    .collect(),
+            }),
+            "fig7" => fig7 = true,
+            _ => unreachable!("validated in parse()"),
+        }
+    }
+
+    let mut corners: Vec<CampaignCorner> = Vec::new();
+    for table in &tables {
+        for (name, s) in &table.rows {
+            corners.push(CampaignCorner {
+                name: name.clone(),
+                cfg: args.config(
+                    s.kind,
+                    Workload::new(s.activation, s.sequence),
+                    s.env,
+                    s.time,
+                ),
+            });
+        }
+    }
+    if fig7 {
+        let env = Environment::nominal().with_temp_c(125.0);
+        for &t in &FIG7_TIMES {
+            for (series, kind, seq) in FIG7_SERIES {
+                corners.push(CampaignCorner {
+                    name: fig7_name(series, t),
+                    cfg: args.config(kind, Workload::new(0.8, seq), env, t),
+                });
+            }
+        }
+    }
+    if corners.is_empty() {
+        usage("no artifacts selected");
+    }
+
+    let opts = CampaignOptions {
+        checkpoint: args.checkpoint.clone(),
+        flush_every: args.flush_every,
+        deadline: args.deadline_s.map(Duration::from_secs_f64),
+        handle_signals: true,
+        abort_after: args.abort_after,
+        progress: true,
+    };
+    println!(
+        "campaign: {} corners, {} samples each{}{}",
+        corners.len(),
+        args.samples,
+        match &args.checkpoint {
+            Some(p) => format!(", checkpoint {}", p.display()),
+            None => ", no checkpoint".to_owned(),
+        },
+        match args.deadline_s {
+            Some(s) => format!(", deadline {s}s"),
+            None => String::new(),
+        }
+    );
+    let report = run_campaign(&corners, &opts).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1)
+    });
+
+    // Per-artifact outputs: console tables plus CSV, completed corners
+    // only — a missing row is reported, never silently dropped.
+    for table in &tables {
+        println!("\n{}", table.title);
+        print_table_header("-");
+        let mut csv = Vec::new();
+        let mut missing = 0usize;
+        for (name, spec) in &table.rows {
+            match report.result(name) {
+                Some(r) => {
+                    print_table_row(spec, "-", r);
+                    csv.push(csv_row(spec, "-", r));
+                }
+                None => missing += 1,
+            }
+        }
+        if csv.is_empty() {
+            println!("(no completed corners; nothing written)");
+        } else {
+            let path = write_csv(table.csv, CSV_HEADER, &csv);
+            print!("wrote {} ({} rows", path.display(), csv.len());
+            if missing > 0 {
+                print!(", {missing} corners missing");
+            }
+            println!(")");
+        }
+    }
+    if fig7 {
+        println!("\nFig. 7: sensing delay vs stress time at 125 C (ps)");
+        let mut csv = Vec::new();
+        for &t in &FIG7_TIMES {
+            let delays: Vec<Option<&McResult>> = FIG7_SERIES
+                .iter()
+                .map(|(series, _, _)| report.result(&fig7_name(series, t)))
+                .collect();
+            print!("{t:>12.0e}");
+            let mut row = format!("{t}");
+            let mut complete = true;
+            for r in &delays {
+                match r {
+                    Some(r) => {
+                        print!("{:>14.2}", r.mean_delay * 1e12);
+                        row.push_str(&format!(",{}", r.mean_delay * 1e12));
+                        complete &= !r.partial;
+                    }
+                    None => {
+                        print!("{:>14}", "-");
+                        row.push(',');
+                        complete = false;
+                    }
+                }
+            }
+            println!();
+            row.push_str(if complete { ",0" } else { ",1" });
+            csv.push(row);
+        }
+        let path = write_csv(
+            "fig7_delay_aging.csv",
+            "time_s,nssa_80r0r1_delay_ps,nssa_80r0_delay_ps,issa_80_delay_ps,partial",
+            &csv,
+        );
+        println!("wrote {}", path.display());
+    }
+
+    // Machine-readable campaign summary.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"partial\": {},\n", report.partial));
+    json.push_str(&format!(
+        "  \"cancelled\": {},\n",
+        match report.cancelled {
+            Some(cause) => format!("\"{cause}\""),
+            None => "null".to_owned(),
+        }
+    ));
+    json.push_str(&format!(
+        "  \"resumed_records\": {},\n",
+        report.resumed_records
+    ));
+    json.push_str("  \"corners\": [\n");
+    for (k, corner) in report.corners.iter().enumerate() {
+        let (status, detail) = match &corner.outcome {
+            CornerOutcome::Completed(r) => (
+                if r.partial { "partial" } else { "completed" },
+                format!(
+                    ", \"n\": {}, \"requested\": {}, \"mu_mv\": {}, \"mu_ci95_mv\": {}, \
+                     \"sigma_mv\": {}, \"spec_mv\": {}, \"delay_ps\": {}, \"failures\": {}",
+                    r.offsets.len(),
+                    r.requested,
+                    json_f64(r.mu * 1e3),
+                    json_f64(r.mu_ci95 * 1e3),
+                    json_f64(r.sigma * 1e3),
+                    json_f64(r.spec * 1e3),
+                    json_f64(r.mean_delay * 1e12),
+                    r.failures.len()
+                ),
+            ),
+            CornerOutcome::Failed(e) => (
+                "failed",
+                format!(", \"error\": \"{}\"", json_escape(&e.to_string())),
+            ),
+            CornerOutcome::Skipped => ("skipped", String::new()),
+        };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"status\": \"{status}\"{detail}}}{}\n",
+            json_escape(&corner.name),
+            if k + 1 < report.corners.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/campaign.json", json).expect("write campaign.json");
+    println!("wrote results/campaign.json");
+
+    if report.partial {
+        let why = report
+            .cancelled
+            .map_or_else(|| "incomplete corners".to_owned(), |c| c.to_string());
+        println!("\ncampaign PARTIAL ({why}); re-run the same command to resume");
+        std::process::exit(3);
+    }
+    println!("\ncampaign complete");
+}

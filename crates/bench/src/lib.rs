@@ -258,10 +258,13 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBu
 }
 
 /// Formats one corner's measurement as a CSV row matching
-/// [`CSV_HEADER`].
+/// [`CSV_HEADER`]. The trailing columns make partial results honest:
+/// `n` is the surviving sample count the statistics cover, `mu_ci95_mv`
+/// the sample-count-aware 95 % confidence half-width on μ, and `partial`
+/// flags a corner cut short by a campaign deadline or interrupt.
 pub fn csv_row(spec: &CornerSpec, extra: &str, r: &McResult) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{:.3}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{:.4},{}",
         spec.kind.name(),
         spec.time_label(),
         spec.label,
@@ -275,11 +278,14 @@ pub fn csv_row(spec: &CornerSpec, extra: &str, r: &McResult) -> String {
         r.spec * 1e3,
         r.mean_delay * 1e12,
         r.ks_sqrt_n,
+        r.offsets.len(),
+        r.mu_ci95 * 1e3,
+        u8::from(r.partial),
     )
 }
 
 /// Column names for [`csv_row`].
-pub const CSV_HEADER: &str = "scheme,time_s,workload,extra,mu_paper_mv,sigma_paper_mv,spec_paper_mv,delay_paper_ps,mu_mv,sigma_mv,spec_mv,delay_ps,ks_sqrt_n";
+pub const CSV_HEADER: &str = "scheme,time_s,workload,extra,mu_paper_mv,sigma_paper_mv,spec_paper_mv,delay_paper_ps,mu_mv,sigma_mv,spec_mv,delay_ps,ks_sqrt_n,n,mu_ci95_mv,partial";
 
 #[cfg(test)]
 mod tests {
@@ -312,6 +318,10 @@ mod tests {
             mean_delay: f64::NAN,
             ks_sqrt_n: 0.5,
             failures: vec![],
+            requested: 1,
+            partial: false,
+            mu_ci95: f64::NAN,
+            delay_ci95: f64::NAN,
             perf: Default::default(),
         };
         let strip = render_distribution_strip("test", &r, 220.0);

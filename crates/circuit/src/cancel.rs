@@ -1,0 +1,322 @@
+//! Cooperative cancellation of long-running solves — the watchdog layer
+//! under durable Monte Carlo campaigns.
+//!
+//! Three independent triggers can stop a transient or DC analysis between
+//! base solves:
+//!
+//! - a shared [`CancelToken`] fired by a supervisor (campaign deadline,
+//!   SIGINT/SIGTERM) — campaign-scoped;
+//! - a **step budget**: the maximum number of base solves one armed scope
+//!   may consume — sample-scoped, fully deterministic;
+//! - a **wall-clock budget** per armed scope — sample-scoped, the safety
+//!   net for genuinely stuck solves that a step budget cannot see (each
+//!   base step itself finishing, but infinitely slowly, cannot happen in
+//!   this engine; a pathological recovery-ladder storm can).
+//!
+//! The engines poll [`check`] once per base solve (a transient base
+//! timestep or a DC rung), mirroring the fault-injection hook points, and
+//! return [`CircuitError::Cancelled`] when a trigger fires. Like
+//! [`crate::faultinject`], the module is compiled unconditionally and is
+//! default-off: with no scope armed the per-step cost is one thread-local
+//! `Option` check, and the engine's behaviour — including bit-exact
+//! results — is untouched.
+
+use crate::CircuitError;
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a solve was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// A campaign-level deadline expired (fired through the token).
+    Deadline,
+    /// An external interrupt (SIGINT/SIGTERM) was relayed through the
+    /// token.
+    Interrupt,
+    /// The armed scope's base-solve budget was exhausted — the per-sample
+    /// watchdog tripped deterministically.
+    StepBudget,
+    /// The armed scope's wall-clock budget was exhausted.
+    WallBudget,
+}
+
+impl CancelCause {
+    /// Whether the cause is scoped to one sample (a budget) rather than to
+    /// the whole campaign (token-level deadline/interrupt). Sample-scoped
+    /// causes quarantine the sample as timed out; campaign-scoped causes
+    /// leave it uncomputed.
+    #[must_use]
+    pub fn is_sample_budget(&self) -> bool {
+        matches!(self, CancelCause::StepBudget | CancelCause::WallBudget)
+    }
+}
+
+impl fmt::Display for CancelCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelCause::Deadline => write!(f, "campaign deadline"),
+            CancelCause::Interrupt => write!(f, "interrupt"),
+            CancelCause::StepBudget => write!(f, "per-sample step budget"),
+            CancelCause::WallBudget => write!(f, "per-sample wall-clock budget"),
+        }
+    }
+}
+
+const LIVE: u8 = 0;
+
+fn cause_code(cause: CancelCause) -> u8 {
+    match cause {
+        CancelCause::Deadline => 1,
+        CancelCause::Interrupt => 2,
+        CancelCause::StepBudget => 3,
+        CancelCause::WallBudget => 4,
+    }
+}
+
+fn code_cause(code: u8) -> Option<CancelCause> {
+    match code {
+        1 => Some(CancelCause::Deadline),
+        2 => Some(CancelCause::Interrupt),
+        3 => Some(CancelCause::StepBudget),
+        4 => Some(CancelCause::WallBudget),
+        _ => None,
+    }
+}
+
+/// A shared, clonable cancellation flag. Cheap to clone (one `Arc`); the
+/// first [`CancelToken::cancel`] wins and later causes are ignored, so a
+/// deadline and an interrupt racing each other report one coherent cause.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A live (un-fired) token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token with `cause`. Idempotent: only the first call
+    /// records its cause.
+    pub fn cancel(&self, cause: CancelCause) {
+        let _ = self.state.compare_exchange(
+            LIVE,
+            cause_code(cause),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The cause the token was fired with, if any.
+    #[must_use]
+    pub fn fired(&self) -> Option<CancelCause> {
+        code_cause(self.state.load(Ordering::Relaxed))
+    }
+
+    /// Whether the token has been fired.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.fired().is_some()
+    }
+}
+
+struct ActiveScope {
+    token: Option<CancelToken>,
+    step_budget: Option<u64>,
+    deadline: Option<Instant>,
+    steps: u64,
+}
+
+thread_local! {
+    static SCOPE: RefCell<Option<ActiveScope>> = const { RefCell::new(None) };
+}
+
+/// RAII guard arming cancellation on the current thread: an optional
+/// shared token plus optional per-scope step and wall-clock budgets.
+/// Dropping the guard (including during unwind) disarms the thread, so a
+/// panicking worker cannot leak its budgets into unrelated work.
+#[derive(Debug)]
+pub struct CancelScope {
+    _private: (),
+}
+
+impl CancelScope {
+    /// Arms cancellation on this thread. The step counter starts at zero
+    /// and the wall clock at now; `None` everywhere arms a scope that can
+    /// never fire (harmless, zero-cost beyond the thread-local check).
+    pub fn enter(
+        token: Option<CancelToken>,
+        step_budget: Option<u64>,
+        wall_budget: Option<Duration>,
+    ) -> Self {
+        SCOPE.with(|s| {
+            *s.borrow_mut() = Some(ActiveScope {
+                token,
+                step_budget,
+                deadline: wall_budget.map(|d| Instant::now() + d),
+                steps: 0,
+            });
+        });
+        Self { _private: () }
+    }
+}
+
+impl Drop for CancelScope {
+    fn drop(&mut self) {
+        SCOPE.with(|s| *s.borrow_mut() = None);
+    }
+}
+
+/// Polled by the engines once per base solve. Counts the solve against the
+/// scope's step budget and returns [`CircuitError::Cancelled`] when the
+/// token has fired or a budget is exhausted. With no scope armed (the
+/// production default) this is one thread-local `Option` check.
+pub(crate) fn check(time: f64) -> Option<CircuitError> {
+    SCOPE.with(|s| {
+        let mut borrow = s.borrow_mut();
+        let scope = borrow.as_mut()?;
+        scope.steps += 1;
+        if let Some(token) = &scope.token {
+            if let Some(cause) = token.fired() {
+                return Some(CircuitError::Cancelled { time, cause });
+            }
+        }
+        if let Some(budget) = scope.step_budget {
+            if scope.steps > budget {
+                return Some(CircuitError::Cancelled {
+                    time,
+                    cause: CancelCause::StepBudget,
+                });
+            }
+        }
+        if let Some(deadline) = scope.deadline {
+            if Instant::now() >= deadline {
+                return Some(CircuitError::Cancelled {
+                    time,
+                    cause: CancelCause::WallBudget,
+                });
+            }
+        }
+        None
+    })
+}
+
+/// Charges `n` extra base solves against the armed scope's step budget
+/// without solving anything. Used by [`crate::faultinject`]'s
+/// `StallSteps` fault kind to make the watchdog path deterministically
+/// testable without a real hang.
+pub(crate) fn consume_steps(n: u64) {
+    SCOPE.with(|s| {
+        if let Some(scope) = s.borrow_mut().as_mut() {
+            scope.steps = scope.steps.saturating_add(n);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_thread_never_cancels() {
+        assert!(check(0.0).is_none());
+        consume_steps(1000);
+        assert!(check(0.0).is_none());
+    }
+
+    #[test]
+    fn token_first_cause_wins() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        token.cancel(CancelCause::Deadline);
+        token.cancel(CancelCause::Interrupt);
+        assert_eq!(token.fired(), Some(CancelCause::Deadline));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn token_is_shared_through_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        clone.cancel(CancelCause::Interrupt);
+        assert_eq!(token.fired(), Some(CancelCause::Interrupt));
+    }
+
+    #[test]
+    fn step_budget_fires_after_budget_is_spent() {
+        let _scope = CancelScope::enter(None, Some(3), None);
+        for _ in 0..3 {
+            assert!(check(0.0).is_none());
+        }
+        match check(1.0) {
+            Some(CircuitError::Cancelled { cause, time }) => {
+                assert_eq!(cause, CancelCause::StepBudget);
+                assert_eq!(time, 1.0);
+            }
+            other => panic!("expected step-budget cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consume_steps_charges_the_budget() {
+        let _scope = CancelScope::enter(None, Some(10), None);
+        assert!(check(0.0).is_none());
+        consume_steps(10);
+        assert!(matches!(
+            check(0.0),
+            Some(CircuitError::Cancelled {
+                cause: CancelCause::StepBudget,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn fired_token_cancels_armed_scope() {
+        let token = CancelToken::new();
+        let _scope = CancelScope::enter(Some(token.clone()), None, None);
+        assert!(check(0.0).is_none());
+        token.cancel(CancelCause::Deadline);
+        assert!(matches!(
+            check(2.5),
+            Some(CircuitError::Cancelled {
+                cause: CancelCause::Deadline,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn wall_budget_of_zero_fires_immediately() {
+        let _scope = CancelScope::enter(None, None, Some(Duration::ZERO));
+        assert!(matches!(
+            check(0.0),
+            Some(CircuitError::Cancelled {
+                cause: CancelCause::WallBudget,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn scope_drop_disarms() {
+        {
+            let _scope = CancelScope::enter(None, Some(0), None);
+            assert!(check(0.0).is_some());
+        }
+        assert!(check(0.0).is_none());
+    }
+
+    #[test]
+    fn budget_causes_are_sample_scoped() {
+        assert!(CancelCause::StepBudget.is_sample_budget());
+        assert!(CancelCause::WallBudget.is_sample_budget());
+        assert!(!CancelCause::Deadline.is_sample_budget());
+        assert!(!CancelCause::Interrupt.is_sample_budget());
+    }
+}

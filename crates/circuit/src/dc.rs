@@ -4,7 +4,7 @@
 use crate::netlist::Netlist;
 use crate::newton::{NewtonOpts, NewtonWorkspace};
 use crate::recovery::RecoveryPolicy;
-use crate::{faultinject, CircuitError};
+use crate::{cancel, faultinject, CircuitError};
 
 /// Parameters for a DC operating-point solve.
 #[derive(Debug, Clone)]
@@ -148,6 +148,14 @@ pub fn dc_operating_point(
     for &gmin in &ladder {
         let result = solve_rung(netlist, &mut x, &mut ws, opts, gmin);
         if let Err(e) = result {
+            // Cancellation is not a solver failure: stop immediately
+            // instead of walking the remaining rungs against a fired
+            // token or exhausted budget.
+            if matches!(e, CircuitError::Cancelled { .. }) {
+                ws.counts.cancellations += 1;
+                ws.counts.flush(false);
+                return Err(e);
+            }
             // Intermediate rungs may fail; only the final one is fatal,
             // and even then source stepping (ladder rung 4) gets a shot.
             if gmin == 0.0 {
@@ -190,6 +198,9 @@ fn solve_rung(
     opts: NewtonOpts,
     gmin: f64,
 ) -> Result<usize, CircuitError> {
+    if let Some(e) = cancel::check(0.0) {
+        return Err(e);
+    }
     if let Some(e) = faultinject::intercept(0.0) {
         return Err(e);
     }

@@ -36,6 +36,11 @@ pub enum FaultKind {
     /// The solver thread panics — exercises `catch_unwind` isolation in
     /// the caller.
     Panic,
+    /// Charges `n` phantom base solves against the armed cancellation
+    /// scope ([`crate::cancel`]) and then lets the real solve proceed —
+    /// a deterministic stand-in for a stuck transient, so the watchdog's
+    /// step-budget path is testable without a real hang.
+    StallSteps(u64),
 }
 
 /// One injected fault at an exact *(sample, timestep)* coordinate.
@@ -198,6 +203,10 @@ pub(crate) fn intercept(time: f64) -> Option<CircuitError> {
         }
     });
     match fired? {
+        FaultKind::StallSteps(n) => {
+            crate::cancel::consume_steps(n);
+            None
+        }
         FaultKind::NonConvergence => Some(CircuitError::NonConvergence {
             time,
             iterations: 0,
@@ -286,6 +295,37 @@ mod tests {
             Some(CircuitError::NonConvergence { residual, .. }) => assert!(residual.is_nan()),
             other => panic!("expected NaN non-convergence, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stall_steps_charges_the_cancel_scope_and_lets_the_solve_proceed() {
+        use crate::cancel::{CancelCause, CancelScope};
+        let plan = Arc::new(FaultPlan::new().transient(0, 0, FaultKind::StallSteps(50)));
+        let _cancel = CancelScope::enter(None, Some(10), None);
+        let _scope = FaultScope::enter(plan, 0);
+        begin_base_step();
+        assert!(
+            intercept(0.0).is_none(),
+            "a stall must not fail the solve itself"
+        );
+        // The 50 phantom solves blew the 10-step budget: the next watchdog
+        // poll cancels.
+        assert!(matches!(
+            crate::cancel::check(1.0),
+            Some(CircuitError::Cancelled {
+                cause: CancelCause::StepBudget,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn stall_steps_without_cancel_scope_is_a_no_op() {
+        let plan = Arc::new(FaultPlan::new().transient(0, 0, FaultKind::StallSteps(1000)));
+        let _scope = FaultScope::enter(plan, 0);
+        begin_base_step();
+        assert!(intercept(0.0).is_none());
+        assert!(crate::cancel::check(0.0).is_none());
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! # }
 //! ```
 
+pub mod cancel;
 pub mod dc;
 pub mod element;
 pub mod faultinject;
@@ -55,6 +56,7 @@ pub mod trace;
 pub mod tran;
 pub mod waveform;
 
+pub use cancel::{CancelCause, CancelScope, CancelToken};
 pub use dc::{dc_operating_point, dc_sweep, DcParams};
 pub use element::Element;
 pub use faultinject::{FaultKind, FaultPlan, FaultScope, FaultSpec};
@@ -91,6 +93,15 @@ pub enum CircuitError {
         /// Human-readable description.
         message: String,
     },
+    /// The analysis was cancelled cooperatively (see [`cancel`]): a shared
+    /// [`CancelToken`] fired, or an armed per-scope step/wall budget was
+    /// exhausted.
+    Cancelled {
+        /// Simulated time at which the cancellation was observed (0 for DC).
+        time: f64,
+        /// What triggered the cancellation.
+        cause: CancelCause,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -109,6 +120,9 @@ impl fmt::Display for CircuitError {
             ),
             CircuitError::InvalidParameter { message } => {
                 write!(f, "invalid analysis parameter: {message}")
+            }
+            CircuitError::Cancelled { time, cause } => {
+                write!(f, "analysis cancelled at t={time:e}s ({cause})")
             }
         }
     }

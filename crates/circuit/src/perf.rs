@@ -33,6 +33,7 @@ static RECOVERIES_DT_HALVED: AtomicU64 = AtomicU64::new(0);
 static RECOVERIES_GMIN: AtomicU64 = AtomicU64::new(0);
 static RECOVERIES_SOURCE: AtomicU64 = AtomicU64::new(0);
 static RECOVERIES_FAILED: AtomicU64 = AtomicU64::new(0);
+static CANCELLATIONS: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static TL_RECOVERY_ATTEMPTS: Cell<u64> = const { Cell::new(0) };
@@ -65,6 +66,10 @@ pub struct PerfSnapshot {
     /// Steps (or DC solves) abandoned after the whole ladder was
     /// exhausted — the failure propagated to the caller.
     pub recoveries_failed: u64,
+    /// Analyses stopped by cooperative cancellation
+    /// ([`crate::cancel`]): a fired token or an exhausted per-scope
+    /// step/wall budget. Zero on any run without a watchdog trigger.
+    pub cancellations: u64,
 }
 
 impl PerfSnapshot {
@@ -81,6 +86,7 @@ impl PerfSnapshot {
             recoveries_gmin: self.recoveries_gmin - earlier.recoveries_gmin,
             recoveries_source: self.recoveries_source - earlier.recoveries_source,
             recoveries_failed: self.recoveries_failed - earlier.recoveries_failed,
+            cancellations: self.cancellations - earlier.cancellations,
         }
     }
 
@@ -109,6 +115,7 @@ impl PerfSnapshot {
             recoveries_failed: self
                 .recoveries_failed
                 .saturating_add(other.recoveries_failed),
+            cancellations: self.cancellations.saturating_add(other.cancellations),
         }
     }
 
@@ -135,6 +142,7 @@ pub fn snapshot() -> PerfSnapshot {
         recoveries_gmin: RECOVERIES_GMIN.load(Ordering::Relaxed),
         recoveries_source: RECOVERIES_SOURCE.load(Ordering::Relaxed),
         recoveries_failed: RECOVERIES_FAILED.load(Ordering::Relaxed),
+        cancellations: CANCELLATIONS.load(Ordering::Relaxed),
     }
 }
 
@@ -157,6 +165,7 @@ pub(crate) struct LocalCounts {
     pub recoveries_gmin: u64,
     pub recoveries_source: u64,
     pub recoveries_failed: u64,
+    pub cancellations: u64,
 }
 
 impl LocalCounts {
@@ -197,6 +206,9 @@ impl LocalCounts {
                 RECOVERIES_FAILED.fetch_add(self.recoveries_failed, Ordering::Relaxed);
             }
             TL_RECOVERY_ATTEMPTS.with(|c| c.set(c.get() + recoveries));
+        }
+        if self.cancellations > 0 {
+            CANCELLATIONS.fetch_add(self.cancellations, Ordering::Relaxed);
         }
     }
 }
@@ -259,12 +271,14 @@ mod tests {
             recoveries_gmin: 7,
             recoveries_source: 8,
             recoveries_failed: 9,
+            cancellations: 10,
         };
         let b = a.saturating_add(&a);
         assert_eq!(b.timesteps, 4);
         assert_eq!(b.lu_factorizations, 8);
         assert_eq!(b.recoveries_damped, 10);
         assert_eq!(b.recoveries_failed, 18);
+        assert_eq!(b.cancellations, 20);
         assert_eq!(b.recovery_attempts(), 70);
     }
 }

@@ -8,7 +8,7 @@ use crate::netlist::{Netlist, NodeId, ReactiveBranch};
 use crate::newton::{NewtonOpts, NewtonWorkspace};
 use crate::recovery::RecoveryPolicy;
 use crate::trace::Trace;
-use crate::{faultinject, CircuitError};
+use crate::{cancel, faultinject, CircuitError};
 
 /// Numerical integration method for the reactive branches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -393,6 +393,14 @@ impl TranContext {
                 continue;
             }
             faultinject::begin_base_step();
+            // The watchdog polls once per base step (sub-steps and ladder
+            // retries stay uninterrupted so an accepted step is always a
+            // complete one).
+            if let Some(e) = cancel::check(t_target) {
+                self.ws.counts.cancellations += 1;
+                std::mem::take(&mut self.ws.counts).flush(false);
+                return Err(e);
+            }
             let advanced = advance(
                 netlist,
                 &self.branches,

@@ -1,0 +1,144 @@
+//! Watchdog cancellation through the public engine API: step budgets,
+//! wall budgets, shared tokens, and the `StallSteps` fault kind driving
+//! the transient and DC engines to a clean [`CircuitError::Cancelled`].
+
+use issa_circuit::cancel::{CancelCause, CancelScope, CancelToken};
+use issa_circuit::dc::{dc_operating_point, DcParams};
+use issa_circuit::faultinject::{FaultKind, FaultPlan, FaultScope};
+use issa_circuit::netlist::Netlist;
+use issa_circuit::tran::{transient, TranParams};
+use issa_circuit::waveform::Waveform;
+use issa_circuit::CircuitError;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn rc_netlist() -> Netlist {
+    let mut n = Netlist::new();
+    let vin = n.node("in");
+    let out = n.node("out");
+    n.vsource(vin, Netlist::GROUND, Waveform::dc(1.0));
+    n.resistor(vin, out, 1e3);
+    n.capacitor(out, Netlist::GROUND, 1e-9);
+    n
+}
+
+fn params() -> TranParams {
+    TranParams::new(1e-6, 1e-9).record_all()
+}
+
+#[test]
+fn step_budget_cancels_a_long_transient() {
+    let n = rc_netlist();
+    let _scope = CancelScope::enter(None, Some(10), None);
+    let err = transient(&n, &params()).unwrap_err();
+    match err {
+        CircuitError::Cancelled { cause, time } => {
+            assert_eq!(cause, CancelCause::StepBudget);
+            assert!(time > 0.0 && time < 1e-6, "cancelled at t={time:e}");
+        }
+        other => panic!("expected cancellation, got {other}"),
+    }
+}
+
+#[test]
+fn generous_step_budget_does_not_perturb_the_run() {
+    let n = rc_netlist();
+    let free = transient(&n, &params()).unwrap();
+    let budgeted = {
+        let _scope = CancelScope::enter(None, Some(1_000_000), None);
+        transient(&n, &params()).unwrap()
+    };
+    assert_eq!(free, budgeted, "an unfired watchdog must be invisible");
+}
+
+#[test]
+fn fired_token_cancels_the_first_step() {
+    let n = rc_netlist();
+    let token = CancelToken::new();
+    token.cancel(CancelCause::Deadline);
+    let _scope = CancelScope::enter(Some(token), None, None);
+    let err = transient(&n, &params()).unwrap_err();
+    assert!(matches!(
+        err,
+        CircuitError::Cancelled {
+            cause: CancelCause::Deadline,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn zero_wall_budget_cancels_immediately() {
+    let n = rc_netlist();
+    let _scope = CancelScope::enter(None, None, Some(Duration::ZERO));
+    let err = transient(&n, &params()).unwrap_err();
+    assert!(matches!(
+        err,
+        CircuitError::Cancelled {
+            cause: CancelCause::WallBudget,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn cancellation_is_counted_in_the_perf_layer() {
+    let n = rc_netlist();
+    let before = issa_circuit::perf::snapshot();
+    let _scope = CancelScope::enter(None, Some(3), None);
+    let _ = transient(&n, &params()).unwrap_err();
+    let d = issa_circuit::perf::snapshot().delta_since(&before);
+    assert!(d.cancellations >= 1, "{d:?}");
+}
+
+#[test]
+fn dc_solve_respects_a_fired_token() {
+    let n = rc_netlist();
+    let token = CancelToken::new();
+    token.cancel(CancelCause::Interrupt);
+    let _scope = CancelScope::enter(Some(token), None, None);
+    let err = dc_operating_point(&n, &DcParams::default()).unwrap_err();
+    assert!(matches!(
+        err,
+        CircuitError::Cancelled {
+            cause: CancelCause::Interrupt,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn stall_steps_fault_trips_the_step_budget() {
+    // The injected stall charges 1000 phantom solves at base step 5; the
+    // 100-step budget then cancels the run on the next watchdog poll,
+    // without any real hang.
+    let n = rc_netlist();
+    let plan = Arc::new(FaultPlan::new().transient(0, 5, FaultKind::StallSteps(1000)));
+    let _cancel = CancelScope::enter(None, Some(100), None);
+    let _faults = FaultScope::enter(plan, 0);
+    let err = transient(&n, &params()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CircuitError::Cancelled {
+                cause: CancelCause::StepBudget,
+                ..
+            }
+        ),
+        "got {err}"
+    );
+}
+
+#[test]
+fn stall_steps_alone_changes_nothing() {
+    // Without a cancellation scope the stall is inert: the run completes
+    // bit-identically to a clean one.
+    let n = rc_netlist();
+    let clean = transient(&n, &params()).unwrap();
+    let stalled = {
+        let plan = Arc::new(FaultPlan::new().transient(0, 5, FaultKind::StallSteps(1000)));
+        let _faults = FaultScope::enter(plan, 0);
+        transient(&n, &params()).unwrap()
+    };
+    assert_eq!(clean, stalled);
+}

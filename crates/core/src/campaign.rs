@@ -1,0 +1,622 @@
+//! The durable campaign engine: runs a list of Monte Carlo corners
+//! through [`run_mc_controlled`] with incremental checkpointing, signal
+//! and deadline cancellation, and graceful degradation.
+//!
+//! A *campaign* is the unit the bench binaries actually need: several
+//! corners (table rows, figure points) whose total runtime is long enough
+//! that interruption is a fact of life. The engine guarantees:
+//!
+//! - **Durability** — per-sample results stream into a
+//!   [`Checkpoint`](crate::checkpoint::Checkpoint) flushed every
+//!   [`CampaignOptions::flush_every`] fresh samples and after every
+//!   corner, written atomically. A killed campaign loses at most one
+//!   flush interval of work.
+//! - **Resumability** — restarting with the same corners and checkpoint
+//!   path skips every completed sample and produces results bit-identical
+//!   to an uninterrupted run (samples are pure functions of
+//!   `(config, index)`). A checkpoint whose config fingerprint disagrees
+//!   with the current corner is refused, never silently misapplied.
+//! - **Cancellation** — SIGINT/SIGTERM (opt-in) and an optional campaign
+//!   deadline fire one shared [`CancelToken`]; in-flight samples stop at
+//!   their next solver step, completed work is checkpointed, and the
+//!   report says exactly how far the campaign got.
+
+use crate::checkpoint::{config_fingerprint, Checkpoint, CheckpointError, CornerCheckpoint};
+use crate::montecarlo::{
+    run_mc_controlled, McConfig, McControl, McObserver, McPhase, McResult, SampleFailure,
+};
+use crate::SaError;
+use issa_circuit::cancel::{CancelCause, CancelToken};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Set by the SIGINT/SIGTERM handler; polled by the campaign watchdog.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod signals {
+    use super::INTERRUPTED;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // Raw libc binding — the workspace deliberately has no libc crate
+    // dependency, and `signal(2)` with a handler that only stores to an
+    // atomic is async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handlers once per process.
+    pub(super) fn install() {
+        static INSTALLED: AtomicBool = AtomicBool::new(false);
+        if INSTALLED.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    /// No-op on non-unix targets: deadlines and step budgets still work.
+    pub(super) fn install() {}
+}
+
+/// One named corner of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignCorner {
+    /// Stable name — the checkpoint key. Must be unique within the
+    /// campaign and survive process restarts (e.g. `"table2/NSSA 80r0"`).
+    pub name: String,
+    /// The corner's Monte Carlo configuration.
+    pub cfg: McConfig,
+}
+
+/// Campaign-level durability and cancellation knobs.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Checkpoint file. `None` disables durability (the engine still
+    /// handles deadlines/signals, it just cannot resume).
+    pub checkpoint: Option<PathBuf>,
+    /// Flush the checkpoint every this many fresh samples (plus always
+    /// after each corner). Smaller loses less work on a kill; larger
+    /// spends less time in `fsync`.
+    pub flush_every: usize,
+    /// Wall-clock budget for the whole campaign. When it expires the
+    /// remaining samples are cancelled, completed ones are kept, and
+    /// every affected result carries [`McResult::partial`].
+    pub deadline: Option<Duration>,
+    /// Install SIGINT/SIGTERM handlers that cancel the campaign
+    /// gracefully (checkpoint flushed, partial results reported).
+    pub handle_signals: bool,
+    /// Test hook: behave as if an interrupt arrived after this many fresh
+    /// samples completed (across the whole campaign). Deterministic
+    /// stand-in for a mid-campaign kill.
+    pub abort_after: Option<usize>,
+    /// Print corner-by-corner progress to stderr.
+    pub progress: bool,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        Self {
+            checkpoint: None,
+            flush_every: 16,
+            deadline: None,
+            handle_signals: false,
+            abort_after: None,
+            progress: false,
+        }
+    }
+}
+
+/// How one corner of the campaign ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CornerOutcome {
+    /// The corner produced statistics — over all samples, or over the
+    /// completed subset when [`McResult::partial`] is set. Boxed: an
+    /// `McResult` carries the full sample vectors and dwarfs the other
+    /// variants.
+    Completed(Box<McResult>),
+    /// The corner errored (failure budget exceeded, or cancelled before
+    /// any sample completed). The campaign continues with the next corner
+    /// unless the cancellation token fired.
+    Failed(SaError),
+    /// The campaign was cancelled before this corner started.
+    Skipped,
+}
+
+/// One corner's entry in the [`CampaignReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CornerReport {
+    /// The corner's name.
+    pub name: String,
+    /// How it ended.
+    pub outcome: CornerOutcome,
+}
+
+/// What a campaign run accomplished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Per-corner outcomes, in campaign order.
+    pub corners: Vec<CornerReport>,
+    /// Records restored from the checkpoint at startup (0 on a fresh run).
+    pub resumed_records: usize,
+    /// The cancellation that ended the campaign early, if any.
+    pub cancelled: Option<CancelCause>,
+    /// `true` when anything is missing: a cancellation fired, a corner
+    /// failed, was skipped, or returned a partial result.
+    pub partial: bool,
+}
+
+impl CampaignReport {
+    /// The completed result of a corner, by name.
+    #[must_use]
+    pub fn result(&self, name: &str) -> Option<&McResult> {
+        self.corners
+            .iter()
+            .find(|c| c.name == name)
+            .and_then(|c| match &c.outcome {
+                CornerOutcome::Completed(r) => Some(r.as_ref()),
+                _ => None,
+            })
+    }
+}
+
+/// Why a campaign refused to start.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The checkpoint file exists but cannot be trusted (I/O error,
+    /// truncation, CRC mismatch, unknown version, malformed record).
+    Checkpoint(CheckpointError),
+    /// The checkpoint was written under a different configuration for
+    /// this corner — resuming would silently mix incompatible samples.
+    /// Delete the checkpoint (or pass a different path) to start fresh.
+    FingerprintMismatch {
+        /// The corner whose fingerprints disagree.
+        corner: String,
+        /// Fingerprint recorded in the checkpoint.
+        stored: u64,
+        /// Fingerprint of the current configuration.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Checkpoint(e) => write!(f, "cannot resume campaign: {e}"),
+            CampaignError::FingerprintMismatch {
+                corner,
+                stored,
+                expected,
+            } => write!(
+                f,
+                "checkpoint fingerprint mismatch for corner {corner:?}: \
+                 stored {stored:016x}, current config {expected:016x} — \
+                 the configuration changed since the checkpoint was written"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Checkpoint(e) => Some(e),
+            CampaignError::FingerprintMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for CampaignError {
+    fn from(e: CheckpointError) -> Self {
+        CampaignError::Checkpoint(e)
+    }
+}
+
+/// Accumulates per-sample completions and flushes them to disk — the
+/// [`McObserver`] side of the engine.
+struct CheckpointSink<'a> {
+    state: Mutex<SinkState>,
+    path: Option<&'a Path>,
+    flush_every: usize,
+    abort_after: Option<usize>,
+    token: &'a CancelToken,
+}
+
+struct SinkState {
+    /// Corners already finished (or abandoned with data) this run.
+    done: Vec<CornerCheckpoint>,
+    /// The corner currently running: restored records plus every fresh
+    /// completion observed so far.
+    current: CornerCheckpoint,
+    fresh_since_flush: usize,
+    fresh_total: usize,
+}
+
+fn lock<'m>(m: &'m Mutex<SinkState>) -> MutexGuard<'m, SinkState> {
+    // A poisoned sink just means some worker panicked mid-callback; the
+    // accumulated data is still sound (each record is pushed atomically).
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl SinkState {
+    /// The full campaign snapshot as of now.
+    fn snapshot(&self) -> Checkpoint {
+        let mut corners = self.done.clone();
+        if !self.current.name.is_empty() {
+            corners.push(self.current.clone());
+        }
+        Checkpoint { corners }
+    }
+}
+
+impl CheckpointSink<'_> {
+    fn flush(&self, s: &SinkState) {
+        let Some(path) = self.path else { return };
+        if let Err(e) = s.snapshot().save(path) {
+            // Durability is best-effort while the run is healthy; losing a
+            // flush only widens the recompute window after a kill.
+            eprintln!(
+                "warning: checkpoint flush to {} failed: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+impl McObserver for CheckpointSink<'_> {
+    fn sample_finished(&self, phase: McPhase, index: usize, outcome: Result<f64, &SampleFailure>) {
+        let mut s = lock(&self.state);
+        match outcome {
+            Ok(v) => match phase {
+                McPhase::Offset => s.current.resume.offsets.push((index, v)),
+                McPhase::Delay => s.current.resume.delays.push((index, v)),
+            },
+            Err(f) => s.current.resume.failures.push(f.clone()),
+        }
+        s.fresh_since_flush += 1;
+        s.fresh_total += 1;
+        if self.abort_after.is_some_and(|n| s.fresh_total >= n) {
+            self.token.cancel(CancelCause::Interrupt);
+        }
+        if self.flush_every > 0 && s.fresh_since_flush >= self.flush_every {
+            s.fresh_since_flush = 0;
+            self.flush(&s);
+        }
+    }
+}
+
+/// Runs the corners through the durable engine. See the module docs for
+/// the guarantees.
+///
+/// # Errors
+///
+/// Only *startup* problems error: an untrusted checkpoint
+/// ([`CampaignError::Checkpoint`]) or a configuration that disagrees with
+/// it ([`CampaignError::FingerprintMismatch`]). Runtime trouble — failed
+/// corners, cancellations, partial results — degrades gracefully into the
+/// [`CampaignReport`] instead.
+pub fn run_campaign(
+    corners: &[CampaignCorner],
+    opts: &CampaignOptions,
+) -> Result<CampaignReport, CampaignError> {
+    // Load and verify prior state before any work happens.
+    let mut restored = Checkpoint::default();
+    if let Some(path) = &opts.checkpoint {
+        if path.exists() {
+            restored = Checkpoint::load(path)?;
+        }
+    }
+    for corner in corners {
+        if let Some(prev) = restored.corner(&corner.name) {
+            let expected = config_fingerprint(&corner.name, &corner.cfg);
+            if prev.fingerprint != expected {
+                return Err(CampaignError::FingerprintMismatch {
+                    corner: corner.name.clone(),
+                    stored: prev.fingerprint,
+                    expected,
+                });
+            }
+        }
+    }
+    let resumed_records = restored.records();
+    if opts.progress && resumed_records > 0 {
+        eprintln!("campaign: resuming with {resumed_records} checkpointed records");
+    }
+
+    if opts.handle_signals {
+        INTERRUPTED.store(false, Ordering::SeqCst);
+        signals::install();
+    }
+    let token = CancelToken::new();
+    let deadline = opts.deadline.map(|d| Instant::now() + d);
+
+    // The watchdog turns asynchronous conditions (deadline, signal) into
+    // the cooperative token the solver loops poll.
+    let watchdog_done = Arc::new(AtomicBool::new(false));
+    let watchdog = {
+        let token = token.clone();
+        let done = Arc::clone(&watchdog_done);
+        let watch_signals = opts.handle_signals;
+        std::thread::spawn(move || {
+            while !done.load(Ordering::SeqCst) {
+                if watch_signals && INTERRUPTED.load(Ordering::SeqCst) {
+                    token.cancel(CancelCause::Interrupt);
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    token.cancel(CancelCause::Deadline);
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        })
+    };
+
+    let sink = CheckpointSink {
+        state: Mutex::new(SinkState {
+            done: Vec::new(),
+            current: CornerCheckpoint::default(),
+            fresh_since_flush: 0,
+            fresh_total: 0,
+        }),
+        path: opts.checkpoint.as_deref(),
+        flush_every: opts.flush_every,
+        abort_after: opts.abort_after,
+        token: &token,
+    };
+
+    let mut reports = Vec::with_capacity(corners.len());
+    for corner in corners {
+        // Synchronous deadline check so a zero/elapsed deadline is exact
+        // rather than racing the watchdog's poll interval.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            token.cancel(CancelCause::Deadline);
+        }
+        if token.is_cancelled() {
+            reports.push(CornerReport {
+                name: corner.name.clone(),
+                outcome: CornerOutcome::Skipped,
+            });
+            continue;
+        }
+
+        let resume = restored
+            .corner(&corner.name)
+            .map(|c| c.resume.clone())
+            .unwrap_or_default();
+        if opts.progress {
+            eprintln!(
+                "campaign: corner {:?} ({} samples, {} restored)",
+                corner.name,
+                corner.cfg.samples,
+                resume.records()
+            );
+        }
+        {
+            let mut s = lock(&sink.state);
+            s.current = CornerCheckpoint {
+                name: corner.name.clone(),
+                fingerprint: config_fingerprint(&corner.name, &corner.cfg),
+                resume: resume.clone(),
+            };
+            s.fresh_since_flush = 0;
+        }
+        let ctl = McControl {
+            resume: Some(&resume),
+            observer: Some(&sink),
+            cancel: Some(&token),
+        };
+        let outcome = match run_mc_controlled(&corner.cfg, &ctl) {
+            Ok(result) => CornerOutcome::Completed(Box::new(result)),
+            Err(e) => CornerOutcome::Failed(e),
+        };
+        {
+            // Retire the corner's accumulated state (restored + fresh) and
+            // flush, so the checkpoint survives even a kill between
+            // corners. A corner that produced nothing writes nothing.
+            let mut s = lock(&sink.state);
+            let finished = std::mem::take(&mut s.current);
+            if finished.resume.records() > 0 {
+                s.done.push(finished);
+            }
+            sink.flush(&s);
+        }
+        if opts.progress {
+            match &outcome {
+                CornerOutcome::Completed(r) if r.partial => {
+                    eprintln!(
+                        "campaign: corner {:?} PARTIAL ({}/{} offsets)",
+                        corner.name,
+                        r.offsets.len(),
+                        r.requested
+                    );
+                }
+                CornerOutcome::Completed(_) => eprintln!("campaign: corner {:?} done", corner.name),
+                CornerOutcome::Failed(e) => {
+                    eprintln!("campaign: corner {:?} FAILED: {e}", corner.name);
+                }
+                CornerOutcome::Skipped => {}
+            }
+        }
+        reports.push(CornerReport {
+            name: corner.name.clone(),
+            outcome,
+        });
+    }
+
+    watchdog_done.store(true, Ordering::SeqCst);
+    let _ = watchdog.join();
+
+    let cancelled = token.fired();
+    let partial = cancelled.is_some()
+        || reports.iter().any(|r| match &r.outcome {
+            CornerOutcome::Completed(res) => res.partial,
+            CornerOutcome::Failed(_) | CornerOutcome::Skipped => true,
+        });
+
+    // A fully complete campaign no longer needs its checkpoint; removing
+    // it makes the next invocation start (correctly) from scratch.
+    if !partial {
+        if let Some(path) = &opts.checkpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    Ok(CampaignReport {
+        corners: reports,
+        resumed_records,
+        cancelled,
+        partial,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::montecarlo::run_mc;
+    use crate::netlist::SaKind;
+    use crate::workload::{ReadSequence, Workload};
+    use issa_ptm45::Environment;
+    use std::sync::atomic::AtomicU64;
+
+    fn smoke_corner(name: &str, samples: usize) -> CampaignCorner {
+        let mut cfg = McConfig::smoke(
+            SaKind::Nssa,
+            Workload::new(0.8, ReadSequence::AllZeros),
+            Environment::nominal(),
+            0.0,
+            samples,
+        );
+        cfg.threads = 2;
+        CampaignCorner {
+            name: name.into(),
+            cfg,
+        }
+    }
+
+    fn temp_ckpt(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "issa-campaign-test-{}-{tag}-{n}.ckpt",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn campaign_without_checkpoint_matches_run_mc() {
+        let corner = smoke_corner("solo", 4);
+        let direct = run_mc(&corner.cfg).unwrap();
+        let report =
+            run_campaign(std::slice::from_ref(&corner), &CampaignOptions::default()).unwrap();
+        assert!(!report.partial);
+        assert_eq!(report.cancelled, None);
+        assert_eq!(report.result("solo").unwrap(), &direct);
+    }
+
+    #[test]
+    fn aborted_campaign_resumes_bit_identically() {
+        let corner = smoke_corner("resume-me", 6);
+        let path = temp_ckpt("abort");
+        let uninterrupted = run_mc(&corner.cfg).unwrap();
+
+        // First run: emulated interrupt after 2 fresh samples.
+        let aborted = run_campaign(
+            std::slice::from_ref(&corner),
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                flush_every: 1,
+                abort_after: Some(2),
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(aborted.partial, "aborted campaign must be partial");
+        assert_eq!(aborted.cancelled, Some(CancelCause::Interrupt));
+        assert!(path.exists(), "checkpoint must survive the abort");
+
+        // Second run: resumes and completes.
+        let resumed = run_campaign(
+            std::slice::from_ref(&corner),
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                flush_every: 1,
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!resumed.partial);
+        assert!(resumed.resumed_records > 0, "must restore prior work");
+        assert_eq!(resumed.result("resume-me").unwrap(), &uninterrupted);
+        assert!(!path.exists(), "completed campaign removes its checkpoint");
+    }
+
+    #[test]
+    fn fingerprint_mismatch_refuses_resume() {
+        let corner = smoke_corner("pinned", 4);
+        let path = temp_ckpt("fingerprint");
+        run_campaign(
+            std::slice::from_ref(&corner),
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                abort_after: Some(1),
+                flush_every: 1,
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(path.exists());
+        let mut changed = corner;
+        changed.cfg.seed ^= 1;
+        let err = run_campaign(
+            std::slice::from_ref(&changed),
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(err, CampaignError::FingerprintMismatch { .. }));
+    }
+
+    #[test]
+    fn elapsed_deadline_cancels_every_corner() {
+        let corners = vec![smoke_corner("first", 4), smoke_corner("second", 4)];
+        let report = run_campaign(
+            &corners,
+            &CampaignOptions {
+                deadline: Some(Duration::ZERO),
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.partial);
+        assert_eq!(report.cancelled, Some(CancelCause::Deadline));
+        for corner in &report.corners {
+            assert!(
+                matches!(
+                    corner.outcome,
+                    CornerOutcome::Skipped | CornerOutcome::Failed(SaError::Cancelled { .. })
+                ),
+                "corner {:?} should be cancelled, got {:?}",
+                corner.name,
+                corner.outcome
+            );
+        }
+    }
+}

@@ -50,6 +50,8 @@
 //! ```
 
 pub mod calib;
+pub mod campaign;
+pub mod checkpoint;
 pub mod lifetime;
 pub mod metastability;
 pub mod montecarlo;
@@ -117,6 +119,15 @@ pub enum SaError {
         /// Every quarantined sample, in index order.
         failures: Vec<montecarlo::SampleFailure>,
     },
+    /// A campaign-level cancellation (deadline or interrupt) stopped the
+    /// analysis before any sample completed — there are no statistics to
+    /// report, not even partial ones.
+    Cancelled {
+        /// Samples that had completed when the cancellation landed.
+        completed: usize,
+        /// Samples the configuration asked for.
+        total: usize,
+    },
 }
 
 impl fmt::Display for SaError {
@@ -149,6 +160,12 @@ impl fmt::Display for SaError {
                     write!(f, "\n  {fail}")?;
                 }
                 Ok(())
+            }
+            SaError::Cancelled { completed, total } => {
+                write!(
+                    f,
+                    "analysis cancelled with {completed} of {total} samples completed"
+                )
             }
         }
     }

@@ -39,13 +39,16 @@ use crate::workload::Workload;
 use crate::SaError;
 use issa_bti::hci::HciParams;
 use issa_bti::{BtiParams, TrapSet};
+use issa_circuit::cancel::{CancelScope, CancelToken};
 use issa_circuit::faultinject::{FaultPlan, FaultScope};
+use issa_circuit::CircuitError;
 use issa_num::rng::SeedSequence;
 use issa_num::stats::Summary;
 use issa_ptm45::Environment;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// How BTI ΔVth is evaluated per sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -118,6 +121,31 @@ impl fmt::Display for McPhase {
     }
 }
 
+/// What class of event killed a quarantined sample — the coarse taxonomy
+/// the perf layer, checkpoints, and failure reports agree on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailureKind {
+    /// The solver failed after its recovery ladder was exhausted.
+    #[default]
+    Solver,
+    /// The worker panicked (caught by the per-sample `catch_unwind`).
+    Panic,
+    /// The per-sample watchdog cancelled the sample: its step or
+    /// wall-clock budget ([`McConfig::sample_step_budget`],
+    /// [`McConfig::sample_wall_budget_s`]) ran out.
+    TimedOut,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Solver => write!(f, "solver"),
+            FailureKind::Panic => write!(f, "panic"),
+            FailureKind::TimedOut => write!(f, "timed-out"),
+        }
+    }
+}
+
 /// One quarantined Monte Carlo sample: everything needed to reproduce the
 /// failure in isolation (`build_sample(cfg, index)` under the same corner)
 /// and to see how hard the solver fought before giving up.
@@ -133,6 +161,8 @@ pub struct SampleFailure {
     pub corner: String,
     /// Phase the sample died in.
     pub phase: McPhase,
+    /// Failure class (solver error, panic, watchdog timeout).
+    pub kind: FailureKind,
     /// The error (or panic payload) that killed it.
     pub error: String,
     /// Solver recovery-ladder attempts spent on this sample before the
@@ -144,8 +174,14 @@ impl fmt::Display for SampleFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sample {} (seed {:#x}, {}, {} phase): {} [{} recovery attempts]",
-            self.index, self.seed, self.corner, self.phase, self.error, self.recovery_attempts
+            "sample {} (seed {:#x}, {}, {} phase, {}): {} [{} recovery attempts]",
+            self.index,
+            self.seed,
+            self.corner,
+            self.phase,
+            self.kind,
+            self.error,
+            self.recovery_attempts
         )
     }
 }
@@ -201,6 +237,17 @@ pub struct McConfig {
     /// faults land at exact `(sample, timestep)` coordinates regardless of
     /// thread count.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Per-sample watchdog: maximum base solves (transient base timesteps
+    /// plus DC rungs) one sample's whole probe sequence may consume before
+    /// it is cancelled and quarantined as [`FailureKind::TimedOut`].
+    /// `None` (the default) disables the watchdog. Fully deterministic.
+    pub sample_step_budget: Option<u64>,
+    /// Per-sample watchdog: wall-clock budget in seconds for one sample's
+    /// probe sequence. `None` (the default) disables it. Wall time is
+    /// inherently nondeterministic — prefer the step budget wherever
+    /// reproducibility matters; this is the safety net for genuinely
+    /// stuck solves.
+    pub sample_wall_budget_s: Option<f64>,
 }
 
 impl McConfig {
@@ -228,6 +275,8 @@ impl McConfig {
             threads: 0,
             max_failure_frac: 0.0,
             fault_plan: None,
+            sample_step_budget: None,
+            sample_wall_budget_s: None,
         }
     }
 
@@ -275,7 +324,7 @@ impl McPerf {
     pub fn report(&self) -> String {
         format!(
             "probes={}  transients={}  steps={}  newton={}  lu={}  \
-             recoveries={}/{}/{}/{}/{}  offset_wall={:.2}s  delay_wall={:.2}s",
+             recoveries={}/{}/{}/{}/{}  cancelled={}  offset_wall={:.2}s  delay_wall={:.2}s",
             self.probes,
             self.circuit.transients,
             self.circuit.timesteps,
@@ -286,6 +335,7 @@ impl McPerf {
             self.circuit.recoveries_gmin,
             self.circuit.recoveries_source,
             self.circuit.recoveries_failed,
+            self.circuit.cancellations,
             self.offset_wall_s,
             self.delay_wall_s
         )
@@ -320,6 +370,21 @@ pub struct McResult {
     /// Quarantined samples, ordered by (index, phase). Empty on a healthy
     /// run; statistics above are computed over the survivors only.
     pub failures: Vec<SampleFailure>,
+    /// Samples the configuration asked for ([`McConfig::samples`]).
+    pub requested: usize,
+    /// `true` when the corner was cut short by a campaign-level
+    /// cancellation (deadline or interrupt): at least one non-quarantined
+    /// sample was never computed and the statistics cover only what
+    /// completed. Always `false` on an uninterrupted run, including one
+    /// with quarantined failures.
+    pub partial: bool,
+    /// Half-width of the 95 % Student-t confidence interval on μ \[V\]
+    /// — sample-count aware, so partial results are honestly wider. NaN
+    /// below two surviving samples.
+    pub mu_ci95: f64,
+    /// Half-width of the 95 % confidence interval on the mean sensing
+    /// delay \[s\]. NaN below two delay measurements.
+    pub delay_ci95: f64,
     /// Hot-path cost accounting (not part of equality).
     pub perf: McPerf,
 }
@@ -336,6 +401,10 @@ impl PartialEq for McResult {
             && (self.ks_sqrt_n == other.ks_sqrt_n
                 || (self.ks_sqrt_n.is_nan() && other.ks_sqrt_n.is_nan()))
             && self.failures == other.failures
+            && self.requested == other.requested
+            && self.partial == other.partial
+            && self.mu_ci95.to_bits() == other.mu_ci95.to_bits()
+            && self.delay_ci95.to_bits() == other.delay_ci95.to_bits()
     }
 }
 
@@ -411,40 +480,148 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Completed per-sample results restored from a checkpoint, keyed by
+/// sample index. [`run_mc_controlled`] skips every restored index and
+/// merges the restored values into the final statistics, so a resumed run
+/// is bit-identical to an uninterrupted one (each sample is a pure
+/// function of `(cfg, index)`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct McResume {
+    /// Restored offset-phase results: `(sample index, offset volts)`.
+    pub offsets: Vec<(usize, f64)>,
+    /// Restored delay-phase results: `(sample index, delay seconds)`.
+    pub delays: Vec<(usize, f64)>,
+    /// Restored quarantined failures (both phases). A restored failure is
+    /// not re-attempted — it still counts against the failure budget.
+    pub failures: Vec<SampleFailure>,
+}
+
+impl McResume {
+    /// Whether nothing was restored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty() && self.delays.is_empty() && self.failures.is_empty()
+    }
+
+    /// Total restored records (offsets + delays + failures).
+    #[must_use]
+    pub fn records(&self) -> usize {
+        self.offsets.len() + self.delays.len() + self.failures.len()
+    }
+}
+
+/// Streaming observer of per-sample completions, called from the worker
+/// threads as each *fresh* (non-restored) sample finishes — the hook the
+/// campaign layer uses to checkpoint incrementally. Implementations must
+/// be `Sync`; callbacks may arrive concurrently from several workers.
+pub trait McObserver: Sync {
+    /// One fresh sample finished: `Ok(value)` (offset volts or delay
+    /// seconds depending on `phase`) or the failure that quarantined it.
+    fn sample_finished(&self, phase: McPhase, index: usize, outcome: Result<f64, &SampleFailure>);
+}
+
+/// Control plane of one [`run_mc_controlled`] call: restored state, a
+/// completion observer, and a campaign-level cancellation token. The
+/// default (`McControl::default()`) is exactly the plain [`run_mc`]
+/// behaviour.
+#[derive(Clone, Copy, Default)]
+pub struct McControl<'a> {
+    /// Checkpointed results to skip recomputing.
+    pub resume: Option<&'a McResume>,
+    /// Per-sample completion callback.
+    pub observer: Option<&'a dyn McObserver>,
+    /// Campaign-level cancellation: when the token fires, workers stop
+    /// picking up new samples and in-flight samples are cancelled at
+    /// their next base solve. Already-completed samples are kept and
+    /// reported with [`McResult::partial`] set.
+    pub cancel: Option<&'a CancelToken>,
+}
+
+impl fmt::Debug for McControl<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("McControl")
+            .field("resume", &self.resume.map(McResume::records))
+            .field("observer", &self.observer.is_some())
+            .field("cancel", &self.cancel.map(CancelToken::is_cancelled))
+            .finish()
+    }
+}
+
+/// Outcome of one guarded sample run.
+enum SampleOutcome<T> {
+    /// The measurement completed.
+    Done(T),
+    /// The sample is quarantined (solver failure, panic, or watchdog
+    /// timeout).
+    Failed(SampleFailure),
+    /// A campaign-level cancellation (deadline/interrupt) stopped the
+    /// sample before it completed: it is neither a result nor a failure,
+    /// just not computed — a resumed run will attempt it again.
+    Cancelled,
+}
+
 /// Runs one sample's measurement in isolation: arms the fault plan (if
-/// any), catches panics, and attributes the solver recovery attempts the
-/// sample consumed. The [`FaultScope`] guard lives *inside* the
-/// `catch_unwind` closure so its `Drop` disarms the plan even when the
-/// fault is a panic.
+/// any) and the cancellation scope (token + per-sample budgets), catches
+/// panics, and attributes the solver recovery attempts the sample
+/// consumed. Both RAII guards live *inside* the `catch_unwind` closure so
+/// their `Drop` disarms the thread even when the body panics.
 fn guarded_sample<T>(
     cfg: &McConfig,
     index: usize,
     phase: McPhase,
+    cancel: Option<&CancelToken>,
     body: impl FnOnce() -> Result<T, SaError>,
-) -> Result<T, SampleFailure> {
+) -> SampleOutcome<T> {
     let attempts_before = issa_circuit::perf::thread_recovery_attempts();
+    let watchdog_armed =
+        cancel.is_some() || cfg.sample_step_budget.is_some() || cfg.sample_wall_budget_s.is_some();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // Arm the watchdog only when something could fire, so the default
+        // path keeps the zero-overhead unarmed thread-local check.
+        let _cancel_scope = watchdog_armed.then(|| {
+            CancelScope::enter(
+                cancel.cloned(),
+                cfg.sample_step_budget,
+                cfg.sample_wall_budget_s.map(Duration::from_secs_f64),
+            )
+        });
         let _scope = cfg
             .fault_plan
             .as_ref()
             .map(|plan| FaultScope::enter(plan.clone(), index));
         body()
     }));
-    let failure = |error: String| SampleFailure {
+    let failure = |kind: FailureKind, error: String| SampleFailure {
         index,
         seed: cfg.seed,
         corner: corner_label(cfg),
         phase,
+        kind,
         error,
         recovery_attempts: issa_circuit::perf::thread_recovery_attempts() - attempts_before,
     };
     match outcome {
-        Ok(Ok(value)) => Ok(value),
-        Ok(Err(e)) => Err(failure(e.to_string())),
-        Err(payload) => Err(failure(format!(
-            "worker panicked: {}",
-            panic_message(&*payload)
-        ))),
+        Ok(Ok(value)) => SampleOutcome::Done(value),
+        Ok(Err(e)) => {
+            if let SaError::Circuit(CircuitError::Cancelled { cause, .. }) = &e {
+                if cause.is_sample_budget() {
+                    // The per-sample watchdog tripped: quarantine as a
+                    // timeout so the campaign records *which* sample
+                    // stalls and never re-attempts it on resume.
+                    SampleOutcome::Failed(failure(FailureKind::TimedOut, e.to_string()))
+                } else {
+                    // Campaign-level deadline/interrupt: the sample is
+                    // simply not computed.
+                    SampleOutcome::Cancelled
+                }
+            } else {
+                SampleOutcome::Failed(failure(FailureKind::Solver, e.to_string()))
+            }
+        }
+        Err(payload) => SampleOutcome::Failed(failure(
+            FailureKind::Panic,
+            format!("worker panicked: {}", panic_message(&*payload)),
+        )),
     }
 }
 
@@ -458,6 +635,23 @@ fn guarded_sample<T>(
 /// calibrated models no sample should fail. Individual failures below the
 /// budget are quarantined in [`McResult::failures`] instead of erroring.
 pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
+    run_mc_controlled(cfg, &McControl::default())
+}
+
+/// [`run_mc`] with a control plane: checkpoint resume, a streaming
+/// completion observer, and a campaign-level cancellation token.
+///
+/// Determinism contract: each sample is a pure function of `(cfg, index)`,
+/// so a run that restores some samples from [`McControl::resume`] and
+/// computes the rest produces a [`McResult`] bit-identical to an
+/// uninterrupted run, for any thread count.
+///
+/// # Errors
+///
+/// [`SaError::FailureBudgetExceeded`] as for [`run_mc`], and
+/// [`SaError::Cancelled`] when a campaign-level cancellation stopped the
+/// corner before any offset sample completed (no statistics exist then).
+pub fn run_mc_controlled(cfg: &McConfig, ctl: &McControl<'_>) -> Result<McResult, SaError> {
     assert!(cfg.samples > 0, "need at least one sample");
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -471,16 +665,56 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
     let circuit_before = issa_circuit::perf::snapshot();
     let offset_start = std::time::Instant::now();
 
+    // Restore checkpointed state: completed values merge by index, restored
+    // failures stay quarantined, and neither is re-attempted. Restored
+    // delay failures are stashed until phase 2 so the phase-1 budget check
+    // sees exactly the failure set an uninterrupted run would have had.
+    let delay_count = cfg.delay_samples.min(cfg.samples);
+    let mut offsets_by_index: Vec<Option<f64>> = vec![None; cfg.samples];
+    let mut delays_by_index: Vec<Option<f64>> = vec![None; delay_count];
+    let mut failures: Vec<SampleFailure> = Vec::new();
+    let mut restored_delay_failures: Vec<SampleFailure> = Vec::new();
+    let mut offset_done = vec![false; cfg.samples];
+    let mut delay_done = vec![false; cfg.samples];
+    if let Some(resume) = ctl.resume {
+        for &(i, v) in &resume.offsets {
+            if i < cfg.samples {
+                offsets_by_index[i] = Some(v);
+                offset_done[i] = true;
+            }
+        }
+        for &(i, v) in &resume.delays {
+            if i < delay_count {
+                delays_by_index[i] = Some(v);
+                delay_done[i] = true;
+            }
+        }
+        for f in &resume.failures {
+            if f.index >= cfg.samples {
+                continue;
+            }
+            match f.phase {
+                McPhase::Offset => {
+                    offset_done[f.index] = true;
+                    failures.push(f.clone());
+                }
+                McPhase::Delay => {
+                    delay_done[f.index] = true;
+                    restored_delay_failures.push(f.clone());
+                }
+            }
+        }
+    }
+
     // Phase 1 — offsets. Each sample is fully determined by its index, so
     // the loop splits into independent strided shards that merge by index.
     // Each shard threads one OffsetSearch through its samples: the search
     // warm-starts from the previous flip cell, which changes the probe
     // order but not the result (the flip cell on the fixed search grid is
     // unique), so the offsets stay identical for any thread count — and a
-    // quarantined sample cannot perturb its shard-mates for the same
-    // reason.
-    let mut offsets_by_index: Vec<Option<f64>> = vec![None; cfg.samples];
-    let mut failures: Vec<SampleFailure> = Vec::new();
+    // quarantined or restored sample cannot perturb its shard-mates for
+    // the same reason.
+    let offset_done = &offset_done;
     let offset_shards: Vec<Vec<(usize, Result<f64, SampleFailure>)>> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
@@ -490,11 +724,31 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
                         let mut search = OffsetSearch::default();
                         let mut i = shard;
                         while i < cfg.samples {
-                            let r = guarded_sample(cfg, i, McPhase::Offset, || {
+                            if offset_done[i] {
+                                i += threads;
+                                continue;
+                            }
+                            if ctl.cancel.is_some_and(CancelToken::is_cancelled) {
+                                break;
+                            }
+                            match guarded_sample(cfg, i, McPhase::Offset, ctl.cancel, || {
                                 let sa = build_sample(cfg, i);
                                 sa.offset_voltage_with(&cfg.probe, &mut search)
-                            });
-                            local.push((i, r));
+                            }) {
+                                SampleOutcome::Done(v) => {
+                                    if let Some(obs) = ctl.observer {
+                                        obs.sample_finished(McPhase::Offset, i, Ok(v));
+                                    }
+                                    local.push((i, Ok(v)));
+                                }
+                                SampleOutcome::Failed(f) => {
+                                    if let Some(obs) = ctl.observer {
+                                        obs.sample_finished(McPhase::Offset, i, Err(&f));
+                                    }
+                                    local.push((i, Err(f)));
+                                }
+                                SampleOutcome::Cancelled => break,
+                            }
                             i += threads;
                         }
                         local
@@ -517,6 +771,7 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
                                 seed: cfg.seed,
                                 corner: corner_label(cfg),
                                 phase: McPhase::Offset,
+                                kind: FailureKind::Panic,
                                 error: format!(
                                     "worker panicked outside sample isolation: {}",
                                     panic_message(&*payload)
@@ -539,6 +794,15 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
     perf.offset_wall_s = offset_start.elapsed().as_secs_f64();
     check_failure_budget(cfg, &mut failures)?;
     let offsets: Vec<f64> = offsets_by_index.iter().copied().flatten().collect();
+    if offsets.is_empty() {
+        // Every sample was cancelled before completing (and none failed,
+        // or the budget check above would have fired): no statistics
+        // exist, which is distinct from a partial result.
+        return Err(SaError::Cancelled {
+            completed: 0,
+            total: cfg.samples,
+        });
+    }
     let summary = Summary::of(&offsets);
     // Tiny runs can produce zero spread (offsets are quantized to the
     // binary-search grid); the spec then degenerates to the |mean|.
@@ -560,8 +824,6 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
     // margin during regeneration, which the static binary search cannot
     // see.
     let delay_start = std::time::Instant::now();
-    let delay_count = cfg.delay_samples.min(cfg.samples);
-    let mut delays_by_index: Vec<Option<f64>> = vec![None; delay_count];
     if delay_count > 0 {
         let swing = match cfg.delay_swing {
             DelaySwingPolicy::FixedFraction(f) => f * cfg.env.vdd,
@@ -574,11 +836,12 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
         let zero_fraction =
             compile_workload(cfg.workload, cfg.kind, cfg.counter_bits).internal_zero_fraction;
         let delay_probe = &delay_probe;
-        // Samples already quarantined in the offset phase stay dead.
-        let offset_failed: Vec<bool> = (0..delay_count)
-            .map(|i| offsets_by_index[i].is_none())
+        // Skip samples whose offset never completed (quarantined or
+        // cancelled) and samples already restored from a checkpoint.
+        let delay_skip: Vec<bool> = (0..delay_count)
+            .map(|i| offsets_by_index[i].is_none() || delay_done[i])
             .collect();
-        let offset_failed = &offset_failed;
+        let delay_skip = &delay_skip;
         let delay_threads = threads.min(delay_count);
         let delay_shards: Vec<Vec<(usize, Result<f64, SampleFailure>)>> =
             std::thread::scope(|scope| {
@@ -588,12 +851,30 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
                             let mut local = Vec::new();
                             let mut i = shard;
                             while i < delay_count {
-                                if !offset_failed[i] {
-                                    let r = guarded_sample(cfg, i, McPhase::Delay, || {
-                                        let sa = build_sample(cfg, i);
-                                        sa.sensing_delay_weighted(zero_fraction, delay_probe)
-                                    });
-                                    local.push((i, r));
+                                if delay_skip[i] {
+                                    i += delay_threads;
+                                    continue;
+                                }
+                                if ctl.cancel.is_some_and(CancelToken::is_cancelled) {
+                                    break;
+                                }
+                                match guarded_sample(cfg, i, McPhase::Delay, ctl.cancel, || {
+                                    let sa = build_sample(cfg, i);
+                                    sa.sensing_delay_weighted(zero_fraction, delay_probe)
+                                }) {
+                                    SampleOutcome::Done(v) => {
+                                        if let Some(obs) = ctl.observer {
+                                            obs.sample_finished(McPhase::Delay, i, Ok(v));
+                                        }
+                                        local.push((i, Ok(v)));
+                                    }
+                                    SampleOutcome::Failed(f) => {
+                                        if let Some(obs) = ctl.observer {
+                                            obs.sample_finished(McPhase::Delay, i, Err(&f));
+                                        }
+                                        local.push((i, Err(f)));
+                                    }
+                                    SampleOutcome::Cancelled => break,
                                 }
                                 i += delay_threads;
                             }
@@ -613,6 +894,7 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
                                     seed: cfg.seed,
                                     corner: corner_label(cfg),
                                     phase: McPhase::Delay,
+                                    kind: FailureKind::Panic,
                                     error: format!(
                                         "worker panicked outside sample isolation: {}",
                                         panic_message(&*payload)
@@ -633,6 +915,7 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
             }
         }
     }
+    failures.append(&mut restored_delay_failures);
 
     perf.delay_wall_s = delay_start.elapsed().as_secs_f64();
     perf.probes = crate::perf::sense_calls() - probes_before;
@@ -645,6 +928,24 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
     } else {
         Summary::of(&delays).mean
     };
+
+    // A corner is partial exactly when some sample is neither computed nor
+    // quarantined — i.e. a campaign-level cancellation left work undone. A
+    // fully-run corner with quarantined failures is *not* partial.
+    let mut offset_failed_at = vec![false; cfg.samples];
+    let mut delay_failed_at = vec![false; cfg.samples];
+    for f in &failures {
+        match f.phase {
+            McPhase::Offset => offset_failed_at[f.index] = true,
+            McPhase::Delay => delay_failed_at[f.index] = true,
+        }
+    }
+    let partial = (0..cfg.samples).any(|i| offsets_by_index[i].is_none() && !offset_failed_at[i])
+        || (0..delay_count)
+            .any(|i| delays_by_index[i].is_none() && !offset_failed_at[i] && !delay_failed_at[i]);
+
+    let mu_ci95 = issa_num::stats::mean_ci95_half(&offsets);
+    let delay_ci95 = issa_num::stats::mean_ci95_half(&delays);
     Ok(McResult {
         offsets,
         delays,
@@ -654,6 +955,10 @@ pub fn run_mc(cfg: &McConfig) -> Result<McResult, SaError> {
         mean_delay,
         ks_sqrt_n,
         failures,
+        requested: cfg.samples,
+        partial,
+        mu_ci95,
+        delay_ci95,
         perf,
     })
 }
@@ -808,6 +1113,10 @@ mod tests {
             mean_delay: 14e-12,
             ks_sqrt_n: 0.5,
             failures: vec![],
+            requested: 1,
+            partial: false,
+            mu_ci95: f64::NAN,
+            delay_ci95: f64::NAN,
             perf: McPerf::default(),
         };
         let row = r.table_row();

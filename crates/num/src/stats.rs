@@ -335,6 +335,69 @@ impl Histogram {
     }
 }
 
+/// Two-sided 95 % critical value of Student's t distribution with `dof`
+/// degrees of freedom.
+///
+/// Exact table values for dof 1–30, linear interpolation in `1/dof`
+/// between tabulated anchors above that, converging to the normal 1.96
+/// asymptote. Deterministic (a pure function of `dof`), so confidence
+/// intervals computed from a resumed campaign are bit-identical to an
+/// uninterrupted run's.
+///
+/// Returns NaN for `dof == 0` (no interval exists from one observation).
+#[must_use]
+pub fn t_critical_95(dof: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    // (dof, t) anchors for the tail interpolation, linear in 1/dof.
+    const ANCHORS: [(f64, f64); 5] = [
+        (30.0, 2.042),
+        (40.0, 2.021),
+        (60.0, 2.000),
+        (120.0, 1.980),
+        (f64::INFINITY, 1.960),
+    ];
+    match dof {
+        0 => f64::NAN,
+        1..=30 => TABLE[dof - 1],
+        _ => {
+            let inv = 1.0 / dof as f64;
+            for pair in ANCHORS.windows(2) {
+                let (d_lo, t_lo) = pair[0];
+                let (d_hi, t_hi) = pair[1];
+                let (inv_lo, inv_hi) = (1.0 / d_lo, 1.0 / d_hi);
+                if inv <= inv_lo && inv >= inv_hi {
+                    let frac = (inv_lo - inv) / (inv_lo - inv_hi);
+                    return t_lo + frac * (t_hi - t_lo);
+                }
+            }
+            1.960
+        }
+    }
+}
+
+/// Half-width of the 95 % Student-t confidence interval on the mean of
+/// `xs`: `t₀.₉₇₅(n−1) · s / √n`.
+///
+/// Sample-count aware by construction, which is the point for partially
+/// completed Monte Carlo campaigns: an interval over 40 surviving samples
+/// is honestly wider than one over 400. Returns NaN for fewer than two
+/// observations (no spread estimate exists).
+#[must_use]
+pub fn mean_ci95_half(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let mut s = RunningStats::new();
+    for &x in xs {
+        s.push(x);
+    }
+    t_critical_95(xs.len() - 1) * s.sample_std() / (xs.len() as f64).sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,5 +559,47 @@ mod tests {
         let art = h.render_ascii(20);
         assert_eq!(art.lines().count(), 4);
         assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn t_critical_matches_the_table() {
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-12);
+        assert!((t_critical_95(9) - 2.262).abs() < 1e-12);
+        assert!((t_critical_95(30) - 2.042).abs() < 1e-12);
+        assert!((t_critical_95(60) - 2.000).abs() < 1e-12);
+        assert!(t_critical_95(0).is_nan());
+    }
+
+    #[test]
+    fn t_critical_is_monotone_decreasing_to_the_normal_limit() {
+        let mut prev = f64::INFINITY;
+        for dof in 1..500 {
+            let t = t_critical_95(dof);
+            assert!(t <= prev + 1e-12, "not monotone at dof {dof}");
+            assert!(t >= 1.960, "below the normal asymptote at dof {dof}");
+            prev = t;
+        }
+        assert!((t_critical_95(1_000_000) - 1.960).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mean_ci95_shrinks_with_sample_count() {
+        // Same spread, more samples → tighter interval (both from the √n
+        // and from the t critical value).
+        let small: Vec<f64> = (0..8).map(|i| (i % 2) as f64).collect();
+        let large: Vec<f64> = (0..256).map(|i| (i % 2) as f64).collect();
+        let ci_small = mean_ci95_half(&small);
+        let ci_large = mean_ci95_half(&large);
+        assert!(ci_small > ci_large && ci_large > 0.0);
+        assert!(mean_ci95_half(&[1.0]).is_nan());
+        assert!(mean_ci95_half(&[]).is_nan());
+    }
+
+    #[test]
+    fn mean_ci95_matches_hand_computation() {
+        // n = 4, mean 2.5, s = sqrt(5/3), t₀.₉₇₅(3) = 3.182.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let want = 3.182 * (5.0f64 / 3.0).sqrt() / 2.0;
+        assert!((mean_ci95_half(&xs) - want).abs() < 1e-12);
     }
 }

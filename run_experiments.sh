@@ -1,17 +1,54 @@
-#!/bin/bash
+#!/usr/bin/env bash
 # Regenerates every table/figure at paper-faithful sample counts.
-set -u
-cd /root/repo
+#
+# Each experiment logs to results/<name>.txt; a failing experiment aborts
+# the run with a nonzero exit and names the log that holds the evidence.
+# The paper tables (2/3/4) and Fig. 7 are driven through the durable
+# `campaign` binary, so a killed run can be resumed by re-running this
+# script: completed samples are replayed from results/campaign.ckpt.
+set -euo pipefail
+cd "$(dirname "$0")"
 BIN=./target/release
+mkdir -p results
+cargo build --release --workspace
+
+run_exp() {
+  local exp=$1
+  shift
+  echo "=== $exp ==="
+  local status=0
+  "$BIN/$exp" "$@" >"results/$exp.txt" 2>&1 || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "EXPERIMENT_FAILED: $exp (exit $status) -- see results/$exp.txt" >&2
+    tail -n 20 "results/$exp.txt" >&2
+    exit "$status"
+  fi
+  tail -n 5 "results/$exp.txt"
+}
+
 for exp in table1_truth overhead ablate_switch_period ablate_integrator; do
-  echo "=== $exp ==="; $BIN/$exp 2>&1 | tee results/$exp.txt
+  run_exp "$exp"
 done
-for exp in table2_workload table3_voltage table4_temperature; do
-  echo "=== $exp ==="; $BIN/$exp 2>&1 | tee results/$exp.txt
+
+# Tables 2-4 + Fig. 7 under the checkpointing campaign engine. Exit 3
+# means the campaign was interrupted and left a resumable checkpoint —
+# surface that distinctly instead of burying it in a log.
+echo "=== campaign (tables 2-4, fig7) ==="
+status=0
+"$BIN/campaign" --artifacts table2,table3,table4,fig7 \
+  >results/campaign.txt 2>&1 || status=$?
+if [ "$status" -ne 0 ]; then
+  if [ "$status" -eq 3 ]; then
+    echo "CAMPAIGN_PARTIAL: interrupted; re-run to resume from results/campaign.ckpt" >&2
+  else
+    echo "EXPERIMENT_FAILED: campaign (exit $status) -- see results/campaign.txt" >&2
+  fi
+  tail -n 20 results/campaign.txt >&2
+  exit "$status"
+fi
+tail -n 8 results/campaign.txt
+
+for exp in ablate_idle_stress ablate_swing_policy hci_extension lifetime_extension; do
+  run_exp "$exp"
 done
-$BIN/fig7_delay_aging 2>&1 | tee results/fig7_delay_aging.txt
-$BIN/ablate_idle_stress 2>&1 | tee results/ablate_idle_stress.txt
-$BIN/ablate_swing_policy 2>&1 | tee results/ablate_swing_policy.txt
-$BIN/hci_extension 2>&1 | tee results/hci_extension.txt
-$BIN/lifetime_extension 2>&1 | tee results/lifetime_extension.txt
 echo ALL_EXPERIMENTS_DONE

@@ -22,8 +22,42 @@ echo "== tier-1: cargo build --release && cargo test =="
 cargo build --release
 cargo test -q
 
+echo "== release bench binaries (campaign smoke needs them) =="
+cargo build --release --workspace
+
 echo "== fault injection / recovery suite =="
 cargo test -q -p issa-circuit --test recovery
 cargo test -q --test fault_quarantine
+
+echo "== durability / cancellation suites =="
+cargo test -q -p issa-circuit --test cancel
+cargo test -q --test checkpoint_durability
+cargo test -q --test campaign_resume
+
+echo "== kill-and-resume smoke (SIGKILL mid-campaign) =="
+# Start a real campaign, SIGKILL it mid-flight, resume from the
+# checkpoint, and demand a byte-identical CSV versus a fresh
+# uninterrupted run. Runs in a scratch directory so it cannot touch the
+# checked-in results/.
+CAMPAIGN_BIN=$PWD/target/release/campaign
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+(
+  cd "$SMOKE_DIR"
+  "$CAMPAIGN_BIN" --samples 24 --artifacts table2 --flush-every 1 \
+    >first.log 2>&1 &
+  pid=$!
+  sleep 2
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  # Resume (a no-op replay if the first run finished before the kill).
+  "$CAMPAIGN_BIN" --samples 24 --artifacts table2 --flush-every 1 \
+    >resume.log 2>&1
+  cp results/table2.csv table2_resumed.csv
+  "$CAMPAIGN_BIN" --samples 24 --artifacts table2 --fresh \
+    >fresh.log 2>&1
+  cmp table2_resumed.csv results/table2.csv
+  echo "kill-and-resume: byte-identical table2.csv"
+)
 
 echo "CI_OK"

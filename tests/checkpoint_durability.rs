@@ -1,0 +1,251 @@
+//! Checkpoint durability contract: round-trips are bit-exact, every way a
+//! file can be damaged is rejected loudly, and a stale checkpoint written
+//! under a different configuration is refused rather than misapplied.
+
+use issa::core::campaign::{run_campaign, CampaignCorner, CampaignError, CampaignOptions};
+use issa::core::checkpoint::{
+    config_fingerprint, crc32, Checkpoint, CheckpointError, CornerCheckpoint,
+};
+use issa::core::montecarlo::{FailureKind, McConfig, McPhase, McResume, SampleFailure};
+use issa::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "issa-durability-{}-{tag}-{n}.ckpt",
+        std::process::id()
+    ))
+}
+
+fn populated_checkpoint() -> Checkpoint {
+    Checkpoint {
+        corners: vec![CornerCheckpoint {
+            name: "table2/NSSA 80r0 t=1e8".into(),
+            fingerprint: 0x0123_4567_89ab_cdef,
+            resume: McResume {
+                offsets: vec![
+                    (0, 12.5e-3),
+                    (1, -3.25e-3),
+                    (7, f64::MIN_POSITIVE),
+                    (399, -0.0),
+                ],
+                delays: vec![(0, 14.7e-12), (3, 15.1e-12)],
+                failures: vec![SampleFailure {
+                    index: 42,
+                    seed: 0x1554_2017,
+                    corner: "Nssa 80r0 25°C/1.00V t=1.0e8s".into(),
+                    phase: McPhase::Delay,
+                    kind: FailureKind::TimedOut,
+                    error: "analysis cancelled at t=2e-10s (per-sample step budget)".into(),
+                    recovery_attempts: 5,
+                }],
+            },
+        }],
+    }
+}
+
+#[test]
+fn round_trip_preserves_every_bit() {
+    let path = temp_path("roundtrip");
+    let original = populated_checkpoint();
+    original.save(&path).unwrap();
+    let loaded = Checkpoint::load(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(original, loaded);
+    // f64 payloads survive as exact bit patterns, including the signed
+    // zero and the smallest subnormal-adjacent value.
+    let offsets = &loaded.corners[0].resume.offsets;
+    assert_eq!(offsets[2].1.to_bits(), f64::MIN_POSITIVE.to_bits());
+    assert_eq!(offsets[3].1.to_bits(), (-0.0f64).to_bits());
+}
+
+#[test]
+fn truncation_at_any_point_is_rejected() {
+    let bytes = populated_checkpoint().to_bytes();
+    // Cut the file at every length short of complete: nothing may load.
+    for cut in 0..bytes.len() {
+        let err = Checkpoint::from_bytes(&bytes[..cut])
+            .expect_err("a truncated checkpoint must never load");
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Truncated
+                    | CheckpointError::CrcMismatch { .. }
+                    | CheckpointError::Malformed { .. }
+            ),
+            "cut at {cut}: unexpected error {err}"
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_caught() {
+    let bytes = populated_checkpoint().to_bytes();
+    // Flip each bit of a representative slice of the body (covering the
+    // magic, a corner record, value records, and the failure record).
+    for byte in (0..bytes.len().saturating_sub(13)).step_by(7) {
+        for bit in 0..8 {
+            let mut corrupted = bytes.clone();
+            corrupted[byte] ^= 1 << bit;
+            assert!(
+                Checkpoint::from_bytes(&corrupted).is_err(),
+                "flip of byte {byte} bit {bit} loaded successfully"
+            );
+        }
+    }
+}
+
+#[test]
+fn crc_trailer_corruption_is_rejected() {
+    let mut bytes = populated_checkpoint().to_bytes();
+    let n = bytes.len();
+    // The CRC hex digits sit just before the final newline.
+    bytes[n - 2] = if bytes[n - 2] == b'0' { b'1' } else { b'0' };
+    let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CheckpointError::CrcMismatch { .. } | CheckpointError::Truncated
+        ),
+        "got {err}"
+    );
+}
+
+#[test]
+fn unknown_version_is_refused() {
+    let body = "ISSA-CKPT 2\nend\n";
+    let file = format!("{body}crc {:08x}\n", crc32(body.as_bytes()));
+    let err = Checkpoint::from_bytes(file.as_bytes()).unwrap_err();
+    assert!(matches!(err, CheckpointError::UnsupportedVersion { .. }));
+}
+
+#[test]
+fn empty_and_garbage_files_are_refused() {
+    assert!(Checkpoint::from_bytes(b"").is_err());
+    assert!(Checkpoint::from_bytes(b"\n\n\n").is_err());
+    assert!(Checkpoint::from_bytes(b"not a checkpoint at all").is_err());
+    assert!(Checkpoint::from_bytes(&[0xFF, 0xFE, 0x00, 0x01]).is_err());
+}
+
+#[test]
+fn fingerprint_tracks_the_physics_not_the_schedule() {
+    let cfg = McConfig::smoke(
+        SaKind::Nssa,
+        Workload::new(0.8, ReadSequence::AllZeros),
+        Environment::nominal(),
+        1e8,
+        8,
+    );
+    let fp = config_fingerprint("corner", &cfg);
+
+    // Thread count is scheduling, not physics: normalized out.
+    for threads in [0, 1, 2, 8] {
+        let scheduled = McConfig {
+            threads,
+            ..cfg.clone()
+        };
+        assert_eq!(fp, config_fingerprint("corner", &scheduled));
+    }
+
+    // Anything that can change a sample's value must change the print.
+    let reseeded = McConfig {
+        seed: cfg.seed ^ 1,
+        ..cfg.clone()
+    };
+    let resized = McConfig {
+        samples: cfg.samples + 1,
+        ..cfg.clone()
+    };
+    let retimed = McConfig { time: 2e8, ..cfg };
+    let prints = [
+        config_fingerprint("corner", &reseeded),
+        config_fingerprint("corner", &resized),
+        config_fingerprint("corner", &retimed),
+        config_fingerprint("other corner", &reseeded),
+    ];
+    for (k, p) in prints.iter().enumerate() {
+        assert_ne!(fp, *p, "variant {k} collided with the base fingerprint");
+    }
+}
+
+#[test]
+fn campaign_refuses_a_checkpoint_from_a_different_config() {
+    let path = temp_path("mismatch");
+    let mk = |seed: u64| CampaignCorner {
+        name: "pinned".into(),
+        cfg: McConfig {
+            seed,
+            threads: 2,
+            ..McConfig::smoke(
+                SaKind::Nssa,
+                Workload::new(0.8, ReadSequence::AllZeros),
+                Environment::nominal(),
+                0.0,
+                4,
+            )
+        },
+    };
+    // Write a checkpoint under seed A (aborting mid-run keeps it on disk).
+    run_campaign(
+        &[mk(1)],
+        &CampaignOptions {
+            checkpoint: Some(path.clone()),
+            flush_every: 1,
+            abort_after: Some(1),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(path.exists(), "aborted campaign must leave its checkpoint");
+
+    // Resume under seed B: refused before any sample runs.
+    let err = run_campaign(
+        &[mk(2)],
+        &CampaignOptions {
+            checkpoint: Some(path.clone()),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap_err();
+    std::fs::remove_file(&path).unwrap();
+    match err {
+        CampaignError::FingerprintMismatch {
+            corner,
+            stored,
+            expected,
+        } => {
+            assert_eq!(corner, "pinned");
+            assert_ne!(stored, expected);
+        }
+        other => panic!("expected FingerprintMismatch, got {other}"),
+    }
+}
+
+#[test]
+fn campaign_refuses_a_corrupt_checkpoint() {
+    let path = temp_path("corrupt");
+    let corner = CampaignCorner {
+        name: "c".into(),
+        cfg: McConfig::smoke(
+            SaKind::Nssa,
+            Workload::new(0.8, ReadSequence::AllZeros),
+            Environment::nominal(),
+            0.0,
+            4,
+        ),
+    };
+    std::fs::write(&path, b"ISSA-CKPT 1\ngarbage\ncrc 00000000\n").unwrap();
+    let err = run_campaign(
+        std::slice::from_ref(&corner),
+        &CampaignOptions {
+            checkpoint: Some(path.clone()),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap_err();
+    std::fs::remove_file(&path).unwrap();
+    assert!(matches!(err, CampaignError::Checkpoint(_)), "got {err}");
+}

@@ -11,7 +11,7 @@
 //! and quarantined like any other failure.
 
 use issa::circuit::faultinject::{FaultKind, FaultPlan};
-use issa::core::montecarlo::{run_mc, McConfig, McPhase};
+use issa::core::montecarlo::{run_mc, FailureKind, McConfig, McPhase};
 use issa::prelude::*;
 use std::sync::Arc;
 
@@ -87,6 +87,7 @@ fn persistent_faults_quarantine_and_stats_use_survivors() {
     let f = &r.failures[0];
     assert_eq!(f.index, 1);
     assert_eq!(f.phase, McPhase::Offset);
+    assert_eq!(f.kind, FailureKind::Solver);
     assert_eq!(f.seed, base_cfg().seed);
     assert!(f.error.contains("converge"), "error: {}", f.error);
     assert!(f.recovery_attempts > 0, "the ladder should have fought");
@@ -161,6 +162,7 @@ fn injected_panic_is_caught_and_quarantined() {
     assert_eq!(r.failures.len(), 1);
     let f = &r.failures[0];
     assert_eq!(f.index, 2);
+    assert_eq!(f.kind, FailureKind::Panic);
     assert!(
         f.error.contains("panicked") && f.error.contains("injected solver panic"),
         "error: {}",
