@@ -12,23 +12,66 @@
 //!     [--abort-after N]
 //! ```
 //!
+//! # Distributed mode
+//!
+//! The same campaign can be served to a worker fleet over TCP
+//! ([`issa_dist`]), merging to a bit-identical result at any worker
+//! count:
+//!
+//! ```sh
+//! # terminal 1: the coordinator (plus optional in-process workers)
+//! campaign serve --listen 127.0.0.1:4617 [--loopback N] [--port-file P]
+//!     [--unit-samples K] [--max-unit-attempts A]
+//!     [--lease-timeout-s S] [--worker-timeout-s S] <campaign flags>
+//! # terminal 2..N: workers, launched with the SAME campaign flags
+//! campaign worker --connect 127.0.0.1:4617 [--name ID] [--reconnect-s S] \
+//!     <campaign flags>
+//! ```
+//!
+//! Workers never receive configurations over the wire: they rebuild the
+//! corner list from their own flags, and the coordinator's handshake
+//! verifies agreement via a campaign fingerprint. In `serve` mode
+//! `--abort-after N` stops after N completed *units* (the distributed
+//! analogue of the local sample-count hook).
+//!
 //! Exit status: `0` = complete, `3` = partial (deadline/interrupt; re-run
 //! the same command to resume), `1` = refused to start (untrusted or
-//! mismatched checkpoint), `2` = usage error.
+//! mismatched checkpoint, bind/connect failure), `2` = usage error.
 
 use issa_bench::CornerSpec;
-use issa_bench::{csv_row, paper, print_table_header, print_table_row, write_csv, CSV_HEADER};
-use issa_core::campaign::{run_campaign, CampaignCorner, CampaignOptions, CornerOutcome};
+use issa_bench::{
+    csv_row, failure_cause, paper, print_table_header, print_table_row, write_csv, CSV_HEADER,
+};
+use issa_core::campaign::{
+    run_campaign, CampaignCorner, CampaignOptions, CampaignReport, CornerOutcome,
+};
 use issa_core::montecarlo::{McConfig, McResult};
 use issa_core::netlist::SaKind;
 use issa_core::probe::ProbeOptions;
 use issa_core::workload::{ReadSequence, Workload};
+use issa_core::SaError;
+use issa_dist::coordinator::{serve_campaign, ServeOptions, WorkerSummary};
+use issa_dist::scheduler::{SchedStats, SchedulerConfig};
+use issa_dist::worker::{run_worker, WorkerOptions};
 use issa_ptm45::Environment;
+use std::net::{TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
 use std::time::Duration;
 
+/// How this invocation participates in the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Single-process engine (`run_campaign`), the default.
+    Local,
+    /// Coordinator: shard corners to TCP workers (`campaign serve`).
+    Serve,
+    /// Worker: compute units for a coordinator (`campaign worker`).
+    Worker,
+}
+
 #[derive(Debug, Clone)]
 struct Args {
+    mode: Mode,
     samples: usize,
     seed: u64,
     paper_probes: bool,
@@ -41,6 +84,18 @@ struct Args {
     step_budget: Option<u64>,
     wall_budget_s: Option<f64>,
     abort_after: Option<usize>,
+    // serve mode
+    listen: String,
+    loopback: usize,
+    unit_samples: usize,
+    max_unit_attempts: u32,
+    lease_timeout_s: f64,
+    worker_timeout_s: f64,
+    port_file: Option<PathBuf>,
+    // worker mode
+    connect: Option<String>,
+    name: String,
+    reconnect_s: f64,
 }
 
 const ALL_ARTIFACTS: [&str; 4] = ["table2", "table3", "table4", "fig7"];
@@ -48,16 +103,20 @@ const ALL_ARTIFACTS: [&str; 4] = ["table2", "table3", "table4", "fig7"];
 fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: campaign [--samples N] [--seed S] [--paper-probes] [--threads T] \
+        "usage: campaign [serve|worker] [--samples N] [--seed S] [--paper-probes] [--threads T] \
          [--artifacts LIST] [--checkpoint PATH | --no-checkpoint] [--fresh] \
          [--flush-every K] [--deadline-s S] [--step-budget N] [--wall-budget-s S] \
-         [--abort-after N]"
+         [--abort-after N]\n\
+         serve:  [--listen ADDR] [--loopback N] [--port-file PATH] [--unit-samples K] \
+         [--max-unit-attempts A] [--lease-timeout-s S] [--worker-timeout-s S]\n\
+         worker: --connect ADDR [--name ID] [--reconnect-s S]"
     );
     std::process::exit(2)
 }
 
 fn parse() -> Args {
     let mut args = Args {
+        mode: Mode::Local,
         samples: 400,
         seed: 0x1554_2017,
         paper_probes: false,
@@ -70,8 +129,29 @@ fn parse() -> Args {
         step_budget: None,
         wall_budget_s: None,
         abort_after: None,
+        listen: "127.0.0.1:0".to_owned(),
+        loopback: 0,
+        unit_samples: 16,
+        max_unit_attempts: 4,
+        lease_timeout_s: 600.0,
+        worker_timeout_s: 60.0,
+        port_file: None,
+        connect: None,
+        name: "worker".to_owned(),
+        reconnect_s: 0.25,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    match it.peek().map(String::as_str) {
+        Some("serve") => {
+            args.mode = Mode::Serve;
+            it.next();
+        }
+        Some("worker") => {
+            args.mode = Mode::Worker;
+            it.next();
+        }
+        _ => {}
+    }
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         it.next()
             .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
@@ -145,11 +225,59 @@ fn parse() -> Args {
                         .unwrap_or_else(|_| usage("--abort-after needs an integer")),
                 );
             }
+            "--listen" if args.mode == Mode::Serve => {
+                args.listen = value(&mut it, "--listen");
+            }
+            "--loopback" if args.mode == Mode::Serve => {
+                args.loopback = value(&mut it, "--loopback")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--loopback needs an integer"));
+            }
+            "--unit-samples" if args.mode == Mode::Serve => {
+                args.unit_samples = value(&mut it, "--unit-samples")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--unit-samples needs a positive integer"));
+            }
+            "--max-unit-attempts" if args.mode == Mode::Serve => {
+                args.max_unit_attempts = value(&mut it, "--max-unit-attempts")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-unit-attempts needs a positive integer"));
+            }
+            "--lease-timeout-s" if args.mode == Mode::Serve => {
+                args.lease_timeout_s = value(&mut it, "--lease-timeout-s")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--lease-timeout-s needs a number"));
+            }
+            "--worker-timeout-s" if args.mode == Mode::Serve => {
+                args.worker_timeout_s = value(&mut it, "--worker-timeout-s")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--worker-timeout-s needs a number"));
+            }
+            "--port-file" if args.mode == Mode::Serve => {
+                args.port_file = Some(PathBuf::from(value(&mut it, "--port-file")));
+            }
+            "--connect" if args.mode == Mode::Worker => {
+                args.connect = Some(value(&mut it, "--connect"));
+            }
+            "--name" if args.mode == Mode::Worker => {
+                args.name = value(&mut it, "--name");
+            }
+            "--reconnect-s" if args.mode == Mode::Worker => {
+                args.reconnect_s = value(&mut it, "--reconnect-s")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--reconnect-s needs a number"));
+            }
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
     if args.samples == 0 {
         usage("--samples must be positive");
+    }
+    if args.unit_samples == 0 {
+        usage("--unit-samples must be positive");
+    }
+    if args.mode == Mode::Worker && args.connect.is_none() {
+        usage("worker mode needs --connect ADDR");
     }
     args
 }
@@ -224,17 +352,109 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn main() {
-    let args = parse();
-    if args.fresh {
-        if let Some(path) = &args.checkpoint {
-            let _ = std::fs::remove_file(path);
+/// `campaign worker`: rebuild the corner list from this process's own
+/// flags and compute units for the coordinator at `--connect` until it
+/// says `done`.
+fn run_worker_mode(args: &Args, corners: &[CampaignCorner]) {
+    let spec = args.connect.as_deref().expect("validated in parse()");
+    let addr = spec
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .unwrap_or_else(|| {
+            eprintln!("error: cannot resolve --connect address '{spec}'");
+            std::process::exit(1)
+        });
+    println!(
+        "worker '{}': {} corners, connecting to {addr}",
+        args.name,
+        corners.len()
+    );
+    let opts = WorkerOptions {
+        name: args.name.clone(),
+        reconnect_backoff: Duration::from_secs_f64(args.reconnect_s.max(0.01)),
+        ..WorkerOptions::default()
+    };
+    match run_worker(addr, corners, &opts) {
+        Ok(stats) => println!(
+            "worker done: {} units, {} samples, {} reconnects",
+            stats.units_done, stats.samples_done, stats.reconnects
+        ),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
         }
     }
-    if let Some(path) = &args.checkpoint {
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).expect("create checkpoint dir");
+}
+
+/// `campaign serve`: bind the listener, serve the corner list to the
+/// worker fleet, and hand the merged (bit-identical) campaign report
+/// back to the ordinary artifact pipeline.
+fn serve_mode(
+    args: &Args,
+    corners: &[CampaignCorner],
+) -> (CampaignReport, Vec<WorkerSummary>, SchedStats) {
+    let listener = TcpListener::bind(&args.listen).unwrap_or_else(|e| {
+        eprintln!("error: cannot listen on {}: {e}", args.listen);
+        std::process::exit(1)
+    });
+    let local = listener.local_addr().expect("listener address");
+    println!(
+        "serve: listening on {local} ({} loopback workers)",
+        args.loopback
+    );
+    if let Some(path) = &args.port_file {
+        std::fs::write(path, format!("{local}\n")).unwrap_or_else(|e| {
+            eprintln!("error: cannot write port file {}: {e}", path.display());
+            std::process::exit(1)
+        });
+    }
+    let opts = ServeOptions {
+        scheduler: SchedulerConfig {
+            unit_samples: args.unit_samples,
+            max_unit_attempts: args.max_unit_attempts,
+            lease_timeout: Duration::from_secs_f64(args.lease_timeout_s),
+            ..SchedulerConfig::default()
+        },
+        worker_timeout: Duration::from_secs_f64(args.worker_timeout_s),
+        checkpoint: args.checkpoint.clone(),
+        flush_every: args.flush_every,
+        progress: true,
+        loopback: (0..args.loopback)
+            .map(|i| WorkerOptions {
+                name: format!("loopback-{i}"),
+                ..WorkerOptions::default()
+            })
+            .collect(),
+        abort_after_units: args.abort_after.map(|n| n as u64),
+        ..ServeOptions::default()
+    };
+    let report = serve_campaign(listener, corners, &opts).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1)
+    });
+    for w in &report.workers {
+        println!(
+            "serve: worker {} '{}': {} units, {} samples",
+            w.worker_id, w.name, w.units, w.samples
+        );
+    }
+    (report.campaign, report.workers, report.sched)
+}
+
+fn main() {
+    let args = parse();
+    if args.mode != Mode::Worker {
+        if args.fresh {
+            if let Some(path) = &args.checkpoint {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        if let Some(path) = &args.checkpoint {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).expect("create checkpoint dir");
+                }
             }
         }
     }
@@ -303,14 +523,11 @@ fn main() {
         usage("no artifacts selected");
     }
 
-    let opts = CampaignOptions {
-        checkpoint: args.checkpoint.clone(),
-        flush_every: args.flush_every,
-        deadline: args.deadline_s.map(Duration::from_secs_f64),
-        handle_signals: true,
-        abort_after: args.abort_after,
-        progress: true,
-    };
+    if args.mode == Mode::Worker {
+        run_worker_mode(&args, &corners);
+        return;
+    }
+
     println!(
         "campaign: {} corners, {} samples each{}{}",
         corners.len(),
@@ -324,10 +541,24 @@ fn main() {
             None => String::new(),
         }
     );
-    let report = run_campaign(&corners, &opts).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1)
-    });
+    let (report, dist) = if args.mode == Mode::Serve {
+        let (campaign, workers, sched) = serve_mode(&args, &corners);
+        (campaign, Some((workers, sched)))
+    } else {
+        let opts = CampaignOptions {
+            checkpoint: args.checkpoint.clone(),
+            flush_every: args.flush_every,
+            deadline: args.deadline_s.map(Duration::from_secs_f64),
+            handle_signals: true,
+            abort_after: args.abort_after,
+            progress: true,
+        };
+        let report = run_campaign(&corners, &opts).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1)
+        });
+        (report, None)
+    };
 
     // Per-artifact outputs: console tables plus CSV, completed corners
     // only — a missing row is reported, never silently dropped.
@@ -425,10 +656,22 @@ fn main() {
                     r.failures.len()
                 ),
             ),
-            CornerOutcome::Failed(e) => (
-                "failed",
-                format!(", \"error\": \"{}\"", json_escape(&e.to_string())),
-            ),
+            CornerOutcome::Failed(e) => {
+                // The cause classification matches what exit_mc_failure
+                // prints: "timed-out" covers watchdog cancellations and
+                // distributed units quarantined by the lease machinery.
+                let cause = match e {
+                    SaError::FailureBudgetExceeded { failures, .. } => {
+                        format!(", \"cause\": \"{}\"", failure_cause(failures))
+                    }
+                    SaError::Cancelled { .. } => ", \"cause\": \"cancelled\"".to_owned(),
+                    _ => String::new(),
+                };
+                (
+                    "failed",
+                    format!(", \"error\": \"{}\"{cause}", json_escape(&e.to_string())),
+                )
+            }
             CornerOutcome::Skipped => ("skipped", String::new()),
         };
         json.push_str(&format!(
@@ -441,7 +684,34 @@ fn main() {
             }
         ));
     }
-    json.push_str("  ]\n}\n");
+    if let Some((workers, sched)) = &dist {
+        json.push_str("  ],\n  \"dist\": {\n");
+        json.push_str(&format!(
+            "    \"retries\": {}, \"reassigned\": {}, \"quarantined_units\": {}, \
+             \"duplicates\": {},\n",
+            sched.retries, sched.reassigned, sched.quarantined_units, sched.duplicates
+        ));
+        json.push_str("    \"workers\": [\n");
+        for (k, w) in workers.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"worker_id\": {}, \"name\": \"{}\", \"units\": {}, \"samples\": {}, \
+                 \"sense_calls\": {}, \"transients\": {}, \"recovery_attempts\": {}, \
+                 \"cancellations\": {}}}{}\n",
+                w.worker_id,
+                json_escape(&w.name),
+                w.units,
+                w.samples,
+                w.perf.sense_calls,
+                w.perf.circuit.transients,
+                w.perf.circuit.recovery_attempts(),
+                w.perf.circuit.cancellations,
+                if k + 1 < workers.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("    ]\n  }\n}\n");
+    } else {
+        json.push_str("  ]\n}\n");
+    }
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/campaign.json", json).expect("write campaign.json");
     println!("wrote results/campaign.json");

@@ -27,7 +27,7 @@
 
 pub mod paper;
 
-use issa_core::montecarlo::{run_mc, McConfig, McResult};
+use issa_core::montecarlo::{run_mc, FailureKind, McConfig, McResult, SampleFailure};
 use issa_core::netlist::SaKind;
 use issa_core::probe::ProbeOptions;
 use issa_core::workload::{ReadSequence, Workload};
@@ -109,13 +109,39 @@ fn usage(message: &str) -> ! {
     std::process::exit(2)
 }
 
+/// Dominant cause of a quarantine list, as reported in `campaign.json`'s
+/// per-corner `"cause"` field and by [`exit_mc_failure`]: any watchdog
+/// cancellation (including a distributed unit abandoned by the
+/// coordinator's lease machinery) outranks a panic, which outranks an
+/// exhausted solver ladder.
+#[must_use]
+pub fn failure_cause(failures: &[SampleFailure]) -> &'static str {
+    if failures.iter().any(|f| f.kind == FailureKind::TimedOut) {
+        "timed-out"
+    } else if failures.iter().any(|f| f.kind == FailureKind::Panic) {
+        "panic"
+    } else {
+        "solver"
+    }
+}
+
 /// Reports a failed analysis readably on stderr — the message, and for a
-/// [`SaError::FailureBudgetExceeded`] the full per-sample quarantine list
-/// — then exits with status 1. Experiment binaries use this instead of
-/// panicking so a dead corner produces a diagnosis, not a backtrace.
+/// [`SaError::FailureBudgetExceeded`] the dominant cause (matching the
+/// `"cause"` field in `campaign.json`) plus the full per-sample
+/// quarantine list — then exits with status 1. Experiment binaries use
+/// this instead of panicking so a dead corner produces a diagnosis, not a
+/// backtrace.
 pub fn exit_mc_failure(label: &str, e: &SaError) -> ! {
     eprintln!("error: corner '{label}' failed: {e}");
     if let SaError::FailureBudgetExceeded { failures, .. } = e {
+        let cause = failure_cause(failures);
+        eprintln!("cause: {cause}");
+        if cause == "timed-out" {
+            eprintln!(
+                "hint: timed-out samples were cancelled by a watchdog — a per-sample step/wall \
+                 budget, or a distributed unit quarantined after its lease attempts ran out"
+            );
+        }
         eprintln!(
             "hint: {} sample(s) quarantined; re-run the listed (seed, sample) pairs in isolation \
              to reproduce",

@@ -153,19 +153,7 @@ impl Checkpoint {
                 s.push_str(&format!("d {i} {:016x}\n", v.to_bits()));
             }
             for fail in &c.resume.failures {
-                let phase = match fail.phase {
-                    McPhase::Offset => 'o',
-                    McPhase::Delay => 'd',
-                };
-                s.push_str(&format!(
-                    "f {phase} {} {} {} {:016x} {} {}\n",
-                    fail.index,
-                    fail.kind,
-                    fail.recovery_attempts,
-                    fail.seed,
-                    escape(&fail.corner),
-                    escape(&fail.error)
-                ));
+                s.push_str(&format!("f {}\n", failure_fields(fail)));
             }
             s.push_str("end\n");
         }
@@ -280,46 +268,8 @@ impl Checkpoint {
                     let corner = current
                         .as_mut()
                         .ok_or_else(|| malformed("record outside a corner section".into()))?;
-                    let phase = match fields.next() {
-                        Some("o") => McPhase::Offset,
-                        Some("d") => McPhase::Delay,
-                        other => return Err(malformed(format!("bad failure phase {other:?}"))),
-                    };
-                    let index: usize = fields
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| malformed("bad failure index".into()))?;
-                    let kind = match fields.next() {
-                        Some("solver") => FailureKind::Solver,
-                        Some("panic") => FailureKind::Panic,
-                        Some("timed-out") => FailureKind::TimedOut,
-                        other => return Err(malformed(format!("bad failure kind {other:?}"))),
-                    };
-                    let recovery_attempts: u64 = fields
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| malformed("bad recovery attempts".into()))?;
-                    let seed =
-                        parse_hex_u64(fields.next()).ok_or_else(|| malformed("bad seed".into()))?;
-                    let corner_label = unescape(
-                        fields
-                            .next()
-                            .ok_or_else(|| malformed("missing corner label".into()))?,
-                    );
-                    let error = unescape(
-                        fields
-                            .next()
-                            .ok_or_else(|| malformed("missing error text".into()))?,
-                    );
-                    corner.resume.failures.push(SampleFailure {
-                        index,
-                        seed,
-                        corner: corner_label,
-                        phase,
-                        kind,
-                        error,
-                        recovery_attempts,
-                    });
+                    let failure = parse_failure_fields(&mut fields).map_err(malformed)?;
+                    corner.resume.failures.push(failure);
                 }
                 "end" => {
                     let done = current
@@ -359,8 +309,82 @@ fn parse_hex_u64(field: Option<&str>) -> Option<u64> {
     u64::from_str_radix(field?, 16).ok()
 }
 
-/// Escapes a string into a single space-free token.
-fn escape(s: &str) -> String {
+/// Serializes a [`SampleFailure`] as the space-separated fields following
+/// the `f ` tag: `<o|d> <index> <kind> <attempts> <seed:016x>
+/// <escaped-corner> <escaped-error>`. Shared by the checkpoint format and
+/// the `issa-dist` wire protocol so quarantined failures travel between
+/// processes without a second codec.
+#[must_use]
+pub fn failure_fields(fail: &SampleFailure) -> String {
+    let phase = match fail.phase {
+        McPhase::Offset => 'o',
+        McPhase::Delay => 'd',
+    };
+    format!(
+        "{phase} {} {} {} {:016x} {} {}",
+        fail.index,
+        fail.kind,
+        fail.recovery_attempts,
+        fail.seed,
+        escape(&fail.corner),
+        escape(&fail.error)
+    )
+}
+
+/// Parses the fields produced by [`failure_fields`] from a space-split
+/// iterator positioned just past the `f` tag.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed field.
+pub fn parse_failure_fields<'a>(
+    fields: &mut impl Iterator<Item = &'a str>,
+) -> Result<SampleFailure, String> {
+    let phase = match fields.next() {
+        Some("o") => McPhase::Offset,
+        Some("d") => McPhase::Delay,
+        other => return Err(format!("bad failure phase {other:?}")),
+    };
+    let index: usize = fields
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "bad failure index".to_owned())?;
+    let kind = match fields.next() {
+        Some("solver") => FailureKind::Solver,
+        Some("panic") => FailureKind::Panic,
+        Some("timed-out") => FailureKind::TimedOut,
+        other => return Err(format!("bad failure kind {other:?}")),
+    };
+    let recovery_attempts: u64 = fields
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "bad recovery attempts".to_owned())?;
+    let seed = parse_hex_u64(fields.next()).ok_or_else(|| "bad seed".to_owned())?;
+    let corner = unescape(
+        fields
+            .next()
+            .ok_or_else(|| "missing corner label".to_owned())?,
+    );
+    let error = unescape(
+        fields
+            .next()
+            .ok_or_else(|| "missing error text".to_owned())?,
+    );
+    Ok(SampleFailure {
+        index,
+        seed,
+        corner,
+        phase,
+        kind,
+        error,
+        recovery_attempts,
+    })
+}
+
+/// Escapes a string into a single space-free token — the record escaping
+/// shared by the checkpoint format and the `issa-dist` wire protocol.
+#[must_use]
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -380,7 +404,8 @@ fn escape(s: &str) -> String {
 
 /// Reverses [`escape`]. Unknown escapes decode to the escaped character
 /// itself, so decoding never fails.
-fn unescape(s: &str) -> String {
+#[must_use]
+pub fn unescape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(ch) = chars.next() {

@@ -463,10 +463,21 @@ pub fn build_sample(cfg: &McConfig, index: usize) -> SaInstance {
 
 /// Human-readable corner label for failure reports.
 fn corner_label(cfg: &McConfig) -> String {
-    format!(
-        "{:?} {:?} {}°C/{:.2}V t={:.1e}s",
-        cfg.kind, cfg.workload, cfg.env.temp_c, cfg.env.vdd, cfg.time
-    )
+    cfg.corner_label()
+}
+
+impl McConfig {
+    /// Human-readable corner label — the string quarantined
+    /// [`SampleFailure`]s carry. Public so a distribution coordinator
+    /// synthesizing a failure for an abandoned work unit labels it exactly
+    /// as the worker would have.
+    #[must_use]
+    pub fn corner_label(&self) -> String {
+        format!(
+            "{:?} {:?} {}°C/{:.2}V t={:.1e}s",
+            self.kind, self.workload, self.env.temp_c, self.env.vdd, self.time
+        )
+    }
 }
 
 /// Best-effort string form of a caught panic payload.
@@ -547,10 +558,15 @@ impl fmt::Debug for McControl<'_> {
     }
 }
 
-/// Outcome of one guarded sample run.
-enum SampleOutcome<T> {
-    /// The measurement completed.
-    Done(T),
+/// Outcome of one guarded sample run — the unit a distribution layer
+/// ships between processes: every sample is a pure function of
+/// `(cfg, index)`, so a [`SampleRun::Done`] value computed by any worker,
+/// on any machine, is bit-identical to the one the in-process loop would
+/// have produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleRun {
+    /// The measurement completed (offset volts or delay seconds).
+    Done(f64),
     /// The sample is quarantined (solver failure, panic, or watchdog
     /// timeout).
     Failed(SampleFailure),
@@ -565,13 +581,13 @@ enum SampleOutcome<T> {
 /// panics, and attributes the solver recovery attempts the sample
 /// consumed. Both RAII guards live *inside* the `catch_unwind` closure so
 /// their `Drop` disarms the thread even when the body panics.
-fn guarded_sample<T>(
+fn guarded_sample(
     cfg: &McConfig,
     index: usize,
     phase: McPhase,
     cancel: Option<&CancelToken>,
-    body: impl FnOnce() -> Result<T, SaError>,
-) -> SampleOutcome<T> {
+    body: impl FnOnce() -> Result<f64, SaError>,
+) -> SampleRun {
     let attempts_before = issa_circuit::perf::thread_recovery_attempts();
     let watchdog_armed =
         cancel.is_some() || cfg.sample_step_budget.is_some() || cfg.sample_wall_budget_s.is_some();
@@ -601,27 +617,97 @@ fn guarded_sample<T>(
         recovery_attempts: issa_circuit::perf::thread_recovery_attempts() - attempts_before,
     };
     match outcome {
-        Ok(Ok(value)) => SampleOutcome::Done(value),
+        Ok(Ok(value)) => SampleRun::Done(value),
         Ok(Err(e)) => {
             if let SaError::Circuit(CircuitError::Cancelled { cause, .. }) = &e {
                 if cause.is_sample_budget() {
                     // The per-sample watchdog tripped: quarantine as a
                     // timeout so the campaign records *which* sample
                     // stalls and never re-attempts it on resume.
-                    SampleOutcome::Failed(failure(FailureKind::TimedOut, e.to_string()))
+                    SampleRun::Failed(failure(FailureKind::TimedOut, e.to_string()))
                 } else {
                     // Campaign-level deadline/interrupt: the sample is
                     // simply not computed.
-                    SampleOutcome::Cancelled
+                    SampleRun::Cancelled
                 }
             } else {
-                SampleOutcome::Failed(failure(FailureKind::Solver, e.to_string()))
+                SampleRun::Failed(failure(FailureKind::Solver, e.to_string()))
             }
         }
-        Err(payload) => SampleOutcome::Failed(failure(
+        Err(payload) => SampleRun::Failed(failure(
             FailureKind::Panic,
             format!("worker panicked: {}", panic_message(&*payload)),
         )),
+    }
+}
+
+/// Runs one offset-phase sample under the full quarantine contract
+/// (fault-plan arming, per-sample watchdog, panic isolation, recovery
+/// attribution) — the entry point a distribution worker uses. Carrying
+/// one [`OffsetSearch`] across consecutive samples warm-starts the binary
+/// search; the carrier changes probe order, never the result.
+pub fn run_offset_sample_with(
+    cfg: &McConfig,
+    index: usize,
+    cancel: Option<&CancelToken>,
+    search: &mut OffsetSearch,
+) -> SampleRun {
+    guarded_sample(cfg, index, McPhase::Offset, cancel, || {
+        let sa = build_sample(cfg, index);
+        sa.offset_voltage_with(&cfg.probe, search)
+    })
+}
+
+/// Runs one delay-phase sample under the full quarantine contract.
+/// `swing_volts` is the resolved bitline swing — corner-wide, derived
+/// from the offset distribution by [`delay_swing_volts`] — so a worker
+/// that never saw the other samples still measures at exactly the swing
+/// a single-process run would have used.
+pub fn run_delay_sample(
+    cfg: &McConfig,
+    index: usize,
+    swing_volts: f64,
+    cancel: Option<&CancelToken>,
+) -> SampleRun {
+    let delay_probe = ProbeOptions {
+        swing: swing_volts,
+        ..cfg.probe
+    };
+    // Weight the two read directions by the workload's *internal* mix
+    // (what the latch actually resolves): under 80r0 the NSSA's delay
+    // is the read-0 delay, while the ISSA always sees a balanced mix.
+    let zero_fraction =
+        compile_workload(cfg.workload, cfg.kind, cfg.counter_bits).internal_zero_fraction;
+    guarded_sample(cfg, index, McPhase::Delay, cancel, || {
+        let sa = build_sample(cfg, index);
+        sa.sensing_delay_weighted(zero_fraction, &delay_probe)
+    })
+}
+
+/// The offset-voltage specification exactly as [`run_mc`] derives it from
+/// the surviving offsets: Eq. 3 over (μ, σ), degenerating to |μ| when the
+/// spread is zero (tiny runs quantized to the search grid).
+#[must_use]
+pub fn offset_spec_from_samples(cfg: &McConfig, offsets: &[f64]) -> f64 {
+    let summary = Summary::of(offsets);
+    if summary.std > 0.0 {
+        offset_spec(summary.mean, summary.std, cfg.failure_rate)
+    } else {
+        summary.mean.abs()
+    }
+}
+
+/// The bitline swing the delay phase measures at, given the corner's
+/// offset spec (see [`DelaySwingPolicy`]). Spec-provisioned swings get a
+/// 50 % dynamic margin above the *static* spec: aged pass transistors
+/// transfer the bitline differential onto the internal nodes more slowly,
+/// eroding margin during regeneration, which the static binary search
+/// cannot see.
+#[must_use]
+pub fn delay_swing_volts(cfg: &McConfig, spec: f64) -> f64 {
+    match cfg.delay_swing {
+        DelaySwingPolicy::FixedFraction(f) => f * cfg.env.vdd,
+        DelaySwingPolicy::SpecProvisioned => cfg.probe.swing.max(1.5 * spec),
     }
 }
 
@@ -731,23 +817,20 @@ pub fn run_mc_controlled(cfg: &McConfig, ctl: &McControl<'_>) -> Result<McResult
                             if ctl.cancel.is_some_and(CancelToken::is_cancelled) {
                                 break;
                             }
-                            match guarded_sample(cfg, i, McPhase::Offset, ctl.cancel, || {
-                                let sa = build_sample(cfg, i);
-                                sa.offset_voltage_with(&cfg.probe, &mut search)
-                            }) {
-                                SampleOutcome::Done(v) => {
+                            match run_offset_sample_with(cfg, i, ctl.cancel, &mut search) {
+                                SampleRun::Done(v) => {
                                     if let Some(obs) = ctl.observer {
                                         obs.sample_finished(McPhase::Offset, i, Ok(v));
                                     }
                                     local.push((i, Ok(v)));
                                 }
-                                SampleOutcome::Failed(f) => {
+                                SampleRun::Failed(f) => {
                                     if let Some(obs) = ctl.observer {
                                         obs.sample_finished(McPhase::Offset, i, Err(&f));
                                     }
                                     local.push((i, Err(f)));
                                 }
-                                SampleOutcome::Cancelled => break,
+                                SampleRun::Cancelled => break,
                             }
                             i += threads;
                         }
@@ -804,13 +887,7 @@ pub fn run_mc_controlled(cfg: &McConfig, ctl: &McControl<'_>) -> Result<McResult
         });
     }
     let summary = Summary::of(&offsets);
-    // Tiny runs can produce zero spread (offsets are quantized to the
-    // binary-search grid); the spec then degenerates to the |mean|.
-    let spec = if summary.std > 0.0 {
-        offset_spec(summary.mean, summary.std, cfg.failure_rate)
-    } else {
-        summary.mean.abs()
-    };
+    let spec = offset_spec_from_samples(cfg, &offsets);
     let ks_sqrt_n = if offsets.len() >= 3 && summary.std > 0.0 {
         issa_num::stats::ks_normal_statistic(&offsets) * (offsets.len() as f64).sqrt()
     } else {
@@ -825,17 +902,7 @@ pub fn run_mc_controlled(cfg: &McConfig, ctl: &McControl<'_>) -> Result<McResult
     // see.
     let delay_start = std::time::Instant::now();
     if delay_count > 0 {
-        let swing = match cfg.delay_swing {
-            DelaySwingPolicy::FixedFraction(f) => f * cfg.env.vdd,
-            DelaySwingPolicy::SpecProvisioned => cfg.probe.swing.max(1.5 * spec),
-        };
-        let delay_probe = ProbeOptions { swing, ..cfg.probe };
-        // Weight the two read directions by the workload's *internal* mix
-        // (what the latch actually resolves): under 80r0 the NSSA's delay
-        // is the read-0 delay, while the ISSA always sees a balanced mix.
-        let zero_fraction =
-            compile_workload(cfg.workload, cfg.kind, cfg.counter_bits).internal_zero_fraction;
-        let delay_probe = &delay_probe;
+        let swing = delay_swing_volts(cfg, spec);
         // Skip samples whose offset never completed (quarantined or
         // cancelled) and samples already restored from a checkpoint.
         let delay_skip: Vec<bool> = (0..delay_count)
@@ -858,23 +925,20 @@ pub fn run_mc_controlled(cfg: &McConfig, ctl: &McControl<'_>) -> Result<McResult
                                 if ctl.cancel.is_some_and(CancelToken::is_cancelled) {
                                     break;
                                 }
-                                match guarded_sample(cfg, i, McPhase::Delay, ctl.cancel, || {
-                                    let sa = build_sample(cfg, i);
-                                    sa.sensing_delay_weighted(zero_fraction, delay_probe)
-                                }) {
-                                    SampleOutcome::Done(v) => {
+                                match run_delay_sample(cfg, i, swing, ctl.cancel) {
+                                    SampleRun::Done(v) => {
                                         if let Some(obs) = ctl.observer {
                                             obs.sample_finished(McPhase::Delay, i, Ok(v));
                                         }
                                         local.push((i, Ok(v)));
                                     }
-                                    SampleOutcome::Failed(f) => {
+                                    SampleRun::Failed(f) => {
                                         if let Some(obs) = ctl.observer {
                                             obs.sample_finished(McPhase::Delay, i, Err(&f));
                                         }
                                         local.push((i, Err(f)));
                                     }
-                                    SampleOutcome::Cancelled => break,
+                                    SampleRun::Cancelled => break,
                                 }
                                 i += delay_threads;
                             }

@@ -1,0 +1,857 @@
+//! The coordinator: accepts workers, shards each corner's phases into
+//! leased units, merges arriving records, streams them into the campaign
+//! checkpoint, and assembles the final per-corner statistics.
+//!
+//! # Determinism argument
+//!
+//! The coordinator never computes statistics itself. It only *collects*
+//! per-sample records — each a pure function of `(config, index)` — into
+//! an [`McResume`], and the corner's final [`McResult`] is produced by
+//! [`run_mc_controlled`] restoring that resume, exactly as a local
+//! resumed run would. Worker count, unit size, lease churn, retries, and
+//! record arrival order therefore cannot perturb the result: the merge
+//! is a function of the *set* of records, and the set is fixed by the
+//! configuration. The one corner-wide coupling — the delay phase's
+//! bitline swing, derived from the offset distribution — is resolved
+//! here once per corner ([`delay_swing_volts`] over the index-ordered
+//! offsets) and shipped to workers as exact `f64` bits.
+//!
+//! # Liveness
+//!
+//! Three nested mechanisms keep a wedged fleet from wedging the
+//! campaign, from fastest to slowest:
+//!
+//! 1. a dropped connection revokes the worker's leases immediately;
+//! 2. a connected-but-silent worker hits the per-connection read
+//!    deadline ([`ServeOptions::worker_timeout`]) and is treated as 1;
+//! 3. a heartbeating-but-stuck worker loses each unit at its lease
+//!    deadline ([`SchedulerConfig::lease_timeout`]).
+//!
+//! Revoked units retry with exponential backoff (preferring a different
+//! worker) up to [`SchedulerConfig::max_unit_attempts`]; beyond that the
+//! unit is quarantined as `TimedOut` [`SampleFailure`]s, so the corner's
+//! ordinary `max_failure_frac` budget — not a special distributed code
+//! path — decides whether the campaign survives.
+
+use crate::frame::FrameStream;
+use crate::proto::{campaign_fingerprint, Msg, UnitAssignment, WorkerPerf, PROTO_VERSION};
+use crate::scheduler::{Applied, Decision, PhaseScheduler, SchedStats, SchedulerConfig};
+use crate::worker::{run_worker, WorkerOptions, WorkerStats};
+use crate::DistError;
+use issa_circuit::cancel::{CancelCause, CancelToken};
+use issa_core::campaign::{
+    CampaignCorner, CampaignError, CampaignOptions, CampaignReport, CornerOutcome, CornerReport,
+};
+use issa_core::checkpoint::{config_fingerprint, Checkpoint, CornerCheckpoint};
+use issa_core::montecarlo::{
+    delay_swing_volts, offset_spec_from_samples, run_mc_controlled, FailureKind, McControl,
+    McPhase, McResume, SampleFailure,
+};
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Coordinator behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Unit sizing, lease deadlines, retry/quarantine policy.
+    pub scheduler: SchedulerConfig,
+    /// Per-connection read deadline: a worker silent for this long
+    /// (no request, ping, or result) is declared dead and its leases
+    /// are revoked. Must exceed the worker heartbeat interval plus the
+    /// worst-case single-sample compute time.
+    pub worker_timeout: Duration,
+    /// Main-loop wake interval: bounds checkpoint lag and lease-expiry
+    /// detection latency.
+    pub poll: Duration,
+    /// Campaign checkpoint file — same semantics as
+    /// [`CampaignOptions::checkpoint`]: load-and-verify on start, stream
+    /// records in, delete when the campaign completes fully.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Flush the checkpoint every this many fresh records.
+    pub flush_every: usize,
+    /// Print corner/phase progress to stderr.
+    pub progress: bool,
+    /// In-process workers to spawn, each connected to the listener over
+    /// real TCP — full protocol coverage without separate processes.
+    pub loopback: Vec<WorkerOptions>,
+    /// Test hook: stop serving (checkpoint flushed, report partial)
+    /// after this many units have completed — the distributed analogue
+    /// of [`CampaignOptions::abort_after`].
+    pub abort_after_units: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            scheduler: SchedulerConfig::default(),
+            worker_timeout: Duration::from_secs(10),
+            poll: Duration::from_millis(25),
+            checkpoint: None,
+            flush_every: 16,
+            progress: false,
+            loopback: Vec::new(),
+            abort_after_units: None,
+        }
+    }
+}
+
+/// One worker's aggregated contribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Coordinator-assigned id (one per handshake; a reconnecting worker
+    /// gets a fresh id and a fresh summary row).
+    pub worker_id: u64,
+    /// The worker's self-reported display name.
+    pub name: String,
+    /// Units completed and merged (duplicates excluded).
+    pub units: u64,
+    /// Per-sample records merged from this worker.
+    pub samples: u64,
+    /// Aggregated hot-path counters (see [`WorkerPerf`] for the
+    /// loopback-mode attribution caveat).
+    pub perf: WorkerPerf,
+}
+
+/// What a distributed campaign accomplished.
+#[derive(Debug)]
+pub struct DistReport {
+    /// The merged campaign outcome — same shape a local
+    /// [`issa_core::campaign::run_campaign`] returns, bit-identical
+    /// results included.
+    pub campaign: CampaignReport,
+    /// Per-handshake worker contributions, in id order.
+    pub workers: Vec<WorkerSummary>,
+    /// Aggregated scheduler counters across all corners and phases.
+    pub sched: SchedStats,
+}
+
+struct WorkerInfo {
+    name: String,
+    units: u64,
+    samples: u64,
+    perf: WorkerPerf,
+}
+
+/// The phase currently being served, shared with connection handlers.
+struct ActivePhase {
+    corner: String,
+    phase: McPhase,
+    swing_bits: u64,
+    scheduler: PhaseScheduler,
+    /// Indices still wanted in this phase; records outside it (late
+    /// duplicates, indices whose offset failed) are discarded on merge.
+    wanted: std::collections::HashSet<usize>,
+    /// Fresh records accepted from workers, drained by the main loop.
+    collected: McResume,
+    /// Units completed this phase (for the abort test hook).
+    units_completed: u64,
+}
+
+struct ServeState {
+    finished: bool,
+    next_worker_id: u64,
+    workers: HashMap<u64, WorkerInfo>,
+    phase: Option<ActivePhase>,
+}
+
+struct Shared {
+    state: Mutex<ServeState>,
+    cv: Condvar,
+    campaign_fp: u64,
+    worker_timeout: Duration,
+    poll: Duration,
+    /// Live connection handlers; the shutdown path waits (bounded) for
+    /// this to drain so every connected worker receives its `done`.
+    conns: std::sync::atomic::AtomicUsize,
+}
+
+fn lock(shared: &Shared) -> MutexGuard<'_, ServeState> {
+    // A poisoned lock means a handler panicked mid-update; the state is
+    // still sound (every mutation is a single push/insert).
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    /// Handles one worker message, returning the reply (or `None` to
+    /// drop a connection that is not speaking the protocol).
+    fn handle(&self, conn_worker: &mut Option<u64>, msg: Msg) -> Option<Msg> {
+        let now = Instant::now();
+        let mut s = lock(self);
+        match msg {
+            Msg::Hello {
+                proto,
+                campaign_fp,
+                name,
+            } => {
+                if proto != PROTO_VERSION {
+                    return Some(Msg::Reject {
+                        reason: format!(
+                            "protocol version {proto}, coordinator speaks {PROTO_VERSION}"
+                        ),
+                    });
+                }
+                if campaign_fp != self.campaign_fp {
+                    return Some(Msg::Reject {
+                        reason: format!(
+                            "campaign fingerprint {campaign_fp:016x} != coordinator {:016x} \
+                             (corner list or configuration differs)",
+                            self.campaign_fp
+                        ),
+                    });
+                }
+                let id = s.next_worker_id;
+                s.next_worker_id += 1;
+                s.workers.insert(
+                    id,
+                    WorkerInfo {
+                        name,
+                        units: 0,
+                        samples: 0,
+                        perf: WorkerPerf::default(),
+                    },
+                );
+                *conn_worker = Some(id);
+                Some(Msg::Welcome { worker_id: id })
+            }
+            _ if conn_worker.is_none() => Some(Msg::Reject {
+                reason: "handshake required before any other message".into(),
+            }),
+            Msg::Ping { .. } => Some(Msg::Ok),
+            Msg::Request { worker_id } => {
+                if s.finished {
+                    return Some(Msg::Done);
+                }
+                let poll_ms = self.poll.as_millis().max(10) as u64;
+                let Some(phase) = s.phase.as_mut() else {
+                    // Between phases (or corners): work may still appear.
+                    return Some(Msg::Wait { millis: poll_ms });
+                };
+                match phase.scheduler.next_assignment(worker_id, now) {
+                    Decision::Assign(unit_id, start, end) => Some(Msg::Assign(UnitAssignment {
+                        unit_id,
+                        corner: phase.corner.clone(),
+                        phase: phase.phase,
+                        swing_bits: phase.swing_bits,
+                        start,
+                        end,
+                    })),
+                    Decision::Wait(d) => Some(Msg::Wait {
+                        millis: (d.as_millis() as u64).clamp(10, 1_000),
+                    }),
+                    // The main loop is about to retire this phase; the
+                    // campaign is only over when `finished` says so.
+                    Decision::Complete => Some(Msg::Wait { millis: poll_ms }),
+                }
+            }
+            Msg::Result(r) => {
+                let unit_id = r.unit_id;
+                if let Some(phase) = s.phase.as_mut() {
+                    if phase.scheduler.apply_result(unit_id) == Applied::Fresh {
+                        let mut merged_samples: u64 = 0;
+                        for (i, v) in r.offsets {
+                            if phase.phase == McPhase::Offset && phase.wanted.remove(&i) {
+                                phase.collected.offsets.push((i, v));
+                                merged_samples += 1;
+                            }
+                        }
+                        for (i, v) in r.delays {
+                            if phase.phase == McPhase::Delay && phase.wanted.remove(&i) {
+                                phase.collected.delays.push((i, v));
+                                merged_samples += 1;
+                            }
+                        }
+                        for f in r.failures {
+                            if f.phase == phase.phase && phase.wanted.remove(&f.index) {
+                                phase.collected.failures.push(f);
+                                merged_samples += 1;
+                            }
+                        }
+                        phase.units_completed += 1;
+                        if let Some(w) = s.workers.get_mut(&r.worker_id) {
+                            w.units += 1;
+                            w.samples += merged_samples;
+                            w.perf = w.perf.saturating_add(&r.perf);
+                        }
+                        self.cv.notify_all();
+                    }
+                }
+                // Stale results (no active phase / unknown unit) are
+                // acknowledged too: the sender's work is simply already
+                // covered, bit-identically, by whoever finished first.
+                Some(Msg::Ack { unit_id })
+            }
+            Msg::Welcome { .. }
+            | Msg::Reject { .. }
+            | Msg::Assign(_)
+            | Msg::Wait { .. }
+            | Msg::Done
+            | Msg::Ok
+            | Msg::Ack { .. } => None,
+        }
+    }
+
+    /// A connection died (EOF, read deadline, bad frame): revoke the
+    /// worker's leases so its units retry elsewhere.
+    fn worker_lost(&self, worker_id: u64) {
+        let now = Instant::now();
+        let mut s = lock(self);
+        if let Some(phase) = s.phase.as_mut() {
+            phase.scheduler.worker_dead(worker_id, now);
+        }
+        self.cv.notify_all();
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    if stream
+        .set_read_timeout(Some(shared.worker_timeout))
+        .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    shared.conns.fetch_add(1, Ordering::SeqCst);
+    let _open = Decrement(&shared.conns);
+    let mut frames = FrameStream::new(stream);
+    let mut conn_worker: Option<u64> = None;
+    while let Ok(payload) = frames.recv() {
+        let Ok(msg) = Msg::from_bytes(&payload) else {
+            // A decodable frame with an undecodable message: the peer is
+            // confused — drop the connection, let it re-handshake.
+            break;
+        };
+        match shared.handle(&mut conn_worker, msg) {
+            Some(reply) => {
+                if frames.send(&reply.to_bytes()).is_err() {
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    if let Some(id) = conn_worker {
+        shared.worker_lost(id);
+    }
+}
+
+/// Drops decrement the wrapped counter — pairs every `handle_connection`
+/// entry with an exit, panics included.
+struct Decrement<'a>(&'a std::sync::atomic::AtomicUsize);
+
+impl Drop for Decrement<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Serves a campaign to workers connecting on `listener` (bind it
+/// yourself — `127.0.0.1:0` in tests — so the address is known before
+/// serving starts). Returns when every corner is merged, or when the
+/// abort hook fires.
+///
+/// # Errors
+///
+/// Startup problems only, mirroring the local engine: an untrusted or
+/// mismatched checkpoint ([`DistError::Campaign`]), or listener
+/// configuration failures ([`DistError::Io`]). Runtime trouble — worker
+/// churn, quarantined units, failed corners — degrades into the
+/// [`DistReport`].
+pub fn serve_campaign(
+    listener: TcpListener,
+    corners: &[CampaignCorner],
+    opts: &ServeOptions,
+) -> Result<DistReport, DistError> {
+    // Load and verify prior state before accepting anyone.
+    let mut restored = Checkpoint::default();
+    if let Some(path) = &opts.checkpoint {
+        if path.exists() {
+            restored = Checkpoint::load(path).map_err(CampaignError::Checkpoint)?;
+        }
+    }
+    for corner in corners {
+        if let Some(prev) = restored.corner(&corner.name) {
+            let expected = config_fingerprint(&corner.name, &corner.cfg);
+            if prev.fingerprint != expected {
+                return Err(DistError::Campaign(CampaignError::FingerprintMismatch {
+                    corner: corner.name.clone(),
+                    stored: prev.fingerprint,
+                    expected,
+                }));
+            }
+        }
+    }
+    let resumed_records = restored.records();
+    if opts.progress && resumed_records > 0 {
+        eprintln!("serve: resuming with {resumed_records} checkpointed records");
+    }
+
+    let shared = Arc::new(Shared {
+        state: Mutex::new(ServeState {
+            finished: false,
+            next_worker_id: 1,
+            workers: HashMap::new(),
+            phase: None,
+        }),
+        cv: Condvar::new(),
+        campaign_fp: campaign_fingerprint(corners),
+        worker_timeout: opts.worker_timeout,
+        poll: opts.poll,
+        conns: std::sync::atomic::AtomicUsize::new(0),
+    });
+
+    // Acceptor: nonblocking poll loop so shutdown is prompt and portable.
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let shared = Arc::clone(&shared);
+                        // Handlers are detached: they exit on their read
+                        // deadline or when their worker disconnects.
+                        std::thread::spawn(move || handle_connection(stream, &shared));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        })
+    };
+
+    // Loopback workers: real TCP, real protocol, one process.
+    let loopback: Vec<_> = opts
+        .loopback
+        .iter()
+        .cloned()
+        .map(|wopts| {
+            let corners = corners.to_vec();
+            std::thread::spawn(move || run_worker(local_addr, &corners, &wopts))
+        })
+        .collect();
+
+    let run = drive_campaign(corners, opts, &shared, &restored, resumed_records);
+
+    // Shut everything down before reporting: workers drain on `done`.
+    {
+        let mut s = lock(&shared);
+        s.finished = true;
+        s.phase = None;
+    }
+    shared.cv.notify_all();
+    for handle in loopback {
+        match handle.join() {
+            Ok(Ok(stats)) => log_worker_exit(opts, &stats),
+            Ok(Err(e)) => {
+                if opts.progress {
+                    eprintln!("serve: loopback worker error: {e}");
+                }
+            }
+            Err(_) => {
+                if opts.progress {
+                    eprintln!("serve: loopback worker panicked");
+                }
+            }
+        }
+    }
+    // Linger until every connected (remote) worker has re-requested and
+    // received its `done` — workers sleep at most ~1 s between requests,
+    // so a healthy fleet drains promptly; a vanished one hits the cap.
+    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    while shared.conns.load(Ordering::SeqCst) > 0 && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    shutdown.store(true, Ordering::SeqCst);
+    let _ = acceptor.join();
+
+    let (campaign, sched) = run;
+    let mut workers: Vec<WorkerSummary> = {
+        let s = lock(&shared);
+        s.workers
+            .iter()
+            .map(|(&worker_id, info)| WorkerSummary {
+                worker_id,
+                name: info.name.clone(),
+                units: info.units,
+                samples: info.samples,
+                perf: info.perf,
+            })
+            .collect()
+    };
+    workers.sort_by_key(|w| w.worker_id);
+    Ok(DistReport {
+        campaign,
+        workers,
+        sched,
+    })
+}
+
+fn log_worker_exit(opts: &ServeOptions, stats: &WorkerStats) {
+    if opts.progress && stats.died {
+        eprintln!(
+            "serve: loopback worker died by script after {} units",
+            stats.units_done
+        );
+    }
+}
+
+/// The main scheduling loop: corners in order, two phases per corner,
+/// records merged and checkpointed as they arrive, final statistics
+/// assembled by [`run_mc_controlled`] from the merged resume.
+fn drive_campaign(
+    corners: &[CampaignCorner],
+    opts: &ServeOptions,
+    shared: &Shared,
+    restored: &Checkpoint,
+    resumed_records: usize,
+) -> (CampaignReport, SchedStats) {
+    let mut reports: Vec<CornerReport> = Vec::with_capacity(corners.len());
+    let mut sched_total = SchedStats::default();
+    let mut done_corners: Vec<CornerCheckpoint> = Vec::new();
+    let mut units_budget = opts.abort_after_units;
+    let mut aborted = false;
+
+    for corner in corners {
+        if aborted {
+            reports.push(CornerReport {
+                name: corner.name.clone(),
+                outcome: CornerOutcome::Skipped,
+            });
+            continue;
+        }
+        let cfg = &corner.cfg;
+        let mut current = CornerCheckpoint {
+            name: corner.name.clone(),
+            fingerprint: config_fingerprint(&corner.name, cfg),
+            resume: restored
+                .corner(&corner.name)
+                .map(|c| c.resume.clone())
+                .unwrap_or_default(),
+        };
+        if opts.progress {
+            eprintln!(
+                "serve: corner {:?} ({} samples, {} restored)",
+                corner.name,
+                cfg.samples,
+                current.resume.records()
+            );
+        }
+
+        // ---- Phase 1: offsets -------------------------------------------
+        let mut offset_done = vec![false; cfg.samples];
+        for &(i, _) in &current.resume.offsets {
+            if i < cfg.samples {
+                offset_done[i] = true;
+            }
+        }
+        for f in &current.resume.failures {
+            if f.phase == McPhase::Offset && f.index < cfg.samples {
+                offset_done[f.index] = true;
+            }
+        }
+        let pending: Vec<usize> = (0..cfg.samples).filter(|&i| !offset_done[i]).collect();
+        let phase_aborted = serve_phase(
+            corner,
+            McPhase::Offset,
+            0,
+            &pending,
+            opts,
+            shared,
+            &mut current,
+            &done_corners,
+            &mut sched_total,
+            &mut units_budget,
+        );
+
+        // ---- Phase 2: delays --------------------------------------------
+        let delay_count = cfg.delay_samples.min(cfg.samples);
+        if delay_count > 0 && !phase_aborted {
+            // The corner-wide swing, from the merged, index-ordered
+            // offset distribution — exactly what the in-process engine
+            // derives between its phases.
+            let mut offsets_by_index: Vec<Option<f64>> = vec![None; cfg.samples];
+            for &(i, v) in &current.resume.offsets {
+                if i < cfg.samples {
+                    offsets_by_index[i] = Some(v);
+                }
+            }
+            let offsets: Vec<f64> = offsets_by_index.iter().copied().flatten().collect();
+            if !offsets.is_empty() {
+                let spec = offset_spec_from_samples(cfg, &offsets);
+                let swing = delay_swing_volts(cfg, spec);
+                let mut delay_done = vec![false; delay_count];
+                for &(i, _) in &current.resume.delays {
+                    if i < delay_count {
+                        delay_done[i] = true;
+                    }
+                }
+                for f in &current.resume.failures {
+                    if f.phase == McPhase::Delay && f.index < delay_count {
+                        delay_done[f.index] = true;
+                    }
+                }
+                let pending: Vec<usize> = (0..delay_count)
+                    .filter(|&i| offsets_by_index[i].is_some() && !delay_done[i])
+                    .collect();
+                serve_phase(
+                    corner,
+                    McPhase::Delay,
+                    swing.to_bits(),
+                    &pending,
+                    opts,
+                    shared,
+                    &mut current,
+                    &done_corners,
+                    &mut sched_total,
+                    &mut units_budget,
+                );
+            }
+        }
+
+        aborted = units_budget.is_some_and(|n| n == 0);
+
+        // ---- Merge: the statistics a single-process run would build -----
+        let token = CancelToken::new();
+        if aborted {
+            // Mirror a local campaign interrupted mid-corner: the merge
+            // keeps completed work and reports the corner partial.
+            token.cancel(CancelCause::Interrupt);
+        }
+        let ctl = McControl {
+            resume: Some(&current.resume),
+            observer: None,
+            cancel: Some(&token),
+        };
+        let outcome = match run_mc_controlled(cfg, &ctl) {
+            Ok(result) => CornerOutcome::Completed(Box::new(result)),
+            Err(e) => CornerOutcome::Failed(e),
+        };
+        if opts.progress {
+            match &outcome {
+                CornerOutcome::Completed(r) if r.partial => eprintln!(
+                    "serve: corner {:?} PARTIAL ({}/{} offsets)",
+                    corner.name,
+                    r.offsets.len(),
+                    r.requested
+                ),
+                CornerOutcome::Completed(_) => eprintln!("serve: corner {:?} done", corner.name),
+                CornerOutcome::Failed(e) => {
+                    eprintln!("serve: corner {:?} FAILED: {e}", corner.name);
+                }
+                CornerOutcome::Skipped => {}
+            }
+        }
+        if current.resume.records() > 0 {
+            done_corners.push(current);
+        }
+        flush_checkpoint(opts.checkpoint.as_deref(), &done_corners, None);
+        reports.push(CornerReport {
+            name: corner.name.clone(),
+            outcome,
+        });
+    }
+
+    let cancelled = aborted.then_some(CancelCause::Interrupt);
+    let partial = cancelled.is_some()
+        || reports.iter().any(|r| match &r.outcome {
+            CornerOutcome::Completed(res) => res.partial,
+            CornerOutcome::Failed(_) | CornerOutcome::Skipped => true,
+        });
+    if !partial {
+        if let Some(path) = &opts.checkpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    (
+        CampaignReport {
+            corners: reports,
+            resumed_records,
+            cancelled,
+            partial,
+        },
+        sched_total,
+    )
+}
+
+/// Serves one phase of one corner to the worker fleet: installs the
+/// scheduler, waits for completion while ticking leases and draining
+/// records, quarantines exhausted units, and streams the checkpoint.
+/// Returns `true` when the abort hook ended the phase early.
+#[allow(clippy::too_many_arguments)]
+fn serve_phase(
+    corner: &CampaignCorner,
+    phase: McPhase,
+    swing_bits: u64,
+    pending: &[usize],
+    opts: &ServeOptions,
+    shared: &Shared,
+    current: &mut CornerCheckpoint,
+    done_corners: &[CornerCheckpoint],
+    sched_total: &mut SchedStats,
+    units_budget: &mut Option<u64>,
+) -> bool {
+    if pending.is_empty() || units_budget.is_some_and(|n| n == 0) {
+        return units_budget.is_some_and(|n| n == 0);
+    }
+    let ranges = PhaseScheduler::ranges_of(pending, opts.scheduler.unit_samples);
+    // Unit ids are globally unique within the serve session so a stale
+    // result from a previous phase can never be mistaken for a fresh one.
+    static NEXT_UNIT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    let base_id = NEXT_UNIT_ID.fetch_add(ranges.len() as u64, Ordering::Relaxed);
+    if opts.progress {
+        eprintln!(
+            "serve: corner {:?} {phase} phase: {} samples in {} units",
+            corner.name,
+            pending.len(),
+            ranges.len()
+        );
+    }
+    {
+        let mut s = lock(shared);
+        s.phase = Some(ActivePhase {
+            corner: corner.name.clone(),
+            phase,
+            swing_bits,
+            scheduler: PhaseScheduler::new(&ranges, base_id, &opts.scheduler),
+            wanted: pending.iter().copied().collect(),
+            collected: McResume::default(),
+            units_completed: 0,
+        });
+    }
+    shared.cv.notify_all();
+
+    let mut fresh_since_flush = 0usize;
+    let mut aborted = false;
+    loop {
+        let mut s = lock(shared);
+        let (guard, _) = shared
+            .cv
+            .wait_timeout(s, opts.poll)
+            .unwrap_or_else(PoisonError::into_inner);
+        s = guard;
+        let Some(active) = s.phase.as_mut() else {
+            break;
+        };
+        let now = Instant::now();
+        active.scheduler.tick(now);
+
+        // Quarantine: exhausted units become ordinary TimedOut failures,
+        // one per still-missing index, and flow through the same budget
+        // machinery as any other quarantined sample.
+        for (unit_id, start, end, attempts) in active.scheduler.drain_quarantined() {
+            for index in start..end {
+                if !active.wanted.remove(&index) {
+                    continue;
+                }
+                active.collected.failures.push(SampleFailure {
+                    index,
+                    seed: corner.cfg.seed,
+                    corner: corner.cfg.corner_label(),
+                    phase,
+                    kind: FailureKind::TimedOut,
+                    error: format!(
+                        "distributed unit {unit_id} quarantined after {attempts} lease \
+                         attempts (worker loss or lease timeout)"
+                    ),
+                    recovery_attempts: 0,
+                });
+            }
+        }
+
+        // Drain fresh records into the corner's durable state.
+        let drained = std::mem::take(&mut active.collected);
+        let drained_count = drained.records();
+        let new_units = active.units_completed;
+        active.units_completed = 0;
+        let complete = active.scheduler.is_complete();
+        if complete {
+            sched_total.stats_merge(&active.scheduler.stats);
+            s.phase = None;
+        }
+        drop(s);
+
+        current.resume.offsets.extend(drained.offsets);
+        current.resume.delays.extend(drained.delays);
+        current.resume.failures.extend(drained.failures);
+        fresh_since_flush += drained_count;
+        if let Some(budget) = units_budget.as_mut() {
+            *budget = budget.saturating_sub(new_units);
+            if *budget == 0 {
+                aborted = true;
+            }
+        }
+        if opts.flush_every > 0 && fresh_since_flush >= opts.flush_every {
+            fresh_since_flush = 0;
+            flush_checkpoint(opts.checkpoint.as_deref(), done_corners, Some(current));
+        }
+        if complete || aborted {
+            if aborted {
+                let mut s = lock(shared);
+                if let Some(active) = s.phase.take() {
+                    sched_total.stats_merge(&active.scheduler.stats);
+                }
+            }
+            break;
+        }
+    }
+    // Phase boundary: always flush, so a killed coordinator restarts
+    // from at worst one poll interval of lost records.
+    flush_checkpoint(opts.checkpoint.as_deref(), done_corners, Some(current));
+    aborted
+}
+
+trait StatsMerge {
+    fn stats_merge(&mut self, other: &SchedStats);
+}
+
+impl StatsMerge for SchedStats {
+    fn stats_merge(&mut self, other: &SchedStats) {
+        *self = self.saturating_add(other);
+    }
+}
+
+/// Writes the checkpoint (done corners plus the in-flight one), warning
+/// rather than failing on I/O trouble — durability is best-effort while
+/// the run is healthy.
+fn flush_checkpoint(
+    path: Option<&Path>,
+    done_corners: &[CornerCheckpoint],
+    current: Option<&CornerCheckpoint>,
+) {
+    let Some(path) = path else { return };
+    let mut corners = done_corners.to_vec();
+    if let Some(c) = current {
+        if c.resume.records() > 0 {
+            corners.push(c.clone());
+        }
+    }
+    let ckpt = Checkpoint { corners };
+    if let Err(e) = ckpt.save(path) {
+        eprintln!(
+            "warning: checkpoint flush to {} failed: {e}",
+            path.display()
+        );
+    }
+}
+
+/// Convenience for the bench binary: a [`CampaignOptions`]-shaped view
+/// of the serve options (checkpoint path, flush cadence, progress).
+#[must_use]
+pub fn serve_options_from_campaign(opts: &CampaignOptions) -> ServeOptions {
+    ServeOptions {
+        checkpoint: opts.checkpoint.clone(),
+        flush_every: opts.flush_every,
+        progress: opts.progress,
+        ..ServeOptions::default()
+    }
+}

@@ -1,0 +1,440 @@
+//! The lease state machine: pure, clock-injected scheduling of one
+//! phase's work units across workers.
+//!
+//! A *unit* is a contiguous sample-index range of one corner's phase.
+//! Units move through `Ready → Leased → Done`, with two detours:
+//!
+//! - **Retry** — a lease expires (per-unit deadline) or its worker dies;
+//!   the unit backs off exponentially (`retry_backoff · 2^(attempt-1)`)
+//!   and becomes assignable again, preferentially to a different worker.
+//! - **Quarantine** — a unit that exhausts
+//!   [`SchedulerConfig::max_unit_attempts`] is abandoned; the
+//!   coordinator synthesizes a `TimedOut`
+//!   [`SampleFailure`](issa_core::montecarlo::SampleFailure) per index
+//!   so the corner's existing `max_failure_frac` budget decides whether
+//!   the campaign survives.
+//!
+//! Results are **idempotent**: every sample is a pure function of
+//! `(config, index)`, so a late or duplicate result for an
+//! already-completed unit is acknowledged and discarded — whichever
+//! worker's copy arrived first is bit-identical to every other copy.
+//!
+//! All methods take `now: Instant` instead of reading a clock, so every
+//! timing path is deterministic under test.
+
+use std::time::{Duration, Instant};
+
+/// Scheduling knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Samples per work unit. Smaller units rebalance and retry more
+    /// cheaply; larger units amortize per-unit round trips and keep the
+    /// offset search warm-started across more consecutive samples.
+    pub unit_samples: usize,
+    /// Lease attempts before a unit is quarantined.
+    pub max_unit_attempts: u32,
+    /// Per-unit deadline: a lease older than this is revoked and the
+    /// unit retried. Must exceed the worst-case unit compute time or
+    /// healthy slow units will churn (their late results still merge
+    /// idempotently, but the work is duplicated).
+    pub lease_timeout: Duration,
+    /// Base of the exponential retry backoff.
+    pub retry_backoff: Duration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            unit_samples: 16,
+            max_unit_attempts: 4,
+            lease_timeout: Duration::from_secs(60),
+            retry_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnitState {
+    Ready,
+    Backoff { until: Instant },
+    Leased { worker: u64, deadline: Instant },
+    Done,
+    Quarantined,
+}
+
+#[derive(Debug, Clone)]
+struct Unit {
+    id: u64,
+    start: usize,
+    end: usize,
+    state: UnitState,
+    attempts: u32,
+    last_worker: Option<u64>,
+}
+
+/// What the scheduler tells a requesting worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Lease this unit: `(unit id, start, end)`.
+    Assign(u64, usize, usize),
+    /// Nothing assignable right now (units leased or backing off);
+    /// ask again after this long.
+    Wait(Duration),
+    /// Every unit is done or quarantined.
+    Complete,
+}
+
+/// How an arriving result was applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applied {
+    /// First result for this unit: merge its records.
+    Fresh,
+    /// The unit was already completed (or quarantined) — discard the
+    /// records, acknowledge anyway (results are idempotent).
+    Duplicate,
+    /// No such unit in this phase (a stale result from a previous
+    /// phase's id space) — discard and acknowledge.
+    Unknown,
+}
+
+/// Counters describing how hard the scheduler had to fight.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Lease revocations (expiry or worker death) that led to a retry.
+    pub retries: u64,
+    /// Retried units that were subsequently leased to a *different*
+    /// worker than the one that lost them.
+    pub reassigned: u64,
+    /// Units abandoned after exhausting their attempts.
+    pub quarantined_units: u64,
+    /// Results discarded as duplicates or stale.
+    pub duplicates: u64,
+}
+
+impl SchedStats {
+    /// Element-wise sum, for aggregating across phases.
+    #[must_use]
+    pub fn saturating_add(&self, other: &SchedStats) -> SchedStats {
+        SchedStats {
+            retries: self.retries.saturating_add(other.retries),
+            reassigned: self.reassigned.saturating_add(other.reassigned),
+            quarantined_units: self
+                .quarantined_units
+                .saturating_add(other.quarantined_units),
+            duplicates: self.duplicates.saturating_add(other.duplicates),
+        }
+    }
+}
+
+/// The lease state machine for one phase of one corner.
+#[derive(Debug)]
+pub struct PhaseScheduler {
+    units: Vec<Unit>,
+    cfg: SchedulerConfig,
+    /// Counters for this phase.
+    pub stats: SchedStats,
+    /// Quarantined `(unit id, start, end, attempts)` tuples not yet
+    /// drained by the coordinator.
+    quarantine: Vec<(u64, usize, usize, u32)>,
+}
+
+impl PhaseScheduler {
+    /// Builds a scheduler over the given `(start, end)` ranges, with
+    /// unit ids `base_id, base_id + 1, …` in order. Ranges already fully
+    /// satisfied (by a checkpoint resume) should simply not be passed.
+    #[must_use]
+    pub fn new(ranges: &[(usize, usize)], base_id: u64, cfg: &SchedulerConfig) -> Self {
+        let units = ranges
+            .iter()
+            .enumerate()
+            .map(|(k, &(start, end))| Unit {
+                id: base_id + k as u64,
+                start,
+                end,
+                state: UnitState::Ready,
+                attempts: 0,
+                last_worker: None,
+            })
+            .collect();
+        PhaseScheduler {
+            units,
+            cfg: cfg.clone(),
+            stats: SchedStats::default(),
+            quarantine: Vec::new(),
+        }
+    }
+
+    /// Splits `pending` sample indices (sorted) into contiguous ranges of
+    /// at most `unit_samples`, breaking at gaps — the canonical unit
+    /// decomposition. Deterministic in the pending set alone, so a
+    /// restarted coordinator rebuilds compatible units.
+    #[must_use]
+    pub fn ranges_of(pending: &[usize], unit_samples: usize) -> Vec<(usize, usize)> {
+        let chunk = unit_samples.max(1);
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        for &i in pending {
+            match ranges.last_mut() {
+                Some(&mut (start, ref mut end)) if *end == i && i - start < chunk => *end = i + 1,
+                _ => ranges.push((i, i + 1)),
+            }
+        }
+        ranges
+    }
+
+    /// Expires overdue leases. Call before every assignment decision.
+    pub fn tick(&mut self, now: Instant) {
+        for k in 0..self.units.len() {
+            if let UnitState::Leased { worker, deadline } = self.units[k].state {
+                if now >= deadline {
+                    self.release(k, worker, now);
+                }
+            }
+        }
+    }
+
+    /// Revokes every lease held by a dead worker (connection lost or
+    /// heartbeat timeout).
+    pub fn worker_dead(&mut self, worker: u64, now: Instant) {
+        for k in 0..self.units.len() {
+            if matches!(self.units[k].state, UnitState::Leased { worker: w, .. } if w == worker) {
+                self.release(k, worker, now);
+            }
+        }
+    }
+
+    /// A lease came back: retry with backoff, or quarantine when the
+    /// attempt budget is spent.
+    fn release(&mut self, k: usize, worker: u64, now: Instant) {
+        let unit = &mut self.units[k];
+        unit.last_worker = Some(worker);
+        if unit.attempts >= self.cfg.max_unit_attempts {
+            unit.state = UnitState::Quarantined;
+            self.stats.quarantined_units += 1;
+            self.quarantine
+                .push((unit.id, unit.start, unit.end, unit.attempts));
+        } else {
+            // attempts is >= 1 here (the unit was leased at least once).
+            let exp = unit.attempts.saturating_sub(1).min(16);
+            unit.state = UnitState::Backoff {
+                until: now + self.cfg.retry_backoff * 2u32.saturating_pow(exp),
+            };
+            self.stats.retries += 1;
+        }
+    }
+
+    /// Picks work for a requesting worker. Retried units prefer a
+    /// *different* worker when one is available; freshness is otherwise
+    /// first-come in unit order.
+    pub fn next_assignment(&mut self, worker: u64, now: Instant) -> Decision {
+        self.tick(now);
+        if self.is_complete() {
+            return Decision::Complete;
+        }
+        // First pass: an assignable unit this worker hasn't already lost.
+        // Second pass: any assignable unit (better the same worker than
+        // an idle one).
+        for require_other in [true, false] {
+            for unit in &mut self.units {
+                let assignable = match unit.state {
+                    UnitState::Ready => true,
+                    UnitState::Backoff { until } => now >= until,
+                    _ => false,
+                };
+                if !assignable || (require_other && unit.last_worker == Some(worker)) {
+                    continue;
+                }
+                if unit.attempts > 0 && unit.last_worker != Some(worker) {
+                    self.stats.reassigned += 1;
+                }
+                unit.attempts += 1;
+                unit.state = UnitState::Leased {
+                    worker,
+                    deadline: now + self.cfg.lease_timeout,
+                };
+                return Decision::Assign(unit.id, unit.start, unit.end);
+            }
+        }
+        // Nothing assignable: wait until the nearest backoff expiry or
+        // lease deadline, whichever is sooner.
+        let mut wait = self.cfg.lease_timeout;
+        for unit in &self.units {
+            let at = match unit.state {
+                UnitState::Backoff { until } => Some(until),
+                UnitState::Leased { deadline, .. } => Some(deadline),
+                _ => None,
+            };
+            if let Some(at) = at {
+                wait = wait.min(at.saturating_duration_since(now));
+            }
+        }
+        Decision::Wait(wait.max(Duration::from_millis(10)))
+    }
+
+    /// Marks a unit's result received.
+    pub fn apply_result(&mut self, unit_id: u64) -> Applied {
+        match self.units.iter_mut().find(|u| u.id == unit_id) {
+            None => {
+                self.stats.duplicates += 1;
+                Applied::Unknown
+            }
+            Some(unit) => match unit.state {
+                UnitState::Done | UnitState::Quarantined => {
+                    // A quarantined unit's failures may already be merged;
+                    // the late result stays discarded so the merge is a
+                    // function of scheduler state, not arrival order.
+                    self.stats.duplicates += 1;
+                    Applied::Duplicate
+                }
+                _ => {
+                    unit.state = UnitState::Done;
+                    Applied::Fresh
+                }
+            },
+        }
+    }
+
+    /// Whether every unit is done or quarantined.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.units
+            .iter()
+            .all(|u| matches!(u.state, UnitState::Done | UnitState::Quarantined))
+    }
+
+    /// Drains quarantined `(unit id, start, end, attempts)` tuples for
+    /// the coordinator to convert into `TimedOut` sample failures.
+    pub fn drain_quarantined(&mut self) -> Vec<(u64, usize, usize, u32)> {
+        std::mem::take(&mut self.quarantine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    fn cfg() -> SchedulerConfig {
+        SchedulerConfig {
+            unit_samples: 4,
+            max_unit_attempts: 2,
+            lease_timeout: Duration::from_millis(100),
+            retry_backoff: Duration::from_millis(20),
+        }
+    }
+
+    #[test]
+    fn ranges_split_at_gaps_and_chunk_size() {
+        assert_eq!(
+            PhaseScheduler::ranges_of(&[0, 1, 2, 3, 4, 5], 4),
+            vec![(0, 4), (4, 6)]
+        );
+        assert_eq!(
+            PhaseScheduler::ranges_of(&[0, 1, 3, 4], 4),
+            vec![(0, 2), (3, 5)]
+        );
+        assert_eq!(PhaseScheduler::ranges_of(&[], 4), vec![]);
+        assert_eq!(PhaseScheduler::ranges_of(&[7], 1), vec![(7, 8)]);
+    }
+
+    #[test]
+    fn assigns_all_units_then_waits_then_completes() {
+        let mut s = PhaseScheduler::new(&[(0, 4), (4, 8)], 10, &cfg());
+        let now = Instant::now();
+        assert_eq!(s.next_assignment(1, now), Decision::Assign(10, 0, 4));
+        assert_eq!(s.next_assignment(2, now), Decision::Assign(11, 4, 8));
+        assert!(matches!(s.next_assignment(3, now), Decision::Wait(_)));
+        assert_eq!(s.apply_result(10), Applied::Fresh);
+        assert_eq!(s.apply_result(11), Applied::Fresh);
+        assert!(s.is_complete());
+        assert_eq!(s.next_assignment(3, now), Decision::Complete);
+        assert_eq!(s.stats, SchedStats::default());
+    }
+
+    #[test]
+    fn expired_lease_is_retried_on_another_worker() {
+        let mut s = PhaseScheduler::new(&[(0, 4)], 0, &cfg());
+        let t0 = Instant::now();
+        assert_eq!(s.next_assignment(1, t0), Decision::Assign(0, 0, 4));
+        // The periodic tick notices the expired lease; past the backoff,
+        // another worker inherits the unit.
+        s.tick(t0 + Duration::from_millis(150));
+        let t1 = t0 + Duration::from_millis(200);
+        assert_eq!(s.next_assignment(2, t1), Decision::Assign(0, 0, 4));
+        assert_eq!(s.stats.retries, 1);
+        assert_eq!(s.stats.reassigned, 1);
+        assert_eq!(s.apply_result(0), Applied::Fresh);
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn dead_workers_lease_is_released_immediately_with_backoff() {
+        let mut s = PhaseScheduler::new(&[(0, 4)], 0, &cfg());
+        let t0 = Instant::now();
+        assert_eq!(s.next_assignment(1, t0), Decision::Assign(0, 0, 4));
+        s.worker_dead(1, t0);
+        // Still backing off: the dead worker's unit is not instantly
+        // rescheduled (give a flapping peer time to settle).
+        assert!(matches!(s.next_assignment(2, t0), Decision::Wait(_)));
+        let t1 = t0 + Duration::from_millis(25);
+        assert_eq!(s.next_assignment(2, t1), Decision::Assign(0, 0, 4));
+    }
+
+    #[test]
+    fn retried_unit_prefers_a_different_worker() {
+        let mut s = PhaseScheduler::new(&[(0, 4), (4, 8)], 0, &cfg());
+        let t0 = Instant::now();
+        assert_eq!(s.next_assignment(1, t0), Decision::Assign(0, 0, 4));
+        s.worker_dead(1, t0);
+        let t1 = t0 + Duration::from_millis(25);
+        // Worker 1 comes back: it gets the *fresh* unit, not the one it
+        // just lost.
+        assert_eq!(s.next_assignment(1, t1), Decision::Assign(1, 4, 8));
+        // But when only its lost unit remains, it may take it back.
+        assert_eq!(s.next_assignment(1, t1), Decision::Assign(0, 0, 4));
+    }
+
+    #[test]
+    fn attempts_exhausted_quarantines_the_unit() {
+        let mut s = PhaseScheduler::new(&[(0, 4)], 7, &cfg());
+        let mut now = Instant::now();
+        for _ in 0..2 {
+            assert_eq!(s.next_assignment(1, now), Decision::Assign(7, 0, 4));
+            s.worker_dead(1, now);
+            now += Duration::from_secs(1);
+        }
+        assert!(s.is_complete(), "exhausted unit must quarantine");
+        assert_eq!(s.stats.quarantined_units, 1);
+        assert_eq!(s.stats.retries, 1);
+        assert_eq!(s.drain_quarantined(), vec![(7, 0, 4, 2)]);
+        assert!(s.drain_quarantined().is_empty(), "drain is one-shot");
+        // A very late result for the quarantined unit stays discarded.
+        assert_eq!(s.apply_result(7), Applied::Duplicate);
+    }
+
+    #[test]
+    fn duplicate_and_stale_results_are_discarded() {
+        let mut s = PhaseScheduler::new(&[(0, 4)], 0, &cfg());
+        let now = Instant::now();
+        assert_eq!(s.next_assignment(1, now), Decision::Assign(0, 0, 4));
+        assert_eq!(s.apply_result(0), Applied::Fresh);
+        assert_eq!(s.apply_result(0), Applied::Duplicate);
+        assert_eq!(s.apply_result(99), Applied::Unknown);
+        assert_eq!(s.stats.duplicates, 2);
+    }
+
+    #[test]
+    fn result_from_a_revoked_lease_still_lands() {
+        // Worker 1's lease expires, worker 2 inherits, then worker 1's
+        // late result arrives first: it is accepted (bit-identical to
+        // what worker 2 would send), and worker 2's copy is discarded.
+        let mut s = PhaseScheduler::new(&[(0, 4)], 0, &cfg());
+        let t0 = Instant::now();
+        assert_eq!(s.next_assignment(1, t0), Decision::Assign(0, 0, 4));
+        s.tick(t0 + Duration::from_millis(150));
+        let t1 = t0 + Duration::from_millis(200);
+        assert_eq!(s.next_assignment(2, t1), Decision::Assign(0, 0, 4));
+        assert_eq!(s.apply_result(0), Applied::Fresh);
+        assert_eq!(s.apply_result(0), Applied::Duplicate);
+        assert!(s.is_complete());
+    }
+}

@@ -1,0 +1,307 @@
+//! The worker side: connect, hand-shake, compute assigned units with the
+//! exact same sample entry points the in-process engine uses, heartbeat
+//! between samples, reconnect after transport faults.
+//!
+//! A worker never serializes configurations: it builds every corner's
+//! [`McConfig`] from its own command line and proves agreement with the
+//! coordinator through the campaign fingerprint in the handshake
+//! ([`crate::proto::campaign_fingerprint`]). After that, an assignment
+//! only names a corner and an index range — everything else is already
+//! agreed.
+
+use crate::frame::{FrameStream, WireFaultPlan};
+use crate::proto::{
+    campaign_fingerprint, Msg, UnitAssignment, UnitResult, WorkerPerf, PROTO_VERSION,
+};
+use crate::DistError;
+use issa_core::campaign::CampaignCorner;
+use issa_core::montecarlo::{
+    run_delay_sample, run_offset_sample_with, McConfig, McPhase, SampleRun,
+};
+use issa_core::probe::OffsetSearch;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Worker behaviour knobs (including the test hooks the loopback suites
+/// use to script deaths and transport faults).
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Display name reported in the coordinator's worker summary.
+    pub name: String,
+    /// Initial connection attempts before giving up (the coordinator may
+    /// not be up yet; also how a worker survives a coordinator restart).
+    pub connect_attempts: u32,
+    /// Reconnect (with a fresh handshake) after a mid-session transport
+    /// error instead of exiting.
+    pub reconnect: bool,
+    /// Pause between connection attempts.
+    pub reconnect_backoff: Duration,
+    /// Send a `ping` between samples when this much time has passed
+    /// since the last message — bounds how stale the coordinator's
+    /// liveness view can get while a unit computes.
+    pub heartbeat_interval: Duration,
+    /// Socket read deadline while waiting for a reply.
+    pub read_timeout: Duration,
+    /// Test hook: sleep this long before first connecting, so loopback
+    /// tests can deterministically order which worker takes a unit.
+    pub start_delay: Duration,
+    /// Test hook: die (drop the connection and return, lease still held)
+    /// after accepting this many assignments — a scripted mid-unit crash.
+    pub die_after_assignments: Option<u32>,
+    /// Test hook: perturb outgoing frames ([`WireFaultPlan`]).
+    pub wire_faults: Option<WireFaultPlan>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        Self {
+            name: "worker".into(),
+            connect_attempts: 40,
+            reconnect: true,
+            reconnect_backoff: Duration::from_millis(250),
+            heartbeat_interval: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(30),
+            start_delay: Duration::ZERO,
+            die_after_assignments: None,
+            wire_faults: None,
+        }
+    }
+}
+
+/// What one worker run accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Units computed and acknowledged.
+    pub units_done: u64,
+    /// Samples computed (completed or quarantined).
+    pub samples_done: u64,
+    /// Mid-session reconnects performed.
+    pub reconnects: u64,
+    /// The worker exited via its scripted `die_after_assignments` hook.
+    pub died: bool,
+}
+
+/// Runs one worker until the coordinator says `done` (or a scripted
+/// death / exhausted retry policy ends it early).
+///
+/// # Errors
+///
+/// [`DistError::Rejected`] when the handshake is refused (wrong protocol
+/// or corner list), [`DistError::ConnectionLost`] when the transport
+/// dies and the retry policy is exhausted, [`DistError::Io`] when the
+/// coordinator cannot be reached at all.
+pub fn run_worker(
+    addr: SocketAddr,
+    corners: &[CampaignCorner],
+    opts: &WorkerOptions,
+) -> Result<WorkerStats, DistError> {
+    if !opts.start_delay.is_zero() {
+        std::thread::sleep(opts.start_delay);
+    }
+    let fp = campaign_fingerprint(corners);
+    let mut stats = WorkerStats::default();
+    let mut assignments_taken: u32 = 0;
+    let mut sessions: u64 = 0;
+    loop {
+        let stream = match connect(addr, opts) {
+            Ok(s) => s,
+            Err(e) => {
+                return if sessions > 0 && opts.reconnect {
+                    Err(DistError::ConnectionLost(format!(
+                        "reconnect to {addr} failed: {e}"
+                    )))
+                } else {
+                    Err(e)
+                }
+            }
+        };
+        sessions += 1;
+        if sessions > 1 {
+            stats.reconnects += 1;
+        }
+        let mut frames = FrameStream::with_faults(stream, opts.wire_faults.clone());
+        match session(
+            &mut frames,
+            corners,
+            fp,
+            opts,
+            &mut stats,
+            &mut assignments_taken,
+        ) {
+            Ok(SessionEnd::Done) => return Ok(stats),
+            Ok(SessionEnd::Died) => {
+                stats.died = true;
+                return Ok(stats);
+            }
+            Err(e) => {
+                if !opts.reconnect {
+                    return Err(e);
+                }
+                // Rejections are deliberate; retrying cannot help.
+                if matches!(e, DistError::Rejected(_)) {
+                    return Err(e);
+                }
+                std::thread::sleep(opts.reconnect_backoff);
+            }
+        }
+    }
+}
+
+fn connect(addr: SocketAddr, opts: &WorkerOptions) -> Result<TcpStream, DistError> {
+    let mut last: Option<std::io::Error> = None;
+    for _ in 0..opts.connect_attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                s.set_read_timeout(Some(opts.read_timeout))?;
+                s.set_nodelay(true)?;
+                return Ok(s);
+            }
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(opts.reconnect_backoff);
+            }
+        }
+    }
+    Err(DistError::Io(last.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::NotConnected, "no connection attempts")
+    })))
+}
+
+enum SessionEnd {
+    Done,
+    Died,
+}
+
+/// One connected session: handshake, then the request/compute/report
+/// loop until `done`, a transport error, or a scripted death.
+fn session(
+    frames: &mut FrameStream<TcpStream>,
+    corners: &[CampaignCorner],
+    fp: u64,
+    opts: &WorkerOptions,
+    stats: &mut WorkerStats,
+    assignments_taken: &mut u32,
+) -> Result<SessionEnd, DistError> {
+    let worker_id = handshake(frames, fp, &opts.name)?;
+    loop {
+        match call(frames, &Msg::Request { worker_id })? {
+            Msg::Done => return Ok(SessionEnd::Done),
+            Msg::Wait { millis } => {
+                std::thread::sleep(Duration::from_millis(millis.min(5_000)));
+            }
+            Msg::Assign(a) => {
+                *assignments_taken += 1;
+                if opts
+                    .die_after_assignments
+                    .is_some_and(|n| *assignments_taken >= n)
+                {
+                    // Scripted crash: vanish with the lease held. The
+                    // coordinator's liveness machinery must notice and
+                    // reassign the unit.
+                    return Ok(SessionEnd::Died);
+                }
+                let result = compute_unit(&a, worker_id, corners, opts, frames, stats)?;
+                match call(frames, &Msg::Result(Box::new(result)))? {
+                    Msg::Ack { unit_id } if unit_id == a.unit_id => stats.units_done += 1,
+                    other => {
+                        return Err(DistError::Proto(format!(
+                            "expected ack {}, got {other:?}",
+                            a.unit_id
+                        )))
+                    }
+                }
+            }
+            other => return Err(DistError::Proto(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+fn handshake(frames: &mut FrameStream<TcpStream>, fp: u64, name: &str) -> Result<u64, DistError> {
+    let hello = Msg::Hello {
+        proto: PROTO_VERSION,
+        campaign_fp: fp,
+        name: name.to_owned(),
+    };
+    match call(frames, &hello)? {
+        Msg::Welcome { worker_id } => Ok(worker_id),
+        Msg::Reject { reason } => Err(DistError::Rejected(reason)),
+        other => Err(DistError::Proto(format!(
+            "expected welcome/reject, got {other:?}"
+        ))),
+    }
+}
+
+/// Strict request/reply: send one message, receive one message.
+fn call(frames: &mut FrameStream<TcpStream>, msg: &Msg) -> Result<Msg, DistError> {
+    frames.send(&msg.to_bytes())?;
+    let payload = frames.recv()?;
+    Msg::from_bytes(&payload).map_err(DistError::Proto)
+}
+
+/// Computes one unit with the same entry points the in-process shard
+/// loops use — so a distributed sample is *literally the same function
+/// call* as a local one, and bit-identity follows from purity rather
+/// than from careful reimplementation.
+fn compute_unit(
+    a: &UnitAssignment,
+    worker_id: u64,
+    corners: &[CampaignCorner],
+    opts: &WorkerOptions,
+    frames: &mut FrameStream<TcpStream>,
+    stats: &mut WorkerStats,
+) -> Result<UnitResult, DistError> {
+    let corner = corners
+        .iter()
+        .find(|c| c.name == a.corner)
+        .ok_or_else(|| DistError::Proto(format!("assigned unknown corner {:?}", a.corner)))?;
+    let cfg: &McConfig = &corner.cfg;
+    let mut result = UnitResult {
+        unit_id: a.unit_id,
+        worker_id,
+        ..UnitResult::default()
+    };
+    let circuit_before = issa_circuit::perf::snapshot();
+    let sense_before = issa_core::perf::sense_calls();
+    // One warm-started search per unit, exactly like one shard's loop:
+    // the carrier changes probe order, never the result.
+    let mut search = OffsetSearch::default();
+    let mut last_contact = Instant::now();
+    for index in a.start..a.end {
+        if last_contact.elapsed() >= opts.heartbeat_interval {
+            match call(frames, &Msg::Ping { worker_id })? {
+                Msg::Ok => last_contact = Instant::now(),
+                other => {
+                    return Err(DistError::Proto(format!(
+                        "expected heartbeat ok, got {other:?}"
+                    )))
+                }
+            }
+        }
+        let run = match a.phase {
+            McPhase::Offset => run_offset_sample_with(cfg, index, None, &mut search),
+            McPhase::Delay => run_delay_sample(cfg, index, a.swing_volts(), None),
+        };
+        match run {
+            SampleRun::Done(v) => {
+                stats.samples_done += 1;
+                match a.phase {
+                    McPhase::Offset => result.offsets.push((index, v)),
+                    McPhase::Delay => result.delays.push((index, v)),
+                }
+            }
+            SampleRun::Failed(f) => {
+                stats.samples_done += 1;
+                result.failures.push(f);
+            }
+            // No campaign token is armed on workers, so this cannot
+            // fire; if it somehow does, the record is simply absent and
+            // the coordinator's final merge computes it locally.
+            SampleRun::Cancelled => {}
+        }
+    }
+    result.perf = WorkerPerf {
+        circuit: issa_circuit::perf::snapshot().delta_since(&circuit_before),
+        sense_calls: issa_core::perf::sense_calls() - sense_before,
+    };
+    Ok(result)
+}

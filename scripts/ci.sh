@@ -13,10 +13,11 @@ cargo fmt --all --check
 echo "== cargo clippy --workspace -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy (solver + MC libs, deny unwrap) =="
+echo "== cargo clippy (solver + MC + dist libs, deny unwrap) =="
 # The hot-path libraries must not panic on recoverable failures: every
-# solver error has to reach the recovery ladder / quarantine instead.
-cargo clippy -p issa-circuit -p issa-core --lib -- -D warnings -D clippy::unwrap-used
+# solver error has to reach the recovery ladder / quarantine instead,
+# and a coordinator must never die because one worker misbehaved.
+cargo clippy -p issa-circuit -p issa-core -p issa-dist --lib -- -D warnings -D clippy::unwrap-used
 
 echo "== tier-1: cargo build --release && cargo test =="
 cargo build --release
@@ -33,6 +34,10 @@ echo "== durability / cancellation suites =="
 cargo test -q -p issa-circuit --test cancel
 cargo test -q --test checkpoint_durability
 cargo test -q --test campaign_resume
+
+echo "== distribution suites (frames, scheduler, loopback fleet) =="
+cargo test -q -p issa-dist
+cargo test -q --test dist_loopback
 
 echo "== kill-and-resume smoke (SIGKILL mid-campaign) =="
 # Start a real campaign, SIGKILL it mid-flight, resume from the
@@ -58,6 +63,30 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
     >fresh.log 2>&1
   cmp table2_resumed.csv results/table2.csv
   echo "kill-and-resume: byte-identical table2.csv"
+)
+
+echo "== distributed smoke (3 loopback workers, coordinator SIGKILL + resume) =="
+# Serve the same table through the coordinator with a three-worker
+# loopback fleet, SIGKILL the coordinator mid-run, re-serve from its
+# checkpoint, and demand the CSV byte-identical to the single-process
+# run above.
+DIST_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR"' EXIT
+(
+  cd "$DIST_DIR"
+  cp "$SMOKE_DIR/results/table2.csv" table2_local.csv
+  "$CAMPAIGN_BIN" serve --samples 24 --artifacts table2 --flush-every 1 \
+    --loopback 3 --unit-samples 4 >serve_first.log 2>&1 &
+  pid=$!
+  sleep 2
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  # Resume under a fresh coordinator (a no-op replay if the first serve
+  # finished before the kill).
+  "$CAMPAIGN_BIN" serve --samples 24 --artifacts table2 --flush-every 1 \
+    --loopback 3 --unit-samples 4 >serve_resume.log 2>&1
+  cmp results/table2.csv table2_local.csv
+  echo "distributed kill-and-resume: byte-identical table2.csv"
 )
 
 echo "CI_OK"

@@ -44,6 +44,7 @@ pub use issa_bti as bti;
 pub use issa_circuit as circuit;
 pub use issa_core as core;
 pub use issa_digital as digital;
+pub use issa_dist as dist;
 pub use issa_memarray as memarray;
 pub use issa_num as num;
 pub use issa_ptm45 as ptm45;

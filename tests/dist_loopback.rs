@@ -1,0 +1,401 @@
+//! Distributed campaign end-to-end, in loopback mode: in-process workers
+//! speaking the real TCP protocol to a real coordinator. The acceptance
+//! contract throughout is *bit-identity* — any worker count, any lease
+//! churn, any scripted crash or wire fault must merge to exactly the
+//! result a single-process [`run_mc`] produces.
+
+use issa::circuit::cancel::CancelCause;
+use issa::circuit::faultinject::{FaultKind, FaultPlan};
+use issa::core::campaign::{run_campaign, CampaignCorner, CampaignOptions, CornerOutcome};
+use issa::core::montecarlo::{run_mc, FailureKind, McConfig, McPhase};
+use issa::dist::coordinator::{serve_campaign, DistReport, ServeOptions};
+use issa::dist::frame::{WireFault, WireFaultPlan};
+use issa::dist::scheduler::SchedulerConfig;
+use issa::dist::worker::WorkerOptions;
+use issa::prelude::*;
+use issa::SaError;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SAMPLES: usize = 8;
+
+fn base_cfg(duty: f64) -> McConfig {
+    McConfig::smoke(
+        SaKind::Nssa,
+        Workload::new(duty, ReadSequence::AllZeros),
+        Environment::nominal(),
+        1e8,
+        SAMPLES,
+    )
+}
+
+fn corner(name: &str, cfg: McConfig) -> CampaignCorner {
+    CampaignCorner {
+        name: name.into(),
+        cfg,
+    }
+}
+
+fn temp_ckpt(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("issa-dist-{}-{tag}-{n}.ckpt", std::process::id()))
+}
+
+/// Small units and tight timers so tests exercise rebalancing without
+/// slow-timer waits.
+fn test_scheduler() -> SchedulerConfig {
+    SchedulerConfig {
+        unit_samples: 2,
+        lease_timeout: Duration::from_secs(20),
+        retry_backoff: Duration::from_millis(30),
+        ..SchedulerConfig::default()
+    }
+}
+
+fn worker(name: &str) -> WorkerOptions {
+    WorkerOptions {
+        name: name.into(),
+        reconnect_backoff: Duration::from_millis(25),
+        ..WorkerOptions::default()
+    }
+}
+
+fn serve(corners: &[CampaignCorner], opts: &ServeOptions) -> DistReport {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    serve_campaign(listener, corners, opts).expect("serve starts")
+}
+
+/// The headline contract: a three-worker distributed campaign over two
+/// corners merges to exactly the single-process result for every corner,
+/// and every sample is attributed to exactly one worker.
+#[test]
+fn three_loopback_workers_merge_bit_identically() {
+    let corners = [
+        corner("nssa-80r0", base_cfg(0.8)),
+        corner("nssa-50r0", base_cfg(0.5)),
+    ];
+    let report = serve(
+        &corners,
+        &ServeOptions {
+            scheduler: test_scheduler(),
+            poll: Duration::from_millis(10),
+            loopback: vec![worker("w1"), worker("w2"), worker("w3")],
+            ..ServeOptions::default()
+        },
+    );
+
+    assert!(!report.campaign.partial);
+    assert_eq!(report.campaign.cancelled, None);
+    for c in &corners {
+        let reference = run_mc(&c.cfg).unwrap();
+        assert_eq!(
+            report.campaign.result(&c.name).expect("corner completes"),
+            &reference,
+            "corner {:?} must be bit-identical to the local run",
+            c.name
+        );
+    }
+
+    // Conservation: each phase record merged exactly once, across however
+    // many workers contributed.
+    let delay_counts: usize = corners.iter().map(|c| c.cfg.delay_samples).sum();
+    let merged: u64 = report.workers.iter().map(|w| w.samples).sum();
+    assert_eq!(merged as usize, 2 * SAMPLES + delay_counts);
+    assert!(report.workers.len() >= 3, "all three workers handshaked");
+    assert!(
+        report
+            .workers
+            .iter()
+            .all(|w| w.units == 0 || w.perf.circuit.newton_iterations > 0),
+        "workers that merged units must report hot-path perf counters"
+    );
+}
+
+/// Kill a worker mid-campaign while it holds a lease: the coordinator
+/// must notice the dropped connection, retry the unit on the surviving
+/// worker, and still merge the bit-identical result.
+#[test]
+fn worker_death_mid_unit_is_reassigned_bit_identically() {
+    let corners = [corner("corner", base_cfg(0.8))];
+    let reference = run_mc(&corners[0].cfg).unwrap();
+
+    let dying = WorkerOptions {
+        die_after_assignments: Some(1),
+        ..worker("doomed")
+    };
+    let survivor = WorkerOptions {
+        // Let the doomed worker take (and die holding) the first unit.
+        start_delay: Duration::from_millis(150),
+        ..worker("survivor")
+    };
+    let report = serve(
+        &corners,
+        &ServeOptions {
+            scheduler: test_scheduler(),
+            poll: Duration::from_millis(10),
+            loopback: vec![dying, survivor],
+            ..ServeOptions::default()
+        },
+    );
+
+    assert!(
+        report.sched.retries >= 1,
+        "the doomed worker's lease must have been revoked and retried"
+    );
+    assert!(!report.campaign.partial);
+    assert_eq!(
+        report.campaign.result("corner").expect("completes"),
+        &reference
+    );
+}
+
+/// Wire faults — dropped, bit-flipped, duplicated, and truncated frames —
+/// cost reconnects and retries, never correctness.
+#[test]
+fn wire_faults_are_survived_bit_identically() {
+    let corners = [corner("corner", base_cfg(0.8))];
+    let reference = run_mc(&corners[0].cfg).unwrap();
+
+    // Sequence numbers count every outgoing worker frame (hello=0,
+    // first request=1, ...). Which message each later fault lands on
+    // depends on heartbeat timing — irrelevant: every class must be
+    // survivable wherever it strikes.
+    let faults = WireFaultPlan::new(vec![
+        (1, WireFault::Drop),
+        (4, WireFault::FlipBit { byte: 13, bit: 2 }),
+        (7, WireFault::Duplicate),
+        (10, WireFault::TruncateTo(9)),
+    ]);
+    let faulty = WorkerOptions {
+        wire_faults: Some(faults.clone()),
+        // A dropped frame is only noticed at the read deadline; keep it
+        // short so the test turns around quickly.
+        read_timeout: Duration::from_millis(400),
+        ..worker("faulty")
+    };
+    let report = serve(
+        &corners,
+        &ServeOptions {
+            scheduler: SchedulerConfig {
+                // Every reconnect revokes the in-flight lease; leave
+                // headroom so faults cannot exhaust a unit's attempts.
+                max_unit_attempts: 8,
+                ..test_scheduler()
+            },
+            poll: Duration::from_millis(10),
+            worker_timeout: Duration::from_secs(2),
+            loopback: vec![faulty],
+            ..ServeOptions::default()
+        },
+    );
+
+    assert!(faults.frames_sent() > 10, "all scheduled faults fired");
+    assert!(
+        report.workers.len() >= 2,
+        "wire faults must have forced at least one re-handshake"
+    );
+    assert_eq!(report.sched.quarantined_units, 0);
+    assert!(!report.campaign.partial);
+    assert_eq!(
+        report.campaign.result("corner").expect("completes"),
+        &reference
+    );
+}
+
+/// Interop with the single-process engine's durability: a checkpoint
+/// written by an aborted local `run_campaign` is resumed by the
+/// *distributed* coordinator, finishing bit-identically and cleaning up.
+#[test]
+fn serve_resumes_a_single_process_checkpoint_bit_identically() {
+    let corners = [corner("corner", base_cfg(0.8))];
+    let reference = run_mc(&corners[0].cfg).unwrap();
+    let path = temp_ckpt("local-to-dist");
+
+    let aborted = run_campaign(
+        &corners,
+        &CampaignOptions {
+            checkpoint: Some(path.clone()),
+            flush_every: 1,
+            abort_after: Some(3),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(aborted.partial);
+    assert!(path.exists());
+
+    let report = serve(
+        &corners,
+        &ServeOptions {
+            scheduler: test_scheduler(),
+            poll: Duration::from_millis(10),
+            checkpoint: Some(path.clone()),
+            flush_every: 1,
+            loopback: vec![worker("w1"), worker("w2")],
+            ..ServeOptions::default()
+        },
+    );
+
+    assert!(report.campaign.resumed_records >= 3);
+    assert!(!report.campaign.partial);
+    assert_eq!(
+        report.campaign.result("corner").expect("completes"),
+        &reference
+    );
+    assert!(
+        !path.exists(),
+        "a fully completed campaign removes its checkpoint"
+    );
+}
+
+/// Coordinator restart: a distributed run aborted mid-corner leaves a
+/// checkpoint that a *fresh* coordinator resumes to the bit-identical
+/// final result — the in-test analogue of kill -9 on the serve process.
+#[test]
+fn aborted_serve_resumes_bit_identically() {
+    let corners = [corner("corner", base_cfg(0.8))];
+    let reference = run_mc(&corners[0].cfg).unwrap();
+    let path = temp_ckpt("dist-to-dist");
+
+    let aborted = serve(
+        &corners,
+        &ServeOptions {
+            scheduler: test_scheduler(),
+            poll: Duration::from_millis(10),
+            checkpoint: Some(path.clone()),
+            flush_every: 1,
+            abort_after_units: Some(2),
+            loopback: vec![worker("w1")],
+            ..ServeOptions::default()
+        },
+    );
+    assert!(aborted.campaign.partial);
+    assert_eq!(aborted.campaign.cancelled, Some(CancelCause::Interrupt));
+    assert!(path.exists(), "an aborted serve leaves its checkpoint");
+
+    let resumed = serve(
+        &corners,
+        &ServeOptions {
+            scheduler: test_scheduler(),
+            poll: Duration::from_millis(10),
+            checkpoint: Some(path.clone()),
+            flush_every: 1,
+            loopback: vec![worker("w1"), worker("w2")],
+            ..ServeOptions::default()
+        },
+    );
+
+    assert!(resumed.campaign.resumed_records >= 2);
+    assert!(!resumed.campaign.partial);
+    assert_eq!(
+        resumed.campaign.result("corner").expect("completes"),
+        &reference
+    );
+    assert!(!path.exists());
+}
+
+/// A `StallSteps`-injected sample trips its step budget on a *worker*,
+/// and the quarantine record that comes back over the wire is exactly
+/// the one the local watchdog produces.
+#[test]
+fn stalled_sample_quarantine_matches_local_run_bit_identically() {
+    let plan = Arc::new(FaultPlan::new().transient(5, 2, FaultKind::StallSteps(2_000_000)));
+    let cfg = McConfig {
+        fault_plan: Some(plan),
+        sample_step_budget: Some(1_000_000),
+        max_failure_frac: 0.2,
+        ..base_cfg(0.8)
+    };
+    let reference = run_mc(&cfg).unwrap();
+    assert_eq!(reference.failures.len(), 1, "fixture: sample 5 must stall");
+
+    let corners = [corner("corner", cfg)];
+    let report = serve(
+        &corners,
+        &ServeOptions {
+            scheduler: test_scheduler(),
+            poll: Duration::from_millis(10),
+            loopback: vec![worker("w1"), worker("w2")],
+            ..ServeOptions::default()
+        },
+    );
+
+    let result = report.campaign.result("corner").expect("completes");
+    assert_eq!(result, &reference);
+    assert_eq!(result.failures[0].kind, FailureKind::TimedOut);
+    assert_eq!(result.failures[0].index, 5);
+}
+
+/// When every lease attempt dies, the unit is quarantined as `TimedOut`
+/// failures and the corner fails through the ordinary failure-budget
+/// machinery — no special distributed error path, no hang.
+#[test]
+fn exhausted_retries_quarantine_through_the_failure_budget() {
+    let cfg = McConfig {
+        max_failure_frac: 1.0,
+        ..McConfig::smoke(
+            SaKind::Nssa,
+            Workload::new(0.8, ReadSequence::AllZeros),
+            Environment::nominal(),
+            1e8,
+            2,
+        )
+    };
+    let corners = [corner("corner", cfg)];
+
+    // Two workers, each scripted to die on its first assignment; two
+    // attempts allowed. One unit covers both samples, so the unit dies
+    // twice and is quarantined with nobody left to compute anything.
+    let report = serve(
+        &corners,
+        &ServeOptions {
+            scheduler: SchedulerConfig {
+                unit_samples: 2,
+                max_unit_attempts: 2,
+                retry_backoff: Duration::from_millis(20),
+                ..test_scheduler()
+            },
+            poll: Duration::from_millis(10),
+            loopback: vec![
+                WorkerOptions {
+                    die_after_assignments: Some(1),
+                    ..worker("doomed-1")
+                },
+                WorkerOptions {
+                    die_after_assignments: Some(1),
+                    start_delay: Duration::from_millis(50),
+                    ..worker("doomed-2")
+                },
+            ],
+            ..ServeOptions::default()
+        },
+    );
+
+    assert_eq!(report.sched.quarantined_units, 1);
+    assert!(report.sched.retries >= 1);
+    let outcome = &report
+        .campaign
+        .corners
+        .iter()
+        .find(|c| c.name == "corner")
+        .expect("corner reported")
+        .outcome;
+    match outcome {
+        CornerOutcome::Failed(SaError::FailureBudgetExceeded {
+            failed,
+            total,
+            failures,
+        }) => {
+            assert_eq!((*failed, *total), (2, 2));
+            assert!(failures.iter().all(|f| f.kind == FailureKind::TimedOut
+                && f.phase == McPhase::Offset
+                && f.error.contains("quarantined after")));
+        }
+        other => panic!("expected a failure-budget error, got {other:?}"),
+    }
+    assert!(report.campaign.partial);
+}
