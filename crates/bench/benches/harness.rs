@@ -3,7 +3,7 @@
 //! every table/figure path (the full-size regenerations live in the
 //! `src/bin/` binaries).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkGroup, Criterion};
 use issa_bti::{BtiParams, StressCondition, TrapSet};
 use issa_circuit::netlist::Netlist;
 use issa_circuit::tran::{transient, Integrator, TranParams};
@@ -15,6 +15,7 @@ use issa_core::spec::offset_spec;
 use issa_core::workload::{ReadSequence, Workload};
 use issa_num::matrix::DMatrix;
 use issa_num::rng::SeedSequence;
+use issa_num::smatrix::{BatchMatrix, BatchPerm, BatchVec, SMatrix};
 use issa_ptm45::Environment;
 use std::hint::black_box;
 
@@ -42,6 +43,101 @@ fn bench_lu_solve(c: &mut Criterion) {
     c.bench_function("lu_solve_16x16", |bench| {
         bench.iter(|| black_box(&a).solve(black_box(&b)).unwrap())
     });
+}
+
+/// Problem size for the batched-LU comparison: the heap vs fixed-size vs
+/// structure-of-arrays kernel the lockstep batch engine leans on.
+const LU_N: usize = 12;
+/// Systems factored+solved per bench iteration (divisible by every lane
+/// width so each variant does identical total work).
+const LU_SYSTEMS: usize = 16;
+
+/// Deterministic well-conditioned per-sample systems, in the style of
+/// `lu_solve_16x16` but varied per sample like Monte Carlo Jacobians.
+fn lu_systems() -> (Vec<DMatrix>, Vec<[f64; LU_N]>) {
+    let mut mats = Vec::new();
+    let mut rhss = Vec::new();
+    for sys in 0..LU_SYSTEMS {
+        let mut a = DMatrix::zeros(LU_N, LU_N);
+        for i in 0..LU_N {
+            for j in 0..LU_N {
+                a[(i, j)] = ((i * 31 + j * 17 + sys * 7) % 13) as f64 - 6.0;
+            }
+            a[(i, i)] += 50.0 + sys as f64;
+        }
+        let mut b = [0.0f64; LU_N];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = (i + sys) as f64;
+        }
+        mats.push(a);
+        rhss.push(b);
+    }
+    (mats, rhss)
+}
+
+/// One `batched_lu` row: LU_SYSTEMS factor+solves, K lanes per batched
+/// factorization.
+fn bench_batch_lu_width<const K: usize>(
+    group: &mut BenchmarkGroup<'_>,
+    stacks: &[SMatrix<LU_N>],
+    rhss: &[[f64; LU_N]],
+) {
+    group.bench_function(&format!("batch_12_k{K}"), |bench| {
+        bench.iter(|| {
+            for chunk in 0..LU_SYSTEMS / K {
+                let mut batch = BatchMatrix::<LU_N, K>::zeros();
+                let mut b = BatchVec::<LU_N, K>::new();
+                for lane in 0..K {
+                    batch.load_lane(lane, &stacks[chunk * K + lane]);
+                    b.load_lane(lane, &rhss[chunk * K + lane]);
+                }
+                let mut perm = BatchPerm::<LU_N, K>::new();
+                black_box(batch.factor_into(&mut perm));
+                let mut x = BatchVec::<LU_N, K>::new();
+                batch.solve_factored(&perm, &b, &mut x);
+                black_box(&x);
+            }
+        })
+    });
+}
+
+/// The tentpole kernel comparison: heap `DMatrix` (allocating, the
+/// pre-optimization engine's path) vs const-generic `SMatrix` (scalar
+/// fast path) vs structure-of-arrays `BatchMatrix` at lane widths 4, 8,
+/// and 16 — all factoring and solving the same 16 systems at the MNA-ish
+/// size N=12.
+fn bench_batched_lu(c: &mut Criterion) {
+    let (mats, rhss) = lu_systems();
+    let stacks: Vec<SMatrix<LU_N>> = mats.iter().map(SMatrix::from_dmatrix).collect();
+    let mut group = c.benchmark_group("batched_lu");
+    group.bench_function("heap_12", |bench| {
+        bench.iter(|| {
+            for (a, b) in mats.iter().zip(&rhss) {
+                let mut lu = a.clone();
+                let mut perm = Vec::new();
+                lu.factor_into(&mut perm).unwrap();
+                let mut x = [0.0f64; LU_N];
+                lu.solve_factored(&perm, b, &mut x);
+                black_box(&x);
+            }
+        })
+    });
+    group.bench_function("smatrix_12", |bench| {
+        bench.iter(|| {
+            for (a, b) in stacks.iter().zip(&rhss) {
+                let mut lu = *a;
+                let mut perm = [0usize; LU_N];
+                black_box(lu.factor_into(&mut perm).unwrap());
+                let mut x = [0.0f64; LU_N];
+                lu.solve_factored(&perm, b, &mut x);
+                black_box(&x);
+            }
+        })
+    });
+    bench_batch_lu_width::<4>(&mut group, &stacks, &rhss);
+    bench_batch_lu_width::<8>(&mut group, &stacks, &rhss);
+    bench_batch_lu_width::<16>(&mut group, &stacks, &rhss);
+    group.finish();
 }
 
 /// Transient engine throughput on an RC testbench.
@@ -219,6 +315,7 @@ fn bench_experiments_reduced(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_lu_solve,
+    bench_batched_lu,
     bench_transient_rc,
     bench_sa_sense,
     bench_offset_search,

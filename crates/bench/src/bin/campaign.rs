@@ -76,6 +76,7 @@ struct Args {
     seed: u64,
     paper_probes: bool,
     threads: usize,
+    batch_lanes: usize,
     artifacts: Vec<String>,
     checkpoint: Option<PathBuf>,
     fresh: bool,
@@ -104,7 +105,7 @@ fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: campaign [serve|worker] [--samples N] [--seed S] [--paper-probes] [--threads T] \
-         [--artifacts LIST] [--checkpoint PATH | --no-checkpoint] [--fresh] \
+         [--batch-lanes K] [--artifacts LIST] [--checkpoint PATH | --no-checkpoint] [--fresh] \
          [--flush-every K] [--deadline-s S] [--step-budget N] [--wall-budget-s S] \
          [--abort-after N]\n\
          serve:  [--listen ADDR] [--loopback N] [--port-file PATH] [--unit-samples K] \
@@ -121,6 +122,7 @@ fn parse() -> Args {
         seed: 0x1554_2017,
         paper_probes: false,
         threads: 0,
+        batch_lanes: 0,
         artifacts: ALL_ARTIFACTS.iter().map(|s| (*s).to_owned()).collect(),
         checkpoint: Some(PathBuf::from("results/campaign.ckpt")),
         fresh: false,
@@ -173,6 +175,11 @@ fn parse() -> Args {
                 args.threads = value(&mut it, "--threads")
                     .parse()
                     .unwrap_or_else(|_| usage("--threads needs an integer"));
+            }
+            "--batch-lanes" => {
+                args.batch_lanes = value(&mut it, "--batch-lanes")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--batch-lanes needs an integer"));
             }
             "--artifacts" => {
                 args.artifacts = value(&mut it, "--artifacts")
@@ -294,6 +301,7 @@ impl Args {
             },
             delay_samples: 16.min(self.samples),
             threads: self.threads,
+            batch_lanes: self.batch_lanes,
             sample_step_budget: self.step_budget,
             sample_wall_budget_s: self.wall_budget_s,
             ..McConfig::paper(kind, workload, env, time)
@@ -541,6 +549,7 @@ fn main() {
             None => String::new(),
         }
     );
+    let perf_before = issa_circuit::perf::snapshot();
     let (report, dist) = if args.mode == Mode::Serve {
         let (campaign, workers, sched) = serve_mode(&args, &corners);
         (campaign, Some((workers, sched)))
@@ -637,6 +646,19 @@ fn main() {
     json.push_str(&format!(
         "  \"resumed_records\": {},\n",
         report.resumed_records
+    ));
+    // Process-local simulator counters (batched-mode counters are not
+    // carried on the wire, so in serve mode these cover the coordinator
+    // process — including its loopback workers — only).
+    let local_perf = issa_circuit::perf::snapshot().delta_since(&perf_before);
+    json.push_str(&format!(
+        "  \"perf\": {{\"transients\": {}, \"newton_iterations\": {}, \"batched_steps\": {}, \
+         \"batch_lane_steps\": {}, \"scalar_fallbacks\": {}}},\n",
+        local_perf.transients,
+        local_perf.newton_iterations,
+        local_perf.batched_steps,
+        local_perf.batch_lane_steps,
+        local_perf.scalar_fallbacks
     ));
     json.push_str("  \"corners\": [\n");
     for (k, corner) in report.corners.iter().enumerate() {

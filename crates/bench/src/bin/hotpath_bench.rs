@@ -1,6 +1,6 @@
 //! Hot-path before/after benchmark over the Table II reproduction.
 //!
-//! Two comparisons, one artifact (`results/BENCH_hotpath.json`):
+//! Three comparisons, one artifact (`results/BENCH_hotpath.json`):
 //!
 //! 1. **reference vs fast probe mode** (in-process): fast mode enables the
 //!    warm-started offset search and early-exit transients; reference mode
@@ -13,6 +13,11 @@
 //!    re-enact — the finite-difference device Jacobian (9 `ids`
 //!    evaluations per device per Newton iteration), per-probe netlist
 //!    rebuilds, full re-stamping each iteration, and allocating LU.
+//! 3. **scalar fast vs batched** (in-process): the same fast probes
+//!    scheduled through the lockstep batch engine
+//!    ([`issa_core::batch`], 8 lanes). Bit-identical again; the JSON's
+//!    `batched` section records wall time, lane occupancy, and
+//!    scalar-fallback count.
 //!
 //! ```sh
 //! cargo run --release -p issa-bench --bin hotpath_bench [--samples N] [--baseline-wall-s S]
@@ -23,7 +28,21 @@
 use issa_bench::{paper, BenchArgs};
 use issa_core::montecarlo::{run_mc, McConfig, McPerf, McResult};
 
-fn run_corners(args: &BenchArgs, reference: bool) -> (Vec<McResult>, McPerf) {
+/// Lane count of the batched pass (both SA netlists round to 8-wide
+/// lanes at this setting).
+const BATCH_LANES: usize = 8;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ProbeMode {
+    /// Warm start and early exit disabled.
+    Reference,
+    /// The production scalar path (`ProbeOptions::fast`).
+    Fast,
+    /// Fast probes through the lockstep batch engine.
+    Batched,
+}
+
+fn run_corners(args: &BenchArgs, mode: ProbeMode) -> (Vec<McResult>, McPerf) {
     let mut results = Vec::new();
     let mut total = McPerf::default();
     for spec in paper::table2() {
@@ -33,8 +52,10 @@ fn run_corners(args: &BenchArgs, reference: bool) -> (Vec<McResult>, McPerf) {
             spec.env,
             spec.time,
         );
-        if reference {
-            cfg.probe = cfg.probe.reference();
+        match mode {
+            ProbeMode::Reference => cfg.probe = cfg.probe.reference(),
+            ProbeMode::Fast => {}
+            ProbeMode::Batched => cfg.batch_lanes = BATCH_LANES,
         }
         let r = run_mc(&cfg).unwrap_or_else(|e| issa_bench::exit_mc_failure(spec.label, &e));
         total.offset_wall_s += r.perf.offset_wall_s;
@@ -103,19 +124,37 @@ fn main() {
         args.samples
     );
 
-    let (ref_results, ref_perf) = run_corners(&args, true);
+    let (ref_results, ref_perf) = run_corners(&args, ProbeMode::Reference);
     println!("reference  {}", ref_perf.report());
-    let (fast_results, fast_perf) = run_corners(&args, false);
+    let (fast_results, fast_perf) = run_corners(&args, ProbeMode::Fast);
     println!("fast       {}", fast_perf.report());
+    let (batched_results, batched_perf) = run_corners(&args, ProbeMode::Batched);
+    println!("batched    {}", batched_perf.report());
 
     // McResult equality compares the physical outputs (offsets, delays,
     // statistics) and ignores perf — exactly the bit-identity contract.
     let identical = ref_results == fast_results;
+    let batched_identical = fast_results == batched_results;
     let ref_wall = ref_perf.offset_wall_s + ref_perf.delay_wall_s;
     let fast_wall = fast_perf.offset_wall_s + fast_perf.delay_wall_s;
+    let batched_wall = batched_perf.offset_wall_s + batched_perf.delay_wall_s;
     let mode_speedup = ref_wall / fast_wall;
+    let batched_speedup = fast_wall / batched_wall;
+    // Mean fraction of lanes doing useful work per lockstep round.
+    let bc = &batched_perf.circuit;
+    let occupancy = if bc.batched_steps > 0 {
+        bc.batch_lane_steps as f64 / (bc.batched_steps as f64 * BATCH_LANES as f64)
+    } else {
+        0.0
+    };
     println!(
         "\nbit-identical: {identical}   mode speedup: {mode_speedup:.2}x ({ref_wall:.2}s -> {fast_wall:.2}s)"
+    );
+    println!(
+        "batched bit-identical: {batched_identical}   batched speedup: {batched_speedup:.2}x \
+         ({fast_wall:.2}s -> {batched_wall:.2}s)   lane occupancy: {occupancy:.3}   \
+         scalar fallbacks: {}",
+        bc.scalar_fallbacks
     );
     let (seed_wall_json, seed_speedup_json) = match baseline_wall_s {
         Some(seed_wall) => {
@@ -139,7 +178,11 @@ fn main() {
             "  \"before_seed_speedup\": {},\n",
             "  \"before_seed_note\": \"wall time of the seed-commit build of table2_workload at the same sample count, measured by scripts/bench_hotpath.sh; the seed has no perf counters\",\n",
             "  \"reference_mode\": {},\n",
-            "  \"after\": {}\n",
+            "  \"after\": {},\n",
+            "  \"bit_identical_batched_vs_fast\": {},\n",
+            "  \"batched_speedup\": {:.3},\n",
+            "  \"batched\": {{\"wall_s\": {:.3}, \"lane_width\": {}, \"occupancy\": {:.4}, ",
+            "\"scalar_fallbacks\": {}, \"batched_steps\": {}, \"batch_lane_steps\": {}}}\n",
             "}}\n"
         ),
         ref_results.len(),
@@ -151,6 +194,14 @@ fn main() {
         seed_speedup_json,
         json_mode(&ref_perf),
         json_mode(&fast_perf),
+        batched_identical,
+        batched_speedup,
+        batched_wall,
+        BATCH_LANES,
+        occupancy,
+        bc.scalar_fallbacks,
+        bc.batched_steps,
+        bc.batch_lane_steps,
     );
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir).expect("create results dir");
@@ -160,6 +211,10 @@ fn main() {
 
     if !identical {
         eprintln!("error: fast-mode results diverged from reference mode");
+        std::process::exit(1);
+    }
+    if !batched_identical {
+        eprintln!("error: batched results diverged from the scalar fast mode");
         std::process::exit(1);
     }
 }

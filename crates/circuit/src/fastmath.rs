@@ -1,0 +1,231 @@
+//! Portable, branch-free `exp` / `ln(1+eˣ)` for the device-model hot path.
+//!
+//! `std`'s `exp`/`ln_1p` dispatch into libm: opaque calls with
+//! data-dependent branches, table lookups, and platform-specific code
+//! paths. That is fine one value at a time but defeats the
+//! autovectorizer — and the softplus pair inside
+//! [`crate::mosfet::MosParams::ids_derivs`] runs twice per device per
+//! Newton iteration, which profiling shows is more than half the cost of
+//! a batched lane-iteration. The routines here are a fixed sequence of
+//! IEEE arithmetic plus integer bit manipulation: no tables, no
+//! data-dependent branches (only value selects), no platform dispatch.
+//! Inlined into a lane loop they vectorize cleanly; evaluated one value
+//! at a time they cost about the same as libm.
+//!
+//! The contract is *determinism*, not ulp-perfection: the scalar and
+//! batched engines evaluate the same routine with the same operation
+//! order, so scalar-vs-batched bit-identity holds by construction.
+//! Accuracy against libm is better than 1 part in 1e12 over the model's
+//! input range (unit-tested below), far inside the compact model's own
+//! fidelity. Polynomials use Estrin-style grouping to keep the scalar
+//! dependency chain short; the grouping is part of the fixed operation
+//! order, not a compiler choice.
+
+/// Round-to-nearest shifter (1.5·2⁵²): adding then subtracting pins the
+/// nearest integer to a small float, leaving its two's-complement value
+/// in the sum's low mantissa bits.
+const SHIFT: f64 = 6_755_399_441_055_744.0;
+
+/// ln 2 split into a high part exact in 33 bits and a low correction, so
+/// `k·LN2_HI` is exact for |k| < 2¹⁹ and the range reduction loses no
+/// precision.
+const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+
+/// eˣ with ~1e-13 relative accuracy, saturating (not over/underflowing)
+/// outside ±708. NaN propagates.
+#[inline(always)]
+pub fn exp(x: f64) -> f64 {
+    // Saturate so the 2ᵏ exponent trick below stays in the normal range;
+    // softplus arguments this large are fully saturated anyway.
+    let x = x.clamp(-708.0, 708.0);
+    let t = x * std::f64::consts::LOG2_E + SHIFT;
+    let k = t - SHIFT; // nearest integer to x·log₂e
+    let r = (x - k * LN2_HI) - k * LN2_LO; // |r| ≤ (ln 2)/2
+                                           // exp(r) ≈ Σ rⁱ/i!, i = 0..=11; truncation < 7e-15 relative.
+    const C2: f64 = 1.0 / 2.0;
+    const C3: f64 = 1.0 / 6.0;
+    const C4: f64 = 1.0 / 24.0;
+    const C5: f64 = 1.0 / 120.0;
+    const C6: f64 = 1.0 / 720.0;
+    const C7: f64 = 1.0 / 5_040.0;
+    const C8: f64 = 1.0 / 40_320.0;
+    const C9: f64 = 1.0 / 362_880.0;
+    const C10: f64 = 1.0 / 3_628_800.0;
+    const C11: f64 = 1.0 / 39_916_800.0;
+    let r2 = r * r;
+    let r4 = r2 * r2;
+    let r8 = r4 * r4;
+    let p_lo = (1.0 + r) + r2 * (C2 + r * C3);
+    let p_mid = (C4 + r * C5) + r2 * (C6 + r * C7);
+    let p_hi = (C8 + r * C9) + r2 * (C10 + r * C11);
+    let p = p_lo + r4 * p_mid + r8 * p_hi;
+    // 2ᵏ: k sits two's-complement in t's low mantissa bits; shifted into
+    // the exponent field and re-biased it becomes the scale factor.
+    let scale = f64::from_bits(
+        t.to_bits()
+            .wrapping_shl(52)
+            .wrapping_add(0x3FF0_0000_0000_0000),
+    );
+    scale * p
+}
+
+/// ln u for u ≥ 1 (the only range `softplus_pair` needs), ~1e-13
+/// relative. Out-of-domain garbage (idle batch lanes) yields finite
+/// garbage rather than a trap.
+#[inline(always)]
+fn ln_ge1(u: f64) -> f64 {
+    // Split u = 2ᵏ·z with z ∈ [√½, √2): subtracting the bits of √½
+    // makes the exponent field carry exactly at the √2 mantissa
+    // boundary (the trick used by ARM's optimized log).
+    const OFF: u64 = 0x3FE6_A09E_667F_3BCD; // bits of √½
+    let bits = u.to_bits();
+    let tmp = bits.wrapping_sub(OFF);
+    // `tmp >> 52` is already the unbiased k (the √½ subtraction absorbs
+    // the bias); OR-ing it into SHIFT's low bits converts it to f64
+    // without an int→float instruction.
+    let k = f64::from_bits((tmp >> 52) | 0x4338_0000_0000_0000) - SHIFT;
+    let z = f64::from_bits(bits.wrapping_sub(tmp & (0xFFF_u64 << 52)));
+    // ln z = 2·atanh(s), s = (z−1)/(z+1) ∈ (−0.1716, 0.1716):
+    // Σ s²ᵏ/(2k+1) through k = 7; truncation < 4e-14 relative.
+    let s = (z - 1.0) / (z + 1.0);
+    let s2 = s * s;
+    let s4 = s2 * s2;
+    let s8 = s4 * s4;
+    let q_lo = (1.0 + s2 / 3.0) + s4 * (1.0 / 5.0 + s2 / 7.0);
+    let q_hi = (1.0 / 9.0 + s2 / 11.0) + s4 * (1.0 / 13.0 + s2 / 15.0);
+    let q = q_lo + s8 * q_hi;
+    k * LN2_HI + ((2.0 * s) * q + k * LN2_LO)
+}
+
+/// softplus ln(1+eˣ) and its derivative (the logistic sigmoid), sharing
+/// one `exp` between them. Branch *structure* (saturation thresholds at
+/// ±40 and the saturated return values) is identical to the historic
+/// libm-based implementation; only the mid-range transcendentals differ.
+/// Everything is computed unconditionally and selected, so a lane loop
+/// over this function vectorizes.
+#[inline(always)]
+pub fn softplus_pair(x: f64) -> (f64, f64) {
+    let e = exp(x);
+    let u = 1.0 + e;
+    // ln(1+e) with a first-order correction for the rounding of 1+e:
+    // when u rounds to exactly 1, ln_ge1 gives 0 and the correction
+    // returns e itself — the right limit.
+    let sp_mid = ln_ge1(u) - ((u - 1.0) - e) / u;
+    let sig_mid = e / u;
+    let big = x > 40.0;
+    let small = x < -40.0;
+    let sp = if big {
+        x
+    } else if small {
+        e
+    } else {
+        sp_mid
+    };
+    let ds = if big {
+        1.0
+    } else if small {
+        e
+    } else {
+        sig_mid
+    };
+    (sp, ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_matches_libm_closely() {
+        let mut worst = 0.0f64;
+        let mut i = 0;
+        while i <= 16_000 {
+            // Dense sweep of the softplus operating range ±40 plus margin.
+            let x = -80.0 + i as f64 * 0.01;
+            let got = exp(x);
+            let want = x.exp();
+            let rel = ((got - want) / want).abs();
+            worst = worst.max(rel);
+            i += 1;
+        }
+        assert!(worst < 1e-13, "worst exp relative error {worst:e}");
+    }
+
+    #[test]
+    fn exp_saturates_and_propagates_nan() {
+        assert!(exp(1e9).is_finite());
+        assert!(exp(1e9) > 1e300);
+        assert!(exp(-1e9) > 0.0);
+        assert!(exp(-1e9) < 1e-300);
+        assert!(exp(f64::NAN).is_nan());
+        assert_eq!(exp(0.0), 1.0);
+    }
+
+    #[test]
+    fn ln_matches_libm_closely() {
+        let mut worst = 0.0f64;
+        let mut u = 1.0f64 + 1e-12;
+        while u < 1e18 {
+            let got = ln_ge1(u);
+            let want = u.ln();
+            let err = if want.abs() > 1e-300 {
+                ((got - want) / want).abs()
+            } else {
+                (got - want).abs()
+            };
+            worst = worst.max(err);
+            u *= 1.000_37;
+        }
+        assert!(worst < 1e-12, "worst ln relative error {worst:e}");
+        assert_eq!(ln_ge1(1.0), 0.0);
+    }
+
+    #[test]
+    fn softplus_matches_libm_closely() {
+        let mut worst = 0.0f64;
+        let mut i = 0;
+        while i <= 24_000 {
+            let x = -60.0 + i as f64 * 0.005;
+            let (sp, ds) = softplus_pair(x);
+            let want_sp = if x > 40.0 {
+                x
+            } else if x < -40.0 {
+                x.exp()
+            } else {
+                x.exp().ln_1p()
+            };
+            let want_ds = 1.0 / (1.0 + (-x).exp());
+            worst = worst.max(((sp - want_sp) / want_sp.max(1e-300)).abs());
+            worst = worst.max((ds - want_ds).abs());
+            i += 1;
+        }
+        assert!(worst < 1e-12, "worst softplus error {worst:e}");
+    }
+
+    #[test]
+    fn softplus_saturated_arms_are_exact() {
+        // The saturated selects must return the legacy arms bit-for-bit.
+        let (sp, ds) = softplus_pair(55.0);
+        assert_eq!(sp, 55.0);
+        assert_eq!(ds, 1.0);
+        let (sp, ds) = softplus_pair(-55.0);
+        assert_eq!(sp, exp(-55.0));
+        assert_eq!(ds, sp);
+    }
+
+    #[test]
+    fn softplus_is_monotone_across_the_seams() {
+        for seam in [-40.0f64, 40.0] {
+            let mut prev = softplus_pair(seam - 1e-3).0;
+            let mut i = 1;
+            while i <= 2_000 {
+                let x = seam - 1e-3 + i as f64 * 1e-6;
+                let sp = softplus_pair(x).0;
+                assert!(sp >= prev, "softplus not monotone at {x}");
+                prev = sp;
+                i += 1;
+            }
+        }
+    }
+}

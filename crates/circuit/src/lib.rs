@@ -41,9 +41,11 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod cancel;
 pub mod dc;
 pub mod element;
+pub mod fastmath;
 pub mod faultinject;
 pub mod mosfet;
 pub mod netlist;

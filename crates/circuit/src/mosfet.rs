@@ -99,15 +99,10 @@ impl MosParams {
         (0.5 * (z + (z * z + DELTA).sqrt())).sqrt()
     }
 
-    /// Numerically safe ln(1 + eˣ).
+    /// Numerically safe ln(1 + eˣ), via the shared portable routine
+    /// ([`crate::fastmath`]) so every engine evaluates the same bits.
     fn softplus(x: f64) -> f64 {
-        if x > 40.0 {
-            x
-        } else if x < -40.0 {
-            x.exp()
-        } else {
-            x.exp().ln_1p()
-        }
+        crate::fastmath::softplus_pair(x).0
     }
 
     /// Drain current \[A\] flowing into the drain terminal, given absolute
@@ -157,18 +152,13 @@ impl MosParams {
     }
 
     /// softplus and its derivative (the logistic sigmoid), sharing the one
-    /// `exp` between them. The branches mirror [`Self::softplus`] exactly
-    /// so the returned value is bit-identical to it.
-    fn softplus_pair(x: f64) -> (f64, f64) {
-        if x > 40.0 {
-            (x, 1.0)
-        } else if x < -40.0 {
-            let e = x.exp();
-            (e, e)
-        } else {
-            let e = x.exp();
-            (e.ln_1p(), e / (1.0 + e))
-        }
+    /// `exp` between them. Delegates to the portable branch-free routine
+    /// ([`crate::fastmath`]) — the single implementation both the scalar
+    /// and batched device evaluations inline, which is what makes
+    /// scalar-vs-batched bit-identity hold by construction.
+    #[inline(always)]
+    pub(crate) fn softplus_pair(x: f64) -> (f64, f64) {
+        crate::fastmath::softplus_pair(x)
     }
 
     /// Drain current and its partial derivatives with respect to the

@@ -34,6 +34,9 @@ static RECOVERIES_GMIN: AtomicU64 = AtomicU64::new(0);
 static RECOVERIES_SOURCE: AtomicU64 = AtomicU64::new(0);
 static RECOVERIES_FAILED: AtomicU64 = AtomicU64::new(0);
 static CANCELLATIONS: AtomicU64 = AtomicU64::new(0);
+static BATCHED_STEPS: AtomicU64 = AtomicU64::new(0);
+static BATCH_LANE_STEPS: AtomicU64 = AtomicU64::new(0);
+static SCALAR_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static TL_RECOVERY_ATTEMPTS: Cell<u64> = const { Cell::new(0) };
@@ -70,6 +73,17 @@ pub struct PerfSnapshot {
     /// ([`crate::cancel`]): a fired token or an exhausted per-scope
     /// step/wall budget. Zero on any run without a watchdog trigger.
     pub cancellations: u64,
+    /// Lockstep rounds executed by the batched solver
+    /// ([`crate::batch`]): each round advances every active lane one
+    /// Newton iteration. Zero on scalar-only runs.
+    pub batched_steps: u64,
+    /// Sum of active lanes over all batched rounds — the occupancy
+    /// numerator: `batch_lane_steps / (batched_steps · lane_width)` is the
+    /// mean fraction of lanes doing useful work.
+    pub batch_lane_steps: u64,
+    /// Samples the batch scheduler peeled off to the scalar path (lane
+    /// failure, unsupported configuration, or fault-injection targeting).
+    pub scalar_fallbacks: u64,
 }
 
 impl PerfSnapshot {
@@ -87,6 +101,9 @@ impl PerfSnapshot {
             recoveries_source: self.recoveries_source - earlier.recoveries_source,
             recoveries_failed: self.recoveries_failed - earlier.recoveries_failed,
             cancellations: self.cancellations - earlier.cancellations,
+            batched_steps: self.batched_steps - earlier.batched_steps,
+            batch_lane_steps: self.batch_lane_steps - earlier.batch_lane_steps,
+            scalar_fallbacks: self.scalar_fallbacks - earlier.scalar_fallbacks,
         }
     }
 
@@ -116,6 +133,9 @@ impl PerfSnapshot {
                 .recoveries_failed
                 .saturating_add(other.recoveries_failed),
             cancellations: self.cancellations.saturating_add(other.cancellations),
+            batched_steps: self.batched_steps.saturating_add(other.batched_steps),
+            batch_lane_steps: self.batch_lane_steps.saturating_add(other.batch_lane_steps),
+            scalar_fallbacks: self.scalar_fallbacks.saturating_add(other.scalar_fallbacks),
         }
     }
 
@@ -143,7 +163,30 @@ pub fn snapshot() -> PerfSnapshot {
         recoveries_source: RECOVERIES_SOURCE.load(Ordering::Relaxed),
         recoveries_failed: RECOVERIES_FAILED.load(Ordering::Relaxed),
         cancellations: CANCELLATIONS.load(Ordering::Relaxed),
+        batched_steps: BATCHED_STEPS.load(Ordering::Relaxed),
+        batch_lane_steps: BATCH_LANE_STEPS.load(Ordering::Relaxed),
+        scalar_fallbacks: SCALAR_FALLBACKS.load(Ordering::Relaxed),
     }
+}
+
+/// Records one flush of the batched solver's round counters:
+/// `rounds` lockstep rounds that advanced a total of `lane_steps` active
+/// lane-iterations. Called by the batch engine once per event-loop slice,
+/// so the per-round overhead is zero.
+pub fn record_batch_rounds(rounds: u64, lane_steps: u64) {
+    if rounds > 0 {
+        BATCHED_STEPS.fetch_add(rounds, Ordering::Relaxed);
+    }
+    if lane_steps > 0 {
+        BATCH_LANE_STEPS.fetch_add(lane_steps, Ordering::Relaxed);
+    }
+}
+
+/// Records one sample the batch scheduler handed back to the scalar
+/// engine. Public because the Monte Carlo scheduler in `issa-core` owns
+/// the peel-off decision.
+pub fn record_scalar_fallback() {
+    SCALAR_FALLBACKS.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Total recovery-ladder attempts flushed **by the current thread** since
@@ -272,6 +315,9 @@ mod tests {
             recoveries_source: 8,
             recoveries_failed: 9,
             cancellations: 10,
+            batched_steps: 11,
+            batch_lane_steps: 12,
+            scalar_fallbacks: 13,
         };
         let b = a.saturating_add(&a);
         assert_eq!(b.timesteps, 4);
@@ -279,6 +325,20 @@ mod tests {
         assert_eq!(b.recoveries_damped, 10);
         assert_eq!(b.recoveries_failed, 18);
         assert_eq!(b.cancellations, 20);
+        assert_eq!(b.batched_steps, 22);
+        assert_eq!(b.batch_lane_steps, 24);
+        assert_eq!(b.scalar_fallbacks, 26);
         assert_eq!(b.recovery_attempts(), 70);
+    }
+
+    #[test]
+    fn batch_counters_flush_and_delta() {
+        let before = snapshot();
+        record_batch_rounds(5, 37);
+        record_scalar_fallback();
+        let d = snapshot().delta_since(&before);
+        assert!(d.batched_steps >= 5, "{d:?}");
+        assert!(d.batch_lane_steps >= 37, "{d:?}");
+        assert!(d.scalar_fallbacks >= 1, "{d:?}");
     }
 }

@@ -161,7 +161,9 @@ struct BranchState {
 }
 
 /// Resolved early-exit check, tracking crossing state between base steps.
-enum StopCheck {
+/// Crate-visible so the batched lockstep engine ([`crate::batch`]) reuses
+/// the exact trigger logic per lane.
+pub(crate) enum StopCheck {
     Never,
     Diff {
         a: NodeId,
@@ -179,7 +181,7 @@ enum StopCheck {
 
 impl StopCheck {
     /// Whether to stop after the accepted base step ending at `(t, x)`.
-    fn triggered(&mut self, x: &[f64], t: f64) -> bool {
+    pub(crate) fn triggered(&mut self, x: &[f64], t: f64) -> bool {
         match self {
             StopCheck::Never => false,
             StopCheck::Diff { a, b, threshold } => (volt(x, *a) - volt(x, *b)).abs() >= *threshold,
@@ -212,7 +214,7 @@ impl StopCheck {
 }
 
 #[inline]
-fn volt(x: &[f64], id: NodeId) -> f64 {
+pub(crate) fn volt(x: &[f64], id: NodeId) -> f64 {
     match id.unknown_index() {
         Some(i) => x[i],
         None => 0.0,

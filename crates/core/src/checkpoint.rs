@@ -426,16 +426,18 @@ pub fn unescape(s: &str) -> String {
     out
 }
 
-/// FNV-1a fingerprint of a corner configuration. Thread count is
-/// normalized out (results are thread-count independent by construction),
-/// so a campaign checkpointed at `--threads 8` resumes cleanly at
-/// `--threads 1`. Everything else — sizing, models, probes, seeds, sample
-/// counts — participates: any change that could alter a sample's value
-/// changes the fingerprint and refuses the stale checkpoint.
+/// FNV-1a fingerprint of a corner configuration. Thread count and batch
+/// lane count are normalized out (results are independent of both by
+/// construction), so a campaign checkpointed at `--threads 8` or
+/// `--batch-lanes 8` resumes cleanly at any other setting. Everything
+/// else — sizing, models, probes, seeds, sample counts — participates:
+/// any change that could alter a sample's value changes the fingerprint
+/// and refuses the stale checkpoint.
 #[must_use]
 pub fn config_fingerprint(name: &str, cfg: &McConfig) -> u64 {
     let normalized = McConfig {
         threads: 0,
+        batch_lanes: 0,
         ..cfg.clone()
     };
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -630,6 +632,11 @@ mod tests {
             ..base.clone()
         };
         assert_eq!(fp, config_fingerprint("c", &threaded));
+        let batched = McConfig {
+            batch_lanes: 8,
+            ..base.clone()
+        };
+        assert_eq!(fp, config_fingerprint("c", &batched));
         let different_seed = McConfig {
             seed: base.seed + 1,
             ..base.clone()

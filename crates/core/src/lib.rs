@@ -49,6 +49,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod calib;
 pub mod campaign;
 pub mod checkpoint;

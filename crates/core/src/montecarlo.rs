@@ -228,6 +228,14 @@ pub struct McConfig {
     /// Worker threads for the sample loop (samples are independent; the
     /// result is identical for any thread count). 0 = one per core.
     pub threads: usize,
+    /// Batched lockstep lanes for the sample loops: when > 1 (and no
+    /// per-sample watchdog budget is armed), each worker shard advances
+    /// up to this many samples' probe transients in lockstep through one
+    /// structure-of-arrays Newton solve (see [`crate::batch`]). Results
+    /// are bit-identical to the scalar path for any lane count — lanes
+    /// change how samples are *scheduled*, never what they compute.
+    /// 0 or 1 (the default) selects the scalar path.
+    pub batch_lanes: usize,
     /// Fraction of samples allowed to fail (after solver recovery) before
     /// the whole run errors with [`SaError::FailureBudgetExceeded`].
     /// Default 0: any quarantined sample fails the run.
@@ -273,6 +281,7 @@ impl McConfig {
             delay_swing: DelaySwingPolicy::default(),
             hci: None,
             threads: 0,
+            batch_lanes: 0,
             max_failure_frac: 0.0,
             fault_plan: None,
             sample_step_budget: None,
@@ -801,11 +810,31 @@ pub fn run_mc_controlled(cfg: &McConfig, ctl: &McControl<'_>) -> Result<McResult
     // quarantined or restored sample cannot perturb its shard-mates for
     // the same reason.
     let offset_done = &offset_done;
+    let use_batch = crate::batch::batching_enabled(cfg);
     let offset_shards: Vec<Vec<(usize, Result<f64, SampleFailure>)>> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|shard| {
                     scope.spawn(move || {
+                        if use_batch {
+                            // Lockstep lanes over this shard's strided
+                            // samples — bit-identical to the scalar loop
+                            // below (see [`crate::batch`]); `None` means
+                            // the config is not batchable, so fall through.
+                            let todo: Vec<usize> = (shard..cfg.samples)
+                                .step_by(threads)
+                                .filter(|&i| !offset_done[i])
+                                .collect();
+                            let mut hooks = ObserverHooks {
+                                phase: McPhase::Offset,
+                                observer: ctl.observer,
+                            };
+                            if let Some(runs) =
+                                crate::batch::run_offset_batch(cfg, &todo, ctl.cancel, &mut hooks)
+                            {
+                                return collect_batch_runs(runs);
+                            }
+                        }
                         let mut local = Vec::new();
                         let mut search = OffsetSearch::default();
                         let mut i = shard;
@@ -915,6 +944,21 @@ pub fn run_mc_controlled(cfg: &McConfig, ctl: &McControl<'_>) -> Result<McResult
                 let handles: Vec<_> = (0..delay_threads)
                     .map(|shard| {
                         scope.spawn(move || {
+                            if use_batch {
+                                let todo: Vec<usize> = (shard..delay_count)
+                                    .step_by(delay_threads)
+                                    .filter(|&i| !delay_skip[i])
+                                    .collect();
+                                let mut hooks = ObserverHooks {
+                                    phase: McPhase::Delay,
+                                    observer: ctl.observer,
+                                };
+                                if let Some(runs) = crate::batch::run_delay_batch(
+                                    cfg, &todo, swing, ctl.cancel, &mut hooks,
+                                ) {
+                                    return collect_batch_runs(runs);
+                                }
+                            }
                             let mut local = Vec::new();
                             let mut i = shard;
                             while i < delay_count {
@@ -1025,6 +1069,39 @@ pub fn run_mc_controlled(cfg: &McConfig, ctl: &McControl<'_>) -> Result<McResult
         delay_ci95,
         perf,
     })
+}
+
+/// Forwards batched completions to the streaming observer exactly like
+/// the scalar shard loops do.
+struct ObserverHooks<'a> {
+    phase: McPhase,
+    observer: Option<&'a dyn McObserver>,
+}
+
+impl crate::batch::BatchHooks for ObserverHooks<'_> {
+    fn on_sample(&mut self, index: usize, run: &SampleRun) {
+        if let Some(obs) = self.observer {
+            match run {
+                SampleRun::Done(v) => obs.sample_finished(self.phase, index, Ok(*v)),
+                SampleRun::Failed(f) => obs.sample_finished(self.phase, index, Err(f)),
+                SampleRun::Cancelled => {}
+            }
+        }
+    }
+}
+
+/// Maps a batch driver's output into the shard-local result vector the
+/// merge loops expect. Cancelled samples are absent from the batch
+/// output — uncomputed, exactly like the samples the scalar loop's
+/// `break` never reached.
+fn collect_batch_runs(runs: Vec<(usize, SampleRun)>) -> Vec<(usize, Result<f64, SampleFailure>)> {
+    runs.into_iter()
+        .filter_map(|(i, run)| match run {
+            SampleRun::Done(v) => Some((i, Ok(v))),
+            SampleRun::Failed(f) => Some((i, Err(f))),
+            SampleRun::Cancelled => None,
+        })
+        .collect()
 }
 
 /// Enforces [`McConfig::max_failure_frac`]: sorts the quarantine list by

@@ -147,9 +147,7 @@ impl DriveSpec {
     /// |vin| below Vdd (matching how a real bitline differential looks —
     /// one line stays precharged, the other dips).
     pub(crate) fn offset_probe(vin: f64, env: &Environment, t_enable: f64, edge: f64) -> Self {
-        let vdd = env.vdd;
-        let v_bl = vdd + vin.min(0.0);
-        let v_blbar = vdd - vin.max(0.0);
+        let (v_bl, v_blbar) = offset_drive_levels(vin, env.vdd);
         Self {
             bl: Waveform::dc(v_bl),
             blbar: Waveform::dc(v_blbar),
@@ -199,9 +197,97 @@ pub(crate) struct ProbeContext {
 }
 
 /// Branch indices of the bitline drivers in [`SaInstance::build_netlist`]
-/// insertion order (0 is the Vdd rail).
-const BL_BRANCH: usize = 1;
-const BLBAR_BRANCH: usize = 2;
+/// insertion order (0 is the Vdd rail). Shared with the batched lane
+/// scheduler ([`crate::batch`]), which swaps the same two waveforms
+/// between probes.
+pub(crate) const BL_BRANCH: usize = 1;
+pub(crate) const BLBAR_BRANCH: usize = 2;
+
+/// Bitline DC levels of an offset probe at input differential `vin`: the
+/// lower line dips below Vdd, the other stays precharged. One definition
+/// for the scalar search, [`DriveSpec::offset_probe`], and the batched
+/// scheduler.
+pub(crate) fn offset_drive_levels(vin: f64, vdd: f64) -> (f64, f64) {
+    (vdd + vin.min(0.0), vdd - vin.max(0.0))
+}
+
+/// Internal differential `V(S) − V(SBar)` \[V\] at the end of a
+/// regeneration-probe trace (full window or early-exit point — the sign
+/// is the same either way, regeneration being monotone past the
+/// threshold). Shared by the scalar path and the batched scheduler.
+pub(crate) fn regen_diff(trace: &Trace) -> f64 {
+    let s = trace.final_value("s").expect("s recorded");
+    let sbar = trace.final_value("sbar").expect("sbar recorded");
+    s - sbar
+}
+
+/// Extracts the sensing delay from a delay-probe trace: SAenable's 50 %
+/// rising crossing to the winning output's 50 % rising crossing. Shared
+/// by [`SaInstance::sensing_delay`] and the batched scheduler.
+pub(crate) fn delay_from_trace(trace: &Trace, out_signal: &str, vdd: f64) -> Result<f64, SaError> {
+    let t_en = trace
+        .crossing_time("saen", 0.5 * vdd, CrossDirection::Rising, 0.0)
+        .ok_or_else(|| SaError::MissingCrossing {
+            signal: "saen".into(),
+        })?;
+    let t_out = trace
+        .crossing_time(out_signal, 0.5 * vdd, CrossDirection::Rising, t_en)
+        .ok_or_else(|| SaError::MissingCrossing {
+            signal: out_signal.into(),
+        })?;
+    Ok(t_out - t_en)
+}
+
+/// The fixed dyadic offset-search grid over `[−vin_max, +vin_max]` (see
+/// [`OffsetSearch`]): `n` cells, `n` the smallest power of two whose cell
+/// width does not exceed `offset_tol`. One construction shared by the
+/// scalar binary search and the batched lane scheduler, so the probed
+/// grid points cannot drift between the two paths.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OffsetGrid {
+    /// Number of grid cells.
+    pub(crate) n: i64,
+    vin_max: f64,
+    step: f64,
+}
+
+impl OffsetGrid {
+    /// Builds the grid from the probe options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.offset_tol` or `opts.vin_max` is not positive.
+    pub(crate) fn from_opts(opts: &ProbeOptions) -> Self {
+        assert!(opts.offset_tol > 0.0, "offset_tol must be positive");
+        assert!(opts.vin_max > 0.0, "vin_max must be positive");
+        let mut n: i64 = 1;
+        while 2.0 * opts.vin_max / n as f64 > opts.offset_tol {
+            n <<= 1;
+        }
+        Self {
+            n,
+            vin_max: opts.vin_max,
+            step: 2.0 * opts.vin_max / n as f64,
+        }
+    }
+
+    /// Input differential of grid point `i`.
+    pub(crate) fn value(self, i: i64) -> f64 {
+        -self.vin_max + i as f64 * self.step
+    }
+
+    /// Warm-window half-width around the previous flip cell: ±(n/16)
+    /// cells, at least one.
+    pub(crate) fn half_window(self) -> i64 {
+        (self.n / 16).max(1)
+    }
+
+    /// Measured offset once the search has narrowed to `[lo, hi]`:
+    /// the flip point of `vin`, positive = biased toward One.
+    pub(crate) fn offset(self, lo: i64, hi: i64) -> f64 {
+        -0.5 * (self.value(lo) + self.value(hi))
+    }
+}
 
 impl ProbeContext {
     pub(crate) fn new(sa: &SaInstance, drive: &DriveSpec) -> Self {
@@ -234,8 +320,10 @@ impl ProbeContext {
 /// the full bracket when the window misses.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OffsetSearch {
-    /// Lower index of the previous flip cell on the search grid.
-    center: Option<i64>,
+    /// Lower index of the previous flip cell on the search grid
+    /// (crate-visible so the batched scheduler's per-lane carriers update
+    /// it exactly like the scalar search does).
+    pub(crate) center: Option<i64>,
 }
 
 impl SaInstance {
@@ -254,6 +342,22 @@ impl SaInstance {
         window_scale: f64,
     ) -> Result<f64, SaError> {
         ctx.set_bitlines(Waveform::dc(v_bl), Waveform::dc(v_blbar));
+        let params = self.regen_params(v_bl, v_blbar, t_enable, opts, window_scale);
+        let trace = ctx.run(&params)?;
+        Ok(regen_diff(trace))
+    }
+
+    /// Transient parameters of one regeneration probe — shared verbatim
+    /// by the scalar path above and the batched lane scheduler
+    /// ([`crate::batch`]), so the two cannot drift apart.
+    pub(crate) fn regen_params(
+        &self,
+        v_bl: f64,
+        v_blbar: f64,
+        t_enable: f64,
+        opts: &ProbeOptions,
+        window_scale: f64,
+    ) -> TranParams {
         let vdd = self.env.vdd;
         // With the ISSA's crossed pair active, the pass phase connects BL
         // to SBar and BLBar to S; the precharge ICs must match.
@@ -281,10 +385,7 @@ impl SaInstance {
                 threshold: opts.resolve_fraction * vdd,
             });
         }
-        let trace = ctx.run(&params)?;
-        let s = trace.final_value("s").expect("s recorded");
-        let sbar = trace.final_value("sbar").expect("sbar recorded");
-        Ok(s - sbar)
+        params
     }
 
     /// Senses the differential input `vin = V(BL) − V(BLBar)` \[V\].
@@ -351,26 +452,17 @@ impl SaInstance {
         opts: &ProbeOptions,
         search: &mut OffsetSearch,
     ) -> Result<f64, SaError> {
-        assert!(opts.offset_tol > 0.0, "offset_tol must be positive");
-        assert!(opts.vin_max > 0.0, "vin_max must be positive");
         let drive = DriveSpec::offset_probe(0.0, &self.env, opts.t_enable, opts.edge);
         let mut ctx = ProbeContext::new(self, &drive);
 
         // Fixed dyadic search grid: n cells over [−vin_max, +vin_max],
         // n the smallest power of two with cell width ≤ offset_tol.
-        let mut n: i64 = 1;
-        while 2.0 * opts.vin_max / n as f64 > opts.offset_tol {
-            n <<= 1;
-        }
-        let step = 2.0 * opts.vin_max / n as f64;
-        let grid = |i: i64| -> f64 { -opts.vin_max + i as f64 * step };
+        let grid = OffsetGrid::from_opts(opts);
+        let n = grid.n;
         // Decision at grid point i; near the metastable point resolution
         // is slow, so classify by the sign of the differential.
         let decide = |i: i64, ctx: &mut ProbeContext| -> Result<bool, SaError> {
-            let vin = grid(i);
-            let vdd = self.env.vdd;
-            let v_bl = vdd + vin.min(0.0);
-            let v_blbar = vdd - vin.max(0.0);
+            let (v_bl, v_blbar) = offset_drive_levels(grid.value(i), self.env.vdd);
             Ok(self.regenerate(ctx, v_bl, v_blbar, opts.t_enable, opts, 1.0)? > 0.0)
         };
 
@@ -382,7 +474,7 @@ impl SaInstance {
         let mut bracket: Option<(i64, i64, bool)> = None;
         if opts.warm_start {
             if let Some(c) = search.center {
-                let half_window = (n / 16).max(1);
+                let half_window = grid.half_window();
                 let c = c.clamp(0, n - 1);
                 let wlo = (c - half_window).max(0);
                 let whi = (c + 1 + half_window).min(n);
@@ -428,7 +520,7 @@ impl SaInstance {
         }
         search.center = Some(lo);
         // Flip point of vin; positive offset = biased toward One.
-        Ok(-0.5 * (grid(lo) + grid(hi)))
+        Ok(grid.offset(lo, hi))
     }
 
     /// Measures the sensing delay for a read of `read_value` \[s\]: from
@@ -443,16 +535,33 @@ impl SaInstance {
     pub fn sensing_delay(&self, read_value: bool, opts: &ProbeOptions) -> Result<f64, SaError> {
         let drive = DriveSpec::delay_probe(read_value, opts.swing, &self.env, opts);
         let mut ctx = ProbeContext::new(self, &drive);
-        let vdd = self.env.vdd;
-        // With the crossed pair active the SA resolves the complement, so
-        // the opposite output goes high (the control logic re-inverts the
-        // value downstream).
+        let out_signal = self.delay_out_signal(read_value);
+        let params = self.delay_params(&drive, out_signal, opts);
+        let trace = ctx.run(&params)?;
+        delay_from_trace(trace, out_signal, self.env.vdd)
+    }
+
+    /// Which output rises for a read of `read_value`: with the crossed
+    /// pair active the SA resolves the complement, so the opposite output
+    /// goes high (the control logic re-inverts the value downstream).
+    pub(crate) fn delay_out_signal(&self, read_value: bool) -> &'static str {
         let crossed = self.kind == crate::netlist::SaKind::Issa && self.switch_state;
-        let out_signal = if read_value ^ crossed {
+        if read_value ^ crossed {
             "out"
         } else {
             "outbar"
-        };
+        }
+    }
+
+    /// Transient parameters of one delay probe — shared verbatim by
+    /// [`SaInstance::sensing_delay`] and the batched lane scheduler.
+    pub(crate) fn delay_params(
+        &self,
+        drive: &DriveSpec,
+        out_signal: &str,
+        opts: &ProbeOptions,
+    ) -> TranParams {
+        let vdd = self.env.vdd;
         // Heavily aged instances sensing against their bias can be several
         // times slower than a fresh SA; give the delay probe extra room so
         // the output crossing is not clipped by the window.
@@ -471,26 +580,14 @@ impl SaInstance {
             // The run is over once the winning output's 50 % crossing is
             // bracketed; the outputs start low and rise monotonically
             // after the enable edge, so stopping there cannot skip the
-            // crossing the measurement below would have picked.
+            // crossing the measurement would have picked.
             params = params.stop_when(StopWhen::RisesThrough {
                 node: out_signal.into(),
                 level: 0.5 * vdd,
                 after: drive.t_enable,
             });
         }
-        let trace = ctx.run(&params)?;
-
-        let t_en = trace
-            .crossing_time("saen", 0.5 * vdd, CrossDirection::Rising, 0.0)
-            .ok_or_else(|| SaError::MissingCrossing {
-                signal: "saen".into(),
-            })?;
-        let t_out = trace
-            .crossing_time(out_signal, 0.5 * vdd, CrossDirection::Rising, t_en)
-            .ok_or_else(|| SaError::MissingCrossing {
-                signal: out_signal.into(),
-            })?;
-        Ok(t_out - t_en)
+        params
     }
 
     /// Runs the delay-probe transient and returns the full waveform trace

@@ -307,6 +307,12 @@ impl Msg {
                                     recoveries_source: n()?,
                                     recoveries_failed: n()?,
                                     cancellations: n()?,
+                                    // Batched-mode counters (batched
+                                    // steps, lane steps, scalar
+                                    // fallbacks) are process-local
+                                    // diagnostics; the wire format
+                                    // deliberately does not carry them.
+                                    ..PerfSnapshot::default()
                                 },
                                 sense_calls: n()?,
                             };
@@ -425,6 +431,7 @@ mod tests {
                     recoveries_source: 8,
                     recoveries_failed: 9,
                     cancellations: 10,
+                    ..PerfSnapshot::default()
                 },
                 sense_calls: 11,
             },

@@ -14,6 +14,7 @@ use crate::proto::{
     campaign_fingerprint, Msg, UnitAssignment, UnitResult, WorkerPerf, PROTO_VERSION,
 };
 use crate::DistError;
+use issa_core::batch::{batching_enabled, run_delay_batch, run_offset_batch, BatchHooks};
 use issa_core::campaign::CampaignCorner;
 use issa_core::montecarlo::{
     run_delay_sample, run_offset_sample_with, McConfig, McPhase, SampleRun,
@@ -238,6 +239,48 @@ fn call(frames: &mut FrameStream<TcpStream>, msg: &Msg) -> Result<Msg, DistError
     Msg::from_bytes(&payload).map_err(DistError::Proto)
 }
 
+/// [`BatchHooks`] that heartbeat the coordinator between lockstep
+/// slices, exactly like the scalar loop pings between samples — so a
+/// long batched unit cannot look dead. A transport failure is stashed
+/// (the hook signature cannot return it) and stops the batch; the
+/// caller rethrows it.
+struct HeartbeatHooks<'a> {
+    frames: &'a mut FrameStream<TcpStream>,
+    worker_id: u64,
+    last_contact: &'a mut Instant,
+    interval: Duration,
+    err: Option<DistError>,
+}
+
+impl BatchHooks for HeartbeatHooks<'_> {
+    fn on_slice(&mut self) -> bool {
+        if self.err.is_some() || self.last_contact.elapsed() < self.interval {
+            return self.err.is_none();
+        }
+        match call(
+            self.frames,
+            &Msg::Ping {
+                worker_id: self.worker_id,
+            },
+        ) {
+            Ok(Msg::Ok) => {
+                *self.last_contact = Instant::now();
+                true
+            }
+            Ok(other) => {
+                self.err = Some(DistError::Proto(format!(
+                    "expected heartbeat ok, got {other:?}"
+                )));
+                false
+            }
+            Err(e) => {
+                self.err = Some(e);
+                false
+            }
+        }
+    }
+}
+
 /// Computes one unit with the same entry points the in-process shard
 /// loops use — so a distributed sample is *literally the same function
 /// call* as a local one, and bit-identity follows from purity rather
@@ -266,6 +309,50 @@ fn compute_unit(
     // the carrier changes probe order, never the result.
     let mut search = OffsetSearch::default();
     let mut last_contact = Instant::now();
+    if batching_enabled(cfg) {
+        // Batched lockstep over the assigned range — a worker-local
+        // scheduling choice, invisible on the wire (the unit's records
+        // are bit-identical to the scalar loop's below).
+        let indices: Vec<usize> = (a.start..a.end).collect();
+        let mut hooks = HeartbeatHooks {
+            frames,
+            worker_id,
+            last_contact: &mut last_contact,
+            interval: opts.heartbeat_interval,
+            err: None,
+        };
+        let runs = match a.phase {
+            McPhase::Offset => run_offset_batch(cfg, &indices, None, &mut hooks),
+            McPhase::Delay => run_delay_batch(cfg, &indices, a.swing_volts(), None, &mut hooks),
+        };
+        if let Some(e) = hooks.err {
+            return Err(e);
+        }
+        if let Some(runs) = runs {
+            for (index, run) in runs {
+                match run {
+                    SampleRun::Done(v) => {
+                        stats.samples_done += 1;
+                        match a.phase {
+                            McPhase::Offset => result.offsets.push((index, v)),
+                            McPhase::Delay => result.delays.push((index, v)),
+                        }
+                    }
+                    SampleRun::Failed(f) => {
+                        stats.samples_done += 1;
+                        result.failures.push(f);
+                    }
+                    SampleRun::Cancelled => {}
+                }
+            }
+            result.perf = WorkerPerf {
+                circuit: issa_circuit::perf::snapshot().delta_since(&circuit_before),
+                sense_calls: issa_core::perf::sense_calls() - sense_before,
+            };
+            return Ok(result);
+        }
+        // Config not batchable: fall through to the scalar loop.
+    }
     for index in a.start..a.end {
         if last_contact.elapsed() >= opts.heartbeat_interval {
             match call(frames, &Msg::Ping { worker_id })? {

@@ -5,6 +5,9 @@
 //!
 //! - [`matrix`] — dense matrices and LU decomposition with partial pivoting,
 //!   sized for modified-nodal-analysis systems of a few dozen unknowns;
+//! - [`smatrix`] — const-generic fixed-size matrices and structure-of-arrays
+//!   batches of K matrices, with an LU bit-identical to [`matrix`]'s, for the
+//!   batched lockstep Monte Carlo solver;
 //! - [`special`] — error function, normal CDF/quantile, and related special
 //!   functions used by the offset-voltage specification solver;
 //! - [`roots`] — bracketing root finders (bisection, Brent) used for
@@ -37,10 +40,12 @@ pub mod interp;
 pub mod matrix;
 pub mod rng;
 pub mod roots;
+pub mod smatrix;
 pub mod special;
 pub mod stats;
 
 pub use matrix::{DMatrix, Lu, SingularMatrixError};
 pub use roots::{bisect, brent, Bracket, RootError};
+pub use smatrix::{BatchMatrix, BatchPerm, BatchVec, Lane, SMatrix};
 pub use special::{erf, erfc, inv_norm_cdf, norm_cdf, norm_pdf};
 pub use stats::{Histogram, RunningStats, Summary};

@@ -326,8 +326,10 @@ pub struct Lu {
 }
 
 impl Lu {
-    /// Threshold below which a pivot is treated as singular.
-    const PIVOT_EPS: f64 = 1e-300;
+    /// Threshold below which a pivot is treated as singular. Public so the
+    /// fixed-size and batched factorizations in [`crate::smatrix`] reject
+    /// exactly the same pivots as the heap path.
+    pub const PIVOT_EPS: f64 = 1e-300;
 
     fn factor(mut a: DMatrix) -> Result<Self, SingularMatrixError> {
         let mut perm = Vec::new();

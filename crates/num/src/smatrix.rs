@@ -1,0 +1,835 @@
+//! Fixed-size and batched dense LU for the Monte Carlo hot path.
+//!
+//! Every Monte Carlo sample of one corner solves the *same* MNA structure —
+//! only the sampled device parameters differ — so the Newton loop can run K
+//! samples in lockstep. Two layouts support that:
+//!
+//! - [`SMatrix<N>`]: a const-generic square matrix on stack storage with the
+//!   same in-place partial-pivot LU as [`DMatrix::factor_into`], for callers
+//!   that know the system size at compile time and want no per-step
+//!   allocation or bounds arithmetic on runtime dimensions.
+//! - [`BatchMatrix<N, K>`]: a structure-of-arrays batch of K matrices whose
+//!   element `(i, j)` of all K samples is stored lane-contiguous (one
+//!   [`Lane<K>`] per entry), so the factor/solve inner loops auto-vectorize
+//!   across samples.
+//!
+//! Both factorizations mirror [`DMatrix::factor_into`] operation for
+//! operation — the same strictly-greater first-maximum pivot scan, the same
+//! [`Lu::PIVOT_EPS`] rejection, the same `factor != 0` row-update skip
+//! (replicated per lane with a select in the batch), and the same
+//! substitution order — so a batched solve is bit-identical to K scalar
+//! solves. The batch keeps going when individual lanes hit a singular
+//! pivot: those lanes report an error and produce garbage that callers
+//! discard, while the surviving lanes' results are untouched (lanes never
+//! exchange data).
+
+use crate::matrix::{DMatrix, Lu, SingularMatrixError};
+
+/// One matrix entry (or vector element) across all K samples of a batch,
+/// stored contiguously and over-aligned so lane loops vectorize without
+/// split loads.
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
+pub struct Lane<const K: usize>(pub [f64; K]);
+
+impl<const K: usize> Lane<K> {
+    /// An all-zero lane vector.
+    pub const ZERO: Self = Lane([0.0; K]);
+
+    /// A lane vector with `v` in every lane.
+    pub fn splat(v: f64) -> Self {
+        Lane([v; K])
+    }
+}
+
+impl<const K: usize> Default for Lane<K> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+/// A square `N × N` matrix on stack storage.
+///
+/// The factorization entry points ([`SMatrix::factor_into`],
+/// [`SMatrix::solve_factored`], [`SMatrix::solve_into`]) are bit-identical
+/// to the [`DMatrix`] heap path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SMatrix<const N: usize> {
+    data: [[f64; N]; N],
+}
+
+impl<const N: usize> Default for SMatrix<N> {
+    fn default() -> Self {
+        Self::zeros()
+    }
+}
+
+impl<const N: usize> SMatrix<N> {
+    /// The zero matrix.
+    pub fn zeros() -> Self {
+        Self {
+            data: [[0.0; N]; N],
+        }
+    }
+
+    /// Builds a matrix from row arrays.
+    pub fn from_rows(rows: [[f64; N]; N]) -> Self {
+        Self { data: rows }
+    }
+
+    /// Copies the values out of an `N × N` [`DMatrix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is not `N × N`.
+    pub fn from_dmatrix(src: &DMatrix) -> Self {
+        assert_eq!(src.rows(), N, "row count mismatch");
+        assert_eq!(src.cols(), N, "column count mismatch");
+        let mut m = Self::zeros();
+        for i in 0..N {
+            for j in 0..N {
+                m.data[i][j] = src[(i, j)];
+            }
+        }
+        m
+    }
+
+    /// Zeroes every entry.
+    pub fn fill_zero(&mut self) {
+        self.data = [[0.0; N]; N];
+    }
+
+    /// Adds `value` to entry `(row, col)`.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row][col] += value;
+    }
+
+    /// Copies every entry from `src`.
+    pub fn copy_from(&mut self, src: &Self) {
+        self.data = src.data;
+    }
+
+    /// Computes `y = A · x`.
+    pub fn mul_vec_into(&self, x: &[f64; N], y: &mut [f64; N]) {
+        for (row, yi) in self.data.iter().zip(y.iter_mut()) {
+            let mut sum = 0.0;
+            for (aij, xj) in row.iter().zip(x.iter()) {
+                sum += aij * xj;
+            }
+            *yi = sum;
+        }
+    }
+
+    /// LU-factorizes `self` **in place** with partial pivoting, mirroring
+    /// [`DMatrix::factor_into`] operation for operation (same pivot choice,
+    /// same [`Lu::PIVOT_EPS`] rejection, same update skip), so the factors
+    /// are bit-identical to the heap path's. Returns the permutation sign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a pivot is exactly zero,
+    /// subnormal, or non-finite.
+    pub fn factor_into(&mut self, perm: &mut [usize; N]) -> Result<f64, SingularMatrixError> {
+        for (i, p) in perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        let mut sign = 1.0;
+
+        for k in 0..N {
+            // Partial pivoting: largest magnitude in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_mag = self.data[k][k].abs();
+            for i in (k + 1)..N {
+                let mag = self.data[i][k].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = i;
+                }
+            }
+            if pivot_mag <= Lu::PIVOT_EPS || !pivot_mag.is_finite() {
+                return Err(SingularMatrixError { column: k });
+            }
+            if pivot_row != k {
+                self.data.swap(k, pivot_row);
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = self.data[k][k];
+            let (upper, lower) = self.data.split_at_mut(k + 1);
+            let row_k = &upper[k];
+            for row_i in lower.iter_mut() {
+                let factor = row_i[k] / pivot;
+                row_i[k] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..N {
+                        let akj = row_k[j];
+                        row_i[j] -= factor * akj;
+                    }
+                }
+            }
+        }
+        Ok(sign)
+    }
+
+    /// Solves `A · x = b` using factors produced by
+    /// [`SMatrix::factor_into`], in the same substitution order as
+    /// [`DMatrix::solve_factored`].
+    #[allow(clippy::needless_range_loop)] // indexed loops mirror the heap LU's op order
+    pub fn solve_factored(&self, perm: &[usize; N], b: &[f64; N], x: &mut [f64; N]) {
+        // Forward substitution with permuted rhs: L·y = P·b.
+        for i in 0..N {
+            let mut sum = b[perm[i]];
+            for j in 0..i {
+                sum -= self.data[i][j] * x[j];
+            }
+            x[i] = sum;
+        }
+        // Backward substitution: U·x = y.
+        for i in (0..N).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..N {
+                sum -= self.data[i][j] * x[j];
+            }
+            x[i] = sum / self.data[i][i];
+        }
+    }
+
+    /// Factors `self` in place and solves `A · x = b` in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the factorization fails; `x` is
+    /// unspecified in that case.
+    pub fn solve_into(
+        &mut self,
+        b: &[f64; N],
+        x: &mut [f64; N],
+    ) -> Result<(), SingularMatrixError> {
+        let mut perm = [0usize; N];
+        self.factor_into(&mut perm)?;
+        self.solve_factored(&perm, b, x);
+        Ok(())
+    }
+}
+
+impl<const N: usize> std::ops::Index<(usize, usize)> for SMatrix<N> {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (row, col): (usize, usize)) -> &f64 {
+        &self.data[row][col]
+    }
+}
+
+impl<const N: usize> std::ops::IndexMut<(usize, usize)> for SMatrix<N> {
+    #[inline]
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f64 {
+        &mut self.data[row][col]
+    }
+}
+
+/// Per-lane row permutations of a batched factorization: `get(i, lane)` is
+/// the original row used at elimination step `i` in that lane.
+#[derive(Debug, Clone)]
+pub struct BatchPerm<const N: usize, const K: usize> {
+    rows: [[u32; K]; N],
+}
+
+impl<const N: usize, const K: usize> Default for BatchPerm<N, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize, const K: usize> BatchPerm<N, K> {
+    /// The identity permutation in every lane.
+    pub fn new() -> Self {
+        let mut rows = [[0u32; K]; N];
+        for (i, row) in rows.iter_mut().enumerate() {
+            *row = [i as u32; K];
+        }
+        Self { rows }
+    }
+
+    fn reset(&mut self) {
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            *row = [i as u32; K];
+        }
+    }
+
+    #[inline]
+    fn swap(&mut self, a: usize, b: usize, lane: usize) {
+        let tmp = self.rows[a][lane];
+        self.rows[a][lane] = self.rows[b][lane];
+        self.rows[b][lane] = tmp;
+    }
+
+    /// Original row used at elimination step `i` in `lane`.
+    #[inline]
+    pub fn get(&self, i: usize, lane: usize) -> usize {
+        self.rows[i][lane] as usize
+    }
+}
+
+/// A batch of K length-N vectors in structure-of-arrays layout: element `i`
+/// of all K samples is one [`Lane<K>`].
+#[derive(Debug, Clone)]
+pub struct BatchVec<const N: usize, const K: usize> {
+    data: [Lane<K>; N],
+}
+
+impl<const N: usize, const K: usize> Default for BatchVec<N, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize, const K: usize> BatchVec<N, K> {
+    /// The zero batch vector.
+    pub fn new() -> Self {
+        Self {
+            data: [Lane::ZERO; N],
+        }
+    }
+
+    /// Zeroes every lane of every element.
+    pub fn fill_zero(&mut self) {
+        self.data = [Lane::ZERO; N];
+    }
+
+    /// The lane vector holding element `i` of every sample.
+    #[inline]
+    pub fn at(&self, i: usize) -> &Lane<K> {
+        &self.data[i]
+    }
+
+    /// Mutable access to element `i` of every sample.
+    #[inline]
+    pub fn at_mut(&mut self, i: usize) -> &mut Lane<K> {
+        &mut self.data[i]
+    }
+
+    /// Element `i` of sample `lane`.
+    #[inline]
+    pub fn get(&self, i: usize, lane: usize) -> f64 {
+        self.data[i].0[lane]
+    }
+
+    /// Sets element `i` of sample `lane`.
+    #[inline]
+    pub fn set(&mut self, i: usize, lane: usize, v: f64) {
+        self.data[i].0[lane] = v;
+    }
+
+    /// Copies sample `lane` out into an array.
+    pub fn store_lane(&self, lane: usize, dst: &mut [f64; N]) {
+        for (d, l) in dst.iter_mut().zip(self.data.iter()) {
+            *d = l.0[lane];
+        }
+    }
+
+    /// Loads an array into sample `lane`.
+    pub fn load_lane(&mut self, lane: usize, src: &[f64; N]) {
+        for (l, s) in self.data.iter_mut().zip(src.iter()) {
+            l.0[lane] = *s;
+        }
+    }
+
+    /// All N lane vectors.
+    pub fn lanes(&self) -> &[Lane<K>; N] {
+        &self.data
+    }
+
+    /// Mutable access to all N lane vectors.
+    pub fn lanes_mut(&mut self) -> &mut [Lane<K>; N] {
+        &mut self.data
+    }
+}
+
+/// A batch of K square `N × N` matrices in structure-of-arrays layout:
+/// entry `(i, j)` of all K samples is stored as one contiguous [`Lane<K>`],
+/// so elimination and substitution loops vectorize across samples.
+///
+/// Storage lives on the heap (one allocation at construction, `N² · K`
+/// doubles) because a full batch is too large to copy through the stack,
+/// but no method allocates after construction.
+#[derive(Debug, Clone)]
+pub struct BatchMatrix<const N: usize, const K: usize> {
+    data: Vec<Lane<K>>,
+}
+
+impl<const N: usize, const K: usize> Default for BatchMatrix<N, K> {
+    fn default() -> Self {
+        Self::zeros()
+    }
+}
+
+impl<const N: usize, const K: usize> BatchMatrix<N, K> {
+    /// The zero batch.
+    pub fn zeros() -> Self {
+        Self {
+            data: vec![Lane::ZERO; N * N],
+        }
+    }
+
+    /// Zeroes every entry of every lane.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(Lane::ZERO);
+    }
+
+    /// Zeroes every entry of sample `lane` only.
+    pub fn fill_lane_zero(&mut self, lane: usize) {
+        for l in &mut self.data {
+            l.0[lane] = 0.0;
+        }
+    }
+
+    /// The lane vector holding entry `(row, col)` of every sample.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> &Lane<K> {
+        &self.data[row * N + col]
+    }
+
+    /// Mutable access to entry `(row, col)` of every sample.
+    #[inline]
+    pub fn at_mut(&mut self, row: usize, col: usize) -> &mut Lane<K> {
+        &mut self.data[row * N + col]
+    }
+
+    /// Entry `(row, col)` of sample `lane`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize, lane: usize) -> f64 {
+        self.data[row * N + col].0[lane]
+    }
+
+    /// Adds `value` to entry `(row, col)` of sample `lane`.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, lane: usize, value: f64) {
+        self.data[row * N + col].0[lane] += value;
+    }
+
+    /// Copies every lane of every entry from `src` (one `memcpy`).
+    pub fn copy_from(&mut self, src: &Self) {
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Loads a scalar matrix into sample `lane`.
+    pub fn load_lane(&mut self, lane: usize, src: &SMatrix<N>) {
+        for i in 0..N {
+            for j in 0..N {
+                self.data[i * N + j].0[lane] = src[(i, j)];
+            }
+        }
+    }
+
+    /// Copies sample `lane` out into a scalar matrix.
+    pub fn store_lane(&self, lane: usize) -> SMatrix<N> {
+        let mut m = SMatrix::zeros();
+        for i in 0..N {
+            for j in 0..N {
+                m[(i, j)] = self.data[i * N + j].0[lane];
+            }
+        }
+        m
+    }
+
+    /// LU-factorizes all K lanes **in place** with per-lane partial
+    /// pivoting. Each lane performs exactly the operation sequence of
+    /// [`DMatrix::factor_into`] on its own matrix — including the
+    /// `factor != 0` row-update skip, replicated per lane with a select —
+    /// so every lane's factors are bit-identical to a scalar factorization
+    /// of that lane.
+    ///
+    /// Lanes whose elimination hits a sub-threshold or non-finite pivot are
+    /// reported in the returned array (first failing column, like the
+    /// scalar error) and their factors are garbage; other lanes are
+    /// unaffected, because lanes never exchange data.
+    #[allow(clippy::needless_range_loop)] // lanes-innermost indexed loops are the vectorization pattern
+    pub fn factor_into(&mut self, perm: &mut BatchPerm<N, K>) -> [Option<SingularMatrixError>; K] {
+        let mut errs: [Option<SingularMatrixError>; K] = [None; K];
+        perm.reset();
+
+        for k in 0..N {
+            // Partial pivoting, branchless across lanes: track the largest
+            // magnitude and its row with per-lane selects. The
+            // strictly-greater comparison keeps the *first* maximum, like
+            // the scalar scan.
+            let mut pm = [0.0f64; K];
+            let diag = &self.data[k * N + k].0;
+            for (m, d) in pm.iter_mut().zip(diag.iter()) {
+                *m = d.abs();
+            }
+            let mut pr = [k as f64; K];
+            for i in (k + 1)..N {
+                let col = &self.data[i * N + k].0;
+                let row = i as f64;
+                for l in 0..K {
+                    let mag = col[l].abs();
+                    let gt = mag > pm[l];
+                    pm[l] = if gt { mag } else { pm[l] };
+                    pr[l] = if gt { row } else { pr[l] };
+                }
+            }
+            for l in 0..K {
+                if errs[l].is_none() && (pm[l] <= Lu::PIVOT_EPS || !pm[l].is_finite()) {
+                    // The scalar path stops at its first bad pivot; a dead
+                    // lane keeps the column of *its* first failure and lets
+                    // the other lanes continue.
+                    errs[l] = Some(SingularMatrixError { column: k });
+                }
+                let prl = pr[l] as usize;
+                if prl != k {
+                    for j in 0..N {
+                        let a = k * N + j;
+                        let b = prl * N + j;
+                        let tmp = self.data[a].0[l];
+                        self.data[a].0[l] = self.data[b].0[l];
+                        self.data[b].0[l] = tmp;
+                    }
+                    perm.swap(k, prl, l);
+                }
+            }
+
+            let pivot = self.data[k * N + k];
+            let (upper, lower) = self.data.split_at_mut((k + 1) * N);
+            let row_k = &upper[k * N..];
+            for row_i in lower.chunks_exact_mut(N) {
+                let mut f = [0.0f64; K];
+                for l in 0..K {
+                    f[l] = row_i[k].0[l] / pivot.0[l];
+                }
+                row_i[k] = Lane(f);
+                // Mirror the scalar `if factor != 0.0` update skip per
+                // lane. Structural MNA zeros below the diagonal make the
+                // all-zero case common, so it short-circuits the whole row;
+                // mixed rows use a per-lane select, which keeps the skipped
+                // lanes' entries (and their signed zeros) untouched exactly
+                // as the scalar skip does.
+                let mut any_nonzero = false;
+                let mut all_nonzero = true;
+                for &fl in &f {
+                    let nz = fl != 0.0;
+                    any_nonzero |= nz;
+                    all_nonzero &= nz;
+                }
+                if !any_nonzero {
+                    continue;
+                }
+                if all_nonzero {
+                    for j in (k + 1)..N {
+                        let akj = &row_k[j].0;
+                        let rij = &mut row_i[j].0;
+                        for l in 0..K {
+                            rij[l] -= f[l] * akj[l];
+                        }
+                    }
+                } else {
+                    for j in (k + 1)..N {
+                        let akj = &row_k[j].0;
+                        let rij = &mut row_i[j].0;
+                        for l in 0..K {
+                            let updated = rij[l] - f[l] * akj[l];
+                            rij[l] = if f[l] != 0.0 { updated } else { rij[l] };
+                        }
+                    }
+                }
+            }
+        }
+        errs
+    }
+
+    /// Solves `A · x = b` in every lane using factors produced by
+    /// [`BatchMatrix::factor_into`], in the same substitution order as
+    /// [`DMatrix::solve_factored`]. Lanes reported singular by the
+    /// factorization produce garbage; other lanes are exact.
+    pub fn solve_factored(
+        &self,
+        perm: &BatchPerm<N, K>,
+        b: &BatchVec<N, K>,
+        x: &mut BatchVec<N, K>,
+    ) {
+        // Forward substitution with permuted rhs: L·y = P·b.
+        for i in 0..N {
+            let row = &self.data[i * N..(i + 1) * N];
+            let mut sum = [0.0f64; K];
+            for (l, s) in sum.iter_mut().enumerate() {
+                *s = b.get(perm.get(i, l), l);
+            }
+            for (j, aij) in row.iter().enumerate().take(i) {
+                let xj = &x.data[j].0;
+                for l in 0..K {
+                    sum[l] -= aij.0[l] * xj[l];
+                }
+            }
+            x.data[i] = Lane(sum);
+        }
+        // Backward substitution: U·x = y.
+        for i in (0..N).rev() {
+            let row = &self.data[i * N..(i + 1) * N];
+            let mut sum = x.data[i].0;
+            for (j, aij) in row.iter().enumerate().skip(i + 1) {
+                let xj = &x.data[j].0;
+                for l in 0..K {
+                    sum[l] -= aij.0[l] * xj[l];
+                }
+            }
+            let diag = &row[i].0;
+            for l in 0..K {
+                sum[l] /= diag[l];
+            }
+            x.data[i] = Lane(sum);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedSequence;
+    use rand::Rng;
+
+    fn well_conditioned(n: usize, seed: u64) -> DMatrix {
+        // Diagonally dominant random matrix: always factorable.
+        let mut rng = SeedSequence::root(seed).child(0).rng();
+        let mut m = DMatrix::zeros(n, n);
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v: f64 = rng.gen_range(-1.0..1.0);
+                    m[(i, j)] = v;
+                    row_sum += v.abs();
+                }
+            }
+            m[(i, i)] = row_sum + 1.0 + rng.gen::<f64>();
+        }
+        m
+    }
+
+    #[test]
+    fn smatrix_factor_matches_heap_bit_for_bit() {
+        const N: usize = 12;
+        for seed in 0..8u64 {
+            let heap = well_conditioned(N, seed);
+            let mut stack = SMatrix::<N>::from_dmatrix(&heap);
+            let mut heap_lu = heap.clone();
+            let mut heap_perm = Vec::new();
+            let heap_sign = heap_lu.factor_into(&mut heap_perm).unwrap();
+            let mut stack_perm = [0usize; N];
+            let stack_sign = stack.factor_into(&mut stack_perm).unwrap();
+            assert_eq!(heap_sign, stack_sign);
+            assert_eq!(&heap_perm[..], &stack_perm[..]);
+            for i in 0..N {
+                for j in 0..N {
+                    assert_eq!(
+                        heap_lu[(i, j)].to_bits(),
+                        stack[(i, j)].to_bits(),
+                        "entry ({i},{j}), seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smatrix_solve_matches_heap_bit_for_bit() {
+        const N: usize = 12;
+        for seed in 0..8u64 {
+            let heap = well_conditioned(N, seed);
+            let mut rng = SeedSequence::root(seed).child(1).rng();
+            let mut b = [0.0f64; N];
+            for v in &mut b {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+            let mut heap_lu = heap.clone();
+            let mut heap_perm = Vec::new();
+            heap_lu.factor_into(&mut heap_perm).unwrap();
+            let mut heap_x = [0.0f64; N];
+            heap_lu.solve_factored(&heap_perm, &b, &mut heap_x);
+
+            let mut stack = SMatrix::<N>::from_dmatrix(&heap);
+            let mut stack_x = [0.0f64; N];
+            stack.solve_into(&b, &mut stack_x).unwrap();
+            for i in 0..N {
+                assert_eq!(
+                    heap_x[i].to_bits(),
+                    stack_x[i].to_bits(),
+                    "x[{i}] seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_bit_for_bit_per_lane() {
+        const N: usize = 12;
+        const K: usize = 8;
+        let mut batch = BatchMatrix::<N, K>::zeros();
+        let mut rhs = BatchVec::<N, K>::new();
+        let mut scalars = Vec::new();
+        let mut rhss = Vec::new();
+        for lane in 0..K {
+            let heap = well_conditioned(N, 100 + lane as u64);
+            let mut rng = SeedSequence::root(200 + lane as u64).child(0).rng();
+            let mut b = [0.0f64; N];
+            for v in &mut b {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+            // Exercise signed zeros in the rhs the way the Newton loop's
+            // residual negation does.
+            b[3] = -0.0;
+            batch.load_lane(lane, &SMatrix::from_dmatrix(&heap));
+            rhs.load_lane(lane, &b);
+            scalars.push(heap);
+            rhss.push(b);
+        }
+        let mut perm = BatchPerm::<N, K>::new();
+        let errs = batch.factor_into(&mut perm);
+        let mut x = BatchVec::<N, K>::new();
+        batch.solve_factored(&perm, &rhs, &mut x);
+        for lane in 0..K {
+            assert!(errs[lane].is_none(), "lane {lane} unexpectedly singular");
+            let mut heap_lu = scalars[lane].clone();
+            let mut heap_perm = Vec::new();
+            heap_lu.factor_into(&mut heap_perm).unwrap();
+            let mut heap_x = [0.0f64; N];
+            heap_lu.solve_factored(&heap_perm, &rhss[lane], &mut heap_x);
+            for i in 0..N {
+                assert_eq!(
+                    perm.get(i, lane),
+                    heap_perm[i],
+                    "perm[{i}] lane {lane} diverged"
+                );
+                for j in 0..N {
+                    assert_eq!(
+                        batch.get(i, j, lane).to_bits(),
+                        heap_lu[(i, j)].to_bits(),
+                        "factor ({i},{j}) lane {lane}"
+                    );
+                }
+                assert_eq!(
+                    x.get(i, lane).to_bits(),
+                    heap_x[i].to_bits(),
+                    "x[{i}] lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_exercises_structural_zero_skip_identically() {
+        // MNA-style matrices with many structural zeros below the diagonal
+        // hit the scalar `factor != 0.0` skip; mix lanes so some columns
+        // have zero factors in only *some* lanes (the select path).
+        const N: usize = 6;
+        const K: usize = 4;
+        let mut batch = BatchMatrix::<N, K>::zeros();
+        let mut scalars = Vec::new();
+        for lane in 0..K {
+            let mut m = DMatrix::identity(N);
+            m[(0, 0)] = 2.0;
+            m[(2, 0)] = if lane % 2 == 0 { 0.0 } else { 0.5 };
+            m[(3, 1)] = if lane == 3 { -0.25 } else { 0.0 };
+            m[(4, 2)] = 1.5;
+            m[(5, 5)] = -3.0;
+            m[(1, 4)] = -0.0; // signed zero above the diagonal survives the skip
+            batch.load_lane(lane, &SMatrix::from_dmatrix(&m));
+            scalars.push(m);
+        }
+        let mut perm = BatchPerm::<N, K>::new();
+        let errs = batch.factor_into(&mut perm);
+        for lane in 0..K {
+            assert!(errs[lane].is_none());
+            let mut heap_lu = scalars[lane].clone();
+            let mut heap_perm = Vec::new();
+            heap_lu.factor_into(&mut heap_perm).unwrap();
+            for i in 0..N {
+                for j in 0..N {
+                    assert_eq!(
+                        batch.get(i, j, lane).to_bits(),
+                        heap_lu[(i, j)].to_bits(),
+                        "({i},{j}) lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singular_lane_does_not_poison_neighbors() {
+        const N: usize = 5;
+        const K: usize = 4;
+        let mut batch = BatchMatrix::<N, K>::zeros();
+        let mut rhs = BatchVec::<N, K>::new();
+        let mut scalars = Vec::new();
+        let mut rhss = Vec::new();
+        for lane in 0..K {
+            let heap = if lane == 1 {
+                // Rank-deficient: duplicate rows.
+                let mut m = well_conditioned(N, 7);
+                for j in 0..N {
+                    let v = m[(0, j)];
+                    m[(1, j)] = v;
+                }
+                m
+            } else {
+                well_conditioned(N, 300 + lane as u64)
+            };
+            let b = [1.0, -2.0, 0.5, 0.0, 3.0];
+            batch.load_lane(lane, &SMatrix::from_dmatrix(&heap));
+            rhs.load_lane(lane, &b);
+            scalars.push(heap);
+            rhss.push(b);
+        }
+        let mut perm = BatchPerm::<N, K>::new();
+        let errs = batch.factor_into(&mut perm);
+        let mut x = BatchVec::<N, K>::new();
+        batch.solve_factored(&perm, &rhs, &mut x);
+        assert!(errs[1].is_some(), "rank-deficient lane must be flagged");
+        for lane in [0usize, 2, 3] {
+            assert!(errs[lane].is_none());
+            let mut heap_lu = scalars[lane].clone();
+            let mut heap_perm = Vec::new();
+            heap_lu.factor_into(&mut heap_perm).unwrap();
+            let mut heap_x = [0.0f64; N];
+            heap_lu.solve_factored(&heap_perm, &rhss[lane], &mut heap_x);
+            for (i, hx) in heap_x.iter().enumerate() {
+                assert_eq!(
+                    x.get(i, lane).to_bits(),
+                    hx.to_bits(),
+                    "x[{i}] lane {lane} poisoned by singular neighbor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smatrix_rejects_singular_with_column() {
+        const N: usize = 4;
+        let mut m = SMatrix::<N>::zeros();
+        m[(0, 0)] = 1.0;
+        m[(1, 1)] = 1.0;
+        // Column 2 is entirely zero below and at the diagonal.
+        m[(3, 3)] = 1.0;
+        let mut perm = [0usize; N];
+        let err = m.factor_into(&mut perm).unwrap_err();
+        assert_eq!(err.column, 2);
+    }
+
+    #[test]
+    fn smatrix_mul_vec_round_trip() {
+        const N: usize = 9;
+        let heap = well_conditioned(N, 42);
+        let stack = SMatrix::<N>::from_dmatrix(&heap);
+        let x_true = [1.0, -0.5, 2.0, 0.0, 3.5, -1.25, 0.75, 4.0, -2.0];
+        let mut b = [0.0f64; N];
+        stack.mul_vec_into(&x_true, &mut b);
+        let mut work = stack;
+        let mut x = [0.0f64; N];
+        work.solve_into(&b, &mut x).unwrap();
+        for i in 0..N {
+            assert!((x[i] - x_true[i]).abs() < 1e-10, "x[{i}] = {}", x[i]);
+        }
+    }
+}

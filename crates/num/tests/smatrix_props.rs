@@ -1,0 +1,184 @@
+//! Property tests for the fixed-size and batched LU against the heap path.
+//!
+//! The batched Monte Carlo solver's bit-identity guarantee rests on
+//! `SMatrix`/`BatchMatrix` performing exactly the heap LU's operation
+//! sequence, so these properties demand agreement to ≤ 1 ulp (and in
+//! practice assert exact bit equality, which the implementation provides).
+
+use issa_num::matrix::DMatrix;
+use issa_num::smatrix::{BatchMatrix, BatchPerm, BatchVec, SMatrix};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const N: usize = 12;
+const K: usize = 8;
+
+/// Diagonally dominant (hence well-conditioned enough to factor) matrix
+/// from `N²` off-diagonal draws and `N` diagonal boosts.
+fn well_conditioned(offdiag: &[f64], boost: &[f64]) -> DMatrix {
+    let mut m = DMatrix::zeros(N, N);
+    for i in 0..N {
+        let mut row_sum = 0.0;
+        for j in 0..N {
+            if i != j {
+                let v = offdiag[i * N + j];
+                m[(i, j)] = v;
+                row_sum += v.abs();
+            }
+        }
+        m[(i, i)] = row_sum + 1.0 + boost[i].abs();
+    }
+    m
+}
+
+fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() || a.signum() != b.signum() {
+        return u64::MAX;
+    }
+    (a.to_bits() as i64)
+        .wrapping_sub(b.to_bits() as i64)
+        .unsigned_abs()
+}
+
+fn heap_solve(a: &DMatrix, b: &[f64; N]) -> Result<[f64; N], usize> {
+    let mut lu = a.clone();
+    let mut perm = Vec::new();
+    lu.factor_into(&mut perm).map_err(|e| e.column)?;
+    let mut x = [0.0f64; N];
+    lu.solve_factored(&perm, b, &mut x);
+    Ok(x)
+}
+
+/// Derives a permutation of `0..N` by arg-sorting random keys.
+fn permutation_from(keys: &[f64]) -> [usize; N] {
+    let mut idx = [0usize; N];
+    for (i, v) in idx.iter_mut().enumerate() {
+        *v = i;
+    }
+    idx.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).expect("finite keys"));
+    idx
+}
+
+proptest! {
+    #[test]
+    fn stack_round_trip_matches_heap_within_one_ulp(
+        offdiag in vec(-1.0f64..1.0, N * N),
+        boost in vec(0.0f64..1.0, N),
+        rhs in vec(-1.0f64..1.0, N),
+    ) {
+        let a = well_conditioned(&offdiag, &boost);
+        let mut b = [0.0f64; N];
+        b.copy_from_slice(&rhs);
+        let heap_x = heap_solve(&a, &b).expect("diagonally dominant matrix must factor");
+        let mut stack = SMatrix::<N>::from_dmatrix(&a);
+        let mut stack_x = [0.0f64; N];
+        stack.solve_into(&b, &mut stack_x).expect("stack LU must factor the same matrix");
+        for i in 0..N {
+            prop_assert!(
+                ulp_diff(heap_x[i], stack_x[i]) <= 1,
+                "x[{}] heap {:?} vs stack {:?}", i, heap_x[i], stack_x[i]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_round_trip_matches_heap_within_one_ulp(
+        offdiag in vec(-1.0f64..1.0, K * N * N),
+        boost in vec(0.0f64..1.0, K * N),
+        rhs in vec(-1.0f64..1.0, K * N),
+    ) {
+        let mut batch = BatchMatrix::<N, K>::zeros();
+        let mut brhs = BatchVec::<N, K>::new();
+        let mut heaps = Vec::new();
+        let mut rhss = Vec::new();
+        for lane in 0..K {
+            let a = well_conditioned(
+                &offdiag[lane * N * N..(lane + 1) * N * N],
+                &boost[lane * N..(lane + 1) * N],
+            );
+            let mut b = [0.0f64; N];
+            b.copy_from_slice(&rhs[lane * N..(lane + 1) * N]);
+            batch.load_lane(lane, &SMatrix::from_dmatrix(&a));
+            brhs.load_lane(lane, &b);
+            heaps.push(a);
+            rhss.push(b);
+        }
+        let mut perm = BatchPerm::<N, K>::new();
+        let errs = batch.factor_into(&mut perm);
+        let mut x = BatchVec::<N, K>::new();
+        batch.solve_factored(&perm, &brhs, &mut x);
+        for lane in 0..K {
+            prop_assert!(errs[lane].is_none(), "lane {} unexpectedly singular", lane);
+            let heap_x = heap_solve(&heaps[lane], &rhss[lane])
+                .expect("diagonally dominant matrix must factor");
+            for (i, hx) in heap_x.iter().enumerate() {
+                prop_assert!(
+                    ulp_diff(*hx, x.get(i, lane)) <= 1,
+                    "lane {} x[{}] heap {:?} vs batch {:?}", lane, i, hx, x.get(i, lane)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrices_are_refused_like_the_heap_path(
+        offdiag in vec(-1.0f64..1.0, N * N),
+        boost in vec(0.0f64..1.0, N),
+        dup in 1usize..N,
+    ) {
+        // Duplicate a row: rank-deficient, so elimination must fail at the
+        // same column in every implementation.
+        let mut a = well_conditioned(&offdiag, &boost);
+        for j in 0..N {
+            let v = a[(0, j)];
+            a[(dup, j)] = v;
+        }
+        let heap_col = heap_solve(&a, &[0.0; N]).expect_err("duplicated row must be singular");
+        let mut stack = SMatrix::<N>::from_dmatrix(&a);
+        let mut sp = [0usize; N];
+        let stack_err = stack.factor_into(&mut sp).expect_err("stack LU must refuse too");
+        prop_assert_eq!(heap_col, stack_err.column);
+
+        let mut batch = BatchMatrix::<N, 4>::zeros();
+        for lane in 0..4 {
+            batch.load_lane(lane, &SMatrix::from_dmatrix(&a));
+        }
+        let mut bp = BatchPerm::<N, 4>::new();
+        let errs = batch.factor_into(&mut bp);
+        for (lane, err) in errs.iter().enumerate() {
+            let err = err.as_ref().expect("every lane holds the singular matrix");
+            prop_assert_eq!(heap_col, err.column, "lane {}", lane);
+        }
+    }
+
+    #[test]
+    fn permuted_identity_is_pivoted_exactly(
+        keys in vec(0.0f64..1.0, N),
+        rhs in vec(-8.0f64..8.0, N),
+    ) {
+        // A permutation matrix has exactly one unit pivot per column;
+        // partial pivoting must recover the permutation and solve exactly
+        // (x[sigma(i)] = b[i], no rounding anywhere).
+        let sigma = permutation_from(&keys);
+        let mut a = DMatrix::zeros(N, N);
+        for (i, &s) in sigma.iter().enumerate() {
+            a[(i, s)] = 1.0;
+        }
+        let mut b = [0.0f64; N];
+        b.copy_from_slice(&rhs);
+        let heap_x = heap_solve(&a, &b).expect("permutation matrix is nonsingular");
+        let mut stack = SMatrix::<N>::from_dmatrix(&a);
+        let mut stack_x = [0.0f64; N];
+        stack.solve_into(&b, &mut stack_x).expect("stack LU must factor a permutation");
+        for i in 0..N {
+            prop_assert_eq!(
+                stack_x[sigma[i]].to_bits(), b[i].to_bits(),
+                "pivoting failed to recover row {}", i
+            );
+            prop_assert_eq!(stack_x[i].to_bits(), heap_x[i].to_bits(), "x[{}]", i);
+        }
+    }
+}

@@ -24,10 +24,17 @@ cleanup
 
 echo "== building seed baseline ($SEED_COMMIT) =="
 git worktree add "$WORKTREE" "$SEED_COMMIT" >/dev/null
-# The build environment has no crates.io access; give the seed checkout the
-# same vendored dependency stand-ins the current tree uses.
-cp Cargo.toml "$WORKTREE/Cargo.toml"
+# The build environment has no crates.io access; copy the vendored
+# dependency stand-ins into the seed checkout (its `crates/*` member glob
+# picks them up) and rewrite its registry dependencies to path deps.
+# Keep the seed's own manifest otherwise — the current one references
+# crates added after the seed.
 cp -r crates/rand crates/proptest crates/criterion "$WORKTREE/crates/"
+sed -i \
+    -e 's#^rand = "0.8"#rand = { path = "crates/rand", version = "0.8" }#' \
+    -e 's#^proptest = "1"#proptest = { path = "crates/proptest", version = "1" }#' \
+    -e 's#^criterion = "0.5"#criterion = { path = "crates/criterion", version = "0.5" }#' \
+    "$WORKTREE/Cargo.toml"
 (cd "$WORKTREE" && cargo build --release -q -p issa-bench)
 
 echo "== timing seed table2_workload --samples $SAMPLES =="

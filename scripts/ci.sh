@@ -17,7 +17,7 @@ echo "== cargo clippy (solver + MC + dist libs, deny unwrap) =="
 # The hot-path libraries must not panic on recoverable failures: every
 # solver error has to reach the recovery ladder / quarantine instead,
 # and a coordinator must never die because one worker misbehaved.
-cargo clippy -p issa-circuit -p issa-core -p issa-dist --lib -- -D warnings -D clippy::unwrap-used
+cargo clippy -p issa-num -p issa-circuit -p issa-core -p issa-dist --lib -- -D warnings -D clippy::unwrap-used
 
 echo "== tier-1: cargo build --release && cargo test =="
 cargo build --release
@@ -25,6 +25,10 @@ cargo test -q
 
 echo "== release bench binaries (campaign smoke needs them) =="
 cargo build --release --workspace
+
+echo "== batched lockstep suites (SoA LU properties, scalar-vs-batched) =="
+cargo test -q -p issa-num --test smatrix_props
+cargo test -q --test determinism batched
 
 echo "== fault injection / recovery suite =="
 cargo test -q -p issa-circuit --test recovery
@@ -87,6 +91,20 @@ trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR"' EXIT
     --loopback 3 --unit-samples 4 >serve_resume.log 2>&1
   cmp results/table2.csv table2_local.csv
   echo "distributed kill-and-resume: byte-identical table2.csv"
+)
+
+echo "== batched distributed smoke (3 loopback workers, --batch-lanes 8) =="
+# The same serve with the lockstep engine enabled on every worker must
+# still produce a CSV byte-identical to the scalar single-process run.
+BATCH_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR" "$BATCH_DIR"' EXIT
+(
+  cd "$BATCH_DIR"
+  cp "$SMOKE_DIR/results/table2.csv" table2_local.csv
+  "$CAMPAIGN_BIN" serve --samples 24 --artifacts table2 --batch-lanes 8 \
+    --loopback 3 --unit-samples 4 >serve_batched.log 2>&1
+  cmp results/table2.csv table2_local.csv
+  echo "batched distributed: byte-identical table2.csv"
 )
 
 echo "CI_OK"

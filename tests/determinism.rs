@@ -106,6 +106,67 @@ fn unexercised_recovery_ladder_is_bit_identical() {
 }
 
 #[test]
+fn batched_lanes_do_not_change_results() {
+    // The lockstep batch engine is a scheduling change only: for every
+    // supported lane width × thread count, offsets, delays, and every
+    // derived statistic must be bit-identical to the scalar run. Lane
+    // width 1 exercises the `batch_lanes <= 1 → scalar` selection.
+    let scalar = run_mc(&McConfig {
+        threads: 1,
+        ..base_cfg(9)
+    })
+    .unwrap();
+    for lanes in [1usize, 4, 8] {
+        for threads in [1usize, 2, 8] {
+            let batched = run_mc(&McConfig {
+                batch_lanes: lanes,
+                threads,
+                ..base_cfg(9)
+            })
+            .unwrap();
+            assert_eq!(scalar, batched, "lanes={lanes} threads={threads} diverged");
+        }
+    }
+}
+
+#[test]
+fn batched_fault_injection_falls_back_to_scalar_identically() {
+    // Fault-targeted samples never enter a lockstep lane (the fault
+    // scope is thread-local — arming it would inject into every lane on
+    // the thread); they are pre-routed to the scalar path, whose
+    // quarantine records must match the all-scalar run bit-for-bit. The
+    // peel-off must also be visible in the scalar-fallback counter.
+    use issa::circuit::faultinject::{FaultKind, FaultPlan};
+    use std::sync::Arc;
+    let cfg = |lanes: usize| {
+        let mut c = base_cfg(8);
+        c.fault_plan = Some(Arc::new(
+            FaultPlan::new()
+                .persistent(1, 0, FaultKind::NonConvergence)
+                .transient(5, 3, FaultKind::NonConvergence),
+        ));
+        c.max_failure_frac = 0.5;
+        c.batch_lanes = lanes;
+        c
+    };
+    let scalar = run_mc(&cfg(0)).unwrap();
+    let before = issa::circuit::perf::snapshot();
+    let batched = run_mc(&cfg(4)).unwrap();
+    let fallbacks = issa::circuit::perf::snapshot()
+        .delta_since(&before)
+        .scalar_fallbacks;
+    assert_eq!(scalar, batched, "fault-injected batched run diverged");
+    assert!(
+        !scalar.failures.is_empty(),
+        "the persistent fault must quarantine its sample"
+    );
+    assert!(
+        fallbacks >= 1,
+        "fault-targeted samples must peel off to the scalar path (saw {fallbacks})"
+    );
+}
+
+#[test]
 fn seed_changes_results() {
     let a = run_mc(&base_cfg(6)).unwrap();
     let b = run_mc(&McConfig {
