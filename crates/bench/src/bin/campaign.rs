@@ -34,29 +34,47 @@
 //! `--abort-after N` stops after N completed *units* (the distributed
 //! analogue of the local sample-count hook).
 //!
+//! # Chaos soak
+//!
+//! ```sh
+//! campaign chaos [--chaos-seed S] [--loopback N] <campaign flags>
+//! ```
+//!
+//! One seeded end-to-end robustness drill ([`issa_dist::chaos`]): a
+//! *child-process* coordinator serves the campaign to a fleet laced with
+//! scripted crash-deaths, wire faults, a straggler, checkpoint I/O
+//! faults, and injected (recoverable) solver faults; the child is
+//! SIGKILLed mid-flight; a second in-process coordinator resumes from
+//! its checkpoint under the same chaos; and the merged result is
+//! compared byte-for-byte against a clean single-process run sharing
+//! the same solver fault plans. `--chaos-seed` is also accepted by
+//! `serve`/`worker`/local modes so every process in a chaos fleet can
+//! rebuild identical plans (they participate in the config fingerprint).
+//!
 //! Exit status: `0` = complete, `3` = partial (deadline/interrupt; re-run
 //! the same command to resume), `1` = refused to start (untrusted or
-//! mismatched checkpoint, bind/connect failure), `2` = usage error.
+//! mismatched checkpoint, bind/connect failure) or a chaos-soak
+//! mismatch, `2` = usage error.
 
 use issa_bench::CornerSpec;
 use issa_bench::{
     csv_row, failure_cause, paper, print_table_header, print_table_row, write_csv, CSV_HEADER,
 };
-use issa_core::campaign::{
-    run_campaign, CampaignCorner, CampaignOptions, CampaignReport, CornerOutcome,
-};
+use issa_core::campaign::{run_campaign, CampaignCorner, CampaignOptions, CornerOutcome};
+use issa_core::checkpoint::SavePolicy;
 use issa_core::montecarlo::{McConfig, McResult};
 use issa_core::netlist::SaKind;
 use issa_core::probe::ProbeOptions;
 use issa_core::workload::{ReadSequence, Workload};
 use issa_core::SaError;
-use issa_dist::coordinator::{serve_campaign, ServeOptions, WorkerSummary};
-use issa_dist::scheduler::{SchedStats, SchedulerConfig};
+use issa_dist::chaos;
+use issa_dist::coordinator::{serve_campaign, DistReport, ServeOptions};
+use issa_dist::scheduler::SchedulerConfig;
 use issa_dist::worker::{run_worker, WorkerOptions};
 use issa_ptm45::Environment;
 use std::net::{TcpListener, ToSocketAddrs};
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How this invocation participates in the campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +85,8 @@ enum Mode {
     Serve,
     /// Worker: compute units for a coordinator (`campaign worker`).
     Worker,
+    /// Seeded end-to-end chaos soak (`campaign chaos`).
+    Chaos,
 }
 
 #[derive(Debug, Clone)]
@@ -93,10 +113,13 @@ struct Args {
     lease_timeout_s: f64,
     worker_timeout_s: f64,
     port_file: Option<PathBuf>,
+    speculate_after_s: Option<f64>,
     // worker mode
     connect: Option<String>,
     name: String,
     reconnect_s: f64,
+    // chaos mode (also honoured by serve/worker/local so fleets agree)
+    chaos_seed: Option<u64>,
 }
 
 const ALL_ARTIFACTS: [&str; 4] = ["table2", "table3", "table4", "fig7"];
@@ -109,8 +132,11 @@ fn usage(message: &str) -> ! {
          [--flush-every K] [--deadline-s S] [--step-budget N] [--wall-budget-s S] \
          [--abort-after N]\n\
          serve:  [--listen ADDR] [--loopback N] [--port-file PATH] [--unit-samples K] \
-         [--max-unit-attempts A] [--lease-timeout-s S] [--worker-timeout-s S]\n\
-         worker: --connect ADDR [--name ID] [--reconnect-s S]"
+         [--max-unit-attempts A] [--lease-timeout-s S] [--worker-timeout-s S] \
+         [--speculate-after-s S]\n\
+         worker: --connect ADDR [--name ID] [--reconnect-s S]\n\
+         chaos:  [--chaos-seed S] [--loopback N] [--unit-samples K] (plus campaign flags; \
+         --chaos-seed is also accepted by every other mode)"
     );
     std::process::exit(2)
 }
@@ -138,9 +164,11 @@ fn parse() -> Args {
         lease_timeout_s: 600.0,
         worker_timeout_s: 60.0,
         port_file: None,
+        speculate_after_s: None,
         connect: None,
         name: "worker".to_owned(),
         reconnect_s: 0.25,
+        chaos_seed: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     match it.peek().map(String::as_str) {
@@ -152,8 +180,24 @@ fn parse() -> Args {
             args.mode = Mode::Worker;
             it.next();
         }
+        Some("chaos") => {
+            args.mode = Mode::Chaos;
+            it.next();
+            // Soak-sized defaults: one small table, fine-grained units so
+            // the chaos fleet actually interleaves, a flush per record so
+            // the SIGKILL always lands on a useful checkpoint, and its
+            // own scratch checkpoint away from results/campaign.ckpt.
+            args.artifacts = vec!["table2".to_owned()];
+            args.samples = 32;
+            args.unit_samples = 4;
+            args.flush_every = 1;
+            args.loopback = 3;
+            args.checkpoint = Some(PathBuf::from("results/chaos/chaos.ckpt"));
+            args.chaos_seed = Some(0xc4a0_5eed);
+        }
         _ => {}
     }
+    let servish = matches!(args.mode, Mode::Serve | Mode::Chaos);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         it.next()
             .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
@@ -235,30 +279,44 @@ fn parse() -> Args {
             "--listen" if args.mode == Mode::Serve => {
                 args.listen = value(&mut it, "--listen");
             }
-            "--loopback" if args.mode == Mode::Serve => {
+            "--loopback" if servish => {
                 args.loopback = value(&mut it, "--loopback")
                     .parse()
                     .unwrap_or_else(|_| usage("--loopback needs an integer"));
             }
-            "--unit-samples" if args.mode == Mode::Serve => {
+            "--unit-samples" if servish => {
                 args.unit_samples = value(&mut it, "--unit-samples")
                     .parse()
                     .unwrap_or_else(|_| usage("--unit-samples needs a positive integer"));
             }
-            "--max-unit-attempts" if args.mode == Mode::Serve => {
+            "--max-unit-attempts" if servish => {
                 args.max_unit_attempts = value(&mut it, "--max-unit-attempts")
                     .parse()
                     .unwrap_or_else(|_| usage("--max-unit-attempts needs a positive integer"));
             }
-            "--lease-timeout-s" if args.mode == Mode::Serve => {
+            "--lease-timeout-s" if servish => {
                 args.lease_timeout_s = value(&mut it, "--lease-timeout-s")
                     .parse()
                     .unwrap_or_else(|_| usage("--lease-timeout-s needs a number"));
             }
-            "--worker-timeout-s" if args.mode == Mode::Serve => {
+            "--worker-timeout-s" if servish => {
                 args.worker_timeout_s = value(&mut it, "--worker-timeout-s")
                     .parse()
                     .unwrap_or_else(|_| usage("--worker-timeout-s needs a number"));
+            }
+            "--speculate-after-s" if servish => {
+                args.speculate_after_s = Some(
+                    value(&mut it, "--speculate-after-s")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--speculate-after-s needs a number")),
+                );
+            }
+            "--chaos-seed" => {
+                args.chaos_seed = Some(
+                    value(&mut it, "--chaos-seed")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--chaos-seed needs an unsigned integer")),
+                );
             }
             "--port-file" if args.mode == Mode::Serve => {
                 args.port_file = Some(PathBuf::from(value(&mut it, "--port-file")));
@@ -285,6 +343,9 @@ fn parse() -> Args {
     }
     if args.mode == Mode::Worker && args.connect.is_none() {
         usage("worker mode needs --connect ADDR");
+    }
+    if args.mode == Mode::Chaos && args.checkpoint.is_none() {
+        usage("chaos mode needs a checkpoint (the SIGKILL-resume leg depends on it)");
     }
     args
 }
@@ -395,37 +456,21 @@ fn run_worker_mode(args: &Args, corners: &[CampaignCorner]) {
     }
 }
 
-/// `campaign serve`: bind the listener, serve the corner list to the
-/// worker fleet, and hand the merged (bit-identical) campaign report
-/// back to the ordinary artifact pipeline.
-fn serve_mode(
-    args: &Args,
-    corners: &[CampaignCorner],
-) -> (CampaignReport, Vec<WorkerSummary>, SchedStats) {
-    let listener = TcpListener::bind(&args.listen).unwrap_or_else(|e| {
-        eprintln!("error: cannot listen on {}: {e}", args.listen);
-        std::process::exit(1)
-    });
-    let local = listener.local_addr().expect("listener address");
-    println!(
-        "serve: listening on {local} ({} loopback workers)",
-        args.loopback
-    );
-    if let Some(path) = &args.port_file {
-        std::fs::write(path, format!("{local}\n")).unwrap_or_else(|e| {
-            eprintln!("error: cannot write port file {}: {e}", path.display());
-            std::process::exit(1)
-        });
-    }
-    let opts = ServeOptions {
+/// Coordinator options shared by `serve` mode and both chaos-soak serve
+/// legs. A chaos seed swaps the plain loopback fleet for the scripted
+/// chaos fleet, arms checkpoint I/O faults and speculation, and lowers
+/// the flakiness threshold so the scripted crash loop actually trips it.
+fn serve_options(args: &Args, checkpoint: Option<PathBuf>) -> ServeOptions {
+    let mut opts = ServeOptions {
         scheduler: SchedulerConfig {
             unit_samples: args.unit_samples,
             max_unit_attempts: args.max_unit_attempts,
             lease_timeout: Duration::from_secs_f64(args.lease_timeout_s),
+            speculate_after: args.speculate_after_s.map(Duration::from_secs_f64),
             ..SchedulerConfig::default()
         },
         worker_timeout: Duration::from_secs_f64(args.worker_timeout_s),
-        checkpoint: args.checkpoint.clone(),
+        checkpoint,
         flush_every: args.flush_every,
         progress: true,
         loopback: (0..args.loopback)
@@ -437,6 +482,46 @@ fn serve_mode(
         abort_after_units: args.abort_after.map(|n| n as u64),
         ..ServeOptions::default()
     };
+    if let Some(seed) = args.chaos_seed {
+        opts.loopback = chaos::worker_fleet(seed, args.loopback);
+        opts.save_policy = SavePolicy::standard().with_faults(chaos::io_plan(seed));
+        opts.flaky_threshold = chaos::FLAKY_THRESHOLD;
+        if opts.scheduler.speculate_after.is_none() {
+            opts.scheduler.speculate_after = Some(Duration::from_millis(150));
+        }
+        // Scripted deaths plus wire-fault reconnects can burn several
+        // attempts on one unlucky unit; give chaos runs headroom so the
+        // storm never quarantines a unit (which would fail the corner).
+        opts.scheduler.max_unit_attempts = opts.scheduler.max_unit_attempts.max(10);
+    }
+    opts
+}
+
+/// `campaign serve`: bind the listener, serve the corner list to the
+/// worker fleet, and hand the merged (bit-identical) campaign report
+/// back to the ordinary artifact pipeline.
+fn serve_mode(args: &Args, corners: &[CampaignCorner]) -> DistReport {
+    let listener = TcpListener::bind(&args.listen).unwrap_or_else(|e| {
+        eprintln!("error: cannot listen on {}: {e}", args.listen);
+        std::process::exit(1)
+    });
+    let local = listener.local_addr().expect("listener address");
+    println!(
+        "serve: listening on {local} ({} loopback workers{})",
+        args.loopback,
+        if args.chaos_seed.is_some() {
+            ", chaos fleet"
+        } else {
+            ""
+        }
+    );
+    if let Some(path) = &args.port_file {
+        std::fs::write(path, format!("{local}\n")).unwrap_or_else(|e| {
+            eprintln!("error: cannot write port file {}: {e}", path.display());
+            std::process::exit(1)
+        });
+    }
+    let opts = serve_options(args, args.checkpoint.clone());
     let report = serve_campaign(listener, corners, &opts).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1)
@@ -447,7 +532,237 @@ fn serve_mode(
             w.worker_id, w.name, w.units, w.samples
         );
     }
-    (report.campaign, report.workers, report.sched)
+    for name in &report.flaky_rejected {
+        println!("serve: quarantined flaky worker '{name}'");
+    }
+    report
+}
+
+/// One result's exact identity: every statistic and every per-sample
+/// value down to the f64 bit pattern. Table corners are additionally
+/// compared through their literal CSV rows; this covers fig7 corners
+/// (no full-precision CSV row) and the raw offset/delay vectors.
+fn result_bits(r: &McResult) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in r.offsets.iter().chain(&r.delays) {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!(
+        "n{} fail{} mu{:016x} sigma{:016x} spec{:016x} delay{:016x} samples{h:016x}",
+        r.offsets.len(),
+        r.failures.len(),
+        r.mu.to_bits(),
+        r.sigma.to_bits(),
+        r.spec.to_bits(),
+        r.mean_delay.to_bits()
+    )
+}
+
+/// `campaign chaos`: the seeded end-to-end soak. Phase 1 serves the
+/// campaign from a *child process* under the full chaos storm (scripted
+/// worker deaths, wire faults, a straggler triggering speculation,
+/// checkpoint I/O faults, recoverable solver faults) and SIGKILLs it
+/// mid-campaign. Phase 2 re-serves in-process from the surviving
+/// checkpoint under the same chaos. Phase 3 recomputes everything clean
+/// and single-process, sharing only the solver fault plans. Phase 4
+/// demands byte-identical CSV rows and bit-exact per-sample values.
+/// Exits 0 on byte-identity, 1 on any divergence.
+fn chaos_mode(args: &Args, corners: &[CampaignCorner], tables: &[TableArtifact]) -> ! {
+    let seed = args.chaos_seed.expect("chaos mode always has a seed");
+    let ckpt = args.checkpoint.clone().expect("validated in parse()");
+    let dir = match ckpt.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    std::fs::create_dir_all(&dir).expect("create chaos dir");
+    let dir = dir.canonicalize().expect("canonicalize chaos dir");
+    let ckpt_abs = dir.join(ckpt.file_name().expect("checkpoint file name"));
+    let _ = std::fs::remove_file(&ckpt_abs);
+    println!(
+        "chaos: seed {seed}, {} corners, {} healthy + {} crash-scripted workers, dir {}",
+        corners.len(),
+        args.loopback.max(3),
+        chaos::FLAKY_DEATHS,
+        dir.display()
+    );
+
+    // Phase 1: child coordinator under chaos, SIGKILLed mid-campaign.
+    // The child rebuilds identical corners (and solver fault plans) from
+    // the forwarded flags — the same agreement contract workers obey. It
+    // runs inside the chaos dir so its artifact CSVs land there, not in
+    // the caller's results/.
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.current_dir(&dir)
+        .arg("serve")
+        .args(["--listen", "127.0.0.1:0"])
+        .args(["--chaos-seed", &seed.to_string()])
+        .args(["--samples", &args.samples.to_string()])
+        .args(["--seed", &args.seed.to_string()])
+        .args(["--artifacts", &args.artifacts.join(",")])
+        .args(["--threads", &args.threads.to_string()])
+        .args(["--batch-lanes", &args.batch_lanes.to_string()])
+        .args(["--flush-every", &args.flush_every.to_string()])
+        .args(["--loopback", &args.loopback.to_string()])
+        .args(["--unit-samples", &args.unit_samples.to_string()])
+        .args(["--max-unit-attempts", &args.max_unit_attempts.to_string()])
+        .args(["--lease-timeout-s", &args.lease_timeout_s.to_string()])
+        .args(["--worker-timeout-s", &args.worker_timeout_s.to_string()])
+        .arg("--checkpoint")
+        .arg(&ckpt_abs);
+    if let Some(s) = args.speculate_after_s {
+        cmd.args(["--speculate-after-s", &s.to_string()]);
+    }
+    if args.paper_probes {
+        cmd.arg("--paper-probes");
+    }
+    let mut child = cmd.spawn().unwrap_or_else(|e| {
+        eprintln!("error: cannot spawn chaos coordinator: {e}");
+        std::process::exit(1)
+    });
+    // Kill once the checkpoint holds real content (so records survive
+    // into phase 2), plus a seed-dependent delay so the cut point moves
+    // with the seed instead of always landing on the first flush.
+    let poll_deadline = Instant::now() + Duration::from_secs(300);
+    let mut finished_early = false;
+    loop {
+        if let Ok(Some(status)) = child.try_wait() {
+            println!(
+                "chaos: coordinator finished before the kill ({status}); \
+                 the resume leg degenerates to a full fresh serve"
+            );
+            finished_early = true;
+            break;
+        }
+        if ckpt_abs.metadata().map(|m| m.len() > 64).unwrap_or(false) {
+            break;
+        }
+        if Instant::now() > poll_deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            eprintln!("chaos FAIL: no checkpoint content after 300 s");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    if !finished_early {
+        std::thread::sleep(chaos::kill_delay(seed));
+        child.kill().expect("SIGKILL the chaos coordinator");
+        let _ = child.wait();
+        println!("chaos: SIGKILLed the coordinator mid-campaign");
+    }
+
+    // Phase 2: resume in-process from whatever the kill left behind,
+    // under the same chaos (fresh fleet, fresh I/O fault schedule).
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind chaos resume listener");
+    let opts = serve_options(args, Some(ckpt_abs.clone()));
+    let dist = serve_campaign(listener, corners, &opts).unwrap_or_else(|e| {
+        eprintln!("chaos FAIL: resume serve failed: {e}");
+        std::process::exit(1)
+    });
+    println!(
+        "chaos: resumed with {} checkpointed records; {} units speculated, \
+         {} duplicate results, flaky quarantined: [{}]{}",
+        dist.campaign.resumed_records,
+        dist.sched.speculated,
+        dist.sched.duplicates,
+        dist.flaky_rejected.join(", "),
+        dist.campaign
+            .checkpoint_degraded
+            .as_deref()
+            .map(|r| format!("; DEGRADED: {r}"))
+            .unwrap_or_default()
+    );
+    if dist.campaign.partial {
+        eprintln!("chaos FAIL: resumed campaign is partial");
+        std::process::exit(1);
+    }
+
+    // Phase 3: the clean reference — single process, no checkpoint, no
+    // chaos except the solver fault plans already embedded in `corners`
+    // (see `issa_dist::chaos` for why those must be shared).
+    println!("chaos: computing the clean single-process reference...");
+    let reference = run_campaign(corners, &CampaignOptions::default()).unwrap_or_else(|e| {
+        eprintln!("chaos FAIL: reference run failed: {e}");
+        std::process::exit(1)
+    });
+
+    // Phase 4: byte-identity.
+    let mut bad = 0usize;
+    let mut rows = 0usize;
+    for table in tables {
+        for (name, spec) in &table.rows {
+            match (dist.campaign.result(name), reference.result(name)) {
+                (Some(a), Some(b)) => {
+                    rows += 1;
+                    let (ra, rb) = (csv_row(spec, "-", a), csv_row(spec, "-", b));
+                    if ra != rb {
+                        bad += 1;
+                        eprintln!("chaos CSV MISMATCH {name}\n  chaos: {ra}\n  clean: {rb}");
+                    }
+                }
+                _ => {
+                    bad += 1;
+                    eprintln!("chaos MISSING corner '{name}'");
+                }
+            }
+        }
+    }
+    for corner in corners {
+        match (
+            dist.campaign.result(&corner.name),
+            reference.result(&corner.name),
+        ) {
+            (Some(a), Some(b)) => {
+                let (ba, bb) = (result_bits(a), result_bits(b));
+                if ba != bb {
+                    bad += 1;
+                    eprintln!(
+                        "chaos BIT MISMATCH {}\n  chaos: {ba}\n  clean: {bb}",
+                        corner.name
+                    );
+                }
+            }
+            _ => {
+                bad += 1;
+                eprintln!("chaos MISSING corner '{}'", corner.name);
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"pass\": {},\n  \"chaos_seed\": {seed},\n  \"corners\": {},\n  \
+         \"csv_rows_compared\": {rows},\n  \"mismatches\": {bad},\n  \
+         \"resumed_records\": {},\n  \"speculated\": {},\n  \"duplicates\": {},\n  \
+         \"flaky_rejected\": [{}],\n  \"checkpoint_degraded\": {},\n  \
+         \"killed_coordinator\": {}\n}}\n",
+        bad == 0,
+        corners.len(),
+        dist.campaign.resumed_records,
+        dist.sched.speculated,
+        dist.sched.duplicates,
+        dist.flaky_rejected
+            .iter()
+            .map(|n| format!("\"{}\"", json_escape(n)))
+            .collect::<Vec<_>>()
+            .join(", "),
+        match &dist.campaign.checkpoint_degraded {
+            Some(reason) => format!("\"{}\"", json_escape(reason)),
+            None => "null".to_owned(),
+        },
+        !finished_early
+    );
+    std::fs::write(dir.join("chaos.json"), json).expect("write chaos.json");
+    println!("chaos: wrote {}", dir.join("chaos.json").display());
+    println!(
+        "chaos soak {}: {} corners, {rows} CSV rows byte-compared, {bad} mismatches",
+        if bad == 0 { "PASS" } else { "FAIL" },
+        corners.len()
+    );
+    std::process::exit(i32::from(bad != 0))
 }
 
 fn main() {
@@ -530,10 +845,22 @@ fn main() {
     if corners.is_empty() {
         usage("no artifacts selected");
     }
+    // Chaos solver-fault plans are part of the *configuration*: every
+    // participant (coordinator, workers, the chaos reference run) must
+    // derive the identical plan for each corner or the config
+    // fingerprints — and the recovered sample values — would disagree.
+    if let Some(seed) = args.chaos_seed {
+        for (index, corner) in corners.iter_mut().enumerate() {
+            corner.cfg.fault_plan = chaos::solver_plan(seed, index, corner.cfg.samples);
+        }
+    }
 
     if args.mode == Mode::Worker {
         run_worker_mode(&args, &corners);
         return;
+    }
+    if args.mode == Mode::Chaos {
+        chaos_mode(&args, &corners, &tables);
     }
 
     println!(
@@ -551,8 +878,8 @@ fn main() {
     );
     let perf_before = issa_circuit::perf::snapshot();
     let (report, dist) = if args.mode == Mode::Serve {
-        let (campaign, workers, sched) = serve_mode(&args, &corners);
-        (campaign, Some((workers, sched)))
+        let r = serve_mode(&args, &corners);
+        (r.campaign, Some((r.workers, r.sched, r.flaky_rejected)))
     } else {
         let opts = CampaignOptions {
             checkpoint: args.checkpoint.clone(),
@@ -561,6 +888,7 @@ fn main() {
             handle_signals: true,
             abort_after: args.abort_after,
             progress: true,
+            ..CampaignOptions::default()
         };
         let report = run_campaign(&corners, &opts).unwrap_or_else(|e| {
             eprintln!("error: {e}");
@@ -647,6 +975,15 @@ fn main() {
         "  \"resumed_records\": {},\n",
         report.resumed_records
     ));
+    // Non-null when durability was lost mid-run (persistent checkpoint
+    // I/O failures): results are complete, but a kill now cannot resume.
+    json.push_str(&format!(
+        "  \"checkpoint_degraded\": {},\n",
+        match &report.checkpoint_degraded {
+            Some(reason) => format!("\"{}\"", json_escape(reason)),
+            None => "null".to_owned(),
+        }
+    ));
     // Process-local simulator counters (batched-mode counters are not
     // carried on the wire, so in serve mode these cover the coordinator
     // process — including its loopback workers — only).
@@ -706,12 +1043,24 @@ fn main() {
             }
         ));
     }
-    if let Some((workers, sched)) = &dist {
+    if let Some((workers, sched, flaky)) = &dist {
         json.push_str("  ],\n  \"dist\": {\n");
         json.push_str(&format!(
             "    \"retries\": {}, \"reassigned\": {}, \"quarantined_units\": {}, \
-             \"duplicates\": {},\n",
-            sched.retries, sched.reassigned, sched.quarantined_units, sched.duplicates
+             \"duplicates\": {}, \"speculated\": {},\n",
+            sched.retries,
+            sched.reassigned,
+            sched.quarantined_units,
+            sched.duplicates,
+            sched.speculated
+        ));
+        json.push_str(&format!(
+            "    \"flaky_rejected\": [{}],\n",
+            flaky
+                .iter()
+                .map(|n| format!("\"{}\"", json_escape(n)))
+                .collect::<Vec<_>>()
+                .join(", ")
         ));
         json.push_str("    \"workers\": [\n");
         for (k, w) in workers.iter().enumerate() {

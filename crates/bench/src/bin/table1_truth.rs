@@ -33,8 +33,8 @@ fn main() {
         let behav = ctl.outputs(se_bar);
         let st = gates.eval(&[("switch", switch), ("sa_enable_bar", se_bar)]);
         let (ga, gb) = (
-            st.get("sa_enable_a").unwrap(),
-            st.get("sa_enable_b").unwrap(),
+            st.get("sa_enable_a").expect("gate net sa_enable_a exists"),
+            st.get("sa_enable_b").expect("gate net sa_enable_b exists"),
         );
         let agree = behav.sa_enable_a == pa && behav.sa_enable_b == pb && ga == pa && gb == pb;
         all_agree &= agree;

@@ -21,7 +21,9 @@
 //!   their next solver step, completed work is checkpointed, and the
 //!   report says exactly how far the campaign got.
 
-use crate::checkpoint::{config_fingerprint, Checkpoint, CheckpointError, CornerCheckpoint};
+use crate::checkpoint::{
+    config_fingerprint, Checkpoint, CheckpointError, CornerCheckpoint, SavePolicy,
+};
 use crate::montecarlo::{
     run_mc_controlled, McConfig, McControl, McObserver, McPhase, McResult, SampleFailure,
 };
@@ -107,6 +109,14 @@ pub struct CampaignOptions {
     pub abort_after: Option<usize>,
     /// Print corner-by-corner progress to stderr.
     pub progress: bool,
+    /// Retry policy for every checkpoint flush (attempts, backoff, and an
+    /// optional injected [`IoFaultPlan`](crate::checkpoint::IoFaultPlan)).
+    pub save_policy: SavePolicy,
+    /// Consecutive exhausted-retry flush failures tolerated before the
+    /// campaign degrades to checkpoint-less mode (it keeps computing, it
+    /// just stops writing — and says so in the report) instead of
+    /// hammering a dead disk or aborting a multi-hour run.
+    pub max_save_failures: u32,
 }
 
 impl Default for CampaignOptions {
@@ -118,6 +128,90 @@ impl Default for CampaignOptions {
             handle_signals: false,
             abort_after: None,
             progress: false,
+            save_policy: SavePolicy::standard(),
+            max_save_failures: 2,
+        }
+    }
+}
+
+/// Durability state machine shared by the local campaign sink and the
+/// distributed coordinator: writes checkpoints under a [`SavePolicy`],
+/// counts consecutive exhausted-retry failures, and — past
+/// `max_failures` — degrades to checkpoint-less mode permanently for the
+/// run, recording why. Degradation is one-way: a disk that "comes back"
+/// after being written off mid-run cannot be trusted to hold a coherent
+/// resume image anyway.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    path: PathBuf,
+    policy: SavePolicy,
+    max_failures: u32,
+    consecutive: u32,
+    degraded: Option<String>,
+}
+
+impl CheckpointWriter {
+    /// A writer targeting `path`. `max_failures` of 0 degrades on the
+    /// first exhausted save.
+    #[must_use]
+    pub fn new(path: PathBuf, policy: SavePolicy, max_failures: u32) -> Self {
+        CheckpointWriter {
+            path,
+            policy,
+            max_failures,
+            consecutive: 0,
+            degraded: None,
+        }
+    }
+
+    /// The checkpoint path this writer targets.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Why the writer gave up, if it has.
+    #[must_use]
+    pub fn degraded(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// Writes `ckpt` under the policy. A transient failure (the policy's
+    /// retries eventually succeed) is invisible; an exhausted save warns
+    /// and counts toward degradation; once degraded every flush is a
+    /// no-op. Returns `true` if the bytes reached disk.
+    pub fn flush(&mut self, ckpt: &Checkpoint) -> bool {
+        if self.degraded.is_some() {
+            return false;
+        }
+        match ckpt.save_with(&self.path, &self.policy) {
+            Ok(()) => {
+                self.consecutive = 0;
+                true
+            }
+            Err(e) => {
+                self.consecutive += 1;
+                eprintln!(
+                    "warning: checkpoint flush to {} failed ({}/{} consecutive): {e}",
+                    self.path.display(),
+                    self.consecutive,
+                    self.max_failures.max(1),
+                );
+                if self.consecutive >= self.max_failures.max(1) {
+                    let reason = format!(
+                        "checkpointing disabled after {} consecutive failed flushes \
+                         to {}; last error: {e}",
+                        self.consecutive,
+                        self.path.display(),
+                    );
+                    eprintln!(
+                        "warning: {reason} — campaign continues WITHOUT durability \
+                         (a kill from here loses uncheckpointed work)"
+                    );
+                    self.degraded = Some(reason);
+                }
+                false
+            }
         }
     }
 }
@@ -159,6 +253,11 @@ pub struct CampaignReport {
     /// `true` when anything is missing: a cancellation fired, a corner
     /// failed, was skipped, or returned a partial result.
     pub partial: bool,
+    /// Set when checkpointing degraded to checkpoint-less mode mid-run
+    /// (persistent I/O failures exhausted [`CampaignOptions::max_save_failures`]).
+    /// The results are still complete and correct — only durability was
+    /// lost. Recorded in `campaign.json` by the bench driver.
+    pub checkpoint_degraded: Option<String>,
 }
 
 impl CampaignReport {
@@ -231,7 +330,6 @@ impl From<CheckpointError> for CampaignError {
 /// [`McObserver`] side of the engine.
 struct CheckpointSink<'a> {
     state: Mutex<SinkState>,
-    path: Option<&'a Path>,
     flush_every: usize,
     abort_after: Option<usize>,
     token: &'a CancelToken,
@@ -245,6 +343,9 @@ struct SinkState {
     current: CornerCheckpoint,
     fresh_since_flush: usize,
     fresh_total: usize,
+    /// Durability engine; `None` when the campaign runs checkpoint-less
+    /// by configuration.
+    writer: Option<CheckpointWriter>,
 }
 
 fn lock<'m>(m: &'m Mutex<SinkState>) -> MutexGuard<'m, SinkState> {
@@ -265,15 +366,13 @@ impl SinkState {
 }
 
 impl CheckpointSink<'_> {
-    fn flush(&self, s: &SinkState) {
-        let Some(path) = self.path else { return };
-        if let Err(e) = s.snapshot().save(path) {
-            // Durability is best-effort while the run is healthy; losing a
-            // flush only widens the recompute window after a kill.
-            eprintln!(
-                "warning: checkpoint flush to {} failed: {e}",
-                path.display()
-            );
+    fn flush(&self, s: &mut SinkState) {
+        // Durability is best-effort while the run is healthy; losing a
+        // flush only widens the recompute window after a kill, and a disk
+        // that stays broken degrades the writer instead of the campaign.
+        let snapshot = s.snapshot();
+        if let Some(writer) = s.writer.as_mut() {
+            writer.flush(&snapshot);
         }
     }
 }
@@ -295,7 +394,7 @@ impl McObserver for CheckpointSink<'_> {
         }
         if self.flush_every > 0 && s.fresh_since_flush >= self.flush_every {
             s.fresh_since_flush = 0;
-            self.flush(&s);
+            self.flush(&mut s);
         }
     }
 }
@@ -371,8 +470,10 @@ pub fn run_campaign(
             current: CornerCheckpoint::default(),
             fresh_since_flush: 0,
             fresh_total: 0,
+            writer: opts.checkpoint.clone().map(|path| {
+                CheckpointWriter::new(path, opts.save_policy.clone(), opts.max_save_failures)
+            }),
         }),
-        path: opts.checkpoint.as_deref(),
         flush_every: opts.flush_every,
         abort_after: opts.abort_after,
         token: &token,
@@ -432,7 +533,7 @@ pub fn run_campaign(
             if finished.resume.records() > 0 {
                 s.done.push(finished);
             }
-            sink.flush(&s);
+            sink.flush(&mut s);
         }
         if opts.progress {
             match &outcome {
@@ -466,6 +567,12 @@ pub fn run_campaign(
             CornerOutcome::Completed(res) => res.partial,
             CornerOutcome::Failed(_) | CornerOutcome::Skipped => true,
         });
+    let checkpoint_degraded = {
+        let s = lock(&sink.state);
+        s.writer
+            .as_ref()
+            .and_then(|w| w.degraded().map(String::from))
+    };
 
     // A fully complete campaign no longer needs its checkpoint; removing
     // it makes the next invocation start (correctly) from scratch.
@@ -480,6 +587,7 @@ pub fn run_campaign(
         resumed_records,
         cancelled,
         partial,
+        checkpoint_degraded,
     })
 }
 

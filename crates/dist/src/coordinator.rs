@@ -40,16 +40,16 @@ use crate::worker::{run_worker, WorkerOptions, WorkerStats};
 use crate::DistError;
 use issa_circuit::cancel::{CancelCause, CancelToken};
 use issa_core::campaign::{
-    CampaignCorner, CampaignError, CampaignOptions, CampaignReport, CornerOutcome, CornerReport,
+    CampaignCorner, CampaignError, CampaignOptions, CampaignReport, CheckpointWriter,
+    CornerOutcome, CornerReport,
 };
-use issa_core::checkpoint::{config_fingerprint, Checkpoint, CornerCheckpoint};
+use issa_core::checkpoint::{config_fingerprint, Checkpoint, CornerCheckpoint, SavePolicy};
 use issa_core::montecarlo::{
     delay_swing_volts, offset_spec_from_samples, run_mc_controlled, FailureKind, McControl,
     McPhase, McResume, SampleFailure,
 };
 use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
-use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -82,6 +82,30 @@ pub struct ServeOptions {
     /// after this many units have completed — the distributed analogue
     /// of [`CampaignOptions::abort_after`].
     pub abort_after_units: Option<u64>,
+    /// Retry policy for checkpoint flushes (same semantics as
+    /// [`CampaignOptions::save_policy`], including injected I/O faults).
+    pub save_policy: SavePolicy,
+    /// Consecutive exhausted-retry flush failures before degrading to
+    /// checkpoint-less serving (see [`CampaignOptions::max_save_failures`]).
+    pub max_save_failures: u32,
+    /// Cap on the shutdown linger: after the campaign completes, how
+    /// long to keep connections open so every remote worker re-requests
+    /// and receives its `done` frame. Connections close the moment their
+    /// `done` is delivered, so the full deadline is only spent on
+    /// workers that vanished without disconnecting.
+    pub drain_deadline: Duration,
+    /// Flakiness score at which a worker is quarantined: its next
+    /// handshake is rejected (with its record in the reason) and its
+    /// units rebalance to healthy workers. Each lease revocation
+    /// (expiry or death) adds 1.0 to the worker's score, which decays
+    /// exponentially with [`ServeOptions::flaky_halflife`]. Values
+    /// `<= 0` disable quarantine. The default (8.0) tolerates the
+    /// occasional crash or wire fault but stops a crash-looping host
+    /// from burning every unit's retry budget.
+    pub flaky_threshold: f64,
+    /// Half-life of the exponential decay on flakiness scores: a worker
+    /// that stops misbehaving is forgiven on this timescale.
+    pub flaky_halflife: Duration,
 }
 
 impl Default for ServeOptions {
@@ -95,6 +119,11 @@ impl Default for ServeOptions {
             progress: false,
             loopback: Vec::new(),
             abort_after_units: None,
+            save_policy: SavePolicy::standard(),
+            max_save_failures: 2,
+            drain_deadline: Duration::from_secs(5),
+            flaky_threshold: 8.0,
+            flaky_halflife: Duration::from_secs(300),
         }
     }
 }
@@ -127,6 +156,9 @@ pub struct DistReport {
     pub workers: Vec<WorkerSummary>,
     /// Aggregated scheduler counters across all corners and phases.
     pub sched: SchedStats,
+    /// Worker names whose handshakes were rejected as flaky (one entry
+    /// per name, in first-rejection order).
+    pub flaky_rejected: Vec<String>,
 }
 
 struct WorkerInfo {
@@ -134,6 +166,31 @@ struct WorkerInfo {
     units: u64,
     samples: u64,
     perf: WorkerPerf,
+}
+
+/// Per-worker-*name* flakiness record. Keyed by name, not handshake id:
+/// a crash-looping host gets a fresh id every reconnect, and the whole
+/// point is that its history follows it across reconnects.
+#[derive(Debug, Clone, Copy)]
+struct WorkerHealth {
+    /// Decayed penalty score (1.0 per lease revocation).
+    score: f64,
+    /// Lifetime revocation count (for the rejection message).
+    revocations: u64,
+    /// When `score` was last brought current.
+    updated: Instant,
+}
+
+impl WorkerHealth {
+    /// Brings `score` current under exponential decay.
+    fn decay_to(&mut self, now: Instant, halflife: Duration) {
+        let dt = now.saturating_duration_since(self.updated).as_secs_f64();
+        let hl = halflife.as_secs_f64();
+        if hl > 0.0 && dt > 0.0 {
+            self.score *= 0.5f64.powf(dt / hl);
+        }
+        self.updated = now;
+    }
 }
 
 /// The phase currently being served, shared with connection handlers.
@@ -156,6 +213,10 @@ struct ServeState {
     next_worker_id: u64,
     workers: HashMap<u64, WorkerInfo>,
     phase: Option<ActivePhase>,
+    /// Flakiness scores by worker name (see [`WorkerHealth`]).
+    health: HashMap<String, WorkerHealth>,
+    /// Names rejected as flaky, once each, in rejection order.
+    flaky_rejected: Vec<String>,
 }
 
 struct Shared {
@@ -164,6 +225,8 @@ struct Shared {
     campaign_fp: u64,
     worker_timeout: Duration,
     poll: Duration,
+    flaky_threshold: f64,
+    flaky_halflife: Duration,
     /// Live connection handlers; the shutdown path waits (bounded) for
     /// this to drain so every connected worker receives its `done`.
     conns: std::sync::atomic::AtomicUsize,
@@ -187,21 +250,41 @@ impl Shared {
                 campaign_fp,
                 name,
             } => {
+                // Every reject reason names the expected and the actual
+                // value, so the operator reading one worker's log can
+                // diagnose the mismatch without the coordinator's.
                 if proto != PROTO_VERSION {
                     return Some(Msg::Reject {
                         reason: format!(
-                            "protocol version {proto}, coordinator speaks {PROTO_VERSION}"
+                            "protocol version mismatch: worker speaks {proto}, \
+                             coordinator expects {PROTO_VERSION}"
                         ),
                     });
                 }
                 if campaign_fp != self.campaign_fp {
                     return Some(Msg::Reject {
                         reason: format!(
-                            "campaign fingerprint {campaign_fp:016x} != coordinator {:016x} \
-                             (corner list or configuration differs)",
+                            "campaign fingerprint mismatch: worker {campaign_fp:016x}, \
+                             coordinator {:016x} (corner list or configuration differs)",
                             self.campaign_fp
                         ),
                     });
+                }
+                if self.flaky_threshold > 0.0 {
+                    if let Some(health) = s.health.get_mut(&name) {
+                        health.decay_to(now, self.flaky_halflife);
+                        if health.score >= self.flaky_threshold {
+                            let reason = format!(
+                                "worker {name:?} quarantined as flaky: score {:.1} \
+                                 exceeds threshold {:.1} ({} lease revocations so far)",
+                                health.score, self.flaky_threshold, health.revocations
+                            );
+                            if !s.flaky_rejected.iter().any(|n| n == &name) {
+                                s.flaky_rejected.push(name);
+                            }
+                            return Some(Msg::Reject { reason });
+                        }
+                    }
                 }
                 let id = s.next_worker_id;
                 s.next_worker_id += 1;
@@ -326,7 +409,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         };
         match shared.handle(&mut conn_worker, msg) {
             Some(reply) => {
+                let done = matches!(reply, Msg::Done);
                 if frames.send(&reply.to_bytes()).is_err() {
+                    break;
+                }
+                if done {
+                    // The worker has its `done`; closing now lets the
+                    // shutdown drain finish as soon as the last one is
+                    // delivered instead of waiting out the deadline.
                     break;
                 }
             }
@@ -395,11 +485,15 @@ pub fn serve_campaign(
             next_worker_id: 1,
             workers: HashMap::new(),
             phase: None,
+            health: HashMap::new(),
+            flaky_rejected: Vec::new(),
         }),
         cv: Condvar::new(),
         campaign_fp: campaign_fingerprint(corners),
         worker_timeout: opts.worker_timeout,
         poll: opts.poll,
+        flaky_threshold: opts.flaky_threshold,
+        flaky_halflife: opts.flaky_halflife,
         conns: std::sync::atomic::AtomicUsize::new(0),
     });
 
@@ -440,7 +534,18 @@ pub fn serve_campaign(
         })
         .collect();
 
-    let run = drive_campaign(corners, opts, &shared, &restored, resumed_records);
+    let mut writer = opts
+        .checkpoint
+        .clone()
+        .map(|p| CheckpointWriter::new(p, opts.save_policy.clone(), opts.max_save_failures));
+    let run = drive_campaign(
+        corners,
+        opts,
+        &shared,
+        &restored,
+        resumed_records,
+        &mut writer,
+    );
 
     // Shut everything down before reporting: workers drain on `done`.
     {
@@ -465,19 +570,23 @@ pub fn serve_campaign(
         }
     }
     // Linger until every connected (remote) worker has re-requested and
-    // received its `done` — workers sleep at most ~1 s between requests,
-    // so a healthy fleet drains promptly; a vanished one hits the cap.
-    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    // received its `done` — connections close as soon as their `done` is
+    // delivered, so this loop exits immediately when none are
+    // outstanding and the configurable deadline only caps workers that
+    // vanished without disconnecting.
+    let drain_deadline = Instant::now() + opts.drain_deadline;
     while shared.conns.load(Ordering::SeqCst) > 0 && Instant::now() < drain_deadline {
         std::thread::sleep(Duration::from_millis(20));
     }
     shutdown.store(true, Ordering::SeqCst);
     let _ = acceptor.join();
 
-    let (campaign, sched) = run;
-    let mut workers: Vec<WorkerSummary> = {
+    let (mut campaign, sched) = run;
+    campaign.checkpoint_degraded = writer.as_ref().and_then(|w| w.degraded().map(String::from));
+    let (mut workers, flaky_rejected) = {
         let s = lock(&shared);
-        s.workers
+        let workers: Vec<WorkerSummary> = s
+            .workers
             .iter()
             .map(|(&worker_id, info)| WorkerSummary {
                 worker_id,
@@ -486,13 +595,15 @@ pub fn serve_campaign(
                 samples: info.samples,
                 perf: info.perf,
             })
-            .collect()
+            .collect();
+        (workers, s.flaky_rejected.clone())
     };
     workers.sort_by_key(|w| w.worker_id);
     Ok(DistReport {
         campaign,
         workers,
         sched,
+        flaky_rejected,
     })
 }
 
@@ -514,6 +625,7 @@ fn drive_campaign(
     shared: &Shared,
     restored: &Checkpoint,
     resumed_records: usize,
+    writer: &mut Option<CheckpointWriter>,
 ) -> (CampaignReport, SchedStats) {
     let mut reports: Vec<CornerReport> = Vec::with_capacity(corners.len());
     let mut sched_total = SchedStats::default();
@@ -571,6 +683,7 @@ fn drive_campaign(
             &done_corners,
             &mut sched_total,
             &mut units_budget,
+            writer,
         );
 
         // ---- Phase 2: delays --------------------------------------------
@@ -614,6 +727,7 @@ fn drive_campaign(
                     &done_corners,
                     &mut sched_total,
                     &mut units_budget,
+                    writer,
                 );
             }
         }
@@ -654,7 +768,7 @@ fn drive_campaign(
         if current.resume.records() > 0 {
             done_corners.push(current);
         }
-        flush_checkpoint(opts.checkpoint.as_deref(), &done_corners, None);
+        flush_checkpoint(writer, &done_corners, None);
         reports.push(CornerReport {
             name: corner.name.clone(),
             outcome,
@@ -678,6 +792,8 @@ fn drive_campaign(
             resumed_records,
             cancelled,
             partial,
+            // Filled in by the caller from the writer's final state.
+            checkpoint_degraded: None,
         },
         sched_total,
     )
@@ -699,6 +815,7 @@ fn serve_phase(
     done_corners: &[CornerCheckpoint],
     sched_total: &mut SchedStats,
     units_budget: &mut Option<u64>,
+    writer: &mut Option<CheckpointWriter>,
 ) -> bool {
     if pending.is_empty() || units_budget.is_some_and(|n| n == 0) {
         return units_budget.is_some_and(|n| n == 0);
@@ -739,11 +856,32 @@ fn serve_phase(
             .wait_timeout(s, opts.poll)
             .unwrap_or_else(PoisonError::into_inner);
         s = guard;
-        let Some(active) = s.phase.as_mut() else {
+        // Split borrows: the scheduler lives in `phase`, the flakiness
+        // records in `health`/`workers` — all fields of one state.
+        let st = &mut *s;
+        let Some(active) = st.phase.as_mut() else {
             break;
         };
         let now = Instant::now();
         active.scheduler.tick(now);
+
+        // Flakiness: every revocation (lease expiry or worker death)
+        // charges the worker's *name*, so a crash-looping host keeps its
+        // record across reconnects and is eventually refused at the
+        // handshake instead of burning unit retry budgets.
+        for wid in active.scheduler.drain_revoked() {
+            let Some(name) = st.workers.get(&wid).map(|w| w.name.clone()) else {
+                continue;
+            };
+            let health = st.health.entry(name).or_insert(WorkerHealth {
+                score: 0.0,
+                revocations: 0,
+                updated: now,
+            });
+            health.decay_to(now, shared.flaky_halflife);
+            health.score += 1.0;
+            health.revocations += 1;
+        }
 
         // Quarantine: exhausted units become ordinary TimedOut failures,
         // one per still-missing index, and flow through the same budget
@@ -792,7 +930,7 @@ fn serve_phase(
         }
         if opts.flush_every > 0 && fresh_since_flush >= opts.flush_every {
             fresh_since_flush = 0;
-            flush_checkpoint(opts.checkpoint.as_deref(), done_corners, Some(current));
+            flush_checkpoint(writer, done_corners, Some(current));
         }
         if complete || aborted {
             if aborted {
@@ -806,7 +944,7 @@ fn serve_phase(
     }
     // Phase boundary: always flush, so a killed coordinator restarts
     // from at worst one poll interval of lost records.
-    flush_checkpoint(opts.checkpoint.as_deref(), done_corners, Some(current));
+    flush_checkpoint(writer, done_corners, Some(current));
     aborted
 }
 
@@ -820,28 +958,25 @@ impl StatsMerge for SchedStats {
     }
 }
 
-/// Writes the checkpoint (done corners plus the in-flight one), warning
-/// rather than failing on I/O trouble — durability is best-effort while
-/// the run is healthy.
+/// Writes the checkpoint (done corners plus the in-flight one) through
+/// the degradation-aware writer: transient I/O trouble retries inside
+/// [`CheckpointWriter::flush`], persistent trouble degrades the run to
+/// checkpoint-less serving instead of failing it.
 fn flush_checkpoint(
-    path: Option<&Path>,
+    writer: &mut Option<CheckpointWriter>,
     done_corners: &[CornerCheckpoint],
     current: Option<&CornerCheckpoint>,
 ) {
-    let Some(path) = path else { return };
+    let Some(writer) = writer.as_mut() else {
+        return;
+    };
     let mut corners = done_corners.to_vec();
     if let Some(c) = current {
         if c.resume.records() > 0 {
             corners.push(c.clone());
         }
     }
-    let ckpt = Checkpoint { corners };
-    if let Err(e) = ckpt.save(path) {
-        eprintln!(
-            "warning: checkpoint flush to {} failed: {e}",
-            path.display()
-        );
-    }
+    writer.flush(&Checkpoint { corners });
 }
 
 /// Convenience for the bench binary: a [`CampaignOptions`]-shaped view
@@ -852,6 +987,141 @@ pub fn serve_options_from_campaign(opts: &CampaignOptions) -> ServeOptions {
         checkpoint: opts.checkpoint.clone(),
         flush_every: opts.flush_every,
         progress: opts.progress,
+        save_policy: opts.save_policy.clone(),
+        max_save_failures: opts.max_save_failures,
         ..ServeOptions::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    fn test_shared(threshold: f64) -> Shared {
+        Shared {
+            state: Mutex::new(ServeState {
+                finished: false,
+                next_worker_id: 1,
+                workers: HashMap::new(),
+                phase: None,
+                health: HashMap::new(),
+                flaky_rejected: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            campaign_fp: 0xabcd_ef01_2345_6789,
+            worker_timeout: Duration::from_secs(10),
+            poll: Duration::from_millis(25),
+            flaky_threshold: threshold,
+            flaky_halflife: Duration::from_secs(300),
+            conns: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    fn reject_reason(reply: Option<Msg>) -> String {
+        match reply {
+            Some(Msg::Reject { reason }) => reason,
+            other => panic!("expected Reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn proto_reject_names_expected_and_actual() {
+        let shared = test_shared(8.0);
+        let reason = reject_reason(shared.handle(
+            &mut None,
+            Msg::Hello {
+                proto: 99,
+                campaign_fp: shared.campaign_fp,
+                name: "w".into(),
+            },
+        ));
+        assert!(reason.contains("99"), "actual version missing: {reason}");
+        assert!(
+            reason.contains(&PROTO_VERSION.to_string()),
+            "expected version missing: {reason}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_reject_names_expected_and_actual() {
+        let shared = test_shared(8.0);
+        let reason = reject_reason(shared.handle(
+            &mut None,
+            Msg::Hello {
+                proto: PROTO_VERSION,
+                campaign_fp: 0x1111_2222_3333_4444,
+                name: "w".into(),
+            },
+        ));
+        assert!(
+            reason.contains("1111222233334444"),
+            "worker fingerprint missing: {reason}"
+        );
+        assert!(
+            reason.contains("abcdef0123456789"),
+            "coordinator fingerprint missing: {reason}"
+        );
+    }
+
+    #[test]
+    fn flaky_worker_is_rejected_at_rehandshake_with_its_record() {
+        let shared = test_shared(2.0);
+        let hello = Msg::Hello {
+            proto: PROTO_VERSION,
+            campaign_fp: shared.campaign_fp,
+            name: "flapper".into(),
+        };
+        // First handshake succeeds — no record yet.
+        let mut conn = None;
+        assert!(matches!(
+            shared.handle(&mut conn, hello.clone()),
+            Some(Msg::Welcome { .. })
+        ));
+        // Charge the name past the threshold.
+        {
+            let mut s = lock(&shared);
+            s.health.insert(
+                "flapper".into(),
+                WorkerHealth {
+                    score: 3.0,
+                    revocations: 3,
+                    updated: Instant::now(),
+                },
+            );
+        }
+        let reason = reject_reason(shared.handle(&mut None, hello.clone()));
+        assert!(reason.contains("flapper"), "name missing: {reason}");
+        assert!(reason.contains("quarantined as flaky"), "{reason}");
+        assert!(reason.contains("3 lease revocations"), "{reason}");
+        // A differently-named (healthy) worker is still welcome.
+        assert!(matches!(
+            shared.handle(
+                &mut None,
+                Msg::Hello {
+                    proto: PROTO_VERSION,
+                    campaign_fp: shared.campaign_fp,
+                    name: "healthy".into(),
+                },
+            ),
+            Some(Msg::Welcome { .. })
+        ));
+        assert_eq!(lock(&shared).flaky_rejected, vec!["flapper".to_string()]);
+    }
+
+    #[test]
+    fn flaky_scores_decay_toward_forgiveness() {
+        let mut h = WorkerHealth {
+            score: 8.0,
+            revocations: 8,
+            updated: Instant::now(),
+        };
+        let later = h.updated + Duration::from_secs(600);
+        h.decay_to(later, Duration::from_secs(300));
+        assert!((h.score - 2.0).abs() < 1e-9, "two half-lives: {}", h.score);
+        // Zero half-life disables decay rather than dividing by zero.
+        let before = h.score;
+        h.decay_to(later + Duration::from_secs(60), Duration::ZERO);
+        assert_eq!(h.score, before);
     }
 }

@@ -36,6 +36,7 @@
 //! - [`worker`] — [`worker::run_worker`]: connects, computes assigned
 //!   units, heartbeats between samples, reconnects after faults.
 
+pub mod chaos;
 pub mod coordinator;
 pub mod frame;
 pub mod proto;

@@ -40,6 +40,15 @@ pub struct SchedulerConfig {
     pub lease_timeout: Duration,
     /// Base of the exponential retry backoff.
     pub retry_backoff: Duration,
+    /// Straggler threshold for speculative re-execution. When a worker
+    /// asks for work, none is assignable (the phase is down to its
+    /// in-flight tail), and some lease is older than this, the idle
+    /// worker gets a *duplicate* lease on the oldest such unit. The
+    /// existing idempotent first-result-wins merge makes speculation
+    /// invisible to the output — both copies are bit-identical — it only
+    /// trades duplicate compute for tail latency. `None` (the default)
+    /// disables speculation entirely.
+    pub speculate_after: Option<Duration>,
 }
 
 impl Default for SchedulerConfig {
@@ -49,6 +58,7 @@ impl Default for SchedulerConfig {
             max_unit_attempts: 4,
             lease_timeout: Duration::from_secs(60),
             retry_backoff: Duration::from_millis(100),
+            speculate_after: None,
         }
     }
 }
@@ -70,6 +80,10 @@ struct Unit {
     state: UnitState,
     attempts: u32,
     last_worker: Option<u64>,
+    /// Worker holding a speculative duplicate lease on this unit, while
+    /// the primary lease in `state` is still live. At most one
+    /// speculative copy per lease.
+    spec_worker: Option<u64>,
 }
 
 /// What the scheduler tells a requesting worker.
@@ -109,6 +123,8 @@ pub struct SchedStats {
     pub quarantined_units: u64,
     /// Results discarded as duplicates or stale.
     pub duplicates: u64,
+    /// Speculative duplicate leases issued against stragglers.
+    pub speculated: u64,
 }
 
 impl SchedStats {
@@ -122,6 +138,7 @@ impl SchedStats {
                 .quarantined_units
                 .saturating_add(other.quarantined_units),
             duplicates: self.duplicates.saturating_add(other.duplicates),
+            speculated: self.speculated.saturating_add(other.speculated),
         }
     }
 }
@@ -136,6 +153,9 @@ pub struct PhaseScheduler {
     /// Quarantined `(unit id, start, end, attempts)` tuples not yet
     /// drained by the coordinator.
     quarantine: Vec<(u64, usize, usize, u32)>,
+    /// Worker ids whose leases were revoked (expiry or death), not yet
+    /// drained — the coordinator's flaky-worker scoring input.
+    revoked: Vec<u64>,
 }
 
 impl PhaseScheduler {
@@ -154,6 +174,7 @@ impl PhaseScheduler {
                 state: UnitState::Ready,
                 attempts: 0,
                 last_worker: None,
+                spec_worker: None,
             })
             .collect();
         PhaseScheduler {
@@ -161,6 +182,7 @@ impl PhaseScheduler {
             cfg: cfg.clone(),
             stats: SchedStats::default(),
             quarantine: Vec::new(),
+            revoked: Vec::new(),
         }
     }
 
@@ -193,9 +215,14 @@ impl PhaseScheduler {
     }
 
     /// Revokes every lease held by a dead worker (connection lost or
-    /// heartbeat timeout).
+    /// heartbeat timeout). A dead *speculative* copy just clears the
+    /// slot — the primary lease is unaffected and the unit may be
+    /// re-speculated.
     pub fn worker_dead(&mut self, worker: u64, now: Instant) {
         for k in 0..self.units.len() {
+            if self.units[k].spec_worker == Some(worker) {
+                self.units[k].spec_worker = None;
+            }
             if matches!(self.units[k].state, UnitState::Leased { worker: w, .. } if w == worker) {
                 self.release(k, worker, now);
             }
@@ -207,6 +234,8 @@ impl PhaseScheduler {
     fn release(&mut self, k: usize, worker: u64, now: Instant) {
         let unit = &mut self.units[k];
         unit.last_worker = Some(worker);
+        unit.spec_worker = None;
+        self.revoked.push(worker);
         if unit.attempts >= self.cfg.max_unit_attempts {
             unit.state = UnitState::Quarantined;
             self.stats.quarantined_units += 1;
@@ -247,10 +276,46 @@ impl PhaseScheduler {
                     self.stats.reassigned += 1;
                 }
                 unit.attempts += 1;
+                unit.spec_worker = None;
                 unit.state = UnitState::Leased {
                     worker,
                     deadline: now + self.cfg.lease_timeout,
                 };
+                return Decision::Assign(unit.id, unit.start, unit.end);
+            }
+        }
+        // Nothing assignable — the phase is down to its in-flight tail.
+        // With speculation enabled, hand the idle worker a duplicate
+        // lease on the oldest straggling unit instead of parking it: the
+        // faster copy's result lands first and the slower one merges as a
+        // duplicate, so the tail no longer waits on one slow host.
+        if let Some(threshold) = self.cfg.speculate_after {
+            let mut straggler: Option<(usize, Instant)> = None;
+            for (k, unit) in self.units.iter().enumerate() {
+                let UnitState::Leased {
+                    worker: holder,
+                    deadline,
+                } = unit.state
+                else {
+                    continue;
+                };
+                // The lease's age is exact: it was issued lease_timeout
+                // before its deadline.
+                let leased_at = deadline - self.cfg.lease_timeout;
+                if holder == worker
+                    || unit.spec_worker.is_some()
+                    || now.saturating_duration_since(leased_at) < threshold
+                {
+                    continue;
+                }
+                if straggler.is_none_or(|(_, oldest)| leased_at < oldest) {
+                    straggler = Some((k, leased_at));
+                }
+            }
+            if let Some((k, _)) = straggler {
+                let unit = &mut self.units[k];
+                unit.spec_worker = Some(worker);
+                self.stats.speculated += 1;
                 return Decision::Assign(unit.id, unit.start, unit.end);
             }
         }
@@ -306,6 +371,13 @@ impl PhaseScheduler {
     pub fn drain_quarantined(&mut self) -> Vec<(u64, usize, usize, u32)> {
         std::mem::take(&mut self.quarantine)
     }
+
+    /// Drains the worker ids whose leases were revoked (one entry per
+    /// revocation) since the last drain — the coordinator feeds these
+    /// into its per-worker flakiness scores.
+    pub fn drain_revoked(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.revoked)
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +391,7 @@ mod tests {
             max_unit_attempts: 2,
             lease_timeout: Duration::from_millis(100),
             retry_backoff: Duration::from_millis(20),
+            speculate_after: None,
         }
     }
 
@@ -420,6 +493,78 @@ mod tests {
         assert_eq!(s.apply_result(0), Applied::Duplicate);
         assert_eq!(s.apply_result(99), Applied::Unknown);
         assert_eq!(s.stats.duplicates, 2);
+    }
+
+    #[test]
+    fn speculation_duplicates_the_oldest_straggler_once() {
+        let mut c = cfg();
+        c.lease_timeout = Duration::from_secs(60);
+        c.speculate_after = Some(Duration::from_millis(50));
+        let mut s = PhaseScheduler::new(&[(0, 4), (4, 8)], 0, &c);
+        let t0 = Instant::now();
+        assert_eq!(s.next_assignment(1, t0), Decision::Assign(0, 0, 4));
+        let t1 = t0 + Duration::from_millis(10);
+        assert_eq!(s.next_assignment(2, t1), Decision::Assign(1, 4, 8));
+        // Too young to speculate: the idle worker waits.
+        assert!(matches!(s.next_assignment(3, t1), Decision::Wait(_)));
+        // Past the threshold, worker 3 gets a duplicate lease on the
+        // oldest straggler (unit 0, leased at t0).
+        let t2 = t0 + Duration::from_millis(60);
+        assert_eq!(s.next_assignment(3, t2), Decision::Assign(0, 0, 4));
+        assert_eq!(s.stats.speculated, 1);
+        // One speculative copy per unit: the next idle worker gets unit
+        // 1's copy (also past the threshold), then waits.
+        assert_eq!(s.next_assignment(4, t2), Decision::Assign(1, 4, 8));
+        assert_eq!(s.stats.speculated, 2);
+        assert!(matches!(s.next_assignment(5, t2), Decision::Wait(_)));
+        // First result wins; the duplicate is discarded.
+        assert_eq!(s.apply_result(0), Applied::Fresh);
+        assert_eq!(s.apply_result(0), Applied::Duplicate);
+        assert_eq!(s.apply_result(1), Applied::Fresh);
+        assert!(s.is_complete());
+        // Speculation never consumed retry budget or counted as a retry.
+        assert_eq!(s.stats.retries, 0);
+        assert_eq!(s.stats.quarantined_units, 0);
+    }
+
+    #[test]
+    fn speculation_never_targets_the_holder_and_heals_on_spec_death() {
+        let mut c = cfg();
+        c.lease_timeout = Duration::from_secs(60);
+        c.speculate_after = Some(Duration::ZERO);
+        let mut s = PhaseScheduler::new(&[(0, 4)], 0, &c);
+        let t0 = Instant::now();
+        assert_eq!(s.next_assignment(1, t0), Decision::Assign(0, 0, 4));
+        // The lease holder itself never speculates on its own unit.
+        assert!(matches!(s.next_assignment(1, t0), Decision::Wait(_)));
+        assert_eq!(s.next_assignment(2, t0), Decision::Assign(0, 0, 4));
+        // The speculative worker dies: the slot clears, the primary lease
+        // survives, and a new idle worker may re-speculate.
+        s.worker_dead(2, t0);
+        assert!(
+            s.drain_revoked().is_empty(),
+            "spec death is not a revocation"
+        );
+        assert_eq!(s.next_assignment(3, t0), Decision::Assign(0, 0, 4));
+        assert_eq!(s.stats.speculated, 2);
+    }
+
+    #[test]
+    fn speculation_off_by_default_and_revocations_drain() {
+        let mut s = PhaseScheduler::new(&[(0, 4)], 0, &cfg());
+        let t0 = Instant::now();
+        assert_eq!(s.next_assignment(1, t0), Decision::Assign(0, 0, 4));
+        // Default config: an idle worker always waits on the tail.
+        assert!(matches!(s.next_assignment(2, t0), Decision::Wait(_)));
+        // Lease expiry and worker death both drain as revocations
+        // attributed to the worker that lost the lease.
+        s.tick(t0 + Duration::from_millis(150));
+        assert_eq!(s.drain_revoked(), vec![1]);
+        let t1 = t0 + Duration::from_millis(200);
+        assert_eq!(s.next_assignment(2, t1), Decision::Assign(0, 0, 4));
+        s.worker_dead(2, t1);
+        assert_eq!(s.drain_revoked(), vec![2]);
+        assert!(s.drain_revoked().is_empty(), "drain is one-shot");
     }
 
     #[test]

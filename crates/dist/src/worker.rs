@@ -51,6 +51,10 @@ pub struct WorkerOptions {
     pub die_after_assignments: Option<u32>,
     /// Test hook: perturb outgoing frames ([`WireFaultPlan`]).
     pub wire_faults: Option<WireFaultPlan>,
+    /// Test hook: sleep this long after accepting each assignment before
+    /// computing it — a deterministic straggler for the speculation
+    /// suites (the lease is held the whole time, heartbeats continue).
+    pub unit_delay: Duration,
 }
 
 impl Default for WorkerOptions {
@@ -65,8 +69,26 @@ impl Default for WorkerOptions {
             start_delay: Duration::ZERO,
             die_after_assignments: None,
             wire_faults: None,
+            unit_delay: Duration::ZERO,
         }
     }
+}
+
+/// Deterministic, worker-name-seeded jitter on a reconnect backoff: the
+/// sleep becomes `backoff * f` with `f` in `[0.5, 1.5)`, derived from an
+/// FNV-1a hash of `(name, attempt)`. A restarted coordinator therefore
+/// sees its fleet trickle back spread across a full backoff window
+/// instead of as a thundering herd of simultaneous reconnects — and the
+/// spread is reproducible run to run, like every other timing knob here.
+fn jittered_backoff(backoff: Duration, name: &str, attempt: u64) -> Duration {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes().iter().chain(&attempt.to_le_bytes()) {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Top 53 bits → uniform in [0, 1), so f is uniform in [0.5, 1.5).
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+    backoff.mul_f64(0.5 + unit)
 }
 
 /// What one worker run accomplished.
@@ -142,7 +164,11 @@ pub fn run_worker(
                 if matches!(e, DistError::Rejected(_)) {
                     return Err(e);
                 }
-                std::thread::sleep(opts.reconnect_backoff);
+                std::thread::sleep(jittered_backoff(
+                    opts.reconnect_backoff,
+                    &opts.name,
+                    sessions,
+                ));
             }
         }
     }
@@ -150,7 +176,7 @@ pub fn run_worker(
 
 fn connect(addr: SocketAddr, opts: &WorkerOptions) -> Result<TcpStream, DistError> {
     let mut last: Option<std::io::Error> = None;
-    for _ in 0..opts.connect_attempts.max(1) {
+    for attempt in 0..opts.connect_attempts.max(1) {
         match TcpStream::connect(addr) {
             Ok(s) => {
                 s.set_read_timeout(Some(opts.read_timeout))?;
@@ -159,7 +185,11 @@ fn connect(addr: SocketAddr, opts: &WorkerOptions) -> Result<TcpStream, DistErro
             }
             Err(e) => {
                 last = Some(e);
-                std::thread::sleep(opts.reconnect_backoff);
+                std::thread::sleep(jittered_backoff(
+                    opts.reconnect_backoff,
+                    &opts.name,
+                    u64::from(attempt),
+                ));
             }
         }
     }
@@ -200,6 +230,30 @@ fn session(
                     // coordinator's liveness machinery must notice and
                     // reassign the unit.
                     return Ok(SessionEnd::Died);
+                }
+                if !opts.unit_delay.is_zero() {
+                    // Scripted straggling: hold the lease idle. Sleep in
+                    // heartbeat-sized slices so the coordinator still
+                    // sees a live (just slow) worker.
+                    let until = Instant::now() + opts.unit_delay;
+                    loop {
+                        let left = until.saturating_duration_since(Instant::now());
+                        if left.is_zero() {
+                            break;
+                        }
+                        std::thread::sleep(
+                            left.min(opts.heartbeat_interval / 2)
+                                .max(Duration::from_millis(1)),
+                        );
+                        match call(frames, &Msg::Ping { worker_id })? {
+                            Msg::Ok => {}
+                            other => {
+                                return Err(DistError::Proto(format!(
+                                    "expected heartbeat ok, got {other:?}"
+                                )))
+                            }
+                        }
+                    }
                 }
                 let result = compute_unit(&a, worker_id, corners, opts, frames, stats)?;
                 match call(frames, &Msg::Result(Box::new(result)))? {
@@ -391,4 +445,31 @@ fn compute_unit(
         sense_calls: issa_core::perf::sense_calls() - sense_before,
     };
     Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconnect_jitter_is_bounded_deterministic_and_spread() {
+        let base = Duration::from_millis(250);
+        for attempt in 0..32 {
+            let d = jittered_backoff(base, "w1", attempt);
+            assert!(d >= base / 2, "attempt {attempt}: {d:?} below half");
+            assert!(d < base * 3 / 2, "attempt {attempt}: {d:?} above 1.5x");
+            // Same inputs, same sleep — the jitter is a pure function.
+            assert_eq!(d, jittered_backoff(base, "w1", attempt));
+        }
+        // Different workers (and different attempts) land on different
+        // slots, which is the whole anti-thundering-herd point.
+        assert_ne!(
+            jittered_backoff(base, "w1", 0),
+            jittered_backoff(base, "w2", 0)
+        );
+        assert_ne!(
+            jittered_backoff(base, "w1", 0),
+            jittered_backoff(base, "w1", 1)
+        );
+    }
 }

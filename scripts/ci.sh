@@ -19,6 +19,11 @@ echo "== cargo clippy (solver + MC + dist libs, deny unwrap) =="
 # and a coordinator must never die because one worker misbehaved.
 cargo clippy -p issa-num -p issa-circuit -p issa-core -p issa-dist --lib -- -D warnings -D clippy::unwrap-used
 
+echo "== cargo clippy (bench binaries, deny unwrap) =="
+# The campaign/table binaries are the operator surface: a bad flag or a
+# missing net must die with a message, not a bare unwrap backtrace.
+cargo clippy -p issa-bench --bins -- -D warnings -D clippy::unwrap-used
+
 echo "== tier-1: cargo build --release && cargo test =="
 cargo build --release
 cargo test -q
@@ -105,6 +110,20 @@ trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR" "$BATCH_DIR"' EXIT
     --loopback 3 --unit-samples 4 >serve_batched.log 2>&1
   cmp results/table2.csv table2_local.csv
   echo "batched distributed: byte-identical table2.csv"
+)
+
+echo "== chaos soak (full fault schedule, coordinator SIGKILL + resume) =="
+# One seeded chaos run: solver faults, checkpoint I/O faults, wire
+# faults, a crash-looping flaky worker, a straggler with speculation,
+# and a real SIGKILL of the coordinator child. The binary performs the
+# kill/resume/compare itself and exits nonzero on any byte mismatch.
+CHAOS_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR" "$BATCH_DIR" "$CHAOS_DIR"' EXIT
+(
+  cd "$CHAOS_DIR"
+  "$CAMPAIGN_BIN" chaos --samples 24 --chaos-seed 7 >chaos.log 2>&1 \
+    || { tail -40 chaos.log; exit 1; }
+  grep "chaos soak PASS" chaos.log
 )
 
 echo "CI_OK"

@@ -11,7 +11,8 @@ use issa::core::montecarlo::{run_mc, FailureKind, McConfig, McPhase};
 use issa::dist::coordinator::{serve_campaign, DistReport, ServeOptions};
 use issa::dist::frame::{WireFault, WireFaultPlan};
 use issa::dist::scheduler::SchedulerConfig;
-use issa::dist::worker::WorkerOptions;
+use issa::dist::worker::{run_worker, WorkerOptions};
+use issa::dist::DistError;
 use issa::prelude::*;
 use issa::SaError;
 use std::net::TcpListener;
@@ -398,4 +399,149 @@ fn exhausted_retries_quarantine_through_the_failure_budget() {
         other => panic!("expected a failure-budget error, got {other:?}"),
     }
     assert!(report.campaign.partial);
+}
+
+/// Speculative re-execution: a scripted straggler holds a lease idle
+/// while a fast worker drains the rest of the phase; with
+/// `speculate_after` armed, the idle fast worker receives a duplicate
+/// copy of the straggler's unit, first result wins, and the merged
+/// campaign is still bit-identical to the local run.
+#[test]
+fn speculation_absorbs_a_straggler_bit_identically() {
+    let corners = [corner("corner", base_cfg(0.8))];
+    let reference = run_mc(&corners[0].cfg).unwrap();
+
+    let straggler = WorkerOptions {
+        // Long enough that the fast worker is provably idle and the
+        // speculation threshold has passed, short against lease_timeout
+        // so the lease itself never expires.
+        unit_delay: Duration::from_millis(600),
+        ..worker("straggler")
+    };
+    let fast = WorkerOptions {
+        start_delay: Duration::from_millis(60),
+        ..worker("fast")
+    };
+    let report = serve(
+        &corners,
+        &ServeOptions {
+            scheduler: SchedulerConfig {
+                speculate_after: Some(Duration::from_millis(150)),
+                ..test_scheduler()
+            },
+            poll: Duration::from_millis(10),
+            loopback: vec![straggler, fast],
+            ..ServeOptions::default()
+        },
+    );
+
+    assert!(
+        report.sched.speculated >= 1,
+        "the idle fast worker must have been handed a speculative copy"
+    );
+    // The losing copy is absorbed idempotently — as a `Duplicate` if it
+    // lands while the phase is still open, or ignored as `Unknown` if
+    // the speculative result already completed the phase. Either way it
+    // must never count as a retry or quarantine.
+    assert_eq!(report.sched.quarantined_units, 0);
+    assert!(!report.campaign.partial);
+    assert_eq!(
+        report.campaign.result("corner").expect("completes"),
+        &reference,
+        "speculation is scheduling, not physics: the result must be bit-identical"
+    );
+}
+
+/// Flaky-worker quarantine end to end: a crash-looping worker (same name
+/// every reconnect, dies holding a lease every session) accumulates
+/// lease-revocation score until its re-handshake is rejected with its
+/// record in the reason; a healthy worker then completes the campaign
+/// bit-identically.
+#[test]
+fn crash_looping_worker_is_quarantined_and_campaign_completes() {
+    let corners = vec![corner("corner", base_cfg(0.8))];
+    let reference = run_mc(&corners[0].cfg).unwrap();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("listener addr");
+
+    // The controller thread crash-loops a worker named "flapper" until
+    // the coordinator turns it away, then brings up a healthy worker so
+    // the campaign can finish. Sequencing the healthy worker *after* the
+    // rejection makes the quarantine deterministic: until then the
+    // flapper is the only compute and every unit it touches is revoked.
+    let thread_corners = corners.clone();
+    let controller = std::thread::spawn(move || {
+        let mut deaths = 0u32;
+        let reason = loop {
+            let opts = WorkerOptions {
+                die_after_assignments: Some(1),
+                connect_attempts: 400,
+                reconnect_backoff: Duration::from_millis(10),
+                ..WorkerOptions {
+                    name: "flapper".into(),
+                    ..WorkerOptions::default()
+                }
+            };
+            match run_worker(addr, &thread_corners, &opts) {
+                Ok(stats) if stats.died => deaths += 1,
+                Ok(_) => break None, // campaign ended before quarantine
+                Err(DistError::Rejected(reason)) => break Some(reason),
+                Err(other) => panic!("unexpected worker error: {other}"),
+            }
+        };
+        let healthy = WorkerOptions {
+            connect_attempts: 400,
+            reconnect_backoff: Duration::from_millis(10),
+            ..WorkerOptions {
+                name: "healthy".into(),
+                ..WorkerOptions::default()
+            }
+        };
+        run_worker(addr, &thread_corners, &healthy).expect("healthy worker finishes");
+        (deaths, reason)
+    });
+
+    let report = serve_campaign(
+        listener,
+        &corners,
+        &ServeOptions {
+            scheduler: SchedulerConfig {
+                // Deaths burn unit attempts; leave headroom so the
+                // crash loop cannot quarantine a *unit* before the
+                // coordinator quarantines the *worker*.
+                max_unit_attempts: 16,
+                ..test_scheduler()
+            },
+            poll: Duration::from_millis(10),
+            worker_timeout: Duration::from_secs(2),
+            flaky_threshold: 2.0,
+            flaky_halflife: Duration::from_secs(600),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("serve completes");
+    let (deaths, reason) = controller.join().expect("controller thread");
+
+    // At least two deaths cross the 2.0 threshold; a death can slip in
+    // one extra handshake if it reconnects inside the coordinator's
+    // poll interval, before the revocation is scored.
+    assert!(
+        (2..=4).contains(&deaths),
+        "the threshold of 2.0 is crossed after two scored revocations, got {deaths}"
+    );
+    let reason = reason.expect("the flapper must have been rejected, not drained");
+    assert!(
+        reason.contains("flapper")
+            && reason.contains("quarantined as flaky")
+            && reason.contains("lease revocations"),
+        "the rejection must carry the worker's record: {reason:?}"
+    );
+    assert_eq!(report.flaky_rejected, vec!["flapper".to_owned()]);
+    assert!(!report.campaign.partial);
+    assert_eq!(
+        report.campaign.result("corner").expect("completes"),
+        &reference,
+        "quarantine rebalances work; it must not perturb the result"
+    );
 }
