@@ -51,6 +51,34 @@
 //! `serve`/`worker`/local modes so every process in a chaos fleet can
 //! rebuild identical plans (they participate in the config fingerprint).
 //!
+//! # Campaign service
+//!
+//! A long-lived supervised service that runs many campaigns
+//! concurrently behind a line-oriented JSON control plane
+//! ([`issa_dist::service`]): admission control, crash-loop supervision,
+//! a crash-safe state journal, and a content-addressed result cache.
+//!
+//! ```sh
+//! # the service (state in --dir; survives SIGKILL via its journal)
+//! campaign service --dir results/service [--listen ADDR] [--port-file P]
+//!     [--max-campaigns N] [--max-queue N] [--tenant-quota N]
+//!     [--crash-loop-limit N] [--flush-every K]
+//! # client verbs (one JSON response line each)
+//! campaign submit --connect ADDR [--tenant T] [--wait] <campaign flags>
+//! campaign status --connect ADDR [--id ID]
+//! campaign fetch  --connect ADDR --id ID [--wait]
+//! campaign cancel --connect ADDR --id ID
+//! campaign health --connect ADDR
+//! campaign shutdown --connect ADDR
+//! ```
+//!
+//! `submit` encodes this process's campaign flags (`--samples`,
+//! `--seed`, `--artifacts`, `--paper-probes`, `--threads`,
+//! `--batch-lanes`) as the submission's params object; the service host
+//! rebuilds the identical corner list from them, so a re-submitted
+//! configuration hits the result cache. `--wait` polls `fetch` until
+//! the submission is terminal and exits 0 only for `completed`.
+//!
 //! Exit status: `0` = complete, `3` = partial (deadline/interrupt; re-run
 //! the same command to resume), `1` = refused to start (untrusted or
 //! mismatched checkpoint, bind/connect failure) or a chaos-soak
@@ -58,22 +86,29 @@
 
 use issa_bench::CornerSpec;
 use issa_bench::{
-    csv_row, failure_cause, paper, print_table_header, print_table_row, write_csv, CSV_HEADER,
+    csv_row, failure_cause, paper, print_table_header, print_table_row, write_csv, write_csv_at,
+    CSV_HEADER,
 };
-use issa_core::campaign::{run_campaign, CampaignCorner, CampaignOptions, CornerOutcome};
-use issa_core::checkpoint::SavePolicy;
+use issa_core::campaign::{
+    run_campaign, CampaignCorner, CampaignOptions, CampaignReport, CornerOutcome,
+};
+use issa_core::checkpoint::{sweep_stale_temps, SavePolicy};
 use issa_core::montecarlo::{McConfig, McResult};
 use issa_core::netlist::SaKind;
 use issa_core::probe::ProbeOptions;
 use issa_core::workload::{ReadSequence, Workload};
 use issa_core::SaError;
 use issa_dist::chaos;
+use issa_dist::control::{self, ControlRequest, Json, LineReader, NextLine};
 use issa_dist::coordinator::{serve_campaign, DistReport, ServeOptions};
+use issa_dist::proto::PROTO_VERSION;
 use issa_dist::scheduler::SchedulerConfig;
+use issa_dist::service::{run_service, ServiceHost, ServiceOptions, SubmissionInfo};
 use issa_dist::worker::{run_worker, WorkerOptions};
 use issa_ptm45::Environment;
-use std::net::{TcpListener, ToSocketAddrs};
-use std::path::PathBuf;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How this invocation participates in the campaign.
@@ -87,6 +122,10 @@ enum Mode {
     Worker,
     /// Seeded end-to-end chaos soak (`campaign chaos`).
     Chaos,
+    /// Long-lived supervised campaign service (`campaign service`).
+    Service,
+    /// Control-plane client verb (`campaign submit|status|...`).
+    Client,
 }
 
 #[derive(Debug, Clone)]
@@ -120,6 +159,19 @@ struct Args {
     reconnect_s: f64,
     // chaos mode (also honoured by serve/worker/local so fleets agree)
     chaos_seed: Option<u64>,
+    // service mode
+    dir: PathBuf,
+    max_campaigns: usize,
+    max_queue: usize,
+    tenant_quota: usize,
+    crash_loop_limit: u32,
+    // client verbs
+    client_verb: String,
+    tenant: String,
+    id: Option<String>,
+    wait: bool,
+    crash_after_sub: Option<usize>,
+    crash_attempts_sub: u32,
 }
 
 const ALL_ARTIFACTS: [&str; 4] = ["table2", "table3", "table4", "fig7"];
@@ -127,7 +179,8 @@ const ALL_ARTIFACTS: [&str; 4] = ["table2", "table3", "table4", "fig7"];
 fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: campaign [serve|worker] [--samples N] [--seed S] [--paper-probes] [--threads T] \
+        "usage: campaign [serve|worker|service|submit|status|cancel|fetch|health|shutdown] \
+         [--samples N] [--seed S] [--paper-probes] [--threads T] \
          [--batch-lanes K] [--artifacts LIST] [--checkpoint PATH | --no-checkpoint] [--fresh] \
          [--flush-every K] [--deadline-s S] [--step-budget N] [--wall-budget-s S] \
          [--abort-after N]\n\
@@ -136,7 +189,12 @@ fn usage(message: &str) -> ! {
          [--speculate-after-s S]\n\
          worker: --connect ADDR [--name ID] [--reconnect-s S]\n\
          chaos:  [--chaos-seed S] [--loopback N] [--unit-samples K] (plus campaign flags; \
-         --chaos-seed is also accepted by every other mode)"
+         --chaos-seed is also accepted by every other mode)\n\
+         service: [--dir PATH] [--listen ADDR] [--port-file PATH] [--max-campaigns N] \
+         [--max-queue N] [--tenant-quota N] [--crash-loop-limit N] [--flush-every K]\n\
+         clients: --connect ADDR; submit [--tenant T] [--wait] [--crash-after N \
+         --crash-attempts K] <campaign flags>; status [--id ID]; \
+         cancel/fetch --id ID [--wait]"
     );
     std::process::exit(2)
 }
@@ -169,6 +227,17 @@ fn parse() -> Args {
         name: "worker".to_owned(),
         reconnect_s: 0.25,
         chaos_seed: None,
+        dir: PathBuf::from("results/service"),
+        max_campaigns: 2,
+        max_queue: 16,
+        tenant_quota: 8,
+        crash_loop_limit: 3,
+        client_verb: String::new(),
+        tenant: "default".to_owned(),
+        id: None,
+        wait: false,
+        crash_after_sub: None,
+        crash_attempts_sub: 0,
     };
     let mut it = std::env::args().skip(1).peekable();
     match it.peek().map(String::as_str) {
@@ -178,6 +247,15 @@ fn parse() -> Args {
         }
         Some("worker") => {
             args.mode = Mode::Worker;
+            it.next();
+        }
+        Some("service") => {
+            args.mode = Mode::Service;
+            it.next();
+        }
+        Some(verb @ ("submit" | "status" | "cancel" | "fetch" | "health" | "shutdown")) => {
+            args.mode = Mode::Client;
+            args.client_verb = verb.to_owned();
             it.next();
         }
         Some("chaos") => {
@@ -276,7 +354,7 @@ fn parse() -> Args {
                         .unwrap_or_else(|_| usage("--abort-after needs an integer")),
                 );
             }
-            "--listen" if args.mode == Mode::Serve => {
+            "--listen" if matches!(args.mode, Mode::Serve | Mode::Service) => {
                 args.listen = value(&mut it, "--listen");
             }
             "--loopback" if servish => {
@@ -318,11 +396,53 @@ fn parse() -> Args {
                         .unwrap_or_else(|_| usage("--chaos-seed needs an unsigned integer")),
                 );
             }
-            "--port-file" if args.mode == Mode::Serve => {
+            "--port-file" if matches!(args.mode, Mode::Serve | Mode::Service) => {
                 args.port_file = Some(PathBuf::from(value(&mut it, "--port-file")));
             }
-            "--connect" if args.mode == Mode::Worker => {
+            "--dir" if args.mode == Mode::Service => {
+                args.dir = PathBuf::from(value(&mut it, "--dir"));
+            }
+            "--max-campaigns" if args.mode == Mode::Service => {
+                args.max_campaigns = value(&mut it, "--max-campaigns")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-campaigns needs a positive integer"));
+            }
+            "--max-queue" if args.mode == Mode::Service => {
+                args.max_queue = value(&mut it, "--max-queue")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-queue needs a positive integer"));
+            }
+            "--tenant-quota" if args.mode == Mode::Service => {
+                args.tenant_quota = value(&mut it, "--tenant-quota")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--tenant-quota needs a positive integer"));
+            }
+            "--crash-loop-limit" if args.mode == Mode::Service => {
+                args.crash_loop_limit = value(&mut it, "--crash-loop-limit")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--crash-loop-limit needs a positive integer"));
+            }
+            "--connect" if matches!(args.mode, Mode::Worker | Mode::Client) => {
                 args.connect = Some(value(&mut it, "--connect"));
+            }
+            "--tenant" if args.mode == Mode::Client => {
+                args.tenant = value(&mut it, "--tenant");
+            }
+            "--id" if args.mode == Mode::Client => {
+                args.id = Some(value(&mut it, "--id"));
+            }
+            "--wait" if args.mode == Mode::Client => args.wait = true,
+            "--crash-after" if args.mode == Mode::Client => {
+                args.crash_after_sub = Some(
+                    value(&mut it, "--crash-after")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--crash-after needs an integer")),
+                );
+            }
+            "--crash-attempts" if args.mode == Mode::Client => {
+                args.crash_attempts_sub = value(&mut it, "--crash-attempts")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--crash-attempts needs an integer"));
             }
             "--name" if args.mode == Mode::Worker => {
                 args.name = value(&mut it, "--name");
@@ -346,6 +466,17 @@ fn parse() -> Args {
     }
     if args.mode == Mode::Chaos && args.checkpoint.is_none() {
         usage("chaos mode needs a checkpoint (the SIGKILL-resume leg depends on it)");
+    }
+    if args.mode == Mode::Client {
+        if args.connect.is_none() {
+            usage(&format!("'{}' needs --connect ADDR", args.client_verb));
+        }
+        if matches!(args.client_verb.as_str(), "cancel" | "fetch") && args.id.is_none() {
+            usage(&format!("'{}' needs --id ID", args.client_verb));
+        }
+    }
+    if args.mode == Mode::Service && args.max_campaigns == 0 {
+        usage("--max-campaigns must be positive");
     }
     args
 }
@@ -398,6 +529,171 @@ const FIG7_SERIES: [(&str, SaKind, ReadSequence); 3] = [
 
 fn fig7_name(series: &str, t: f64) -> String {
     format!("fig7/{series} t={t:.0e}")
+}
+
+const FIG7_CSV: &str = "fig7_delay_aging.csv";
+const FIG7_CSV_HEADER: &str =
+    "time_s,nssa_80r0r1_delay_ps,nssa_80r0_delay_ps,issa_80_delay_ps,partial";
+
+/// Everything one invocation's flags select: table artifacts, the full
+/// corner list (tables + fig7, chaos fault plans applied), and whether
+/// fig7 is in play. Shared verbatim by local/serve/chaos modes and the
+/// campaign service host, so a submitted configuration rebuilds the
+/// *identical* campaign — that agreement is what makes the service's
+/// result cache and the byte-identity soak sound.
+fn build_plan(args: &Args) -> (Vec<TableArtifact>, Vec<CampaignCorner>, bool) {
+    let mut tables: Vec<TableArtifact> = Vec::new();
+    let mut fig7 = false;
+    for artifact in &args.artifacts {
+        match artifact.as_str() {
+            "table2" => tables.push(TableArtifact {
+                csv: "table2.csv",
+                title: "Table II: workload impact (25 C / 1.0 V)",
+                rows: paper::table2()
+                    .into_iter()
+                    .map(|s| (corner_name("table2", &s), s))
+                    .collect(),
+            }),
+            "table3" => tables.push(TableArtifact {
+                csv: "table3.csv",
+                title: "Table III: supply-voltage impact (25 C)",
+                rows: paper::table3()
+                    .into_iter()
+                    .map(|s| (corner_name("table3", &s), s))
+                    .collect(),
+            }),
+            "table4" => tables.push(TableArtifact {
+                csv: "table4.csv",
+                title: "Table IV: temperature impact (1.0 V)",
+                rows: paper::table4()
+                    .into_iter()
+                    .map(|s| (corner_name("table4", &s), s))
+                    .collect(),
+            }),
+            "fig7" => fig7 = true,
+            _ => unreachable!("validated in parse()"),
+        }
+    }
+
+    let mut corners: Vec<CampaignCorner> = Vec::new();
+    for table in &tables {
+        for (name, s) in &table.rows {
+            corners.push(CampaignCorner {
+                name: name.clone(),
+                cfg: args.config(
+                    s.kind,
+                    Workload::new(s.activation, s.sequence),
+                    s.env,
+                    s.time,
+                ),
+            });
+        }
+    }
+    if fig7 {
+        let env = Environment::nominal().with_temp_c(125.0);
+        for &t in &FIG7_TIMES {
+            for (series, kind, seq) in FIG7_SERIES {
+                corners.push(CampaignCorner {
+                    name: fig7_name(series, t),
+                    cfg: args.config(kind, Workload::new(0.8, seq), env, t),
+                });
+            }
+        }
+    }
+    // Chaos solver-fault plans are part of the *configuration*: every
+    // participant (coordinator, workers, the chaos reference run) must
+    // derive the identical plan for each corner or the config
+    // fingerprints — and the recovered sample values — would disagree.
+    if let Some(seed) = args.chaos_seed {
+        for (index, corner) in corners.iter_mut().enumerate() {
+            corner.cfg.fault_plan = chaos::solver_plan(seed, index, corner.cfg.samples);
+        }
+    }
+    (tables, corners, fig7)
+}
+
+/// One table's CSV rows (completed corners only) plus the count of
+/// corners with no result yet.
+fn table_csv_rows(table: &TableArtifact, report: &CampaignReport) -> (Vec<String>, usize) {
+    let mut csv = Vec::new();
+    let mut missing = 0usize;
+    for (name, spec) in &table.rows {
+        match report.result(name) {
+            Some(r) => csv.push(csv_row(spec, "-", r)),
+            None => missing += 1,
+        }
+    }
+    (csv, missing)
+}
+
+/// Fig. 7 CSV rows — one per stress time, one delay column per series,
+/// trailing `partial` flag. The single row builder shared by the local
+/// pipeline and the service host, so their CSVs are byte-identical.
+fn fig7_csv_rows(report: &CampaignReport) -> Vec<String> {
+    FIG7_TIMES
+        .iter()
+        .map(|&t| {
+            let mut row = format!("{t}");
+            let mut complete = true;
+            for (series, _, _) in FIG7_SERIES {
+                match report.result(&fig7_name(series, t)) {
+                    Some(r) => {
+                        row.push_str(&format!(",{}", r.mean_delay * 1e12));
+                        complete &= !r.partial;
+                    }
+                    None => {
+                        row.push(',');
+                        complete = false;
+                    }
+                }
+            }
+            row.push_str(if complete { ",0" } else { ",1" });
+            row
+        })
+        .collect()
+}
+
+/// Build identification for `campaign.json` and the service `health`
+/// verb — enough to tell which binary produced an artifact.
+fn build_info() -> String {
+    format!(
+        "issa-bench {} ({})",
+        env!("CARGO_PKG_VERSION"),
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    )
+}
+
+/// Atomically publishes the bound address: write a sibling temp file,
+/// then rename over the target, so a polling launcher never reads a
+/// half-written address (same discipline as checkpoint saves).
+fn write_port_file(path: &Path, local: &std::net::SocketAddr) {
+    let tmp = path.with_extension("port.tmp");
+    let publish =
+        std::fs::write(&tmp, format!("{local}\n")).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = publish {
+        let _ = std::fs::remove_file(&tmp);
+        eprintln!("error: cannot write port file {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+/// Sweeps stale atomic-write temporaries (`*.ckpt.tmp`, `*.jrnl.tmp`)
+/// left behind by a SIGKILLed predecessor from the checkpoint
+/// directory, logging every removal. The service sweeps its own state
+/// directories inside [`run_service`].
+fn sweep_checkpoint_dir(checkpoint: Option<&PathBuf>) {
+    let Some(path) = checkpoint else { return };
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    for stale in sweep_stale_temps(&dir) {
+        println!("campaign: removed stale temp {}", stale.display());
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -516,10 +812,7 @@ fn serve_mode(args: &Args, corners: &[CampaignCorner]) -> DistReport {
         }
     );
     if let Some(path) = &args.port_file {
-        std::fs::write(path, format!("{local}\n")).unwrap_or_else(|e| {
-            eprintln!("error: cannot write port file {}: {e}", path.display());
-            std::process::exit(1)
-        });
+        write_port_file(path, &local);
     }
     let opts = serve_options(args, args.checkpoint.clone());
     let report = serve_campaign(listener, corners, &opts).unwrap_or_else(|e| {
@@ -536,6 +829,307 @@ fn serve_mode(args: &Args, corners: &[CampaignCorner]) -> DistReport {
         println!("serve: quarantined flaky worker '{name}'");
     }
     report
+}
+
+/// Overlays a submission's params object onto this service's base
+/// flags, strictly: only the campaign-shape keys are accepted, and an
+/// unknown key (or a wrong type) rejects the submission at admission
+/// instead of silently running something else. Scheduling knobs
+/// (`threads`, `batch_lanes`) are accepted but do not change results —
+/// and [`issa_dist::proto::campaign_fingerprint`] normalizes them away,
+/// so two submissions differing only there share one cache entry.
+fn args_from_params(base: &Args, params: &Json) -> Result<Args, String> {
+    let mut args = base.clone();
+    // Per-submission runs never inherit the service process's run-shape
+    // hooks; the service manages checkpoints and cancellation itself.
+    args.checkpoint = None;
+    args.fresh = false;
+    args.abort_after = None;
+    args.deadline_s = None;
+    args.chaos_seed = None;
+    let Json::Obj(members) = params else {
+        return Err("params must be a JSON object".to_owned());
+    };
+    for (key, v) in members {
+        match key.as_str() {
+            "samples" => {
+                args.samples = v
+                    .as_usize()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| "'samples' must be a positive integer".to_owned())?;
+            }
+            "seed" => {
+                args.seed = v
+                    .as_u64()
+                    .ok_or_else(|| "'seed' must be an unsigned integer".to_owned())?;
+            }
+            "paper_probes" => {
+                args.paper_probes = v
+                    .as_bool()
+                    .ok_or_else(|| "'paper_probes' must be a boolean".to_owned())?;
+            }
+            "threads" => {
+                args.threads = v
+                    .as_usize()
+                    .ok_or_else(|| "'threads' must be an unsigned integer".to_owned())?;
+            }
+            "batch_lanes" => {
+                args.batch_lanes = v
+                    .as_usize()
+                    .ok_or_else(|| "'batch_lanes' must be an unsigned integer".to_owned())?;
+            }
+            "artifacts" => {
+                let list = v
+                    .as_str()
+                    .ok_or_else(|| "'artifacts' must be a comma-separated string".to_owned())?;
+                let artifacts: Vec<String> = list
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                for a in &artifacts {
+                    if !ALL_ARTIFACTS.contains(&a.as_str()) {
+                        return Err(format!(
+                            "unknown artifact '{a}' (known: {})",
+                            ALL_ARTIFACTS.join(", ")
+                        ));
+                    }
+                }
+                if artifacts.is_empty() {
+                    return Err("'artifacts' selects nothing".to_owned());
+                }
+                args.artifacts = artifacts;
+            }
+            other => return Err(format!("unknown campaign parameter '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+/// The inverse of [`args_from_params`]: encodes this client's campaign
+/// flags as a submission params object. Always emits every key so the
+/// same flags always render the same params — and hence the same
+/// campaign fingerprint (cache key) on the service side.
+fn submit_params(args: &Args) -> Json {
+    Json::Obj(vec![
+        ("samples".to_owned(), Json::num_usize(args.samples)),
+        ("seed".to_owned(), Json::num_u64(args.seed)),
+        ("artifacts".to_owned(), Json::str(args.artifacts.join(","))),
+        ("paper_probes".to_owned(), Json::Bool(args.paper_probes)),
+        ("threads".to_owned(), Json::num_usize(args.threads)),
+        ("batch_lanes".to_owned(), Json::num_usize(args.batch_lanes)),
+    ])
+}
+
+/// The campaign service's host: params → corners at admission (and,
+/// deterministically, again at journal replay), artifact CSVs into
+/// `results/<id>/` at completion.
+struct BenchHost {
+    base: Args,
+}
+
+impl ServiceHost for BenchHost {
+    fn corners(&self, params: &Json) -> Result<Vec<CampaignCorner>, String> {
+        let args = args_from_params(&self.base, params)?;
+        let (_tables, corners, _fig7) = build_plan(&args);
+        if corners.is_empty() {
+            return Err("no artifacts selected".to_owned());
+        }
+        Ok(corners)
+    }
+
+    fn completed(&self, info: &SubmissionInfo, report: &CampaignReport) -> Vec<String> {
+        let args = match args_from_params(&self.base, &info.params) {
+            Ok(args) => args,
+            Err(e) => {
+                // Params were validated at admission and journal replay;
+                // reaching this means the journal was tampered with.
+                eprintln!("service host: params for {} no longer parse: {e}", info.id);
+                return Vec::new();
+            }
+        };
+        let (tables, _corners, fig7) = build_plan(&args);
+        let mut artifacts = Vec::new();
+        for table in &tables {
+            let (csv, _missing) = table_csv_rows(table, report);
+            if !csv.is_empty() {
+                write_csv_at(&info.results_dir, table.csv, CSV_HEADER, &csv);
+                artifacts.push(table.csv.to_owned());
+            }
+        }
+        if fig7 {
+            write_csv_at(
+                &info.results_dir,
+                FIG7_CSV,
+                FIG7_CSV_HEADER,
+                &fig7_csv_rows(report),
+            );
+            artifacts.push(FIG7_CSV.to_owned());
+        }
+        artifacts
+    }
+}
+
+/// `campaign service`: bind the control-plane listener, publish the
+/// port, and run the supervised campaign registry until drained
+/// (`shutdown` verb or SIGTERM/SIGINT). State lives under `--dir`; a
+/// SIGKILLed service replays its journal on the next start and resumes
+/// every in-flight campaign from its checkpoint.
+fn service_mode(args: &Args) -> ! {
+    let listener = TcpListener::bind(&args.listen).unwrap_or_else(|e| {
+        eprintln!("error: cannot listen on {}: {e}", args.listen);
+        std::process::exit(1)
+    });
+    let local = listener.local_addr().expect("listener address");
+    if let Some(path) = &args.port_file {
+        write_port_file(path, &local);
+    }
+    println!(
+        "service: listening on {local}, state dir {}, {} concurrent / {} queued campaigns",
+        args.dir.display(),
+        args.max_campaigns,
+        args.max_queue
+    );
+    let host = Arc::new(BenchHost { base: args.clone() });
+    let opts = ServiceOptions {
+        dir: args.dir.clone(),
+        max_concurrent: args.max_campaigns,
+        max_queue: args.max_queue,
+        tenant_quota: args.tenant_quota,
+        crash_loop_limit: args.crash_loop_limit,
+        flush_every: args.flush_every,
+        progress: true,
+        handle_signals: true,
+        build_info: build_info(),
+        ..ServiceOptions::default()
+    };
+    match run_service(listener, host, &opts) {
+        Ok(summary) => {
+            println!(
+                "service drained: {} completed, {} parked for the next start, \
+                 {} stale temps swept, {} torn journal bytes dropped",
+                summary.completed,
+                summary.parked,
+                summary.swept.len(),
+                summary.torn_bytes
+            );
+            std::process::exit(0)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1)
+        }
+    }
+}
+
+/// One control-plane round trip: connect, send one request line, read
+/// one response line, parse it.
+fn control_roundtrip(spec: &str, line: &str) -> Result<Json, String> {
+    let addr = spec
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .ok_or_else(|| format!("cannot resolve '{spec}'"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(250)))
+        .map_err(|e| e.to_string())?;
+    use std::io::Write as _;
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .map_err(|e| format!("send: {e}"))?;
+    let mut reader = LineReader::new(stream);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match reader.next_line().map_err(|e| format!("recv: {e}"))? {
+            NextLine::Line(bytes) => {
+                let text = String::from_utf8(bytes).map_err(|_| "non-UTF-8 response".to_owned())?;
+                return control::parse(&text).map_err(|e| format!("bad response: {e}"));
+            }
+            NextLine::Idle => {
+                if Instant::now() > deadline {
+                    return Err("timed out waiting for a response".to_owned());
+                }
+            }
+            NextLine::TooLong => return Err("response line exceeds the size cap".to_owned()),
+            NextLine::Eof => return Err("connection closed before a response".to_owned()),
+        }
+    }
+}
+
+/// `campaign submit|status|cancel|fetch|health|shutdown`: one verb, one
+/// JSON response line on stdout. `--wait` (submit/fetch) polls `fetch`
+/// until the submission is terminal — surviving service restarts in
+/// between — and exits 0 only for `completed`.
+fn client_mode(args: &Args) -> ! {
+    let spec = args.connect.as_deref().expect("validated in parse()");
+    let verb = args.client_verb.as_str();
+    let request = match verb {
+        "submit" => ControlRequest::Submit {
+            tenant: args.tenant.clone(),
+            params: submit_params(args),
+            crash_after: args.crash_after_sub,
+            crash_attempts: args.crash_attempts_sub,
+        },
+        "status" => ControlRequest::Status {
+            id: args.id.clone(),
+        },
+        "cancel" => ControlRequest::Cancel {
+            id: args.id.clone().expect("validated in parse()"),
+        },
+        "fetch" => ControlRequest::Fetch {
+            id: args.id.clone().expect("validated in parse()"),
+        },
+        "health" => ControlRequest::Health,
+        "shutdown" => ControlRequest::Shutdown,
+        _ => unreachable!("validated in parse()"),
+    };
+    let response = control_roundtrip(spec, &request.to_line()).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1)
+    });
+    println!("{}", response.render());
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        std::process::exit(1);
+    }
+    let exit_for = |fetched: &Json| -> ! {
+        let state = fetched.get("state").and_then(Json::as_str).unwrap_or("");
+        std::process::exit(i32::from(state != "completed"))
+    };
+    let done = |fetched: &Json| fetched.get("done").and_then(Json::as_bool) == Some(true);
+    let wait_id = match verb {
+        "submit" if args.wait => response.get("id").and_then(Json::as_str).map(str::to_owned),
+        "fetch" if done(&response) => exit_for(&response),
+        "fetch" if args.wait => args.id.clone(),
+        _ => None,
+    };
+    let Some(id) = wait_id else {
+        std::process::exit(0)
+    };
+    // Poll until terminal. Round-trip errors are retried (the service
+    // may be restarting under us — resumption is the whole point), but
+    // a long unbroken error streak means it is not coming back.
+    let fetch_line = ControlRequest::Fetch { id }.to_line();
+    let mut consecutive_errors = 0u32;
+    loop {
+        std::thread::sleep(Duration::from_millis(300));
+        match control_roundtrip(spec, &fetch_line) {
+            Ok(fetched) if done(&fetched) => {
+                println!("{}", fetched.render());
+                exit_for(&fetched);
+            }
+            Ok(_) => consecutive_errors = 0,
+            Err(e) => {
+                consecutive_errors += 1;
+                if consecutive_errors >= 200 {
+                    eprintln!("error: gave up waiting: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
 }
 
 /// One result's exact identity: every statistic and every per-sample
@@ -767,6 +1361,11 @@ fn chaos_mode(args: &Args, corners: &[CampaignCorner], tables: &[TableArtifact])
 
 fn main() {
     let args = parse();
+    match args.mode {
+        Mode::Service => service_mode(&args),
+        Mode::Client => client_mode(&args),
+        _ => {}
+    }
     if args.mode != Mode::Worker {
         if args.fresh {
             if let Some(path) = &args.checkpoint {
@@ -780,79 +1379,16 @@ fn main() {
                 }
             }
         }
+        // Debris from a predecessor killed mid-save can never be
+        // resumed from; clear it before this run writes its own temps.
+        sweep_checkpoint_dir(args.checkpoint.as_ref());
     }
 
     // Assemble the campaign: every selected artifact contributes named
     // corners, all driven through one durable engine invocation.
-    let mut tables: Vec<TableArtifact> = Vec::new();
-    let mut fig7 = false;
-    for artifact in &args.artifacts {
-        match artifact.as_str() {
-            "table2" => tables.push(TableArtifact {
-                csv: "table2.csv",
-                title: "Table II: workload impact (25 C / 1.0 V)",
-                rows: paper::table2()
-                    .into_iter()
-                    .map(|s| (corner_name("table2", &s), s))
-                    .collect(),
-            }),
-            "table3" => tables.push(TableArtifact {
-                csv: "table3.csv",
-                title: "Table III: supply-voltage impact (25 C)",
-                rows: paper::table3()
-                    .into_iter()
-                    .map(|s| (corner_name("table3", &s), s))
-                    .collect(),
-            }),
-            "table4" => tables.push(TableArtifact {
-                csv: "table4.csv",
-                title: "Table IV: temperature impact (1.0 V)",
-                rows: paper::table4()
-                    .into_iter()
-                    .map(|s| (corner_name("table4", &s), s))
-                    .collect(),
-            }),
-            "fig7" => fig7 = true,
-            _ => unreachable!("validated in parse()"),
-        }
-    }
-
-    let mut corners: Vec<CampaignCorner> = Vec::new();
-    for table in &tables {
-        for (name, s) in &table.rows {
-            corners.push(CampaignCorner {
-                name: name.clone(),
-                cfg: args.config(
-                    s.kind,
-                    Workload::new(s.activation, s.sequence),
-                    s.env,
-                    s.time,
-                ),
-            });
-        }
-    }
-    if fig7 {
-        let env = Environment::nominal().with_temp_c(125.0);
-        for &t in &FIG7_TIMES {
-            for (series, kind, seq) in FIG7_SERIES {
-                corners.push(CampaignCorner {
-                    name: fig7_name(series, t),
-                    cfg: args.config(kind, Workload::new(0.8, seq), env, t),
-                });
-            }
-        }
-    }
+    let (tables, corners, fig7) = build_plan(&args);
     if corners.is_empty() {
         usage("no artifacts selected");
-    }
-    // Chaos solver-fault plans are part of the *configuration*: every
-    // participant (coordinator, workers, the chaos reference run) must
-    // derive the identical plan for each corner or the config
-    // fingerprints — and the recovered sample values — would disagree.
-    if let Some(seed) = args.chaos_seed {
-        for (index, corner) in corners.iter_mut().enumerate() {
-            corner.cfg.fault_plan = chaos::solver_plan(seed, index, corner.cfg.samples);
-        }
     }
 
     if args.mode == Mode::Worker {
@@ -902,17 +1438,12 @@ fn main() {
     for table in &tables {
         println!("\n{}", table.title);
         print_table_header("-");
-        let mut csv = Vec::new();
-        let mut missing = 0usize;
         for (name, spec) in &table.rows {
-            match report.result(name) {
-                Some(r) => {
-                    print_table_row(spec, "-", r);
-                    csv.push(csv_row(spec, "-", r));
-                }
-                None => missing += 1,
+            if let Some(r) = report.result(name) {
+                print_table_row(spec, "-", r);
             }
         }
+        let (csv, missing) = table_csv_rows(table, &report);
         if csv.is_empty() {
             println!("(no completed corners; nothing written)");
         } else {
@@ -926,43 +1457,31 @@ fn main() {
     }
     if fig7 {
         println!("\nFig. 7: sensing delay vs stress time at 125 C (ps)");
-        let mut csv = Vec::new();
         for &t in &FIG7_TIMES {
             let delays: Vec<Option<&McResult>> = FIG7_SERIES
                 .iter()
                 .map(|(series, _, _)| report.result(&fig7_name(series, t)))
                 .collect();
             print!("{t:>12.0e}");
-            let mut row = format!("{t}");
-            let mut complete = true;
             for r in &delays {
                 match r {
-                    Some(r) => {
-                        print!("{:>14.2}", r.mean_delay * 1e12);
-                        row.push_str(&format!(",{}", r.mean_delay * 1e12));
-                        complete &= !r.partial;
-                    }
-                    None => {
-                        print!("{:>14}", "-");
-                        row.push(',');
-                        complete = false;
-                    }
+                    Some(r) => print!("{:>14.2}", r.mean_delay * 1e12),
+                    None => print!("{:>14}", "-"),
                 }
             }
             println!();
-            row.push_str(if complete { ",0" } else { ",1" });
-            csv.push(row);
         }
-        let path = write_csv(
-            "fig7_delay_aging.csv",
-            "time_s,nssa_80r0r1_delay_ps,nssa_80r0_delay_ps,issa_80_delay_ps,partial",
-            &csv,
-        );
+        let path = write_csv(FIG7_CSV, FIG7_CSV_HEADER, &fig7_csv_rows(&report));
         println!("wrote {}", path.display());
     }
 
     // Machine-readable campaign summary.
     let mut json = String::from("{\n");
+    json.push_str(&format!("  \"proto_version\": {PROTO_VERSION},\n"));
+    json.push_str(&format!(
+        "  \"build\": \"{}\",\n",
+        json_escape(&build_info())
+    ));
     json.push_str(&format!("  \"partial\": {},\n", report.partial));
     json.push_str(&format!(
         "  \"cancelled\": {},\n",

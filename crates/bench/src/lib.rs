@@ -269,7 +269,22 @@ pub fn nominal() -> Environment {
 ///
 /// Panics on I/O errors (experiment binaries have no recovery path).
 pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBuf {
-    let dir = std::path::Path::new("results");
+    write_csv_at(std::path::Path::new("results"), name, header, rows)
+}
+
+/// [`write_csv`] into an explicit directory (created on demand) — the
+/// campaign service writes each submission's artifacts into its own
+/// `results/<id>/` instead of the process-wide `results/`.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment binaries have no recovery path).
+pub fn write_csv_at(
+    dir: &std::path::Path,
+    name: &str,
+    header: &str,
+    rows: &[String],
+) -> std::path::PathBuf {
     std::fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join(name);
     let mut body = String::with_capacity(rows.len() * 64 + header.len() + 1);

@@ -76,6 +76,42 @@ mod signals {
     pub(super) fn install() {}
 }
 
+/// The process-wide cooperative interrupt flag behind
+/// [`CampaignOptions::handle_signals`], exposed so long-lived drivers —
+/// the distributed coordinator's `serve` loop, the campaign service —
+/// can share the SIGINT/SIGTERM drain discipline without owning a
+/// campaign run themselves.
+pub mod interrupt {
+    use super::{signals, INTERRUPTED};
+    use std::sync::atomic::Ordering;
+
+    /// Installs the SIGINT/SIGTERM handlers (idempotent, once per
+    /// process).
+    pub fn install() {
+        signals::install();
+    }
+
+    /// Clears a previously latched interrupt. Call before entering a
+    /// fresh serve loop so a drain handled by the previous run is not
+    /// inherited by the next one.
+    pub fn reset() {
+        INTERRUPTED.store(false, Ordering::SeqCst);
+    }
+
+    /// `true` once SIGINT/SIGTERM arrived (or [`trigger`] ran).
+    #[must_use]
+    pub fn requested() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+
+    /// Latches the flag programmatically — the in-process analogue of a
+    /// signal, used by tests and by the service's `shutdown` verb so
+    /// both paths drain through identical code.
+    pub fn trigger() {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+}
+
 /// One named corner of a campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignCorner {
@@ -117,6 +153,15 @@ pub struct CampaignOptions {
     /// just stops writing — and says so in the report) instead of
     /// hammering a dead disk or aborting a multi-hour run.
     pub max_save_failures: u32,
+    /// External cancellation: when set, the engine drives *this* token
+    /// instead of a private one, so a supervisor (the campaign service)
+    /// can cancel the run from outside. Deadlines, signals, and the
+    /// `abort_after` hook all fire the same token.
+    pub cancel: Option<CancelToken>,
+    /// Keep the checkpoint file after a fully complete campaign instead
+    /// of deleting it. The campaign service promotes the surviving file
+    /// into its content-addressed result cache.
+    pub keep_checkpoint: bool,
 }
 
 impl Default for CampaignOptions {
@@ -130,6 +175,8 @@ impl Default for CampaignOptions {
             progress: false,
             save_policy: SavePolicy::standard(),
             max_save_failures: 2,
+            cancel: None,
+            keep_checkpoint: false,
         }
     }
 }
@@ -441,7 +488,7 @@ pub fn run_campaign(
         INTERRUPTED.store(false, Ordering::SeqCst);
         signals::install();
     }
-    let token = CancelToken::new();
+    let token = opts.cancel.clone().unwrap_or_default();
     let deadline = opts.deadline.map(|d| Instant::now() + d);
 
     // The watchdog turns asynchronous conditions (deadline, signal) into
@@ -575,8 +622,9 @@ pub fn run_campaign(
     };
 
     // A fully complete campaign no longer needs its checkpoint; removing
-    // it makes the next invocation start (correctly) from scratch.
-    if !partial {
+    // it makes the next invocation start (correctly) from scratch. A
+    // supervisor that wants the final snapshot (to cache it) opts out.
+    if !partial && !opts.keep_checkpoint {
         if let Some(path) = &opts.checkpoint {
             let _ = std::fs::remove_file(path);
         }
@@ -700,6 +748,44 @@ mod tests {
         .unwrap_err();
         std::fs::remove_file(&path).unwrap();
         assert!(matches!(err, CampaignError::FingerprintMismatch { .. }));
+    }
+
+    #[test]
+    fn external_token_cancels_and_keep_checkpoint_survives_completion() {
+        let corner = smoke_corner("external", 4);
+        let path = temp_ckpt("external");
+
+        // A supervisor-owned token cancels the run from outside.
+        let token = CancelToken::new();
+        token.cancel(CancelCause::Interrupt);
+        let report = run_campaign(
+            std::slice::from_ref(&corner),
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                cancel: Some(token),
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.partial);
+        assert_eq!(report.cancelled, Some(CancelCause::Interrupt));
+
+        // keep_checkpoint leaves the final (complete) snapshot behind.
+        let done = run_campaign(
+            std::slice::from_ref(&corner),
+            &CampaignOptions {
+                checkpoint: Some(path.clone()),
+                flush_every: 1,
+                keep_checkpoint: true,
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!done.partial);
+        assert!(path.exists(), "keep_checkpoint must not delete the file");
+        let kept = crate::checkpoint::Checkpoint::load(&path).unwrap();
+        assert_eq!(kept.records(), 4 + corner.cfg.delay_samples.min(4));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -37,7 +37,7 @@
 use crate::montecarlo::{FailureKind, McConfig, McPhase, McResume, SampleFailure};
 use std::fmt;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -704,6 +704,33 @@ pub fn config_fingerprint(name: &str, cfg: &McConfig) -> u64 {
     h
 }
 
+/// Removes stale atomic-write temporaries (`*.ckpt.tmp`, `*.jrnl.tmp`)
+/// stranded in `dir` by a crash that landed between temp-write and
+/// rename. Call once at startup, *before* any writer targets the
+/// directory — a sweep racing a live [`Checkpoint::save`] could delete
+/// its in-flight temp and burn a retry. Missing or unreadable
+/// directories sweep nothing. Returns the paths removed, sorted, so
+/// callers can log exactly what was reclaimed.
+#[must_use]
+pub fn sweep_stale_temps(dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut removed = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let stale = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".ckpt.tmp") || n.ends_with(".jrnl.tmp"));
+        if stale && path.is_file() && std::fs::remove_file(&path).is_ok() {
+            removed.push(path);
+        }
+    }
+    removed.sort();
+    removed
+}
+
 /// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
 #[must_use]
 pub fn crc32(bytes: &[u8]) -> u32 {
@@ -909,5 +936,32 @@ mod tests {
         let loaded = Checkpoint::load(&path).unwrap();
         std::fs::remove_file(&path).unwrap();
         assert_eq!(loaded, b);
+    }
+
+    #[test]
+    fn sweep_removes_only_stale_temps() {
+        let dir = std::env::temp_dir().join(format!("issa-sweep-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stale_ckpt = dir.join("campaign.ckpt.tmp");
+        let stale_jrnl = dir.join("service.jrnl.tmp");
+        let keep_ckpt = dir.join("campaign.ckpt");
+        let keep_other = dir.join("notes.tmp.txt");
+        for p in [&stale_ckpt, &stale_jrnl, &keep_ckpt, &keep_other] {
+            std::fs::write(p, b"x").unwrap();
+        }
+        let mut removed = sweep_stale_temps(&dir);
+        removed.sort();
+        assert_eq!(removed, {
+            let mut want = vec![stale_ckpt.clone(), stale_jrnl.clone()];
+            want.sort();
+            want
+        });
+        assert!(!stale_ckpt.exists() && !stale_jrnl.exists());
+        assert!(keep_ckpt.exists() && keep_other.exists());
+        assert!(
+            sweep_stale_temps(&dir).is_empty(),
+            "second sweep is a no-op"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,347 @@
+//! Content-addressed result cache: completed campaign checkpoints keyed
+//! by the campaign fingerprint ([`crate::proto::campaign_fingerprint`]).
+//!
+//! A cache entry is a plain `ISSA-CKPT` file holding *every* record of a
+//! finished campaign. Serving a hit means staging a copy of that file as
+//! the new submission's checkpoint and letting
+//! [`issa_core::campaign::run_campaign`] resume it — zero samples left
+//! to compute, and the merge path is the same code an interrupted run
+//! uses, so a cached result is bit-identical to a recomputed one by
+//! construction.
+//!
+//! Trust is re-earned on every read: [`ResultCache::lookup`] re-runs the
+//! full checkpoint validation (CRC, format), re-derives each corner's
+//! config fingerprint, and re-counts records against the submitted
+//! configuration. Anything wrong — a flipped bit, a fingerprint
+//! collision, a truncated entry — quarantines the file (renamed aside,
+//! never deleted: it is evidence) and reports a miss, so the campaign is
+//! transparently recomputed and the bad entry replaced.
+
+use issa_core::campaign::CampaignCorner;
+use issa_core::checkpoint::{config_fingerprint, Checkpoint, CheckpointError, CornerCheckpoint};
+use issa_core::montecarlo::{McConfig, McPhase};
+use std::path::{Path, PathBuf};
+
+/// What [`ResultCache::lookup`] found under a fingerprint.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// A verified, complete entry exists; [`ResultCache::stage`] it.
+    Hit,
+    /// No entry under this fingerprint.
+    Miss,
+    /// An entry existed but failed verification and was renamed aside.
+    /// Semantically a miss — the caller recomputes — but the incident is
+    /// surfaced so the service can count it in health output.
+    Quarantined {
+        /// Where the corrupt entry now lives.
+        renamed_to: PathBuf,
+        /// What the verification found.
+        reason: String,
+    },
+}
+
+/// A directory of completed campaign checkpoints keyed by fingerprint.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation failure.
+    pub fn open(dir: &Path) -> std::io::Result<ResultCache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The canonical entry path for a fingerprint.
+    #[must_use]
+    pub fn entry_path(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{fingerprint:016x}.ckpt"))
+    }
+
+    /// Quarantined siblings of a fingerprint's entry (health output).
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<PathBuf> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut found: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.contains(".ckpt.quarantined-"))
+            })
+            .collect();
+        found.sort();
+        found
+    }
+
+    /// Verifies the entry under `fingerprint` against the submitted
+    /// corners. Verification failures quarantine the entry (rename to
+    /// `<fp>.ckpt.quarantined-<k>`) rather than serving or deleting it.
+    #[must_use]
+    pub fn lookup(&self, fingerprint: u64, corners: &[CampaignCorner]) -> CacheLookup {
+        let path = self.entry_path(fingerprint);
+        if !path.exists() {
+            return CacheLookup::Miss;
+        }
+        let reason = match Checkpoint::load(&path) {
+            Err(e) => e.to_string(),
+            Ok(ckpt) => match verify_entry(&ckpt, corners) {
+                None => return CacheLookup::Hit,
+                Some(reason) => reason,
+            },
+        };
+        let renamed_to = self.quarantine_target(fingerprint);
+        match std::fs::rename(&path, &renamed_to) {
+            Ok(()) => CacheLookup::Quarantined { renamed_to, reason },
+            // Rename failed (e.g. read-only cache): still refuse to
+            // serve the entry; the recompute will overwrite it.
+            Err(e) => CacheLookup::Quarantined {
+                renamed_to: path,
+                reason: format!("{reason}; quarantine rename failed: {e}"),
+            },
+        }
+    }
+
+    /// Copies the entry to `dest` so a submission can resume from it.
+    ///
+    /// # Errors
+    ///
+    /// Any copy failure.
+    pub fn stage(&self, fingerprint: u64, dest: &Path) -> std::io::Result<()> {
+        std::fs::copy(self.entry_path(fingerprint), dest).map(|_| ())
+    }
+
+    /// Installs a completed campaign's checkpoint file as the cache
+    /// entry for `fingerprint`. The file is re-parsed and re-saved (via
+    /// the atomic temp+rename path) rather than copied, so only a
+    /// currently-valid checkpoint can ever become an entry.
+    ///
+    /// # Errors
+    ///
+    /// Validation or write failure; no entry is published on error.
+    pub fn install(&self, fingerprint: u64, completed: &Path) -> Result<(), CheckpointError> {
+        let ckpt = Checkpoint::load(completed)?;
+        ckpt.save(&self.entry_path(fingerprint))
+    }
+
+    fn quarantine_target(&self, fingerprint: u64) -> PathBuf {
+        for k in 0.. {
+            let candidate = self
+                .dir
+                .join(format!("{fingerprint:016x}.ckpt.quarantined-{k}"));
+            if !candidate.exists() {
+                return candidate;
+            }
+        }
+        unreachable!("unbounded quarantine counter")
+    }
+}
+
+/// Why a loaded entry cannot serve `corners`, or `None` if it can.
+fn verify_entry(ckpt: &Checkpoint, corners: &[CampaignCorner]) -> Option<String> {
+    for corner in corners {
+        let Some(cc) = ckpt.corner(&corner.name) else {
+            return Some(format!("entry is missing corner {:?}", corner.name));
+        };
+        let expected = config_fingerprint(&corner.name, &corner.cfg);
+        if cc.fingerprint != expected {
+            return Some(format!(
+                "corner {:?} fingerprint {:016x} does not match submitted config {expected:016x}",
+                corner.name, cc.fingerprint
+            ));
+        }
+        if let Some(gap) = incomplete_reason(cc, &corner.cfg) {
+            return Some(format!("corner {:?} is incomplete: {gap}", corner.name));
+        }
+    }
+    None
+}
+
+/// A cache entry must account for every sample of every phase — either a
+/// value or a quarantined failure. Anything short means a *partial*
+/// checkpoint was installed, which the service never does; refuse it.
+fn incomplete_reason(cc: &CornerCheckpoint, cfg: &McConfig) -> Option<String> {
+    let offset_failures = cc
+        .resume
+        .failures
+        .iter()
+        .filter(|f| f.phase == McPhase::Offset)
+        .count();
+    let delay_failures = cc.resume.failures.len() - offset_failures;
+    let offsets = cc.resume.offsets.len() + offset_failures;
+    if offsets < cfg.samples {
+        return Some(format!("{offsets}/{} offset samples", cfg.samples));
+    }
+    let want_delays = cfg.delay_samples.min(cfg.samples);
+    let delays = cc.resume.delays.len() + delay_failures;
+    if delays < want_delays {
+        return Some(format!("{delays}/{want_delays} delay samples"));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use issa_core::checkpoint::crc32;
+    use issa_core::montecarlo::McResume;
+    use issa_core::netlist::SaKind;
+    use issa_core::workload::{ReadSequence, Workload};
+    use issa_ptm45::Environment;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("issa-cache-test-{}-{tag}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn corner(samples: usize) -> CampaignCorner {
+        CampaignCorner {
+            name: "cache/test corner".into(),
+            cfg: McConfig::smoke(
+                SaKind::Nssa,
+                Workload::new(0.8, ReadSequence::AllZeros),
+                Environment::nominal(),
+                0.0,
+                samples,
+            ),
+        }
+    }
+
+    /// A synthetic *complete* checkpoint for `corner` (values are fake;
+    /// the cache verifies structure, not physics).
+    fn complete_ckpt(c: &CampaignCorner) -> Checkpoint {
+        let samples = c.cfg.samples;
+        let delays = c.cfg.delay_samples.min(samples);
+        Checkpoint {
+            corners: vec![CornerCheckpoint {
+                name: c.name.clone(),
+                fingerprint: config_fingerprint(&c.name, &c.cfg),
+                resume: McResume {
+                    offsets: (0..samples).map(|i| (i, i as f64 * 1e-4)).collect(),
+                    delays: (0..delays).map(|i| (i, i as f64 * 1e-12)).collect(),
+                    failures: Vec::new(),
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn miss_then_install_then_hit_and_stage() {
+        let dir = temp_dir("hit");
+        let cache = ResultCache::open(&dir).unwrap();
+        let c = corner(4);
+        let corners = [c.clone()];
+        let fp = 0x1234_5678_9abc_def0;
+        assert_eq!(cache.lookup(fp, &corners), CacheLookup::Miss);
+
+        let done = dir.join("campaign-done.ckpt");
+        complete_ckpt(&c).save(&done).unwrap();
+        cache.install(fp, &done).unwrap();
+        assert_eq!(cache.lookup(fp, &corners), CacheLookup::Hit);
+
+        let staged = dir.join("staged.ckpt");
+        cache.stage(fp, &staged).unwrap();
+        assert_eq!(
+            Checkpoint::load(&staged).unwrap(),
+            Checkpoint::load(&cache.entry_path(fp)).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_not_served() {
+        let dir = temp_dir("corrupt");
+        let cache = ResultCache::open(&dir).unwrap();
+        let c = corner(4);
+        let corners = [c.clone()];
+        let fp = 1;
+        complete_ckpt(&c).save(&cache.entry_path(fp)).unwrap();
+
+        // Flip one bit mid-file.
+        let mut bytes = std::fs::read(cache.entry_path(fp)).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(cache.entry_path(fp), &bytes).unwrap();
+
+        match cache.lookup(fp, &corners) {
+            CacheLookup::Quarantined { renamed_to, reason } => {
+                assert!(renamed_to.exists(), "quarantined file kept as evidence");
+                assert!(!cache.entry_path(fp).exists(), "entry slot is now empty");
+                assert!(reason.contains("CRC"), "reason was {reason:?}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert_eq!(cache.quarantined().len(), 1);
+        // The slot now behaves as a miss: recompute + reinstall works.
+        assert_eq!(cache.lookup(fp, &corners), CacheLookup::Miss);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_fingerprint_and_incomplete_entries_are_refused() {
+        let dir = temp_dir("verify");
+        let cache = ResultCache::open(&dir).unwrap();
+        let c = corner(4);
+        let fp = 2;
+
+        // Entry built for a *different* config (one more sample) under
+        // the same campaign fingerprint — a collision or a stale write.
+        let other = corner(5);
+        complete_ckpt(&other).save(&cache.entry_path(fp)).unwrap();
+        // Same name, different cfg → per-corner fingerprint mismatch.
+        match cache.lookup(fp, std::slice::from_ref(&c)) {
+            CacheLookup::Quarantined { reason, .. } => {
+                assert!(reason.contains("fingerprint"), "reason was {reason:?}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+
+        // Incomplete entry: valid CRC, right fingerprint, missing records.
+        let mut partial = complete_ckpt(&c);
+        partial.corners[0].resume.offsets.pop();
+        partial.save(&cache.entry_path(fp)).unwrap();
+        match cache.lookup(fp, std::slice::from_ref(&c)) {
+            CacheLookup::Quarantined { reason, .. } => {
+                assert!(reason.contains("incomplete"), "reason was {reason:?}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert_eq!(cache.quarantined().len(), 2, "distinct quarantine names");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn install_refuses_invalid_source() {
+        let dir = temp_dir("install");
+        let cache = ResultCache::open(&dir).unwrap();
+        let bad = dir.join("bad.ckpt");
+        let text = "ISSA-CKPT 1\nend\n";
+        // Valid CRC but malformed body (end without corner).
+        std::fs::write(&bad, format!("{text}crc {:08x}\n", crc32(text.as_bytes()))).unwrap();
+        assert!(cache.install(3, &bad).is_err());
+        assert!(!cache.entry_path(3).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

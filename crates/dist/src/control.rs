@@ -1,0 +1,817 @@
+//! The service control plane: line-oriented JSON over TCP.
+//!
+//! One request per line, one response per line — `submit`, `status`,
+//! `cancel`, `fetch`, `health`, `shutdown`. The codec is hand-rolled
+//! (the workspace is offline and deliberately dependency-free) and
+//! hardened the same way the binary [`frame`](crate::frame) layer is:
+//!
+//! - **Oversize**: lines longer than [`MAX_LINE_LEN`] are rejected
+//!   before parsing — the reader discards the flood and reports
+//!   [`NextLine::TooLong`] instead of buffering without bound.
+//! - **Truncation**: JSON objects must close; every proper prefix of an
+//!   encoded request fails to parse (no partial request ever acts).
+//! - **Garbage**: arbitrary bytes, bit-flipped requests, non-UTF-8, and
+//!   unknown verbs all surface as `Err(reason)` — the parser never
+//!   panics and never guesses.
+//! - **Losslessness**: numbers are kept as their raw source text
+//!   ([`Json::Num`]), so 64-bit seeds round-trip exactly instead of
+//!   being squeezed through an `f64` and silently rounded above 2^53.
+//!
+//! The fuzz suite (`crates/dist/tests/control_robustness.rs`) drives
+//! all four properties, mirroring `frame_robustness.rs`.
+
+use std::fmt::Write as _;
+use std::io::Read;
+
+/// Hard cap on one control-plane line (request or response), analogous
+/// to [`crate::frame::MAX_FRAME_LEN`] for the binary protocol: large
+/// enough for any real request, small enough that a garbage flood
+/// cannot balloon the service's memory.
+pub const MAX_LINE_LEN: usize = 1 << 20;
+
+/// Maximum nesting depth accepted by the JSON parser — deep enough for
+/// any control message, shallow enough that `[[[[...]]]]` bombs cannot
+/// overflow the stack.
+const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value. Object key order is preserved (rendering is
+/// deterministic) and numbers keep their raw text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its validated source text (e.g. `"18446744073709551615"`).
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An unsigned integer value.
+    #[must_use]
+    pub fn num_u64(n: u64) -> Json {
+        Json::Num(n.to_string())
+    }
+
+    /// An unsigned size value.
+    #[must_use]
+    pub fn num_usize(n: usize) -> Json {
+        Json::Num(n.to_string())
+    }
+
+    /// Member lookup on an object (first match; `None` otherwise).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integer in range.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `usize`, if this is a non-negative integer in range.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` (lossy for giant integers), if numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON (no whitespace). Rendering then
+    /// re-parsing yields a structurally identical value.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(raw) => out.push_str(raw),
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses exactly one JSON value from `input` (surrounding ASCII
+/// whitespace tolerated, trailing garbage rejected).
+///
+/// # Errors
+///
+/// A human-readable reason on any syntax violation: truncation, bad
+/// escapes, malformed numbers, nesting beyond [`MAX_DEPTH`], trailing
+/// bytes. The parser never panics on any input.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH}"));
+    }
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b'"') {
+                    return Err(format!("expected object key at offset {pos}"));
+                }
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                skip_ws(bytes, pos);
+                let value = parse_value(bytes, pos, depth + 1)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&other) => Err(format!("unexpected byte 0x{other:02x} at offset {pos}")),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("malformed keyword at offset {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // Integer part: 0, or a nonzero digit followed by digits.
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(format!("malformed number at offset {start}")),
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err(format!("malformed number at offset {start}"));
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err(format!("malformed number at offset {start}"));
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    let raw = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| format!("non-UTF-8 number at offset {start}"))?;
+    Ok(Json::Num(raw.to_owned()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    let start = *pos;
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(format!("unterminated string at offset {start}")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let unit = parse_hex4(bytes, *pos + 1)
+                            .ok_or_else(|| format!("malformed \\u escape at offset {pos}"))?;
+                        *pos += 4;
+                        let scalar = if (0xD800..0xDC00).contains(&unit) {
+                            // High surrogate: require a paired \uXXXX low
+                            // surrogate — anything else is rejected.
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return Err(format!("lone high surrogate at offset {pos}"));
+                            }
+                            let low = parse_hex4(bytes, *pos + 3)
+                                .ok_or_else(|| format!("malformed \\u escape at offset {pos}"))?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(format!("invalid low surrogate at offset {pos}"));
+                            }
+                            *pos += 6;
+                            0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                        } else if (0xDC00..0xE000).contains(&unit) {
+                            return Err(format!("lone low surrogate at offset {pos}"));
+                        } else {
+                            unit
+                        };
+                        let c = char::from_u32(scalar)
+                            .ok_or_else(|| format!("invalid \\u scalar at offset {pos}"))?;
+                        out.push(c);
+                    }
+                    _ => return Err(format!("invalid escape at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => {
+                return Err(format!(
+                    "raw control byte 0x{b:02x} in string at offset {pos}"
+                ));
+            }
+            Some(_) => {
+                // One UTF-8 scalar (the input is a &str, so boundaries
+                // are valid by construction).
+                let rest = &bytes[*pos..];
+                let s = std::str::from_utf8(rest)
+                    .map_err(|_| format!("non-UTF-8 string at offset {pos}"))?;
+                let Some(c) = s.chars().next() else {
+                    return Err(format!("unterminated string at offset {start}"));
+                };
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Option<u32> {
+    let chunk = bytes.get(at..at + 4)?;
+    let s = std::str::from_utf8(chunk).ok()?;
+    u32::from_str_radix(s, 16).ok()
+}
+
+/// A decoded control-plane request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlRequest {
+    /// Submit a campaign: opaque host parameters plus supervision test
+    /// hooks (the hooks deliberately do NOT participate in the result
+    /// fingerprint — they change scheduling, not physics).
+    Submit {
+        /// Quota accounting key.
+        tenant: String,
+        /// Host-interpreted campaign parameters (must be an object).
+        params: Json,
+        /// Test hook: panic the runner after this many fresh samples…
+        crash_after: Option<usize>,
+        /// …on the first this-many attempts (0 = never crash).
+        crash_attempts: u32,
+    },
+    /// Report one submission (by id) or all of them.
+    Status {
+        /// Submission id; `None` lists everything.
+        id: Option<String>,
+    },
+    /// Cancel a queued or running submission.
+    Cancel {
+        /// Submission id.
+        id: String,
+    },
+    /// Fetch a submission's terminal state and artifact list.
+    Fetch {
+        /// Submission id.
+        id: String,
+    },
+    /// Service liveness, versions, quotas, quarantine lists.
+    Health,
+    /// Drain and stop the service (admission closes, running campaigns
+    /// checkpoint and park, the journal records the clean shutdown).
+    Shutdown,
+}
+
+impl ControlRequest {
+    /// Decodes one request line.
+    ///
+    /// # Errors
+    ///
+    /// Oversize lines, malformed JSON, non-object payloads, missing or
+    /// mistyped fields, and unknown verbs are all rejected with a
+    /// reason; decoding never panics.
+    pub fn from_line(line: &str) -> Result<ControlRequest, String> {
+        if line.len() > MAX_LINE_LEN {
+            return Err(format!(
+                "request line of {} bytes exceeds the {MAX_LINE_LEN}-byte cap",
+                line.len()
+            ));
+        }
+        let value = parse(line)?;
+        let Json::Obj(_) = &value else {
+            return Err("request must be a JSON object".to_owned());
+        };
+        let verb = value
+            .get("verb")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing string field 'verb'".to_owned())?;
+        let id = |required: bool| -> Result<Option<String>, String> {
+            match value.get("id") {
+                Some(Json::Str(s)) if !s.is_empty() => Ok(Some(s.clone())),
+                Some(_) => Err("field 'id' must be a non-empty string".to_owned()),
+                None if required => Err("missing field 'id'".to_owned()),
+                None => Ok(None),
+            }
+        };
+        match verb {
+            "submit" => {
+                let tenant = match value.get("tenant") {
+                    Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+                    Some(_) | None => {
+                        return Err("submit needs a non-empty string 'tenant'".to_owned())
+                    }
+                };
+                let params = match value.get("params") {
+                    Some(p @ Json::Obj(_)) => p.clone(),
+                    Some(_) => return Err("field 'params' must be an object".to_owned()),
+                    None => Json::Obj(Vec::new()),
+                };
+                let crash_after = match value.get("crash_after") {
+                    Some(v) => Some(
+                        v.as_usize()
+                            .ok_or_else(|| "field 'crash_after' must be an integer".to_owned())?,
+                    ),
+                    None => None,
+                };
+                let crash_attempts =
+                    match value.get("crash_attempts") {
+                        Some(v) => u32::try_from(v.as_u64().ok_or_else(|| {
+                            "field 'crash_attempts' must be an integer".to_owned()
+                        })?)
+                        .map_err(|_| "field 'crash_attempts' out of range".to_owned())?,
+                        None => 0,
+                    };
+                Ok(ControlRequest::Submit {
+                    tenant,
+                    params,
+                    crash_after,
+                    crash_attempts,
+                })
+            }
+            "status" => Ok(ControlRequest::Status { id: id(false)? }),
+            "cancel" => Ok(ControlRequest::Cancel {
+                id: id(true)?.unwrap_or_default(),
+            }),
+            "fetch" => Ok(ControlRequest::Fetch {
+                id: id(true)?.unwrap_or_default(),
+            }),
+            "health" => Ok(ControlRequest::Health),
+            "shutdown" => Ok(ControlRequest::Shutdown),
+            other => Err(format!("unknown verb '{other}'")),
+        }
+    }
+
+    /// Encodes the request as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let obj = match self {
+            ControlRequest::Submit {
+                tenant,
+                params,
+                crash_after,
+                crash_attempts,
+            } => {
+                let mut members = vec![
+                    ("verb".to_owned(), Json::str("submit")),
+                    ("tenant".to_owned(), Json::str(tenant.clone())),
+                    ("params".to_owned(), params.clone()),
+                ];
+                if let Some(n) = crash_after {
+                    members.push(("crash_after".to_owned(), Json::num_usize(*n)));
+                }
+                if *crash_attempts > 0 {
+                    members.push((
+                        "crash_attempts".to_owned(),
+                        Json::num_u64(u64::from(*crash_attempts)),
+                    ));
+                }
+                Json::Obj(members)
+            }
+            ControlRequest::Status { id } => {
+                let mut members = vec![("verb".to_owned(), Json::str("status"))];
+                if let Some(id) = id {
+                    members.push(("id".to_owned(), Json::str(id.clone())));
+                }
+                Json::Obj(members)
+            }
+            ControlRequest::Cancel { id } => Json::Obj(vec![
+                ("verb".to_owned(), Json::str("cancel")),
+                ("id".to_owned(), Json::str(id.clone())),
+            ]),
+            ControlRequest::Fetch { id } => Json::Obj(vec![
+                ("verb".to_owned(), Json::str("fetch")),
+                ("id".to_owned(), Json::str(id.clone())),
+            ]),
+            ControlRequest::Health => Json::Obj(vec![("verb".to_owned(), Json::str("health"))]),
+            ControlRequest::Shutdown => Json::Obj(vec![("verb".to_owned(), Json::str("shutdown"))]),
+        };
+        obj.render()
+    }
+}
+
+/// An `{"ok":true,...}` response line.
+#[must_use]
+pub fn ok_response(fields: Vec<(String, Json)>) -> String {
+    let mut members = vec![("ok".to_owned(), Json::Bool(true))];
+    members.extend(fields);
+    Json::Obj(members).render()
+}
+
+/// An `{"ok":false,"reason":...}` response line; `rejected` marks
+/// admission-control refusals (quota, queue depth, draining) as opposed
+/// to malformed requests.
+#[must_use]
+pub fn error_response(reason: &str, rejected: bool) -> String {
+    let mut members = vec![("ok".to_owned(), Json::Bool(false))];
+    if rejected {
+        members.push(("rejected".to_owned(), Json::Bool(true)));
+    }
+    members.push(("reason".to_owned(), Json::str(reason)));
+    Json::Obj(members).render()
+}
+
+/// What [`LineReader::next_line`] produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum NextLine {
+    /// One complete line (without its `\n`; a trailing `\r` is trimmed).
+    Line(Vec<u8>),
+    /// The line exceeded [`MAX_LINE_LEN`]; the excess was discarded.
+    /// Callers should reject and close the connection.
+    TooLong,
+    /// No complete line yet (the read timed out / would block); poll
+    /// again — buffered partial data is retained.
+    Idle,
+    /// The peer closed the stream.
+    Eof,
+}
+
+/// Incremental, bounded line reader over any [`Read`] — typically a
+/// `TcpStream` with a read timeout, so connection handlers can poll a
+/// shutdown flag between reads without losing partial lines.
+#[derive(Debug)]
+pub struct LineReader<R: Read> {
+    inner: R,
+    acc: Vec<u8>,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> Self {
+        LineReader {
+            inner,
+            acc: Vec::new(),
+        }
+    }
+
+    /// Returns the next complete line, [`NextLine::Idle`] on a read
+    /// timeout, [`NextLine::TooLong`] when the cap is blown, or
+    /// [`NextLine::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than the timeout family
+    /// (`WouldBlock` / `TimedOut` / `Interrupted`, which map to `Idle`).
+    pub fn next_line(&mut self) -> std::io::Result<NextLine> {
+        loop {
+            if let Some(at) = self.acc.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.acc.drain(..=at).collect();
+                line.pop(); // the \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(NextLine::Line(line));
+            }
+            if self.acc.len() > MAX_LINE_LEN {
+                self.acc.clear();
+                return Ok(NextLine::TooLong);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => return Ok(NextLine::Eof),
+                Ok(n) => self.acc.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    return Ok(NextLine::Idle)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn values_round_trip_through_render_and_parse() {
+        let value = Json::Obj(vec![
+            ("verb".to_owned(), Json::str("submit")),
+            ("seed".to_owned(), Json::Num(u64::MAX.to_string())),
+            ("pi".to_owned(), Json::Num("3.141592653589793".to_owned())),
+            ("neg".to_owned(), Json::Num("-1e-9".to_owned())),
+            (
+                "weird \"key\"\n".to_owned(),
+                Json::Arr(vec![
+                    Json::Null,
+                    Json::Bool(true),
+                    Json::str("tab\there μV \u{1}"),
+                ]),
+            ),
+            ("empty".to_owned(), Json::Obj(Vec::new())),
+        ]);
+        let rendered = value.render();
+        assert_eq!(parse(&rendered).unwrap(), value);
+        // The giant seed survives losslessly.
+        assert_eq!(
+            parse(&rendered).unwrap().get("seed").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_trailing_garbage_and_bad_syntax() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "{\"a\" 1}",
+            "nul",
+            "01",
+            "1.",
+            "1e",
+            "-",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"lone \\ud800 surrogate\"",
+            "{} {}",
+            "{}x",
+            "\u{7}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let bomb = format!("{}{}", "[".repeat(4096), "]".repeat(4096));
+        assert!(parse(&bomb).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            ControlRequest::Submit {
+                tenant: "team a".to_owned(),
+                params: Json::Obj(vec![
+                    ("artifacts".to_owned(), Json::str("table2")),
+                    ("samples".to_owned(), Json::num_usize(24)),
+                ]),
+                crash_after: Some(3),
+                crash_attempts: 2,
+            },
+            ControlRequest::Status { id: None },
+            ControlRequest::Status {
+                id: Some("c0001".to_owned()),
+            },
+            ControlRequest::Cancel {
+                id: "c0002".to_owned(),
+            },
+            ControlRequest::Fetch {
+                id: "c0003".to_owned(),
+            },
+            ControlRequest::Health,
+            ControlRequest::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.to_line();
+            assert_eq!(ControlRequest::from_line(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn unknown_verbs_and_bad_fields_are_rejected() {
+        for bad in [
+            "{\"verb\":\"explode\"}",
+            "{\"verb\":42}",
+            "{}",
+            "[]",
+            "\"submit\"",
+            "{\"verb\":\"cancel\"}",
+            "{\"verb\":\"fetch\",\"id\":\"\"}",
+            "{\"verb\":\"submit\"}",
+            "{\"verb\":\"submit\",\"tenant\":\"t\",\"params\":[]}",
+            "{\"verb\":\"submit\",\"tenant\":\"t\",\"crash_after\":\"x\"}",
+        ] {
+            assert!(
+                ControlRequest::from_line(bad).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_lines_are_rejected_before_parsing() {
+        let line = format!("{{\"verb\":\"{}\"}}", "x".repeat(MAX_LINE_LEN));
+        assert!(ControlRequest::from_line(&line).is_err());
+    }
+
+    #[test]
+    fn line_reader_splits_respects_cap_and_reports_eof() {
+        let data = b"first\nsecond\r\nthird".to_vec();
+        let mut reader = LineReader::new(std::io::Cursor::new(data));
+        assert_eq!(
+            reader.next_line().unwrap(),
+            NextLine::Line(b"first".to_vec())
+        );
+        assert_eq!(
+            reader.next_line().unwrap(),
+            NextLine::Line(b"second".to_vec())
+        );
+        // The unterminated tail never becomes a line.
+        assert_eq!(reader.next_line().unwrap(), NextLine::Eof);
+
+        let flood = vec![b'a'; MAX_LINE_LEN + 2];
+        let mut reader = LineReader::new(std::io::Cursor::new(flood));
+        assert_eq!(reader.next_line().unwrap(), NextLine::TooLong);
+    }
+}

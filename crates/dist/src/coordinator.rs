@@ -40,7 +40,7 @@ use crate::worker::{run_worker, WorkerOptions, WorkerStats};
 use crate::DistError;
 use issa_circuit::cancel::{CancelCause, CancelToken};
 use issa_core::campaign::{
-    CampaignCorner, CampaignError, CampaignOptions, CampaignReport, CheckpointWriter,
+    interrupt, CampaignCorner, CampaignError, CampaignOptions, CampaignReport, CheckpointWriter,
     CornerOutcome, CornerReport,
 };
 use issa_core::checkpoint::{config_fingerprint, Checkpoint, CornerCheckpoint, SavePolicy};
@@ -106,6 +106,12 @@ pub struct ServeOptions {
     /// Half-life of the exponential decay on flakiness scores: a worker
     /// that stops misbehaving is forgiven on this timescale.
     pub flaky_halflife: Duration,
+    /// Install SIGINT/SIGTERM handlers
+    /// ([`issa_core::campaign::interrupt`]) and drain gracefully when
+    /// one fires: stop scheduling new units, flush the checkpoint, and
+    /// report partial — the same path as [`ServeOptions::abort_after_units`],
+    /// so a routine restart never needs the SIGKILL-resume discipline.
+    pub handle_signals: bool,
 }
 
 impl Default for ServeOptions {
@@ -124,6 +130,7 @@ impl Default for ServeOptions {
             drain_deadline: Duration::from_secs(5),
             flaky_threshold: 8.0,
             flaky_halflife: Duration::from_secs(300),
+            handle_signals: false,
         }
     }
 }
@@ -479,6 +486,13 @@ pub fn serve_campaign(
         eprintln!("serve: resuming with {resumed_records} checkpointed records");
     }
 
+    if opts.handle_signals {
+        // Clear any interrupt latched by a previous run in this process
+        // before arming the handlers for this one.
+        interrupt::reset();
+        interrupt::install();
+    }
+
     let shared = Arc::new(Shared {
         state: Mutex::new(ServeState {
             finished: false,
@@ -732,7 +746,8 @@ fn drive_campaign(
             }
         }
 
-        aborted = units_budget.is_some_and(|n| n == 0);
+        aborted =
+            units_budget.is_some_and(|n| n == 0) || (opts.handle_signals && interrupt::requested());
 
         // ---- Merge: the statistics a single-process run would build -----
         let token = CancelToken::new();
@@ -817,8 +832,10 @@ fn serve_phase(
     units_budget: &mut Option<u64>,
     writer: &mut Option<CheckpointWriter>,
 ) -> bool {
-    if pending.is_empty() || units_budget.is_some_and(|n| n == 0) {
-        return units_budget.is_some_and(|n| n == 0);
+    let drained =
+        || units_budget.is_some_and(|n| n == 0) || (opts.handle_signals && interrupt::requested());
+    if pending.is_empty() || drained() {
+        return drained();
     }
     let ranges = PhaseScheduler::ranges_of(pending, opts.scheduler.unit_samples);
     // Unit ids are globally unique within the serve session so a stale
@@ -927,6 +944,11 @@ fn serve_phase(
             if *budget == 0 {
                 aborted = true;
             }
+        }
+        if opts.handle_signals && interrupt::requested() {
+            // SIGINT/SIGTERM: same graceful path as the abort hook —
+            // stop scheduling, flush below, report the corner partial.
+            aborted = true;
         }
         if opts.flush_every > 0 && fresh_since_flush >= opts.flush_every {
             fresh_since_flush = 0;

@@ -35,12 +35,21 @@
 //!   into the campaign checkpoint (resumable, atomic), and merges.
 //! - [`worker`] — [`worker::run_worker`]: connects, computes assigned
 //!   units, heartbeats between samples, reconnects after faults.
+//! - [`service`] — [`service::run_service`]: a long-lived supervised
+//!   registry of concurrent campaigns behind a line-oriented JSON
+//!   control plane ([`control`]), with admission control, a crash-safe
+//!   state journal ([`journal`]), and an integrity-verified result
+//!   cache ([`cache`]).
 
+pub mod cache;
 pub mod chaos;
+pub mod control;
 pub mod coordinator;
 pub mod frame;
+pub mod journal;
 pub mod proto;
 pub mod scheduler;
+pub mod service;
 pub mod worker;
 
 use std::fmt;

@@ -126,4 +126,68 @@ trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR" "$BATCH_DIR" "$CHAOS_DIR"' EXIT
   grep "chaos soak PASS" chaos.log
 )
 
+echo "== campaign service soak (SIGKILL + journal replay, cache-hit duplicate) =="
+# Submit three campaigns to the supervised service (the third a
+# fingerprint-duplicate of the first), SIGKILL the service mid-flight,
+# restart it on the same state directory, and demand: every campaign
+# completes, the duplicate is served from the result cache, and each
+# CSV is byte-identical to a single-process run. Then corrupt the cache
+# entry in place and demand quarantine + bit-identical recompute.
+SVC_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR" "$BATCH_DIR" "$CHAOS_DIR" "$SVC_DIR"' EXIT
+(
+  cd "$SVC_DIR"
+  # Single-process reference for the 16-sample config (the 24-sample
+  # reference is the kill-and-resume smoke's CSV above).
+  mkdir ref16
+  (cd ref16 && "$CAMPAIGN_BIN" --samples 16 --artifacts table2 >ref.log 2>&1)
+
+  "$CAMPAIGN_BIN" service --dir state --listen 127.0.0.1:0 --port-file port \
+    --max-campaigns 1 --flush-every 1 >service_first.log 2>&1 &
+  pid=$!
+  for _ in $(seq 100); do [ -s port ] && break; sleep 0.1; done
+  addr=$(cat port)
+  "$CAMPAIGN_BIN" submit --connect "$addr" --tenant ci --samples 24 --artifacts table2 >submit1.json
+  "$CAMPAIGN_BIN" submit --connect "$addr" --tenant ci --samples 16 --artifacts table2 >submit2.json
+  "$CAMPAIGN_BIN" submit --connect "$addr" --tenant ci --samples 24 --artifacts table2 >submit3.json
+  sleep 2
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+
+  # Restart on the same directory: journal replay must requeue all
+  # three and resume the killed campaign from its checkpoint.
+  rm -f port
+  "$CAMPAIGN_BIN" service --dir state --listen 127.0.0.1:0 --port-file port \
+    --max-campaigns 1 --flush-every 1 >service_second.log 2>&1 &
+  pid=$!
+  for _ in $(seq 100); do [ -s port ] && break; sleep 0.1; done
+  addr=$(cat port)
+  "$CAMPAIGN_BIN" fetch --connect "$addr" --id c0001 --wait >fetch1.json
+  "$CAMPAIGN_BIN" fetch --connect "$addr" --id c0002 --wait >fetch2.json
+  "$CAMPAIGN_BIN" fetch --connect "$addr" --id c0003 --wait >fetch3.json
+  grep -q '"cache_hit":false' fetch1.json
+  grep -q '"cache_hit":true' fetch3.json
+  cmp state/results/c0001/table2.csv "$SMOKE_DIR/results/table2.csv"
+  cmp state/results/c0002/table2.csv ref16/results/table2.csv
+  cmp state/results/c0003/table2.csv "$SMOKE_DIR/results/table2.csv"
+
+  # Corrupt the 24-sample cache entry in place; a fourth (duplicate)
+  # submission must quarantine it and recompute bit-identically.
+  fp=$(sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p' submit1.json)
+  size=$(wc -c <"state/cache/$fp.ckpt")
+  printf 'CORRUPT' | dd of="state/cache/$fp.ckpt" bs=1 seek=$((size / 2)) \
+    conv=notrunc status=none
+  "$CAMPAIGN_BIN" submit --connect "$addr" --tenant ci --samples 24 --artifacts table2 \
+    --wait >submit4.json
+  grep -q '"cache_hit":false' submit4.json
+  id4=$(sed -n 's/.*"id":"\(c[0-9]*\)".*/\1/p' submit4.json | head -n 1)
+  cmp "state/results/$id4/table2.csv" "$SMOKE_DIR/results/table2.csv"
+  "$CAMPAIGN_BIN" health --connect "$addr" >health.json
+  grep -Eq '"cache_quarantined":[1-9]' health.json
+  ls state/cache | grep -q quarantined
+  "$CAMPAIGN_BIN" shutdown --connect "$addr" >/dev/null
+  wait "$pid"
+  echo "service soak: replay byte-identical, duplicate cache_hit, corruption quarantined + recomputed"
+)
+
 echo "CI_OK"
