@@ -279,6 +279,53 @@ fn bench_spec_solver(c: &mut Criterion) {
     });
 }
 
+/// The tail-estimation numeric path: the Φ⁻¹ solve behind every spec and
+/// shift-magnitude computation, the weighted quantile/CI band inversion
+/// at the adaptive-round size, the log-weight normalization + ESS
+/// reduction, and the closed-form likelihood-ratio replay (one Gaussian
+/// per device, no circuit solves) — everything the adaptive stopping
+/// rule runs per block boundary.
+fn bench_tail_estimation(c: &mut Criterion) {
+    use issa_core::tail::{tail_log_weight, with_resolved, TailConfig};
+    use issa_num::special::inv_norm_cdf;
+    use issa_num::wstats::{effective_sample_size, tail_quantile_ci, weights_from_log, Z_95};
+
+    let mut group = c.benchmark_group("tail_estimation");
+    group.bench_function("inv_norm_cdf_1e9", |bench| {
+        bench.iter(|| inv_norm_cdf(black_box(1.0 - 1e-9)))
+    });
+    // A deterministic 4096-point weighted set shaped like an IS tail:
+    // values spread over [0, 8) with exponentially decaying weights.
+    let pairs: Vec<(f64, f64)> = (0..4096)
+        .map(|i| {
+            let x = (i as f64 * 0.618_034).fract() * 8.0;
+            (x, (-x).exp())
+        })
+        .collect();
+    group.bench_function("tail_quantile_ci_4096", |bench| {
+        bench.iter(|| tail_quantile_ci(black_box(&pairs), black_box(1e-6), Z_95))
+    });
+    let log_w: Vec<f64> = pairs.iter().map(|&(x, _)| -x).collect();
+    group.bench_function("weights_ess_4096", |bench| {
+        bench.iter(|| {
+            let w = weights_from_log(black_box(&log_w));
+            black_box(effective_sample_size(&w))
+        })
+    });
+    let base = McConfig {
+        tail: Some(TailConfig::default()),
+        ..smoke_cfg(SaKind::Nssa, ReadSequence::AllZeros, 0.0, 8)
+    };
+    let d = SaInstance::fresh(base.kind, base.env).devices().len();
+    let shift: Vec<f64> = vec![6.0 / (d as f64).sqrt(); d];
+    let neg: Vec<f64> = shift.iter().map(|s| -s).collect();
+    let cfg = with_resolved(&base, &shift, &neg);
+    group.bench_function("tail_log_weight_replay", |bench| {
+        bench.iter(|| tail_log_weight(black_box(&cfg), black_box(64)))
+    });
+    group.finish();
+}
+
 /// Reduced-size versions of each paper experiment (2 samples per corner,
 /// one representative corner per table/figure).
 fn bench_experiments_reduced(c: &mut Criterion) {
@@ -324,6 +371,7 @@ criterion_group!(
     bench_bti,
     bench_build_sample,
     bench_spec_solver,
+    bench_tail_estimation,
     bench_experiments_reduced,
 );
 criterion_main!(benches);

@@ -96,6 +96,7 @@ use issa_core::checkpoint::{sweep_stale_temps, SavePolicy};
 use issa_core::montecarlo::{McConfig, McResult};
 use issa_core::netlist::SaKind;
 use issa_core::probe::ProbeOptions;
+use issa_core::tail::TailConfig;
 use issa_core::workload::{ReadSequence, Workload};
 use issa_core::SaError;
 use issa_dist::chaos;
@@ -144,6 +145,11 @@ struct Args {
     step_budget: Option<u64>,
     wall_budget_s: Option<f64>,
     abort_after: Option<usize>,
+    // tail-estimation mode (None = classic fixed-sample campaign)
+    tail_fr: Option<f64>,
+    ci_target: f64,
+    max_samples: Option<usize>,
+    tail_block: usize,
     // serve mode
     listen: String,
     loopback: usize,
@@ -184,6 +190,9 @@ fn usage(message: &str) -> ! {
          [--batch-lanes K] [--artifacts LIST] [--checkpoint PATH | --no-checkpoint] [--fresh] \
          [--flush-every K] [--deadline-s S] [--step-budget N] [--wall-budget-s S] \
          [--abort-after N]\n\
+         tail:   [--tail-fr FR] [--ci-target REL] [--max-samples N] [--tail-block K] \
+         (importance-sampled direct tail estimation; --samples sizes the pilot; \
+         not accepted by service submissions)\n\
          serve:  [--listen ADDR] [--loopback N] [--port-file PATH] [--unit-samples K] \
          [--max-unit-attempts A] [--lease-timeout-s S] [--worker-timeout-s S] \
          [--speculate-after-s S]\n\
@@ -215,6 +224,10 @@ fn parse() -> Args {
         step_budget: None,
         wall_budget_s: None,
         abort_after: None,
+        tail_fr: None,
+        ci_target: 0.1,
+        max_samples: None,
+        tail_block: 64,
         listen: "127.0.0.1:0".to_owned(),
         loopback: 0,
         unit_samples: 16,
@@ -354,6 +367,36 @@ fn parse() -> Args {
                         .unwrap_or_else(|_| usage("--abort-after needs an integer")),
                 );
             }
+            "--tail-fr" => {
+                args.tail_fr = Some(
+                    value(&mut it, "--tail-fr")
+                        .parse()
+                        .ok()
+                        .filter(|fr: &f64| *fr > 0.0 && *fr < 1.0)
+                        .unwrap_or_else(|| usage("--tail-fr needs a failure rate in (0, 1)")),
+                );
+            }
+            "--ci-target" => {
+                args.ci_target = value(&mut it, "--ci-target")
+                    .parse()
+                    .ok()
+                    .filter(|t: &f64| *t > 0.0)
+                    .unwrap_or_else(|| usage("--ci-target needs a positive relative half-width"));
+            }
+            "--max-samples" => {
+                args.max_samples = Some(
+                    value(&mut it, "--max-samples")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--max-samples needs a positive integer")),
+                );
+            }
+            "--tail-block" => {
+                args.tail_block = value(&mut it, "--tail-block")
+                    .parse()
+                    .ok()
+                    .filter(|b: &usize| *b > 0)
+                    .unwrap_or_else(|| usage("--tail-block needs a positive integer"));
+            }
             "--listen" if matches!(args.mode, Mode::Serve | Mode::Service) => {
                 args.listen = value(&mut it, "--listen");
             }
@@ -478,12 +521,17 @@ fn parse() -> Args {
     if args.mode == Mode::Service && args.max_campaigns == 0 {
         usage("--max-campaigns must be positive");
     }
+    if args.tail_fr.is_some() && matches!(args.mode, Mode::Client | Mode::Service) {
+        // The submission codec is strict (unknown keys reject); silently
+        // dropping tail flags would run a different campaign than asked.
+        usage("tail flags (--tail-fr ...) are not supported by service submissions");
+    }
     args
 }
 
 impl Args {
     fn config(&self, kind: SaKind, workload: Workload, env: Environment, time: f64) -> McConfig {
-        McConfig {
+        let mut cfg = McConfig {
             samples: self.samples,
             seed: self.seed,
             probe: if self.paper_probes {
@@ -497,7 +545,21 @@ impl Args {
             sample_step_budget: self.step_budget,
             sample_wall_budget_s: self.wall_budget_s,
             ..McConfig::paper(kind, workload, env, time)
+        };
+        if let Some(fr) = self.tail_fr {
+            // Tail mode estimates the spec *at* the requested failure
+            // rate instead of extrapolating Eq. 3 to it; `--samples`
+            // sizes the nominal pilot the proposal is fitted from.
+            cfg.failure_rate = fr;
+            let defaults = TailConfig::default();
+            cfg.tail = Some(TailConfig {
+                ci_rel_target: self.ci_target,
+                block_samples: self.tail_block,
+                max_samples: self.max_samples.unwrap_or(defaults.max_samples),
+                ..defaults
+            });
         }
+        cfg
     }
 }
 
@@ -1213,6 +1275,17 @@ fn chaos_mode(args: &Args, corners: &[CampaignCorner], tables: &[TableArtifact])
     if args.paper_probes {
         cmd.arg("--paper-probes");
     }
+    if let Some(fr) = args.tail_fr {
+        // Tail flags are configuration: the child must rebuild identical
+        // (fingerprinted) corners or the resume leg would refuse the
+        // checkpoint. f64 Display round-trips exactly.
+        cmd.args(["--tail-fr", &fr.to_string()]);
+        cmd.args(["--ci-target", &args.ci_target.to_string()]);
+        cmd.args(["--tail-block", &args.tail_block.to_string()]);
+        if let Some(m) = args.max_samples {
+            cmd.args(["--max-samples", &m.to_string()]);
+        }
+    }
     let mut child = cmd.spawn().unwrap_or_else(|e| {
         eprintln!("error: cannot spawn chaos coordinator: {e}");
         std::process::exit(1)
@@ -1519,9 +1592,8 @@ fn main() {
     json.push_str("  \"corners\": [\n");
     for (k, corner) in report.corners.iter().enumerate() {
         let (status, detail) = match &corner.outcome {
-            CornerOutcome::Completed(r) => (
-                if r.partial { "partial" } else { "completed" },
-                format!(
+            CornerOutcome::Completed(r) => {
+                let mut detail = format!(
                     ", \"n\": {}, \"requested\": {}, \"mu_mv\": {}, \"mu_ci95_mv\": {}, \
                      \"sigma_mv\": {}, \"spec_mv\": {}, \"delay_ps\": {}, \"failures\": {}",
                     r.offsets.len(),
@@ -1532,8 +1604,33 @@ fn main() {
                     json_f64(r.spec * 1e3),
                     json_f64(r.mean_delay * 1e12),
                     r.failures.len()
-                ),
-            ),
+                );
+                // Degenerate statistics (fewer than two surviving
+                // offsets) have no defined confidence interval: the CSV
+                // cell stays empty and the cause is named here instead
+                // of leaking a NaN into the row.
+                if r.offsets.len() < 2 {
+                    detail.push_str(", \"insufficient_samples\": true");
+                }
+                if let Some(t) = &r.tail {
+                    detail.push_str(&format!(
+                        ", \"tail\": {{\"shift\": {}, \"pilot\": {}, \"samples_used\": {}, \
+                         \"rounds\": {}, \"converged\": {}, \"ess\": {}, \"tail_ess\": {}, \
+                         \"spec_lo_mv\": {}, \"spec_hi_mv\": {}, \"rel_ci_half\": {}}}",
+                        json_f64(t.shift),
+                        t.pilot,
+                        t.samples_used,
+                        t.rounds,
+                        t.converged,
+                        json_f64(t.ess),
+                        json_f64(t.tail_ess),
+                        json_f64(t.spec_lo * 1e3),
+                        json_f64(t.spec_hi * 1e3),
+                        json_f64(t.rel_ci_half)
+                    ));
+                }
+                (if r.partial { "partial" } else { "completed" }, detail)
+            }
             CornerOutcome::Failed(e) => {
                 // The cause classification matches what exit_mc_failure
                 // prints: "timed-out" covers watchdog cancellations and

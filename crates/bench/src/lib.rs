@@ -303,9 +303,13 @@ pub fn write_csv_at(
 /// `n` is the surviving sample count the statistics cover, `mu_ci95_mv`
 /// the sample-count-aware 95 % confidence half-width on μ, and `partial`
 /// flags a corner cut short by a campaign deadline or interrupt.
+/// Undefined diagnostics — the CI of a corner with fewer than two
+/// surviving samples, the normality statistic of a tail-mode run —
+/// render as empty cells, never `NaN`; `campaign.json` names the cause.
 pub fn csv_row(spec: &CornerSpec, extra: &str, r: &McResult) -> String {
+    let finite = |v: f64, cell: String| if v.is_finite() { cell } else { String::new() };
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{:.4},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         spec.kind.name(),
         spec.time_label(),
         spec.label,
@@ -318,9 +322,9 @@ pub fn csv_row(spec: &CornerSpec, extra: &str, r: &McResult) -> String {
         r.sigma * 1e3,
         r.spec * 1e3,
         r.mean_delay * 1e12,
-        r.ks_sqrt_n,
+        finite(r.ks_sqrt_n, format!("{:.3}", r.ks_sqrt_n)),
         r.offsets.len(),
-        r.mu_ci95 * 1e3,
+        finite(r.mu_ci95, format!("{:.4}", r.mu_ci95 * 1e3)),
         u8::from(r.partial),
     )
 }
@@ -363,6 +367,7 @@ mod tests {
             partial: false,
             mu_ci95: f64::NAN,
             delay_ci95: f64::NAN,
+            tail: None,
             perf: Default::default(),
         };
         let strip = render_distribution_strip("test", &r, 220.0);

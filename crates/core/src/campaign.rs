@@ -1,6 +1,9 @@
 //! The durable campaign engine: runs a list of Monte Carlo corners
-//! through [`run_mc_controlled`] with incremental checkpointing, signal
-//! and deadline cancellation, and graceful degradation.
+//! through [`run_tail_mc`] (which falls through to
+//! [`run_mc_controlled`](crate::montecarlo::run_mc_controlled) for
+//! corners without a tail-estimation mode) with incremental
+//! checkpointing, signal and deadline cancellation, and graceful
+//! degradation.
 //!
 //! A *campaign* is the unit the bench binaries actually need: several
 //! corners (table rows, figure points) whose total runtime is long enough
@@ -24,9 +27,8 @@
 use crate::checkpoint::{
     config_fingerprint, Checkpoint, CheckpointError, CornerCheckpoint, SavePolicy,
 };
-use crate::montecarlo::{
-    run_mc_controlled, McConfig, McControl, McObserver, McPhase, McResult, SampleFailure,
-};
+use crate::montecarlo::{McConfig, McControl, McObserver, McPhase, McResult, SampleFailure};
+use crate::tail::run_tail_mc;
 use crate::SaError;
 use issa_circuit::cancel::{CancelCause, CancelToken};
 use std::fmt;
@@ -444,6 +446,15 @@ impl McObserver for CheckpointSink<'_> {
             self.flush(&mut s);
         }
     }
+
+    fn sample_weight(&self, index: usize, log_weight: f64) {
+        // Importance-sampling log-weights annotate the offset record that
+        // just landed; they ride along with the next flush (a weight the
+        // checkpoint misses is recomputed bit-identically on resume, so
+        // they never count toward the flush cadence).
+        let mut s = lock(&self.state);
+        s.current.resume.log_weights.push((index, log_weight));
+    }
 }
 
 /// Runs the corners through the durable engine. See the module docs for
@@ -567,7 +578,12 @@ pub fn run_campaign(
             observer: Some(&sink),
             cancel: Some(&token),
         };
-        let outcome = match run_mc_controlled(&corner.cfg, &ctl) {
+        // `run_tail_mc` is a strict superset of `run_mc_controlled`: for
+        // corners without a tail mode it falls straight through, and for
+        // tail corners it runs the pilot/adaptive-round protocol on top of
+        // the same controlled engine (so checkpointing, cancellation, and
+        // resume all behave identically).
+        let outcome = match run_tail_mc(&corner.cfg, &ctl) {
             Ok(result) => CornerOutcome::Completed(Box::new(result)),
             Err(e) => CornerOutcome::Failed(e),
         };

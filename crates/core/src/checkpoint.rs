@@ -16,11 +16,18 @@
 //! ISSA-CKPT 1
 //! corner <escaped-name> <fingerprint:016x>
 //! o <index> <f64-bits:016x>
+//! w <index> <f64-bits:016x>
 //! d <index> <f64-bits:016x>
 //! f <o|d> <index> <kind> <attempts> <seed:016x> <escaped-corner> <escaped-error>
 //! end
 //! crc <crc32:08x>
 //! ```
+//!
+//! `w` records carry the per-sample importance log-weights of a tail-mode
+//! campaign ([`crate::tail`]) as exact `f64` bits. They annotate `o`
+//! records rather than standing alone: a restore missing some (or all) of
+//! them recomputes the absent weights from the seed tree bit-identically,
+//! so pre-tail checkpoints of tail configs stay resumable.
 //!
 //! Strings are escaped so every record is a single space-separated line
 //! (`\` → `\\`, space → `\s`, newline → `\n`, tab → `\t`). The `crc` line
@@ -321,6 +328,9 @@ impl Checkpoint {
             for &(i, v) in &c.resume.offsets {
                 s.push_str(&format!("o {i} {:016x}\n", v.to_bits()));
             }
+            for &(i, v) in &c.resume.log_weights {
+                s.push_str(&format!("w {i} {:016x}\n", v.to_bits()));
+            }
             for &(i, v) in &c.resume.delays {
                 s.push_str(&format!("d {i} {:016x}\n", v.to_bits()));
             }
@@ -451,7 +461,7 @@ impl Checkpoint {
                         resume: McResume::default(),
                     });
                 }
-                "o" | "d" => {
+                "o" | "d" | "w" => {
                     let corner = current
                         .as_mut()
                         .ok_or_else(|| malformed("record outside a corner section".into()))?;
@@ -462,10 +472,10 @@ impl Checkpoint {
                     let bits = parse_hex_u64(fields.next())
                         .ok_or_else(|| malformed("bad f64 bits".into()))?;
                     let value = f64::from_bits(bits);
-                    if tag == "o" {
-                        corner.resume.offsets.push((index, value));
-                    } else {
-                        corner.resume.delays.push((index, value));
+                    match tag {
+                        "o" => corner.resume.offsets.push((index, value)),
+                        "w" => corner.resume.log_weights.push((index, value)),
+                        _ => corner.resume.delays.push((index, value)),
                     }
                 }
                 "f" => {
@@ -784,6 +794,7 @@ mod tests {
                     fingerprint: 0xdead_beef_cafe_f00d,
                     resume: McResume {
                         offsets: vec![(0, 1.25e-3), (3, -4.5e-3), (7, f64::MIN_POSITIVE)],
+                        log_weights: vec![(7, -std::f64::consts::LN_2)],
                         delays: vec![(0, 14.2e-12)],
                         failures: vec![SampleFailure {
                             index: 5,

@@ -26,6 +26,9 @@
 //! - [`montecarlo`] — the 400-sample Monte Carlo analysis;
 //! - [`spec`] — the offset-voltage *specification* solver (paper Eq. 3,
 //!   failure rate 10⁻⁹ → ≈ 6.1 σ);
+//! - [`tail`] — importance-sampled direct estimation of the 10⁻⁹ offset
+//!   tail (mixture-shifted Pelgrom proposal, adaptive CI-driven stopping)
+//!   as an alternative to the Gaussian extrapolation;
 //! - [`overhead`] — the area/energy overhead accounting of Section IV-C;
 //! - [`calib`] — every calibration constant, each tied to the paper value
 //!   it anchors.
@@ -63,6 +66,7 @@ pub mod probe;
 pub mod spec;
 pub mod stress;
 pub mod stress_trace;
+pub mod tail;
 pub mod variation;
 pub mod workload;
 

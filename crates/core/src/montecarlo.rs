@@ -256,6 +256,14 @@ pub struct McConfig {
     /// reproducibility matters; this is the safety net for genuinely
     /// stuck solves.
     pub sample_wall_budget_s: Option<f64>,
+    /// Importance-sampled tail-estimation mode (see [`crate::tail`]).
+    /// `None` — the default — is the classic engine, bit-identical to
+    /// previous behaviour. `Some` with an unresolved proposal marks a
+    /// config the adaptive driver ([`crate::tail::run_tail_mc`]) owns;
+    /// `Some` with a resolved proposal makes [`build_sample`] draw
+    /// indices past the pilot from the mixture-shifted proposal and makes
+    /// [`run_mc_controlled`] assemble weighted statistics.
+    pub tail: Option<crate::tail::TailConfig>,
 }
 
 impl McConfig {
@@ -286,6 +294,7 @@ impl McConfig {
             fault_plan: None,
             sample_step_budget: None,
             sample_wall_budget_s: None,
+            tail: None,
         }
     }
 
@@ -394,6 +403,11 @@ pub struct McResult {
     /// Half-width of the 95 % confidence interval on the mean sensing
     /// delay \[s\]. NaN below two delay measurements.
     pub delay_ci95: f64,
+    /// Importance-sampled tail-estimation summary — `Some` exactly when
+    /// the run executed with a resolved tail proposal (see
+    /// [`crate::tail`]); the statistics above are then the
+    /// self-normalized weighted estimators.
+    pub tail: Option<crate::tail::TailSummary>,
     /// Hot-path cost accounting (not part of equality).
     pub perf: McPerf,
 }
@@ -414,6 +428,7 @@ impl PartialEq for McResult {
             && self.partial == other.partial
             && self.mu_ci95.to_bits() == other.mu_ci95.to_bits()
             && self.delay_ci95.to_bits() == other.delay_ci95.to_bits()
+            && self.tail == other.tail
     }
 }
 
@@ -441,11 +456,22 @@ pub fn build_sample(cfg: &McConfig, index: usize) -> SaInstance {
 
     let mut sa = SaInstance::fresh(cfg.kind, cfg.env);
     sa.sizing = cfg.sizing;
+    // Importance-sampling hook: with a resolved tail proposal, post-pilot
+    // samples assigned to a shifted mixture component add μ_k·σ_k to
+    // every device's mismatch draw (see [`crate::tail`]). The classic
+    // engine, pilot indices, and nominal-component samples take the
+    // `None` path and never touch the draw, so their samples stay
+    // bit-identical.
+    let tail_shift = crate::tail::proposal_shift_for(cfg, &sample_seq, index);
     for (k, &device) in sa.devices().iter().enumerate() {
         // Independent stream per device so the draw count of one device
         // cannot perturb another.
         let mut rng = sample_seq.child(k as u64).rng();
-        let mismatch = cfg.mismatch.sample(device, &cfg.sizing, &mut rng);
+        let mut mismatch = cfg.mismatch.sample(device, &cfg.sizing, &mut rng);
+        if let Some(shift) = &tail_shift {
+            let mu_k = shift.get(k).copied().unwrap_or(0.0);
+            mismatch += mu_k * cfg.mismatch.sigma_for(device, &cfg.sizing);
+        }
         let stress = device_stress(&cfg.stress_model, &cw, device, &cfg.env);
         // The trap population itself is stress-dependent (thermally and
         // field-activated defect generation) — see TrapSet::sample_accelerated.
@@ -514,13 +540,23 @@ pub struct McResume {
     /// Restored quarantined failures (both phases). A restored failure is
     /// not re-attempted — it still counts against the failure budget.
     pub failures: Vec<SampleFailure>,
+    /// Restored per-sample importance log-weights of a tail-mode run:
+    /// `(sample index, log likelihood ratio)`. Annotations on offset
+    /// records, not results in their own right: they are excluded from
+    /// [`McResume::records`] (so they never advance checkpoint flush
+    /// counters) and a missing entry is recomputed bit-identically from
+    /// the config ([`crate::tail::tail_log_weight`]).
+    pub log_weights: Vec<(usize, f64)>,
 }
 
 impl McResume {
     /// Whether nothing was restored.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.offsets.is_empty() && self.delays.is_empty() && self.failures.is_empty()
+        self.offsets.is_empty()
+            && self.delays.is_empty()
+            && self.failures.is_empty()
+            && self.log_weights.is_empty()
     }
 
     /// Total restored records (offsets + delays + failures).
@@ -538,6 +574,13 @@ pub trait McObserver: Sync {
     /// One fresh sample finished: `Ok(value)` (offset volts or delay
     /// seconds depending on `phase`) or the failure that quarantined it.
     fn sample_finished(&self, phase: McPhase, index: usize, outcome: Result<f64, &SampleFailure>);
+
+    /// The importance log-weight of a fresh offset sample in tail mode,
+    /// fired right after its [`McObserver::sample_finished`]. Only fired
+    /// for nonzero log-weights (pilot and nominal-component samples carry
+    /// weight 1, which the restore path reconstructs implicitly). The
+    /// default ignores it, so classic observers are unaffected.
+    fn sample_weight(&self, _index: usize, _log_weight: f64) {}
 }
 
 /// Control plane of one [`run_mc_controlled`] call: restored state, a
@@ -826,6 +869,7 @@ pub fn run_mc_controlled(cfg: &McConfig, ctl: &McControl<'_>) -> Result<McResult
                                 .filter(|&i| !offset_done[i])
                                 .collect();
                             let mut hooks = ObserverHooks {
+                                cfg,
                                 phase: McPhase::Offset,
                                 observer: ctl.observer,
                             };
@@ -850,6 +894,10 @@ pub fn run_mc_controlled(cfg: &McConfig, ctl: &McControl<'_>) -> Result<McResult
                                 SampleRun::Done(v) => {
                                     if let Some(obs) = ctl.observer {
                                         obs.sample_finished(McPhase::Offset, i, Ok(v));
+                                        let lw = crate::tail::tail_log_weight(cfg, i);
+                                        if lw != 0.0 {
+                                            obs.sample_weight(i, lw);
+                                        }
                                     }
                                     local.push((i, Ok(v)));
                                 }
@@ -916,8 +964,26 @@ pub fn run_mc_controlled(cfg: &McConfig, ctl: &McControl<'_>) -> Result<McResult
         });
     }
     let summary = Summary::of(&offsets);
-    let spec = offset_spec_from_samples(cfg, &offsets);
-    let ks_sqrt_n = if offsets.len() >= 3 && summary.std > 0.0 {
+    // Tail mode (resolved importance-sampling proposal): statistics are
+    // the self-normalized weighted estimators and the spec comes from the
+    // weighted tail quantile instead of the Gaussian extrapolation. The
+    // evaluation is a pure function of (cfg, surviving indices, values),
+    // so it is invariant to threads, lanes, and resume splits.
+    let indexed_offsets: Vec<(usize, f64)> = offsets_by_index
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| v.map(|x| (i, x)))
+        .collect();
+    let tail_eval = crate::tail::evaluate_weighted(cfg, &indexed_offsets, ctl.resume);
+    let spec = match &tail_eval {
+        Some(e) => e.spec,
+        None => offset_spec_from_samples(cfg, &offsets),
+    };
+    let ks_sqrt_n = if tail_eval.is_some() {
+        // The weighted sample deliberately follows the mixture proposal,
+        // not the target normal — the normality diagnostic does not apply.
+        f64::NAN
+    } else if offsets.len() >= 3 && summary.std > 0.0 {
         issa_num::stats::ks_normal_statistic(&offsets) * (offsets.len() as f64).sqrt()
     } else {
         f64::NAN
@@ -950,6 +1016,7 @@ pub fn run_mc_controlled(cfg: &McConfig, ctl: &McControl<'_>) -> Result<McResult
                                     .filter(|&i| !delay_skip[i])
                                     .collect();
                                 let mut hooks = ObserverHooks {
+                                    cfg,
                                     phase: McPhase::Delay,
                                     observer: ctl.observer,
                                 };
@@ -1052,13 +1119,20 @@ pub fn run_mc_controlled(cfg: &McConfig, ctl: &McControl<'_>) -> Result<McResult
         || (0..delay_count)
             .any(|i| delays_by_index[i].is_none() && !offset_failed_at[i] && !delay_failed_at[i]);
 
-    let mu_ci95 = issa_num::stats::mean_ci95_half(&offsets);
-    let delay_ci95 = issa_num::stats::mean_ci95_half(&delays);
+    let mu_ci95 = match &tail_eval {
+        Some(e) => e.mu_ci95,
+        None => issa_num::stats::mean_ci95_half(&offsets).unwrap_or(f64::NAN),
+    };
+    let delay_ci95 = issa_num::stats::mean_ci95_half(&delays).unwrap_or(f64::NAN);
+    let (mu, sigma) = match &tail_eval {
+        Some(e) => (e.mu, e.sigma),
+        None => (summary.mean, summary.std),
+    };
     Ok(McResult {
         offsets,
         delays,
-        mu: summary.mean,
-        sigma: summary.std,
+        mu,
+        sigma,
         spec,
         mean_delay,
         ks_sqrt_n,
@@ -1067,6 +1141,7 @@ pub fn run_mc_controlled(cfg: &McConfig, ctl: &McControl<'_>) -> Result<McResult
         partial,
         mu_ci95,
         delay_ci95,
+        tail: tail_eval.map(|e| e.summary),
         perf,
     })
 }
@@ -1074,6 +1149,7 @@ pub fn run_mc_controlled(cfg: &McConfig, ctl: &McControl<'_>) -> Result<McResult
 /// Forwards batched completions to the streaming observer exactly like
 /// the scalar shard loops do.
 struct ObserverHooks<'a> {
+    cfg: &'a McConfig,
     phase: McPhase,
     observer: Option<&'a dyn McObserver>,
 }
@@ -1082,7 +1158,15 @@ impl crate::batch::BatchHooks for ObserverHooks<'_> {
     fn on_sample(&mut self, index: usize, run: &SampleRun) {
         if let Some(obs) = self.observer {
             match run {
-                SampleRun::Done(v) => obs.sample_finished(self.phase, index, Ok(*v)),
+                SampleRun::Done(v) => {
+                    obs.sample_finished(self.phase, index, Ok(*v));
+                    if self.phase == McPhase::Offset {
+                        let lw = crate::tail::tail_log_weight(self.cfg, index);
+                        if lw != 0.0 {
+                            obs.sample_weight(index, lw);
+                        }
+                    }
+                }
                 SampleRun::Failed(f) => obs.sample_finished(self.phase, index, Err(f)),
                 SampleRun::Cancelled => {}
             }
@@ -1258,6 +1342,7 @@ mod tests {
             partial: false,
             mu_ci95: f64::NAN,
             delay_ci95: f64::NAN,
+            tail: None,
             perf: McPerf::default(),
         };
         let row = r.table_row();

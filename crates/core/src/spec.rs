@@ -103,6 +103,42 @@ mod tests {
     }
 
     #[test]
+    fn extreme_tail_multiplier_is_accurate_and_monotone() {
+        // fr = 1e-15 ⇔ Φ⁻¹(1 − 5e-16) ≈ 8.03 σ — the deepest budget the
+        // tail-estimation mode is expected to chase. The Eq. 3 coverage
+        // difference loses ~1 ulp near 1.0, which costs the solve at
+        // most ~0.02 σ out here.
+        let mult = sigma_multiplier(1e-15);
+        assert!((mult - 8.027).abs() < 0.05, "1e-15 multiplier {mult}");
+        // Strictly monotone as the budget tightens decade by decade.
+        let mut last = 0.0;
+        for e in 3..=15 {
+            let m = sigma_multiplier(10f64.powi(-e));
+            assert!(
+                m > last,
+                "multiplier must grow: 1e-{e} gives {m} after {last}"
+            );
+            last = m;
+        }
+    }
+
+    #[test]
+    fn extreme_tail_spec_round_trips_through_the_survival_function() {
+        // At the solution the two-sided uncovered mass must reproduce fr
+        // (each side carries fr/2 for μ = 0) down to deep tails, checked
+        // through the relatively-accurate survival function rather than
+        // the saturating CDF.
+        for &fr in &[1e-9, 1e-12, 1e-15] {
+            let v = offset_spec(0.0, 15e-3, fr);
+            let uncovered = 2.0 * issa_num::special::norm_sf(v / 15e-3);
+            assert!(
+                (uncovered / fr - 1.0).abs() < 0.2,
+                "fr {fr:e}: uncovered {uncovered:e}"
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "sigma must be positive")]
     fn rejects_zero_sigma() {
         offset_spec(0.0, 0.0, 1e-9);

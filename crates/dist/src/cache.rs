@@ -242,6 +242,7 @@ mod tests {
                     offsets: (0..samples).map(|i| (i, i as f64 * 1e-4)).collect(),
                     delays: (0..delays).map(|i| (i, i as f64 * 1e-12)).collect(),
                     failures: Vec::new(),
+                    log_weights: Vec::new(),
                 },
             }],
         }

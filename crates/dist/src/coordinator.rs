@@ -16,6 +16,17 @@
 //! here once per corner ([`delay_swing_volts`] over the index-ordered
 //! offsets) and shipped to workers as exact `f64` bits.
 //!
+//! Tail-estimation corners ([`McConfig::tail`]) extend the same
+//! discipline: the pilot phase is served like a classic offset phase,
+//! the proposal scale is resolved here (a pure function of the merged
+//! pilot offsets) and shipped on every tail-round assignment as exact
+//! `f64` bits in the `swing_bits` slot, and additional sample-range
+//! units are issued block by block only while the stopping rule is
+//! unmet — checked between rounds by a zero-solve re-assembly of the
+//! merged records, so a distributed tail run stops at exactly the
+//! sample count a local one does. Outstanding leases for a converged
+//! corner die with the retired phase scheduler.
+//!
 //! # Liveness
 //!
 //! Three nested mechanisms keep a wedged fleet from wedging the
@@ -45,9 +56,10 @@ use issa_core::campaign::{
 };
 use issa_core::checkpoint::{config_fingerprint, Checkpoint, CornerCheckpoint, SavePolicy};
 use issa_core::montecarlo::{
-    delay_swing_volts, offset_spec_from_samples, run_mc_controlled, FailureKind, McControl,
-    McPhase, McResume, SampleFailure,
+    delay_swing_volts, offset_spec_from_samples, run_mc_controlled, FailureKind, McConfig,
+    McControl, McPhase, McResume, SampleFailure,
 };
+use issa_core::tail::{resolve_proposal, tail_log_weight, with_resolved};
 use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -205,6 +217,8 @@ struct ActivePhase {
     corner: String,
     phase: McPhase,
     swing_bits: u64,
+    /// Per-device tail shift bits for tail rounds (empty otherwise).
+    tail_bits: Vec<u64>,
     scheduler: PhaseScheduler,
     /// Indices still wanted in this phase; records outside it (late
     /// duplicates, indices whose offset failed) are discarded on merge.
@@ -328,6 +342,7 @@ impl Shared {
                         swing_bits: phase.swing_bits,
                         start,
                         end,
+                        tail_bits: phase.tail_bits.clone(),
                     })),
                     Decision::Wait(d) => Some(Msg::Wait {
                         millis: (d.as_millis() as u64).clamp(10, 1_000),
@@ -673,78 +688,72 @@ fn drive_campaign(
             );
         }
 
-        // ---- Phase 1: offsets -------------------------------------------
-        let mut offset_done = vec![false; cfg.samples];
-        for &(i, _) in &current.resume.offsets {
-            if i < cfg.samples {
-                offset_done[i] = true;
-            }
-        }
-        for f in &current.resume.failures {
-            if f.phase == McPhase::Offset && f.index < cfg.samples {
-                offset_done[f.index] = true;
-            }
-        }
-        let pending: Vec<usize> = (0..cfg.samples).filter(|&i| !offset_done[i]).collect();
-        let phase_aborted = serve_phase(
-            corner,
-            McPhase::Offset,
-            0,
-            &pending,
-            opts,
-            shared,
-            &mut current,
-            &done_corners,
-            &mut sched_total,
-            &mut units_budget,
-            writer,
-        );
+        let (merge_cfg, tail_rounds): (McConfig, u32) = if cfg.tail.is_some() {
+            serve_tail_corner(
+                corner,
+                opts,
+                shared,
+                &mut current,
+                &done_corners,
+                &mut sched_total,
+                &mut units_budget,
+                writer,
+            )
+        } else {
+            // ---- Phase 1: offsets ---------------------------------------
+            let pending = pending_offsets(&current.resume, 0, cfg.samples);
+            let phase_aborted = serve_phase(
+                corner,
+                McPhase::Offset,
+                0,
+                &[],
+                &pending,
+                opts,
+                shared,
+                &mut current,
+                &done_corners,
+                &mut sched_total,
+                &mut units_budget,
+                writer,
+                None,
+            );
 
-        // ---- Phase 2: delays --------------------------------------------
-        let delay_count = cfg.delay_samples.min(cfg.samples);
-        if delay_count > 0 && !phase_aborted {
-            // The corner-wide swing, from the merged, index-ordered
-            // offset distribution — exactly what the in-process engine
-            // derives between its phases.
-            let mut offsets_by_index: Vec<Option<f64>> = vec![None; cfg.samples];
-            for &(i, v) in &current.resume.offsets {
-                if i < cfg.samples {
-                    offsets_by_index[i] = Some(v);
-                }
-            }
-            let offsets: Vec<f64> = offsets_by_index.iter().copied().flatten().collect();
-            if !offsets.is_empty() {
-                let spec = offset_spec_from_samples(cfg, &offsets);
-                let swing = delay_swing_volts(cfg, spec);
-                let mut delay_done = vec![false; delay_count];
-                for &(i, _) in &current.resume.delays {
-                    if i < delay_count {
-                        delay_done[i] = true;
+            // ---- Phase 2: delays ----------------------------------------
+            let delay_count = cfg.delay_samples.min(cfg.samples);
+            if delay_count > 0 && !phase_aborted {
+                // The corner-wide swing, from the merged, index-ordered
+                // offset distribution — exactly what the in-process engine
+                // derives between its phases.
+                let mut offsets_by_index: Vec<Option<f64>> = vec![None; cfg.samples];
+                for &(i, v) in &current.resume.offsets {
+                    if i < cfg.samples {
+                        offsets_by_index[i] = Some(v);
                     }
                 }
-                for f in &current.resume.failures {
-                    if f.phase == McPhase::Delay && f.index < delay_count {
-                        delay_done[f.index] = true;
-                    }
+                let offsets: Vec<f64> = offsets_by_index.iter().copied().flatten().collect();
+                if !offsets.is_empty() {
+                    let spec = offset_spec_from_samples(cfg, &offsets);
+                    let swing = delay_swing_volts(cfg, spec);
+                    let pending = pending_delays(&current.resume, delay_count);
+                    serve_phase(
+                        corner,
+                        McPhase::Delay,
+                        swing.to_bits(),
+                        &[],
+                        &pending,
+                        opts,
+                        shared,
+                        &mut current,
+                        &done_corners,
+                        &mut sched_total,
+                        &mut units_budget,
+                        writer,
+                        None,
+                    );
                 }
-                let pending: Vec<usize> = (0..delay_count)
-                    .filter(|&i| offsets_by_index[i].is_some() && !delay_done[i])
-                    .collect();
-                serve_phase(
-                    corner,
-                    McPhase::Delay,
-                    swing.to_bits(),
-                    &pending,
-                    opts,
-                    shared,
-                    &mut current,
-                    &done_corners,
-                    &mut sched_total,
-                    &mut units_budget,
-                    writer,
-                );
             }
-        }
+            (cfg.clone(), 0)
+        };
 
         aborted =
             units_budget.is_some_and(|n| n == 0) || (opts.handle_signals && interrupt::requested());
@@ -761,8 +770,13 @@ fn drive_campaign(
             observer: None,
             cancel: Some(&token),
         };
-        let outcome = match run_mc_controlled(cfg, &ctl) {
-            Ok(result) => CornerOutcome::Completed(Box::new(result)),
+        let outcome = match run_mc_controlled(&merge_cfg, &ctl) {
+            Ok(mut result) => {
+                if let Some(t) = result.tail.as_mut() {
+                    t.rounds = tail_rounds;
+                }
+                CornerOutcome::Completed(Box::new(result))
+            }
             Err(e) => CornerOutcome::Failed(e),
         };
         if opts.progress {
@@ -814,15 +828,305 @@ fn drive_campaign(
     )
 }
 
+/// Offset-phase indices in `[start, end)` the resume does not already
+/// cover (completed or quarantined).
+fn pending_offsets(resume: &McResume, start: usize, end: usize) -> Vec<usize> {
+    let span = end.saturating_sub(start);
+    let mut done = vec![false; span];
+    for &(i, _) in &resume.offsets {
+        if i >= start && i < end {
+            done[i - start] = true;
+        }
+    }
+    for f in &resume.failures {
+        if f.phase == McPhase::Offset && f.index >= start && f.index < end {
+            done[f.index - start] = true;
+        }
+    }
+    (start..end).filter(|&i| !done[i - start]).collect()
+}
+
+/// Delay-phase indices in `[0, delay_count)` still wanted: the sample's
+/// offset must have completed and its delay must not be covered yet.
+fn pending_delays(resume: &McResume, delay_count: usize) -> Vec<usize> {
+    let mut offset_present = vec![false; delay_count];
+    for &(i, _) in &resume.offsets {
+        if i < delay_count {
+            offset_present[i] = true;
+        }
+    }
+    let mut done = vec![false; delay_count];
+    for &(i, _) in &resume.delays {
+        if i < delay_count {
+            done[i] = true;
+        }
+    }
+    for f in &resume.failures {
+        if f.phase == McPhase::Delay && f.index < delay_count {
+            done[f.index] = true;
+        }
+    }
+    (0..delay_count)
+        .filter(|&i| offset_present[i] && !done[i])
+        .collect()
+}
+
+/// Serves a tail-estimation corner: pilot phase, proposal resolution (a
+/// pure function of the merged pilot offsets, so every restart resolves
+/// the identical shift), adaptive sample-range rounds issued only while
+/// the stopping rule is unmet, then the delay phase at the weighted-spec
+/// swing. The stopping rule is evaluated between rounds by a zero-solve
+/// re-assembly of the merged records under the round's effective config
+/// — the same statistics the local engine checks at the same block
+/// boundary — so a distributed tail run converges on exactly the sample
+/// set (and the bit-identical result) of a local
+/// [`issa_core::tail::run_tail_mc`] run.
+///
+/// Returns the effective configuration the final merge must restore
+/// under, plus the adaptive round count for the result's tail summary.
+#[allow(clippy::too_many_arguments)]
+fn serve_tail_corner(
+    corner: &CampaignCorner,
+    opts: &ServeOptions,
+    shared: &Shared,
+    current: &mut CornerCheckpoint,
+    done_corners: &[CornerCheckpoint],
+    sched_total: &mut SchedStats,
+    units_budget: &mut Option<u64>,
+    writer: &mut Option<CheckpointWriter>,
+) -> (McConfig, u32) {
+    let cfg = &corner.cfg;
+    let Some(tail) = cfg.tail.clone() else {
+        return (cfg.clone(), 0);
+    };
+
+    // A pre-resolved config mirrors the local fallthrough (one classic
+    // run under the stored proposal): a single offset phase over
+    // [0, samples), shifted indices reconstructing the per-device shift
+    // from the exact bits shipped in the assignment.
+    if let Some(p) = tail.resolved {
+        let tail_bits: Vec<u64> = p
+            .shift
+            .iter()
+            .chain(p.neg.iter())
+            .map(|s| s.to_bits())
+            .collect();
+        let pending = pending_offsets(&current.resume, 0, cfg.samples);
+        let aborted = serve_phase(
+            corner,
+            McPhase::Offset,
+            0,
+            &tail_bits,
+            &pending,
+            opts,
+            shared,
+            current,
+            done_corners,
+            sched_total,
+            units_budget,
+            writer,
+            Some(cfg),
+        );
+        if !aborted {
+            serve_tail_delays(
+                corner,
+                cfg,
+                opts,
+                shared,
+                current,
+                done_corners,
+                sched_total,
+                units_budget,
+                writer,
+            );
+        }
+        return (cfg.clone(), 0);
+    }
+
+    // ---- Pilot: indices [0, samples) draw nominally -----------------
+    let pending = pending_offsets(&current.resume, 0, cfg.samples);
+    if serve_phase(
+        corner,
+        McPhase::Offset,
+        0,
+        &[],
+        &pending,
+        opts,
+        shared,
+        current,
+        done_corners,
+        sched_total,
+        units_budget,
+        writer,
+        None,
+    ) {
+        // Interrupted mid-pilot: no proposal exists yet. Merging under
+        // the original config reports the classic partial result a local
+        // pilot abort does, and a resumed campaign re-enters here.
+        return (cfg.clone(), 0);
+    }
+
+    // ---- Proposal: resolved here, shipped as exact bits --------------
+    // `resolve_proposal` filters to pilot indices, sorts, and dedups
+    // internally, so the raw indexed resume records feed it directly.
+    let proposal = resolve_proposal(cfg, &current.resume.offsets);
+    let tail_bits: Vec<u64> = proposal
+        .shift
+        .iter()
+        .chain(proposal.neg.iter())
+        .map(|s| s.to_bits())
+        .collect();
+    let resolved_cfg = with_resolved(cfg, &proposal.shift, &proposal.neg);
+    if opts.progress {
+        eprintln!(
+            "serve: corner {:?} tail proposal |shift| {:.3} (pilot {})",
+            corner.name,
+            proposal.magnitude(),
+            proposal.pilot
+        );
+    }
+
+    // ---- Adaptive rounds: deterministic blocks until converged -------
+    let max_samples = tail.max_samples.max(cfg.samples);
+    let mut n = cfg.samples;
+    let mut rounds: u32 = 0;
+    let mut round_aborted = false;
+    while n < max_samples {
+        n = n.saturating_add(tail.block_samples.max(1)).min(max_samples);
+        rounds += 1;
+        let round_cfg = McConfig {
+            samples: n,
+            delay_samples: 0,
+            ..resolved_cfg.clone()
+        };
+        let pending = pending_offsets(&current.resume, 0, n);
+        if serve_phase(
+            corner,
+            McPhase::Offset,
+            0,
+            &tail_bits,
+            &pending,
+            opts,
+            shared,
+            current,
+            done_corners,
+            sched_total,
+            units_budget,
+            writer,
+            Some(&round_cfg),
+        ) {
+            round_aborted = true;
+            break;
+        }
+        let ctl = McControl {
+            resume: Some(&current.resume),
+            observer: None,
+            cancel: None,
+        };
+        match run_mc_controlled(&round_cfg, &ctl) {
+            Ok(r) => {
+                if r.partial || r.tail.as_ref().is_some_and(|t| t.converged) {
+                    break;
+                }
+            }
+            // A failure-budget overrun here reproduces at the final merge
+            // under the same sample count, where it becomes the corner's
+            // Failed outcome — exactly when the local engine would error.
+            Err(_) => break,
+        }
+    }
+
+    let final_cfg = McConfig {
+        samples: n,
+        delay_samples: cfg.delay_samples.min(cfg.samples),
+        ..resolved_cfg
+    };
+    if !round_aborted {
+        serve_tail_delays(
+            corner,
+            &final_cfg,
+            opts,
+            shared,
+            current,
+            done_corners,
+            sched_total,
+            units_budget,
+            writer,
+        );
+    }
+    (final_cfg, rounds)
+}
+
+/// Serves a tail corner's delay phase. The swing derives from the
+/// *weighted* directly-estimated spec — obtained by a zero-solve
+/// re-assembly of the merged offsets under the effective config —
+/// because that is the spec the local engine's delay phase provisions
+/// for in tail mode.
+#[allow(clippy::too_many_arguments)]
+fn serve_tail_delays(
+    corner: &CampaignCorner,
+    cfg_eff: &McConfig,
+    opts: &ServeOptions,
+    shared: &Shared,
+    current: &mut CornerCheckpoint,
+    done_corners: &[CornerCheckpoint],
+    sched_total: &mut SchedStats,
+    units_budget: &mut Option<u64>,
+    writer: &mut Option<CheckpointWriter>,
+) {
+    let delay_count = cfg_eff.delay_samples.min(cfg_eff.samples);
+    if delay_count == 0 {
+        return;
+    }
+    let pending = pending_delays(&current.resume, delay_count);
+    if pending.is_empty() {
+        return;
+    }
+    let probe_cfg = McConfig {
+        delay_samples: 0,
+        ..cfg_eff.clone()
+    };
+    let ctl = McControl {
+        resume: Some(&current.resume),
+        observer: None,
+        cancel: None,
+    };
+    // No offsets at all (or a budget overrun) leaves nothing to measure;
+    // the final merge reports the corner's real outcome.
+    let Ok(assembled) = run_mc_controlled(&probe_cfg, &ctl) else {
+        return;
+    };
+    let swing = delay_swing_volts(cfg_eff, assembled.spec);
+    serve_phase(
+        corner,
+        McPhase::Delay,
+        swing.to_bits(),
+        &[],
+        &pending,
+        opts,
+        shared,
+        current,
+        done_corners,
+        sched_total,
+        units_budget,
+        writer,
+        None,
+    );
+}
+
 /// Serves one phase of one corner to the worker fleet: installs the
 /// scheduler, waits for completion while ticking leases and draining
 /// records, quarantines exhausted units, and streams the checkpoint.
+/// When `weight_cfg` is set (tail rounds), every drained offset record
+/// is annotated with its exact importance log-weight — a pure seed-tree
+/// replay, no solves — so the checkpoint and final merge carry them.
 /// Returns `true` when the abort hook ended the phase early.
 #[allow(clippy::too_many_arguments)]
 fn serve_phase(
     corner: &CampaignCorner,
     phase: McPhase,
     swing_bits: u64,
+    tail_bits: &[u64],
     pending: &[usize],
     opts: &ServeOptions,
     shared: &Shared,
@@ -831,6 +1135,7 @@ fn serve_phase(
     sched_total: &mut SchedStats,
     units_budget: &mut Option<u64>,
     writer: &mut Option<CheckpointWriter>,
+    weight_cfg: Option<&McConfig>,
 ) -> bool {
     let drained =
         || units_budget.is_some_and(|n| n == 0) || (opts.handle_signals && interrupt::requested());
@@ -856,6 +1161,7 @@ fn serve_phase(
             corner: corner.name.clone(),
             phase,
             swing_bits,
+            tail_bits: tail_bits.to_vec(),
             scheduler: PhaseScheduler::new(&ranges, base_id, &opts.scheduler),
             wanted: pending.iter().copied().collect(),
             collected: McResume::default(),
@@ -935,6 +1241,14 @@ fn serve_phase(
         }
         drop(s);
 
+        if let Some(wcfg) = weight_cfg {
+            for &(i, _) in &drained.offsets {
+                let lw = tail_log_weight(wcfg, i);
+                if lw != 0.0 {
+                    current.resume.log_weights.push((i, lw));
+                }
+            }
+        }
         current.resume.offsets.extend(drained.offsets);
         current.resume.delays.extend(drained.delays);
         current.resume.failures.extend(drained.failures);

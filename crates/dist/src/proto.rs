@@ -48,12 +48,19 @@ pub struct UnitAssignment {
     /// exact `f64` bits ([`issa_core::montecarlo::delay_swing_volts`]
     /// over the merged offset distribution — a worker that never saw the
     /// other samples still measures at exactly the single-process swing).
-    /// Zero for the offset phase.
+    /// Zero for offset phases.
     pub swing_bits: u64,
     /// First sample index (inclusive).
     pub start: usize,
     /// Last sample index (exclusive).
     pub end: usize,
+    /// For tail-round offset phases: the coordinator's resolved proposal
+    /// shifts — the positive-side per-device vector followed by the
+    /// negative-side one, exact `f64` bits per entry (the worker installs
+    /// them through [`issa_core::tail::with_resolved`] so shifted samples
+    /// replay the coordinator's proposal bit-for-bit). Empty for classic
+    /// and pilot offset phases and for delay phases.
+    pub tail_bits: Vec<u64>,
 }
 
 impl UnitAssignment {
@@ -190,6 +197,9 @@ impl Msg {
                     a.start,
                     a.end
                 );
+                for &bits in &a.tail_bits {
+                    s.push_str(&format!(" {bits:016x}"));
+                }
             }
             Msg::Wait { millis } => s = format!("wait {millis}"),
             Msg::Done => s.push_str("done"),
@@ -267,6 +277,13 @@ impl Msg {
                 swing_bits: parse_hex(fields.next()).ok_or("assign: bad swing bits")?,
                 start: parse_dec(fields.next()).ok_or("assign: bad start")?,
                 end: parse_dec(fields.next()).ok_or("assign: bad end")?,
+                tail_bits: {
+                    let mut bits = Vec::new();
+                    for field in fields {
+                        bits.push(parse_hex(Some(field)).ok_or("assign: bad tail shift bits")?);
+                    }
+                    bits
+                },
             }),
             "wait" => Msg::Wait {
                 millis: parse_dec(fields.next()).ok_or("wait: bad millis")?,
@@ -395,6 +412,16 @@ mod tests {
             swing_bits: 0.25f64.to_bits(),
             start: 32,
             end: 64,
+            tail_bits: Vec::new(),
+        }));
+        round_trip(&Msg::Assign(UnitAssignment {
+            unit_id: 18,
+            corner: "table2/NSSA 80r0 aged".into(),
+            phase: McPhase::Offset,
+            swing_bits: 0,
+            start: 64,
+            end: 96,
+            tail_bits: vec![1.5f64.to_bits(), (-0.25f64).to_bits(), (-0.0f64).to_bits()],
         }));
         round_trip(&Msg::Wait { millis: 50 });
         round_trip(&Msg::Done);

@@ -352,6 +352,22 @@ fn compute_unit(
         .find(|c| c.name == a.corner)
         .ok_or_else(|| DistError::Proto(format!("assigned unknown corner {:?}", a.corner)))?;
     let cfg: &McConfig = &corner.cfg;
+    // Tail-round offset units carry the coordinator's resolved proposal
+    // shifts in `tail_bits` (the positive-side vector followed by the
+    // negative-side one, exact f64 bits per device; empty for pilot
+    // units, whose samples draw nominally). Installing them through
+    // `with_resolved` makes the worker's samples replay the coordinator's
+    // proposal bit-for-bit — the shift is data agreed over the wire,
+    // never a local recomputation that could drift.
+    let tail_cfg: Option<McConfig> = match a.phase {
+        McPhase::Offset if cfg.tail.is_some() && !a.tail_bits.is_empty() => {
+            let shift: Vec<f64> = a.tail_bits.iter().copied().map(f64::from_bits).collect();
+            let (pos, neg) = shift.split_at(shift.len() / 2);
+            Some(issa_core::tail::with_resolved(cfg, pos, neg))
+        }
+        _ => None,
+    };
+    let cfg = tail_cfg.as_ref().unwrap_or(cfg);
     let mut result = UnitResult {
         unit_id: a.unit_id,
         worker_id,

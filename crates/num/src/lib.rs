@@ -14,6 +14,9 @@
 //!   threshold-crossing measurements and the Eq. 3 spec solve;
 //! - [`stats`] — streaming statistics, summaries, histograms, and quantiles
 //!   for Monte Carlo post-processing;
+//! - [`wstats`] — weighted-sample statistics (self-normalized importance
+//!   estimators, effective sample size, tail-quantile confidence intervals)
+//!   for the importance-sampled rare-failure mode;
 //! - [`rng`] — deterministic seed fan-out and the sampling distributions
 //!   (normal, exponential, Poisson, log-uniform) the aging model draws from;
 //! - [`interp`] — piecewise-linear interpolation for waveforms and sweeps.
@@ -43,6 +46,7 @@ pub mod roots;
 pub mod smatrix;
 pub mod special;
 pub mod stats;
+pub mod wstats;
 
 pub use matrix::{DMatrix, Lu, SingularMatrixError};
 pub use roots::{bisect, brent, Bracket, RootError};

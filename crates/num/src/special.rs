@@ -292,6 +292,40 @@ mod tests {
     }
 
     #[test]
+    fn inv_norm_cdf_extreme_tail_round_trips_through_norm_sf() {
+        // Deep tail quantiles down to 1e-15, round-tripped through the
+        // relatively-accurate survival function (Φ itself saturates at
+        // 1.0 in f64 long before these budgets, so `norm_cdf(x) − p`
+        // cannot check this regime).
+        for e in 3..=15 {
+            let p = 10f64.powi(-e);
+            let z = inv_norm_cdf(p);
+            assert!(z < 0.0);
+            let back = norm_sf(-z);
+            assert!(
+                (back / p - 1.0).abs() < 1e-9,
+                "p=1e-{e}: z={z} round-trip {back:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn inv_norm_cdf_extreme_tail_pins_and_stays_monotone() {
+        // The paper's anchor: a two-sided 1e-9 budget puts each boundary
+        // at Φ⁻¹(1 − 5e-10) ≈ 6.109 σ; a 1e-15 budget at ≈ 8.027 σ.
+        assert!((-inv_norm_cdf(5e-10) - 6.109).abs() < 5e-3);
+        assert!((-inv_norm_cdf(5e-16) - 8.027).abs() < 5e-3);
+        // Strictly monotone decade by decade through the entire
+        // double-precision tail.
+        let mut last = f64::NEG_INFINITY;
+        for e in (3..=300).rev() {
+            let z = inv_norm_cdf(10f64.powi(-e));
+            assert!(z > last, "quantile must be strictly increasing at 1e-{e}");
+            last = z;
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "quantile requires p in (0,1)")]
     fn inv_norm_cdf_rejects_zero() {
         inv_norm_cdf(0.0);

@@ -344,9 +344,11 @@ impl Histogram {
 /// intervals computed from a resumed campaign are bit-identical to an
 /// uninterrupted run's.
 ///
-/// Returns NaN for `dof == 0` (no interval exists from one observation).
+/// Returns `None` for `dof == 0` (no interval exists from one
+/// observation) — callers must surface "insufficient samples" explicitly
+/// instead of letting NaN leak into downstream artifacts.
 #[must_use]
-pub fn t_critical_95(dof: usize) -> f64 {
+pub fn t_critical_95(dof: usize) -> Option<f64> {
     const TABLE: [f64; 30] = [
         12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
         2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
@@ -361,8 +363,8 @@ pub fn t_critical_95(dof: usize) -> f64 {
         (f64::INFINITY, 1.960),
     ];
     match dof {
-        0 => f64::NAN,
-        1..=30 => TABLE[dof - 1],
+        0 => None,
+        1..=30 => Some(TABLE[dof - 1]),
         _ => {
             let inv = 1.0 / dof as f64;
             for pair in ANCHORS.windows(2) {
@@ -371,10 +373,10 @@ pub fn t_critical_95(dof: usize) -> f64 {
                 let (inv_lo, inv_hi) = (1.0 / d_lo, 1.0 / d_hi);
                 if inv <= inv_lo && inv >= inv_hi {
                     let frac = (inv_lo - inv) / (inv_lo - inv_hi);
-                    return t_lo + frac * (t_hi - t_lo);
+                    return Some(t_lo + frac * (t_hi - t_lo));
                 }
             }
-            1.960
+            Some(1.960)
         }
     }
 }
@@ -384,18 +386,20 @@ pub fn t_critical_95(dof: usize) -> f64 {
 ///
 /// Sample-count aware by construction, which is the point for partially
 /// completed Monte Carlo campaigns: an interval over 40 surviving samples
-/// is honestly wider than one over 400. Returns NaN for fewer than two
-/// observations (no spread estimate exists).
+/// is honestly wider than one over 400. Returns `None` for fewer than two
+/// observations (no spread estimate exists) so heavily-quarantined
+/// partial campaigns report "insufficient samples" rather than NaN.
 #[must_use]
-pub fn mean_ci95_half(xs: &[f64]) -> f64 {
+pub fn mean_ci95_half(xs: &[f64]) -> Option<f64> {
     if xs.len() < 2 {
-        return f64::NAN;
+        return None;
     }
     let mut s = RunningStats::new();
     for &x in xs {
         s.push(x);
     }
-    t_critical_95(xs.len() - 1) * s.sample_std() / (xs.len() as f64).sqrt()
+    let t = t_critical_95(xs.len() - 1)?;
+    Some(t * s.sample_std() / (xs.len() as f64).sqrt())
 }
 
 #[cfg(test)]
@@ -563,23 +567,23 @@ mod tests {
 
     #[test]
     fn t_critical_matches_the_table() {
-        assert!((t_critical_95(1) - 12.706).abs() < 1e-12);
-        assert!((t_critical_95(9) - 2.262).abs() < 1e-12);
-        assert!((t_critical_95(30) - 2.042).abs() < 1e-12);
-        assert!((t_critical_95(60) - 2.000).abs() < 1e-12);
-        assert!(t_critical_95(0).is_nan());
+        assert!((t_critical_95(1).unwrap() - 12.706).abs() < 1e-12);
+        assert!((t_critical_95(9).unwrap() - 2.262).abs() < 1e-12);
+        assert!((t_critical_95(30).unwrap() - 2.042).abs() < 1e-12);
+        assert!((t_critical_95(60).unwrap() - 2.000).abs() < 1e-12);
+        assert!(t_critical_95(0).is_none());
     }
 
     #[test]
     fn t_critical_is_monotone_decreasing_to_the_normal_limit() {
         let mut prev = f64::INFINITY;
         for dof in 1..500 {
-            let t = t_critical_95(dof);
+            let t = t_critical_95(dof).unwrap();
             assert!(t <= prev + 1e-12, "not monotone at dof {dof}");
             assert!(t >= 1.960, "below the normal asymptote at dof {dof}");
             prev = t;
         }
-        assert!((t_critical_95(1_000_000) - 1.960).abs() < 1e-3);
+        assert!((t_critical_95(1_000_000).unwrap() - 1.960).abs() < 1e-3);
     }
 
     #[test]
@@ -588,11 +592,11 @@ mod tests {
         // and from the t critical value).
         let small: Vec<f64> = (0..8).map(|i| (i % 2) as f64).collect();
         let large: Vec<f64> = (0..256).map(|i| (i % 2) as f64).collect();
-        let ci_small = mean_ci95_half(&small);
-        let ci_large = mean_ci95_half(&large);
+        let ci_small = mean_ci95_half(&small).unwrap();
+        let ci_large = mean_ci95_half(&large).unwrap();
         assert!(ci_small > ci_large && ci_large > 0.0);
-        assert!(mean_ci95_half(&[1.0]).is_nan());
-        assert!(mean_ci95_half(&[]).is_nan());
+        assert!(mean_ci95_half(&[1.0]).is_none());
+        assert!(mean_ci95_half(&[]).is_none());
     }
 
     #[test]
@@ -600,6 +604,6 @@ mod tests {
         // n = 4, mean 2.5, s = sqrt(5/3), t₀.₉₇₅(3) = 3.182.
         let xs = [1.0, 2.0, 3.0, 4.0];
         let want = 3.182 * (5.0f64 / 3.0).sqrt() / 2.0;
-        assert!((mean_ci95_half(&xs) - want).abs() < 1e-12);
+        assert!((mean_ci95_half(&xs).unwrap() - want).abs() < 1e-12);
     }
 }

@@ -1,0 +1,422 @@
+//! Weighted-sample statistics for self-normalized importance sampling.
+//!
+//! An importance-sampled Monte Carlo run carries one *log* likelihood
+//! ratio per sample, `log wᵢ = log p(xᵢ) − log q(xᵢ)` (target density
+//! over proposal density). Everything here consumes those log-weights
+//! through [`weights_from_log`] (max-subtracted, so a run whose ratios
+//! span hundreds of nats still normalizes without overflow) and computes
+//! the self-normalized estimators:
+//!
+//! * mean / std / effective sample size ([`weighted_summary`]),
+//! * a delta-method CI on the weighted mean ([`weighted_mean_ci95_half`]),
+//! * exceedance probabilities with delta-method standard errors, and
+//! * the tail quantile `inf{v : P(X > v) ≤ fr}` with a confidence
+//!   interval obtained by inverting the log-scale exceedance CI band
+//!   `p̂(v)·exp(±z·σ̂(v)/p̂(v))` through the weighted ECDF
+//!   ([`tail_quantile_ci`]).
+//!
+//! Determinism: every reduction is a sequential left-to-right sum over
+//! the input order (after one stable `total_cmp` sort where noted), so
+//! results are bit-for-bit reproducible for a fixed input sequence.
+
+/// z-score of the two-sided 95 % confidence level.
+pub const Z_95: f64 = 1.959_963_984_540_054;
+
+/// Converts per-sample *log* likelihood ratios into relative weights,
+/// max-subtracted for numerical stability: `wᵢ = exp(log wᵢ − max log w)`.
+/// Self-normalized estimators are invariant to the common factor, so the
+/// subtraction changes no downstream statistic. Empty input gives an
+/// empty vector; a `-inf` log-weight gives weight 0.
+#[must_use]
+pub fn weights_from_log(log_w: &[f64]) -> Vec<f64> {
+    let max = log_w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return vec![0.0; log_w.len()];
+    }
+    log_w.iter().map(|&lw| (lw - max).exp()).collect()
+}
+
+/// Kish effective sample size `(Σw)² / Σw²` — how many *unweighted*
+/// samples the weighted set is worth. Equals `n` when all weights are
+/// equal; collapses toward 1 when one weight dominates. Returns 0 for an
+/// empty set or all-zero weights.
+#[must_use]
+pub fn effective_sample_size(weights: &[f64]) -> f64 {
+    let sum: f64 = weights.iter().sum();
+    let sum_sq: f64 = weights.iter().map(|w| w * w).sum();
+    if sum_sq > 0.0 {
+        sum * sum / sum_sq
+    } else {
+        0.0
+    }
+}
+
+/// Self-normalized weighted moments of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedSummary {
+    /// Sample count (unweighted).
+    pub n: usize,
+    /// Self-normalized weighted mean `Σwx / Σw`.
+    pub mean: f64,
+    /// Weighted standard deviation `sqrt(Σw(x−μ)² / Σw)`.
+    pub std: f64,
+    /// Kish effective sample size.
+    pub ess: f64,
+}
+
+/// Computes the self-normalized weighted mean and standard deviation.
+/// Returns `None` when the set is empty, lengths mismatch, or the total
+/// weight is not positive.
+#[must_use]
+pub fn weighted_summary(values: &[f64], weights: &[f64]) -> Option<WeightedSummary> {
+    if values.is_empty() || values.len() != weights.len() {
+        return None;
+    }
+    let total: f64 = weights.iter().sum();
+    if total.is_nan() || total <= 0.0 {
+        return None;
+    }
+    let mean = values.iter().zip(weights).map(|(x, w)| w * x).sum::<f64>() / total;
+    let var = values
+        .iter()
+        .zip(weights)
+        .map(|(x, w)| w * (x - mean) * (x - mean))
+        .sum::<f64>()
+        / total;
+    Some(WeightedSummary {
+        n: values.len(),
+        mean,
+        std: var.max(0.0).sqrt(),
+        ess: effective_sample_size(weights),
+    })
+}
+
+/// Delta-method 95 % half-width on the self-normalized weighted mean:
+/// `z · sqrt(Σ wᵢ²(xᵢ−μ̂)²) / Σw`. Reduces to the usual normal-theory
+/// `z·s/√n` for equal weights. Returns `None` for fewer than two samples
+/// or non-positive total weight — the honest "insufficient samples"
+/// signal, mirroring [`crate::stats::mean_ci95_half`].
+#[must_use]
+pub fn weighted_mean_ci95_half(values: &[f64], weights: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let s = weighted_summary(values, weights)?;
+    let total: f64 = weights.iter().sum();
+    let var_num: f64 = values
+        .iter()
+        .zip(weights)
+        .map(|(x, w)| w * w * (x - s.mean) * (x - s.mean))
+        .sum();
+    Some(Z_95 * var_num.sqrt() / total)
+}
+
+/// One point of the weighted exceedance curve: the self-normalized
+/// estimate `p̂(v) = Σ wᵢ·1{xᵢ > v} / Σw` with its delta-method standard
+/// error `sqrt(Σ wᵢ²(1{xᵢ>v} − p̂)²) / Σw`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exceedance {
+    /// Exceedance probability estimate.
+    pub p: f64,
+    /// Delta-method standard error of `p`.
+    pub sigma: f64,
+}
+
+/// The weighted tail quantile `v̂ = inf{v : p̂(v) ≤ fr}` with the
+/// confidence interval obtained by inverting the pointwise *log-scale*
+/// exceedance band `p̂(v)·exp(±z·σ̂(v)/p̂(v))` through the weighted ECDF.
+/// The band is built on `ln p̂` (the delta method gives `sd(ln p̂) =
+/// σ̂/p̂`) because a rare-event probability is positive and skewed: an
+/// additive band `p̂ ± z·σ̂` reaches zero wherever the sample set thins —
+/// admitting an `fr` many orders of magnitude below `p̂` and pinning the
+/// lower quantile bound at the edge of the bulk instead of near the
+/// quantile.
+#[derive(Debug, Clone, Copy)]
+pub struct TailQuantile {
+    /// Point estimate of the quantile.
+    pub value: f64,
+    /// Lower confidence bound (smallest sample value whose exceedance CI
+    /// admits `fr`).
+    pub lo: f64,
+    /// Upper confidence bound — the smallest sample value at or above
+    /// the estimate whose exceedance is confidently below `fr` — or
+    /// `None` when the data cannot bound the quantile from above (no
+    /// positive tail weight beyond any such value).
+    pub hi: Option<f64>,
+    /// Kish effective sample size of the samples at or above `value` —
+    /// the resolution the estimate actually has in the tail. Callers
+    /// should distrust the interval when this is small (a handful of
+    /// extreme order statistics can make the delta-method band
+    /// spuriously tight).
+    pub tail_ess: f64,
+}
+
+impl TailQuantile {
+    /// Relative CI half-width `(hi − lo) / (2·value)`, or `None` when the
+    /// interval is unbounded or the point estimate is not positive.
+    #[must_use]
+    pub fn rel_half_width(&self) -> Option<f64> {
+        let hi = self.hi?;
+        if self.value > 0.0 {
+            Some((hi - self.lo).max(0.0) / (2.0 * self.value))
+        } else {
+            None
+        }
+    }
+}
+
+/// Estimates the `(1 − fr)` tail quantile of a weighted sample set with
+/// a CI, by inverting the exceedance confidence band. `pairs` is the
+/// `(value, weight)` set in any order (it is stably sorted by value
+/// internally, so a fixed input sequence gives bit-identical output).
+///
+/// Returns `None` when the set is empty, the total weight is not
+/// positive, or `fr` is outside `(0, 1)`.
+#[must_use]
+pub fn tail_quantile_ci(pairs: &[(f64, f64)], fr: f64, z: f64) -> Option<TailQuantile> {
+    if pairs.is_empty() || !(fr > 0.0 && fr < 1.0) {
+        return None;
+    }
+    let mut sorted: Vec<(f64, f64)> = pairs.to_vec();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total: f64 = sorted.iter().map(|&(_, w)| w).sum();
+    if total.is_nan() || total <= 0.0 {
+        return None;
+    }
+    let n = sorted.len();
+    // Suffix sums over the sorted order: tail_w[k] = Σ_{j≥k} w,
+    // tail_w2[k] = Σ_{j≥k} w². Index n means "beyond the largest sample".
+    let mut tail_w = vec![0.0; n + 1];
+    let mut tail_w2 = vec![0.0; n + 1];
+    for k in (0..n).rev() {
+        tail_w[k] = tail_w[k + 1] + sorted[k].1;
+        tail_w2[k] = tail_w2[k + 1] + sorted[k].1 * sorted[k].1;
+    }
+    let total_w2 = tail_w2[0];
+    // Strict exceedance at sample k's value: weight of samples with a
+    // *larger* value (ties share k's value, so skip past them).
+    let strict_after = |k: usize| {
+        let mut j = k + 1;
+        while j < n && sorted[j].0 == sorted[k].0 {
+            j += 1;
+        }
+        j
+    };
+    let exceed = |k: usize| -> Exceedance {
+        let j = strict_after(k);
+        let p = tail_w[j] / total;
+        // Σ wᵢ²(zᵢ−p̂)² = Σ_{>v} w²(1−p̂)² + Σ_{≤v} w²·p̂².
+        let var_num = tail_w2[j] * (1.0 - p) * (1.0 - p) + (total_w2 - tail_w2[j]) * p * p;
+        Exceedance {
+            p,
+            sigma: var_num.max(0.0).sqrt() / total,
+        }
+    };
+
+    // Log-scale band edges, `p̂·exp(±z·σ̂/p̂)`. A zero estimate has a
+    // degenerate band: it admits nothing from below and everything at or
+    // below zero from above.
+    let lower_edge = |e: Exceedance| {
+        if e.p > 0.0 {
+            e.p * (-z * e.sigma / e.p).exp()
+        } else {
+            0.0
+        }
+    };
+    let upper_edge = |e: Exceedance| {
+        if e.p > 0.0 {
+            e.p * (z * e.sigma / e.p).exp()
+        } else {
+            0.0
+        }
+    };
+
+    // Point estimate: smallest sample value whose strict exceedance is
+    // within the failure budget (the largest value always qualifies).
+    let mut k_hat = n - 1;
+    for k in 0..n {
+        if exceed(k).p <= fr {
+            k_hat = k;
+            break;
+        }
+    }
+    let value = sorted[k_hat].0;
+    // Lower bound: smallest value whose CI admits fr from above.
+    let mut lo = value;
+    for (k, &(v, _)) in sorted.iter().enumerate().take(k_hat + 1) {
+        if lower_edge(exceed(k)) <= fr {
+            lo = v;
+            break;
+        }
+    }
+    // Upper bound: smallest value at or above the estimate where the
+    // data *confidently* place the exceedance below fr — `upper_edge <
+    // fr` with positive tail weight beyond the value backing the claim
+    // (a zero estimate carries no evidence, only absence of data). The
+    // weighted exceedance curve steps multiplicatively in a deep tail,
+    // so it can jump clean over fr between adjacent order statistics;
+    // asking for a value whose band *contains* fr would then report the
+    // quantile as unbounded exactly when the data pin it the hardest.
+    let mut hi = None;
+    for (k, &(v, _)) in sorted.iter().enumerate().skip(k_hat) {
+        let e = exceed(k);
+        if e.p.is_nan() || e.p <= 0.0 {
+            break;
+        }
+        if upper_edge(e) < fr {
+            hi = Some(v);
+            break;
+        }
+    }
+    // Tail resolution: ESS of the samples at or above the estimate.
+    let tail_ess = {
+        let w = tail_w[k_hat];
+        let w2 = tail_w2[k_hat];
+        if w2 > 0.0 {
+            w * w / w2
+        } else {
+            0.0
+        }
+    };
+    Some(TailQuantile {
+        value,
+        lo,
+        hi,
+        tail_ess,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::rng::SeedSequence;
+    use crate::special::inv_norm_cdf;
+    use rand::Rng;
+
+    #[test]
+    fn unit_weights_reduce_to_unweighted_moments() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let w = [1.0; 4];
+        let s = weighted_summary(&xs, &w).unwrap();
+        assert!((s.mean - 2.5).abs() < 1e-15);
+        assert!((s.ess - 4.0).abs() < 1e-12);
+        // Population std of {1,2,3,4} is sqrt(1.25).
+        assert!((s.std - 1.25f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn log_weights_are_shift_invariant_after_normalization() {
+        let a = weights_from_log(&[0.0, -1.0, -2.0]);
+        let b = weights_from_log(&[700.0, 699.0, 698.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-15, "shifted weights differ");
+        }
+        // Extreme ranges neither overflow nor vanish.
+        let c = weights_from_log(&[-900.0, -1500.0]);
+        assert_eq!(c[0], 1.0);
+        assert!(c[1] >= 0.0);
+    }
+
+    #[test]
+    fn ess_collapses_when_one_weight_dominates() {
+        assert!((effective_sample_size(&[1.0; 100]) - 100.0).abs() < 1e-9);
+        let skewed = effective_sample_size(&[1000.0, 1.0, 1.0, 1.0]);
+        assert!(skewed < 1.1, "dominant weight must collapse ESS: {skewed}");
+        assert_eq!(effective_sample_size(&[]), 0.0);
+        assert_eq!(effective_sample_size(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn weighted_mean_ci_matches_normal_theory_for_unit_weights() {
+        let xs: Vec<f64> = (0..400).map(|i| (i as f64) / 400.0).collect();
+        let w = vec![1.0; 400];
+        let half = weighted_mean_ci95_half(&xs, &w).unwrap();
+        let s = weighted_summary(&xs, &w).unwrap();
+        let classic = Z_95 * s.std / (400f64).sqrt();
+        assert!(
+            (half / classic - 1.0).abs() < 1e-12,
+            "unit-weight CI {half} vs classic {classic}"
+        );
+        assert!(weighted_mean_ci95_half(&[1.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn plain_sample_quantile_ci_cannot_resolve_a_deep_tail() {
+        // 400 unit-weight standard normals cannot bound the 1e-9 quantile:
+        // the estimate degenerates to the max sample with ~1 tail ESS.
+        let mut rng = SeedSequence::root(7).rng();
+        let pairs: Vec<(f64, f64)> = (0..400)
+            .map(|_| (crate::rng::standard_normal(&mut rng).abs(), 1.0))
+            .collect();
+        let q = tail_quantile_ci(&pairs, 1e-9, Z_95).unwrap();
+        assert!(q.tail_ess < 2.5, "tail ESS must be tiny: {}", q.tail_ess);
+    }
+
+    #[test]
+    fn importance_sampled_tail_quantile_brackets_the_truth() {
+        // Target: |X| with X ~ N(0,1); true 1e-6 exceedance quantile is
+        // inv_norm_cdf(1 - 5e-7) ≈ 4.8916. Proposal: defensive mixture of
+        // N(0,1) and N(0,s²), s = 3, with exact likelihood ratios.
+        let fr = 1e-6;
+        let s = 3.0f64;
+        let mix = 0.5f64;
+        let mut rng = SeedSequence::root(1234).rng();
+        let mut pairs = Vec::new();
+        for _ in 0..20_000 {
+            let u: f64 = rng.gen();
+            let z = crate::rng::standard_normal(&mut rng);
+            let x = if u < mix { z } else { s * z };
+            // log p(x) − log q(x) with q = mix·N(0,1) + (1−mix)·N(0,s²).
+            let lr_shift = -s.ln() + 0.5 * (x * x) * (1.0 - 1.0 / (s * s));
+            let m = lr_shift.max(0.0);
+            let log_q_over_p =
+                m + ((mix.ln() - m).exp() + ((1.0 - mix).ln() + lr_shift - m).exp()).ln();
+            pairs.push((x.abs(), (-log_q_over_p).exp()));
+        }
+        let q = tail_quantile_ci(&pairs, fr, Z_95).unwrap();
+        let truth = inv_norm_cdf(1.0 - fr / 2.0);
+        assert!(
+            q.tail_ess > 20.0,
+            "IS must resolve the tail: {}",
+            q.tail_ess
+        );
+        let hi = q.hi.expect("IS run must bound the quantile");
+        assert!(
+            q.lo <= truth && truth <= hi,
+            "CI [{}, {hi}] must cover truth {truth} (point {})",
+            q.lo,
+            q.value
+        );
+        assert!(
+            (q.value / truth - 1.0).abs() < 0.05,
+            "point {} vs truth {truth}",
+            q.value
+        );
+        let rel = q.rel_half_width().unwrap();
+        assert!(rel < 0.1, "deep-tail quantile CI should be tight: {rel}");
+    }
+
+    #[test]
+    fn tail_quantile_handles_degenerate_inputs() {
+        assert!(tail_quantile_ci(&[], 1e-3, Z_95).is_none());
+        assert!(tail_quantile_ci(&[(1.0, 0.0)], 1e-3, Z_95).is_none());
+        assert!(tail_quantile_ci(&[(1.0, 1.0)], 0.0, Z_95).is_none());
+        // A single sample: the estimate is that sample, unbounded above.
+        let q = tail_quantile_ci(&[(2.0, 1.0)], 1e-3, Z_95).unwrap();
+        assert_eq!(q.value, 2.0);
+        assert!(q.rel_half_width().is_none());
+    }
+
+    #[test]
+    fn quantile_is_deterministic_for_a_fixed_sequence() {
+        let pairs: Vec<(f64, f64)> = (0..500)
+            .map(|i| ((i as f64 * 0.618_034).fract(), 1.0 + (i % 7) as f64))
+            .collect();
+        let a = tail_quantile_ci(&pairs, 1e-2, Z_95).unwrap();
+        let b = tail_quantile_ci(&pairs, 1e-2, Z_95).unwrap();
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+        assert_eq!(a.lo.to_bits(), b.lo.to_bits());
+        assert_eq!(a.hi.map(f64::to_bits), b.hi.map(f64::to_bits));
+    }
+}

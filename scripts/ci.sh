@@ -35,6 +35,25 @@ echo "== batched lockstep suites (SoA LU properties, scalar-vs-batched) =="
 cargo test -q -p issa-num --test smatrix_props
 cargo test -q --test determinism batched
 
+echo "== hotpath bench identity guard (reference vs fast vs batched) =="
+# A small hotpath_bench run; the estimator work must never break the
+# fast/batched bit-identity contract, so the artifact's flags are
+# asserted explicitly (the binary also exits nonzero on divergence).
+# Runs in a scratch directory so the checked-in results/ artifact keeps
+# its full-size numbers.
+HOTPATH_BIN=$PWD/target/release/hotpath_bench
+GUARD_DIR=$(mktemp -d)
+trap 'rm -rf "$GUARD_DIR"' EXIT
+(
+  cd "$GUARD_DIR"
+  "$HOTPATH_BIN" --samples 6 >hotpath.log 2>&1 || { tail -20 hotpath.log; exit 1; }
+  grep -q '"bit_identical_reference_vs_fast": true' results/BENCH_hotpath.json
+  grep -q '"bit_identical_batched_vs_fast": true' results/BENCH_hotpath.json
+  echo "hotpath guard: fast and batched modes bit-identical to reference"
+)
+rm -rf "$GUARD_DIR"
+trap - EXIT
+
 echo "== fault injection / recovery suite =="
 cargo test -q -p issa-circuit --test recovery
 cargo test -q --test fault_quarantine
@@ -111,6 +130,44 @@ trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR" "$BATCH_DIR"' EXIT
   cmp results/table2.csv table2_local.csv
   echo "batched distributed: byte-identical table2.csv"
 )
+
+echo "== tail determinism suites (thread/lane/worker invariance, weighted resume) =="
+# Importance-sampled tail mode: pilot-prefix identity with the classic
+# engine, thread/lane invariance, abort-and-resume bit-identity with
+# checkpointed weights, and loopback worker-count invariance.
+cargo test -q --test tail_estimation
+
+echo "== tail kill-and-resume smoke (SIGKILL mid-campaign, weighted checkpoint) =="
+# A real tail campaign killed mid-flight must resume from its weighted
+# checkpoint to a CSV byte-identical to a fresh uninterrupted run, and a
+# three-worker distributed serve of the same config must match both.
+# Loose CI target + small cap keep it fast; determinism is what's gated.
+TAIL_FLAGS="--samples 24 --artifacts table2 --tail-fr 1e-9 --ci-target 0.5 --max-samples 48"
+TAIL_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR" "$BATCH_DIR" "$TAIL_DIR"' EXIT
+(
+  cd "$TAIL_DIR"
+  # shellcheck disable=SC2086
+  "$CAMPAIGN_BIN" $TAIL_FLAGS --flush-every 1 >tail_first.log 2>&1 &
+  pid=$!
+  sleep 2
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  # shellcheck disable=SC2086
+  "$CAMPAIGN_BIN" $TAIL_FLAGS --flush-every 1 >tail_resume.log 2>&1
+  cp results/table2.csv tail_resumed.csv
+  # shellcheck disable=SC2086
+  "$CAMPAIGN_BIN" $TAIL_FLAGS --fresh >tail_fresh.log 2>&1
+  cmp tail_resumed.csv results/table2.csv
+  cp results/table2.csv tail_local.csv
+  # shellcheck disable=SC2086
+  "$CAMPAIGN_BIN" serve $TAIL_FLAGS --fresh --loopback 3 --unit-samples 4 \
+    >tail_serve.log 2>&1
+  cmp results/table2.csv tail_local.csv
+  echo "tail kill-and-resume: byte-identical table2.csv (local resume + 3-worker serve)"
+)
+rm -rf "$TAIL_DIR"
+trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR" "$BATCH_DIR"' EXIT
 
 echo "== chaos soak (full fault schedule, coordinator SIGKILL + resume) =="
 # One seeded chaos run: solver faults, checkpoint I/O faults, wire

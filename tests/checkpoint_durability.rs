@@ -33,6 +33,7 @@ fn populated_checkpoint() -> Checkpoint {
                     (399, -0.0),
                 ],
                 delays: vec![(0, 14.7e-12), (3, 15.1e-12)],
+                log_weights: vec![(7, -0.251), (399, -std::f64::consts::LN_2)],
                 failures: vec![SampleFailure {
                     index: 42,
                     seed: 0x1554_2017,

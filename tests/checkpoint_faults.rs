@@ -31,6 +31,7 @@ fn checkpoint(tag: u64) -> Checkpoint {
             resume: McResume {
                 offsets: vec![(0, 1.25e-3), (1, -0.5e-3)],
                 delays: vec![(0, 15e-12)],
+                log_weights: vec![],
                 failures: vec![],
             },
         }],
