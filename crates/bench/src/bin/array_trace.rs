@@ -1,0 +1,529 @@
+//! Trace-driven array-level read-failure onset: Standard vs
+//! InputSwitching (`results/BENCH_array_trace.json`).
+//!
+//! For each workload-trace class (uniform, hot-row, DNN weight sweep):
+//!
+//! 1. **Generate** a deterministic trace and **replay** it through the
+//!    behavioural [`issa_trace::SramArray`] under both schemes,
+//!    measuring each column's *internal* value mix through the array's
+//!    actual control block and every address line's duty/toggle stats.
+//! 2. **Age** the circuit-level SAs with the measured mix: one Monte
+//!    Carlo corner per (class, scheme, stress time), run through the
+//!    standard campaign engine — checkpointable and resumable, with the
+//!    trace fingerprint folded into each corner's config fingerprint so
+//!    a resume under a swapped trace is refused.
+//! 3. **Evaluate**: plug each MC sample's aged offsets back into the
+//!    array (one array instance per `width` samples), subtract the
+//!    trace-aged decoder/wordline skew from the develop budget, replay
+//!    the trace, and count read failures. The onset is the first stress
+//!    time with any failed read.
+//!
+//! The headline gate: input switching delays the trace-driven failure
+//! onset versus the standard scheme on **every** class.
+//!
+//! ```sh
+//! cargo run --release -p issa-bench --bin array_trace -- \
+//!     [--samples N] [--seed S] [--rows R] [--width W] [--cycles C] \
+//!     [--times N] [--t-develop-ps PS] [--threads T] [--batch-lanes L] \
+//!     [--checkpoint PATH] [--abort-after N] [--trace-dir DIR] [--out DIR]
+//! ```
+
+use issa_core::campaign::{run_campaign, CampaignCorner, CampaignOptions, CampaignReport};
+use issa_core::montecarlo::McConfig;
+use issa_core::netlist::SaKind;
+use issa_core::workload::{ReadSequence, Workload};
+use issa_memarray::ArrayScheme;
+use issa_ptm45::Environment;
+use issa_trace::{
+    decoder_skew, replay, DecoderAging, ReplayOptions, ReplayStats, Trace, TraceClass,
+};
+use std::path::PathBuf;
+
+struct Args {
+    /// MC samples per corner — a multiple of `width`; each group of
+    /// `width` consecutive samples populates one array instance.
+    samples: usize,
+    seed: u64,
+    rows: u32,
+    width: u32,
+    cycles: u64,
+    /// Stress-time grid points (log-spaced 1e6..3.15e9 s).
+    times: usize,
+    /// Develop-time budget handed to every array read [s].
+    t_develop: f64,
+    /// Stress temperature [°C] for aging and decoder skew (reads stay at
+    /// the nominal supply).
+    temp_c: f64,
+    threads: usize,
+    batch_lanes: usize,
+    checkpoint: Option<PathBuf>,
+    /// Abort after this many corners (checkpoint smoke-test hook).
+    abort_after: Option<usize>,
+    /// Where generated traces are written (atomic `.trc` files).
+    trace_dir: PathBuf,
+    out: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: array_trace [--samples N] [--seed S] [--rows R] [--width W] [--cycles C] \
+         [--times N] [--t-develop-ps PS] [--temp-c C] [--threads T] [--batch-lanes L] \
+         [--checkpoint PATH] [--abort-after N] [--trace-dir DIR] [--out DIR]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        samples: 24,
+        seed: 0x1554_2017,
+        rows: 32,
+        width: 8,
+        cycles: 4096,
+        times: 6,
+        t_develop: 26e-12,
+        temp_c: 85.0,
+        threads: 0,
+        batch_lanes: 0,
+        checkpoint: None,
+        abort_after: None,
+        trace_dir: PathBuf::from("results/traces"),
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| {
+            it.next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("error: {name} needs a number");
+                    usage()
+                })
+        };
+        match arg.as_str() {
+            "--samples" => a.samples = num("--samples") as usize,
+            "--seed" => a.seed = num("--seed") as u64,
+            "--rows" => a.rows = num("--rows") as u32,
+            "--width" => a.width = num("--width") as u32,
+            "--cycles" => a.cycles = num("--cycles") as u64,
+            "--times" => a.times = num("--times") as usize,
+            "--t-develop-ps" => a.t_develop = num("--t-develop-ps") * 1e-12,
+            "--temp-c" => a.temp_c = num("--temp-c"),
+            "--threads" => a.threads = num("--threads") as usize,
+            "--batch-lanes" => a.batch_lanes = num("--batch-lanes") as usize,
+            "--abort-after" => a.abort_after = Some(num("--abort-after") as usize),
+            "--checkpoint" => {
+                a.checkpoint = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            "--trace-dir" => {
+                a.trace_dir = PathBuf::from(it.next().unwrap_or_else(|| usage()));
+            }
+            "--out" => {
+                a.out = PathBuf::from(it.next().unwrap_or_else(|| usage()));
+            }
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                usage()
+            }
+        }
+    }
+    if a.samples == 0
+        || a.rows == 0
+        || !(1..=64).contains(&a.width)
+        || a.times < 2
+        || a.cycles == 0
+        || a.t_develop <= 0.0
+    {
+        eprintln!("error: need --samples > 0, --rows > 0, 1 <= --width <= 64, --times >= 2");
+        usage()
+    }
+    if !a.samples.is_multiple_of(a.width as usize) {
+        eprintln!(
+            "error: --samples ({}) must be a multiple of --width ({}) — each group of \
+             width samples populates one array instance",
+            a.samples, a.width
+        );
+        usage()
+    }
+    a
+}
+
+const COUNTER_BITS: u8 = 8;
+
+/// Log-spaced stress-time grid: 1e6 s (~12 days) to 3.15e9 s (~100 y).
+fn time_grid(points: usize) -> Vec<f64> {
+    let (lo, hi) = (1e6f64, 3.15e9f64);
+    (0..points)
+        .map(|i| {
+            let f = i as f64 / (points - 1) as f64;
+            lo * (hi / lo).powf(f)
+        })
+        .collect()
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Scheme {
+    Standard,
+    InputSwitching,
+}
+
+impl Scheme {
+    fn all() -> [Self; 2] {
+        [Self::Standard, Self::InputSwitching]
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Self::Standard => "standard",
+            Self::InputSwitching => "input_switching",
+        }
+    }
+
+    fn array_scheme(self) -> ArrayScheme {
+        match self {
+            Self::Standard => ArrayScheme::Standard,
+            Self::InputSwitching => ArrayScheme::InputSwitching {
+                counter_bits: COUNTER_BITS,
+            },
+        }
+    }
+
+    fn sa_kind(self) -> SaKind {
+        match self {
+            Self::Standard => SaKind::Nssa,
+            Self::InputSwitching => SaKind::Issa,
+        }
+    }
+}
+
+/// One (class, scheme) lane: the replayed stress stats and the measured
+/// worst-column mix the MC corners stress with.
+struct Lane {
+    class: TraceClass,
+    scheme: Scheme,
+    stats: ReplayStats,
+    activation: f64,
+    mix: f64,
+}
+
+fn corner_name(class: TraceClass, scheme: Scheme, idx: usize) -> String {
+    format!("array_trace/{}/{}/t{idx}", class.name(), scheme.name())
+}
+
+fn mc_config(args: &Args, lane: &Lane, fingerprint: u64, time: f64) -> McConfig {
+    let mut cfg = McConfig::smoke(
+        lane.scheme.sa_kind(),
+        // The sequence member is inert under a measured mix; activation
+        // carries the measured duty.
+        Workload::new(lane.activation, ReadSequence::Alternating),
+        Environment::nominal().with_temp_c(args.temp_c),
+        time,
+        args.samples,
+    );
+    cfg.seed = args.seed;
+    cfg.counter_bits = COUNTER_BITS;
+    cfg.measured_mix = Some(lane.mix);
+    cfg.trace_fingerprint = fingerprint;
+    cfg.threads = args.threads;
+    cfg.batch_lanes = args.batch_lanes;
+    // Offsets are all this benchmark consumes; skip delay probes.
+    cfg.delay_samples = 0;
+    cfg
+}
+
+/// Read-failure evaluation of one corner: plug each array instance's
+/// worth of aged offsets into the array, subtract the aged decoder skew
+/// from the develop budget, replay, and count failed column reads.
+fn evaluate_failures(
+    args: &Args,
+    trace: &Trace,
+    lane: &Lane,
+    offsets: &[f64],
+    skew: f64,
+) -> (u64, u64) {
+    let arrays = offsets.len() / args.width as usize;
+    let mut failures = 0u64;
+    let mut reads = 0u64;
+    for a in 0..arrays {
+        let slice = &offsets[a * args.width as usize..(a + 1) * args.width as usize];
+        let mut opts = ReplayOptions::new(lane.scheme.array_scheme());
+        opts.t_develop = args.t_develop;
+        opts.offsets = slice.to_vec();
+        opts.timing_skew = skew;
+        let stats = replay(trace, &opts);
+        failures += stats.read_failures;
+        reads += stats.reads * args.width as u64;
+    }
+    (failures, reads)
+}
+
+/// `f64` to JSON: non-finite becomes `null`.
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn jopt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".into(), |x| format!("{x:.3e}"))
+}
+
+fn main() {
+    let args = parse_args();
+    let times = time_grid(args.times);
+    let classes = TraceClass::all();
+
+    // --- 1. Generate + replay each trace class under both schemes -----
+    std::fs::create_dir_all(&args.trace_dir).expect("create trace dir");
+    let mut traces = Vec::new();
+    for (i, class) in classes.iter().enumerate() {
+        let trace = class.generate(
+            args.rows,
+            args.width,
+            args.cycles,
+            args.seed ^ (i as u64 + 1),
+        );
+        let path = args.trace_dir.join(format!("{}.trc", class.name()));
+        trace.save(&path).expect("save trace");
+        traces.push(trace);
+    }
+
+    let mut lanes = Vec::new();
+    for (trace, &class) in traces.iter().zip(&classes) {
+        for scheme in Scheme::all() {
+            let stats = replay(trace, &ReplayOptions::new(scheme.array_scheme()));
+            let worst = stats.worst_column();
+            let col = stats.columns[worst];
+            println!(
+                "{:<12} {:<16} reads={:<6} worst col {} mix={:.4} act={:.3}",
+                class.name(),
+                scheme.name(),
+                stats.reads,
+                worst,
+                col.internal_zero_fraction,
+                col.activation,
+            );
+            lanes.push(Lane {
+                class,
+                scheme,
+                stats,
+                activation: col.activation,
+                mix: col.internal_zero_fraction,
+            });
+        }
+    }
+
+    // --- 2. Campaign over (class, scheme, time) corners ----------------
+    let mut corners = Vec::new();
+    for lane in &lanes {
+        let trace = &traces[classes
+            .iter()
+            .position(|c| *c == lane.class)
+            .expect("class")];
+        let fp = trace.fingerprint();
+        for (idx, &time) in times.iter().enumerate() {
+            corners.push(CampaignCorner {
+                name: corner_name(lane.class, lane.scheme, idx),
+                cfg: mc_config(&args, lane, fp, time),
+            });
+        }
+    }
+    let options = CampaignOptions {
+        checkpoint: args.checkpoint.clone(),
+        abort_after: args.abort_after,
+        ..CampaignOptions::default()
+    };
+    let report: CampaignReport = run_campaign(&corners, &options).unwrap_or_else(|e| {
+        eprintln!("error: array_trace campaign failed: {e}");
+        std::process::exit(1)
+    });
+    if report.partial {
+        println!(
+            "campaign aborted after {} fresh sample(s); checkpoint kept — rerun with the \
+             same --checkpoint to resume",
+            args.abort_after.unwrap_or(0)
+        );
+        return;
+    }
+
+    // --- 3. Failure-onset evaluation per (class, scheme) ---------------
+    let aging = DecoderAging::default_45nm(args.seed);
+    let env = Environment::nominal().with_temp_c(args.temp_c);
+    struct LaneOutcome {
+        class: TraceClass,
+        scheme: Scheme,
+        mix: f64,
+        activation: f64,
+        onset: Option<f64>,
+        failures: Vec<u64>,
+        reads: u64,
+        skews_ps: Vec<f64>,
+        specs_mv: Vec<f64>,
+    }
+    let mut outcomes = Vec::new();
+    for lane in &lanes {
+        let trace = &traces[classes
+            .iter()
+            .position(|c| *c == lane.class)
+            .expect("class")];
+        let mut failures = Vec::with_capacity(times.len());
+        let mut skews_ps = Vec::with_capacity(times.len());
+        let mut specs_mv = Vec::with_capacity(times.len());
+        let mut onset = None;
+        let mut total_reads = 0u64;
+        for (idx, &time) in times.iter().enumerate() {
+            let name = corner_name(lane.class, lane.scheme, idx);
+            let result = report.result(&name).unwrap_or_else(|| {
+                eprintln!("error: corner '{name}' produced no result");
+                std::process::exit(1)
+            });
+            let skew = decoder_skew(&aging, &lane.stats, args.rows, &env, time);
+            let (fails, reads) = evaluate_failures(&args, trace, lane, &result.offsets, skew);
+            if fails > 0 && onset.is_none() {
+                onset = Some(time);
+            }
+            failures.push(fails);
+            skews_ps.push(skew * 1e12);
+            specs_mv.push(result.spec * 1e3);
+            total_reads = reads;
+        }
+        println!(
+            "{:<12} {:<16} onset={}  failures/time={:?}",
+            lane.class.name(),
+            lane.scheme.name(),
+            onset.map_or_else(|| "none".into(), |t| format!("{t:.2e}s")),
+            failures,
+        );
+        outcomes.push(LaneOutcome {
+            class: lane.class,
+            scheme: lane.scheme,
+            mix: lane.mix,
+            activation: lane.activation,
+            onset,
+            failures,
+            reads: total_reads,
+            skews_ps,
+            specs_mv,
+        });
+    }
+
+    // --- 4. Gate + JSON -------------------------------------------------
+    let mut class_json = Vec::new();
+    let mut all_delayed = true;
+    for &class in &classes {
+        let std_lane = outcomes
+            .iter()
+            .find(|o| o.class == class && o.scheme == Scheme::Standard)
+            .expect("standard lane");
+        let sw_lane = outcomes
+            .iter()
+            .find(|o| o.class == class && o.scheme == Scheme::InputSwitching)
+            .expect("switching lane");
+        // Delayed: the standard scheme fails inside the grid and the
+        // switching scheme fails strictly later (or never).
+        let delayed = match (std_lane.onset, sw_lane.onset) {
+            (Some(s), Some(w)) => w > s,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        all_delayed &= delayed;
+        let ratio = match (std_lane.onset, sw_lane.onset) {
+            (Some(s), Some(w)) => Some(w / s),
+            _ => None,
+        };
+        let fp = traces[classes.iter().position(|c| *c == class).expect("class")].fingerprint();
+        let lane_json = |o: &LaneOutcome| {
+            format!(
+                concat!(
+                    "{{\"internal_zero_fraction\": {}, \"activation\": {}, ",
+                    "\"onset_s\": {}, \"failures_per_time\": [{}], ",
+                    "\"decoder_skew_ps_per_time\": [{}], \"spec_mv_per_time\": [{}], ",
+                    "\"reads_evaluated\": {}}}"
+                ),
+                jnum(o.mix),
+                jnum(o.activation),
+                jopt(o.onset),
+                o.failures
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                o.skews_ps
+                    .iter()
+                    .map(|&s| jnum(s))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                o.specs_mv
+                    .iter()
+                    .map(|&s| jnum(s))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                o.reads,
+            )
+        };
+        class_json.push(format!(
+            concat!(
+                "    {{\"class\": \"{}\", \"trace_fingerprint\": \"{:016x}\", ",
+                "\"onset_delayed\": {}, \"onset_ratio\": {},\n",
+                "     \"standard\": {},\n",
+                "     \"input_switching\": {}}}"
+            ),
+            class.name(),
+            fp,
+            delayed,
+            jopt(ratio),
+            lane_json(std_lane),
+            lane_json(sw_lane),
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"array_trace_failure_onset\",\n",
+            "  \"rows\": {},\n",
+            "  \"width\": {},\n",
+            "  \"cycles\": {},\n",
+            "  \"samples\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"counter_bits\": {},\n",
+            "  \"t_develop_ps\": {},\n",
+            "  \"temp_c\": {},\n",
+            "  \"times_s\": [{}],\n",
+            "  \"mitigation_ok\": {},\n",
+            "  \"note\": \"Per trace class: circuit-level SA offsets aged with the replay-measured \
+             internal mix, plugged into the behavioural array per width-sized sample group; the \
+             trace-aged NAND-tree decoder skew is subtracted from every read's develop budget. \
+             onset_s = first stress time with any failed column read. mitigation_ok requires \
+             input switching to delay the onset on every class.\",\n",
+            "  \"classes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        args.rows,
+        args.width,
+        args.cycles,
+        args.samples,
+        args.seed,
+        COUNTER_BITS,
+        jnum(args.t_develop * 1e12),
+        jnum(args.temp_c),
+        times
+            .iter()
+            .map(|&t| format!("{t:.6e}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        all_delayed,
+        class_json.join(",\n"),
+    );
+
+    std::fs::create_dir_all(&args.out).expect("create results dir");
+    let out = args.out.join("BENCH_array_trace.json");
+    std::fs::write(&out, json).expect("write BENCH_array_trace.json");
+    println!("\nmitigation_ok: {all_delayed} — wrote {}", out.display());
+    if !all_delayed {
+        eprintln!("error: input switching failed to delay the onset on every trace class");
+        std::process::exit(1);
+    }
+}

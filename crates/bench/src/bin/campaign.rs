@@ -99,6 +99,7 @@ use issa_core::probe::ProbeOptions;
 use issa_core::tail::TailConfig;
 use issa_core::workload::{ReadSequence, Workload};
 use issa_core::SaError;
+use issa_dist::cache::EvictionPolicy;
 use issa_dist::chaos;
 use issa_dist::control::{self, ControlRequest, Json, LineReader, NextLine};
 use issa_dist::coordinator::{serve_campaign, DistReport, ServeOptions};
@@ -171,6 +172,8 @@ struct Args {
     max_queue: usize,
     tenant_quota: usize,
     crash_loop_limit: u32,
+    cache_max_mb: Option<f64>,
+    cache_max_age_s: Option<f64>,
     // client verbs
     client_verb: String,
     tenant: String,
@@ -192,7 +195,7 @@ fn usage(message: &str) -> ! {
          [--abort-after N]\n\
          tail:   [--tail-fr FR] [--ci-target REL] [--max-samples N] [--tail-block K] \
          (importance-sampled direct tail estimation; --samples sizes the pilot; \
-         not accepted by service submissions)\n\
+         accepted by service submissions too)\n\
          serve:  [--listen ADDR] [--loopback N] [--port-file PATH] [--unit-samples K] \
          [--max-unit-attempts A] [--lease-timeout-s S] [--worker-timeout-s S] \
          [--speculate-after-s S]\n\
@@ -200,7 +203,8 @@ fn usage(message: &str) -> ! {
          chaos:  [--chaos-seed S] [--loopback N] [--unit-samples K] (plus campaign flags; \
          --chaos-seed is also accepted by every other mode)\n\
          service: [--dir PATH] [--listen ADDR] [--port-file PATH] [--max-campaigns N] \
-         [--max-queue N] [--tenant-quota N] [--crash-loop-limit N] [--flush-every K]\n\
+         [--max-queue N] [--tenant-quota N] [--crash-loop-limit N] [--flush-every K] \
+         [--cache-max-mb MB] [--cache-max-age-s S]\n\
          clients: --connect ADDR; submit [--tenant T] [--wait] [--crash-after N \
          --crash-attempts K] <campaign flags>; status [--id ID]; \
          cancel/fetch --id ID [--wait]"
@@ -245,6 +249,8 @@ fn parse() -> Args {
         max_queue: 16,
         tenant_quota: 8,
         crash_loop_limit: 3,
+        cache_max_mb: None,
+        cache_max_age_s: None,
         client_verb: String::new(),
         tenant: "default".to_owned(),
         id: None,
@@ -465,6 +471,24 @@ fn parse() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage("--crash-loop-limit needs a positive integer"));
             }
+            "--cache-max-mb" if args.mode == Mode::Service => {
+                args.cache_max_mb = Some(
+                    value(&mut it, "--cache-max-mb")
+                        .parse()
+                        .ok()
+                        .filter(|mb: &f64| *mb >= 0.0)
+                        .unwrap_or_else(|| usage("--cache-max-mb needs a non-negative number")),
+                );
+            }
+            "--cache-max-age-s" if args.mode == Mode::Service => {
+                args.cache_max_age_s = Some(
+                    value(&mut it, "--cache-max-age-s")
+                        .parse()
+                        .ok()
+                        .filter(|s: &f64| *s >= 0.0)
+                        .unwrap_or_else(|| usage("--cache-max-age-s needs a non-negative number")),
+                );
+            }
             "--connect" if matches!(args.mode, Mode::Worker | Mode::Client) => {
                 args.connect = Some(value(&mut it, "--connect"));
             }
@@ -520,11 +544,6 @@ fn parse() -> Args {
     }
     if args.mode == Mode::Service && args.max_campaigns == 0 {
         usage("--max-campaigns must be positive");
-    }
-    if args.tail_fr.is_some() && matches!(args.mode, Mode::Client | Mode::Service) {
-        // The submission codec is strict (unknown keys reject); silently
-        // dropping tail flags would run a different campaign than asked.
-        usage("tail flags (--tail-fr ...) are not supported by service submissions");
     }
     args
 }
@@ -962,6 +981,37 @@ fn args_from_params(base: &Args, params: &Json) -> Result<Args, String> {
                 }
                 args.artifacts = artifacts;
             }
+            "tail_fr" => {
+                // `null` = classic fixed-sample mode; the client always
+                // emits the key so equal flags render equal params.
+                args.tail_fr =
+                    match v {
+                        Json::Null => None,
+                        _ => Some(v.as_f64().filter(|fr| *fr > 0.0 && *fr < 1.0).ok_or_else(
+                            || "'tail_fr' must be null or a failure rate in (0, 1)".to_owned(),
+                        )?),
+                    };
+            }
+            "ci_target" => {
+                args.ci_target = v
+                    .as_f64()
+                    .filter(|t| *t > 0.0)
+                    .ok_or_else(|| "'ci_target' must be a positive number".to_owned())?;
+            }
+            "max_samples" => {
+                args.max_samples = match v {
+                    Json::Null => None,
+                    _ => Some(v.as_usize().filter(|n| *n > 0).ok_or_else(|| {
+                        "'max_samples' must be null or a positive integer".to_owned()
+                    })?),
+                };
+            }
+            "tail_block" => {
+                args.tail_block = v
+                    .as_usize()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| "'tail_block' must be a positive integer".to_owned())?;
+            }
             other => return Err(format!("unknown campaign parameter '{other}'")),
         }
     }
@@ -980,6 +1030,20 @@ fn submit_params(args: &Args) -> Json {
         ("paper_probes".to_owned(), Json::Bool(args.paper_probes)),
         ("threads".to_owned(), Json::num_usize(args.threads)),
         ("batch_lanes".to_owned(), Json::num_usize(args.batch_lanes)),
+        (
+            "tail_fr".to_owned(),
+            args.tail_fr
+                .map_or(Json::Null, |fr| Json::Num(format!("{fr}"))),
+        ),
+        (
+            "ci_target".to_owned(),
+            Json::Num(format!("{}", args.ci_target)),
+        ),
+        (
+            "max_samples".to_owned(),
+            args.max_samples.map_or(Json::Null, Json::num_usize),
+        ),
+        ("tail_block".to_owned(), Json::num_usize(args.tail_block)),
     ])
 }
 
@@ -1063,6 +1127,11 @@ fn service_mode(args: &Args) -> ! {
         progress: true,
         handle_signals: true,
         build_info: build_info(),
+        cache_eviction: EvictionPolicy {
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            max_bytes: args.cache_max_mb.map(|mb| (mb * 1e6) as u64),
+            max_age: args.cache_max_age_s.map(Duration::from_secs_f64),
+        },
         ..ServiceOptions::default()
     };
     match run_service(listener, host, &opts) {

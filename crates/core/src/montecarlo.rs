@@ -33,7 +33,7 @@ use crate::calib;
 use crate::netlist::{SaInstance, SaKind, SaSizing};
 use crate::probe::{OffsetSearch, ProbeOptions};
 use crate::spec::offset_spec;
-use crate::stress::{compile_workload, device_stress, StressModel};
+use crate::stress::{compile_workload, device_stress, CompiledWorkload, StressModel};
 use crate::variation::MismatchModel;
 use crate::workload::Workload;
 use crate::SaError;
@@ -264,6 +264,21 @@ pub struct McConfig {
     /// indices past the pilot from the mixture-shifted proposal and makes
     /// [`run_mc_controlled`] assemble weighted statistics.
     pub tail: Option<crate::tail::TailConfig>,
+    /// Trace-measured internal-zero-fraction override. `None` — the
+    /// default — compiles [`McConfig::workload`] through the synthetic
+    /// path ([`compile_workload`]); `Some(az)` bypasses compilation and
+    /// stresses devices with the mix a trace replay *measured* through
+    /// the array's actual control block. The replay already applied any
+    /// input switching, so no re-balancing happens here — re-compiling
+    /// would apply the control twice. `workload.activation` still
+    /// supplies the (also measured) activation duty.
+    pub measured_mix: Option<f64>,
+    /// Fingerprint of the workload trace behind [`McConfig::measured_mix`]
+    /// (`0` = synthetic workload, no trace). Participates in `Debug` and
+    /// therefore in [`crate::checkpoint::config_fingerprint`], so a
+    /// checkpoint resume under a swapped trace is refused exactly like a
+    /// resume under a different seed.
+    pub trace_fingerprint: u64,
 }
 
 impl McConfig {
@@ -295,6 +310,8 @@ impl McConfig {
             sample_step_budget: None,
             sample_wall_budget_s: None,
             tail: None,
+            measured_mix: None,
+            trace_fingerprint: 0,
         }
     }
 
@@ -452,7 +469,7 @@ impl McResult {
 pub fn build_sample(cfg: &McConfig, index: usize) -> SaInstance {
     let root = SeedSequence::root(cfg.seed);
     let sample_seq = root.child(index as u64);
-    let cw = compile_workload(cfg.workload, cfg.kind, cfg.counter_bits);
+    let cw = cfg.compiled_workload();
 
     let mut sa = SaInstance::fresh(cfg.kind, cfg.env);
     sa.sizing = cfg.sizing;
@@ -512,6 +529,23 @@ impl McConfig {
             "{:?} {:?} {}°C/{:.2}V t={:.1e}s",
             self.kind, self.workload, self.env.temp_c, self.env.vdd, self.time
         )
+    }
+
+    /// The compiled workload this corner stresses devices with: the
+    /// trace-measured mix when [`McConfig::measured_mix`] is set,
+    /// otherwise the synthetic compilation path. Every stress consumer
+    /// in the sample loop goes through here, so trace-driven and
+    /// synthetic corners share one code path from the mix down.
+    #[must_use]
+    pub fn compiled_workload(&self) -> CompiledWorkload {
+        match self.measured_mix {
+            Some(az) => CompiledWorkload {
+                workload: self.workload,
+                kind: self.kind,
+                internal_zero_fraction: az,
+            },
+            None => compile_workload(self.workload, self.kind, self.counter_bits),
+        }
     }
 }
 
@@ -728,8 +762,7 @@ pub fn run_delay_sample(
     // Weight the two read directions by the workload's *internal* mix
     // (what the latch actually resolves): under 80r0 the NSSA's delay
     // is the read-0 delay, while the ISSA always sees a balanced mix.
-    let zero_fraction =
-        compile_workload(cfg.workload, cfg.kind, cfg.counter_bits).internal_zero_fraction;
+    let zero_fraction = cfg.compiled_workload().internal_zero_fraction;
     guarded_sample(cfg, index, McPhase::Delay, cancel, || {
         let sa = build_sample(cfg, index);
         sa.sensing_delay_weighted(zero_fraction, &delay_probe)

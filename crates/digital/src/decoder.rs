@@ -1,0 +1,329 @@
+//! Behavioural + structural NAND-tree row-address decoder.
+//!
+//! An SRAM macro's wordlines are driven by a decoder that ANDs the
+//! true/complement address lines for each row. Like the sense amplifier,
+//! its transistors age under BTI — and like the SA's, the stress is
+//! workload-dependent: a PMOS in the NAND tree is stressed exactly while
+//! its input sits low, so the *address stream* sets each gate's duty
+//! factor. The decoder-rejuvenation literature (same authors as the ISSA
+//! paper) shows the dominant effect is on the drivers of rarely-selected
+//! rows: their select signal is almost always low, so the wordline
+//! driver's PMOS sees a near-1 stress duty.
+//!
+//! This module mirrors the crate's control-block philosophy:
+//!
+//! - behaviourally ([`NandDecoder::wordlines`]), a one-hot decode plus a
+//!   per-stage stress-duty extraction ([`NandDecoder::path_duties`]) from
+//!   measured [`AddressLineStats`], and
+//! - structurally ([`NandDecoder::build_gates`]), the same decoder as a
+//!   [`GateNet`] NAND/INV tree, proven equivalent to the behavioural
+//!   decode in tests — the substitution argument for not simulating the
+//!   decoder at transistor level.
+//!
+//! Duty extraction treats address lines as independent Bernoulli sources
+//! (the product rule for node probabilities). That is an approximation —
+//! real streams are correlated — but the *lines'* duties themselves come
+//! from a measured trace, so the first-order workload dependence is
+//! preserved.
+
+use crate::gates::{GateKind, GateNet, NetError, SignalId};
+
+/// Measured statistics of one address line over a trace of reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AddressLineStats {
+    /// Fraction of read cycles on which the line was high.
+    pub duty_high: f64,
+    /// Fraction of consecutive read pairs on which the line toggled.
+    pub toggle_rate: f64,
+}
+
+impl AddressLineStats {
+    /// A balanced, fast-toggling line — the fresh/uniform assumption.
+    pub fn balanced() -> Self {
+        Self {
+            duty_high: 0.5,
+            toggle_rate: 0.5,
+        }
+    }
+}
+
+/// A `bits`-to-`2^bits` NAND-tree row decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NandDecoder {
+    bits: u8,
+}
+
+impl NandDecoder {
+    /// Creates a decoder for `bits` address lines (`2^bits` rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 16`.
+    pub fn new(bits: u8) -> Self {
+        assert!(
+            (1..=16).contains(&bits),
+            "address width {bits} out of range"
+        );
+        Self { bits }
+    }
+
+    /// Address width in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of decoded rows (`2^bits`).
+    pub fn rows(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Logic stages on any row's path: the literal inverter, the
+    /// pairwise NAND/INV reduction tree, and the final wordline driver.
+    pub fn stages(&self) -> usize {
+        // ceil(log2(bits)) reduction levels, +1 literal stage, +1 driver.
+        let mut levels = 0usize;
+        let mut width = self.bits as usize;
+        while width > 1 {
+            width = width.div_ceil(2);
+            levels += 1;
+        }
+        levels + 2
+    }
+
+    /// Behavioural decode: the one-hot wordline vector for `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn wordlines(&self, addr: usize) -> Vec<bool> {
+        assert!(addr < self.rows(), "address {addr} out of range");
+        (0..self.rows()).map(|r| r == addr).collect()
+    }
+
+    /// Probability that row `row`'s select term is high, given per-line
+    /// high duties (independence approximation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `lines` is not `bits` long.
+    pub fn select_probability(&self, row: usize, lines: &[AddressLineStats]) -> f64 {
+        assert!(row < self.rows(), "row {row} out of range");
+        assert_eq!(lines.len(), self.bits as usize, "one stat per address line");
+        lines
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if (row >> i) & 1 == 1 {
+                    s.duty_high
+                } else {
+                    1.0 - s.duty_high
+                }
+            })
+            .product()
+    }
+
+    /// Per-stage PMOS (NBTI) stress duties along row `row`'s critical
+    /// path, from the literal stage through the reduction tree to the
+    /// wordline driver.
+    ///
+    /// A stage's duty is the worst PMOS on the path's gate at that level:
+    /// a PMOS is stressed while its input is low, so the duty is
+    /// `1 - min(p_high)` over the gate's inputs. The final driver stage
+    /// is stressed while the row is *not* selected — near 1 for a rarely
+    /// accessed row, which is exactly the decoder-aging paper's hot spot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `lines` is not `bits` long.
+    pub fn path_duties(&self, row: usize, lines: &[AddressLineStats]) -> Vec<f64> {
+        assert!(row < self.rows(), "row {row} out of range");
+        assert_eq!(lines.len(), self.bits as usize, "one stat per address line");
+        let mut duties = Vec::with_capacity(self.stages());
+
+        // Literal stage: inverters on the complemented lines; the worst
+        // PMOS on the path is the one whose input is low the most.
+        let mut level: Vec<f64> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if (row >> i) & 1 == 1 {
+                    s.duty_high
+                } else {
+                    1.0 - s.duty_high
+                }
+            })
+            .collect();
+        let literal_duty = level
+            .iter()
+            .map(|&p| 1.0 - p)
+            .fold(0.0f64, f64::max)
+            .clamp(0.0, 1.0);
+        duties.push(literal_duty);
+
+        // Reduction tree: pairwise AND (NAND + INV) of the literals.
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut stage_duty = 0.0f64;
+            for pair in level.chunks(2) {
+                let p = pair.iter().product::<f64>();
+                let worst_in = pair.iter().copied().fold(1.0f64, f64::min);
+                stage_duty = stage_duty.max(1.0 - worst_in);
+                next.push(p);
+            }
+            duties.push(stage_duty.clamp(0.0, 1.0));
+            level = next;
+        }
+
+        // Wordline driver: input is the select term itself.
+        let p_sel = level.first().copied().unwrap_or(0.0);
+        duties.push((1.0 - p_sel).clamp(0.0, 1.0));
+        duties
+    }
+
+    /// Builds the structural NAND/INV gate network for the whole decoder:
+    /// inputs `a0..a{bits-1}`, outputs `wl0..wl{rows-1}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] from compilation (cannot occur for the
+    /// tree this method emits; surfaced rather than unwrapped).
+    pub fn build_gates(&self) -> Result<crate::gates::CompiledNet, NetError> {
+        let mut net = GateNet::new();
+        let inputs: Vec<SignalId> = (0..self.bits)
+            .map(|i| net.input(&format!("a{i}")))
+            .collect();
+        let complements: Vec<SignalId> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &sig)| net.gate(GateKind::Inv, &[sig], &format!("an{i}")))
+            .collect();
+
+        for row in 0..self.rows() {
+            // Literals for this row: true line where the bit is 1.
+            let mut level: Vec<SignalId> = (0..self.bits as usize)
+                .map(|i| {
+                    if (row >> i) & 1 == 1 {
+                        inputs[i]
+                    } else {
+                        complements[i]
+                    }
+                })
+                .collect();
+            let mut depth = 0usize;
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                for (k, pair) in level.chunks(2).enumerate() {
+                    if pair.len() == 1 {
+                        next.push(pair[0]);
+                        continue;
+                    }
+                    let nand = net.gate(GateKind::Nand, pair, &format!("r{row}_d{depth}_n{k}"));
+                    next.push(net.gate(GateKind::Inv, &[nand], &format!("r{row}_d{depth}_a{k}")));
+                }
+                level = next;
+                depth += 1;
+            }
+            // Wordline driver: buffer the select term onto the wordline.
+            net.gate(GateKind::Buf, &[level[0]], &format!("wl{row}"));
+        }
+        net.compile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavioural_decode_is_one_hot() {
+        let dec = NandDecoder::new(4);
+        for addr in 0..dec.rows() {
+            let wl = dec.wordlines(addr);
+            assert_eq!(wl.iter().filter(|&&b| b).count(), 1);
+            assert!(wl[addr]);
+        }
+    }
+
+    #[test]
+    fn structural_matches_behavioural_for_every_address() {
+        for bits in 1..=4u8 {
+            let dec = NandDecoder::new(bits);
+            let net = dec.build_gates().expect("decoder net compiles");
+            for addr in 0..dec.rows() {
+                let assigns: Vec<(String, bool)> = (0..bits)
+                    .map(|i| (format!("a{i}"), (addr >> i) & 1 == 1))
+                    .collect();
+                let pairs: Vec<(&str, bool)> =
+                    assigns.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                let state = net.eval(&pairs);
+                for (row, want) in dec.wordlines(addr).into_iter().enumerate() {
+                    assert_eq!(
+                        state.get(&format!("wl{row}")),
+                        Some(want),
+                        "bits={bits} addr={addr} row={row}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_probabilities_sum_to_one() {
+        let dec = NandDecoder::new(3);
+        let lines = vec![
+            AddressLineStats {
+                duty_high: 0.2,
+                toggle_rate: 0.3,
+            },
+            AddressLineStats {
+                duty_high: 0.9,
+                toggle_rate: 0.1,
+            },
+            AddressLineStats::balanced(),
+        ];
+        let total: f64 = (0..dec.rows())
+            .map(|r| dec.select_probability(r, &lines))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12, "total {total}");
+    }
+
+    #[test]
+    fn duties_are_probabilities_and_cover_every_stage() {
+        let dec = NandDecoder::new(5);
+        let lines: Vec<AddressLineStats> = (0..5)
+            .map(|i| AddressLineStats {
+                duty_high: 0.1 + 0.2 * i as f64 / 4.0,
+                toggle_rate: 0.4,
+            })
+            .collect();
+        for row in [0, 7, 31] {
+            let duties = dec.path_duties(row, &lines);
+            assert_eq!(duties.len(), dec.stages());
+            for d in duties {
+                assert!((0.0..=1.0).contains(&d), "duty {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn rare_rows_stress_their_driver_hardest() {
+        let dec = NandDecoder::new(4);
+        // Hot stream pinned near row 0: all lines mostly low.
+        let lines: Vec<AddressLineStats> = (0..4)
+            .map(|_| AddressLineStats {
+                duty_high: 0.05,
+                toggle_rate: 0.1,
+            })
+            .collect();
+        let hot = dec.path_duties(0, &lines);
+        let cold = dec.path_duties(15, &lines);
+        // The cold row's driver duty (last stage) exceeds the hot row's.
+        assert!(cold.last() > hot.last(), "cold {cold:?} vs hot {hot:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "address width")]
+    fn zero_width_is_refused() {
+        NandDecoder::new(0);
+    }
+}

@@ -17,10 +17,22 @@
 //!   behavioural model in tests — the substitution argument for not doing
 //!   transistor-level simulation of the control block.
 
+//!
+//! Beyond the control block, the crate also models the *address path*
+//! that shares the read-timing race with the sense amplifier: a
+//! NAND-tree row decoder with trace-measurable per-gate stress duties
+//! ([`decoder::NandDecoder`]) and an alpha-power-law aged delay chain
+//! ([`timing::DelayChain`]) that converts decoder BTI into sense-enable
+//! skew.
+
 pub mod control;
 pub mod counter;
+pub mod decoder;
 pub mod gates;
+pub mod timing;
 
 pub use control::{ControlOutputs, IssaControl};
 pub use counter::RippleCounter;
+pub use decoder::{AddressLineStats, NandDecoder};
 pub use gates::{GateKind, GateNet, SignalId};
+pub use timing::DelayChain;

@@ -1,0 +1,107 @@
+//! Wordline-driver / sense-timing delay chain with BTI-aged stage delays.
+//!
+//! The read-timing contract of an SRAM macro is a race: the decoder +
+//! wordline driver must raise the selected wordline early enough that the
+//! bitlines develop the budgeted differential before the (replica-timed)
+//! sense enable fires. BTI on the decoder's PMOS devices slows the
+//! address path while the replica chain — built from balanced-duty
+//! toggling stages — ages far less, so the *skew* between them eats
+//! directly into the develop-time budget that
+//! `issa-memarray::Column::develop` converts into SA input swing.
+//!
+//! Aged stage delay uses the alpha-power law: a stage's delay scales as
+//! `((Vdd − Vth) / (Vdd − Vth − ΔVth))^alpha`, the standard first-order
+//! gate-delay sensitivity to threshold shift.
+
+/// A chain of nominally identical logic stages (decoder level or
+/// wordline driver) with a shared delay/threshold calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayChain {
+    /// Fresh per-stage delay \[s\].
+    pub stage_delay: f64,
+    /// Nominal PMOS threshold magnitude \[V\].
+    pub vth: f64,
+    /// Alpha-power-law velocity-saturation exponent.
+    pub alpha: f64,
+}
+
+impl DelayChain {
+    /// 45 nm-class calibration: 8 ps/stage, |Vth| = 0.45 V, alpha = 1.3.
+    pub fn default_45nm() -> Self {
+        Self {
+            stage_delay: 8e-12,
+            vth: 0.45,
+            alpha: 1.3,
+        }
+    }
+
+    /// Fresh delay of `stages` stages \[s\].
+    pub fn nominal(&self, stages: usize) -> f64 {
+        self.stage_delay * stages as f64
+    }
+
+    /// Delay of one stage whose driving PMOS has aged by `dvth` \[V\] at
+    /// supply `vdd`. `dvth` is clamped to 90 % of the overdrive so a
+    /// pathological shift degrades gracefully instead of dividing by
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` does not exceed the nominal threshold.
+    pub fn aged_stage(&self, vdd: f64, dvth: f64) -> f64 {
+        let overdrive = vdd - self.vth;
+        assert!(overdrive > 0.0, "vdd {vdd} must exceed vth {}", self.vth);
+        let shift = dvth.max(0.0).min(0.9 * overdrive);
+        self.stage_delay * (overdrive / (overdrive - shift)).powf(self.alpha)
+    }
+
+    /// Timing skew of a chain whose stages carry the given ΔVth values,
+    /// relative to the fresh chain: `Σ (aged_i − nominal)` \[s\].
+    /// Non-negative (BTI only slows gates down).
+    pub fn skew(&self, vdd: f64, dvths: &[f64]) -> f64 {
+        dvths
+            .iter()
+            .map(|&dv| self.aged_stage(vdd, dv) - self.stage_delay)
+            .sum::<f64>()
+            .max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_chain_has_zero_skew() {
+        let c = DelayChain::default_45nm();
+        assert_eq!(c.skew(1.0, &[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(c.nominal(4), 4.0 * c.stage_delay);
+    }
+
+    #[test]
+    fn skew_grows_monotonically_with_shift() {
+        let c = DelayChain::default_45nm();
+        let mut last = 0.0;
+        for mv in [5.0, 10.0, 20.0, 40.0, 80.0] {
+            let s = c.skew(1.0, &[mv * 1e-3; 3]);
+            assert!(s > last, "skew {s} at {mv} mV not above {last}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn extreme_shift_saturates_instead_of_exploding() {
+        let c = DelayChain::default_45nm();
+        let s = c.skew(1.0, &[10.0]); // absurd 10 V shift
+        assert!(s.is_finite());
+        // Clamped at 90 % of overdrive: bounded slowdown.
+        let bound = c.aged_stage(1.0, 0.9 * (1.0 - c.vth)) - c.stage_delay;
+        assert!(s <= bound + 1e-18);
+    }
+
+    #[test]
+    fn negative_shift_is_treated_as_fresh() {
+        let c = DelayChain::default_45nm();
+        assert_eq!(c.aged_stage(1.0, -0.1), c.stage_delay);
+    }
+}

@@ -21,6 +21,7 @@ use issa_core::campaign::CampaignCorner;
 use issa_core::checkpoint::{config_fingerprint, Checkpoint, CheckpointError, CornerCheckpoint};
 use issa_core::montecarlo::{McConfig, McPhase};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
 
 /// What [`ResultCache::lookup`] found under a fingerprint.
 #[derive(Debug, PartialEq, Eq)]
@@ -38,6 +39,52 @@ pub enum CacheLookup {
         /// What the verification found.
         reason: String,
     },
+}
+
+/// Size and age bounds for [`ResultCache::evict`]. `None` disables that
+/// bound; the default is unbounded (today's behaviour).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvictionPolicy {
+    /// Total bytes of *live* entries allowed; oldest-modified entries go
+    /// first once the sum exceeds this. Quarantined files are evidence,
+    /// not cache capacity — they are exempt from the size budget.
+    pub max_bytes: Option<u64>,
+    /// Maximum age (by modification time) of any cache file. Unlike the
+    /// size bound this *does* apply to quarantined files: evidence is
+    /// kept for inspection, not forever.
+    pub max_age: Option<Duration>,
+}
+
+impl EvictionPolicy {
+    /// True when neither bound is set (eviction is a no-op).
+    #[must_use]
+    pub fn is_unbounded(&self) -> bool {
+        self.max_bytes.is_none() && self.max_age.is_none()
+    }
+}
+
+/// What one [`ResultCache::evict`] pass removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictionReport {
+    /// Live entries removed (size or age bound).
+    pub evicted_entries: usize,
+    /// Quarantined files removed (age bound only).
+    pub evicted_quarantined: usize,
+    /// Total bytes freed across both kinds.
+    pub bytes_freed: u64,
+}
+
+/// Point-in-time occupancy of the cache directory (health output).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Live entries.
+    pub entries: usize,
+    /// Bytes held by live entries.
+    pub bytes: u64,
+    /// Quarantined files.
+    pub quarantined: usize,
+    /// Bytes held by quarantined files.
+    pub quarantined_bytes: u64,
 }
 
 /// A directory of completed campaign checkpoints keyed by fingerprint.
@@ -140,6 +187,102 @@ impl ResultCache {
         ckpt.save(&self.entry_path(fingerprint))
     }
 
+    /// Current occupancy: live entries vs quarantined evidence.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats::default();
+        for file in self.files() {
+            if file.quarantined {
+                stats.quarantined += 1;
+                stats.quarantined_bytes += file.len;
+            } else {
+                stats.entries += 1;
+                stats.bytes += file.len;
+            }
+        }
+        stats
+    }
+
+    /// Applies `policy` to the directory: first ages out any file (live
+    /// or quarantined) whose modification time is older than `max_age`,
+    /// then removes oldest-modified *live* entries until the live total
+    /// fits `max_bytes`. Quarantined files never count toward the size
+    /// budget (they are evidence, not capacity) but do age out.
+    ///
+    /// Removal failures are skipped, not fatal — a file that cannot be
+    /// deleted is simply still there on the next pass.
+    pub fn evict(&self, policy: &EvictionPolicy) -> EvictionReport {
+        let mut report = EvictionReport::default();
+        if policy.is_unbounded() {
+            return report;
+        }
+        let mut files = self.files();
+        if let Some(max_age) = policy.max_age {
+            let now = SystemTime::now();
+            files.retain(|file| {
+                let expired = now
+                    .duration_since(file.mtime)
+                    .map(|age| age > max_age)
+                    .unwrap_or(false);
+                if expired && std::fs::remove_file(&file.path).is_ok() {
+                    if file.quarantined {
+                        report.evicted_quarantined += 1;
+                    } else {
+                        report.evicted_entries += 1;
+                    }
+                    report.bytes_freed += file.len;
+                    return false;
+                }
+                true
+            });
+        }
+        if let Some(max_bytes) = policy.max_bytes {
+            let mut live: Vec<&CacheFile> = files.iter().filter(|f| !f.quarantined).collect();
+            let mut total: u64 = live.iter().map(|f| f.len).sum();
+            // Oldest first; name breaks mtime ties so the order is stable.
+            live.sort_by(|a, b| (a.mtime, &a.path).cmp(&(b.mtime, &b.path)));
+            for file in live {
+                if total <= max_bytes {
+                    break;
+                }
+                if std::fs::remove_file(&file.path).is_ok() {
+                    report.evicted_entries += 1;
+                    report.bytes_freed += file.len;
+                    total -= file.len;
+                }
+            }
+        }
+        report
+    }
+
+    /// Every cache file with its metadata (missing metadata is skipped —
+    /// the file raced an eviction or install).
+    fn files(&self) -> Vec<CacheFile> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut files: Vec<CacheFile> = entries
+            .flatten()
+            .filter_map(|e| {
+                let path = e.path();
+                let name = path.file_name()?.to_str()?;
+                let quarantined = name.contains(".ckpt.quarantined-");
+                if !quarantined && !name.ends_with(".ckpt") {
+                    return None;
+                }
+                let meta = e.metadata().ok()?;
+                Some(CacheFile {
+                    quarantined,
+                    len: meta.len(),
+                    mtime: meta.modified().ok()?,
+                    path,
+                })
+            })
+            .collect();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        files
+    }
+
     fn quarantine_target(&self, fingerprint: u64) -> PathBuf {
         for k in 0.. {
             let candidate = self
@@ -151,6 +294,14 @@ impl ResultCache {
         }
         unreachable!("unbounded quarantine counter")
     }
+}
+
+/// One cache directory member, as eviction sees it.
+struct CacheFile {
+    path: PathBuf,
+    len: u64,
+    mtime: SystemTime,
+    quarantined: bool,
 }
 
 /// Why a loaded entry cannot serve `corners`, or `None` if it can.
@@ -330,6 +481,98 @@ mod tests {
             other => panic!("expected quarantine, got {other:?}"),
         }
         assert_eq!(cache.quarantined().len(), 2, "distinct quarantine names");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Backdates a file's mtime by `secs` (eviction is mtime-driven).
+    fn backdate(path: &Path, secs: u64) {
+        let past = SystemTime::now() - Duration::from_secs(secs);
+        let file = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+        file.set_modified(past).unwrap();
+    }
+
+    #[test]
+    fn size_eviction_drops_oldest_entries_first() {
+        let dir = temp_dir("evict-size");
+        let cache = ResultCache::open(&dir).unwrap();
+        let c = corner(4);
+        for fp in 1..=3u64 {
+            complete_ckpt(&c).save(&cache.entry_path(fp)).unwrap();
+            // Entry 1 is oldest, 3 newest.
+            backdate(&cache.entry_path(fp), 1000 - fp * 100);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        let entry_len = stats.bytes / 3;
+
+        // Budget for exactly two entries: the oldest (fp 1) must go.
+        let report = cache.evict(&EvictionPolicy {
+            max_bytes: Some(entry_len * 2),
+            max_age: None,
+        });
+        assert_eq!(report.evicted_entries, 1);
+        assert_eq!(report.bytes_freed, entry_len);
+        assert!(!cache.entry_path(1).exists());
+        assert!(cache.entry_path(2).exists() && cache.entry_path(3).exists());
+        // Survivors still serve.
+        assert_eq!(cache.lookup(3, std::slice::from_ref(&c)), CacheLookup::Hit);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantined_files_are_exempt_from_size_but_age_out() {
+        let dir = temp_dir("evict-quarantine");
+        let cache = ResultCache::open(&dir).unwrap();
+        let c = corner(4);
+        let corners = [c.clone()];
+
+        // Produce one quarantined file and one fresh live entry.
+        complete_ckpt(&c).save(&cache.entry_path(7)).unwrap();
+        let mut bytes = std::fs::read(cache.entry_path(7)).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(cache.entry_path(7), &bytes).unwrap();
+        assert!(matches!(
+            cache.lookup(7, &corners),
+            CacheLookup::Quarantined { .. }
+        ));
+        complete_ckpt(&c).save(&cache.entry_path(7)).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.quarantined), (1, 1));
+
+        // A zero-byte size budget removes every live entry but leaves the
+        // quarantined evidence alone.
+        let report = cache.evict(&EvictionPolicy {
+            max_bytes: Some(0),
+            max_age: None,
+        });
+        assert_eq!(report.evicted_entries, 1);
+        assert_eq!(report.evicted_quarantined, 0);
+        assert_eq!(cache.quarantined().len(), 1);
+
+        // Age applies to quarantined files too.
+        backdate(&cache.quarantined()[0], 5000);
+        let report = cache.evict(&EvictionPolicy {
+            max_bytes: None,
+            max_age: Some(Duration::from_secs(60)),
+        });
+        assert_eq!(report.evicted_quarantined, 1);
+        assert!(cache.quarantined().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unbounded_policy_is_a_no_op() {
+        let dir = temp_dir("evict-noop");
+        let cache = ResultCache::open(&dir).unwrap();
+        let c = corner(4);
+        complete_ckpt(&c).save(&cache.entry_path(9)).unwrap();
+        backdate(&cache.entry_path(9), 100_000);
+        assert_eq!(
+            cache.evict(&EvictionPolicy::default()),
+            EvictionReport::default()
+        );
+        assert_eq!(cache.stats().entries, 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

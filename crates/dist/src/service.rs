@@ -43,7 +43,7 @@
 //! do; the journal, by contrast, is load-bearing — a journal append
 //! failure fails the submit that needed it.
 
-use crate::cache::{CacheLookup, ResultCache};
+use crate::cache::{CacheLookup, EvictionPolicy, EvictionReport, ResultCache};
 use crate::control::{error_response, ok_response, ControlRequest, Json, LineReader, NextLine};
 use crate::journal::Journal;
 use crate::proto::{campaign_fingerprint, PROTO_VERSION};
@@ -126,6 +126,9 @@ pub struct ServiceOptions {
     pub build_info: String,
     /// Dispatcher wakeup cadence (scheduling, backoff expiry, drain).
     pub poll: Duration,
+    /// Result-cache size/age bounds, applied at startup and after every
+    /// runner event. Unbounded by default.
+    pub cache_eviction: EvictionPolicy,
 }
 
 impl Default for ServiceOptions {
@@ -142,6 +145,41 @@ impl Default for ServiceOptions {
             handle_signals: false,
             build_info: String::new(),
             poll: Duration::from_millis(50),
+            cache_eviction: EvictionPolicy::default(),
+        }
+    }
+}
+
+/// Cache incident counters surfaced by the `health` verb.
+#[derive(Debug, Default)]
+struct CacheHealth {
+    /// Entries quarantined (pre-existing at startup + this incarnation).
+    quarantined: u64,
+    /// Files evicted this incarnation (entries + aged-out quarantine).
+    evicted: u64,
+    /// Bytes freed by eviction this incarnation.
+    evicted_bytes: u64,
+}
+
+impl CacheHealth {
+    fn absorb(&mut self, report: EvictionReport, progress: bool) {
+        if report == EvictionReport::default() {
+            return;
+        }
+        self.evicted += (report.evicted_entries + report.evicted_quarantined) as u64;
+        self.evicted_bytes += report.bytes_freed;
+        if progress {
+            eprintln!(
+                "service: cache eviction removed {} entr{} + {} quarantined ({} bytes)",
+                report.evicted_entries,
+                if report.evicted_entries == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                report.evicted_quarantined,
+                report.bytes_freed
+            );
         }
     }
 }
@@ -310,7 +348,13 @@ pub fn run_service(
     let acceptor = spawn_acceptor(listener, events_tx.clone(), Arc::clone(&conn_shutdown))?;
 
     let mut draining = false;
-    let mut cache_quarantined: u64 = cache.quarantined().len() as u64;
+    let mut cache_health = CacheHealth {
+        quarantined: cache.quarantined().len() as u64,
+        ..CacheHealth::default()
+    };
+    // Startup pass: a service that was down past the age bound trims on
+    // arrival instead of waiting for the first completion.
+    cache_health.absorb(cache.evict(&opts.cache_eviction), opts.progress);
     let mut runner_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
 
     loop {
@@ -353,11 +397,14 @@ pub fn run_service(
                     &mut registry,
                     &mut journal,
                     &mut summary,
-                    &mut cache_quarantined,
+                    &mut cache_health,
                     &id,
                     outcome,
                     opts,
                 );
+                // Completions install entries; keep the cache inside its
+                // bounds as it grows, not just at startup.
+                cache_health.absorb(cache.evict(&opts.cache_eviction), opts.progress);
             }
             Ok(Event::Control { req, reply }) => {
                 let response = match req {
@@ -372,7 +419,8 @@ pub fn run_service(
                         host.as_ref(),
                         opts,
                         draining,
-                        cache_quarantined,
+                        &cache,
+                        &cache_health,
                         &summary,
                         &req,
                     ),
@@ -664,7 +712,8 @@ fn handle_request(
     host: &dyn ServiceHost,
     opts: &ServiceOptions,
     draining: bool,
-    cache_quarantined: u64,
+    cache: &ResultCache,
+    cache_health: &CacheHealth,
     summary: &ServiceSummary,
     req: &ControlRequest,
 ) -> String {
@@ -809,9 +858,28 @@ fn handle_request(
                         ("quarantined".into(), count("quarantined")),
                     ]),
                 ),
+                ("cache".into(), {
+                    let stats = cache.stats();
+                    Json::Obj(vec![
+                        ("entries".into(), Json::Num(stats.entries.to_string())),
+                        ("bytes".into(), Json::Num(stats.bytes.to_string())),
+                        (
+                            "quarantined_bytes".into(),
+                            Json::Num(stats.quarantined_bytes.to_string()),
+                        ),
+                        (
+                            "evicted".into(),
+                            Json::Num(cache_health.evicted.to_string()),
+                        ),
+                        (
+                            "evicted_bytes".into(),
+                            Json::Num(cache_health.evicted_bytes.to_string()),
+                        ),
+                    ])
+                }),
                 (
                     "cache_quarantined".into(),
-                    Json::Num(cache_quarantined.to_string()),
+                    Json::Num(cache_health.quarantined.to_string()),
                 ),
                 (
                     "swept_temps".into(),
@@ -856,14 +924,14 @@ fn handle_runner_outcome(
     registry: &mut Registry,
     journal: &mut Journal,
     summary: &mut ServiceSummary,
-    cache_quarantined: &mut u64,
+    cache_health: &mut CacheHealth,
     id: &str,
     outcome: RunnerOutcome,
     opts: &ServiceOptions,
 ) {
     match outcome {
         RunnerOutcome::CacheQuarantined { reason } => {
-            *cache_quarantined += 1;
+            cache_health.quarantined += 1;
             if opts.progress {
                 eprintln!("service: cache entry quarantined for {id}: {reason}");
             }

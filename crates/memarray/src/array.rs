@@ -171,9 +171,36 @@ impl SramArray {
         }
     }
 
+    /// Reads the word at `row` under an aged address path: `skew` is the
+    /// decoder/wordline timing slip (e.g. from
+    /// `issa-digital::DelayChain`) between the BTI-aged decoder and the
+    /// balanced-duty replica chain that fires the sense enable. The
+    /// wordline rises late while the strobe does not move, so the skew
+    /// comes straight out of the develop budget each [`Column::develop`]
+    /// gets — an aged decoder shrinks every SA's input swing.
+    ///
+    /// A skew at or beyond the budget leaves zero develop time (every
+    /// column then resolves on its offset alone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn read_skewed(&mut self, row: usize, vdd: f64, t_develop: f64, skew: f64) -> ReadResult {
+        self.read(row, vdd, (t_develop - skew.max(0.0)).max(0.0))
+    }
+
     /// Per-column statistics.
     pub fn stats(&self) -> &[ColumnStats] {
         &self.stats
+    }
+
+    /// Clears the per-column statistics (the stored data, offsets and
+    /// control state are untouched) — so one array can measure distinct
+    /// phases of a replay separately.
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.stats {
+            *s = ColumnStats::default();
+        }
     }
 
     /// The shared control's switch state (false for the standard scheme).
@@ -277,5 +304,35 @@ mod tests {
     fn write_checks_width() {
         let mut a = array(ArrayScheme::Standard);
         a.write(0, &word("101"));
+    }
+
+    #[test]
+    fn decoder_skew_eats_the_develop_budget() {
+        let mut a = array(ArrayScheme::Standard);
+        let mut offsets = vec![0.0; 8];
+        offsets[3] = 60e-3;
+        a.set_offsets(&offsets);
+        // 40 ps budget clears a 60 mV offset (100 mV swing)...
+        let r = a.read_skewed(1, 1.0, 40e-12, 0.0);
+        assert!(r.failed_columns.is_empty());
+        // ...but a 28 ps aged-decoder skew leaves only ~30 mV: fail.
+        let r = a.read_skewed(1, 1.0, 40e-12, 28e-12);
+        assert_eq!(r.failed_columns, vec![3]);
+        // Skew beyond the budget clamps instead of going negative.
+        let r = a.read_skewed(1, 1.0, 40e-12, 80e-12);
+        assert!(!r.failed_columns.is_empty());
+    }
+
+    #[test]
+    fn reset_stats_clears_counts_only() {
+        let mut a = array(ArrayScheme::Standard);
+        for _ in 0..10 {
+            a.read(1, 1.0, 40e-12);
+        }
+        assert_eq!(a.stats()[0].reads, 10);
+        a.reset_stats();
+        assert_eq!(a.stats()[0], ColumnStats::default());
+        // Data survives the reset.
+        assert_eq!(a.read(0, 1.0, 40e-12).data, word("10110010"));
     }
 }

@@ -1,0 +1,296 @@
+//! Deterministic seeded trace generators.
+//!
+//! Three workload classes, spanning the space the paper's §IV-A concedes
+//! its synthetic mixes miss:
+//!
+//! - [`TraceClass::Uniform`] — uniformly random addresses over sparse
+//!   (zero-biased) data, the classic cache/buffer access pattern;
+//! - [`TraceClass::HotRow`] — a small strided hot set absorbing 90 % of
+//!   reads (loop over a working set), heavily zero-biased data — the
+//!   address-line duties this produces are what stresses the decoder;
+//! - [`TraceClass::WeightSweep`] — a DNN inference pattern: sequential
+//!   sweeps over a static, ~90 %-sparse weight array with periodic full
+//!   rewrites (weight updates).
+//!
+//! Every generator is a pure function of `(rows, width, cycles, seed)` —
+//! two invocations produce byte-identical traces (same fingerprint), so
+//! campaign resumes can regenerate a trace instead of shipping it.
+
+use crate::format::{Trace, TraceEvent, TraceOp};
+use issa_num::rng::splitmix64;
+
+/// Counter-mode deterministic u64 stream (splitmix64 of a salted
+/// counter) — stateless apart from the counter, so draw order is
+/// trivially reproducible.
+struct Stream {
+    base: u64,
+    counter: u64,
+}
+
+impl Stream {
+    fn new(seed: u64, salt: u64) -> Self {
+        Self {
+            base: splitmix64(seed ^ splitmix64(salt.wrapping_add(0x51ED_2701))),
+            counter: 0,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.counter = self.counter.wrapping_add(1);
+        splitmix64(
+            self.base
+                .wrapping_add(self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
+    }
+
+    /// Uniform in `0..n` (modulo bias is negligible for array-sized `n`).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A `width`-bit word whose bits are 1 with probability `1 - p_zero`.
+    fn word(&mut self, width: u32, p_zero: f64) -> u64 {
+        let mut w = 0u64;
+        for j in 0..width {
+            if self.unit() >= p_zero {
+                w |= 1u64 << j;
+            }
+        }
+        w
+    }
+}
+
+/// A generator family (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceClass {
+    /// Uniform random addressing over sparse data.
+    Uniform,
+    /// Strided hot-set addressing (90 % of reads), strongly biased data.
+    HotRow,
+    /// DNN weight memory: sequential sweeps over a static sparse array.
+    WeightSweep,
+}
+
+impl TraceClass {
+    /// All classes, in canonical order.
+    pub fn all() -> [Self; 3] {
+        [Self::Uniform, Self::HotRow, Self::WeightSweep]
+    }
+
+    /// Stable lowercase name (file stems, JSON keys, CLI values).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Uniform => "uniform",
+            Self::HotRow => "hot_row",
+            Self::WeightSweep => "weight_sweep",
+        }
+    }
+
+    /// Parses a [`TraceClass::name`] string.
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::all().into_iter().find(|c| c.name() == name)
+    }
+
+    /// Generates a trace of `cycles` total cycles over a `rows × width`
+    /// array. Deterministic in every argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero or `width` is not in `1..=64`
+    /// (delegated to [`Trace::new`]).
+    pub fn generate(&self, rows: u32, width: u32, cycles: u64, seed: u64) -> Trace {
+        let mut trace = Trace::new(rows, width);
+        let salt = match self {
+            Self::Uniform => 1,
+            Self::HotRow => 2,
+            Self::WeightSweep => 3,
+        };
+        let mut addr = Stream::new(seed, salt);
+        let mut data = Stream::new(seed, salt.wrapping_add(0x100));
+        let mut mem = vec![0u64; rows as usize];
+
+        let p_zero = match self {
+            Self::Uniform => 0.8,
+            Self::HotRow | Self::WeightSweep => 0.9,
+        };
+
+        // Prologue: initialize every row so reads never hit stale zeros.
+        let mut cycle = 0u64;
+        for row in 0..rows {
+            let word = data.word(width, p_zero);
+            mem[row as usize] = word;
+            trace.events.push(TraceEvent {
+                cycle,
+                op: TraceOp::Write,
+                address: row,
+                data: word,
+            });
+            cycle += 1;
+        }
+
+        let hot_set = (rows / 8).max(1);
+        let mut sweep = 0u64;
+        let end = cycle + cycles;
+        while cycle < end {
+            match self {
+                Self::Uniform => {
+                    // 1-in-5 idle cycle; occasional rewrite.
+                    if cycle % 5 == 4 {
+                        cycle += 1;
+                        continue;
+                    }
+                    if cycle % 320 == 2 {
+                        let row = addr.below(u64::from(rows)) as u32;
+                        let word = data.word(width, p_zero);
+                        mem[row as usize] = word;
+                        trace.events.push(TraceEvent {
+                            cycle,
+                            op: TraceOp::Write,
+                            address: row,
+                            data: word,
+                        });
+                    } else {
+                        let row = addr.below(u64::from(rows)) as u32;
+                        trace.events.push(TraceEvent {
+                            cycle,
+                            op: TraceOp::Read,
+                            address: row,
+                            data: mem[row as usize],
+                        });
+                    }
+                }
+                Self::HotRow => {
+                    // 1-in-10 idle cycle; 90 % of reads walk the hot set
+                    // with stride 3, the rest are uniform.
+                    if cycle % 10 == 9 {
+                        cycle += 1;
+                        continue;
+                    }
+                    let row = if addr.unit() < 0.9 {
+                        ((cycle.wrapping_mul(3)) % u64::from(hot_set)) as u32
+                    } else {
+                        addr.below(u64::from(rows)) as u32
+                    };
+                    trace.events.push(TraceEvent {
+                        cycle,
+                        op: TraceOp::Read,
+                        address: row,
+                        data: mem[row as usize],
+                    });
+                }
+                Self::WeightSweep => {
+                    // Sequential sweep; full rewrite every 16 sweeps.
+                    let pos = sweep % u64::from(rows);
+                    let pass = sweep / u64::from(rows);
+                    sweep += 1;
+                    let row = pos as u32;
+                    if pass > 0 && pass.is_multiple_of(16) && pos == 0 {
+                        // Weight update: rewrite the whole array in place
+                        // before this pass's sweep begins.
+                        for r in 0..rows {
+                            if cycle >= end {
+                                break;
+                            }
+                            let word = data.word(width, p_zero);
+                            mem[r as usize] = word;
+                            trace.events.push(TraceEvent {
+                                cycle,
+                                op: TraceOp::Write,
+                                address: r,
+                                data: word,
+                            });
+                            cycle += 1;
+                        }
+                        if cycle >= end {
+                            break;
+                        }
+                    }
+                    trace.events.push(TraceEvent {
+                        cycle,
+                        op: TraceOp::Read,
+                        address: row,
+                        data: mem[row as usize],
+                    });
+                }
+            }
+            cycle += 1;
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for class in TraceClass::all() {
+            let a = class.generate(32, 8, 1000, 7);
+            let b = class.generate(32, 8, 1000, 7);
+            assert_eq!(a, b, "{}", class.name());
+            assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+    }
+
+    #[test]
+    fn seeds_and_classes_differentiate_fingerprints() {
+        let base = TraceClass::Uniform.generate(32, 8, 1000, 7).fingerprint();
+        assert_ne!(
+            base,
+            TraceClass::Uniform.generate(32, 8, 1000, 8).fingerprint()
+        );
+        assert_ne!(
+            base,
+            TraceClass::HotRow.generate(32, 8, 1000, 7).fingerprint()
+        );
+        assert_ne!(
+            base,
+            TraceClass::WeightSweep
+                .generate(32, 8, 1000, 7)
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn events_are_cycle_ordered_and_in_range() {
+        for class in TraceClass::all() {
+            let t = class.generate(16, 4, 500, 1);
+            let mut last = None;
+            for e in &t.events {
+                assert!(e.address < t.rows);
+                assert!(e.data >> t.width == 0, "data wider than the word");
+                if let Some(prev) = last {
+                    assert!(e.cycle > prev, "cycles must strictly increase");
+                }
+                last = Some(e.cycle);
+            }
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for class in TraceClass::all() {
+            assert_eq!(TraceClass::parse(class.name()), Some(class));
+        }
+        assert_eq!(TraceClass::parse("nope"), None);
+    }
+
+    #[test]
+    fn hot_row_concentrates_reads() {
+        let t = TraceClass::HotRow.generate(64, 8, 4000, 3);
+        let hot = u64::from(t.rows / 8);
+        let reads: Vec<_> = t.events.iter().filter(|e| e.op == TraceOp::Read).collect();
+        let in_hot = reads.iter().filter(|e| u64::from(e.address) < hot).count() as f64;
+        assert!(
+            in_hot / reads.len() as f64 > 0.8,
+            "hot fraction {}",
+            in_hot / reads.len() as f64
+        );
+    }
+}

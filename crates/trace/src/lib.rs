@@ -1,0 +1,35 @@
+//! # issa-trace — workload-trace–driven array aging
+//!
+//! The paper's guardbanding critique (§IV-A) concedes that its synthetic
+//! 0/1 read mixes lose "the correlations present in representative
+//! actual workloads". This crate closes that gap: it records (or
+//! deterministically generates) `(cycle, op, address, data-word)` memory
+//! traces, replays them through the behavioural SRAM array, and turns
+//! what the array *actually did* into the duty factors the BTI stress
+//! machinery consumes — for the sense amplifiers (per-column internal
+//! value mix) and for the address path (per-line duties driving
+//! NAND-tree decoder aging and sense-enable timing skew).
+//!
+//! - [`format`] — the versioned, CRC-trailed `ISSA-TRC 1` binary format
+//!   with atomic saves and a streaming, never-materializing reader.
+//! - [`gen`] — seeded deterministic generators for three workload
+//!   classes (uniform, hot-row/striding, DNN weight sweep).
+//! - [`replay`] — trace → [`issa_memarray::SramArray`] replay producing
+//!   per-column and per-address-line stress statistics, plus the
+//!   decoder-aging skew model.
+//!
+//! The trace fingerprint ([`Trace::fingerprint`]) folds into campaign
+//! config fingerprints (`McConfig::trace_fingerprint`), so a checkpoint
+//! resume under a *swapped trace* is refused exactly like a resume under
+//! a different seed.
+
+pub mod format;
+pub mod gen;
+pub mod replay;
+
+pub use format::{trace_fingerprint, Trace, TraceError, TraceEvent, TraceOp, TraceReader};
+pub use gen::TraceClass;
+pub use replay::{
+    address_bits, decoder_skew, replay, replay_events, replay_file, ColumnStress, DecoderAging,
+    ReplayOptions, ReplayStats,
+};

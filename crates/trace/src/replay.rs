@@ -1,0 +1,485 @@
+//! Trace replay: drive a recorded stream through a behavioural
+//! [`SramArray`] and extract the stress statistics the aging models
+//! consume.
+//!
+//! Replay produces two things:
+//!
+//! - **per-column duty factors** — each column's read activation and
+//!   *internal* zero fraction, measured through the array's actual
+//!   control block (for the input-switching scheme the crossing and
+//!   re-inversion are applied, so the measured mix is what the latch
+//!   really saw, not an assumption that the scheme works);
+//! - **per-address-line statistics** — high-duty and toggle rate of each
+//!   address bit over the read stream, which set the per-gate BTI duties
+//!   of the NAND-tree decoder ([`decoder_skew`]).
+//!
+//! The measured `(activation, internal_zero_fraction)` pair plugs
+//! directly into `issa-core`'s closed-form stress mapping via
+//! `McConfig::measured_mix` — the cross-check test below proves a
+//! synthetic alternating trace reproduces the `80r0r1` closed-form
+//! duties bit for bit.
+
+use crate::format::{Trace, TraceError, TraceEvent, TraceOp, TraceReader};
+use issa_bti::{BtiParams, StressCondition, TrapSet};
+use issa_digital::{AddressLineStats, DelayChain, NandDecoder};
+use issa_memarray::{ArrayScheme, ColumnParams, SramArray};
+use issa_num::rng::SeedSequence;
+use issa_ptm45::Environment;
+use std::path::Path;
+
+/// Address width (in bits) needed to index `rows` rows.
+pub fn address_bits(rows: u32) -> u8 {
+    debug_assert!(rows > 0);
+    let bits = 32 - rows.saturating_sub(1).leading_zeros();
+    bits.max(1) as u8
+}
+
+/// How to drive the array during replay.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Bitline/cell electrical parameters.
+    pub params: ColumnParams,
+    /// Sense-amplifier scheme (standard or input-switching).
+    pub scheme: ArrayScheme,
+    /// Supply voltage \[V\].
+    pub vdd: f64,
+    /// Bitline develop time handed to every read \[s\] (reduce by a
+    /// decoder skew to model an aged address path).
+    pub t_develop: f64,
+    /// Per-column SA offset voltages \[V\] (empty = fresh array). Plug
+    /// in aged Monte Carlo offsets to measure read-failure counts.
+    pub offsets: Vec<f64>,
+    /// Aged decoder/wordline timing skew \[s\] ([`decoder_skew`]),
+    /// subtracted from the develop budget of every read
+    /// ([`SramArray::read_skewed`]).
+    pub timing_skew: f64,
+}
+
+impl ReplayOptions {
+    /// 45 nm defaults: nominal supply, 40 ps develop, fresh SAs.
+    pub fn new(scheme: ArrayScheme) -> Self {
+        Self {
+            params: ColumnParams::default_45nm(),
+            scheme,
+            vdd: 1.0,
+            t_develop: 40e-12,
+            offsets: Vec::new(),
+            timing_skew: 0.0,
+        }
+    }
+}
+
+/// One column's measured stress inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnStress {
+    /// Fraction of trace cycles on which the column's SA amplified.
+    pub activation: f64,
+    /// Fraction of reads resolving *internal* state 0.
+    pub internal_zero_fraction: f64,
+}
+
+/// Everything a replay measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayStats {
+    /// Total trace cycles (last event cycle + 1).
+    pub cycles: u64,
+    /// Read events replayed.
+    pub reads: u64,
+    /// Write events replayed.
+    pub writes: u64,
+    /// Column-read failures observed (nonzero only with aged offsets or
+    /// a shaved develop time).
+    pub read_failures: u64,
+    /// Per-column measured stress inputs.
+    pub columns: Vec<ColumnStress>,
+    /// Per-address-line duty/toggle statistics over the read stream.
+    pub address_lines: Vec<AddressLineStats>,
+    /// Reads per row.
+    pub row_reads: Vec<u64>,
+}
+
+impl ReplayStats {
+    /// The column with the most skewed internal mix (furthest from the
+    /// balanced 0.5) — the aging-critical column.
+    pub fn worst_column(&self) -> usize {
+        let mut worst = 0;
+        let mut skew = -1.0;
+        for (i, c) in self.columns.iter().enumerate() {
+            let s = (c.internal_zero_fraction - 0.5).abs();
+            if s > skew {
+                skew = s;
+                worst = i;
+            }
+        }
+        worst
+    }
+
+    /// The most-read row — its decoder path gates the most reads, so
+    /// its aged wordline timing is the one that matters.
+    pub fn hottest_row(&self) -> usize {
+        self.row_reads
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &n)| n)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Replays a materialized trace. See [`replay_events`].
+///
+/// # Panics
+///
+/// Panics if the options' offsets are non-empty with the wrong width
+/// (delegated to [`SramArray::set_offsets`]).
+pub fn replay(trace: &Trace, opts: &ReplayOptions) -> ReplayStats {
+    let events = trace.events.iter().map(|&e| Ok(e));
+    match replay_events(trace.rows, trace.width, events, opts) {
+        Ok(stats) => stats,
+        // In-memory events carry no I/O errors.
+        Err(e) => unreachable!("in-memory replay cannot fail: {e}"),
+    }
+}
+
+/// Streams a trace file through the array without materializing it,
+/// returning the stats and the file's verified fingerprint.
+///
+/// # Errors
+///
+/// Every [`TraceError`] validation variant from the streaming reader.
+pub fn replay_file(path: &Path, opts: &ReplayOptions) -> Result<(ReplayStats, u64), TraceError> {
+    let mut reader = TraceReader::open(path)?;
+    let rows = reader.rows();
+    let width = reader.width();
+    let stats = replay_events(
+        rows,
+        width,
+        std::iter::from_fn(|| reader.next_event().transpose()),
+        opts,
+    )?;
+    let fp = reader.fingerprint().ok_or(TraceError::Truncated)?;
+    Ok((stats, fp))
+}
+
+/// Replays an event stream through a fresh [`SramArray`] of the given
+/// geometry, accumulating column and address-line statistics.
+///
+/// # Errors
+///
+/// Propagates the stream's [`TraceError`]s (a streaming reader surfaces
+/// truncation/corruption mid-iteration).
+pub fn replay_events<I>(
+    rows: u32,
+    width: u32,
+    events: I,
+    opts: &ReplayOptions,
+) -> Result<ReplayStats, TraceError>
+where
+    I: IntoIterator<Item = Result<TraceEvent, TraceError>>,
+{
+    let mut array = SramArray::new(rows as usize, width as usize, opts.params, opts.scheme);
+    if !opts.offsets.is_empty() {
+        array.set_offsets(&opts.offsets);
+    }
+    let bits = address_bits(rows) as usize;
+    let mut highs = vec![0u64; bits];
+    let mut toggles = vec![0u64; bits];
+    let mut prev_addr: Option<u32> = None;
+    let mut row_reads = vec![0u64; rows as usize];
+    let mut word = vec![false; width as usize];
+    let (mut reads, mut writes, mut read_failures) = (0u64, 0u64, 0u64);
+    let mut last_cycle = 0u64;
+
+    for event in events {
+        let e = event?;
+        last_cycle = last_cycle.max(e.cycle);
+        match e.op {
+            TraceOp::Write => {
+                for (j, b) in word.iter_mut().enumerate() {
+                    *b = (e.data >> j) & 1 == 1;
+                }
+                array.write(e.address as usize, &word);
+                writes += 1;
+            }
+            TraceOp::Read => {
+                let r = array.read_skewed(
+                    e.address as usize,
+                    opts.vdd,
+                    opts.t_develop,
+                    opts.timing_skew,
+                );
+                read_failures += r.failed_columns.len() as u64;
+                reads += 1;
+                row_reads[e.address as usize] += 1;
+                for (i, h) in highs.iter_mut().enumerate() {
+                    *h += u64::from((e.address >> i) & 1);
+                }
+                if let Some(prev) = prev_addr {
+                    for (i, t) in toggles.iter_mut().enumerate() {
+                        *t += u64::from(((e.address ^ prev) >> i) & 1);
+                    }
+                }
+                prev_addr = Some(e.address);
+            }
+        }
+    }
+
+    let cycles = if reads + writes == 0 {
+        0
+    } else {
+        last_cycle + 1
+    };
+    let activation = if cycles == 0 {
+        0.0
+    } else {
+        reads as f64 / cycles as f64
+    };
+    let columns = array
+        .stats()
+        .iter()
+        .map(|s| ColumnStress {
+            activation,
+            internal_zero_fraction: s.internal_zero_fraction(),
+        })
+        .collect();
+    let address_lines = highs
+        .iter()
+        .zip(&toggles)
+        .map(|(&h, &t)| AddressLineStats {
+            duty_high: if reads == 0 {
+                0.5
+            } else {
+                h as f64 / reads as f64
+            },
+            toggle_rate: if reads < 2 {
+                0.5
+            } else {
+                t as f64 / (reads - 1) as f64
+            },
+        })
+        .collect();
+
+    Ok(ReplayStats {
+        cycles,
+        reads,
+        writes,
+        read_failures,
+        columns,
+        address_lines,
+        row_reads,
+    })
+}
+
+/// Decoder/timing-chain aging calibration.
+#[derive(Debug, Clone)]
+pub struct DecoderAging {
+    /// Per-stage delay/threshold model of the decoder + wordline driver.
+    pub chain: DelayChain,
+    /// Gate area of one decoder transistor \[m²\] (decoder gates are
+    /// drawn larger than the SA latch devices).
+    pub gate_area: f64,
+    /// BTI model calibration.
+    pub bti: BtiParams,
+    /// Seed of the per-stage trap-population draws.
+    pub seed: u64,
+}
+
+impl DecoderAging {
+    /// 45 nm defaults: 8 ps stages, 20·45 nm × 45 nm gates, the paper's
+    /// BTI card.
+    pub fn default_45nm(seed: u64) -> Self {
+        Self {
+            chain: DelayChain::default_45nm(),
+            gate_area: 20.0 * 45e-9 * 45e-9,
+            bti: BtiParams::default_45nm(),
+            seed,
+        }
+    }
+}
+
+/// Sense-enable timing skew \[s\] of the aged decoder path for the
+/// trace's hottest row: per-stage BTI duties come from the measured
+/// address-line statistics, per-stage ΔVth from the expected-value trap
+/// model, and the alpha-power delay chain converts ΔVth into skew
+/// against the (balanced-duty, barely aging) replica timing chain.
+///
+/// Deterministic in `(aging.seed, stats, env, time)` — the per-stage
+/// trap populations come from a seeded tree, not ambient randomness.
+///
+/// # Panics
+///
+/// Panics if `stats.address_lines` does not match the decoder width for
+/// `rows` (i.e. the stats came from a different geometry).
+pub fn decoder_skew(
+    aging: &DecoderAging,
+    stats: &ReplayStats,
+    rows: u32,
+    env: &Environment,
+    time: f64,
+) -> f64 {
+    let decoder = NandDecoder::new(address_bits(rows));
+    let row = stats.hottest_row().min(decoder.rows() - 1);
+    let duties = decoder.path_duties(row, &stats.address_lines);
+    let root = SeedSequence::root(aging.seed);
+    let dvths: Vec<f64> = duties
+        .iter()
+        .enumerate()
+        .map(|(k, &duty)| {
+            let stress = StressCondition::new(duty, env.vdd, env.temp_c);
+            let mut rng = root.child(k as u64).rng();
+            let traps = TrapSet::sample_accelerated(&aging.bti, aging.gate_area, &stress, &mut rng);
+            aging.bti.delta_vth_expected(&traps, &stress, time)
+        })
+        .collect();
+    aging.chain.skew(env.vdd, &dvths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceOp;
+    use crate::gen::TraceClass;
+    use issa_core::netlist::{SaDevice, SaKind};
+    use issa_core::stress::{compile_workload, device_duty, CompiledWorkload, StressModel};
+    use issa_core::workload::{ReadSequence, Workload};
+
+    /// The `80r0r1` synthetic trace: 40 cycles, 2 writes, 32 reads
+    /// alternating between an all-0 and an all-1 row, 6 idle cycles —
+    /// activation exactly 0.8, external mix exactly 50/50.
+    fn alternating_80_trace() -> Trace {
+        let mut t = Trace::new(2, 1);
+        t.events.push(TraceEvent {
+            cycle: 0,
+            op: TraceOp::Write,
+            address: 0,
+            data: 0,
+        });
+        t.events.push(TraceEvent {
+            cycle: 1,
+            op: TraceOp::Write,
+            address: 1,
+            data: 1,
+        });
+        let idle = [8u64, 14, 20, 26, 32, 38];
+        let mut flip = 0u32;
+        for cycle in 2..40u64 {
+            if idle.contains(&cycle) {
+                continue;
+            }
+            t.events.push(TraceEvent {
+                cycle,
+                op: TraceOp::Read,
+                address: flip,
+                data: u64::from(flip),
+            });
+            flip ^= 1;
+        }
+        assert_eq!(t.events.len(), 2 + 32);
+        t
+    }
+
+    #[test]
+    fn synthetic_trace_reproduces_closed_form_duties_bit_for_bit() {
+        let trace = alternating_80_trace();
+        let stats = replay(&trace, &ReplayOptions::new(ArrayScheme::Standard));
+        assert_eq!(stats.read_failures, 0);
+        let col = stats.columns[0];
+        // Exact f64 equality, not approximate: the measured activation
+        // and mix must be the very values the closed forms use.
+        assert_eq!(col.activation, 0.8);
+        assert_eq!(col.internal_zero_fraction, 0.5);
+
+        let synthetic = compile_workload(
+            Workload::new(0.8, ReadSequence::Alternating),
+            SaKind::Nssa,
+            8,
+        );
+        let measured = CompiledWorkload {
+            workload: Workload::new(col.activation, ReadSequence::Alternating),
+            kind: SaKind::Nssa,
+            internal_zero_fraction: col.internal_zero_fraction,
+        };
+        let model = StressModel::default();
+        for &device in SaDevice::roles_of(SaKind::Nssa) {
+            let a = device_duty(&model, &synthetic, device);
+            let b = device_duty(&model, &measured, device);
+            assert_eq!(a.to_bits(), b.to_bits(), "{device:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn switching_balances_a_skewed_trace_standard_does_not() {
+        let trace = TraceClass::WeightSweep.generate(32, 8, 4096, 11);
+        let std_stats = replay(&trace, &ReplayOptions::new(ArrayScheme::Standard));
+        let sw_stats = replay(
+            &trace,
+            &ReplayOptions::new(ArrayScheme::InputSwitching { counter_bits: 4 }),
+        );
+        let std_worst = std_stats.columns[std_stats.worst_column()].internal_zero_fraction;
+        let sw_worst = sw_stats.columns[sw_stats.worst_column()].internal_zero_fraction;
+        assert!(
+            (std_worst - 0.5).abs() > 0.3,
+            "sparse weights must skew the standard mix, got {std_worst}"
+        );
+        assert!(
+            (sw_worst - 0.5).abs() < 0.05,
+            "switching must balance the mix, got {sw_worst}"
+        );
+        // Same trace, same reads either way.
+        assert_eq!(std_stats.reads, sw_stats.reads);
+        assert_eq!(std_stats.read_failures, 0);
+        assert_eq!(sw_stats.read_failures, 0);
+    }
+
+    #[test]
+    fn streamed_replay_matches_in_memory_replay() {
+        let trace = TraceClass::HotRow.generate(32, 8, 2048, 5);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("issa-trace-replay-{}.trc", std::process::id()));
+        trace.save(&path).unwrap();
+        let opts = ReplayOptions::new(ArrayScheme::Standard);
+        let (streamed, fp) = replay_file(&path, &opts).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(streamed, replay(&trace, &opts));
+        assert_eq!(fp, trace.fingerprint());
+    }
+
+    #[test]
+    fn hot_row_trace_biases_address_lines() {
+        let trace = TraceClass::HotRow.generate(64, 8, 8192, 2);
+        let stats = replay(&trace, &ReplayOptions::new(ArrayScheme::Standard));
+        // Hot set = rows/8 = low addresses: the top address line must be
+        // low nearly all the time.
+        let top = stats.address_lines.last().unwrap();
+        assert!(top.duty_high < 0.2, "top line duty {}", top.duty_high);
+        assert!(stats.hottest_row() < 8, "hottest {}", stats.hottest_row());
+    }
+
+    #[test]
+    fn decoder_skew_grows_with_time_and_is_deterministic() {
+        let trace = TraceClass::HotRow.generate(32, 8, 4096, 3);
+        let stats = replay(&trace, &ReplayOptions::new(ArrayScheme::Standard));
+        let aging = DecoderAging::default_45nm(42);
+        let env = Environment::nominal();
+        let s1 = decoder_skew(&aging, &stats, 32, &env, 1e7);
+        let s2 = decoder_skew(&aging, &stats, 32, &env, 1e9);
+        assert!(s1 >= 0.0);
+        assert!(s2 > s1, "skew must grow with stress time: {s1} vs {s2}");
+        assert_eq!(
+            decoder_skew(&aging, &stats, 32, &env, 1e9).to_bits(),
+            s2.to_bits()
+        );
+    }
+
+    #[test]
+    fn aged_offsets_plus_skew_produce_read_failures() {
+        let trace = TraceClass::Uniform.generate(16, 4, 1024, 9);
+        let mut opts = ReplayOptions::new(ArrayScheme::Standard);
+        // A 28 ps aged-decoder skew shaves the 40 ps budget to ~30 mV of
+        // swing; a column with a 60 mV aged offset must then misread.
+        opts.timing_skew = 28e-12;
+        opts.offsets = vec![0.0, 60e-3, 0.0, 0.0];
+        let stats = replay(&trace, &opts);
+        assert!(stats.read_failures > 0);
+    }
+}

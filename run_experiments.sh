@@ -48,6 +48,13 @@ if [ "$status" -ne 0 ]; then
 fi
 tail -n 8 results/campaign.txt
 
+# Array-level trace campaigns (DESIGN.md §17): generates the three trace
+# classes, replays them through the array, ages array + decoder, writes
+# results/BENCH_array_trace.json, and exits nonzero unless input
+# switching delays the read-failure onset on every class. Checkpointed,
+# so re-running this script resumes an interrupted sweep.
+run_exp array_trace --checkpoint results/array_trace.ckpt
+
 for exp in ablate_idle_stress ablate_swing_policy hci_extension lifetime_extension; do
   run_exp "$exp"
 done

@@ -13,11 +13,12 @@ cargo fmt --all --check
 echo "== cargo clippy --workspace -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy (solver + MC + dist libs, deny unwrap) =="
+echo "== cargo clippy (solver + MC + dist + trace libs, deny unwrap) =="
 # The hot-path libraries must not panic on recoverable failures: every
 # solver error has to reach the recovery ladder / quarantine instead,
-# and a coordinator must never die because one worker misbehaved.
-cargo clippy -p issa-num -p issa-circuit -p issa-core -p issa-dist --lib -- -D warnings -D clippy::unwrap-used
+# a coordinator must never die because one worker misbehaved, and a
+# corrupt trace file must be a TraceError, not a backtrace.
+cargo clippy -p issa-num -p issa-circuit -p issa-core -p issa-dist -p issa-trace --lib -- -D warnings -D clippy::unwrap-used
 
 echo "== cargo clippy (bench binaries, deny unwrap) =="
 # The campaign/table binaries are the operator surface: a bad flag or a
@@ -62,6 +63,15 @@ echo "== durability / cancellation suites =="
 cargo test -q -p issa-circuit --test cancel
 cargo test -q --test checkpoint_durability
 cargo test -q --test campaign_resume
+
+echo "== trace suites (format durability, replay stress, campaign determinism) =="
+# The ISSA-TRC format must hold to the checkpoint standard (every
+# truncation and bit flip rejected), measured duties must match the
+# closed-form compiler bit for bit, and trace-driven campaigns must be
+# invariant to threads/lanes/resume.
+cargo test -q -p issa-trace
+cargo test -q --test trace_durability
+cargo test -q --test array_trace
 
 echo "== distribution suites (frames, scheduler, loopback fleet) =="
 cargo test -q -p issa-dist
@@ -169,6 +179,30 @@ trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR" "$BATCH_DIR" "$TAIL_DIR"' EXIT
 rm -rf "$TAIL_DIR"
 trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR" "$BATCH_DIR"' EXIT
 
+echo "== array-trace smoke (generate -> replay -> campaign -> resume, byte-identical) =="
+# The full trace pipeline end to end: generate the three trace classes,
+# replay them, age array + decoder, and demand the onset gate passes.
+# Then abort a checkpointed run mid-campaign and resume it on a
+# different thread count: the JSON must be byte-identical to the
+# uninterrupted single-threaded run.
+ARRAY_BIN=$PWD/target/release/array_trace
+ARRAY_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR" "$BATCH_DIR" "$ARRAY_DIR"' EXIT
+(
+  cd "$ARRAY_DIR"
+  "$ARRAY_BIN" --threads 1 >fresh.log 2>&1 || { tail -20 fresh.log; exit 1; }
+  grep -q '"mitigation_ok": true' results/BENCH_array_trace.json
+  cp results/BENCH_array_trace.json fresh.json
+  "$ARRAY_BIN" --checkpoint at.ckpt --abort-after 40 >abort.log 2>&1
+  grep -q "campaign aborted" abort.log
+  [ -s at.ckpt ]
+  "$ARRAY_BIN" --checkpoint at.ckpt --threads 2 >resume.log 2>&1
+  cmp fresh.json results/BENCH_array_trace.json
+  echo "array-trace smoke: onset gate passed, resume byte-identical across threads"
+)
+rm -rf "$ARRAY_DIR"
+trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR" "$BATCH_DIR"' EXIT
+
 echo "== chaos soak (full fault schedule, coordinator SIGKILL + resume) =="
 # One seeded chaos run: solver faults, checkpoint I/O faults, wire
 # faults, a crash-looping flaky worker, a straggler with speculation,
@@ -215,7 +249,8 @@ trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR" "$BATCH_DIR" "$CHAOS_DIR" "$SVC_DIR"' EXIT
   # three and resume the killed campaign from its checkpoint.
   rm -f port
   "$CAMPAIGN_BIN" service --dir state --listen 127.0.0.1:0 --port-file port \
-    --max-campaigns 1 --flush-every 1 >service_second.log 2>&1 &
+    --max-campaigns 1 --flush-every 1 \
+    --cache-max-mb 64 --cache-max-age-s 86400 >service_second.log 2>&1 &
   pid=$!
   for _ in $(seq 100); do [ -s port ] && break; sleep 0.1; done
   addr=$(cat port)
@@ -241,10 +276,22 @@ trap 'rm -rf "$SMOKE_DIR" "$DIST_DIR" "$BATCH_DIR" "$CHAOS_DIR" "$SVC_DIR"' EXIT
   cmp "state/results/$id4/table2.csv" "$SMOKE_DIR/results/table2.csv"
   "$CAMPAIGN_BIN" health --connect "$addr" >health.json
   grep -Eq '"cache_quarantined":[1-9]' health.json
+  grep -q '"cache":{' health.json
   ls state/cache | grep -q quarantined
+
+  # Tail flags ride through the submit path and join the fingerprint:
+  # an identical tail resubmission must be a cache hit.
+  "$CAMPAIGN_BIN" submit --connect "$addr" --tenant ci --samples 8 \
+    --artifacts table2 --tail-fr 0.01 --ci-target 0.5 --max-samples 64 \
+    --wait >tail1.json
+  grep -q '"cache_hit":false' tail1.json
+  "$CAMPAIGN_BIN" submit --connect "$addr" --tenant ci --samples 8 \
+    --artifacts table2 --tail-fr 0.01 --ci-target 0.5 --max-samples 64 \
+    --wait >tail2.json
+  grep -q '"cache_hit":true' tail2.json
   "$CAMPAIGN_BIN" shutdown --connect "$addr" >/dev/null
   wait "$pid"
-  echo "service soak: replay byte-identical, duplicate cache_hit, corruption quarantined + recomputed"
+  echo "service soak: replay byte-identical, duplicate cache_hit, corruption quarantined + recomputed, tail submit cached"
 )
 
 echo "CI_OK"

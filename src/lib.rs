@@ -17,6 +17,8 @@
 //! | [`issa_bti`] | atomistic capture/emission-trap BTI aging model |
 //! | [`issa_digital`] | gate-level control logic (counter + Table I NANDs) |
 //! | [`issa_memarray`] | behavioural SRAM column (bitlines, 6T cells) |
+//! | [`issa_trace`] | workload traces: `ISSA-TRC` format, seeded generators, replay-driven stress extraction, decoder/timing-chain aging |
+//! | [`issa_dist`] | distributed campaigns: coordinator/worker sharding, supervised service, content-addressed result cache |
 //! | [`issa_num`] | linear algebra, special functions, statistics, RNG |
 //!
 //! # Quickstart
@@ -48,6 +50,7 @@ pub use issa_dist as dist;
 pub use issa_memarray as memarray;
 pub use issa_num as num;
 pub use issa_ptm45 as ptm45;
+pub use issa_trace as trace;
 
 pub use issa_core::prelude;
 pub use issa_core::SaError;

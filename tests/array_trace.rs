@@ -1,0 +1,189 @@
+//! Array-trace subsystem contract, end to end through the `issa` facade:
+//! replay-measured duties feed the closed-form stress mapping bit for
+//! bit, and trace-driven campaigns are deterministic across thread
+//! counts, batch lanes, and an abort/resume split.
+
+use issa::core::campaign::{run_campaign, CampaignCorner, CampaignOptions};
+use issa::core::montecarlo::{McConfig, McResult};
+use issa::core::stress::{compile_workload, device_duty, StressModel};
+use issa::memarray::ArrayScheme;
+use issa::prelude::*;
+use issa::trace::{replay, ReplayOptions, Trace, TraceClass, TraceEvent, TraceOp};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "issa-array-trace-{}-{tag}-{n}.ckpt",
+        std::process::id()
+    ))
+}
+
+/// A synthetic 80 %-activation alternating trace: 40 cycles, 32 reads
+/// alternating between a 0-row and a 1-row — activation exactly 32/40
+/// and internal zero fraction exactly 16/32, both exact in f64.
+fn alternating_80_trace() -> Trace {
+    let mut t = Trace::new(2, 1);
+    t.events.push(TraceEvent {
+        cycle: 0,
+        op: TraceOp::Write,
+        address: 0,
+        data: 0,
+    });
+    t.events.push(TraceEvent {
+        cycle: 1,
+        op: TraceOp::Write,
+        address: 1,
+        data: 1,
+    });
+    let idle = [8u64, 14, 20, 26, 32, 38];
+    let mut reads = 0u32;
+    for cycle in 2..40u64 {
+        if idle.contains(&cycle) {
+            continue;
+        }
+        t.events.push(TraceEvent {
+            cycle,
+            op: TraceOp::Read,
+            address: reads % 2,
+            data: u64::from(reads % 2),
+        });
+        reads += 1;
+    }
+    assert_eq!(reads, 32);
+    t
+}
+
+#[test]
+fn measured_mix_matches_closed_form_duties_bit_for_bit() {
+    let trace = alternating_80_trace();
+    let stats = replay(&trace, &ReplayOptions::new(ArrayScheme::Standard));
+    let col = stats.columns[0];
+    // The synthetic trace hits the closed-form operating point exactly.
+    assert_eq!(col.activation.to_bits(), 0.8f64.to_bits());
+    assert_eq!(col.internal_zero_fraction.to_bits(), 0.5f64.to_bits());
+
+    // A measured-mix config must produce the same compiled workload —
+    // and hence the same per-device duties — as the closed-form compile
+    // of the equivalent `80r0r1` workload.
+    let cfg = McConfig {
+        measured_mix: Some(col.internal_zero_fraction),
+        ..McConfig::smoke(
+            SaKind::Nssa,
+            Workload::new(col.activation, ReadSequence::Alternating),
+            Environment::nominal(),
+            1e8,
+            4,
+        )
+    };
+    let measured = cfg.compiled_workload();
+    let closed_form = compile_workload(
+        Workload::new(0.8, ReadSequence::Alternating),
+        SaKind::Nssa,
+        cfg.counter_bits,
+    );
+    let model = StressModel::default();
+    for device in SaDevice::roles_of(SaKind::Nssa) {
+        let a = device_duty(&model, &closed_form, *device);
+        let b = device_duty(&model, &measured, *device);
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "duty diverged for {device:?}: closed-form {a} vs measured {b}"
+        );
+    }
+}
+
+fn trace_corners(threads: usize, batch_lanes: usize) -> Vec<CampaignCorner> {
+    let trace = TraceClass::WeightSweep.generate(16, 4, 512, 99);
+    let fp = trace.fingerprint();
+    let mut corners = Vec::new();
+    for (scheme, kind) in [
+        (ArrayScheme::Standard, SaKind::Nssa),
+        (
+            ArrayScheme::InputSwitching { counter_bits: 8 },
+            SaKind::Issa,
+        ),
+    ] {
+        let stats = replay(&trace, &ReplayOptions::new(scheme));
+        let col = stats.columns[stats.worst_column()];
+        let mut cfg = McConfig::smoke(
+            kind,
+            Workload::new(col.activation, ReadSequence::Alternating),
+            Environment::nominal(),
+            1e8,
+            8,
+        );
+        cfg.measured_mix = Some(col.internal_zero_fraction);
+        cfg.trace_fingerprint = fp;
+        cfg.threads = threads;
+        cfg.batch_lanes = batch_lanes;
+        cfg.delay_samples = 0;
+        corners.push(CampaignCorner {
+            name: format!("array_trace/weight_sweep/{kind:?}"),
+            cfg,
+        });
+    }
+    corners
+}
+
+fn offsets_of(results: &[(String, McResult)]) -> Vec<(String, Vec<u64>)> {
+    results
+        .iter()
+        .map(|(name, r)| {
+            (
+                name.clone(),
+                r.offsets.iter().map(|v| v.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+fn run(corners: &[CampaignCorner], opts: &CampaignOptions) -> Vec<(String, McResult)> {
+    let report = run_campaign(corners, opts).unwrap();
+    assert!(!report.partial);
+    corners
+        .iter()
+        .map(|c| (c.name.clone(), report.result(&c.name).unwrap().clone()))
+        .collect()
+}
+
+#[test]
+fn trace_campaign_is_deterministic_across_threads_and_resume() {
+    let baseline = offsets_of(&run(&trace_corners(1, 0), &CampaignOptions::default()));
+    assert!(baseline.iter().all(|(_, o)| o.len() == 8));
+
+    // Thread counts and batch lanes are scheduling, not physics.
+    for (threads, lanes) in [(2, 0), (8, 4)] {
+        let got = offsets_of(&run(
+            &trace_corners(threads, lanes),
+            &CampaignOptions::default(),
+        ));
+        assert_eq!(baseline, got, "threads={threads} lanes={lanes} diverged");
+    }
+
+    // An abort/resume split lands on the same bits.
+    let path = temp_path("resume");
+    let aborted = run_campaign(
+        &trace_corners(2, 0),
+        &CampaignOptions {
+            checkpoint: Some(path.clone()),
+            flush_every: 1,
+            abort_after: Some(3),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(aborted.partial);
+    let resumed = offsets_of(&run(
+        &trace_corners(2, 0),
+        &CampaignOptions {
+            checkpoint: Some(path.clone()),
+            ..CampaignOptions::default()
+        },
+    ));
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(baseline, resumed, "resume split diverged from baseline");
+}

@@ -1,0 +1,220 @@
+//! Trace-format durability contract, mirroring the checkpoint suite:
+//! round-trips are bit-exact, every truncation point and every bit flip
+//! is rejected loudly, unknown versions are refused, and a campaign
+//! checkpoint recorded under one trace refuses to resume under another.
+
+use issa::core::campaign::{run_campaign, CampaignCorner, CampaignError, CampaignOptions};
+use issa::core::montecarlo::McConfig;
+use issa::prelude::*;
+use issa::trace::{trace_fingerprint, Trace, TraceClass, TraceError, TraceEvent, TraceOp};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "issa-trace-durability-{}-{tag}-{n}.trc",
+        std::process::id()
+    ))
+}
+
+/// A small trace exercising every field's edge values: idle gaps, both
+/// ops, the top row address, an all-ones and an all-zeros data word.
+fn populated_trace() -> Trace {
+    let mut t = Trace::new(16, 64);
+    t.events = vec![
+        TraceEvent {
+            cycle: 0,
+            op: TraceOp::Write,
+            address: 0,
+            data: u64::MAX,
+        },
+        TraceEvent {
+            cycle: 1,
+            op: TraceOp::Write,
+            address: 15,
+            data: 0,
+        },
+        TraceEvent {
+            cycle: 7,
+            op: TraceOp::Read,
+            address: 0,
+            data: u64::MAX,
+        },
+        TraceEvent {
+            cycle: u64::MAX,
+            op: TraceOp::Read,
+            address: 15,
+            data: 0x5555_aaaa_5555_aaaa,
+        },
+    ];
+    t
+}
+
+#[test]
+fn round_trip_preserves_every_bit() {
+    let original = populated_trace();
+    let bytes = original.to_bytes();
+    assert_eq!(original, Trace::from_bytes(&bytes).unwrap());
+
+    // The file path round-trips identically (atomic save, full load) and
+    // the streaming fingerprint agrees with the in-memory one.
+    let path = temp_path("roundtrip");
+    original.save(&path).unwrap();
+    assert_eq!(std::fs::read(&path).unwrap(), bytes);
+    assert_eq!(Trace::load(&path).unwrap(), original);
+    assert_eq!(trace_fingerprint(&path).unwrap(), original.fingerprint());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn truncation_at_any_point_is_rejected() {
+    let bytes = populated_trace().to_bytes();
+    // Cut at every length short of complete: nothing may load. The event
+    // count in the header pins the exact file length, so every cut is
+    // detected before any event is consumed.
+    for cut in 0..bytes.len() {
+        let err = Trace::from_bytes(&bytes[..cut]).expect_err("a truncated trace must never load");
+        assert!(
+            matches!(
+                err,
+                TraceError::Truncated
+                    | TraceError::UnsupportedVersion { .. }
+                    | TraceError::Malformed { .. }
+            ),
+            "cut at {cut}: unexpected error {err}"
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_caught() {
+    let bytes = populated_trace().to_bytes();
+    // Every bit of the file: magic, geometry, count, each event record,
+    // and the CRC trailer itself.
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut corrupted = bytes.clone();
+            corrupted[byte] ^= 1 << bit;
+            assert!(
+                Trace::from_bytes(&corrupted).is_err(),
+                "flip of byte {byte} bit {bit} loaded successfully"
+            );
+        }
+    }
+}
+
+#[test]
+fn unknown_version_is_refused() {
+    let mut bytes = populated_trace().to_bytes();
+    // "ISSA-TRC 1\n" -> "ISSA-TRC 2\n": version refusal must win over
+    // (and be more specific than) the CRC mismatch it also causes.
+    bytes[9] = b'2';
+    let err = Trace::from_bytes(&bytes).unwrap_err();
+    assert!(
+        matches!(err, TraceError::UnsupportedVersion { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn empty_and_garbage_files_are_refused() {
+    assert!(Trace::from_bytes(b"").is_err());
+    assert!(Trace::from_bytes(b"\n\n\n").is_err());
+    assert!(Trace::from_bytes(b"not a trace at all").is_err());
+    assert!(Trace::from_bytes(&[0xFF; 64]).is_err());
+    // A valid header promising zero rows is malformed, not truncated.
+    let zero_rows = {
+        let mut t = populated_trace().to_bytes();
+        t[11..15].copy_from_slice(&0u32.to_le_bytes());
+        t
+    };
+    assert!(Trace::from_bytes(&zero_rows).is_err());
+}
+
+#[test]
+fn generated_traces_are_reproducible_and_distinct() {
+    for class in TraceClass::all() {
+        let a = class.generate(32, 8, 512, 7);
+        let b = class.generate(32, 8, 512, 7);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "{} not deterministic",
+            class.name()
+        );
+        let reseeded = class.generate(32, 8, 512, 8);
+        assert_ne!(
+            a.fingerprint(),
+            reseeded.fingerprint(),
+            "{} ignores its seed",
+            class.name()
+        );
+    }
+    let prints: Vec<u64> = TraceClass::all()
+        .iter()
+        .map(|c| c.generate(32, 8, 512, 7).fingerprint())
+        .collect();
+    assert!(
+        prints.windows(2).all(|w| w[0] != w[1]),
+        "distinct classes collided: {prints:x?}"
+    );
+}
+
+#[test]
+fn campaign_refuses_a_checkpoint_from_a_swapped_trace() {
+    let path = temp_path("swap").with_extension("ckpt");
+    let mk = |trace_fingerprint: u64| CampaignCorner {
+        name: "array_trace/pinned".into(),
+        cfg: McConfig {
+            trace_fingerprint,
+            measured_mix: Some(0.73),
+            ..McConfig::smoke(
+                SaKind::Nssa,
+                Workload::new(0.8, ReadSequence::Alternating),
+                Environment::nominal(),
+                0.0,
+                4,
+            )
+        },
+    };
+    let fp_a = TraceClass::Uniform.generate(16, 4, 64, 1).fingerprint();
+    let fp_b = TraceClass::HotRow.generate(16, 4, 64, 1).fingerprint();
+    assert_ne!(fp_a, fp_b);
+
+    // Abort mid-run under trace A, leaving the checkpoint behind.
+    run_campaign(
+        &[mk(fp_a)],
+        &CampaignOptions {
+            checkpoint: Some(path.clone()),
+            flush_every: 1,
+            abort_after: Some(1),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(path.exists(), "aborted campaign must leave its checkpoint");
+
+    // Resume under trace B: refused before any sample runs.
+    let err = run_campaign(
+        &[mk(fp_b)],
+        &CampaignOptions {
+            checkpoint: Some(path.clone()),
+            ..CampaignOptions::default()
+        },
+    )
+    .unwrap_err();
+    std::fs::remove_file(&path).unwrap();
+    match err {
+        CampaignError::FingerprintMismatch {
+            corner,
+            stored,
+            expected,
+        } => {
+            assert_eq!(corner, "array_trace/pinned");
+            assert_ne!(stored, expected);
+        }
+        other => panic!("expected FingerprintMismatch, got {other}"),
+    }
+}
